@@ -1,0 +1,190 @@
+//! Accessible parts: the data reachable by iterating accesses.
+//!
+//! Given a schema with access methods, an instance `I` and a valid access
+//! selection `σ`, the accessible part `AccPart(σ, I)` is the least fixpoint
+//! of "perform every access whose binding uses already-accessible values and
+//! collect the returned facts" (paper, Section 3). Without result bounds
+//! there is exactly one accessible part; with result bounds it depends on
+//! the selection.
+
+use rbqa_common::{Instance, Value};
+use rustc_hash::FxHashSet;
+
+use crate::schema::Schema;
+use crate::selection::AccessSelection;
+
+/// Computes the accessible part of `instance` under `schema` and the access
+/// selection `selection`, starting from the initially accessible values
+/// `seed` (typically empty, or the constants of a query when reasoning about
+/// plans that may mention constants).
+///
+/// Returns the accessible sub-instance; its active domain is the set of
+/// accessible values.
+pub fn accessible_part(
+    instance: &Instance,
+    schema: &Schema,
+    selection: &mut dyn AccessSelection,
+    seed: &FxHashSet<Value>,
+) -> Instance {
+    let mut accessible: FxHashSet<Value> = seed.clone();
+    let mut part = Instance::new(schema.signature().clone());
+
+    loop {
+        let mut changed = false;
+        for method in schema.methods() {
+            let inputs = method.input_positions_vec();
+            // Enumerate every binding of the input positions with accessible
+            // values. The number of bindings is |accessible|^|inputs|; the
+            // fixpoint is only used on the small instances of tests,
+            // examples and the empirical validation harness.
+            let bindings = enumerate_bindings(&inputs, &accessible);
+            for binding in bindings {
+                let matching: Vec<Vec<Value>> = instance
+                    .matching_tuples(method.relation(), &binding)
+                    .into_iter()
+                    .map(|t| t.to_vec())
+                    .collect();
+                let output = selection.select(method, &binding, &matching);
+                for tuple in output {
+                    for v in &tuple {
+                        if accessible.insert(*v) {
+                            changed = true;
+                        }
+                    }
+                    if part
+                        .insert(method.relation(), tuple)
+                        .expect("tuple arity matches relation")
+                    {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return part;
+        }
+    }
+}
+
+/// All bindings of `positions` with values drawn from `values`.
+fn enumerate_bindings(
+    positions: &[usize],
+    values: &FxHashSet<Value>,
+) -> Vec<Vec<(usize, Value)>> {
+    let mut sorted_values: Vec<Value> = values.iter().copied().collect();
+    sorted_values.sort();
+    let mut out: Vec<Vec<(usize, Value)>> = vec![Vec::new()];
+    for &p in positions {
+        let mut next = Vec::with_capacity(out.len() * sorted_values.len());
+        for prefix in &out {
+            for &v in &sorted_values {
+                let mut b = prefix.clone();
+                b.push((p, v));
+                next.push(b);
+            }
+        }
+        out = next;
+        if out.is_empty() {
+            return out;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::AccessMethod;
+    use crate::selection::{AdversarialSelection, GreedySelection, TruncatingSelection};
+    use rbqa_common::{Signature, ValueFactory};
+
+    /// The university schema of Example 1.1: Prof(id, name, salary) with
+    /// method pr (input id), Udirectory(id, address, phone) with input-free
+    /// method ud.
+    fn university(bound: Option<usize>) -> (Schema, Instance, ValueFactory) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut schema = Schema::new(sig.clone());
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        let ud = match bound {
+            None => AccessMethod::unbounded("ud", udir, &[]),
+            Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+        };
+        schema.add_method(ud).unwrap();
+
+        let mut vf = ValueFactory::new();
+        let mut inst = Instance::new(sig);
+        for i in 0..5 {
+            let id = vf.constant(&format!("id{i}"));
+            let name = vf.constant(&format!("name{i}"));
+            let salary = vf.constant("10000");
+            let addr = vf.constant(&format!("addr{i}"));
+            let phone = vf.constant(&format!("phone{i}"));
+            inst.insert(prof, vec![id, name, salary]).unwrap();
+            inst.insert(udir, vec![id, addr, phone]).unwrap();
+        }
+        (schema, inst, vf)
+    }
+
+    #[test]
+    fn accessible_part_without_bounds_reaches_everything() {
+        let (schema, inst, _vf) = university(None);
+        let mut sel = TruncatingSelection::new();
+        let part = accessible_part(&inst, &schema, &mut sel, &FxHashSet::default());
+        // ud returns all of Udirectory; pr then returns every Prof tuple.
+        assert_eq!(part.len(), inst.len());
+    }
+
+    #[test]
+    fn accessible_part_with_bound_misses_data() {
+        let (schema, inst, _vf) = university(Some(2));
+        let mut sel = TruncatingSelection::new();
+        let part = accessible_part(&inst, &schema, &mut sel, &FxHashSet::default());
+        // Only 2 directory rows are returned, so only 2 Prof rows are
+        // reachable: 4 facts in total instead of 10.
+        assert_eq!(part.len(), 4);
+        assert!(part.is_subinstance_of(&inst));
+    }
+
+    #[test]
+    fn different_selections_give_different_accessible_parts() {
+        let (schema, inst, _vf) = university(Some(2));
+        let mut t = TruncatingSelection::new();
+        let mut a = AdversarialSelection::new();
+        let part_t = accessible_part(&inst, &schema, &mut t, &FxHashSet::default());
+        let part_a = accessible_part(&inst, &schema, &mut a, &FxHashSet::default());
+        assert_eq!(part_t.len(), part_a.len());
+        assert_ne!(part_t.dump(), part_a.dump());
+    }
+
+    #[test]
+    fn seed_values_enable_keyed_accesses() {
+        let (schema, inst, mut vf) = university(Some(0));
+        // With a bound of 0 on ud, nothing flows from the directory; but if
+        // the id is already known (e.g. a query constant), pr can be called.
+        let id0 = vf.constant("id0");
+        let mut sel = GreedySelection::new();
+        let empty = accessible_part(&inst, &schema, &mut sel, &FxHashSet::default());
+        assert_eq!(empty.len(), 0);
+        let mut sel = GreedySelection::new();
+        let seeded = accessible_part(&inst, &schema, &mut sel, &FxHashSet::from_iter([id0]));
+        assert_eq!(seeded.len(), 1);
+        let prof = schema.signature().require("Prof").unwrap();
+        assert_eq!(seeded.relation_len(prof), 1);
+    }
+
+    #[test]
+    fn binding_enumeration_counts() {
+        let mut vf = ValueFactory::new();
+        let vals: FxHashSet<Value> = (0..3).map(|i| vf.constant(&format!("v{i}"))).collect();
+        assert_eq!(enumerate_bindings(&[], &vals).len(), 1);
+        assert_eq!(enumerate_bindings(&[0], &vals).len(), 3);
+        assert_eq!(enumerate_bindings(&[0, 2], &vals).len(), 9);
+        let empty: FxHashSet<Value> = FxHashSet::default();
+        assert_eq!(enumerate_bindings(&[0], &empty).len(), 0);
+        assert_eq!(enumerate_bindings(&[], &empty).len(), 1);
+    }
+}

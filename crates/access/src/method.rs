@@ -1,0 +1,227 @@
+//! Access methods and result bounds.
+
+use rbqa_common::{RelationId, Signature};
+use std::collections::BTreeSet;
+
+/// A result bound on an access method.
+///
+/// A plain result bound of `k` asserts both an upper bound (at most `k`
+/// matching tuples are returned) and a lower bound (if there are at most `k`
+/// matching tuples, all are returned; otherwise at least `k` are). The paper
+/// shows (Proposition 3.3, `ElimUB`) that the upper bound is irrelevant for
+/// monotone answerability; `lower_only` records that relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultBound {
+    /// The bound `k`.
+    pub limit: usize,
+    /// When `true`, only the lower-bound half is imposed (the access may
+    /// return more than `limit` tuples).
+    pub lower_only: bool,
+}
+
+impl ResultBound {
+    /// A standard result bound of `k` (upper and lower).
+    pub fn exact(limit: usize) -> Self {
+        ResultBound {
+            limit,
+            lower_only: false,
+        }
+    }
+
+    /// A result lower bound of `k` (as produced by `ElimUB`).
+    pub fn lower(limit: usize) -> Self {
+        ResultBound {
+            limit,
+            lower_only: true,
+        }
+    }
+
+    /// The sizes a valid output may take when there are `matching` matching
+    /// tuples: `(minimum, maximum)`.
+    pub fn valid_output_sizes(&self, matching: usize) -> (usize, usize) {
+        let min = matching.min(self.limit);
+        let max = if self.lower_only {
+            matching
+        } else {
+            matching.min(self.limit)
+        };
+        (min, max)
+    }
+}
+
+/// An access method: given values for the input positions of its relation,
+/// it returns (a valid subset of) the matching tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessMethod {
+    name: String,
+    relation: RelationId,
+    input_positions: BTreeSet<usize>,
+    result_bound: Option<ResultBound>,
+}
+
+impl AccessMethod {
+    /// Creates an access method without a result bound.
+    pub fn unbounded(name: &str, relation: RelationId, input_positions: &[usize]) -> Self {
+        AccessMethod {
+            name: name.to_owned(),
+            relation,
+            input_positions: input_positions.iter().copied().collect(),
+            result_bound: None,
+        }
+    }
+
+    /// Creates a result-bounded access method.
+    pub fn bounded(
+        name: &str,
+        relation: RelationId,
+        input_positions: &[usize],
+        bound: usize,
+    ) -> Self {
+        AccessMethod {
+            name: name.to_owned(),
+            relation,
+            input_positions: input_positions.iter().copied().collect(),
+            result_bound: Some(ResultBound::exact(bound)),
+        }
+    }
+
+    /// The method's name (unique within a schema).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation accessed by the method.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The input positions (0-based, sorted).
+    pub fn input_positions(&self) -> &BTreeSet<usize> {
+        &self.input_positions
+    }
+
+    /// The input positions as a vector (sorted), convenient for bindings.
+    pub fn input_positions_vec(&self) -> Vec<usize> {
+        self.input_positions.iter().copied().collect()
+    }
+
+    /// The output positions of the method under `sig`: all positions that
+    /// are not input positions.
+    pub fn output_positions(&self, sig: &Signature) -> Vec<usize> {
+        (0..sig.arity(self.relation))
+            .filter(|p| !self.input_positions.contains(p))
+            .collect()
+    }
+
+    /// The result bound, if any.
+    pub fn result_bound(&self) -> Option<ResultBound> {
+        self.result_bound
+    }
+
+    /// Whether the method has a result bound.
+    pub fn is_result_bounded(&self) -> bool {
+        self.result_bound.is_some()
+    }
+
+    /// Whether the method has no input positions.
+    pub fn is_input_free(&self) -> bool {
+        self.input_positions.is_empty()
+    }
+
+    /// Whether every position of the relation is an input position (a
+    /// Boolean method, for which result bounds have no effect).
+    pub fn is_boolean(&self, sig: &Signature) -> bool {
+        self.input_positions.len() == sig.arity(self.relation)
+    }
+
+    /// Returns a copy of the method with its result bound replaced.
+    pub fn with_result_bound(&self, bound: Option<ResultBound>) -> AccessMethod {
+        AccessMethod {
+            result_bound: bound,
+            ..self.clone()
+        }
+    }
+
+    /// Returns a copy with the result bound's value replaced (keeping the
+    /// lower-only flag), or unchanged if the method is unbounded.
+    pub fn with_bound_value(&self, limit: usize) -> AccessMethod {
+        match self.result_bound {
+            Some(rb) => self.with_result_bound(Some(ResultBound { limit, ..rb })),
+            None => self.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> (Signature, RelationId) {
+        let mut s = Signature::new();
+        let udir = s.add_relation("Udirectory", 3).unwrap();
+        (s, udir)
+    }
+
+    #[test]
+    fn unbounded_method_properties() {
+        let (sig, udir) = sig();
+        let m = AccessMethod::unbounded("ud", udir, &[]);
+        assert!(m.is_input_free());
+        assert!(!m.is_boolean(&sig));
+        assert!(!m.is_result_bounded());
+        assert_eq!(m.output_positions(&sig), vec![0, 1, 2]);
+        assert_eq!(m.name(), "ud");
+    }
+
+    #[test]
+    fn bounded_method_properties() {
+        let (sig, udir) = sig();
+        let m = AccessMethod::bounded("ud2", udir, &[0], 1);
+        assert!(m.is_result_bounded());
+        assert!(!m.is_input_free());
+        assert_eq!(m.input_positions_vec(), vec![0]);
+        assert_eq!(m.output_positions(&sig), vec![1, 2]);
+        assert_eq!(m.result_bound().unwrap().limit, 1);
+    }
+
+    #[test]
+    fn boolean_method_detection() {
+        let (sig, udir) = sig();
+        let m = AccessMethod::unbounded("check", udir, &[0, 1, 2]);
+        assert!(m.is_boolean(&sig));
+        assert!(m.output_positions(&sig).is_empty());
+    }
+
+    #[test]
+    fn valid_output_sizes_exact_bound() {
+        let rb = ResultBound::exact(100);
+        assert_eq!(rb.valid_output_sizes(40), (40, 40));
+        assert_eq!(rb.valid_output_sizes(100), (100, 100));
+        assert_eq!(rb.valid_output_sizes(250), (100, 100));
+    }
+
+    #[test]
+    fn valid_output_sizes_lower_bound_only() {
+        let rb = ResultBound::lower(100);
+        assert_eq!(rb.valid_output_sizes(40), (40, 40));
+        assert_eq!(rb.valid_output_sizes(250), (100, 250));
+    }
+
+    #[test]
+    fn with_bound_value_rewrites_limit() {
+        let (_sig, udir) = sig();
+        let m = AccessMethod::bounded("ud", udir, &[], 100);
+        let choice = m.with_bound_value(1);
+        assert_eq!(choice.result_bound().unwrap().limit, 1);
+        assert!(!choice.result_bound().unwrap().lower_only);
+        let unbounded = AccessMethod::unbounded("ud", udir, &[]);
+        assert!(unbounded.with_bound_value(1).result_bound().is_none());
+    }
+
+    #[test]
+    fn with_result_bound_none_removes_bound() {
+        let (_sig, udir) = sig();
+        let m = AccessMethod::bounded("ud", udir, &[], 100);
+        assert!(!m.with_result_bound(None).is_result_bounded());
+    }
+}

@@ -1,0 +1,256 @@
+//! Execution of monotone plans over an instance, relative to an access
+//! selection.
+
+use rbqa_common::{Instance, Value};
+use rustc_hash::FxHashMap;
+
+use crate::plan::ra::{PlanError, TempTable};
+use crate::plan::{Command, Plan};
+use crate::schema::Schema;
+use crate::selection::AccessSelection;
+
+/// The result of executing a plan: the output rows plus execution metrics.
+#[derive(Debug, Clone)]
+pub struct PlanRun {
+    /// Rows of the output table, sorted for deterministic comparison.
+    pub output: Vec<Vec<Value>>,
+    /// Number of individual accesses performed (one per binding tuple per
+    /// access command).
+    pub accesses_performed: usize,
+    /// Total number of tuples returned by the services across all accesses.
+    pub tuples_fetched: usize,
+    /// Final contents of every temporary table (for inspection/debugging).
+    pub tables: FxHashMap<String, TempTable>,
+}
+
+impl PlanRun {
+    /// Whether the output is non-empty (the Boolean reading of a plan whose
+    /// output table has arity 0, as in Example 2.1).
+    pub fn boolean_output(&self) -> bool {
+        !self.output.is_empty()
+    }
+}
+
+/// Executes `plan` on `instance` under `schema`, using `selection` to choose
+/// the output of each (result-bounded) access.
+///
+/// The semantics follows Section 2 of the paper: commands run in order;
+/// access commands evaluate their input expression, perform one access per
+/// binding tuple, take the union of the selected outputs, rename it through
+/// the output map and store it; middleware commands evaluate their monotone
+/// relational algebra expression over the temporary tables produced so far.
+pub fn execute(
+    plan: &Plan,
+    schema: &Schema,
+    instance: &Instance,
+    selection: &mut dyn AccessSelection,
+) -> Result<PlanRun, PlanError> {
+    plan.validate(schema)?;
+    let mut tables: FxHashMap<String, TempTable> = FxHashMap::default();
+    let mut accesses_performed = 0usize;
+    let mut tuples_fetched = 0usize;
+
+    for command in plan.commands() {
+        match command {
+            Command::Middleware { output, expr } => {
+                let table = expr.evaluate(&tables)?;
+                tables.insert(output.clone(), table);
+            }
+            Command::Access {
+                output,
+                method,
+                input,
+                input_map,
+                output_map,
+            } => {
+                let m = schema
+                    .method(method)
+                    .ok_or_else(|| PlanError::UnknownMethod(method.clone()))?;
+                let bindings_table = input.evaluate(&tables)?;
+                let input_positions = m.input_positions_vec();
+                let mut out = TempTable::new(output_map.len());
+                for binding_row in bindings_table.rows() {
+                    let binding: Vec<(usize, Value)> = input_positions
+                        .iter()
+                        .zip(input_map.iter())
+                        .map(|(&pos, &col)| (pos, binding_row[col]))
+                        .collect();
+                    let matching: Vec<Vec<Value>> = instance
+                        .matching_tuples(m.relation(), &binding)
+                        .into_iter()
+                        .map(|t| t.to_vec())
+                        .collect();
+                    let selected = selection.select(m, &binding, &matching);
+                    accesses_performed += 1;
+                    tuples_fetched += selected.len();
+                    for tuple in selected {
+                        let projected: Vec<Value> = output_map.iter().map(|&p| tuple[p]).collect();
+                        out.insert(projected)?;
+                    }
+                }
+                tables.insert(output.clone(), out);
+            }
+        }
+    }
+
+    let output_table = tables
+        .get(plan.output_table())
+        .ok_or_else(|| PlanError::UnknownTable(plan.output_table().to_owned()))?;
+    Ok(PlanRun {
+        output: output_table.sorted_rows(),
+        accesses_performed,
+        tuples_fetched,
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::AccessMethod;
+    use crate::plan::ra::{Condition, RaExpr};
+    use crate::plan::PlanBuilder;
+    use crate::selection::{AdversarialSelection, TruncatingSelection};
+    use rbqa_common::{Signature, ValueFactory};
+
+    /// University schema and instance: 5 employees, each professor earning
+    /// 10000 except one earning 20000.
+    fn setup(ud_bound: Option<usize>) -> (Schema, Instance, ValueFactory) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut schema = Schema::new(sig.clone());
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        let ud = match ud_bound {
+            None => AccessMethod::unbounded("ud", udir, &[]),
+            Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+        };
+        schema.add_method(ud).unwrap();
+
+        let mut vf = ValueFactory::new();
+        let mut inst = Instance::new(sig);
+        for i in 0..5 {
+            let id = vf.constant(&format!("id{i}"));
+            let name = vf.constant(&format!("name{i}"));
+            let salary = if i == 3 {
+                vf.constant("20000")
+            } else {
+                vf.constant("10000")
+            };
+            let addr = vf.constant(&format!("addr{i}"));
+            let phone = vf.constant(&format!("phone{i}"));
+            inst.insert(prof, vec![id, name, salary]).unwrap();
+            inst.insert(udir, vec![id, addr, phone]).unwrap();
+        }
+        (schema, inst, vf)
+    }
+
+    /// The plan of Example 1.2: ud for ids, pr per id, filter salary, return
+    /// names.
+    fn example_1_2_plan(vf: &mut ValueFactory) -> crate::plan::Plan {
+        let salary = vf.constant("10000");
+        PlanBuilder::new()
+            .access("ids", "ud", RaExpr::unit(), vec![], vec![0])
+            .access("profs", "pr", RaExpr::table("ids"), vec![0], vec![0, 1, 2])
+            .middleware(
+                "matching",
+                RaExpr::select(RaExpr::table("profs"), Condition::eq_const(2, salary)),
+            )
+            .middleware("names", RaExpr::project(RaExpr::table("matching"), vec![1]))
+            .returns("names")
+    }
+
+    #[test]
+    fn example_1_2_plan_returns_all_names_without_bound() {
+        let (schema, inst, mut vf) = setup(None);
+        let plan = example_1_2_plan(&mut vf);
+        let mut sel = TruncatingSelection::new();
+        let run = execute(&plan, &schema, &inst, &mut sel).unwrap();
+        // 4 professors earn 10000.
+        assert_eq!(run.output.len(), 4);
+        // 1 input-free access + 5 per-id accesses.
+        assert_eq!(run.accesses_performed, 6);
+        assert_eq!(run.tuples_fetched, 10);
+    }
+
+    #[test]
+    fn example_1_3_result_bound_makes_plan_incomplete() {
+        // With a result bound of 2 on ud, the same plan misses answers, and
+        // different access selections give different outputs: the plan no
+        // longer answers the query.
+        let (schema, inst, mut vf) = setup(Some(2));
+        let plan = example_1_2_plan(&mut vf);
+        let mut first = TruncatingSelection::new();
+        let run_first = execute(&plan, &schema, &inst, &mut first).unwrap();
+        assert!(run_first.output.len() < 4);
+        let mut second = AdversarialSelection::new();
+        let run_second = execute(&plan, &schema, &inst, &mut second).unwrap();
+        assert_ne!(run_first.output, run_second.output);
+    }
+
+    #[test]
+    fn example_2_1_boolean_plan_is_robust_to_bounds() {
+        // The plan of Examples 1.4 / 2.1: return whether Udirectory is
+        // non-empty. A result bound cannot change its (Boolean) output.
+        let (schema, inst, _vf) = setup(Some(1));
+        let plan = PlanBuilder::new()
+            .access("T", "ud", RaExpr::unit(), vec![], vec![0, 1, 2])
+            .middleware("T0", RaExpr::project(RaExpr::table("T"), vec![]))
+            .returns("T0");
+        let mut t = TruncatingSelection::new();
+        let mut a = AdversarialSelection::new();
+        let run_t = execute(&plan, &schema, &inst, &mut t).unwrap();
+        let run_a = execute(&plan, &schema, &inst, &mut a).unwrap();
+        assert!(run_t.boolean_output());
+        assert!(run_a.boolean_output());
+        assert_eq!(run_t.output, run_a.output);
+
+        // On an empty instance the plan returns false.
+        let empty = Instance::new(schema.signature().clone());
+        let mut t = TruncatingSelection::new();
+        let run_empty = execute(&plan, &schema, &empty, &mut t).unwrap();
+        assert!(!run_empty.boolean_output());
+    }
+
+    #[test]
+    fn access_with_constant_binding() {
+        // Call pr directly with a constant id taken from a singleton
+        // constant relation.
+        let (schema, inst, mut vf) = setup(Some(1));
+        let id2 = vf.constant("id2");
+        let plan = PlanBuilder::new()
+            .middleware("seed", RaExpr::singleton(vec![id2]))
+            .access("prof", "pr", RaExpr::table("seed"), vec![0], vec![1, 2])
+            .returns("prof");
+        let mut sel = TruncatingSelection::new();
+        let run = execute(&plan, &schema, &inst, &mut sel).unwrap();
+        assert_eq!(run.output.len(), 1);
+        assert_eq!(run.accesses_performed, 1);
+        let name2 = vf.constant("name2");
+        assert_eq!(run.output[0][0], name2);
+    }
+
+    #[test]
+    fn tables_are_available_for_inspection() {
+        let (schema, inst, mut vf) = setup(None);
+        let plan = example_1_2_plan(&mut vf);
+        let mut sel = TruncatingSelection::new();
+        let run = execute(&plan, &schema, &inst, &mut sel).unwrap();
+        assert!(run.tables.contains_key("ids"));
+        assert_eq!(run.tables["ids"].arity(), 1);
+        assert_eq!(run.tables["ids"].len(), 5);
+        assert_eq!(run.tables["profs"].len(), 5);
+    }
+
+    #[test]
+    fn invalid_plan_fails_before_executing() {
+        let (schema, inst, _vf) = setup(None);
+        let plan = PlanBuilder::new()
+            .access("T", "missing_method", RaExpr::unit(), vec![], vec![0])
+            .returns("T");
+        let mut sel = TruncatingSelection::new();
+        assert!(execute(&plan, &schema, &inst, &mut sel).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Service schemas: signature + constraints + access methods.
+
+use rbqa_common::{Error, RelationId, Result, Signature};
+use rbqa_logic::constraints::ConstraintSet;
+
+use crate::method::AccessMethod;
+
+/// A service schema (paper, Section 2): a relational signature, a set of
+/// integrity constraints, and a set of access methods (possibly
+/// result-bounded).
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    signature: Signature,
+    constraints: ConstraintSet,
+    methods: Vec<AccessMethod>,
+}
+
+impl Schema {
+    /// Creates a schema without methods or constraints.
+    pub fn new(signature: Signature) -> Self {
+        Schema {
+            signature,
+            constraints: ConstraintSet::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Creates a schema from all of its parts, validating the methods.
+    pub fn with_parts(
+        signature: Signature,
+        constraints: ConstraintSet,
+        methods: Vec<AccessMethod>,
+    ) -> Result<Self> {
+        let mut schema = Schema {
+            signature,
+            constraints,
+            methods: Vec::new(),
+        };
+        for m in methods {
+            schema.add_method(m)?;
+        }
+        Ok(schema)
+    }
+
+    /// The relational signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// Mutable access to the signature (used by schema transformations that
+    /// add view relations).
+    pub fn signature_mut(&mut self) -> &mut Signature {
+        &mut self.signature
+    }
+
+    /// The integrity constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// Mutable access to the constraints.
+    pub fn constraints_mut(&mut self) -> &mut ConstraintSet {
+        &mut self.constraints
+    }
+
+    /// The access methods.
+    pub fn methods(&self) -> &[AccessMethod] {
+        &self.methods
+    }
+
+    /// Adds an access method after validating it against the signature
+    /// (valid positions, unique name).
+    pub fn add_method(&mut self, method: AccessMethod) -> Result<RelationId> {
+        if !self.signature.contains(method.relation()) {
+            return Err(Error::Invalid(format!(
+                "method `{}` refers to a relation outside the schema signature",
+                method.name()
+            )));
+        }
+        for &p in method.input_positions() {
+            self.signature.check_position(method.relation(), p)?;
+        }
+        if self.methods.iter().any(|m| m.name() == method.name()) {
+            return Err(Error::Invalid(format!(
+                "duplicate access method name `{}`",
+                method.name()
+            )));
+        }
+        let rel = method.relation();
+        self.methods.push(method);
+        Ok(rel)
+    }
+
+    /// Looks up a method by name.
+    pub fn method(&self, name: &str) -> Option<&AccessMethod> {
+        self.methods.iter().find(|m| m.name() == name)
+    }
+
+    /// All methods on a given relation.
+    pub fn methods_on(&self, relation: RelationId) -> Vec<&AccessMethod> {
+        self.methods
+            .iter()
+            .filter(|m| m.relation() == relation)
+            .collect()
+    }
+
+    /// Whether any method carries a result bound.
+    pub fn has_result_bounds(&self) -> bool {
+        self.methods.iter().any(|m| m.is_result_bounded())
+    }
+
+    /// Returns a copy of the schema where every result bound of `k` is
+    /// relaxed to a result *lower* bound of `k` (`ElimUB(Sch)`,
+    /// Proposition 3.3).
+    pub fn eliminate_upper_bounds(&self) -> Schema {
+        let methods = self
+            .methods
+            .iter()
+            .map(|m| match m.result_bound() {
+                Some(rb) if !rb.lower_only => {
+                    m.with_result_bound(Some(crate::method::ResultBound::lower(rb.limit)))
+                }
+                _ => m.clone(),
+            })
+            .collect();
+        Schema {
+            signature: self.signature.clone(),
+            constraints: self.constraints.clone(),
+            methods,
+        }
+    }
+
+    /// Returns a copy of the schema where every result bound is replaced by
+    /// a bound of 1 (the *choice simplification* of Section 6).
+    pub fn choice_simplification(&self) -> Schema {
+        let methods = self
+            .methods
+            .iter()
+            .map(|m| {
+                if m.is_result_bounded() {
+                    m.with_result_bound(Some(crate::method::ResultBound::exact(1)))
+                } else {
+                    m.clone()
+                }
+            })
+            .collect();
+        Schema {
+            signature: self.signature.clone(),
+            constraints: self.constraints.clone(),
+            methods,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::AccessMethod;
+
+    fn university() -> Schema {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut schema = Schema::new(sig);
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        schema
+            .add_method(AccessMethod::bounded("ud", udir, &[], 100))
+            .unwrap();
+        schema
+    }
+
+    #[test]
+    fn add_and_lookup_methods() {
+        let schema = university();
+        assert_eq!(schema.methods().len(), 2);
+        assert!(schema.method("pr").is_some());
+        assert!(schema.method("nope").is_none());
+        assert!(schema.has_result_bounds());
+        let udir = schema.signature().require("Udirectory").unwrap();
+        assert_eq!(schema.methods_on(udir).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_method_names_rejected() {
+        let mut schema = university();
+        let prof = schema.signature().require("Prof").unwrap();
+        let err = schema.add_method(AccessMethod::unbounded("pr", prof, &[1]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn method_with_bad_position_rejected() {
+        let mut schema = university();
+        let prof = schema.signature().require("Prof").unwrap();
+        let err = schema.add_method(AccessMethod::unbounded("pr2", prof, &[7]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn eliminate_upper_bounds_keeps_limits() {
+        let schema = university().eliminate_upper_bounds();
+        let ud = schema.method("ud").unwrap();
+        let rb = ud.result_bound().unwrap();
+        assert_eq!(rb.limit, 100);
+        assert!(rb.lower_only);
+        // Unbounded methods are untouched.
+        assert!(schema.method("pr").unwrap().result_bound().is_none());
+    }
+
+    #[test]
+    fn choice_simplification_sets_bounds_to_one() {
+        let schema = university().choice_simplification();
+        let ud = schema.method("ud").unwrap();
+        assert_eq!(ud.result_bound().unwrap().limit, 1);
+        assert!(schema.method("pr").unwrap().result_bound().is_none());
+    }
+
+    #[test]
+    fn with_parts_validates_all_methods() {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 1).unwrap();
+        let good = AccessMethod::unbounded("m", r, &[0]);
+        let bad = AccessMethod::unbounded("m2", r, &[3]);
+        assert!(Schema::with_parts(sig.clone(), ConstraintSet::new(), vec![good.clone()]).is_ok());
+        assert!(Schema::with_parts(sig, ConstraintSet::new(), vec![good, bad]).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! FIG-bound-sweep: after the paper's schema simplifications, the *value* of
+//! a result bound never affects the answerability decision (Sections 4
+//! and 6); the decision time should therefore be flat in the bound.
+//!
+//! The benchmark decides the two university queries (Example 1.3 / 1.4) for
+//! result bounds from 1 to 5000 and lets Criterion expose the flatness of
+//! the curve; the report binary additionally asserts that the verdict is
+//! identical across the sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_bench::{bench_options, run_decision};
+use rbqa_workloads::scenarios;
+
+fn bench_bound_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_result_bound_sweep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for bound in [1usize, 2, 5, 10, 100, 1000, 5000] {
+        let scenario = scenarios::university(Some(bound));
+        let q1 = scenario.query("Q1_salary_names").unwrap().clone();
+        let q2 = scenario.query("Q2_directory_nonempty").unwrap().clone();
+        group.bench_with_input(
+            BenchmarkId::new("Q1_not_answerable", bound),
+            &bound,
+            |b, _| {
+                b.iter(|| {
+                    let mut values = scenario.values.clone();
+                    run_decision(
+                        "bound_sweep",
+                        "Q1",
+                        &scenario.schema,
+                        &q1,
+                        &mut values,
+                        &bench_options(),
+                        Some(false),
+                    )
+                    .0
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("Q2_answerable", bound),
+            &bound,
+            |b, _| {
+                b.iter(|| {
+                    let mut values = scenario.values.clone();
+                    run_decision(
+                        "bound_sweep",
+                        "Q2",
+                        &scenario.schema,
+                        &q2,
+                        &mut values,
+                        &bench_options(),
+                        Some(true),
+                    )
+                    .0
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_sweep);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! FIG-scaling: complexity shape across constraint classes.
+//!
+//! The paper's Table 1 places FDs and bounded-width IDs in NP and general
+//! IDs in EXPTIME. The benchmark sweeps the query size (number of chain
+//! atoms) for a fixed schema of each class and the ID width for a fixed
+//! query, exposing the relative growth of decision time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_bench::{bench_options, run_decision};
+use rbqa_workloads::random::{RandomClass, RandomSchemaConfig};
+
+fn bench_query_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_scaling_query_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let classes = [
+        ("fds", RandomClass::Fds),
+        ("uids", RandomClass::Ids { width: 1 }),
+        ("wide_ids", RandomClass::Ids { width: 2 }),
+    ];
+    for (label, class) in classes {
+        let config = RandomSchemaConfig {
+            relations: 6,
+            dependencies: 6,
+            class,
+            ..Default::default()
+        };
+        let workload = config.generate(23);
+        for (i, query) in workload.queries.iter().enumerate() {
+            let atoms = i + 1;
+            if atoms % 2 == 0 {
+                continue; // measure sizes 1, 3, 5 to keep the run short
+            }
+            group.bench_with_input(
+                BenchmarkId::new(label, atoms),
+                &atoms,
+                |b, _| {
+                    b.iter(|| {
+                        let mut values = workload.values.clone();
+                        run_decision(
+                            "fig_scaling",
+                            &format!("chain_{atoms}"),
+                            &workload.schema,
+                            query,
+                            &mut values,
+                            &bench_options(),
+                            None,
+                        )
+                        .0
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_id_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_scaling_id_width");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for width in [1usize, 2, 3] {
+        let config = RandomSchemaConfig {
+            relations: 4,
+            dependencies: 4,
+            min_arity: 3,
+            max_arity: 3,
+            class: RandomClass::Ids { width },
+            ..Default::default()
+        };
+        let workload = config.generate(31);
+        let query = workload.queries[1].clone();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                let mut values = workload.values.clone();
+                run_decision(
+                    "fig_scaling_width",
+                    "chain_2",
+                    &workload.schema,
+                    &query,
+                    &mut values,
+                    &bench_options(),
+                    None,
+                )
+                .0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_size, bench_id_width);
+criterion_main!(benches);

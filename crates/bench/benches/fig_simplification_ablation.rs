@@ -1,0 +1,73 @@
+//! FIG-ablation-naive: cost of *not* simplifying the schema.
+//!
+//! The naive axiomatisation of Example 3.5 expands the result lower bound of
+//! `k` into cardinality axioms for every `j ≤ k`; the paper's simplification
+//! theorems show this is unnecessary. The benchmark decides the same query
+//! with (a) the class-dispatched simplified pipeline and (b) the forced
+//! naive-cardinality axiomatisation, sweeping the result bound: the
+//! simplified pipeline should be flat while the naive one grows with the
+//! bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_bench::{bench_options, run_decision};
+use rbqa_core::{AnswerabilityOptions, AxiomStyle};
+use rbqa_workloads::scenarios;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_simplification_ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for bound in [1usize, 2, 4, 8, 12] {
+        let scenario = scenarios::university(Some(bound));
+        let q2 = scenario.query("Q2_directory_nonempty").unwrap().clone();
+
+        group.bench_with_input(BenchmarkId::new("simplified", bound), &bound, |b, _| {
+            b.iter(|| {
+                let mut values = scenario.values.clone();
+                run_decision(
+                    "ablation",
+                    "Q2",
+                    &scenario.schema,
+                    &q2,
+                    &mut values,
+                    &bench_options(),
+                    Some(true),
+                )
+                .0
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_cardinality", bound),
+            &bound,
+            |b, _| {
+                b.iter(|| {
+                    let mut values = scenario.values.clone();
+                    let options = AnswerabilityOptions {
+                        axiom_style_override: Some(AxiomStyle::NaiveCardinality { cap: bound }),
+                        // The naive chase is intentionally wasteful; a small
+                        // budget keeps its cost bounded while the growth
+                        // relative to the simplified pipeline stays visible.
+                        budget: rbqa_chase::Budget::small(),
+                        ..bench_options()
+                    };
+                    run_decision(
+                        "ablation",
+                        "Q2",
+                        &scenario.schema,
+                        &q2,
+                        &mut values,
+                        &options,
+                        Some(true),
+                    )
+                    .0
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! T1-row-FDs: functional dependencies only (FD simplifiable, NP-complete, Theorems 4.5 and 5.2).
+//!
+//! Sweeps the number of relations with random key-like FDs and measures the FD-simplification chase pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_bench::{bench_options, run_decision};
+use rbqa_workloads::random::{RandomClass, RandomSchemaConfig};
+
+fn bench_class(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_fds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for relations in [2usize, 3, 4, 5, 6] {
+        let config = RandomSchemaConfig {
+            relations,
+            dependencies: 2 * relations,
+            class: RandomClass::Fds,
+            result_bound: 100,
+            ..Default::default()
+        };
+        let workload = config.generate(relations as u64);
+        let query = workload.queries[workload.queries.len() / 2].clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(relations),
+            &relations,
+            |b, _| {
+                b.iter(|| {
+                    let mut values = workload.values.clone();
+                    let (result, _) = run_decision(
+                        "table1_fds",
+                        "chain",
+                        &workload.schema,
+                        &query,
+                        &mut values,
+                        &bench_options(),
+                        None,
+                    );
+                    result
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_class);
+criterion_main!(benches);

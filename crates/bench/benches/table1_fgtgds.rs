@@ -1,0 +1,83 @@
+//! T1-row-FGTGD: frontier-guarded TGD constraints (choice simplifiable,
+//! 2EXPTIME-complete — Theorems 6.3 and 7.1).
+//!
+//! The workload is the Example 6.1 family: chains of relations
+//! `S_0, ..., S_k` and `T`, with the full TGD `T(y), S_i(x) -> T(x)` for
+//! every level and `T(y) -> ∃x S_0(x)`, an input-free result-bounded method
+//! on each `S_i` and a Boolean method on `T`. The query asks `∃y T(y)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_access::{AccessMethod, Schema};
+use rbqa_bench::{bench_options, run_decision};
+use rbqa_common::{Signature, ValueFactory};
+use rbqa_logic::constraints::{ConstraintSet, TgdBuilder};
+use rbqa_logic::parser::parse_cq;
+use rbqa_logic::Term;
+
+fn example_6_1_family(levels: usize) -> (Schema, rbqa_logic::ConjunctiveQuery, ValueFactory) {
+    let mut sig = Signature::new();
+    let t = sig.add_relation("T", 1).unwrap();
+    let s_rels: Vec<_> = (0..levels)
+        .map(|i| sig.add_relation(&format!("S{i}"), 1).unwrap())
+        .collect();
+    let mut constraints = ConstraintSet::new();
+    for &s in &s_rels {
+        // T(y), S_i(x) -> T(x)
+        let mut b = TgdBuilder::new();
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.body_atom(t, vec![Term::Var(y)]);
+        b.body_atom(s, vec![Term::Var(x)]);
+        b.head_atom(t, vec![Term::Var(x)]);
+        constraints.push_tgd(b.build());
+    }
+    // T(y) -> ∃x S_0(x)
+    let mut b = TgdBuilder::new();
+    let (x, y) = (b.var("x"), b.var("y"));
+    b.body_atom(t, vec![Term::Var(y)]);
+    b.head_atom(s_rels[0], vec![Term::Var(x)]);
+    constraints.push_tgd(b.build());
+
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    for (i, &s) in s_rels.iter().enumerate() {
+        schema
+            .add_method(AccessMethod::bounded(&format!("mtS{i}"), s, &[], 1))
+            .unwrap();
+    }
+    schema
+        .add_method(AccessMethod::unbounded("mtT", t, &[0]))
+        .unwrap();
+
+    let mut values = ValueFactory::new();
+    let mut sig2 = schema.signature().clone();
+    let q = parse_cq("Q() :- T(y)", &mut sig2, &mut values).unwrap();
+    (schema, q, values)
+}
+
+fn bench_fgtgds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_fgtgds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for levels in [1usize, 2, 3, 4] {
+        let (schema, query, values) = example_6_1_family(levels);
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            b.iter(|| {
+                let mut values = values.clone();
+                let (result, _) = run_decision(
+                    "table1_fgtgds",
+                    "some_T",
+                    &schema,
+                    &query,
+                    &mut values,
+                    &bench_options(),
+                    Some(true),
+                );
+                result
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fgtgds);
+criterion_main!(benches);

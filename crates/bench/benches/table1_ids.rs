@@ -1,0 +1,50 @@
+//! T1-row-IDs: answerability decisions over schemas whose constraints are
+//! inclusion dependencies (existence-check simplifiable, EXPTIME-complete).
+//!
+//! Sweeps the number of relations/dependencies for width-2 IDs and measures
+//! the decision time of the linearization-based pipeline on chain queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_bench::{bench_options, run_decision};
+use rbqa_workloads::random::{RandomClass, RandomSchemaConfig};
+
+fn bench_ids(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_ids");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for relations in [2usize, 3, 4, 5, 6] {
+        let config = RandomSchemaConfig {
+            relations,
+            dependencies: relations,
+            class: RandomClass::Ids { width: 2 },
+            result_bound: 100,
+            ..Default::default()
+        };
+        let workload = config.generate(relations as u64);
+        let query = workload.queries[workload.queries.len() / 2].clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(relations),
+            &relations,
+            |b, _| {
+                b.iter(|| {
+                    let mut values = workload.values.clone();
+                    let (result, _) = run_decision(
+                        "table1_ids",
+                        "chain",
+                        &workload.schema,
+                        &query,
+                        &mut values,
+                        &bench_options(),
+                        None,
+                    );
+                    result
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ids);
+criterion_main!(benches);

@@ -1,0 +1,231 @@
+//! # rbqa-bench
+//!
+//! Shared harness code for the benchmark targets and report binaries that
+//! regenerate the paper's Table 1 and the derived figures (DESIGN.md §4,
+//! EXPERIMENTS.md).
+//!
+//! The Criterion benches under `benches/` measure decision times; the report
+//! binaries under `src/bin/` print the qualitative content (which
+//! simplification is applied, which queries are answerable, whether the
+//! outcome depends on the result-bound value) as text tables and JSON.
+
+use rbqa_access::Schema;
+use rbqa_chase::Budget;
+use rbqa_common::ValueFactory;
+use rbqa_core::{
+    decide_monotone_answerability, Answerability, AnswerabilityOptions, AnswerabilityResult,
+};
+use rbqa_logic::ConjunctiveQuery;
+use rbqa_workloads::random::RandomWorkload;
+use serde::Serialize;
+
+/// A single decision record, serialisable for the experiment reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct DecisionRecord {
+    /// Workload / scenario label.
+    pub workload: String,
+    /// Query label.
+    pub query: String,
+    /// Detected constraint class (human readable).
+    pub constraint_class: String,
+    /// Simplification applied.
+    pub simplification: String,
+    /// Strategy used.
+    pub strategy: String,
+    /// The verdict.
+    pub answerable: String,
+    /// Whether the verdict is certified complete.
+    pub complete: bool,
+    /// Chase rounds performed by the decision.
+    pub chase_rounds: usize,
+    /// Facts produced by the decision's chase.
+    pub chased_facts: usize,
+    /// Wall-clock time of the decision in microseconds.
+    pub micros: u128,
+    /// The paper's expectation, when the scenario records one.
+    pub expected_answerable: Option<bool>,
+}
+
+/// Runs one answerability decision and packages it as a [`DecisionRecord`].
+pub fn run_decision(
+    workload: &str,
+    query_label: &str,
+    schema: &Schema,
+    query: &ConjunctiveQuery,
+    values: &mut ValueFactory,
+    options: &AnswerabilityOptions,
+    expected: Option<bool>,
+) -> (AnswerabilityResult, DecisionRecord) {
+    let start = std::time::Instant::now();
+    let result = decide_monotone_answerability(schema, query, values, options);
+    let micros = start.elapsed().as_micros();
+    let record = DecisionRecord {
+        workload: workload.to_owned(),
+        query: query_label.to_owned(),
+        constraint_class: format!("{:?}", result.constraint_class),
+        simplification: format!("{:?}", result.simplification),
+        strategy: format!("{:?}", result.strategy),
+        answerable: match result.answerability {
+            Answerability::Answerable => "yes".to_owned(),
+            Answerability::NotAnswerable => "no".to_owned(),
+            Answerability::Unknown => "unknown".to_owned(),
+        },
+        complete: result.containment.complete,
+        chase_rounds: result.containment.chase_stats.rounds,
+        chased_facts: result.containment.chased_facts,
+        micros,
+        expected_answerable: expected,
+    };
+    (result, record)
+}
+
+/// Default options used by the benchmarks (generous budget, no plan
+/// synthesis).
+pub fn bench_options() -> AnswerabilityOptions {
+    AnswerabilityOptions {
+        budget: Budget::generous(),
+        ..Default::default()
+    }
+}
+
+/// Runs a decision for every query of a generated random workload and
+/// returns the records.
+pub fn run_workload(label: &str, workload: &mut RandomWorkload) -> Vec<DecisionRecord> {
+    let options = bench_options();
+    let mut records = Vec::new();
+    let queries = workload.queries.clone();
+    for (i, query) in queries.iter().enumerate() {
+        let (_, record) = run_decision(
+            label,
+            &format!("chain_{}", i + 1),
+            &workload.schema,
+            query,
+            &mut workload.values,
+            &options,
+            None,
+        );
+        records.push(record);
+    }
+    records
+}
+
+/// Renders decision records as an aligned text table.
+pub fn render_table(records: &[DecisionRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<42} {:<24} {:<22} {:<16} {:<10} {:<9} {:>10}\n",
+        "workload", "query", "class", "simplification", "answerable", "complete", "time(us)"
+    ));
+    out.push_str(&"-".repeat(140));
+    out.push('\n');
+    for r in records {
+        out.push_str(&format!(
+            "{:<42} {:<24} {:<22} {:<16} {:<10} {:<9} {:>10}\n",
+            truncate(&r.workload, 41),
+            truncate(&r.query, 23),
+            truncate(&r.constraint_class, 21),
+            truncate(&r.simplification, 15),
+            r.answerable,
+            r.complete,
+            r.micros
+        ));
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        let prefix: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{prefix}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_workloads::random::{RandomClass, RandomSchemaConfig};
+    use rbqa_workloads::scenarios;
+
+    #[test]
+    fn run_decision_produces_a_record() {
+        let mut scenario = scenarios::university(Some(100));
+        let query = scenario.query("Q2_directory_nonempty").unwrap().clone();
+        let name = scenario.name.clone();
+        let (result, record) = run_decision(
+            &name,
+            "Q2",
+            &scenario.schema,
+            &query,
+            &mut scenario.values,
+            &bench_options(),
+            Some(true),
+        );
+        assert!(result.is_answerable());
+        assert_eq!(record.answerable, "yes");
+        assert_eq!(record.expected_answerable, Some(true));
+    }
+
+    #[test]
+    fn run_workload_covers_every_query() {
+        let config = RandomSchemaConfig {
+            relations: 3,
+            dependencies: 3,
+            class: RandomClass::Ids { width: 1 },
+            ..Default::default()
+        };
+        let mut workload = config.generate(7);
+        let n_queries = workload.queries.len();
+        let records = run_workload("ids-3", &mut workload);
+        assert_eq!(records.len(), n_queries);
+        assert!(records.iter().all(|r| !r.answerable.is_empty()));
+    }
+
+    #[test]
+    fn table_rendering_contains_headers_and_rows() {
+        let mut scenario = scenarios::university(None);
+        let query = scenario.query("Q1_salary_names").unwrap().clone();
+        let name = scenario.name.clone();
+        let (_, record) = run_decision(
+            &name,
+            "Q1",
+            &scenario.schema,
+            &query,
+            &mut scenario.values,
+            &bench_options(),
+            Some(true),
+        );
+        let table = render_table(&[record]);
+        assert!(table.contains("workload"));
+        assert!(table.contains("Q1"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn records_serialize_to_json() {
+        let mut scenario = scenarios::university_fd();
+        let query = scenario.query("Q3_address_of_id").unwrap().clone();
+        let name = scenario.name.clone();
+        let (_, record) = run_decision(
+            &name,
+            "Q3",
+            &scenario.schema,
+            &query,
+            &mut scenario.values,
+            &bench_options(),
+            Some(true),
+        );
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(json.contains("\"answerable\""));
+    }
+
+    #[test]
+    fn truncate_handles_long_and_short_strings() {
+        assert_eq!(truncate("short", 10), "short");
+        let long = "a".repeat(50);
+        let t = truncate(&long, 10);
+        assert!(t.chars().count() <= 10);
+        assert!(t.ends_with('…'));
+    }
+}

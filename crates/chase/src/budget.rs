@@ -1,0 +1,103 @@
+//! Budgets limiting chase runs.
+//!
+//! The chase may not terminate for arbitrary TGDs. Every entry point of the
+//! engine therefore takes a [`Budget`]; exceeding any limit stops the run
+//! and is reported as [`crate::Completion::BudgetExhausted`].
+
+/// Resource limits for one chase run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of facts in the chased instance (including the input).
+    pub max_facts: usize,
+    /// Maximum number of chase rounds (a round fires every active trigger
+    /// found against the instance at the start of the round).
+    pub max_rounds: usize,
+    /// Maximum derivation depth of any fact (input facts have depth 0).
+    pub max_depth: usize,
+    /// Maximum number of fresh nulls created.
+    pub max_nulls: usize,
+}
+
+impl Budget {
+    /// A generous default budget suitable for unit tests and small reasoning
+    /// tasks.
+    pub fn generous() -> Self {
+        Budget {
+            max_facts: 100_000,
+            max_rounds: 1_000,
+            max_depth: 64,
+            max_nulls: 200_000,
+        }
+    }
+
+    /// A small budget for adversarial inputs or quick feasibility probes.
+    pub fn small() -> Self {
+        Budget {
+            max_facts: 2_000,
+            max_rounds: 50,
+            max_depth: 16,
+            max_nulls: 4_000,
+        }
+    }
+
+    /// Returns a copy with the depth limit replaced.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Returns a copy with the fact limit replaced.
+    pub fn with_max_facts(mut self, facts: usize) -> Self {
+        self.max_facts = facts;
+        self
+    }
+
+    /// Returns a copy with the round limit replaced.
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Returns a copy with the null limit replaced.
+    pub fn with_max_nulls(mut self, nulls: usize) -> Self {
+        self.max_nulls = nulls;
+        self
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::generous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_generous() {
+        assert_eq!(Budget::default(), Budget::generous());
+    }
+
+    #[test]
+    fn with_methods_replace_single_fields() {
+        let b = Budget::generous()
+            .with_max_depth(3)
+            .with_max_facts(10)
+            .with_max_rounds(7)
+            .with_max_nulls(11);
+        assert_eq!(b.max_depth, 3);
+        assert_eq!(b.max_facts, 10);
+        assert_eq!(b.max_rounds, 7);
+        assert_eq!(b.max_nulls, 11);
+    }
+
+    #[test]
+    fn small_is_smaller_than_generous() {
+        let s = Budget::small();
+        let g = Budget::generous();
+        assert!(s.max_facts < g.max_facts);
+        assert!(s.max_depth < g.max_depth);
+    }
+}

@@ -1,0 +1,518 @@
+//! The restricted chase engine with FD (EGD) handling, depth tracking and
+//! budgets.
+
+use rbqa_common::{Fact, Instance, Value, ValueFactory};
+use rbqa_logic::constraints::ConstraintSet;
+use rbqa_logic::Fd;
+use rustc_hash::FxHashMap;
+
+use crate::budget::Budget;
+use crate::result::{ChaseOutcome, ChaseStats, Completion};
+use crate::trigger::{active_triggers, head_satisfied, matched_body_facts};
+
+/// Configuration of a chase run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseConfig {
+    /// Resource limits.
+    pub budget: Budget,
+    /// Whether FDs are chased (value unification). When `false`, FDs in the
+    /// constraint set are ignored.
+    pub apply_fds: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            budget: Budget::default(),
+            apply_fds: true,
+        }
+    }
+}
+
+impl ChaseConfig {
+    /// Config with the given budget and FD chasing enabled.
+    pub fn with_budget(budget: Budget) -> Self {
+        ChaseConfig {
+            budget,
+            apply_fds: true,
+        }
+    }
+}
+
+/// Runs the restricted chase of `constraints` on `instance`.
+///
+/// * TGDs are fired on active triggers only, with fresh nulls drawn from
+///   `values` for existentially quantified head variables.
+/// * FDs are applied as EGDs: when two facts violate an FD, the values at
+///   the determined position are unified (nulls are substituted away;
+///   equating two distinct constants aborts with
+///   [`Completion::FdFailure`]).
+/// * Every fact carries a derivation depth (input facts have depth 0; a
+///   fired head fact has depth one more than the largest depth among the
+///   facts matched by its trigger). Triggers whose result would exceed
+///   `budget.max_depth` are not fired; if any such trigger is skipped the
+///   run ends as [`Completion::BudgetExhausted`] instead of
+///   [`Completion::Saturated`].
+pub fn chase(
+    instance: &Instance,
+    constraints: &ConstraintSet,
+    values: &mut ValueFactory,
+    config: ChaseConfig,
+) -> ChaseOutcome {
+    let budget = config.budget;
+    let mut current = instance.clone();
+    let mut depths: FxHashMap<Fact, usize> = current.iter_facts().map(|f| (f, 0)).collect();
+    let mut stats = ChaseStats::default();
+
+    // Apply the FDs once before any TGD round so that the input instance is
+    // already consistent.
+    if config.apply_fds {
+        match apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats) {
+            Ok(()) => {}
+            Err(()) => {
+                return ChaseOutcome {
+                    instance: current,
+                    completion: Completion::FdFailure,
+                    stats,
+                };
+            }
+        }
+    }
+
+    loop {
+        if stats.rounds >= budget.max_rounds {
+            return ChaseOutcome {
+                instance: current,
+                completion: Completion::BudgetExhausted,
+                stats,
+            };
+        }
+        stats.rounds += 1;
+
+        // Collect the active triggers against the instance at the start of
+        // the round. Trigger enumeration per rule is capped: rules with many
+        // body atoms can have exponentially many homomorphisms, and the cap
+        // turns that into an explicit budget exhaustion instead of a hang.
+        let mut skipped_for_depth = false;
+        let mut fired_any = false;
+        let mut over_budget = false;
+
+        let trigger_limit = budget
+            .max_facts
+            .saturating_sub(current.len())
+            .saturating_add(2);
+        let mut triggers = Vec::new();
+        for (i, tgd) in constraints.tgds().iter().enumerate() {
+            let (mut found, truncated) = active_triggers(tgd, i, &current, trigger_limit);
+            if truncated {
+                over_budget = true;
+            }
+            triggers.append(&mut found);
+        }
+
+        for trigger in triggers {
+            let tgd = &constraints.tgds()[trigger.tgd_index];
+            // Re-check activeness against the *current* instance: earlier
+            // firings in this round may have satisfied the head already
+            // (this is what makes the chase "restricted").
+            if head_satisfied(tgd, &current, &trigger.assignment) {
+                continue;
+            }
+            // Depth of the new facts.
+            let body_facts = matched_body_facts(tgd, &trigger.assignment);
+            let body_depth = body_facts
+                .iter()
+                .map(|(rel, tuple)| {
+                    depths
+                        .get(&Fact::new(*rel, tuple.clone()))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .max()
+                .unwrap_or(0);
+            let new_depth = body_depth + 1;
+            if new_depth > budget.max_depth {
+                skipped_for_depth = true;
+                continue;
+            }
+
+            // Extend the assignment with fresh nulls for the existential
+            // variables, then add every head atom.
+            let mut assignment = trigger.assignment.clone();
+            for v in tgd.existential_variables() {
+                if stats.nulls_created >= budget.max_nulls {
+                    over_budget = true;
+                    break;
+                }
+                assignment.insert(v, values.fresh_null());
+                stats.nulls_created += 1;
+            }
+            if over_budget {
+                break;
+            }
+            for atom in tgd.head() {
+                let tuple: Vec<Value> = atom
+                    .instantiate(&assignment)
+                    .expect("all head variables are assigned");
+                let fact = Fact::new(atom.relation(), tuple.clone());
+                if current
+                    .insert(atom.relation(), tuple)
+                    .expect("head atoms respect the signature")
+                {
+                    depths.entry(fact).or_insert(new_depth);
+                    stats.max_depth_reached = stats.max_depth_reached.max(new_depth);
+                }
+            }
+            stats.tgd_firings += 1;
+            fired_any = true;
+
+            if current.len() > budget.max_facts {
+                over_budget = true;
+                break;
+            }
+        }
+
+        // Re-establish the FDs after the round.
+        if config.apply_fds {
+            match apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats) {
+                Ok(()) => {}
+                Err(()) => {
+                    return ChaseOutcome {
+                        instance: current,
+                        completion: Completion::FdFailure,
+                        stats,
+                    };
+                }
+            }
+        }
+
+        if over_budget {
+            return ChaseOutcome {
+                instance: current,
+                completion: Completion::BudgetExhausted,
+                stats,
+            };
+        }
+        if !fired_any {
+            let completion = if skipped_for_depth {
+                Completion::DepthCapped
+            } else {
+                Completion::Saturated
+            };
+            return ChaseOutcome {
+                instance: current,
+                completion,
+                stats,
+            };
+        }
+    }
+}
+
+/// Union-find over values used by the FD chase.
+struct UnionFind {
+    parent: FxHashMap<Value, Value>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        UnionFind {
+            parent: FxHashMap::default(),
+        }
+    }
+
+    fn find(&mut self, v: Value) -> Value {
+        let p = *self.parent.get(&v).unwrap_or(&v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    /// Unions the classes of `a` and `b`, preferring a constant (then the
+    /// smaller value) as representative. Returns `Err(())` if two distinct
+    /// constants would be merged.
+    fn union(&mut self, a: Value, b: Value) -> Result<bool, ()> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return Ok(false);
+        }
+        let (root, child) = match (ra.is_const(), rb.is_const()) {
+            (true, true) => return Err(()),
+            (true, false) => (ra, rb),
+            (false, true) => (rb, ra),
+            (false, false) => {
+                if ra <= rb {
+                    (ra, rb)
+                } else {
+                    (rb, ra)
+                }
+            }
+        };
+        self.parent.insert(child, root);
+        Ok(true)
+    }
+}
+
+/// Applies the FDs as EGDs until no violation remains. Returns `Err(())` on
+/// a hard failure (two distinct constants equated).
+fn apply_fds_to_fixpoint(
+    instance: &mut Instance,
+    fds: &[Fd],
+    depths: &mut FxHashMap<Fact, usize>,
+    stats: &mut ChaseStats,
+) -> Result<(), ()> {
+    if fds.is_empty() {
+        return Ok(());
+    }
+    loop {
+        let mut uf = UnionFind::new();
+        let mut merged_any = false;
+        for fd in fds {
+            // Group tuples of the FD's relation by their determiner values.
+            let mut groups: FxHashMap<Vec<Value>, Vec<Value>> = FxHashMap::default();
+            for tuple in instance.tuples(fd.relation()) {
+                let key: Vec<Value> = fd.determiners().iter().map(|&p| tuple[p]).collect();
+                groups.entry(key).or_default().push(tuple[fd.determined()]);
+            }
+            for (_, vals) in groups {
+                for pair in vals.windows(2) {
+                    if uf.find(pair[0]) != uf.find(pair[1]) {
+                        if uf.union(pair[0], pair[1])? {
+                            merged_any = true;
+                            stats.fd_unifications += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !merged_any {
+            return Ok(());
+        }
+        // Build the substitution and rewrite the instance and depth map.
+        let dom = instance.active_domain();
+        let mut subst: FxHashMap<Value, Value> = FxHashMap::default();
+        for v in dom {
+            let r = uf.find(v);
+            if r != v {
+                subst.insert(v, r);
+            }
+        }
+        if subst.is_empty() {
+            return Ok(());
+        }
+        *instance = instance.map_values(&subst);
+        let mut new_depths: FxHashMap<Fact, usize> = FxHashMap::default();
+        for (fact, depth) in depths.iter() {
+            let args: Vec<Value> = fact
+                .args()
+                .iter()
+                .map(|v| *subst.get(v).unwrap_or(v))
+                .collect();
+            let new_fact = Fact::new(fact.relation(), args);
+            let entry = new_depths.entry(new_fact).or_insert(*depth);
+            *entry = (*entry).min(*depth);
+        }
+        *depths = new_depths;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::Signature;
+    use rbqa_logic::constraints::tgd::{inclusion_dependency, TgdBuilder};
+    use rbqa_logic::Term;
+
+    fn sig2() -> (Signature, rbqa_common::RelationId, rbqa_common::RelationId) {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let s = sig.add_relation("S", 2).unwrap();
+        (sig, r, s)
+    }
+
+    #[test]
+    fn chase_terminates_on_acyclic_ids() {
+        let (sig, r, s) = sig2();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, b]).unwrap();
+
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+
+        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
+        assert!(out.is_saturated());
+        assert_eq!(out.instance.relation_len(s), 1);
+        assert_eq!(out.stats.tgd_firings, 1);
+        assert_eq!(out.stats.nulls_created, 1);
+        // The new S-fact carries b forward and a fresh null.
+        let s_fact = out.instance.tuples(s).next().unwrap();
+        assert_eq!(s_fact[0], b);
+        assert!(s_fact[1].is_null());
+    }
+
+    #[test]
+    fn chase_is_restricted_no_redundant_witnesses() {
+        let (sig, r, s) = sig2();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, b]).unwrap();
+        inst.insert(s, vec![b, c]).unwrap(); // head already satisfied
+
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+
+        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
+        assert!(out.is_saturated());
+        assert_eq!(out.stats.tgd_firings, 0);
+        assert_eq!(out.instance.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_ids_hit_budget() {
+        // R(x, y) -> ∃z S(y, z) and S(x, y) -> ∃z R(y, z): infinite chase.
+        let (sig, r, s) = sig2();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, b]).unwrap();
+
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+        constraints.push_tgd(inclusion_dependency(&sig, s, &[1], r, &[0]));
+
+        let budget = Budget::small().with_max_depth(6);
+        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::with_budget(budget));
+        assert_eq!(out.completion, Completion::DepthCapped);
+        assert!(out.stats.max_depth_reached <= 6);
+        assert!(out.instance.len() > 2);
+    }
+
+    #[test]
+    fn fd_chase_unifies_nulls() {
+        // S(x, y) with FD 0 -> 1: two facts S(a, n) and S(a, b) must unify
+        // n with b.
+        let (sig, _r, s) = sig2();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let n = vf.fresh_null();
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(s, vec![a, n]).unwrap();
+        inst.insert(s, vec![a, b]).unwrap();
+
+        let mut constraints = ConstraintSet::new();
+        constraints.push_fd(Fd::new(s, vec![0], 1));
+
+        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
+        assert!(out.is_saturated());
+        assert_eq!(out.instance.len(), 1);
+        assert!(out.instance.contains(s, &[a, b]));
+        assert!(out.stats.fd_unifications >= 1);
+    }
+
+    #[test]
+    fn fd_chase_fails_on_distinct_constants() {
+        let (sig, _r, s) = sig2();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(s, vec![a, b]).unwrap();
+        inst.insert(s, vec![a, c]).unwrap();
+
+        let mut constraints = ConstraintSet::new();
+        constraints.push_fd(Fd::new(s, vec![0], 1));
+
+        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
+        assert!(out.is_fd_failure());
+    }
+
+    #[test]
+    fn fds_ignored_when_disabled() {
+        let (sig, _r, s) = sig2();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(s, vec![a, b]).unwrap();
+        inst.insert(s, vec![a, c]).unwrap();
+
+        let mut constraints = ConstraintSet::new();
+        constraints.push_fd(Fd::new(s, vec![0], 1));
+
+        let config = ChaseConfig {
+            budget: Budget::default(),
+            apply_fds: false,
+        };
+        let out = chase(&inst, &constraints, &mut vf, config);
+        assert!(out.is_saturated());
+        assert_eq!(out.instance.len(), 2);
+    }
+
+    #[test]
+    fn interaction_of_tgds_and_fds() {
+        // R(x, y) -> ∃z S(x, z); FD S: 0 -> 1. Chasing R(a, b) and S(a, c)
+        // does not fire the TGD (restricted chase); chasing R(a, b) alone
+        // creates S(a, n) which stays.
+        let (sig, r, s) = sig2();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, r, &[0], s, &[0]));
+        constraints.push_fd(Fd::new(s, vec![0], 1));
+
+        let mut with_s = Instance::new(sig.clone());
+        with_s.insert(r, vec![a, b]).unwrap();
+        with_s.insert(s, vec![a, c]).unwrap();
+        let out = chase(&with_s, &constraints, &mut vf, ChaseConfig::default());
+        assert!(out.is_saturated());
+        assert_eq!(out.instance.len(), 2);
+
+        let mut without_s = Instance::new(sig.clone());
+        without_s.insert(r, vec![a, b]).unwrap();
+        let out = chase(&without_s, &constraints, &mut vf, ChaseConfig::default());
+        assert!(out.is_saturated());
+        assert_eq!(out.instance.relation_len(s), 1);
+    }
+
+    #[test]
+    fn full_tgd_closure() {
+        // Transitivity-like full TGD: R(x, y), R(y, z) -> R(x, z) over a
+        // chain of length 3 produces the full transitive closure.
+        let (sig, r, _s) = sig2();
+        let mut vf = ValueFactory::new();
+        let v: Vec<_> = (0..4).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let mut inst = Instance::new(sig.clone());
+        for i in 0..3 {
+            inst.insert(r, vec![v[i], v[i + 1]]).unwrap();
+        }
+        let mut b = TgdBuilder::new();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body_atom(r, vec![Term::Var(x), Term::Var(y)]);
+        b.body_atom(r, vec![Term::Var(y), Term::Var(z)]);
+        b.head_atom(r, vec![Term::Var(x), Term::Var(z)]);
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(b.build());
+
+        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
+        assert!(out.is_saturated());
+        // Closure of a 3-edge chain has 3 + 2 + 1 = 6 edges.
+        assert_eq!(out.instance.relation_len(r), 6);
+        assert_eq!(out.stats.nulls_created, 0);
+    }
+}

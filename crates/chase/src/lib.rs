@@ -1,0 +1,38 @@
+//! # rbqa-chase
+//!
+//! The chase engine used throughout the `rbqa` workspace.
+//!
+//! Query containment under constraints — the problem every answerability
+//! question is reduced to (paper, Section 3) — is solved by *chase proofs*
+//! (paper, Section 2): starting from the canonical database of a query,
+//! dependencies are fired on *active triggers* until no violation remains or
+//! a budget is exhausted, and the target query is then checked against the
+//! result.
+//!
+//! The engine implements:
+//!
+//! * the **restricted (standard) chase** for TGDs — only active triggers are
+//!   fired, with fresh labelled nulls for existential head variables
+//!   ([`engine::chase`]);
+//! * the **FD / EGD chase** — violated FDs unify values, substituting nulls
+//!   and failing when two distinct constants would have to be equated;
+//! * **depth tracking** — each fact carries a derivation depth so callers
+//!   (e.g. bounded-depth containment for guarded constraints, Johnson–Klug
+//!   style) can cap the chase tree depth;
+//! * **budgets** ([`budget::Budget`]) on facts, rounds, depth and nulls, so
+//!   that non-terminating chases surface as explicit
+//!   [`result::Completion::BudgetExhausted`] outcomes rather than hangs;
+//! * a **weak acyclicity** test ([`termination::is_weakly_acyclic`]) which
+//!   guarantees chase termination for the constraint sets produced by the FD
+//!   simplification pipeline.
+
+pub mod budget;
+pub mod engine;
+pub mod result;
+pub mod termination;
+pub mod trigger;
+
+pub use budget::Budget;
+pub use engine::{chase, ChaseConfig};
+pub use result::{ChaseOutcome, ChaseStats, Completion};
+pub use termination::is_weakly_acyclic;

@@ -1,0 +1,103 @@
+//! Chase outcomes and statistics.
+
+use rbqa_common::Instance;
+
+/// How a chase run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// No active trigger remains: the result satisfies every dependency.
+    Saturated,
+    /// The only active triggers left would exceed the depth cap: the result
+    /// is exactly the chase truncated at `max_depth`. For constraint classes
+    /// with a known bound on the depth of query matches (bounded-width IDs,
+    /// Johnson–Klug), this is as good as saturation once the cap reaches
+    /// that bound.
+    DepthCapped,
+    /// Some budget limit other than the depth cap was hit before saturation;
+    /// the result is a sound but possibly incomplete chase prefix.
+    BudgetExhausted,
+    /// An FD chase step attempted to equate two distinct constants: the
+    /// input instance cannot be repaired to satisfy the FDs.
+    FdFailure,
+}
+
+impl Completion {
+    /// Whether the chase reached a fixpoint (a universal model prefix that
+    /// satisfies all constraints).
+    pub fn is_saturated(self) -> bool {
+        matches!(self, Completion::Saturated)
+    }
+
+    /// Whether the run explored everything allowed by the depth cap (either
+    /// full saturation or depth-capped saturation).
+    pub fn explored_to_depth_cap(self) -> bool {
+        matches!(self, Completion::Saturated | Completion::DepthCapped)
+    }
+}
+
+/// Counters describing one chase run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Number of chase rounds executed.
+    pub rounds: usize,
+    /// Number of TGD triggers fired (facts added).
+    pub tgd_firings: usize,
+    /// Number of FD unification steps applied.
+    pub fd_unifications: usize,
+    /// Number of fresh nulls created.
+    pub nulls_created: usize,
+    /// Maximum derivation depth reached by any fact.
+    pub max_depth_reached: usize,
+}
+
+/// The result of a chase run: the (possibly partial) chased instance, how
+/// the run ended and the statistics collected along the way.
+#[derive(Debug, Clone)]
+pub struct ChaseOutcome {
+    /// The chased instance.
+    pub instance: Instance,
+    /// How the run ended.
+    pub completion: Completion,
+    /// Statistics collected during the run.
+    pub stats: ChaseStats,
+}
+
+impl ChaseOutcome {
+    /// Whether the chase reached saturation.
+    pub fn is_saturated(&self) -> bool {
+        self.completion.is_saturated()
+    }
+
+    /// Whether the chase detected that the FDs cannot be satisfied.
+    pub fn is_fd_failure(&self) -> bool {
+        matches!(self.completion, Completion::FdFailure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::Signature;
+
+    #[test]
+    fn completion_predicates() {
+        assert!(Completion::Saturated.is_saturated());
+        assert!(!Completion::DepthCapped.is_saturated());
+        assert!(!Completion::BudgetExhausted.is_saturated());
+        assert!(!Completion::FdFailure.is_saturated());
+        assert!(Completion::Saturated.explored_to_depth_cap());
+        assert!(Completion::DepthCapped.explored_to_depth_cap());
+        assert!(!Completion::BudgetExhausted.explored_to_depth_cap());
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        let outcome = ChaseOutcome {
+            instance: Instance::new(Signature::new()),
+            completion: Completion::FdFailure,
+            stats: ChaseStats::default(),
+        };
+        assert!(outcome.is_fd_failure());
+        assert!(!outcome.is_saturated());
+    }
+}

@@ -1,0 +1,210 @@
+//! Chase termination: the weak acyclicity test.
+//!
+//! A set of TGDs is *weakly acyclic* when its position dependency graph has
+//! no cycle through a "special" edge (an edge recording the creation of a
+//! fresh null). Weak acyclicity guarantees that the restricted chase
+//! terminates on every instance, in polynomially many rounds. The paper
+//! leaves open the complexity of answerability for weakly-acyclic TGDs
+//! (Section 9); we expose the test so that the answerability pipeline can
+//! recognise terminating configurations (e.g. the constraint sets produced
+//! by the FD simplification, Theorem 5.2).
+
+use rbqa_common::RelationId;
+use rbqa_logic::constraints::ConstraintSet;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A node of the position dependency graph: a (relation, position) pair.
+type PosNode = (RelationId, usize);
+
+/// Builds the position dependency graph of the TGDs of `constraints`.
+/// Returns `(regular_edges, special_edges)`.
+pub fn position_dependency_graph(
+    constraints: &ConstraintSet,
+) -> (Vec<(PosNode, PosNode)>, Vec<(PosNode, PosNode)>) {
+    let mut regular = Vec::new();
+    let mut special = Vec::new();
+    for tgd in constraints.tgds() {
+        let exported: FxHashSet<_> = tgd.exported_variables().into_iter().collect();
+        let existential: FxHashSet<_> = tgd.existential_variables().into_iter().collect();
+        for body_atom in tgd.body() {
+            for x in body_atom.variables() {
+                if !exported.contains(&x) {
+                    continue;
+                }
+                for bpos in body_atom.positions_of(x) {
+                    let from = (body_atom.relation(), bpos);
+                    for head_atom in tgd.head() {
+                        // Regular edges: x travels to its head occurrences.
+                        for hpos in head_atom.positions_of(x) {
+                            regular.push((from, (head_atom.relation(), hpos)));
+                        }
+                        // Special edges: x's position feeds every
+                        // existentially quantified position of the head.
+                        for y in head_atom.variables() {
+                            if existential.contains(&y) {
+                                for hpos in head_atom.positions_of(y) {
+                                    special.push((from, (head_atom.relation(), hpos)));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (regular, special)
+}
+
+/// Whether the TGDs of `constraints` are weakly acyclic.
+pub fn is_weakly_acyclic(constraints: &ConstraintSet) -> bool {
+    let (regular, special) = position_dependency_graph(constraints);
+    // Collect nodes.
+    let mut nodes: Vec<PosNode> = Vec::new();
+    for (a, b) in regular.iter().chain(special.iter()) {
+        nodes.push(*a);
+        nodes.push(*b);
+    }
+    nodes.sort();
+    nodes.dedup();
+    let index: FxHashMap<PosNode, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let n = nodes.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in regular.iter().chain(special.iter()) {
+        adj[index[a]].push(index[b]);
+    }
+
+    // Compute SCCs (Kosaraju): a special edge inside an SCC forms a cycle
+    // through it.
+    let comp = sccs(&adj);
+    for (a, b) in &special {
+        if comp[index[a]] == comp[index[b]] {
+            // Both endpoints in the same SCC: there is a path b -> a, so the
+            // special edge a -> b closes a cycle through a special edge.
+            return false;
+        }
+    }
+    true
+}
+
+/// Kosaraju strongly connected components; returns the component index of
+/// every node.
+fn sccs(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        // Iterative DFS computing a post-order.
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        visited[start] = true;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if *next < adj[v].len() {
+                let w = adj[v][*next];
+                *next += 1;
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Reverse graph.
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            radj[w].push(v);
+        }
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut current = 0;
+    for &v in order.iter().rev() {
+        if comp[v] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![v];
+        comp[v] = current;
+        while let Some(u) = stack.pop() {
+            for &w in &radj[u] {
+                if comp[w] == usize::MAX {
+                    comp[w] = current;
+                    stack.push(w);
+                }
+            }
+        }
+        current += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::Signature;
+    use rbqa_logic::constraints::tgd::inclusion_dependency;
+
+    fn sig2() -> (Signature, RelationId, RelationId) {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let s = sig.add_relation("S", 2).unwrap();
+        (sig, r, s)
+    }
+
+    #[test]
+    fn acyclic_ids_are_weakly_acyclic() {
+        let (sig, r, s) = sig2();
+        let mut cs = ConstraintSet::new();
+        cs.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+        assert!(is_weakly_acyclic(&cs));
+    }
+
+    #[test]
+    fn mutually_recursive_non_full_ids_are_not_weakly_acyclic() {
+        let (sig, r, s) = sig2();
+        let mut cs = ConstraintSet::new();
+        cs.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+        cs.push_tgd(inclusion_dependency(&sig, s, &[1], r, &[0]));
+        assert!(!is_weakly_acyclic(&cs));
+    }
+
+    #[test]
+    fn full_tgds_are_always_weakly_acyclic() {
+        // Full TGDs create no special edges.
+        let (sig, r, s) = sig2();
+        let mut cs = ConstraintSet::new();
+        // R(x, y) -> S(x, y) and S(x, y) -> R(y, x): cyclic but full.
+        cs.push_tgd(inclusion_dependency(&sig, r, &[0, 1], s, &[0, 1]));
+        cs.push_tgd(inclusion_dependency(&sig, s, &[0, 1], r, &[1, 0]));
+        assert!(is_weakly_acyclic(&cs));
+    }
+
+    #[test]
+    fn self_recursive_existential_id_is_not_weakly_acyclic() {
+        let (sig, r, _s) = sig2();
+        let mut cs = ConstraintSet::new();
+        // R(x, y) -> ∃z R(y, z)
+        cs.push_tgd(inclusion_dependency(&sig, r, &[1], r, &[0]));
+        assert!(!is_weakly_acyclic(&cs));
+    }
+
+    #[test]
+    fn empty_constraint_set_is_weakly_acyclic() {
+        let cs = ConstraintSet::new();
+        assert!(is_weakly_acyclic(&cs));
+    }
+
+    #[test]
+    fn graph_edges_are_built() {
+        let (sig, r, s) = sig2();
+        let mut cs = ConstraintSet::new();
+        cs.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+        let (regular, special) = position_dependency_graph(&cs);
+        // Exported position (R,1) -> (S,0) regular, and (R,1) -> (S,1) special.
+        assert!(regular.contains(&(((r, 1)), ((s, 0)))));
+        assert!(special.contains(&(((r, 1)), ((s, 1)))));
+    }
+}

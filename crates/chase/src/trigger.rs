@@ -1,0 +1,168 @@
+//! Trigger enumeration for TGDs.
+//!
+//! A *trigger* for a TGD `δ` in an instance `I` is a homomorphism from the
+//! body of `δ` into `I`; the trigger is *active* when it cannot be extended
+//! to a homomorphism from the head into `I` (paper, Section 2). Firing a
+//! dependency on an active trigger adds head facts with fresh nulls for the
+//! existentially quantified variables.
+
+use rbqa_common::{Instance, Value};
+use rbqa_logic::homomorphism::{all_homomorphisms, find_homomorphism, Homomorphism};
+use rbqa_logic::{ConjunctiveQuery, Tgd};
+use rustc_hash::FxHashMap;
+
+/// A trigger: the assignment of the TGD's body variables to instance values.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    /// Index of the dependency in the caller's TGD list.
+    pub tgd_index: usize,
+    /// The body homomorphism.
+    pub assignment: Homomorphism,
+}
+
+/// Builds a Boolean CQ whose atoms are the body of `tgd` (reusing the TGD's
+/// variable pool so that variable identities line up).
+pub fn body_query(tgd: &Tgd) -> ConjunctiveQuery {
+    ConjunctiveQuery::new(tgd.vars().clone(), Vec::new(), tgd.body().to_vec())
+}
+
+/// Builds a Boolean CQ whose atoms are the head of `tgd`.
+pub fn head_query(tgd: &Tgd) -> ConjunctiveQuery {
+    ConjunctiveQuery::new(tgd.vars().clone(), Vec::new(), tgd.head().to_vec())
+}
+
+/// Whether a body assignment can be extended to the head of `tgd` inside
+/// `instance` (i.e. whether the trigger is *inactive*).
+pub fn head_satisfied(tgd: &Tgd, instance: &Instance, assignment: &Homomorphism) -> bool {
+    // Seed the head search with the exported variables only.
+    let mut seed: Homomorphism = FxHashMap::default();
+    for v in tgd.exported_variables() {
+        if let Some(val) = assignment.get(&v) {
+            seed.insert(v, *val);
+        }
+    }
+    find_homomorphism(&head_query(tgd), instance, &seed).is_some()
+}
+
+/// Enumerates the *active* triggers of `tgd` (identified by `tgd_index`) in
+/// `instance`.
+///
+/// At most `limit` body homomorphisms are enumerated; the second component
+/// of the result reports whether the enumeration was truncated (the chase
+/// engine then treats the run as budget-exhausted rather than saturated).
+/// Rules with many body atoms over large instances can have exponentially
+/// many triggers, so an explicit cap is required to keep the engine
+/// responsive on adversarial inputs (e.g. the naive cardinality
+/// axiomatisation exercised by the ablation benchmark).
+pub fn active_triggers(
+    tgd: &Tgd,
+    tgd_index: usize,
+    instance: &Instance,
+    limit: usize,
+) -> (Vec<Trigger>, bool) {
+    let body = body_query(tgd);
+    let homomorphisms = all_homomorphisms(&body, instance, limit);
+    let truncated = homomorphisms.len() >= limit;
+    let triggers = homomorphisms
+        .into_iter()
+        .filter(|assignment| !head_satisfied(tgd, instance, assignment))
+        .map(|assignment| Trigger {
+            tgd_index,
+            assignment,
+        })
+        .collect();
+    (triggers, truncated)
+}
+
+/// The instance facts matched by the body of `tgd` under `assignment`
+/// (used by the engine to compute derivation depths).
+pub fn matched_body_facts(tgd: &Tgd, assignment: &Homomorphism) -> Vec<(rbqa_common::RelationId, Vec<Value>)> {
+    tgd.body()
+        .iter()
+        .map(|atom| {
+            let tuple = atom
+                .instantiate(assignment)
+                .expect("trigger assigns every body variable");
+            (atom.relation(), tuple)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::{Signature, ValueFactory};
+    use rbqa_logic::constraints::tgd::inclusion_dependency;
+
+    fn setup() -> (Signature, rbqa_common::RelationId, rbqa_common::RelationId) {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let s = sig.add_relation("S", 2).unwrap();
+        (sig, r, s)
+    }
+
+    #[test]
+    fn active_trigger_found_when_head_missing() {
+        let (sig, r, s) = setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, b]).unwrap();
+        // R(x, y) -> ∃z S(y, z)
+        let tgd = inclusion_dependency(&sig, r, &[1], s, &[0]);
+        let (triggers, truncated) = active_triggers(&tgd, 0, &inst, usize::MAX);
+        assert!(!truncated);
+        assert_eq!(triggers.len(), 1);
+        assert_eq!(triggers[0].tgd_index, 0);
+        let matched = matched_body_facts(&tgd, &triggers[0].assignment);
+        assert_eq!(matched.len(), 1);
+        assert_eq!(matched[0].0, r);
+    }
+
+    #[test]
+    fn trigger_inactive_when_head_witness_exists() {
+        let (sig, r, s) = setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, b]).unwrap();
+        inst.insert(s, vec![b, c]).unwrap();
+        let tgd = inclusion_dependency(&sig, r, &[1], s, &[0]);
+        assert!(active_triggers(&tgd, 0, &inst, usize::MAX).0.is_empty());
+    }
+
+    #[test]
+    fn multiple_triggers_for_multiple_matches() {
+        let (sig, r, s) = setup();
+        let mut vf = ValueFactory::new();
+        let vals: Vec<_> = (0..3).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let mut inst = Instance::new(sig.clone());
+        for &v in &vals {
+            inst.insert(r, vec![v, v]).unwrap();
+        }
+        let tgd = inclusion_dependency(&sig, r, &[0], s, &[0]);
+        assert_eq!(active_triggers(&tgd, 7, &inst, usize::MAX).0.len(), 3);
+        // A limit of 2 truncates the enumeration and reports it.
+        let (triggers, truncated) = active_triggers(&tgd, 7, &inst, 2);
+        assert_eq!(triggers.len(), 2);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn head_satisfied_respects_exported_values() {
+        let (sig, r, s) = setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, b]).unwrap();
+        inst.insert(s, vec![a, a]).unwrap(); // witness for a, not for b
+        let tgd = inclusion_dependency(&sig, r, &[1], s, &[0]);
+        // The only trigger maps the exported variable to b, and S has no
+        // fact with b in position 0, so the trigger is active.
+        assert_eq!(active_triggers(&tgd, 0, &inst, usize::MAX).0.len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type shared across the workspace's foundational layer.
+
+use std::fmt;
+
+/// Convenient result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the foundational data model.
+///
+/// Higher-level crates define their own richer error types and convert from
+/// this one where needed; keeping this enum small avoids a proliferation of
+/// error-variant plumbing in the hot data-model code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation name was looked up in a [`crate::Signature`] that does not
+    /// declare it.
+    UnknownRelation(String),
+    /// A relation was declared twice with conflicting arities.
+    ConflictingArity {
+        /// Relation name.
+        name: String,
+        /// Arity already registered.
+        existing: usize,
+        /// Arity of the conflicting declaration.
+        requested: usize,
+    },
+    /// A fact or tuple was constructed whose length does not match the
+    /// declared arity of its relation.
+    ArityMismatch {
+        /// Relation name (if resolvable).
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        actual: usize,
+    },
+    /// A position index was out of range for the relation's arity.
+    PositionOutOfRange {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        arity: usize,
+        /// Offending position (0-based).
+        position: usize,
+    },
+    /// Catch-all for invariant violations detected at runtime.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            Error::ConflictingArity {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "relation `{name}` already declared with arity {existing}, cannot redeclare with arity {requested}"
+            ),
+            Error::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: expected {expected} arguments, got {actual}"
+            ),
+            Error::PositionOutOfRange {
+                relation,
+                arity,
+                position,
+            } => write!(
+                f,
+                "position {position} out of range for relation `{relation}` of arity {arity}"
+            ),
+            Error::Invalid(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_relation() {
+        let e = Error::UnknownRelation("Prof".into());
+        assert_eq!(e.to_string(), "unknown relation `Prof`");
+    }
+
+    #[test]
+    fn display_arity_mismatch() {
+        let e = Error::ArityMismatch {
+            relation: "Prof".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(e.to_string().contains("got 2"));
+    }
+
+    #[test]
+    fn display_conflicting_arity() {
+        let e = Error::ConflictingArity {
+            name: "R".into(),
+            existing: 2,
+            requested: 3,
+        };
+        assert!(e.to_string().contains("already declared"));
+    }
+
+    #[test]
+    fn display_position_out_of_range() {
+        let e = Error::PositionOutOfRange {
+            relation: "R".into(),
+            arity: 2,
+            position: 5,
+        };
+        assert!(e.to_string().contains("position 5"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&Error::Invalid("x".into()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Facts: ground atoms `R(a1 ... an)`.
+
+use crate::signature::{RelationId, Signature};
+use crate::value::Value;
+
+/// A ground fact over a signature: a relation id and a tuple of values.
+///
+/// Facts are plain data; arity consistency with a [`Signature`] is checked
+/// where facts enter an [`crate::Instance`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    relation: RelationId,
+    args: Vec<Value>,
+}
+
+impl Fact {
+    /// Creates a new fact.
+    pub fn new(relation: RelationId, args: Vec<Value>) -> Self {
+        Fact { relation, args }
+    }
+
+    /// The relation this fact belongs to.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The argument tuple.
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// The value at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn arg(&self, position: usize) -> Value {
+        self.args[position]
+    }
+
+    /// Arity of this fact (length of the argument tuple).
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Consumes the fact, returning its parts.
+    pub fn into_parts(self) -> (RelationId, Vec<Value>) {
+        (self.relation, self.args)
+    }
+
+    /// Whether any argument is a labelled null.
+    pub fn has_nulls(&self) -> bool {
+        self.args.iter().any(|v| v.is_null())
+    }
+
+    /// Renders the fact using the relation names of `sig` and raw value ids.
+    pub fn display(&self, sig: &Signature) -> String {
+        let args: Vec<String> = self.args.iter().map(|v| v.to_string()).collect();
+        format!("{}({})", sig.name(self.relation), args.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueFactory;
+
+    #[test]
+    fn fact_accessors() {
+        let mut f = ValueFactory::new();
+        let a = f.constant("a");
+        let b = f.constant("b");
+        let r = RelationId::from_index(0);
+        let fact = Fact::new(r, vec![a, b]);
+        assert_eq!(fact.relation(), r);
+        assert_eq!(fact.arity(), 2);
+        assert_eq!(fact.arg(0), a);
+        assert_eq!(fact.arg(1), b);
+        assert_eq!(fact.args(), &[a, b]);
+        assert!(!fact.has_nulls());
+    }
+
+    #[test]
+    fn fact_with_nulls() {
+        let mut f = ValueFactory::new();
+        let a = f.constant("a");
+        let n = f.fresh_null();
+        let fact = Fact::new(RelationId::from_index(1), vec![a, n]);
+        assert!(fact.has_nulls());
+    }
+
+    #[test]
+    fn fact_equality_is_structural() {
+        let mut f = ValueFactory::new();
+        let a = f.constant("a");
+        let r = RelationId::from_index(0);
+        assert_eq!(Fact::new(r, vec![a, a]), Fact::new(r, vec![a, a]));
+        assert_ne!(
+            Fact::new(r, vec![a, a]),
+            Fact::new(RelationId::from_index(1), vec![a, a])
+        );
+    }
+
+    #[test]
+    fn display_uses_relation_name() {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("Prof", 2).unwrap();
+        let mut f = ValueFactory::new();
+        let a = f.constant("a");
+        let b = f.constant("b");
+        let fact = Fact::new(r, vec![a, b]);
+        assert!(fact.display(&sig).starts_with("Prof("));
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let mut f = ValueFactory::new();
+        let a = f.constant("a");
+        let r = RelationId::from_index(0);
+        let fact = Fact::new(r, vec![a]);
+        let (rel, args) = fact.into_parts();
+        assert_eq!(rel, r);
+        assert_eq!(args, vec![a]);
+    }
+}

@@ -1,0 +1,478 @@
+//! In-memory relational instances with per-position indexes.
+//!
+//! An [`Instance`] stores, for each relation, a deduplicated list of tuples
+//! together with an inverted index from `(position, value)` to the tuples
+//! containing that value at that position. The index is what makes
+//! homomorphism search, trigger enumeration in the chase and access-method
+//! lookups (bindings on input positions) cheap.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::error::{Error, Result};
+use crate::fact::Fact;
+use crate::signature::{RelationId, Signature};
+use crate::value::Value;
+
+/// Tuples of one relation plus the per-position inverted index.
+#[derive(Debug, Default, Clone)]
+struct RelationData {
+    /// Deduplicated tuples, in insertion order.
+    tuples: Vec<Vec<Value>>,
+    /// Set view of `tuples` for O(1) membership tests.
+    present: FxHashSet<Vec<Value>>,
+    /// `(position, value)` -> indices into `tuples`.
+    index: FxHashMap<(usize, Value), Vec<usize>>,
+}
+
+impl RelationData {
+    fn insert(&mut self, tuple: Vec<Value>) -> bool {
+        if self.present.contains(&tuple) {
+            return false;
+        }
+        let idx = self.tuples.len();
+        for (pos, &value) in tuple.iter().enumerate() {
+            self.index.entry((pos, value)).or_default().push(idx);
+        }
+        self.present.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    fn contains(&self, tuple: &[Value]) -> bool {
+        self.present.contains(tuple)
+    }
+
+    /// Indices of tuples matching every `(position, value)` pair in `binding`.
+    fn matching_indices(&self, binding: &[(usize, Value)]) -> Vec<usize> {
+        if binding.is_empty() {
+            return (0..self.tuples.len()).collect();
+        }
+        // Start from the most selective posting list.
+        let mut lists: Vec<&Vec<usize>> = Vec::with_capacity(binding.len());
+        for key in binding {
+            match self.index.get(key) {
+                Some(list) => lists.push(list),
+                None => return Vec::new(),
+            }
+        }
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<usize> = lists[0].clone();
+        for list in &lists[1..] {
+            let set: FxHashSet<usize> = list.iter().copied().collect();
+            result.retain(|i| set.contains(i));
+            if result.is_empty() {
+                return result;
+            }
+        }
+        result.sort_unstable();
+        result.dedup();
+        result
+    }
+}
+
+/// An instance of a relational signature: a finite set of facts.
+///
+/// ```
+/// use rbqa_common::{Instance, Signature, ValueFactory};
+/// let mut sig = Signature::new();
+/// let prof = sig.add_relation("Prof", 3).unwrap();
+/// let mut values = ValueFactory::new();
+/// let (id, name, salary) = (
+///     values.constant("12345"),
+///     values.constant("ada"),
+///     values.constant("10000"),
+/// );
+/// let mut instance = Instance::new(sig.clone());
+/// instance.insert(prof, vec![id, name, salary]).unwrap();
+/// assert_eq!(instance.len(), 1);
+/// assert!(instance.contains(prof, &[id, name, salary]));
+/// assert_eq!(instance.active_domain().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instance {
+    signature: Signature,
+    relations: Vec<RelationData>,
+    fact_count: usize,
+}
+
+impl Instance {
+    /// Creates an empty instance over `signature`.
+    pub fn new(signature: Signature) -> Self {
+        let relations = (0..signature.len()).map(|_| RelationData::default()).collect();
+        Instance {
+            signature,
+            relations,
+            fact_count: 0,
+        }
+    }
+
+    /// The signature of this instance.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    fn data(&self, relation: RelationId) -> Option<&RelationData> {
+        self.relations.get(relation.index())
+    }
+
+    fn data_mut(&mut self, relation: RelationId) -> Result<&mut RelationData> {
+        // The signature may have grown after this instance was created (the
+        // answerability pipeline extends signatures); grow storage lazily.
+        if relation.index() >= self.relations.len() {
+            if relation.index() >= self.signature.len() {
+                return Err(Error::Invalid(format!(
+                    "relation id {} outside of instance signature",
+                    relation.index()
+                )));
+            }
+            self.relations
+                .resize_with(self.signature.len(), RelationData::default);
+        }
+        Ok(&mut self.relations[relation.index()])
+    }
+
+    /// Replaces the signature with an extended one (must contain at least as
+    /// many relations as the current one, with identical prefixes).
+    pub fn upgrade_signature(&mut self, signature: Signature) -> Result<()> {
+        if signature.len() < self.signature.len() {
+            return Err(Error::Invalid(
+                "cannot upgrade to a smaller signature".to_owned(),
+            ));
+        }
+        self.signature = signature;
+        self.relations
+            .resize_with(self.signature.len(), RelationData::default);
+        Ok(())
+    }
+
+    /// Inserts a tuple into `relation`. Returns `Ok(true)` if the fact was
+    /// new, `Ok(false)` if it was already present.
+    pub fn insert(&mut self, relation: RelationId, tuple: Vec<Value>) -> Result<bool> {
+        let arity = self.signature.arity(relation);
+        if tuple.len() != arity {
+            return Err(Error::ArityMismatch {
+                relation: self.signature.name(relation).to_owned(),
+                expected: arity,
+                actual: tuple.len(),
+            });
+        }
+        let inserted = self.data_mut(relation)?.insert(tuple);
+        if inserted {
+            self.fact_count += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Inserts a [`Fact`].
+    pub fn insert_fact(&mut self, fact: Fact) -> Result<bool> {
+        let (relation, args) = fact.into_parts();
+        self.insert(relation, args)
+    }
+
+    /// Inserts every fact of `other` into `self`.
+    pub fn absorb(&mut self, other: &Instance) -> Result<usize> {
+        let mut added = 0;
+        for fact in other.iter_facts() {
+            if self.insert(fact.relation(), fact.args().to_vec())? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Whether the tuple is present in `relation`.
+    pub fn contains(&self, relation: RelationId, tuple: &[Value]) -> bool {
+        self.data(relation).is_some_and(|d| d.contains(tuple))
+    }
+
+    /// Whether the fact is present.
+    pub fn contains_fact(&self, fact: &Fact) -> bool {
+        self.contains(fact.relation(), fact.args())
+    }
+
+    /// Number of facts in the instance.
+    pub fn len(&self) -> usize {
+        self.fact_count
+    }
+
+    /// Whether the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.fact_count == 0
+    }
+
+    /// Number of tuples in `relation`.
+    pub fn relation_len(&self, relation: RelationId) -> usize {
+        self.data(relation).map_or(0, |d| d.tuples.len())
+    }
+
+    /// Iterates over the tuples of `relation` in insertion order.
+    pub fn tuples(&self, relation: RelationId) -> impl Iterator<Item = &[Value]> {
+        self.data(relation)
+            .into_iter()
+            .flat_map(|d| d.tuples.iter().map(|t| t.as_slice()))
+    }
+
+    /// Iterates over all facts of the instance.
+    pub fn iter_facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().enumerate().flat_map(|(ri, data)| {
+            data.tuples
+                .iter()
+                .map(move |t| Fact::new(RelationId::from_index(ri), t.clone()))
+        })
+    }
+
+    /// Tuples of `relation` matching every `(position, value)` pair of
+    /// `binding`. An empty binding returns all tuples.
+    pub fn matching_tuples(
+        &self,
+        relation: RelationId,
+        binding: &[(usize, Value)],
+    ) -> Vec<&[Value]> {
+        match self.data(relation) {
+            None => Vec::new(),
+            Some(data) => data
+                .matching_indices(binding)
+                .into_iter()
+                .map(|i| data.tuples[i].as_slice())
+                .collect(),
+        }
+    }
+
+    /// Number of tuples of `relation` matching `binding` (cheaper than
+    /// materialising them when only cardinality is needed).
+    pub fn count_matching(&self, relation: RelationId, binding: &[(usize, Value)]) -> usize {
+        match self.data(relation) {
+            None => 0,
+            Some(data) => data.matching_indices(binding).len(),
+        }
+    }
+
+    /// The active domain: every value occurring in some fact.
+    pub fn active_domain(&self) -> FxHashSet<Value> {
+        let mut dom = FxHashSet::default();
+        for data in &self.relations {
+            for tuple in &data.tuples {
+                dom.extend(tuple.iter().copied());
+            }
+        }
+        dom
+    }
+
+    /// Whether every fact of `self` is a fact of `other`.
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        for (ri, data) in self.relations.iter().enumerate() {
+            let rid = RelationId::from_index(ri);
+            for tuple in &data.tuples {
+                if !other.contains(rid, tuple) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds a new instance containing the facts of `self` whose relation
+    /// satisfies `keep`. Used to restrict expanded instances back to the
+    /// original schema relations.
+    pub fn restrict<F: Fn(RelationId) -> bool>(&self, keep: F) -> Instance {
+        let mut out = Instance::new(self.signature.clone());
+        for fact in self.iter_facts() {
+            if keep(fact.relation()) {
+                out.insert_fact(fact).expect("same signature");
+            }
+        }
+        out
+    }
+
+    /// Applies a value substitution to every fact, producing a new instance.
+    /// Values not present in `map` are kept unchanged.
+    pub fn map_values(&self, map: &FxHashMap<Value, Value>) -> Instance {
+        let mut out = Instance::new(self.signature.clone());
+        for fact in self.iter_facts() {
+            let args = fact
+                .args()
+                .iter()
+                .map(|v| *map.get(v).unwrap_or(v))
+                .collect();
+            out.insert(fact.relation(), args).expect("same signature");
+        }
+        out
+    }
+
+    /// Renders all facts, sorted, one per line — intended for tests and
+    /// debugging output.
+    pub fn dump(&self) -> String {
+        let mut lines: Vec<String> = self
+            .iter_facts()
+            .map(|f| f.display(&self.signature))
+            .collect();
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueFactory;
+
+    fn setup() -> (Signature, ValueFactory, RelationId, RelationId) {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let s = sig.add_relation("S", 1).unwrap();
+        (sig, ValueFactory::new(), r, s)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let (sig, mut vf, r, _) = setup();
+        let mut inst = Instance::new(sig);
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        assert!(inst.insert(r, vec![a, b]).unwrap());
+        assert!(!inst.insert(r, vec![a, b]).unwrap());
+        assert!(inst.contains(r, &[a, b]));
+        assert!(!inst.contains(r, &[b, a]));
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.relation_len(r), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (sig, mut vf, r, _) = setup();
+        let mut inst = Instance::new(sig);
+        let a = vf.constant("a");
+        assert!(inst.insert(r, vec![a]).is_err());
+    }
+
+    #[test]
+    fn matching_tuples_with_binding() {
+        let (sig, mut vf, r, _) = setup();
+        let mut inst = Instance::new(sig);
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+        inst.insert(r, vec![a, b]).unwrap();
+        inst.insert(r, vec![a, c]).unwrap();
+        inst.insert(r, vec![b, c]).unwrap();
+        assert_eq!(inst.matching_tuples(r, &[(0, a)]).len(), 2);
+        assert_eq!(inst.matching_tuples(r, &[(0, a), (1, c)]).len(), 1);
+        assert_eq!(inst.matching_tuples(r, &[(1, a)]).len(), 0);
+        assert_eq!(inst.matching_tuples(r, &[]).len(), 3);
+        assert_eq!(inst.count_matching(r, &[(0, a)]), 2);
+    }
+
+    #[test]
+    fn active_domain_collects_all_values() {
+        let (sig, mut vf, r, s) = setup();
+        let mut inst = Instance::new(sig);
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let n = vf.fresh_null();
+        inst.insert(r, vec![a, n]).unwrap();
+        inst.insert(s, vec![b]).unwrap();
+        let dom = inst.active_domain();
+        assert_eq!(dom.len(), 3);
+        assert!(dom.contains(&a) && dom.contains(&b) && dom.contains(&n));
+    }
+
+    #[test]
+    fn subinstance_check() {
+        let (sig, mut vf, r, s) = setup();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut small = Instance::new(sig.clone());
+        small.insert(r, vec![a, b]).unwrap();
+        let mut big = Instance::new(sig);
+        big.insert(r, vec![a, b]).unwrap();
+        big.insert(s, vec![a]).unwrap();
+        assert!(small.is_subinstance_of(&big));
+        assert!(!big.is_subinstance_of(&small));
+        assert!(small.is_subinstance_of(&small));
+    }
+
+    #[test]
+    fn absorb_unions_facts() {
+        let (sig, mut vf, r, s) = setup();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut i1 = Instance::new(sig.clone());
+        i1.insert(r, vec![a, b]).unwrap();
+        let mut i2 = Instance::new(sig);
+        i2.insert(s, vec![a]).unwrap();
+        i2.insert(r, vec![a, b]).unwrap();
+        let added = i1.absorb(&i2).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(i1.len(), 2);
+    }
+
+    #[test]
+    fn restrict_drops_relations() {
+        let (sig, mut vf, r, s) = setup();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig);
+        inst.insert(r, vec![a, b]).unwrap();
+        inst.insert(s, vec![a]).unwrap();
+        let only_r = inst.restrict(|rel| rel == r);
+        assert_eq!(only_r.len(), 1);
+        assert!(only_r.contains(r, &[a, b]));
+        assert!(!only_r.contains(s, &[a]));
+    }
+
+    #[test]
+    fn map_values_substitutes() {
+        let (sig, mut vf, r, _) = setup();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let n = vf.fresh_null();
+        let mut inst = Instance::new(sig);
+        inst.insert(r, vec![a, n]).unwrap();
+        let mut map = FxHashMap::default();
+        map.insert(n, b);
+        let mapped = inst.map_values(&map);
+        assert!(mapped.contains(r, &[a, b]));
+        assert!(!mapped.contains(r, &[a, n]));
+    }
+
+    #[test]
+    fn upgrade_signature_allows_new_relations() {
+        let (sig, mut vf, r, _) = setup();
+        let a = vf.constant("a");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, a]).unwrap();
+        let mut bigger = sig;
+        let t = bigger.add_relation("T", 1).unwrap();
+        inst.upgrade_signature(bigger).unwrap();
+        inst.insert(t, vec![a]).unwrap();
+        assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn iter_facts_round_trips() {
+        let (sig, mut vf, r, s) = setup();
+        let a = vf.constant("a");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(r, vec![a, a]).unwrap();
+        inst.insert(s, vec![a]).unwrap();
+        let mut copy = Instance::new(sig);
+        for fact in inst.iter_facts() {
+            copy.insert_fact(fact).unwrap();
+        }
+        assert!(copy.is_subinstance_of(&inst) && inst.is_subinstance_of(&copy));
+    }
+
+    #[test]
+    fn dump_is_sorted_and_stable() {
+        let (sig, mut vf, r, s) = setup();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig);
+        inst.insert(s, vec![b]).unwrap();
+        inst.insert(r, vec![a, b]).unwrap();
+        let d1 = inst.dump();
+        let d2 = inst.dump();
+        assert_eq!(d1, d2);
+        assert!(d1.lines().count() == 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! String interning for constant symbols.
+//!
+//! Constants in queries, constraints and instances are strings (`"12345"`,
+//! `"alice"`, ...). Interning maps each distinct string to a dense `u32`
+//! identifier so that equality checks, hashing and joins operate on machine
+//! words. The interner is append-only: identifiers are never invalidated.
+
+use rustc_hash::FxHashMap;
+
+use crate::value::ConstId;
+
+/// Append-only string interner producing [`ConstId`]s.
+///
+/// ```
+/// use rbqa_common::Interner;
+/// let mut interner = Interner::new();
+/// let a = interner.intern("alice");
+/// let b = interner.intern("bob");
+/// assert_ne!(a, b);
+/// assert_eq!(a, interner.intern("alice"));
+/// assert_eq!(interner.resolve(a), "alice");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<String>,
+    lookup: FxHashMap<String, ConstId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id when the string was seen
+    /// before and a fresh id otherwise.
+    pub fn intern(&mut self, name: &str) -> ConstId {
+        if let Some(&id) = self.lookup.get(name) {
+            return id;
+        }
+        let id = ConstId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `name` if it has already been interned.
+    pub fn get(&self, name: &str) -> Option<ConstId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: ConstId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no strings have been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (ConstId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ConstId::from_index(i), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("x");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let mut i = Interner::new();
+        let ids: Vec<_> = (0..100).map(|k| i.intern(&format!("c{k}"))).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+        assert_eq!(i.len(), 100);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        for k in 0..50 {
+            let name = format!("v{k}");
+            let id = i.intern(&name);
+            assert_eq!(i.resolve(id), name);
+        }
+    }
+
+    #[test]
+    fn get_returns_none_for_unseen() {
+        let mut i = Interner::new();
+        i.intern("a");
+        assert!(i.get("b").is_none());
+        assert!(i.get("a").is_some());
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("first");
+        i.intern("second");
+        let names: Vec<_> = i.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

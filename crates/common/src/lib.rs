@@ -1,0 +1,29 @@
+//! # rbqa-common
+//!
+//! Foundational data model shared by every crate in the `rbqa` workspace:
+//! interned constants, labelled nulls, relational signatures, facts and
+//! indexed in-memory instances.
+//!
+//! The design follows the paper's preliminaries (Section 2): an *instance*
+//! is a set of facts `R(a1 ... an)` over a relational *signature*; its
+//! *active domain* is the set of values occurring in its facts. Values are
+//! either named constants (interned strings) or *labelled nulls* produced by
+//! the chase.
+//!
+//! All identifiers are small integer newtypes so that higher layers (the
+//! chase, containment, plan execution) can work with flat `Vec`s and fast
+//! hash maps instead of pointer-linked term graphs.
+
+pub mod error;
+pub mod fact;
+pub mod instance;
+pub mod interner;
+pub mod signature;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use fact::Fact;
+pub use instance::Instance;
+pub use interner::Interner;
+pub use signature::{Relation, RelationId, Signature};
+pub use value::{ConstId, NullId, Value, ValueFactory};

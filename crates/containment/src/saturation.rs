@@ -1,0 +1,338 @@
+//! Truncated-accessibility-axiom saturation (Proposition E.1).
+//!
+//! A *truncated accessibility axiom* has the form
+//! `(⋀_{i ∈ P} accessible(x_i)) ∧ R(x) → accessible(x_j)`: when the values
+//! at the positions `P` of an `R`-fact are accessible, performing an access
+//! makes the value at position `j` accessible too. The original axioms come
+//! from access methods without result bounds; chasing them together with the
+//! schema's IDs implies further *derived* axioms. Proposition E.1 shows that
+//! all derived axioms of breadth at most `w` (the ID width) can be computed
+//! by a polynomial saturation procedure with three rules — (ID),
+//! (Transitivity) and (Access) — which this module implements. The derived
+//! axioms feed the linearization construction
+//! ([`crate::linearization`]).
+
+use rbqa_common::{RelationId, Signature};
+use rbqa_logic::Tgd;
+use rustc_hash::FxHashSet;
+use std::collections::BTreeSet;
+
+/// Abstract description of an access method, decoupled from the plan layer:
+/// the relation it accesses, its input positions, and whether it carries a
+/// result bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSignature {
+    /// The relation accessed by the method.
+    pub relation: RelationId,
+    /// The 0-based input positions of the method.
+    pub input_positions: BTreeSet<usize>,
+    /// Whether the method has a result bound. Result-bounded methods do not
+    /// participate in the (Access) saturation rule (their outputs are not
+    /// guaranteed to be retrievable in full); they are handled separately by
+    /// the linearization's "result-bounded fact transfer" rule.
+    pub result_bounded: bool,
+}
+
+impl MethodSignature {
+    /// Convenience constructor.
+    pub fn new(relation: RelationId, input_positions: &[usize], result_bounded: bool) -> Self {
+        MethodSignature {
+            relation,
+            input_positions: input_positions.iter().copied().collect(),
+            result_bounded,
+        }
+    }
+}
+
+/// A truncated accessibility axiom `(⋀_{i∈premises} accessible(x_i)) ∧ R(x)
+/// → accessible(x_conclusion)`, represented as the triple `(R, P, j)` of the
+/// appendix.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TruncatedAxiom {
+    /// The relation `R`.
+    pub relation: RelationId,
+    /// The premise positions `P` (breadth = `|P|`).
+    pub premises: BTreeSet<usize>,
+    /// The concluded position `j`.
+    pub conclusion: usize,
+}
+
+impl TruncatedAxiom {
+    /// Creates an axiom.
+    pub fn new(relation: RelationId, premises: BTreeSet<usize>, conclusion: usize) -> Self {
+        TruncatedAxiom {
+            relation,
+            premises,
+            conclusion,
+        }
+    }
+
+    /// Whether the axiom is trivial (`j ∈ P`).
+    pub fn is_trivial(&self) -> bool {
+        self.premises.contains(&self.conclusion)
+    }
+}
+
+/// All subsets of `{0, ..., positions-1}` of size at most `k`, in a
+/// deterministic order (by size, then lexicographically).
+pub fn subsets_up_to(positions: usize, k: usize) -> Vec<BTreeSet<usize>> {
+    let mut out: Vec<BTreeSet<usize>> = vec![BTreeSet::new()];
+    for size in 1..=k.min(positions) {
+        let prev: Vec<BTreeSet<usize>> = out.iter().filter(|s| s.len() == size - 1).cloned().collect();
+        for s in prev {
+            let start = s.iter().max().map_or(0, |m| m + 1);
+            for p in start..positions {
+                let mut t = s.clone();
+                t.insert(p);
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the saturation algorithm of Proposition E.1: computes every derived
+/// truncated accessibility axiom of breadth at most `breadth` implied by the
+/// IDs `ids` and the access methods `methods` (result-bounded methods are
+/// ignored by the (Access) rule).
+///
+/// The output contains the trivial axioms `(R, P, j)` with `j ∈ P`, matching
+/// the initialisation of the algorithm in the appendix.
+pub fn saturate_truncated_axioms(
+    sig: &Signature,
+    ids: &[Tgd],
+    methods: &[MethodSignature],
+    breadth: usize,
+) -> Vec<TruncatedAxiom> {
+    let mut set: FxHashSet<TruncatedAxiom> = FxHashSet::default();
+
+    // Initialisation: trivial axioms.
+    for (rid, rel) in sig.iter() {
+        for premises in subsets_up_to(rel.arity(), breadth) {
+            for &j in &premises {
+                set.insert(TruncatedAxiom::new(rid, premises.clone(), j));
+            }
+        }
+    }
+
+    // Pre-compute the ID position maps once.
+    let id_maps: Vec<(RelationId, RelationId, Vec<(usize, usize)>)> = ids
+        .iter()
+        .filter_map(|tgd| {
+            tgd.id_position_map()
+                .map(|m| (tgd.body()[0].relation(), tgd.head()[0].relation(), m))
+        })
+        .collect();
+
+    loop {
+        let mut added: Vec<TruncatedAxiom> = Vec::new();
+        let snapshot: Vec<TruncatedAxiom> = set.iter().cloned().collect();
+
+        // (ID): an axiom on the head relation of an ID, whose positions are
+        // all exported, pulls back to the body relation.
+        for (body_rel, head_rel, map) in &id_maps {
+            for ax in snapshot.iter().filter(|a| a.relation == *head_rel) {
+                let back = |h: usize| map.iter().find(|(_, hh)| *hh == h).map(|(b, _)| *b);
+                let premises_back: Option<BTreeSet<usize>> =
+                    ax.premises.iter().map(|&h| back(h)).collect();
+                let conclusion_back = back(ax.conclusion);
+                if let (Some(premises), Some(conclusion)) = (premises_back, conclusion_back) {
+                    let cand = TruncatedAxiom::new(*body_rel, premises, conclusion);
+                    if !set.contains(&cand) {
+                        added.push(cand);
+                    }
+                }
+            }
+        }
+
+        // (Access): if all input positions of a (non-result-bounded) method
+        // on R are derivable from P, then every position of R is.
+        for m in methods.iter().filter(|m| !m.result_bounded) {
+            let arity = sig.arity(m.relation);
+            for premises in subsets_up_to(arity, breadth) {
+                let inputs_covered = m
+                    .input_positions
+                    .iter()
+                    .all(|&i| set.contains(&TruncatedAxiom::new(m.relation, premises.clone(), i)));
+                if inputs_covered {
+                    for j in 0..arity {
+                        let cand = TruncatedAxiom::new(m.relation, premises.clone(), j);
+                        if !set.contains(&cand) {
+                            added.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+
+        // (Transitivity): positions derivable from P can serve as premises
+        // for further derivations from P.
+        {
+            use rustc_hash::FxHashMap;
+            let mut derivable: FxHashMap<(RelationId, BTreeSet<usize>), BTreeSet<usize>> =
+                FxHashMap::default();
+            for ax in &snapshot {
+                derivable
+                    .entry((ax.relation, ax.premises.clone()))
+                    .or_default()
+                    .insert(ax.conclusion);
+            }
+            for ((rel, premises), reachable) in &derivable {
+                let mut extended: BTreeSet<usize> = premises.clone();
+                extended.extend(reachable.iter().copied());
+                for ax in snapshot.iter().filter(|a| a.relation == *rel) {
+                    if ax.premises.is_subset(&extended) {
+                        let cand = TruncatedAxiom::new(*rel, premises.clone(), ax.conclusion);
+                        if !set.contains(&cand) {
+                            added.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+
+        if added.is_empty() {
+            break;
+        }
+        set.extend(added);
+    }
+
+    let mut out: Vec<TruncatedAxiom> = set.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// The positions of `relation` *transferred by* the premise set `premises`
+/// under `axioms`: all `j` with `(relation, premises, j)` derived. Always a
+/// superset of `premises` (by the trivial axioms).
+pub fn transferred_positions(
+    axioms: &[TruncatedAxiom],
+    relation: RelationId,
+    premises: &BTreeSet<usize>,
+) -> BTreeSet<usize> {
+    let mut out: BTreeSet<usize> = premises.clone();
+    for ax in axioms {
+        if ax.relation == relation && &ax.premises == premises {
+            out.insert(ax.conclusion);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_logic::constraints::tgd::inclusion_dependency;
+
+    fn setup() -> (Signature, RelationId, RelationId) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        (sig, prof, udir)
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let subs = subsets_up_to(3, 2);
+        // {}, {0}, {1}, {2}, {0,1}, {0,2}, {1,2}
+        assert_eq!(subs.len(), 7);
+        assert!(subs.contains(&BTreeSet::new()));
+        assert!(subs.contains(&BTreeSet::from([0, 2])));
+        assert!(!subs.contains(&BTreeSet::from([0, 1, 2])));
+        assert_eq!(subsets_up_to(2, 5).len(), 4);
+        assert_eq!(subsets_up_to(0, 3), vec![BTreeSet::new()]);
+    }
+
+    #[test]
+    fn access_rule_derives_full_output_accessibility() {
+        // Method pr on Prof with input {0} and no result bound: from an
+        // accessible id every position of Prof becomes accessible.
+        let (sig, prof, _) = setup();
+        let methods = vec![MethodSignature::new(prof, &[0], false)];
+        let axioms = saturate_truncated_axioms(&sig, &[], &methods, 1);
+        for j in 0..3 {
+            assert!(axioms.contains(&TruncatedAxiom::new(prof, BTreeSet::from([0]), j)));
+        }
+        // Nothing is derivable from position 1 alone (no method keyed on it).
+        assert!(!axioms.contains(&TruncatedAxiom::new(prof, BTreeSet::from([1]), 0)));
+    }
+
+    #[test]
+    fn input_free_method_makes_everything_accessible() {
+        let (sig, _prof, udir) = setup();
+        let methods = vec![MethodSignature::new(udir, &[], false)];
+        let axioms = saturate_truncated_axioms(&sig, &[], &methods, 1);
+        for j in 0..3 {
+            assert!(axioms.contains(&TruncatedAxiom::new(udir, BTreeSet::new(), j)));
+        }
+    }
+
+    #[test]
+    fn result_bounded_methods_do_not_fire_access_rule() {
+        let (sig, prof, _) = setup();
+        let methods = vec![MethodSignature::new(prof, &[0], true)];
+        let axioms = saturate_truncated_axioms(&sig, &[], &methods, 1);
+        assert!(!axioms.contains(&TruncatedAxiom::new(prof, BTreeSet::from([0]), 1)));
+    }
+
+    #[test]
+    fn id_rule_pulls_axioms_back_through_ids() {
+        // Udirectory(i, a, p) -> Prof(i, n, s), exporting position 0 to 0.
+        // The (ID) rule pulls back axioms on Prof whose positions are all
+        // exported; (Prof, {0}, 1) concludes a non-exported position, so it
+        // does not pull back, while the trivial (Prof, {0}, 0) does.
+        let (sig, prof, udir) = setup();
+        let id = inclusion_dependency(&sig, udir, &[0], prof, &[0]);
+        let methods = vec![MethodSignature::new(prof, &[0], false)];
+        let axioms = saturate_truncated_axioms(&sig, &[id], &methods, 1);
+        assert!(axioms.contains(&TruncatedAxiom::new(udir, BTreeSet::from([0]), 0)));
+        assert!(!axioms.contains(&TruncatedAxiom::new(udir, BTreeSet::from([0]), 1)));
+    }
+
+    #[test]
+    fn id_rule_with_wider_export() {
+        // R(x, y) ⊆ S(x, y) (width 2) plus an input-free method on S: from
+        // an empty premise set every position of S is accessible, and the
+        // (ID) rule pulls these derived axioms back to R.
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let s = sig.add_relation("S", 2).unwrap();
+        let id = inclusion_dependency(&sig, r, &[0, 1], s, &[0, 1]);
+        let methods = vec![MethodSignature::new(s, &[], false)];
+        let axioms = saturate_truncated_axioms(&sig, &[id], &methods, 2);
+        assert!(axioms.contains(&TruncatedAxiom::new(s, BTreeSet::new(), 0)));
+        assert!(axioms.contains(&TruncatedAxiom::new(r, BTreeSet::new(), 0)));
+        assert!(axioms.contains(&TruncatedAxiom::new(r, BTreeSet::new(), 1)));
+    }
+
+    #[test]
+    fn transitivity_chains_methods() {
+        // m1 keyed on position 0 reveals position 1; m2 keyed on position 1
+        // reveals position 2: from {0} alone, position 2 becomes derivable.
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 3).unwrap();
+        let methods = vec![
+            MethodSignature::new(r, &[0], false),
+            MethodSignature::new(r, &[1], false),
+        ];
+        let axioms = saturate_truncated_axioms(&sig, &[], &methods, 1);
+        assert!(axioms.contains(&TruncatedAxiom::new(r, BTreeSet::from([0]), 2)));
+        let transferred = transferred_positions(&axioms, r, &BTreeSet::from([0]));
+        assert_eq!(transferred, BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn transferred_positions_contains_premises() {
+        let (sig, prof, _) = setup();
+        let axioms = saturate_truncated_axioms(&sig, &[], &[], 2);
+        let t = transferred_positions(&axioms, prof, &BTreeSet::from([1, 2]));
+        assert_eq!(t, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn trivial_axiom_detection() {
+        let (_sig, prof, _) = setup();
+        assert!(TruncatedAxiom::new(prof, BTreeSet::from([0, 1]), 1).is_trivial());
+        assert!(!TruncatedAxiom::new(prof, BTreeSet::from([0]), 1).is_trivial());
+    }
+}

@@ -1,0 +1,526 @@
+//! The monotone answerability decision pipeline (Table 1).
+//!
+//! [`decide_monotone_answerability`] classifies the schema's constraints,
+//! applies the schema simplification recommended by the paper, reduces to
+//! the AMonDet query containment (Section 3), and dispatches to the
+//! containment back-end matching the constraint class:
+//!
+//! | class                  | simplification   | back-end                               |
+//! |------------------------|------------------|----------------------------------------|
+//! | no constraints / IDs   | existence-check  | linearization + depth-bounded chase    |
+//! | FDs                    | FD               | terminating chase                      |
+//! | UIDs + FDs             | choice           | separability rewriting + budgeted chase|
+//! | (frontier-guarded) TGDs| choice           | budgeted chase                         |
+//! | other mixes            | choice           | budgeted chase (best effort)           |
+//!
+//! Positive and negative answers are certified whenever the back-end is
+//! complete for the class (saturation, or the Johnson–Klug depth bound for
+//! IDs); otherwise the result is [`Answerability::Unknown`].
+
+use rbqa_access::{Plan, Schema};
+use rbqa_chase::Budget;
+use rbqa_common::ValueFactory;
+use rbqa_containment::linearization::LinearizedSchema;
+use rbqa_containment::saturation::MethodSignature;
+use rbqa_containment::{ContainmentOutcome, Verdict};
+use rbqa_logic::ConjunctiveQuery;
+
+use crate::amondet::{AmondetProblem, AxiomStyle};
+use crate::classify::{classify_constraints, ConstraintClass};
+use crate::plan_synthesis::synthesize_crawling_plan;
+use crate::simplification::{fd_simplification, SimplificationKind};
+
+/// The outcome of an answerability decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answerability {
+    /// The query is monotone answerable over the schema.
+    Answerable,
+    /// The query is not monotone answerable over the schema.
+    NotAnswerable,
+    /// The decision procedure ran out of budget (or the class has no
+    /// complete procedure in this implementation).
+    Unknown,
+}
+
+/// The back-end strategy used for the decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Linearization of Proposition 5.5 plus depth-bounded chase
+    /// (IDs / no constraints).
+    IdLinearization,
+    /// FD simplification plus the terminating chase of Theorem 5.2.
+    FdSimplificationChase,
+    /// Choice simplification plus the separability rewriting of Theorem 7.2
+    /// (UIDs + FDs).
+    ChoiceSeparabilityChase,
+    /// Choice simplification plus the generic budgeted chase (TGDs, mixes).
+    ChoiceChase,
+    /// The caller forced a specific axiomatisation style (ablation mode).
+    ForcedAxiomStyle,
+}
+
+/// Options controlling the decision.
+#[derive(Debug, Clone, Copy)]
+pub struct AnswerabilityOptions {
+    /// Budget for the underlying chase.
+    pub budget: Budget,
+    /// When set, bypass the class dispatch and use the given AMonDet
+    /// axiomatisation style directly with the generic chase (used by the
+    /// simplification-ablation benchmark).
+    pub axiom_style_override: Option<AxiomStyle>,
+    /// Whether to synthesise a crawling plan when the query is answerable.
+    pub synthesize_plan: bool,
+    /// Number of crawl rounds used for plan synthesis (0 = derive from the
+    /// containment chase depth).
+    pub crawl_rounds: usize,
+}
+
+impl Default for AnswerabilityOptions {
+    fn default() -> Self {
+        AnswerabilityOptions {
+            budget: Budget::generous(),
+            axiom_style_override: None,
+            synthesize_plan: false,
+            crawl_rounds: 0,
+        }
+    }
+}
+
+/// The result of an answerability decision.
+#[derive(Debug, Clone)]
+pub struct AnswerabilityResult {
+    /// The verdict.
+    pub answerability: Answerability,
+    /// The detected constraint class.
+    pub constraint_class: ConstraintClass,
+    /// The schema simplification that was applied.
+    pub simplification: SimplificationKind,
+    /// The back-end strategy used.
+    pub strategy: Strategy,
+    /// The underlying containment outcome (chase statistics, completeness).
+    pub containment: ContainmentOutcome,
+    /// A synthesised crawling plan, when requested and the query is
+    /// answerable.
+    pub plan: Option<Plan>,
+}
+
+impl AnswerabilityResult {
+    /// Whether the query was certified answerable.
+    pub fn is_answerable(&self) -> bool {
+        self.answerability == Answerability::Answerable
+    }
+}
+
+fn verdict_to_answerability(verdict: Verdict) -> Answerability {
+    match verdict {
+        Verdict::Holds => Answerability::Answerable,
+        Verdict::DoesNotHold => Answerability::NotAnswerable,
+        Verdict::Unknown => Answerability::Unknown,
+    }
+}
+
+/// Converts the schema's access methods into the abstract method signatures
+/// used by the saturation / linearization machinery.
+fn method_signatures(schema: &Schema) -> Vec<MethodSignature> {
+    schema
+        .methods()
+        .iter()
+        .map(|m| {
+            MethodSignature::new(
+                m.relation(),
+                &m.input_positions_vec(),
+                m.is_result_bounded(),
+            )
+        })
+        .collect()
+}
+
+/// Decides whether `query` is monotone answerable over `schema`.
+///
+/// `values` must be the value factory that interned the constants of
+/// `query` (and of any instances the caller wants to keep consistent).
+pub fn decide_monotone_answerability(
+    schema: &Schema,
+    query: &ConjunctiveQuery,
+    values: &mut ValueFactory,
+    options: &AnswerabilityOptions,
+) -> AnswerabilityResult {
+    let class = classify_constraints(schema.constraints());
+
+    // Result upper bounds never matter (Proposition 3.3).
+    let schema_lb = schema.eliminate_upper_bounds();
+
+    // Ablation mode: forced axiomatisation style, no simplification.
+    if let Some(style) = options.axiom_style_override {
+        let problem = AmondetProblem::build(&schema_lb, query, values, style);
+        let containment = problem.decide(values, options.budget);
+        let answerability = verdict_to_answerability(containment.verdict);
+        let plan = maybe_plan(schema, query, options, answerability, &containment);
+        return AnswerabilityResult {
+            answerability,
+            constraint_class: class,
+            simplification: SimplificationKind::None,
+            strategy: Strategy::ForcedAxiomStyle,
+            containment,
+            plan,
+        };
+    }
+
+    let (simplification, strategy, containment) = match class {
+        ConstraintClass::NoConstraints | ConstraintClass::IdsOnly { .. } => {
+            // Existence-check simplifiability (Theorem 4.2) is realised
+            // directly by the linearization, which handles result-bounded
+            // methods through the result-bounded fact-transfer rules
+            // (Appendix E.5.2).
+            let ids: Vec<_> = schema_lb.constraints().tgds().to_vec();
+            let width = schema_lb.constraints().max_id_width();
+            let lin = LinearizedSchema::build(
+                schema_lb.signature(),
+                &ids,
+                &method_signatures(&schema_lb),
+                width,
+            );
+            let out = lin.decide(query, query, values, options.budget);
+            (
+                SimplificationKind::ExistenceCheck,
+                Strategy::IdLinearization,
+                out,
+            )
+        }
+        ConstraintClass::FdsOnly => {
+            // FD simplification (Theorem 4.5) removes every result bound;
+            // the resulting chase terminates (Theorem 5.2).
+            let simplified = fd_simplification(&schema_lb);
+            let problem =
+                AmondetProblem::build(&simplified, query, values, AxiomStyle::Simplified);
+            let out = problem.decide(values, options.budget);
+            (
+                SimplificationKind::Fd,
+                Strategy::FdSimplificationChase,
+                out,
+            )
+        }
+        ConstraintClass::UidsAndFds => {
+            // Choice simplification (Theorem 6.4) then the separability
+            // rewriting of Theorem 7.2.
+            let choice = schema_lb.choice_simplification();
+            let problem = AmondetProblem::build(
+                &choice,
+                query,
+                values,
+                AxiomStyle::SeparabilityRewriting,
+            );
+            let out = problem.decide(values, options.budget);
+            (
+                SimplificationKind::Choice,
+                Strategy::ChoiceSeparabilityChase,
+                out,
+            )
+        }
+        ConstraintClass::FrontierGuardedTgds
+        | ConstraintClass::ArbitraryTgds
+        | ConstraintClass::Mixed => {
+            // Choice simplification (Theorem 6.3); the generic chase is
+            // budgeted and may report Unknown.
+            let choice = schema_lb.choice_simplification();
+            let problem =
+                AmondetProblem::build(&choice, query, values, AxiomStyle::Simplified);
+            let out = problem.decide(values, options.budget);
+            (SimplificationKind::Choice, Strategy::ChoiceChase, out)
+        }
+    };
+
+    let answerability = verdict_to_answerability(containment.verdict);
+    let plan = maybe_plan(schema, query, options, answerability, &containment);
+    AnswerabilityResult {
+        answerability,
+        constraint_class: class,
+        simplification,
+        strategy,
+        containment,
+        plan,
+    }
+}
+
+fn maybe_plan(
+    schema: &Schema,
+    query: &ConjunctiveQuery,
+    options: &AnswerabilityOptions,
+    answerability: Answerability,
+    containment: &ContainmentOutcome,
+) -> Option<Plan> {
+    if !options.synthesize_plan || answerability != Answerability::Answerable {
+        return None;
+    }
+    let rounds = if options.crawl_rounds > 0 {
+        options.crawl_rounds
+    } else {
+        // Enough rounds to replay the accessibility derivations observed in
+        // the containment chase, with a small floor.
+        (containment.chase_stats.max_depth_reached + 1).max(2)
+    };
+    synthesize_crawling_plan(schema, query, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_access::AccessMethod;
+    use rbqa_common::Signature;
+    use rbqa_logic::constraints::tgd::inclusion_dependency;
+    use rbqa_logic::constraints::ConstraintSet;
+    use rbqa_logic::parser::{parse_cq, parse_tgd};
+    use rbqa_logic::Fd;
+
+    /// Example 1.1 schema with the referential constraint τ.
+    fn university(ud_bound: Option<usize>) -> Schema {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+        let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        let ud = match ud_bound {
+            None => AccessMethod::unbounded("ud", udir, &[]),
+            Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+        };
+        schema.add_method(ud).unwrap();
+        schema
+    }
+
+    #[test]
+    fn example_1_2_answerable_without_bounds() {
+        let schema = university(None);
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let result = decide_monotone_answerability(
+            &schema,
+            &q1,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert_eq!(result.strategy, Strategy::IdLinearization);
+        assert_eq!(result.simplification, SimplificationKind::ExistenceCheck);
+        assert!(matches!(
+            result.constraint_class,
+            ConstraintClass::IdsOnly { max_width: 1 }
+        ));
+    }
+
+    #[test]
+    fn example_1_3_not_answerable_with_bound() {
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let result = decide_monotone_answerability(
+            &schema,
+            &q1,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::NotAnswerable);
+        assert!(result.containment.complete);
+    }
+
+    #[test]
+    fn example_1_4_existence_check_answerable_with_bound() {
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let result = decide_monotone_answerability(
+            &schema,
+            &q2,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Answerable);
+    }
+
+    #[test]
+    fn result_bound_value_does_not_change_the_answer() {
+        // Theorems 4.2 / 6.3: the value of the bound never matters.
+        for bound in [1, 2, 10, 1000, 5000] {
+            let schema = university(Some(bound));
+            let mut vf = ValueFactory::new();
+            let mut sig = schema.signature().clone();
+            let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+            let r2 = decide_monotone_answerability(
+                &schema,
+                &q2,
+                &mut vf,
+                &AnswerabilityOptions::default(),
+            );
+            assert_eq!(r2.answerability, Answerability::Answerable, "bound {bound}");
+
+            let mut vf = ValueFactory::new();
+            let mut sig = schema.signature().clone();
+            let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+            let r1 = decide_monotone_answerability(
+                &schema,
+                &q1,
+                &mut vf,
+                &AnswerabilityOptions::default(),
+            );
+            assert_eq!(r1.answerability, Answerability::NotAnswerable, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn example_1_5_fd_schema_uses_fd_simplification() {
+        // FD id -> address on Udirectory, method ud2 keyed on id, bound 1.
+        let mut sig = Signature::new();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_fd(Fd::new(udir, vec![0], 1));
+        let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::bounded("ud2", udir, &[0], 1))
+            .unwrap();
+
+        let mut vf = ValueFactory::new();
+        let mut sig2 = schema.signature().clone();
+        let q3 = parse_cq(
+            "Q() :- Udirectory('12345', 'mainst', p)",
+            &mut sig2,
+            &mut vf,
+        )
+        .unwrap();
+        let result = decide_monotone_answerability(
+            &schema,
+            &q3,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert_eq!(result.strategy, Strategy::FdSimplificationChase);
+        assert_eq!(result.simplification, SimplificationKind::Fd);
+        assert_eq!(result.constraint_class, ConstraintClass::FdsOnly);
+
+        // Asking for a specific phone number (not determined) is not
+        // answerable.
+        let q_phone = parse_cq(
+            "Q() :- Udirectory('12345', a, '555')",
+            &mut sig2,
+            &mut vf,
+        )
+        .unwrap();
+        let result = decide_monotone_answerability(
+            &schema,
+            &q_phone,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::NotAnswerable);
+    }
+
+    #[test]
+    fn example_6_1_tgd_schema_answerable_via_choice() {
+        // Example 6.1: constraints T(y), S(x) -> T(x) and T(y) -> ∃x S(x);
+        // method mtS on S input-free with bound 1, Boolean method mtT on T;
+        // Q = ∃y T(y) is answerable.
+        let mut sig = Signature::new();
+        let s = sig.add_relation("S", 1).unwrap();
+        let t = sig.add_relation("T", 1).unwrap();
+        let mut vf = ValueFactory::new();
+        let mut constraints = ConstraintSet::new();
+        let mut sig_for_parse = sig.clone();
+        constraints.push_tgd(
+            parse_tgd("T(y), S(x) -> T(x)", &mut sig_for_parse, &mut vf).unwrap(),
+        );
+        constraints
+            .push_tgd(parse_tgd("T(y) -> S(x)", &mut sig_for_parse, &mut vf).unwrap());
+        let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::bounded("mtS", s, &[], 1))
+            .unwrap();
+        schema
+            .add_method(AccessMethod::unbounded("mtT", t, &[0]))
+            .unwrap();
+
+        let q = parse_cq("Q() :- T(y)", &mut sig_for_parse, &mut vf).unwrap();
+        let result = decide_monotone_answerability(
+            &schema,
+            &q,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert_eq!(result.simplification, SimplificationKind::Choice);
+    }
+
+    #[test]
+    fn plan_synthesis_on_request() {
+        let schema = university(None);
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let options = AnswerabilityOptions {
+            synthesize_plan: true,
+            crawl_rounds: 2,
+            ..Default::default()
+        };
+        let result = decide_monotone_answerability(&schema, &q1, &mut vf, &options);
+        assert!(result.is_answerable());
+        let plan = result.plan.expect("plan requested for answerable query");
+        assert!(plan.validate(&schema).is_ok());
+        assert!(plan.access_command_count() > 0);
+    }
+
+    #[test]
+    fn forced_naive_style_is_consistent_with_the_pipeline() {
+        let schema = university(Some(8));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let options = AnswerabilityOptions {
+            axiom_style_override: Some(AxiomStyle::NaiveCardinality { cap: 8 }),
+            budget: Budget::small(),
+            ..Default::default()
+        };
+        let result = decide_monotone_answerability(&schema, &q2, &mut vf, &options);
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert_eq!(result.strategy, Strategy::ForcedAxiomStyle);
+        assert_eq!(result.simplification, SimplificationKind::None);
+    }
+
+    #[test]
+    fn uids_and_fds_schema_uses_separability() {
+        // R(a, b) with UID into S(a) and FD on R; a result-bounded method on
+        // R keyed on position 0 and an unbounded method on S.
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let s = sig.add_relation("S", 1).unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, r, &[0], s, &[0]));
+        constraints.push_fd(Fd::new(r, vec![0], 1));
+        let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::bounded("mr", r, &[0], 7))
+            .unwrap();
+        schema
+            .add_method(AccessMethod::unbounded("ms", s, &[]))
+            .unwrap();
+
+        let mut vf = ValueFactory::new();
+        let mut sig2 = schema.signature().clone();
+        // Is ('k', 'v') in R? The FD makes the single returned tuple carry
+        // the value determined by 'k', so this is answerable.
+        let q = parse_cq("Q() :- R('k', 'v')", &mut sig2, &mut vf).unwrap();
+        let result = decide_monotone_answerability(
+            &schema,
+            &q,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.constraint_class, ConstraintClass::UidsAndFds);
+        assert_eq!(result.strategy, Strategy::ChoiceSeparabilityChase);
+        assert_eq!(result.answerability, Answerability::Answerable);
+    }
+}

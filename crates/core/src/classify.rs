@@ -1,0 +1,200 @@
+//! Constraint-class detection, mirroring the rows of Table 1.
+
+use rbqa_logic::constraints::ConstraintSet;
+
+/// The constraint classes studied in the paper, with the associated
+/// simplifiability and complexity results of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintClass {
+    /// No integrity constraints (a special case of every other class).
+    NoConstraints,
+    /// Functional dependencies only — FD simplifiable, NP-complete
+    /// (Theorems 4.5 and 5.2).
+    FdsOnly,
+    /// Inclusion dependencies only — existence-check simplifiable,
+    /// EXPTIME-complete; NP-complete when the width is bounded
+    /// (Theorems 4.2, 5.3 and 5.4). The payload is the maximal ID width.
+    IdsOnly {
+        /// The maximal width (number of exported variables) over the IDs.
+        max_width: usize,
+    },
+    /// Unary inclusion dependencies plus arbitrary FDs — choice
+    /// simplifiable, in EXPTIME (Theorems 6.4 and 7.2).
+    UidsAndFds,
+    /// Frontier-guarded TGDs (no FDs) — choice simplifiable,
+    /// 2EXPTIME-complete (Theorems 6.3 and 7.1).
+    FrontierGuardedTgds,
+    /// Arbitrary TGDs (no FDs) — choice simplifiable (Theorem 6.3) but
+    /// answerability is undecidable in general (Proposition 8.2); decided
+    /// on a best-effort budgeted basis.
+    ArbitraryTgds,
+    /// A mix not covered by a dedicated result (e.g. FDs together with
+    /// non-unary IDs); handled on a best-effort budgeted basis with the
+    /// choice simplification, whose soundness for this mix is open
+    /// (Section 9).
+    Mixed,
+}
+
+impl ConstraintClass {
+    /// The paper's complexity statement for monotone answerability with
+    /// result bounds over this class, as a human-readable string (used by
+    /// the Table-1 report generator).
+    pub fn complexity(&self) -> &'static str {
+        match self {
+            ConstraintClass::NoConstraints => "NP-complete (no constraints)",
+            ConstraintClass::FdsOnly => "NP-complete",
+            ConstraintClass::IdsOnly { max_width } if *max_width <= 1 => {
+                "NP-complete (bounded-width IDs)"
+            }
+            ConstraintClass::IdsOnly { .. } => "EXPTIME-complete",
+            ConstraintClass::UidsAndFds => "NP-hard, in EXPTIME",
+            ConstraintClass::FrontierGuardedTgds => "2EXPTIME-complete",
+            ConstraintClass::ArbitraryTgds => "undecidable in general",
+            ConstraintClass::Mixed => "open / not covered by Table 1",
+        }
+    }
+
+    /// Whether the class admits a decision procedure that is complete in
+    /// this implementation (as opposed to best-effort budgeted reasoning).
+    pub fn has_complete_procedure(&self) -> bool {
+        matches!(
+            self,
+            ConstraintClass::NoConstraints
+                | ConstraintClass::FdsOnly
+                | ConstraintClass::IdsOnly { .. }
+        )
+    }
+}
+
+/// Detects the most specific constraint class of a constraint set,
+/// following Table 1 in order of specificity.
+pub fn classify_constraints(constraints: &ConstraintSet) -> ConstraintClass {
+    if constraints.is_empty() {
+        return ConstraintClass::NoConstraints;
+    }
+    if constraints.is_fds_only() {
+        return ConstraintClass::FdsOnly;
+    }
+    if constraints.is_ids_only() {
+        return ConstraintClass::IdsOnly {
+            max_width: constraints.max_id_width(),
+        };
+    }
+    if constraints.is_uids_and_fds() {
+        return ConstraintClass::UidsAndFds;
+    }
+    if constraints.fds().is_empty() {
+        if constraints.is_frontier_guarded_only() {
+            return ConstraintClass::FrontierGuardedTgds;
+        }
+        return ConstraintClass::ArbitraryTgds;
+    }
+    ConstraintClass::Mixed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::Signature;
+    use rbqa_logic::constraints::tgd::{inclusion_dependency, TgdBuilder};
+    use rbqa_logic::{Fd, Term};
+
+    fn sig() -> (Signature, rbqa_common::RelationId, rbqa_common::RelationId) {
+        let mut s = Signature::new();
+        let r = s.add_relation("R", 2).unwrap();
+        let t = s.add_relation("T", 3).unwrap();
+        (s, r, t)
+    }
+
+    #[test]
+    fn empty_set_is_no_constraints() {
+        let c = ConstraintSet::new();
+        assert_eq!(classify_constraints(&c), ConstraintClass::NoConstraints);
+        assert!(ConstraintClass::NoConstraints.has_complete_procedure());
+    }
+
+    #[test]
+    fn fds_only() {
+        let (_s, _r, t) = sig();
+        let mut c = ConstraintSet::new();
+        c.push_fd(Fd::new(t, vec![0], 1));
+        assert_eq!(classify_constraints(&c), ConstraintClass::FdsOnly);
+    }
+
+    #[test]
+    fn ids_only_with_width() {
+        let (s, r, t) = sig();
+        let mut c = ConstraintSet::new();
+        c.push_tgd(inclusion_dependency(&s, r, &[0], t, &[0]));
+        assert_eq!(
+            classify_constraints(&c),
+            ConstraintClass::IdsOnly { max_width: 1 }
+        );
+        c.push_tgd(inclusion_dependency(&s, r, &[0, 1], t, &[0, 2]));
+        assert_eq!(
+            classify_constraints(&c),
+            ConstraintClass::IdsOnly { max_width: 2 }
+        );
+    }
+
+    #[test]
+    fn uids_and_fds() {
+        let (s, r, t) = sig();
+        let mut c = ConstraintSet::new();
+        c.push_tgd(inclusion_dependency(&s, r, &[0], t, &[0]));
+        c.push_fd(Fd::new(t, vec![0], 1));
+        assert_eq!(classify_constraints(&c), ConstraintClass::UidsAndFds);
+    }
+
+    #[test]
+    fn frontier_guarded_and_arbitrary_tgds() {
+        let (_s, r, t) = sig();
+        // Frontier-guarded but not an ID: T(x, y, z), R(x, y) -> R(y, x).
+        let mut b = TgdBuilder::new();
+        let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+        b.body_atom(t, vec![Term::Var(x), Term::Var(y), Term::Var(z)]);
+        b.body_atom(r, vec![Term::Var(x), Term::Var(y)]);
+        b.head_atom(r, vec![Term::Var(y), Term::Var(x)]);
+        let fg = b.build();
+        assert!(fg.is_frontier_guarded());
+        let mut c = ConstraintSet::new();
+        c.push_tgd(fg);
+        assert_eq!(classify_constraints(&c), ConstraintClass::FrontierGuardedTgds);
+
+        // Non-frontier-guarded: R(x, u), R(y, v) -> R(x, y).
+        let mut b = TgdBuilder::new();
+        let (x, y, u, v) = (b.var("x"), b.var("y"), b.var("u"), b.var("v"));
+        b.body_atom(r, vec![Term::Var(x), Term::Var(u)]);
+        b.body_atom(r, vec![Term::Var(y), Term::Var(v)]);
+        b.head_atom(r, vec![Term::Var(x), Term::Var(y)]);
+        let mut c = ConstraintSet::new();
+        c.push_tgd(b.build());
+        assert_eq!(classify_constraints(&c), ConstraintClass::ArbitraryTgds);
+    }
+
+    #[test]
+    fn mixed_class_for_wide_ids_with_fds() {
+        let (s, r, t) = sig();
+        let mut c = ConstraintSet::new();
+        c.push_tgd(inclusion_dependency(&s, r, &[0, 1], t, &[0, 1]));
+        c.push_fd(Fd::new(t, vec![0], 1));
+        assert_eq!(classify_constraints(&c), ConstraintClass::Mixed);
+        assert!(!ConstraintClass::Mixed.has_complete_procedure());
+    }
+
+    #[test]
+    fn complexity_strings_cover_all_classes() {
+        for class in [
+            ConstraintClass::NoConstraints,
+            ConstraintClass::FdsOnly,
+            ConstraintClass::IdsOnly { max_width: 1 },
+            ConstraintClass::IdsOnly { max_width: 3 },
+            ConstraintClass::UidsAndFds,
+            ConstraintClass::FrontierGuardedTgds,
+            ConstraintClass::ArbitraryTgds,
+            ConstraintClass::Mixed,
+        ] {
+            assert!(!class.complexity().is_empty());
+        }
+    }
+}

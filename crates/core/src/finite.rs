@@ -1,0 +1,245 @@
+//! Finite monotone answerability (Section 2, Proposition 2.2 and Section 7,
+//! Corollary 7.3).
+//!
+//! The paper studies answerability over all instances (finite and infinite)
+//! and over finite instances only. For *finitely controllable* constraint
+//! classes — FDs, IDs, frontier-guarded TGDs — the two notions coincide
+//! (Proposition 2.2). UIDs + FDs are **not** finitely controllable, but
+//! Theorem 7.4 (Cosmadakis–Kanellakis–Vardi) reduces the finite variant to
+//! the unrestricted variant over the *finite closure* `Σ*` of the
+//! constraints (Corollary 7.3). This module implements that dispatch on top
+//! of [`crate::answerability`].
+
+use rbqa_access::Schema;
+use rbqa_common::ValueFactory;
+use rbqa_logic::constraints::ConstraintSet;
+use rbqa_logic::implication::{finite_closure, Uid};
+use rbqa_logic::ConjunctiveQuery;
+
+use crate::answerability::{
+    decide_monotone_answerability, AnswerabilityOptions, AnswerabilityResult,
+};
+use crate::classify::{classify_constraints, ConstraintClass};
+
+/// How the finite variant was reduced to the unrestricted one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FiniteReduction {
+    /// The constraint class is finitely controllable: the unrestricted
+    /// decision applies verbatim (Proposition 2.2).
+    FinitelyControllable,
+    /// UIDs + FDs: the constraints were replaced by their finite closure
+    /// `Σ*` before deciding (Theorem 7.4 / Corollary 7.3).
+    FiniteClosure {
+        /// Number of dependencies added by the closure.
+        added_dependencies: usize,
+    },
+    /// No finite-controllability argument is implemented for this class; the
+    /// unrestricted decision is reported as a best-effort answer.
+    BestEffort,
+}
+
+/// The result of a finite monotone answerability decision.
+#[derive(Debug, Clone)]
+pub struct FiniteAnswerabilityResult {
+    /// The underlying (unrestricted) decision, possibly over the finite
+    /// closure of the constraints.
+    pub result: AnswerabilityResult,
+    /// How the reduction to the unrestricted problem was performed.
+    pub reduction: FiniteReduction,
+}
+
+/// Decides whether `query` is finitely monotone answerable over `schema`.
+pub fn decide_finite_monotone_answerability(
+    schema: &Schema,
+    query: &ConjunctiveQuery,
+    values: &mut ValueFactory,
+    options: &AnswerabilityOptions,
+) -> FiniteAnswerabilityResult {
+    let class = classify_constraints(schema.constraints());
+    match class {
+        ConstraintClass::NoConstraints
+        | ConstraintClass::FdsOnly
+        | ConstraintClass::IdsOnly { .. }
+        | ConstraintClass::FrontierGuardedTgds => {
+            // Finitely controllable (Proposition 2.2 and Appendix B): the
+            // unrestricted decision is the finite decision.
+            let result = decide_monotone_answerability(schema, query, values, options);
+            FiniteAnswerabilityResult {
+                result,
+                reduction: FiniteReduction::FinitelyControllable,
+            }
+        }
+        ConstraintClass::UidsAndFds => {
+            // Corollary 7.3: decide over the finite closure Σ*.
+            let uids: Vec<Uid> = schema
+                .constraints()
+                .tgds()
+                .iter()
+                .filter_map(Uid::from_tgd)
+                .collect();
+            let fds = schema.constraints().fds().to_vec();
+            let before = uids.len() + fds.len();
+            let (closed_uids, closed_fds) =
+                finite_closure(schema.signature(), &uids, &fds);
+            let after = closed_uids.len() + closed_fds.len();
+
+            let mut closed_constraints = ConstraintSet::new();
+            for uid in &closed_uids {
+                closed_constraints.push_tgd(uid.to_tgd(schema.signature()));
+            }
+            for fd in closed_fds {
+                closed_constraints.push_fd(fd);
+            }
+            let mut closed_schema = Schema::with_parts(
+                schema.signature().clone(),
+                closed_constraints,
+                schema.methods().to_vec(),
+            )
+            .expect("the closed schema reuses the original signature and methods");
+            // `with_parts` validated the methods; keep constraints as built.
+            let _ = &mut closed_schema;
+
+            let result = decide_monotone_answerability(&closed_schema, query, values, options);
+            FiniteAnswerabilityResult {
+                result,
+                reduction: FiniteReduction::FiniteClosure {
+                    added_dependencies: after.saturating_sub(before),
+                },
+            }
+        }
+        ConstraintClass::ArbitraryTgds | ConstraintClass::Mixed => {
+            let result = decide_monotone_answerability(schema, query, values, options);
+            FiniteAnswerabilityResult {
+                result,
+                reduction: FiniteReduction::BestEffort,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answerability::Answerability;
+    use rbqa_access::AccessMethod;
+    use rbqa_common::Signature;
+    use rbqa_logic::constraints::tgd::inclusion_dependency;
+    use rbqa_logic::parser::parse_cq;
+    use rbqa_logic::Fd;
+
+    #[test]
+    fn finitely_controllable_classes_reuse_the_unrestricted_decision() {
+        // The university schema (IDs only).
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+        let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        schema
+            .add_method(AccessMethod::bounded("ud", udir, &[], 100))
+            .unwrap();
+        let mut vf = ValueFactory::new();
+        let mut parse_sig = schema.signature().clone();
+        let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut parse_sig, &mut vf).unwrap();
+        let finite = decide_finite_monotone_answerability(
+            &schema,
+            &q2,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(finite.reduction, FiniteReduction::FinitelyControllable);
+        assert_eq!(finite.result.answerability, Answerability::Answerable);
+    }
+
+    #[test]
+    fn uid_fd_cycles_gain_dependencies_in_the_finite_closure() {
+        // A UID/FD cycle: T[0] ⊆ R[0], FD R: 1 -> 2 is harmless, but with
+        // FD R: 1 -> 1 trivia... use the cycle from the implication tests:
+        // T(t) ⊆ R[0], R[1] ⊆ T[0], FD R: 1 -> 2 — no cycle; instead use
+        // UIDs R[1] -> T[0], T[0] -> R[0] with FD R: 1 -> 2 and FD R: 1 -> 2
+        // — build the genuine cycle via FD R: 1 -> 2 ... Keep it concrete:
+        // UID T[0] ⊆ R[0], UID R[1] ⊆ T[0], FD R: 1 -> 2 has no cycle; the
+        // cycle appears with FD R: 1 -> 2 replaced by FD R: 1 -> 2 on the
+        // *first* position: FD R: 1 -> 2 means position 0 determines 1.
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let t = sig.add_relation("T", 1).unwrap();
+        let mut constraints = ConstraintSet::new();
+        // Cycle: (T,0) -> (R,0) [UID], (R,0) -FD-> (R,1), (R,1) -> (T,0) [UID].
+        constraints.push_tgd(inclusion_dependency(&sig, t, &[0], r, &[0]));
+        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], t, &[0]));
+        constraints.push_fd(Fd::new(r, vec![0], 1));
+        let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::bounded("mr", r, &[0], 3))
+            .unwrap();
+        schema
+            .add_method(AccessMethod::unbounded("mt", t, &[0]))
+            .unwrap();
+
+        let mut vf = ValueFactory::new();
+        let mut parse_sig = schema.signature().clone();
+        let q = parse_cq("Q() :- R('k', v)", &mut parse_sig, &mut vf).unwrap();
+        let finite = decide_finite_monotone_answerability(
+            &schema,
+            &q,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        match finite.reduction {
+            FiniteReduction::FiniteClosure { added_dependencies } => {
+                assert!(added_dependencies > 0, "the cycle forces new dependencies");
+            }
+            other => panic!("expected the finite-closure reduction, got {other:?}"),
+        }
+        // The query itself is answerable both finitely and in general here
+        // (the id is a constant and mr returns at least one row whose
+        // determined positions are authoritative).
+        assert_eq!(finite.result.answerability, Answerability::Answerable);
+    }
+
+    #[test]
+    fn finite_and_unrestricted_agree_on_finitely_controllable_scenarios() {
+        let mut scenario = rbqa_workloads_test_scenario();
+        let q = scenario.1.clone();
+        let unrestricted = decide_monotone_answerability(
+            &scenario.0,
+            &q,
+            &mut scenario.2,
+            &AnswerabilityOptions::default(),
+        );
+        let finite = decide_finite_monotone_answerability(
+            &scenario.0,
+            &q,
+            &mut scenario.2,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(finite.result.answerability, unrestricted.answerability);
+    }
+
+    /// A small FD-only scenario used by the agreement test (kept local to
+    /// avoid a dev-dependency cycle with `rbqa-workloads`).
+    fn rbqa_workloads_test_scenario() -> (Schema, ConjunctiveQuery, ValueFactory) {
+        let mut sig = Signature::new();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_fd(Fd::new(udir, vec![0], 1));
+        let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::bounded("ud2", udir, &[0], 1))
+            .unwrap();
+        let mut vf = ValueFactory::new();
+        let mut parse_sig = schema.signature().clone();
+        let q = parse_cq(
+            "Q() :- Udirectory('12345', 'mainst', p)",
+            &mut parse_sig,
+            &mut vf,
+        )
+        .unwrap();
+        (schema, q, vf)
+    }
+}

@@ -1,0 +1,195 @@
+//! A simulated web-service stack with call accounting and rate limits.
+
+use rbqa_access::{AccessSelection, Plan, Schema};
+use rbqa_common::{Instance, Value};
+use rustc_hash::FxHashMap;
+
+/// Execution metrics for one plan run against the simulated services.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanMetrics {
+    /// Number of accesses performed, per method name.
+    pub calls_per_method: FxHashMap<String, usize>,
+    /// Total number of accesses performed.
+    pub total_calls: usize,
+    /// Total number of tuples returned by the services.
+    pub tuples_fetched: usize,
+    /// Number of rows in the plan's output.
+    pub output_size: usize,
+    /// Whether the total number of calls stayed within the configured rate
+    /// limit (when one is set).
+    pub within_rate_limit: bool,
+}
+
+/// A simulated collection of web services: an instance hidden behind the
+/// access methods of a schema, as in the paper's motivating examples
+/// (Section 1). Plans are the only way to look at the data; the simulator
+/// tracks how many calls each method receives and how many tuples travel
+/// over the (simulated) wire, and can flag rate-limit violations.
+#[derive(Debug)]
+pub struct ServiceSimulator {
+    schema: Schema,
+    data: Instance,
+    rate_limit: Option<usize>,
+}
+
+/// Access-selection wrapper that counts calls per method.
+struct CountingSelection<'a> {
+    inner: &'a mut dyn AccessSelection,
+    calls: FxHashMap<String, usize>,
+}
+
+impl AccessSelection for CountingSelection<'_> {
+    fn select(
+        &mut self,
+        method: &rbqa_access::AccessMethod,
+        binding: &[(usize, Value)],
+        matching: &[Vec<Value>],
+    ) -> Vec<Vec<Value>> {
+        *self.calls.entry(method.name().to_owned()).or_insert(0) += 1;
+        self.inner.select(method, binding, matching)
+    }
+}
+
+impl ServiceSimulator {
+    /// Creates a simulator over `schema` hiding `data`.
+    pub fn new(schema: Schema, data: Instance) -> Self {
+        ServiceSimulator {
+            schema,
+            data,
+            rate_limit: None,
+        }
+    }
+
+    /// Sets a rate limit: the maximum total number of accesses a plan run
+    /// may perform before [`PlanMetrics::within_rate_limit`] turns false.
+    /// This models the per-window call quotas of real services.
+    pub fn with_rate_limit(mut self, limit: usize) -> Self {
+        self.rate_limit = Some(limit);
+        self
+    }
+
+    /// The schema exposed by the services.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The hidden data (visible to the test harness, not to plans).
+    pub fn data(&self) -> &Instance {
+        &self.data
+    }
+
+    /// Executes a plan against the services under the given access
+    /// selection, returning the plan's output and the collected metrics.
+    pub fn run_plan(
+        &self,
+        plan: &Plan,
+        selection: &mut dyn AccessSelection,
+    ) -> Result<(Vec<Vec<Value>>, PlanMetrics), rbqa_access::plan::PlanError> {
+        let mut counting = CountingSelection {
+            inner: selection,
+            calls: FxHashMap::default(),
+        };
+        let run = rbqa_access::plan::execute(plan, &self.schema, &self.data, &mut counting)?;
+        let total_calls: usize = counting.calls.values().sum();
+        let metrics = PlanMetrics {
+            calls_per_method: counting.calls,
+            total_calls,
+            tuples_fetched: run.tuples_fetched,
+            output_size: run.output.len(),
+            within_rate_limit: self.rate_limit.is_none_or(|limit| total_calls <= limit),
+        };
+        Ok((run.output, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::university_instance;
+    use rbqa_access::{AccessMethod, Condition, PlanBuilder, RaExpr, TruncatingSelection};
+    use rbqa_common::{Signature, ValueFactory};
+
+    fn setup(ud_bound: Option<usize>, n: usize) -> (ServiceSimulator, ValueFactory) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut schema = Schema::new(sig.clone());
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        let ud = match ud_bound {
+            None => AccessMethod::unbounded("ud", udir, &[]),
+            Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+        };
+        schema.add_method(ud).unwrap();
+        let mut vf = ValueFactory::new();
+        let data = university_instance(&sig, &mut vf, n, 99);
+        (ServiceSimulator::new(schema, data), vf)
+    }
+
+    fn salary_plan(vf: &mut ValueFactory) -> Plan {
+        let salary = vf.constant("10000");
+        PlanBuilder::new()
+            .access("ids", "ud", RaExpr::unit(), vec![], vec![0])
+            .access("profs", "pr", RaExpr::table("ids"), vec![0], vec![0, 1, 2])
+            .middleware(
+                "matching",
+                RaExpr::select(RaExpr::table("profs"), Condition::eq_const(2, salary)),
+            )
+            .middleware("names", RaExpr::project(RaExpr::table("matching"), vec![1]))
+            .returns("names")
+    }
+
+    #[test]
+    fn metrics_count_calls_per_method() {
+        let (sim, mut vf) = setup(None, 10);
+        let plan = salary_plan(&mut vf);
+        let mut sel = TruncatingSelection::new();
+        let (output, metrics) = sim.run_plan(&plan, &mut sel).unwrap();
+        assert!(!output.is_empty());
+        assert_eq!(metrics.calls_per_method["ud"], 1);
+        // One pr call per directory id.
+        assert_eq!(metrics.calls_per_method["pr"], 10);
+        assert_eq!(metrics.total_calls, 11);
+        assert!(metrics.within_rate_limit);
+        assert!(metrics.tuples_fetched >= metrics.output_size);
+    }
+
+    #[test]
+    fn rate_limit_violations_are_flagged() {
+        let (sim, mut vf) = setup(None, 30);
+        let sim = ServiceSimulator {
+            rate_limit: Some(5),
+            ..sim
+        };
+        let plan = salary_plan(&mut vf);
+        let mut sel = TruncatingSelection::new();
+        let (_, metrics) = sim.run_plan(&plan, &mut sel).unwrap();
+        assert!(!metrics.within_rate_limit);
+        assert!(metrics.total_calls > 5);
+    }
+
+    #[test]
+    fn with_rate_limit_builder() {
+        let (sim, mut vf) = setup(None, 3);
+        let sim = sim.with_rate_limit(100);
+        let plan = salary_plan(&mut vf);
+        let mut sel = TruncatingSelection::new();
+        let (_, metrics) = sim.run_plan(&plan, &mut sel).unwrap();
+        assert!(metrics.within_rate_limit);
+    }
+
+    #[test]
+    fn result_bound_reduces_fetched_tuples() {
+        let (sim_unbounded, mut vf1) = setup(None, 20);
+        let (sim_bounded, mut vf2) = setup(Some(3), 20);
+        let plan1 = salary_plan(&mut vf1);
+        let plan2 = salary_plan(&mut vf2);
+        let mut sel = TruncatingSelection::new();
+        let (out_full, m_full) = sim_unbounded.run_plan(&plan1, &mut sel).unwrap();
+        let mut sel = TruncatingSelection::new();
+        let (out_bounded, m_bounded) = sim_bounded.run_plan(&plan2, &mut sel).unwrap();
+        assert!(m_bounded.tuples_fetched < m_full.tuples_fetched);
+        assert!(out_bounded.len() <= out_full.len());
+    }
+}

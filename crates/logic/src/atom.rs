@@ -1,0 +1,196 @@
+//! Relational atoms `R(t1, ..., tn)` over terms.
+
+use rbqa_common::{RelationId, Signature, Value};
+use rustc_hash::FxHashMap;
+
+use crate::term::{Term, VarId};
+
+/// A relational atom: a relation applied to a tuple of terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    relation: RelationId,
+    args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates a new atom.
+    pub fn new(relation: RelationId, args: Vec<Term>) -> Self {
+        Atom { relation, args }
+    }
+
+    /// The relation of the atom.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The argument terms.
+    pub fn args(&self) -> &[Term] {
+        &self.args
+    }
+
+    /// The term at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn arg(&self, position: usize) -> Term {
+        self.args[position]
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The distinct variables of the atom, in order of first occurrence.
+    pub fn variables(&self) -> Vec<VarId> {
+        let mut seen = Vec::new();
+        for term in &self.args {
+            if let Term::Var(v) = term {
+                if !seen.contains(v) {
+                    seen.push(*v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The positions (0-based) at which `var` occurs.
+    pub fn positions_of(&self, var: VarId) -> Vec<usize> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t {
+                Term::Var(v) if *v == var => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether some variable occurs at two different positions of the atom.
+    pub fn has_repeated_variable(&self) -> bool {
+        let vars = self.variables();
+        vars.iter().any(|v| self.positions_of(*v).len() > 1)
+    }
+
+    /// Whether the atom contains any constant.
+    pub fn has_constants(&self) -> bool {
+        self.args.iter().any(|t| t.is_const())
+    }
+
+    /// Applies a variable renaming, leaving unmapped variables unchanged.
+    pub fn rename(&self, renaming: &FxHashMap<VarId, VarId>) -> Atom {
+        let args = self
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Term::Var(*renaming.get(v).unwrap_or(v)),
+                Term::Const(c) => Term::Const(*c),
+            })
+            .collect();
+        Atom::new(self.relation, args)
+    }
+
+    /// Instantiates the atom under an assignment of variables to values,
+    /// producing the argument tuple. Returns `None` if some variable is
+    /// unassigned.
+    pub fn instantiate(&self, assignment: &FxHashMap<VarId, Value>) -> Option<Vec<Value>> {
+        self.args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => assignment.get(v).copied(),
+                Term::Const(c) => Some(*c),
+            })
+            .collect()
+    }
+
+    /// Renders the atom using relation names from `sig` and variable names
+    /// from `names` (a function from variables to strings).
+    pub fn display<F: Fn(VarId) -> String>(&self, sig: &Signature, names: F) -> String {
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => names(*v),
+                Term::Const(c) => c.to_string(),
+            })
+            .collect();
+        format!("{}({})", sig.name(self.relation), args.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::ValueFactory;
+
+    fn rel(i: usize) -> RelationId {
+        RelationId::from_index(i)
+    }
+
+    #[test]
+    fn variables_in_first_occurrence_order() {
+        let x = VarId::from_index(0);
+        let y = VarId::from_index(1);
+        let a = Atom::new(rel(0), vec![Term::Var(y), Term::Var(x), Term::Var(y)]);
+        assert_eq!(a.variables(), vec![y, x]);
+        assert_eq!(a.positions_of(y), vec![0, 2]);
+        assert!(a.has_repeated_variable());
+    }
+
+    #[test]
+    fn no_repeated_variable() {
+        let x = VarId::from_index(0);
+        let y = VarId::from_index(1);
+        let a = Atom::new(rel(0), vec![Term::Var(x), Term::Var(y)]);
+        assert!(!a.has_repeated_variable());
+    }
+
+    #[test]
+    fn instantiate_requires_all_variables() {
+        let mut vf = ValueFactory::new();
+        let c = vf.constant("c");
+        let v = vf.constant("v");
+        let x = VarId::from_index(0);
+        let a = Atom::new(rel(0), vec![Term::Var(x), Term::Const(c)]);
+        let mut asg = FxHashMap::default();
+        assert!(a.instantiate(&asg).is_none());
+        asg.insert(x, v);
+        assert_eq!(a.instantiate(&asg), Some(vec![v, c]));
+    }
+
+    #[test]
+    fn rename_leaves_constants_and_unmapped_vars() {
+        let mut vf = ValueFactory::new();
+        let c = vf.constant("c");
+        let x = VarId::from_index(0);
+        let y = VarId::from_index(1);
+        let z = VarId::from_index(2);
+        let a = Atom::new(rel(1), vec![Term::Var(x), Term::Var(y), Term::Const(c)]);
+        let mut map = FxHashMap::default();
+        map.insert(x, z);
+        let renamed = a.rename(&map);
+        assert_eq!(renamed.arg(0), Term::Var(z));
+        assert_eq!(renamed.arg(1), Term::Var(y));
+        assert_eq!(renamed.arg(2), Term::Const(c));
+    }
+
+    #[test]
+    fn has_constants_detection() {
+        let mut vf = ValueFactory::new();
+        let c = vf.constant("c");
+        let x = VarId::from_index(0);
+        assert!(Atom::new(rel(0), vec![Term::Const(c)]).has_constants());
+        assert!(!Atom::new(rel(0), vec![Term::Var(x)]).has_constants());
+    }
+
+    #[test]
+    fn display_formats_atom() {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let x = VarId::from_index(0);
+        let a = Atom::new(r, vec![Term::Var(x), Term::Var(x)]);
+        let s = a.display(&sig, |v| format!("x{}", v.index()));
+        assert_eq!(s, "R(x0, x0)");
+    }
+}

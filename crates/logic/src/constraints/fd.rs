@@ -1,0 +1,171 @@
+//! Functional dependencies.
+//!
+//! An FD on a relation `R` of arity `n` is written `D → j` for
+//! `D ⊆ {0..n-1}` and `j ∈ {0..n-1}`: whenever two `R`-facts agree on all
+//! positions of `D`, they agree on position `j` (paper, Section 2).
+
+use rbqa_common::{RelationId, Signature, Value};
+use std::collections::BTreeSet;
+
+/// A functional dependency `D → j` on one relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fd {
+    relation: RelationId,
+    determiners: BTreeSet<usize>,
+    determined: usize,
+}
+
+impl Fd {
+    /// Creates the FD `determiners → determined` on `relation`.
+    /// Positions are 0-based.
+    pub fn new(relation: RelationId, determiners: Vec<usize>, determined: usize) -> Self {
+        Fd {
+            relation,
+            determiners: determiners.into_iter().collect(),
+            determined,
+        }
+    }
+
+    /// Creates a key constraint: `key_positions` determine every position of
+    /// the relation. Returns one FD per non-key position (plus none for the
+    /// key positions themselves, which are trivially determined).
+    pub fn key(sig: &Signature, relation: RelationId, key_positions: &[usize]) -> Vec<Fd> {
+        let arity = sig.arity(relation);
+        (0..arity)
+            .filter(|p| !key_positions.contains(p))
+            .map(|p| Fd::new(relation, key_positions.to_vec(), p))
+            .collect()
+    }
+
+    /// The relation the FD applies to.
+    pub fn relation(&self) -> RelationId {
+        self.relation
+    }
+
+    /// The determining positions `D`.
+    pub fn determiners(&self) -> &BTreeSet<usize> {
+        &self.determiners
+    }
+
+    /// The determined position `j`.
+    pub fn determined(&self) -> usize {
+        self.determined
+    }
+
+    /// Whether the FD is trivial (`j ∈ D`).
+    pub fn is_trivial(&self) -> bool {
+        self.determiners.contains(&self.determined)
+    }
+
+    /// Whether the FD is *unary* (a single determining position).
+    pub fn is_unary(&self) -> bool {
+        self.determiners.len() == 1
+    }
+
+    /// Whether two tuples of the FD's relation violate it: they agree on all
+    /// determining positions but disagree on the determined position.
+    pub fn violated_by(&self, t1: &[Value], t2: &[Value]) -> bool {
+        self.determiners.iter().all(|&p| t1[p] == t2[p]) && t1[self.determined] != t2[self.determined]
+    }
+
+    /// Whether the FD holds on every pair of tuples of its relation in
+    /// `instance`.
+    pub fn holds_on(&self, instance: &rbqa_common::Instance) -> bool {
+        let tuples: Vec<&[Value]> = instance.tuples(self.relation).collect();
+        for (i, t1) in tuples.iter().enumerate() {
+            for t2 in &tuples[i + 1..] {
+                if self.violated_by(t1, t2) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Renders the FD using 1-based positions, as in the paper.
+    pub fn display(&self, sig: &Signature) -> String {
+        let lhs: Vec<String> = self.determiners.iter().map(|p| (p + 1).to_string()).collect();
+        format!(
+            "FD {}: {} -> {}",
+            sig.name(self.relation),
+            lhs.join(","),
+            self.determined + 1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::{Instance, ValueFactory};
+
+    fn setup() -> (Signature, RelationId, ValueFactory) {
+        let mut sig = Signature::new();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        (sig, udir, ValueFactory::new())
+    }
+
+    #[test]
+    fn fd_accessors() {
+        let (_sig, udir, _) = setup();
+        let fd = Fd::new(udir, vec![0], 1);
+        assert_eq!(fd.relation(), udir);
+        assert_eq!(fd.determined(), 1);
+        assert!(fd.determiners().contains(&0));
+        assert!(fd.is_unary());
+        assert!(!fd.is_trivial());
+        assert!(Fd::new(udir, vec![0, 1], 1).is_trivial());
+        assert!(!Fd::new(udir, vec![0, 2], 1).is_unary());
+    }
+
+    #[test]
+    fn violation_detection() {
+        // Example 1.5: each employee id has exactly one address
+        // (Udirectory: id -> address), but possibly many phone numbers.
+        let (_sig, udir, mut vf) = setup();
+        let id = vf.constant("12345");
+        let addr1 = vf.constant("main st");
+        let addr2 = vf.constant("elm st");
+        let phone1 = vf.constant("555-1");
+        let phone2 = vf.constant("555-2");
+        let fd = Fd::new(udir, vec![0], 1);
+        assert!(!fd.violated_by(&[id, addr1, phone1], &[id, addr1, phone2]));
+        assert!(fd.violated_by(&[id, addr1, phone1], &[id, addr2, phone1]));
+    }
+
+    #[test]
+    fn holds_on_instance() {
+        let (sig, udir, mut vf) = setup();
+        let id = vf.constant("12345");
+        let id2 = vf.constant("6789");
+        let addr1 = vf.constant("main st");
+        let addr2 = vf.constant("elm st");
+        let phone1 = vf.constant("555-1");
+        let phone2 = vf.constant("555-2");
+        let fd = Fd::new(udir, vec![0], 1);
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(udir, vec![id, addr1, phone1]).unwrap();
+        inst.insert(udir, vec![id, addr1, phone2]).unwrap();
+        inst.insert(udir, vec![id2, addr2, phone1]).unwrap();
+        assert!(fd.holds_on(&inst));
+        inst.insert(udir, vec![id, addr2, phone1]).unwrap();
+        assert!(!fd.holds_on(&inst));
+    }
+
+    #[test]
+    fn key_generates_fds_for_non_key_positions() {
+        let (sig, udir, _) = setup();
+        let fds = Fd::key(&sig, udir, &[0]);
+        assert_eq!(fds.len(), 2);
+        assert!(fds.iter().all(|f| f.determiners().contains(&0)));
+        let determined: BTreeSet<usize> = fds.iter().map(|f| f.determined()).collect();
+        assert_eq!(determined, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn display_uses_one_based_positions() {
+        let (sig, udir, _) = setup();
+        let fd = Fd::new(udir, vec![0, 2], 1);
+        assert_eq!(fd.display(&sig), "FD Udirectory: 1,3 -> 2");
+    }
+}

@@ -1,0 +1,284 @@
+//! Integrity constraints: tuple-generating dependencies and functional
+//! dependencies, plus sets of constraints with syntactic classification.
+
+pub mod fd;
+pub mod tgd;
+
+pub use fd::Fd;
+pub use tgd::{Tgd, TgdBuilder};
+
+use rbqa_common::{RelationId, Signature};
+
+/// A single integrity constraint.
+#[derive(Debug, Clone)]
+pub enum Constraint {
+    /// A tuple-generating dependency `∀x (φ(x) → ∃y ψ(x, y))`.
+    Tgd(Tgd),
+    /// A functional dependency `D → j` on a relation.
+    Fd(Fd),
+}
+
+impl Constraint {
+    /// The TGD, if this constraint is one.
+    pub fn as_tgd(&self) -> Option<&Tgd> {
+        match self {
+            Constraint::Tgd(t) => Some(t),
+            Constraint::Fd(_) => None,
+        }
+    }
+
+    /// The FD, if this constraint is one.
+    pub fn as_fd(&self) -> Option<&Fd> {
+        match self {
+            Constraint::Fd(f) => Some(f),
+            Constraint::Tgd(_) => None,
+        }
+    }
+
+    /// Renders the constraint.
+    pub fn display(&self, sig: &Signature) -> String {
+        match self {
+            Constraint::Tgd(t) => t.display(sig),
+            Constraint::Fd(f) => f.display(sig),
+        }
+    }
+}
+
+impl From<Tgd> for Constraint {
+    fn from(t: Tgd) -> Self {
+        Constraint::Tgd(t)
+    }
+}
+
+impl From<Fd> for Constraint {
+    fn from(f: Fd) -> Self {
+        Constraint::Fd(f)
+    }
+}
+
+/// A set of integrity constraints with convenient classification queries.
+///
+/// The classification predicates mirror the constraint classes of the
+/// paper's Table 1: FDs only, IDs only, bounded-width IDs, UIDs + FDs,
+/// (frontier-)guarded TGDs, arbitrary TGDs.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    tgds: Vec<Tgd>,
+    fds: Vec<Fd>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a constraint set from parts.
+    pub fn from_parts(tgds: Vec<Tgd>, fds: Vec<Fd>) -> Self {
+        ConstraintSet { tgds, fds }
+    }
+
+    /// Adds a TGD.
+    pub fn push_tgd(&mut self, tgd: Tgd) {
+        self.tgds.push(tgd);
+    }
+
+    /// Adds an FD.
+    pub fn push_fd(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// Adds any constraint.
+    pub fn push(&mut self, c: Constraint) {
+        match c {
+            Constraint::Tgd(t) => self.tgds.push(t),
+            Constraint::Fd(f) => self.fds.push(f),
+        }
+    }
+
+    /// The TGDs of the set.
+    pub fn tgds(&self) -> &[Tgd] {
+        &self.tgds
+    }
+
+    /// The FDs of the set.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Iterates over all constraints.
+    pub fn iter(&self) -> impl Iterator<Item = Constraint> + '_ {
+        self.tgds
+            .iter()
+            .cloned()
+            .map(Constraint::Tgd)
+            .chain(self.fds.iter().cloned().map(Constraint::Fd))
+    }
+
+    /// Total number of constraints.
+    pub fn len(&self) -> usize {
+        self.tgds.len() + self.fds.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tgds.is_empty() && self.fds.is_empty()
+    }
+
+    /// Whether the set contains only FDs.
+    pub fn is_fds_only(&self) -> bool {
+        self.tgds.is_empty()
+    }
+
+    /// Whether the set contains only TGDs (no FDs).
+    pub fn is_tgds_only(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Whether every TGD is an inclusion dependency and there are no FDs.
+    pub fn is_ids_only(&self) -> bool {
+        self.fds.is_empty() && self.tgds.iter().all(|t| t.is_id())
+    }
+
+    /// Whether every TGD is a *unary* inclusion dependency (FDs allowed).
+    pub fn tgds_are_uids(&self) -> bool {
+        self.tgds.iter().all(|t| t.is_uid())
+    }
+
+    /// Whether the set consists of UIDs and FDs.
+    pub fn is_uids_and_fds(&self) -> bool {
+        self.tgds_are_uids()
+    }
+
+    /// Whether every TGD is guarded and there are no FDs.
+    pub fn is_guarded_tgds_only(&self) -> bool {
+        self.fds.is_empty() && self.tgds.iter().all(|t| t.is_guarded())
+    }
+
+    /// Whether every TGD is frontier-guarded and there are no FDs.
+    pub fn is_frontier_guarded_only(&self) -> bool {
+        self.fds.is_empty() && self.tgds.iter().all(|t| t.is_frontier_guarded())
+    }
+
+    /// Whether every TGD is full (no existential head variables).
+    pub fn tgds_are_full(&self) -> bool {
+        self.tgds.iter().all(|t| t.is_full())
+    }
+
+    /// Maximum width over all IDs in the set (0 if there are none). Only
+    /// meaningful when [`ConstraintSet::is_ids_only`] holds or when all TGDs
+    /// are IDs.
+    pub fn max_id_width(&self) -> usize {
+        self.tgds
+            .iter()
+            .filter(|t| t.is_id())
+            .map(|t| t.width())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The FDs restricted to one relation.
+    pub fn fds_of(&self, relation: RelationId) -> Vec<&Fd> {
+        self.fds.iter().filter(|f| f.relation() == relation).collect()
+    }
+
+    /// Merges another constraint set into this one.
+    pub fn extend(&mut self, other: &ConstraintSet) {
+        self.tgds.extend(other.tgds.iter().cloned());
+        self.fds.extend(other.fds.iter().cloned());
+    }
+
+    /// Renders all constraints, one per line.
+    pub fn display(&self, sig: &Signature) -> String {
+        self.iter()
+            .map(|c| c.display(sig))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn sig3() -> (Signature, RelationId, RelationId, RelationId) {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 2).unwrap();
+        let s = sig.add_relation("S", 3).unwrap();
+        let t = sig.add_relation("T", 1).unwrap();
+        (sig, r, s, t)
+    }
+
+    #[test]
+    fn classification_of_id_only_set() {
+        let (sig, r, s, _t) = sig3();
+        // R(x, y) -> ∃z w S(z, y, w)   (a UID)
+        let mut b = TgdBuilder::new();
+        let (x, y, z, w) = (b.var("x"), b.var("y"), b.var("z"), b.var("w"));
+        b.body_atom(r, vec![Term::Var(x), Term::Var(y)]);
+        b.head_atom(s, vec![Term::Var(z), Term::Var(y), Term::Var(w)]);
+        let uid = b.build();
+        assert!(uid.is_id());
+        assert!(uid.is_uid());
+
+        let mut set = ConstraintSet::new();
+        set.push_tgd(uid);
+        assert!(set.is_ids_only());
+        assert!(set.is_uids_and_fds());
+        assert!(set.is_guarded_tgds_only());
+        assert!(set.is_frontier_guarded_only());
+        assert!(!set.is_fds_only());
+        assert_eq!(set.max_id_width(), 1);
+        assert_eq!(set.len(), 1);
+        let _ = set.display(&sig);
+    }
+
+    #[test]
+    fn classification_with_fds() {
+        let (_sig, _r, s, _t) = sig3();
+        let mut set = ConstraintSet::new();
+        set.push_fd(Fd::new(s, vec![0], 1));
+        assert!(set.is_fds_only());
+        assert!(!set.is_tgds_only());
+        assert!(set.is_uids_and_fds());
+        assert_eq!(set.fds_of(s).len(), 1);
+    }
+
+    #[test]
+    fn non_id_tgd_detected() {
+        let (_sig, r, _s, t) = sig3();
+        // T(y), R(x, y) -> T(x) : full TGD, not an ID (two body atoms).
+        let mut b = TgdBuilder::new();
+        let (x, y) = (b.var("x"), b.var("y"));
+        b.body_atom(t, vec![Term::Var(y)]);
+        b.body_atom(r, vec![Term::Var(x), Term::Var(y)]);
+        b.head_atom(t, vec![Term::Var(x)]);
+        let tgd = b.build();
+        assert!(!tgd.is_id());
+        assert!(tgd.is_full());
+        let mut set = ConstraintSet::new();
+        set.push_tgd(tgd);
+        assert!(!set.is_ids_only());
+        assert!(set.tgds_are_full());
+    }
+
+    #[test]
+    fn extend_merges_sets() {
+        let (_sig, _r, s, _t) = sig3();
+        let mut a = ConstraintSet::new();
+        a.push_fd(Fd::new(s, vec![0], 1));
+        let mut b = ConstraintSet::new();
+        b.push_fd(Fd::new(s, vec![0], 2));
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn constraint_conversions() {
+        let (_sig, _r, s, _t) = sig3();
+        let c: Constraint = Fd::new(s, vec![0], 1).into();
+        assert!(c.as_fd().is_some());
+        assert!(c.as_tgd().is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Evaluation of (possibly non-Boolean) conjunctive queries over instances.
+
+use rbqa_common::{Instance, Value};
+use rustc_hash::FxHashSet;
+
+use crate::cq::ConjunctiveQuery;
+use crate::homomorphism::all_homomorphisms;
+
+/// Evaluates `query` over `instance`, returning the set of answer tuples
+/// (projections of homomorphisms onto the free variables, deduplicated,
+/// sorted for determinism).
+///
+/// For a Boolean query the result is either `[[]]` (the query holds — one
+/// empty answer tuple) or `[]` (it does not), matching the usual convention
+/// that the output of a Boolean query is `true` or `false`.
+pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> Vec<Vec<Value>> {
+    let homs = all_homomorphisms(query, instance, usize::MAX);
+    let mut out: FxHashSet<Vec<Value>> = FxHashSet::default();
+    for h in homs {
+        let tuple: Option<Vec<Value>> = query.free_vars().iter().map(|v| h.get(v).copied()).collect();
+        match tuple {
+            Some(t) => {
+                out.insert(t);
+            }
+            None => {
+                // A free variable not occurring in the body: the query is
+                // unsafe; we treat the answer as undefined and skip it.
+            }
+        }
+    }
+    let mut result: Vec<Vec<Value>> = out.into_iter().collect();
+    result.sort();
+    result
+}
+
+/// Evaluates the Boolean closure of `query` on `instance`.
+pub fn evaluate_boolean(query: &ConjunctiveQuery, instance: &Instance) -> bool {
+    crate::homomorphism::holds(query, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqBuilder;
+    use rbqa_common::{Instance, Signature, ValueFactory};
+
+    fn prof_setup() -> (
+        Signature,
+        rbqa_common::RelationId,
+        ValueFactory,
+        Vec<Value>,
+    ) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let mut vf = ValueFactory::new();
+        let vals = vec![
+            vf.constant("1"),
+            vf.constant("ada"),
+            vf.constant("10000"),
+            vf.constant("2"),
+            vf.constant("grace"),
+            vf.constant("20000"),
+        ];
+        (sig, prof, vf, vals)
+    }
+
+    #[test]
+    fn evaluate_selects_and_projects() {
+        let (sig, prof, _vf, v) = prof_setup();
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(prof, vec![v[0], v[1], v[2]]).unwrap();
+        inst.insert(prof, vec![v[3], v[4], v[5]]).unwrap();
+
+        // Q1(n) :- Prof(i, n, '10000')
+        let mut b = CqBuilder::with_values({
+            // Share constants with the instance by re-interning the same
+            // names in the same order.
+            let mut f = ValueFactory::new();
+            for name in ["1", "ada", "10000", "2", "grace", "20000"] {
+                f.constant(name);
+            }
+            f
+        });
+        let i = b.var("i");
+        let n = b.var("n");
+        let salary = b.constant("10000");
+        let q = b.free(n).atom(prof, vec![i.into(), n.into(), salary]).build();
+
+        let answers = evaluate(&q, &inst);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0], vec![v[1]]);
+    }
+
+    #[test]
+    fn evaluate_boolean_query() {
+        let (sig, prof, _vf, v) = prof_setup();
+        let mut inst = Instance::new(sig.clone());
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let q = b.atom(prof, vec![x.into(), x.into(), x.into()]).build();
+        assert!(!evaluate_boolean(&q, &inst));
+        assert_eq!(evaluate(&q, &inst), Vec::<Vec<Value>>::new());
+        inst.insert(prof, vec![v[0], v[0], v[0]]).unwrap();
+        assert!(evaluate_boolean(&q, &inst));
+        assert_eq!(evaluate(&q, &inst), vec![Vec::<Value>::new()]);
+    }
+
+    #[test]
+    fn evaluate_deduplicates_answers() {
+        let (sig, prof, _vf, v) = prof_setup();
+        let mut inst = Instance::new(sig.clone());
+        // Two professors with the same name but different ids.
+        inst.insert(prof, vec![v[0], v[1], v[2]]).unwrap();
+        inst.insert(prof, vec![v[3], v[1], v[2]]).unwrap();
+        let mut b = CqBuilder::new();
+        let i = b.var("i");
+        let n = b.var("n");
+        let s = b.var("s");
+        let q = b
+            .free(n)
+            .atom(prof, vec![i.into(), n.into(), s.into()])
+            .build();
+        let answers = evaluate(&q, &inst);
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn evaluate_multiple_free_vars_is_sorted() {
+        let (sig, prof, _vf, v) = prof_setup();
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(prof, vec![v[0], v[1], v[2]]).unwrap();
+        inst.insert(prof, vec![v[3], v[4], v[5]]).unwrap();
+        let mut b = CqBuilder::new();
+        let i = b.var("i");
+        let n = b.var("n");
+        let s = b.var("s");
+        let q = b
+            .free(i)
+            .free(n)
+            .atom(prof, vec![i.into(), n.into(), s.into()])
+            .build();
+        let answers = evaluate(&q, &inst);
+        assert_eq!(answers.len(), 2);
+        let mut sorted = answers.clone();
+        sorted.sort();
+        assert_eq!(answers, sorted);
+    }
+}

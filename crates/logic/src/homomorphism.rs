@@ -1,0 +1,346 @@
+//! Homomorphisms from conjunctive queries into instances.
+//!
+//! A Boolean CQ `Q` holds in an instance `I` exactly when there is a
+//! homomorphism from `Q` to `I`: a mapping of the variables of `Q` to values
+//! of `I` (identity on constants) sending every atom of `Q` to a fact of `I`
+//! (paper, Section 2). The search below is a straightforward backtracking
+//! join that uses the per-position indexes of [`Instance`] and a
+//! most-constrained-atom-first ordering heuristic.
+
+use rbqa_common::{Instance, Value};
+use rustc_hash::FxHashMap;
+
+use crate::atom::Atom;
+use crate::cq::ConjunctiveQuery;
+use crate::term::{Term, VarId};
+
+/// A variable assignment witnessing a homomorphism.
+pub type Homomorphism = FxHashMap<VarId, Value>;
+
+/// Searches for a single homomorphism from `query` into `instance`
+/// extending `seed` (which may pre-assign some variables, e.g. the free
+/// variables of a non-Boolean query).
+pub fn find_homomorphism(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    seed: &Homomorphism,
+) -> Option<Homomorphism> {
+    let mut collector = SingleCollector { found: None };
+    search(query.atoms(), instance, seed.clone(), &mut collector, &mut 0, usize::MAX);
+    collector.found
+}
+
+/// Whether the Boolean closure of `query` holds in `instance`.
+pub fn holds(query: &ConjunctiveQuery, instance: &Instance) -> bool {
+    find_homomorphism(query, instance, &Homomorphism::default()).is_some()
+}
+
+/// Enumerates homomorphisms from `query` into `instance`, up to `limit`
+/// results (use `usize::MAX` for all). Enumeration order is deterministic.
+pub fn all_homomorphisms(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    limit: usize,
+) -> Vec<Homomorphism> {
+    let mut collector = AllCollector { found: Vec::new() };
+    search(
+        query.atoms(),
+        instance,
+        Homomorphism::default(),
+        &mut collector,
+        &mut 0,
+        limit,
+    );
+    collector.found
+}
+
+trait Collector {
+    /// Records a complete assignment; returns `true` to continue searching.
+    fn record(&mut self, assignment: &Homomorphism, limit: usize) -> bool;
+}
+
+struct SingleCollector {
+    found: Option<Homomorphism>,
+}
+
+impl Collector for SingleCollector {
+    fn record(&mut self, assignment: &Homomorphism, _limit: usize) -> bool {
+        self.found = Some(assignment.clone());
+        false
+    }
+}
+
+struct AllCollector {
+    found: Vec<Homomorphism>,
+}
+
+impl Collector for AllCollector {
+    fn record(&mut self, assignment: &Homomorphism, limit: usize) -> bool {
+        self.found.push(assignment.clone());
+        self.found.len() < limit
+    }
+}
+
+/// Backtracking search. `atoms` is processed in a dynamically chosen order:
+/// at each step the atom with the most already-bound terms is expanded first
+/// (a cheap proxy for selectivity).
+fn search<C: Collector>(
+    atoms: &[Atom],
+    instance: &Instance,
+    assignment: Homomorphism,
+    collector: &mut C,
+    steps: &mut u64,
+    limit: usize,
+) -> bool {
+    fn bound_count(atom: &Atom, assignment: &Homomorphism) -> usize {
+        atom.args()
+            .iter()
+            .filter(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => assignment.contains_key(v),
+            })
+            .count()
+    }
+
+    fn recurse<C: Collector>(
+        remaining: &mut Vec<&Atom>,
+        instance: &Instance,
+        assignment: &mut Homomorphism,
+        collector: &mut C,
+        steps: &mut u64,
+        limit: usize,
+    ) -> bool {
+        *steps += 1;
+        if remaining.is_empty() {
+            return collector.record(assignment, limit);
+        }
+        // Pick the most-bound atom.
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i, bound_count(a, assignment)))
+            .max_by_key(|&(_, c)| c)
+            .expect("remaining is non-empty");
+        let atom = remaining.swap_remove(best_idx);
+
+        // Build the binding of already-determined positions.
+        let mut binding: Vec<(usize, Value)> = Vec::new();
+        for (pos, term) in atom.args().iter().enumerate() {
+            match term {
+                Term::Const(c) => binding.push((pos, *c)),
+                Term::Var(v) => {
+                    if let Some(val) = assignment.get(v) {
+                        binding.push((pos, *val));
+                    }
+                }
+            }
+        }
+
+        let candidates: Vec<Vec<Value>> = instance
+            .matching_tuples(atom.relation(), &binding)
+            .into_iter()
+            .map(|t| t.to_vec())
+            .collect();
+
+        let mut keep_going = true;
+        'tuples: for tuple in candidates {
+            // Try to extend the assignment consistently with this tuple.
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            for (pos, term) in atom.args().iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if tuple[pos] != *c {
+                            for v in newly_bound.drain(..) {
+                                assignment.remove(&v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(val) => {
+                            if tuple[pos] != *val {
+                                for v in newly_bound.drain(..) {
+                                    assignment.remove(&v);
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            assignment.insert(*v, tuple[pos]);
+                            newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            keep_going = recurse(remaining, instance, assignment, collector, steps, limit);
+            for v in newly_bound {
+                assignment.remove(&v);
+            }
+            if !keep_going {
+                break;
+            }
+        }
+        remaining.push(atom);
+        // Restore position irrelevant: order is re-chosen dynamically.
+        keep_going
+    }
+
+    let mut remaining: Vec<&Atom> = atoms.iter().collect();
+    let mut assignment = assignment;
+    recurse(
+        &mut remaining,
+        instance,
+        &mut assignment,
+        collector,
+        steps,
+        limit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqBuilder;
+    use rbqa_common::{Instance, Signature, ValueFactory};
+
+    fn graph_setup() -> (Signature, rbqa_common::RelationId) {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2).unwrap();
+        (sig, e)
+    }
+
+    #[test]
+    fn path_query_holds_on_path() {
+        let (sig, e) = graph_setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(e, vec![a, b]).unwrap();
+        inst.insert(e, vec![b, c]).unwrap();
+
+        // Q :- E(x, y), E(y, z)
+        let mut builder = CqBuilder::new();
+        let (x, y, z) = (builder.var("x"), builder.var("y"), builder.var("z"));
+        let q = builder
+            .atom(e, vec![x.into(), y.into(), z.into()][..2].to_vec())
+            .atom(e, vec![y.into(), z.into()])
+            .build();
+        assert!(holds(&q, &inst));
+    }
+
+    #[test]
+    fn triangle_query_fails_on_path() {
+        let (sig, e) = graph_setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let c = vf.constant("c");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(e, vec![a, b]).unwrap();
+        inst.insert(e, vec![b, c]).unwrap();
+
+        // Q :- E(x, y), E(y, z), E(z, x)
+        let mut builder = CqBuilder::new();
+        let (x, y, z) = (builder.var("x"), builder.var("y"), builder.var("z"));
+        let q = builder
+            .atom(e, vec![x.into(), y.into()])
+            .atom(e, vec![y.into(), z.into()])
+            .atom(e, vec![z.into(), x.into()])
+            .build();
+        assert!(!holds(&q, &inst));
+
+        // Adding the closing edge makes it hold.
+        inst.insert(e, vec![c, a]).unwrap();
+        assert!(holds(&q, &inst));
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let (sig, e) = graph_setup();
+        let mut builder = CqBuilder::new();
+        let x = builder.var("x");
+        let a_term = builder.constant("a");
+        let (q, mut vf) = {
+            builder.atom(e, vec![a_term, x.into()]);
+            builder.build_with_values()
+        };
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(e, vec![b, b]).unwrap();
+        assert!(!holds(&q, &inst));
+        inst.insert(e, vec![a, b]).unwrap();
+        assert!(holds(&q, &inst));
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let (sig, e) = graph_setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(e, vec![a, b]).unwrap();
+
+        // Q :- E(x, x) : requires a self-loop.
+        let mut builder = CqBuilder::new();
+        let x = builder.var("x");
+        let q = builder.atom(e, vec![x.into(), x.into()]).build();
+        assert!(!holds(&q, &inst));
+        inst.insert(e, vec![b, b]).unwrap();
+        assert!(holds(&q, &inst));
+    }
+
+    #[test]
+    fn seed_constrains_search() {
+        let (sig, e) = graph_setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(e, vec![a, b]).unwrap();
+        inst.insert(e, vec![b, b]).unwrap();
+
+        let mut builder = CqBuilder::new();
+        let (x, y) = (builder.var("x"), builder.var("y"));
+        let q = builder.atom(e, vec![x.into(), y.into()]).build();
+
+        let mut seed = Homomorphism::default();
+        seed.insert(x, a);
+        let h = find_homomorphism(&q, &inst, &seed).unwrap();
+        assert_eq!(h[&x], a);
+        assert_eq!(h[&y], b);
+
+        let mut bad_seed = Homomorphism::default();
+        bad_seed.insert(y, a);
+        assert!(find_homomorphism(&q, &inst, &bad_seed).is_none());
+    }
+
+    #[test]
+    fn all_homomorphisms_enumerates_and_respects_limit() {
+        let (sig, e) = graph_setup();
+        let mut vf = ValueFactory::new();
+        let vals: Vec<_> = (0..4).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let mut inst = Instance::new(sig.clone());
+        for &u in &vals {
+            for &w in &vals {
+                inst.insert(e, vec![u, w]).unwrap();
+            }
+        }
+        let mut builder = CqBuilder::new();
+        let (x, y) = (builder.var("x"), builder.var("y"));
+        let q = builder.atom(e, vec![x.into(), y.into()]).build();
+        assert_eq!(all_homomorphisms(&q, &inst, usize::MAX).len(), 16);
+        assert_eq!(all_homomorphisms(&q, &inst, 5).len(), 5);
+    }
+
+    #[test]
+    fn empty_query_always_holds() {
+        let (sig, _) = graph_setup();
+        let inst = Instance::new(sig);
+        let q = CqBuilder::new().build();
+        assert!(holds(&q, &inst));
+    }
+}

@@ -1,0 +1,288 @@
+//! Query containment (between CQs), minimization, and minimization under
+//! FDs.
+//!
+//! Plain CQ containment `Q1 ⊆ Q2` (no constraints) holds exactly when there
+//! is a homomorphism from `Q2` into the canonical database of `Q1` mapping
+//! the free variables of `Q2` to the frozen images of the free variables of
+//! `Q1` (Chandra–Merlin). Minimization removes redundant atoms, yielding the
+//! core of the query; minimization *under FDs* first chases the canonical
+//! database with the FDs, as in the construction of `Q*` in the proof of
+//! Theorem 7.2.
+
+use rbqa_common::{Signature, Value, ValueFactory};
+use rustc_hash::FxHashMap;
+
+use crate::atom::Atom;
+use crate::constraints::Fd;
+use crate::cq::ConjunctiveQuery;
+use crate::homomorphism::{find_homomorphism, Homomorphism};
+use crate::term::{Term, VarId, VarPool};
+
+/// Whether `q1 ⊆ q2` over all instances (no constraints): every answer of
+/// `q1` is an answer of `q2`. Both queries must use constants interned in
+/// `values` and have the same number of free variables (answer arity);
+/// otherwise the result is `false`.
+pub fn cq_contained_in(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    signature: &Signature,
+    values: &mut ValueFactory,
+) -> bool {
+    if q1.free_vars().len() != q2.free_vars().len() {
+        return false;
+    }
+    let canon = q1.canonical_database(signature, values);
+    // The free variables of q2 must map to the frozen free variables of q1,
+    // position-wise.
+    let mut seed: Homomorphism = FxHashMap::default();
+    for (v2, v1) in q2.free_vars().iter().zip(q1.free_vars().iter()) {
+        let Some(&target) = canon.assignment.get(v1) else {
+            return false;
+        };
+        seed.insert(*v2, target);
+    }
+    find_homomorphism(&q2.boolean_closure(), &canon.instance, &seed).is_some()
+}
+
+/// Whether `q1` and `q2` are equivalent over all instances.
+pub fn cq_equivalent(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    signature: &Signature,
+    values: &mut ValueFactory,
+) -> bool {
+    cq_contained_in(q1, q2, signature, values) && cq_contained_in(q2, q1, signature, values)
+}
+
+/// Minimizes a CQ by repeatedly dropping atoms whose removal preserves
+/// equivalence, producing (a query isomorphic to) its core.
+pub fn minimize(
+    query: &ConjunctiveQuery,
+    signature: &Signature,
+    values: &mut ValueFactory,
+) -> ConjunctiveQuery {
+    let mut atoms: Vec<Atom> = query.atoms().to_vec();
+    let mut changed = true;
+    while changed && atoms.len() > 1 {
+        changed = false;
+        for i in 0..atoms.len() {
+            let mut candidate_atoms = atoms.clone();
+            candidate_atoms.remove(i);
+            let candidate = ConjunctiveQuery::new(
+                query.vars().clone(),
+                query.free_vars().to_vec(),
+                candidate_atoms,
+            );
+            // Dropping an atom can only make the query weaker-or-equal
+            // (candidate ⊇ query always); it is safe exactly when the
+            // candidate is still contained in the original.
+            if cq_contained_in(&candidate, query, signature, values) {
+                atoms.remove(i);
+                changed = true;
+                break;
+            }
+        }
+    }
+    ConjunctiveQuery::new(query.vars().clone(), query.free_vars().to_vec(), atoms)
+}
+
+/// Minimizes a CQ under a set of FDs: the canonical database is first
+/// chased with the FDs (unifying frozen variables that the FDs force
+/// equal), the query is rebuilt from the result, and then minimized. This is
+/// the `Q*` construction used in the proof of Theorem 7.2.
+///
+/// Returns `None` when the FDs make the query unsatisfiable (two distinct
+/// constants forced equal).
+pub fn minimize_under_fds(
+    query: &ConjunctiveQuery,
+    fds: &[Fd],
+    signature: &Signature,
+    values: &mut ValueFactory,
+) -> Option<ConjunctiveQuery> {
+    let canon = query.canonical_database(signature, values);
+    // Chase the canonical database with the FDs only.
+    let constraints = crate::constraints::ConstraintSet::from_parts(Vec::new(), fds.to_vec());
+    // A tiny FD-only chase: it cannot create facts, only merge values, and
+    // always terminates.
+    let outcome = fd_only_chase(&canon.instance, &constraints);
+    let (instance, unifier) = outcome?;
+
+    // Rebuild the query: every surviving value becomes a term (constants
+    // stay constants; nulls become variables named after their id).
+    let mut vars = VarPool::new();
+    let mut value_to_term: FxHashMap<Value, Term> = FxHashMap::default();
+    let mut term_of = |value: Value, vars: &mut VarPool| -> Term {
+        *value_to_term.entry(value).or_insert_with(|| match value {
+            Value::Const(_) => Term::Const(value),
+            Value::Null(n) => Term::Var(vars.var(&format!("m{}", n.raw()))),
+        })
+    };
+    let mut atoms = Vec::new();
+    for fact in instance.iter_facts() {
+        let args: Vec<Term> = fact.args().iter().map(|v| term_of(*v, &mut vars)).collect();
+        atoms.push(Atom::new(fact.relation(), args));
+    }
+    // Free variables: follow the original free variables through the
+    // freezing assignment and the unifier.
+    let mut free: Vec<VarId> = Vec::new();
+    for v in query.free_vars() {
+        let frozen = canon.assignment.get(v)?;
+        let rewritten = *unifier.get(frozen).unwrap_or(frozen);
+        match term_of(rewritten, &mut vars) {
+            Term::Var(new_var) => {
+                if !free.contains(&new_var) {
+                    free.push(new_var);
+                }
+            }
+            Term::Const(_) => {
+                // The FD forced the answer variable to a constant: it no
+                // longer needs to be free (any projection is constant), but
+                // we keep the arity by introducing a variable equal to it is
+                // not possible in plain CQs, so we simply drop it from the
+                // free list.
+            }
+        }
+    }
+    let rebuilt = ConjunctiveQuery::new(vars, free, atoms);
+    Some(minimize(&rebuilt, signature, values))
+}
+
+/// FD-only chase on an instance: returns the repaired instance and the value
+/// unifier applied, or `None` when two distinct constants must be equated.
+fn fd_only_chase(
+    instance: &rbqa_common::Instance,
+    constraints: &crate::constraints::ConstraintSet,
+) -> Option<(rbqa_common::Instance, FxHashMap<Value, Value>)> {
+    let mut current = instance.clone();
+    let mut total_unifier: FxHashMap<Value, Value> = FxHashMap::default();
+    loop {
+        let mut merge: Option<(Value, Value)> = None;
+        'outer: for fd in constraints.fds() {
+            let tuples: Vec<Vec<Value>> = current.tuples(fd.relation()).map(|t| t.to_vec()).collect();
+            for (i, t1) in tuples.iter().enumerate() {
+                for t2 in &tuples[i + 1..] {
+                    if fd.violated_by(t1, t2) {
+                        merge = Some((t1[fd.determined()], t2[fd.determined()]));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let Some((a, b)) = merge else {
+            return Some((current, total_unifier));
+        };
+        let (keep, drop) = match (a.is_const(), b.is_const()) {
+            (true, true) => return None,
+            (true, false) => (a, b),
+            (false, true) => (b, a),
+            (false, false) => {
+                if a <= b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+        };
+        let mut map = FxHashMap::default();
+        map.insert(drop, keep);
+        current = current.map_values(&map);
+        // Compose into the accumulated unifier.
+        for v in total_unifier.values_mut() {
+            if *v == drop {
+                *v = keep;
+            }
+        }
+        total_unifier.insert(drop, keep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+
+    fn setup() -> (Signature, ValueFactory) {
+        (Signature::new(), ValueFactory::new())
+    }
+
+    #[test]
+    fn containment_between_path_queries() {
+        let (mut sig, mut vf) = setup();
+        let path2 = parse_cq("Q() :- E(x, y), E(y, z)", &mut sig, &mut vf).unwrap();
+        let edge = parse_cq("Q() :- E(u, v)", &mut sig, &mut vf).unwrap();
+        // A 2-path implies an edge, not vice versa.
+        assert!(cq_contained_in(&path2, &edge, &sig, &mut vf));
+        assert!(!cq_contained_in(&edge, &path2, &sig, &mut vf));
+        assert!(!cq_equivalent(&edge, &path2, &sig, &mut vf));
+    }
+
+    #[test]
+    fn containment_respects_free_variables() {
+        let (mut sig, mut vf) = setup();
+        // Q1(x) :- E(x, y)   vs   Q2(y) :- E(x, y): not equivalent (the
+        // answer is the source in one, the target in the other).
+        let q1 = parse_cq("Q(x) :- E(x, y)", &mut sig, &mut vf).unwrap();
+        let q2 = parse_cq("Q(y) :- E(x, y)", &mut sig, &mut vf).unwrap();
+        assert!(!cq_contained_in(&q1, &q2, &sig, &mut vf));
+        assert!(cq_equivalent(&q1, &q1, &sig, &mut vf));
+    }
+
+    #[test]
+    fn containment_with_constants() {
+        let (mut sig, mut vf) = setup();
+        let specific = parse_cq("Q() :- R(x, 'a')", &mut sig, &mut vf).unwrap();
+        let general = parse_cq("Q() :- R(x, y)", &mut sig, &mut vf).unwrap();
+        assert!(cq_contained_in(&specific, &general, &sig, &mut vf));
+        assert!(!cq_contained_in(&general, &specific, &sig, &mut vf));
+    }
+
+    #[test]
+    fn minimize_removes_redundant_atoms() {
+        let (mut sig, mut vf) = setup();
+        // E(x, y), E(x, z) is equivalent to E(x, y).
+        let q = parse_cq("Q(x) :- E(x, y), E(x, z)", &mut sig, &mut vf).unwrap();
+        let minimized = minimize(&q, &sig, &mut vf);
+        assert_eq!(minimized.size(), 1);
+        assert!(cq_equivalent(&q, &minimized, &sig, &mut vf));
+    }
+
+    #[test]
+    fn minimize_keeps_non_redundant_atoms() {
+        let (mut sig, mut vf) = setup();
+        let triangle = parse_cq("Q() :- E(x, y), E(y, z), E(z, x)", &mut sig, &mut vf).unwrap();
+        let minimized = minimize(&triangle, &sig, &mut vf);
+        assert_eq!(minimized.size(), 3);
+        // A 2-path with distinguished endpoints cannot shrink either.
+        let path = parse_cq("Q(x, z) :- E(x, y), E(y, z)", &mut sig, &mut vf).unwrap();
+        assert_eq!(minimize(&path, &sig, &mut vf).size(), 2);
+    }
+
+    #[test]
+    fn minimize_under_fds_merges_determined_variables() {
+        let (mut sig, mut vf) = setup();
+        // R(x, y), R(x, z), S(y), S(z) with FD R: 1 -> 2 forces y = z.
+        let q = parse_cq("Q() :- R(x, y), R(x, z), S(y), S(z)", &mut sig, &mut vf).unwrap();
+        let r = sig.require("R").unwrap();
+        let fds = vec![Fd::new(r, vec![0], 1)];
+        let minimized = minimize_under_fds(&q, &fds, &sig, &mut vf).unwrap();
+        // After unification: R(x, y), S(y) — two atoms.
+        assert_eq!(minimized.size(), 2);
+    }
+
+    #[test]
+    fn minimize_under_fds_detects_unsatisfiable_queries() {
+        let (mut sig, mut vf) = setup();
+        let q = parse_cq("Q() :- R(x, 'a'), R(x, 'b')", &mut sig, &mut vf).unwrap();
+        let r = sig.require("R").unwrap();
+        let fds = vec![Fd::new(r, vec![0], 1)];
+        assert!(minimize_under_fds(&q, &fds, &sig, &mut vf).is_none());
+    }
+
+    #[test]
+    fn minimize_under_no_fds_is_plain_minimization() {
+        let (mut sig, mut vf) = setup();
+        let q = parse_cq("Q() :- E(x, y), E(x, z)", &mut sig, &mut vf).unwrap();
+        let minimized = minimize_under_fds(&q, &[], &sig, &mut vf).unwrap();
+        assert_eq!(minimized.size(), 1);
+    }
+}

@@ -1,0 +1,597 @@
+//! A compact text syntax for atoms, conjunctive queries and dependencies.
+//!
+//! The syntax is used by examples, tests and workload definitions; it is not
+//! part of the paper but makes schemas readable:
+//!
+//! * **Atom**: `Prof(i, n, '10000')` — arguments starting with a lowercase
+//!   letter are variables, quoted strings and numbers are constants.
+//! * **Conjunctive query**: `Q(n) :- Prof(i, n, '10000')`; a Boolean query
+//!   has an empty head argument list: `Q() :- Udirectory(i, a, p)`.
+//! * **TGD**: `Udirectory(i, a, p) -> Prof(i, n, s)` — head variables not in
+//!   the body are existentially quantified. Constants are not allowed in
+//!   dependencies (the paper disallows constants in constraints).
+//! * **FD**: `FD Udirectory: 1 -> 2` — positions are 1-based, as written in
+//!   the paper.
+//!
+//! Relations are auto-declared in the supplied [`Signature`] with the arity
+//! at which they are first used; later uses with a different arity are
+//! errors.
+
+use rbqa_common::{Error as CommonError, RelationId, Signature, ValueFactory};
+
+use crate::atom::Atom;
+use crate::constraints::{Fd, Tgd};
+use crate::cq::ConjunctiveQuery;
+use crate::term::{Term, VarPool};
+
+/// Errors produced by the parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input did not match the expected grammar.
+    Syntax(String),
+    /// A signature-level error (arity conflict, unknown relation).
+    Signature(String),
+    /// Constants are not allowed in dependencies.
+    ConstantInConstraint(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax(msg) => write!(f, "syntax error: {msg}"),
+            ParseError::Signature(msg) => write!(f, "signature error: {msg}"),
+            ParseError::ConstantInConstraint(msg) => {
+                write!(f, "constants are not allowed in dependencies: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<CommonError> for ParseError {
+    fn from(e: CommonError) -> Self {
+        ParseError::Signature(e.to_string())
+    }
+}
+
+/// Result alias for the parser.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Quoted(String),
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    ColonDash, // ":-"
+    Arrow,     // "->"
+    Colon,
+    Keyword(String), // "FD"
+}
+
+fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < chars.len() && chars[i + 1] == '-' {
+                    tokens.push(Token::ColonDash);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Colon);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    return Err(ParseError::Syntax(format!(
+                        "unexpected '-' at offset {i}"
+                    )));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < chars.len() && chars[j] != quote {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(ParseError::Syntax("unterminated quoted constant".into()));
+                }
+                tokens.push(Token::Quoted(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut s = String::new();
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '.') {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                tokens.push(Token::Number(s));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut s = String::new();
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if s == "FD" {
+                    tokens.push(Token::Keyword(s));
+                } else {
+                    tokens.push(Token::Ident(s));
+                }
+                i = j;
+            }
+            other => {
+                return Err(ParseError::Syntax(format!(
+                    "unexpected character `{other}` at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    sig: &'a mut Signature,
+    values: &'a mut ValueFactory,
+}
+
+impl<'a> Parser<'a> {
+    fn new(
+        input: &str,
+        sig: &'a mut Signature,
+        values: &'a mut ValueFactory,
+    ) -> ParseResult<Self> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+            sig,
+            values,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Token) -> ParseResult<()> {
+        match self.next() {
+            Some(ref t) if t == tok => Ok(()),
+            other => Err(ParseError::Syntax(format!(
+                "expected {tok:?}, found {other:?}"
+            ))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Parses `Rel(arg, ...)`, declaring the relation if needed.
+    fn parse_atom(&mut self, vars: &mut VarPool, allow_constants: bool) -> ParseResult<Atom> {
+        let name = match self.next() {
+            Some(Token::Ident(n)) => n,
+            other => {
+                return Err(ParseError::Syntax(format!(
+                    "expected relation name, found {other:?}"
+                )))
+            }
+        };
+        self.expect(&Token::LParen)?;
+        let mut args: Vec<Term> = Vec::new();
+        if self.peek() == Some(&Token::RParen) {
+            self.next();
+        } else {
+            loop {
+                match self.next() {
+                    Some(Token::Ident(id)) => {
+                        // Identifiers starting with a lowercase letter (or '_')
+                        // are variables; others are treated as constants.
+                        let first = id.chars().next().unwrap_or('_');
+                        if first.is_lowercase() || first == '_' {
+                            args.push(Term::Var(vars.var(&id)));
+                        } else if allow_constants {
+                            args.push(Term::Const(self.values.constant(&id)));
+                        } else {
+                            return Err(ParseError::ConstantInConstraint(id));
+                        }
+                    }
+                    Some(Token::Quoted(s)) => {
+                        if allow_constants {
+                            args.push(Term::Const(self.values.constant(&s)));
+                        } else {
+                            return Err(ParseError::ConstantInConstraint(s));
+                        }
+                    }
+                    Some(Token::Number(s)) => {
+                        if allow_constants {
+                            args.push(Term::Const(self.values.constant(&s)));
+                        } else {
+                            return Err(ParseError::ConstantInConstraint(s));
+                        }
+                    }
+                    other => {
+                        return Err(ParseError::Syntax(format!(
+                            "expected argument, found {other:?}"
+                        )))
+                    }
+                }
+                match self.next() {
+                    Some(Token::Comma) => continue,
+                    Some(Token::RParen) => break,
+                    other => {
+                        return Err(ParseError::Syntax(format!(
+                            "expected ',' or ')', found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        let rel = self.sig.add_relation(&name, args.len())?;
+        Ok(Atom::new(rel, args))
+    }
+
+    fn parse_atom_list(
+        &mut self,
+        vars: &mut VarPool,
+        allow_constants: bool,
+    ) -> ParseResult<Vec<Atom>> {
+        let mut atoms = vec![self.parse_atom(vars, allow_constants)?];
+        while self.peek() == Some(&Token::Comma) {
+            self.next();
+            atoms.push(self.parse_atom(vars, allow_constants)?);
+        }
+        Ok(atoms)
+    }
+}
+
+/// Parses a conjunctive query such as `Q(n) :- Prof(i, n, '10000')`.
+///
+/// Relations used in the body are declared in `sig`; constants are interned
+/// in `values`.
+pub fn parse_cq(
+    input: &str,
+    sig: &mut Signature,
+    values: &mut ValueFactory,
+) -> ParseResult<ConjunctiveQuery> {
+    let mut p = Parser::new(input, sig, values)?;
+    let mut vars = VarPool::new();
+    // Head: Name(v1, ..., vk)
+    let _head_name = match p.next() {
+        Some(Token::Ident(n)) => n,
+        other => {
+            return Err(ParseError::Syntax(format!(
+                "expected query head, found {other:?}"
+            )))
+        }
+    };
+    p.expect(&Token::LParen)?;
+    let mut free = Vec::new();
+    if p.peek() == Some(&Token::RParen) {
+        p.next();
+    } else {
+        loop {
+            match p.next() {
+                Some(Token::Ident(id)) => {
+                    let v = vars.var(&id);
+                    if !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+                other => {
+                    return Err(ParseError::Syntax(format!(
+                        "query head arguments must be variables, found {other:?}"
+                    )))
+                }
+            }
+            match p.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => {
+                    return Err(ParseError::Syntax(format!(
+                        "expected ',' or ')', found {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+    p.expect(&Token::ColonDash)?;
+    let atoms = p.parse_atom_list(&mut vars, true)?;
+    if !p.at_end() {
+        return Err(ParseError::Syntax("trailing input after query".into()));
+    }
+    // Safety check: free variables must occur in the body.
+    let body_vars = {
+        let mut seen = Vec::new();
+        for a in &atoms {
+            for v in a.variables() {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+        }
+        seen
+    };
+    for v in &free {
+        if !body_vars.contains(v) {
+            return Err(ParseError::Syntax(format!(
+                "free variable `{}` does not occur in the query body",
+                vars.name(*v)
+            )));
+        }
+    }
+    Ok(ConjunctiveQuery::new(vars, free, atoms))
+}
+
+/// Parses a TGD such as `Udirectory(i, a, p) -> Prof(i, n, s)`.
+pub fn parse_tgd(
+    input: &str,
+    sig: &mut Signature,
+    values: &mut ValueFactory,
+) -> ParseResult<Tgd> {
+    let mut p = Parser::new(input, sig, values)?;
+    let mut vars = VarPool::new();
+    let body = p.parse_atom_list(&mut vars, false)?;
+    p.expect(&Token::Arrow)?;
+    let head = p.parse_atom_list(&mut vars, false)?;
+    if !p.at_end() {
+        return Err(ParseError::Syntax("trailing input after dependency".into()));
+    }
+    Ok(Tgd::new(vars, body, head))
+}
+
+/// Parses an FD such as `FD Udirectory: 1 -> 2` (1-based positions).
+pub fn parse_fd(input: &str, sig: &mut Signature) -> ParseResult<Fd> {
+    let mut values = ValueFactory::new();
+    let mut p = Parser::new(input, sig, &mut values)?;
+    match p.next() {
+        Some(Token::Keyword(k)) if k == "FD" => {}
+        other => {
+            return Err(ParseError::Syntax(format!(
+                "expected `FD`, found {other:?}"
+            )))
+        }
+    }
+    let rel_name = match p.next() {
+        Some(Token::Ident(n)) => n,
+        other => {
+            return Err(ParseError::Syntax(format!(
+                "expected relation name, found {other:?}"
+            )))
+        }
+    };
+    let rel: RelationId = p
+        .sig
+        .relation_by_name(&rel_name)
+        .ok_or_else(|| ParseError::Signature(format!("unknown relation `{rel_name}`")))?;
+    p.expect(&Token::Colon)?;
+    let mut determiners = Vec::new();
+    loop {
+        match p.next() {
+            Some(Token::Number(n)) => {
+                let pos: usize = n
+                    .parse()
+                    .map_err(|_| ParseError::Syntax(format!("bad position `{n}`")))?;
+                if pos == 0 {
+                    return Err(ParseError::Syntax("positions are 1-based".into()));
+                }
+                determiners.push(pos - 1);
+            }
+            other => {
+                return Err(ParseError::Syntax(format!(
+                    "expected position number, found {other:?}"
+                )))
+            }
+        }
+        match p.next() {
+            Some(Token::Comma) => continue,
+            Some(Token::Arrow) => break,
+            other => {
+                return Err(ParseError::Syntax(format!(
+                    "expected ',' or '->', found {other:?}"
+                )))
+            }
+        }
+    }
+    let determined = match p.next() {
+        Some(Token::Number(n)) => {
+            let pos: usize = n
+                .parse()
+                .map_err(|_| ParseError::Syntax(format!("bad position `{n}`")))?;
+            if pos == 0 {
+                return Err(ParseError::Syntax("positions are 1-based".into()));
+            }
+            pos - 1
+        }
+        other => {
+            return Err(ParseError::Syntax(format!(
+                "expected position number, found {other:?}"
+            )))
+        }
+    };
+    if !p.at_end() {
+        return Err(ParseError::Syntax("trailing input after FD".into()));
+    }
+    let arity = p.sig.arity(rel);
+    for pos in determiners.iter().chain(std::iter::once(&determined)) {
+        if *pos >= arity {
+            return Err(ParseError::Signature(format!(
+                "position {} out of range for `{rel_name}` of arity {arity}",
+                pos + 1
+            )));
+        }
+    }
+    Ok(Fd::new(rel, determiners, determined))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_query_with_constant() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        assert_eq!(q.free_vars().len(), 1);
+        assert_eq!(q.size(), 1);
+        assert_eq!(q.constants().len(), 1);
+        assert_eq!(sig.arity(sig.require("Prof").unwrap()), 3);
+    }
+
+    #[test]
+    fn parse_boolean_query() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let q = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn parse_multi_atom_query_shares_variables() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let q = parse_cq(
+            "Q(a) :- Udirectory(i, a, p), Prof(i, n, s)",
+            &mut sig,
+            &mut vf,
+        )
+        .unwrap();
+        assert_eq!(q.size(), 2);
+        assert_eq!(q.all_variables().len(), 5);
+    }
+
+    #[test]
+    fn parse_tgd_and_classify() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let tgd = parse_tgd(
+            "Udirectory(i, a, p) -> Prof(i, n, s)",
+            &mut sig,
+            &mut vf,
+        )
+        .unwrap();
+        assert!(tgd.is_uid());
+        assert_eq!(tgd.width(), 1);
+    }
+
+    #[test]
+    fn parse_full_tgd_with_two_body_atoms() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let tgd = parse_tgd("T(y), S(x) -> T(x)", &mut sig, &mut vf).unwrap();
+        assert!(tgd.is_full());
+        assert!(!tgd.is_id());
+    }
+
+    #[test]
+    fn constants_rejected_in_tgds() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let err = parse_tgd("R(x, '5') -> S(x)", &mut sig, &mut vf).unwrap_err();
+        assert!(matches!(err, ParseError::ConstantInConstraint(_)));
+    }
+
+    #[test]
+    fn parse_fd_one_based() {
+        let mut sig = Signature::new();
+        sig.add_relation("Udirectory", 3).unwrap();
+        let fd = parse_fd("FD Udirectory: 1 -> 2", &mut sig).unwrap();
+        assert_eq!(fd.determined(), 1);
+        assert!(fd.determiners().contains(&0));
+    }
+
+    #[test]
+    fn parse_fd_composite_lhs() {
+        let mut sig = Signature::new();
+        sig.add_relation("R", 4).unwrap();
+        let fd = parse_fd("FD R: 1, 3 -> 4", &mut sig).unwrap();
+        assert_eq!(fd.determiners().len(), 2);
+        assert_eq!(fd.determined(), 3);
+    }
+
+    #[test]
+    fn parse_fd_unknown_relation_fails() {
+        let mut sig = Signature::new();
+        assert!(parse_fd("FD Nope: 1 -> 2", &mut sig).is_err());
+    }
+
+    #[test]
+    fn parse_fd_position_out_of_range_fails() {
+        let mut sig = Signature::new();
+        sig.add_relation("R", 2).unwrap();
+        assert!(parse_fd("FD R: 1 -> 5", &mut sig).is_err());
+    }
+
+    #[test]
+    fn arity_conflicts_are_detected() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        parse_cq("Q() :- R(x, y)", &mut sig, &mut vf).unwrap();
+        let err = parse_cq("Q() :- R(x)", &mut sig, &mut vf).unwrap_err();
+        assert!(matches!(err, ParseError::Signature(_)));
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let err = parse_cq("Q(z) :- R(x, y)", &mut sig, &mut vf).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax(_)));
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        assert!(parse_cq("Q(x) : R(x)", &mut sig, &mut vf).is_err());
+        assert!(parse_cq("Q(x) :- R(x", &mut sig, &mut vf).is_err());
+        assert!(parse_tgd("R(x) - S(x)", &mut sig, &mut vf).is_err());
+    }
+
+    #[test]
+    fn uppercase_bare_identifiers_are_constants_in_queries() {
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let q = parse_cq("Q() :- R(x, Alice)", &mut sig, &mut vf).unwrap();
+        assert_eq!(q.constants().len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Terms: variables and constants appearing in atoms.
+
+use rbqa_common::Value;
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Identifier of a variable within one query or dependency.
+///
+/// Variable identifiers are *local* to the [`VarPool`] (and hence to the
+/// query / dependency) that created them; two different queries may both use
+/// `VarId(0)` for unrelated variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Builds a `VarId` from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        VarId(u32::try_from(index).expect("more than u32::MAX variables"))
+    }
+
+    /// The dense index backing this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A term: either a variable or a domain constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable, identified within its owning query/dependency.
+    Var(VarId),
+    /// A domain constant.
+    Const(Value),
+}
+
+impl Term {
+    /// Whether the term is a variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Whether the term is a constant.
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The variable id, if this term is a variable.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant value, if this term is a constant.
+    pub fn as_const(self) -> Option<Value> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Allocator of named variables for one query or dependency.
+///
+/// ```
+/// use rbqa_logic::VarPool;
+/// let mut pool = VarPool::new();
+/// let x = pool.var("x");
+/// assert_eq!(pool.var("x"), x);
+/// assert_ne!(pool.var("y"), x);
+/// assert_eq!(pool.name(x), "x");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct VarPool {
+    names: Vec<String>,
+    by_name: FxHashMap<String, VarId>,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the variable named `name`, creating it if necessary.
+    pub fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = VarId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Creates a fresh variable with a generated name.
+    pub fn fresh(&mut self, hint: &str) -> VarId {
+        let mut k = self.names.len();
+        loop {
+            let candidate = format!("{hint}_{k}");
+            if !self.by_name.contains_key(&candidate) {
+                return self.var(&candidate);
+            }
+            k += 1;
+        }
+    }
+
+    /// Looks up a variable by name without creating it.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` was not created by this pool.
+    pub fn name(&self, var: VarId) -> &str {
+        &self.names[var.index()]
+    }
+
+    /// Number of variables allocated.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all variables in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> {
+        (0..self.names.len()).map(VarId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::ValueFactory;
+
+    #[test]
+    fn var_pool_deduplicates_names() {
+        let mut pool = VarPool::new();
+        let x = pool.var("x");
+        assert_eq!(pool.var("x"), x);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.name(x), "x");
+    }
+
+    #[test]
+    fn fresh_vars_never_collide() {
+        let mut pool = VarPool::new();
+        pool.var("z_0");
+        let f1 = pool.fresh("z");
+        let f2 = pool.fresh("z");
+        assert_ne!(f1, f2);
+        assert_ne!(pool.name(f1), "z_0");
+    }
+
+    #[test]
+    fn term_classification() {
+        let mut vf = ValueFactory::new();
+        let c = vf.constant("a");
+        let t_const = Term::Const(c);
+        let t_var = Term::Var(VarId::from_index(3));
+        assert!(t_const.is_const() && !t_const.is_var());
+        assert!(t_var.is_var() && !t_var.is_const());
+        assert_eq!(t_const.as_const(), Some(c));
+        assert_eq!(t_var.as_var(), Some(VarId::from_index(3)));
+        assert_eq!(t_const.as_var(), None);
+        assert_eq!(t_var.as_const(), None);
+    }
+
+    #[test]
+    fn get_does_not_create() {
+        let mut pool = VarPool::new();
+        assert!(pool.get("x").is_none());
+        pool.var("x");
+        assert!(pool.get("x").is_some());
+    }
+
+    #[test]
+    fn iter_yields_all_vars() {
+        let mut pool = VarPool::new();
+        pool.var("a");
+        pool.var("b");
+        assert_eq!(pool.iter().count(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Unions of conjunctive queries (UCQs).
+//!
+//! A UCQ is a finite disjunction of CQs over the same free variables. The
+//! paper uses UCQs to state finite controllability (Section 2) and to
+//! convert monotone plans back into queries (Proposition 2.2); the plan
+//! layer of `rbqa-access` performs a similar conversion for validation.
+
+use rbqa_common::{Instance, Value};
+use rustc_hash::FxHashSet;
+
+use crate::cq::ConjunctiveQuery;
+use crate::evaluate::evaluate;
+
+/// A union (disjunction) of conjunctive queries.
+#[derive(Debug, Clone, Default)]
+pub struct UnionOfConjunctiveQueries {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionOfConjunctiveQueries {
+    /// Creates an empty UCQ (equivalent to `false`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a UCQ from its disjuncts.
+    pub fn from_disjuncts(disjuncts: Vec<ConjunctiveQuery>) -> Self {
+        UnionOfConjunctiveQueries { disjuncts }
+    }
+
+    /// Wraps a single CQ as a UCQ.
+    pub fn single(cq: ConjunctiveQuery) -> Self {
+        UnionOfConjunctiveQueries {
+            disjuncts: vec![cq],
+        }
+    }
+
+    /// Adds a disjunct.
+    pub fn push(&mut self, cq: ConjunctiveQuery) {
+        self.disjuncts.push(cq);
+    }
+
+    /// The disjuncts of the UCQ.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Whether the UCQ has no disjuncts (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.disjuncts.is_empty()
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.disjuncts.len()
+    }
+
+    /// Whether all disjuncts are Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.disjuncts.iter().all(|q| q.is_boolean())
+    }
+
+    /// Evaluates the UCQ over `instance`: the union of the answers of each
+    /// disjunct, deduplicated and sorted.
+    pub fn evaluate(&self, instance: &Instance) -> Vec<Vec<Value>> {
+        let mut out: FxHashSet<Vec<Value>> = FxHashSet::default();
+        for q in &self.disjuncts {
+            out.extend(evaluate(q, instance));
+        }
+        let mut result: Vec<Vec<Value>> = out.into_iter().collect();
+        result.sort();
+        result
+    }
+
+    /// Whether the Boolean UCQ holds on `instance` (some disjunct holds).
+    pub fn holds(&self, instance: &Instance) -> bool {
+        self.disjuncts
+            .iter()
+            .any(|q| crate::homomorphism::holds(q, instance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqBuilder;
+    use rbqa_common::{Instance, Signature, ValueFactory};
+
+    fn setup() -> (Signature, rbqa_common::RelationId, rbqa_common::RelationId) {
+        let mut sig = Signature::new();
+        let p = sig.add_relation("P", 1).unwrap();
+        let u = sig.add_relation("U", 1).unwrap();
+        (sig, p, u)
+    }
+
+    #[test]
+    fn empty_ucq_is_false() {
+        let (sig, _, _) = setup();
+        let inst = Instance::new(sig);
+        let ucq = UnionOfConjunctiveQueries::new();
+        assert!(ucq.is_empty());
+        assert!(!ucq.holds(&inst));
+        assert!(ucq.evaluate(&inst).is_empty());
+    }
+
+    #[test]
+    fn union_of_two_boolean_cqs() {
+        let (sig, p, u) = setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+
+        let mut b1 = CqBuilder::new();
+        let x1 = b1.var("x");
+        let q1 = b1.atom(p, vec![x1.into()]).build();
+        let mut b2 = CqBuilder::new();
+        let x2 = b2.var("x");
+        let q2 = b2.atom(u, vec![x2.into()]).build();
+
+        let ucq = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        assert!(ucq.is_boolean());
+        assert_eq!(ucq.len(), 2);
+
+        let mut inst = Instance::new(sig.clone());
+        assert!(!ucq.holds(&inst));
+        inst.insert(u, vec![a]).unwrap();
+        assert!(ucq.holds(&inst));
+    }
+
+    #[test]
+    fn evaluate_unions_answers() {
+        let (sig, p, u) = setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(p, vec![a]).unwrap();
+        inst.insert(u, vec![b]).unwrap();
+        inst.insert(u, vec![a]).unwrap();
+
+        let mut b1 = CqBuilder::new();
+        let x1 = b1.var("x");
+        let q1 = b1.free(x1).atom(p, vec![x1.into()]).build();
+        let mut b2 = CqBuilder::new();
+        let x2 = b2.var("x");
+        let q2 = b2.free(x2).atom(u, vec![x2.into()]).build();
+
+        let ucq = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        let answers = ucq.evaluate(&inst);
+        // {a} ∪ {a, b} = {a, b}
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn single_and_push() {
+        let (_sig, p, _) = setup();
+        let mut b1 = CqBuilder::new();
+        let x1 = b1.var("x");
+        let q1 = b1.atom(p, vec![x1.into()]).build();
+        let mut ucq = UnionOfConjunctiveQueries::single(q1.clone());
+        assert_eq!(ucq.len(), 1);
+        ucq.push(q1);
+        assert_eq!(ucq.len(), 2);
+    }
+}

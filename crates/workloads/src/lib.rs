@@ -1,0 +1,25 @@
+//! # rbqa-workloads
+//!
+//! Ready-made schemas, queries and randomised workload generators for the
+//! examples, integration tests and benchmarks.
+//!
+//! * [`scenarios`] — the paper's running examples as ready-to-use schemas:
+//!   the university directory of Example 1.1 (with or without result
+//!   bounds), the FD variant of Example 1.5, the TGD schema of Example 6.1,
+//!   and web-service-flavoured schemas (a biological-entities service and a
+//!   movie catalogue) modelled on the motivating ChEBI / IMDb examples;
+//! * [`random`] — random schema/query generators per constraint class
+//!   (parameterised by number of relations, arity, number of dependencies,
+//!   ID width, number of methods and result bounds), used by the Table-1
+//!   benchmarks;
+//! * [`suites`] — named experiment suites: one per Table-1 row and one per
+//!   derived "figure" of EXPERIMENTS.md, each described by the workload
+//!   parameters it sweeps.
+
+pub mod random;
+pub mod scenarios;
+pub mod suites;
+
+pub use random::{RandomSchemaConfig, RandomWorkload};
+pub use scenarios::Scenario;
+pub use suites::{experiment_suites, ExperimentSuite};

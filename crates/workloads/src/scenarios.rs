@@ -1,0 +1,305 @@
+//! The paper's running examples and motivating web-service scenarios as
+//! ready-made workloads.
+
+use rbqa_access::{AccessMethod, Schema};
+use rbqa_common::{Signature, ValueFactory};
+use rbqa_logic::constraints::tgd::inclusion_dependency;
+use rbqa_logic::constraints::ConstraintSet;
+use rbqa_logic::parser::{parse_cq, parse_tgd};
+use rbqa_logic::{ConjunctiveQuery, Fd};
+
+/// A named scenario: a schema, a set of named queries, and the value
+/// factory that interned their constants.
+#[derive(Debug)]
+pub struct Scenario {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// The schema (signature, constraints, access methods).
+    pub schema: Schema,
+    /// Named queries, with the expected answerability where the paper
+    /// states it (`Some(true)` = answerable, `Some(false)` = not,
+    /// `None` = not discussed).
+    pub queries: Vec<(String, ConjunctiveQuery, Option<bool>)>,
+    /// The value factory holding the constants of the queries.
+    pub values: ValueFactory,
+}
+
+impl Scenario {
+    /// Looks up a query by name.
+    pub fn query(&self, name: &str) -> Option<&ConjunctiveQuery> {
+        self.queries
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, q, _)| q)
+    }
+}
+
+/// Example 1.1–1.4: the university directory. `ud_bound` is the result
+/// bound on the input-free `ud` method (`None` reproduces Example 1.2,
+/// `Some(100)` reproduces Examples 1.3/1.4).
+pub fn university(ud_bound: Option<usize>) -> Scenario {
+    let mut sig = Signature::new();
+    let prof = sig.add_relation("Prof", 3).unwrap();
+    let udir = sig.add_relation("Udirectory", 3).unwrap();
+    let mut constraints = ConstraintSet::new();
+    // τ: the id of every Prof tuple appears in Udirectory.
+    constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+        .unwrap();
+    let ud = match ud_bound {
+        None => AccessMethod::unbounded("ud", udir, &[]),
+        Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+    };
+    schema.add_method(ud).unwrap();
+
+    let mut values = ValueFactory::new();
+    let mut sig2 = schema.signature().clone();
+    let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig2, &mut values).unwrap();
+    let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig2, &mut values).unwrap();
+    let q1_expected = Some(ud_bound.is_none());
+    Scenario {
+        name: match ud_bound {
+            None => "university (Example 1.2, no result bound)".to_owned(),
+            Some(k) => format!("university (Examples 1.3/1.4, ud bound {k})"),
+        },
+        schema,
+        queries: vec![
+            ("Q1_salary_names".to_owned(), q1, q1_expected),
+            ("Q2_directory_nonempty".to_owned(), q2, Some(true)),
+        ],
+        values,
+    }
+}
+
+/// Example 1.5 / 4.4: the directory with the FD `id -> address` and the
+/// result-bounded method `ud2` keyed on the id.
+pub fn university_fd() -> Scenario {
+    let mut sig = Signature::new();
+    let udir = sig.add_relation("Udirectory", 3).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_fd(Fd::new(udir, vec![0], 1));
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::bounded("ud2", udir, &[0], 1))
+        .unwrap();
+
+    let mut values = ValueFactory::new();
+    let mut sig2 = schema.signature().clone();
+    let q_address = parse_cq(
+        "Q() :- Udirectory('12345', 'mainst', p)",
+        &mut sig2,
+        &mut values,
+    )
+    .unwrap();
+    let q_phone = parse_cq(
+        "Q() :- Udirectory('12345', a, '5550100')",
+        &mut sig2,
+        &mut values,
+    )
+    .unwrap();
+    Scenario {
+        name: "university FD (Example 1.5)".to_owned(),
+        schema,
+        queries: vec![
+            ("Q3_address_of_id".to_owned(), q_address, Some(true)),
+            ("Q3b_phone_of_id".to_owned(), q_phone, Some(false)),
+        ],
+        values,
+    }
+}
+
+/// Example 6.1: the TGD schema on which neither the existence-check nor the
+/// FD simplification suffices, but the choice simplification does.
+pub fn tgd_example_6_1() -> Scenario {
+    let mut sig = Signature::new();
+    let s = sig.add_relation("S", 1).unwrap();
+    let t = sig.add_relation("T", 1).unwrap();
+    let mut values = ValueFactory::new();
+    let mut sig_parse = sig.clone();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(parse_tgd("T(y), S(x) -> T(x)", &mut sig_parse, &mut values).unwrap());
+    constraints.push_tgd(parse_tgd("T(y) -> S(x)", &mut sig_parse, &mut values).unwrap());
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::bounded("mtS", s, &[], 1))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("mtT", t, &[0]))
+        .unwrap();
+    let q = parse_cq("Q() :- T(y)", &mut sig_parse, &mut values).unwrap();
+    Scenario {
+        name: "TGD schema (Example 6.1)".to_owned(),
+        schema,
+        queries: vec![("Q_some_T".to_owned(), q, Some(true))],
+        values,
+    }
+}
+
+/// A biological-entities service in the style of the ChEBI motivating
+/// example: `Compound(chebi_id, name, mass)` looked up by id with a result
+/// bound (the public service caps each lookup at 5000 rows), and
+/// `Synonym(chebi_id, synonym)` with an unbounded per-id lookup; every
+/// synonym row references a compound.
+pub fn bio_services(lookup_bound: usize) -> Scenario {
+    let mut sig = Signature::new();
+    let compound = sig.add_relation("Compound", 3).unwrap();
+    let synonym = sig.add_relation("Synonym", 2).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(inclusion_dependency(&sig, synonym, &[0], compound, &[0]));
+    // Each ChEBI id names a single compound (name and mass are determined).
+    constraints.push_fd(Fd::new(compound, vec![0], 1));
+    constraints.push_fd(Fd::new(compound, vec![0], 2));
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::bounded(
+            "compound_by_id",
+            compound,
+            &[0],
+            lookup_bound,
+        ))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("synonyms_by_id", synonym, &[0]))
+        .unwrap();
+
+    let mut values = ValueFactory::new();
+    let mut sig2 = schema.signature().clone();
+    let q_mass = parse_cq(
+        "Q() :- Compound('chebi:15377', 'water', m)",
+        &mut sig2,
+        &mut values,
+    )
+    .unwrap();
+    let q_all = parse_cq("Q(n) :- Compound(i, n, m)", &mut sig2, &mut values).unwrap();
+    Scenario {
+        name: format!("bio services (ChEBI-style, lookup bound {lookup_bound})"),
+        schema,
+        queries: vec![
+            ("Q_compound_name_check".to_owned(), q_mass, Some(true)),
+            ("Q_all_compound_names".to_owned(), q_all, Some(false)),
+        ],
+        values,
+    }
+}
+
+/// A movie catalogue in the style of the IMDb motivating example:
+/// `Movie(movie_id, title, year)`, `Cast(movie_id, actor_id)`,
+/// `Actor(actor_id, name)`; the title search is result-bounded (IMDb caps
+/// listings at 10000), per-id lookups are not.
+pub fn movie_services(search_bound: usize) -> Scenario {
+    let mut sig = Signature::new();
+    let movie = sig.add_relation("Movie", 3).unwrap();
+    let cast = sig.add_relation("Cast", 2).unwrap();
+    let actor = sig.add_relation("Actor", 2).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(inclusion_dependency(&sig, cast, &[0], movie, &[0]));
+    constraints.push_tgd(inclusion_dependency(&sig, cast, &[1], actor, &[0]));
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::bounded("movie_search", movie, &[], search_bound))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("movie_by_id", movie, &[0]))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("cast_by_movie", cast, &[0]))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("actor_by_id", actor, &[0]))
+        .unwrap();
+
+    let mut values = ValueFactory::new();
+    let mut sig2 = schema.signature().clone();
+    let q_exists = parse_cq("Q() :- Movie(m, t, y)", &mut sig2, &mut values).unwrap();
+    let q_all_titles = parse_cq("Q(t) :- Movie(m, t, y)", &mut sig2, &mut values).unwrap();
+    let q_cast_of_known = parse_cq(
+        "Q(n) :- Cast('movie0', a), Actor(a, n)",
+        &mut sig2,
+        &mut values,
+    )
+    .unwrap();
+    Scenario {
+        name: format!("movie services (IMDb-style, search bound {search_bound})"),
+        schema,
+        queries: vec![
+            ("Q_any_movie".to_owned(), q_exists, Some(true)),
+            ("Q_all_titles".to_owned(), q_all_titles, Some(false)),
+            ("Q_cast_of_known_movie".to_owned(), q_cast_of_known, Some(true)),
+        ],
+        values,
+    }
+}
+
+/// All scenarios, with a default result bound where one is parameterised.
+pub fn all_scenarios() -> Vec<Scenario> {
+    vec![
+        university(None),
+        university(Some(100)),
+        university_fd(),
+        tgd_example_6_1(),
+        bio_services(5000),
+        movie_services(10000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_well_formed() {
+        for scenario in all_scenarios() {
+            assert!(!scenario.name.is_empty());
+            assert!(!scenario.queries.is_empty());
+            for (name, q, _) in &scenario.queries {
+                assert!(!name.is_empty());
+                // Every query relation must belong to the schema signature.
+                for atom in q.atoms() {
+                    assert!(scenario.schema.signature().contains(atom.relation()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn university_variants_differ_only_in_bound() {
+        let unbounded = university(None);
+        let bounded = university(Some(100));
+        assert!(!unbounded.schema.has_result_bounds());
+        assert!(bounded.schema.has_result_bounds());
+        assert_eq!(
+            unbounded.schema.methods().len(),
+            bounded.schema.methods().len()
+        );
+    }
+
+    #[test]
+    fn query_lookup_by_name() {
+        let scenario = university(Some(100));
+        assert!(scenario.query("Q1_salary_names").is_some());
+        assert!(scenario.query("Q2_directory_nonempty").is_some());
+        assert!(scenario.query("nope").is_none());
+    }
+
+    #[test]
+    fn expected_answerability_annotations() {
+        let s = university(Some(100));
+        let q1 = s.queries.iter().find(|(n, _, _)| n == "Q1_salary_names").unwrap();
+        assert_eq!(q1.2, Some(false));
+        let s = university(None);
+        let q1 = s.queries.iter().find(|(n, _, _)| n == "Q1_salary_names").unwrap();
+        assert_eq!(q1.2, Some(true));
+    }
+
+    #[test]
+    fn bio_and_movie_schemas_have_constraints_and_bounds() {
+        let bio = bio_services(5000);
+        assert!(bio.schema.has_result_bounds());
+        assert!(!bio.schema.constraints().is_empty());
+        let movies = movie_services(10000);
+        assert!(movies.schema.has_result_bounds());
+        assert_eq!(movies.schema.methods().len(), 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the `rbqa` workspace.
+//!
+//! Re-exports the public API of all member crates so that examples, tests
+//! and downstream users can depend on a single crate.
+pub use rbqa_access as access;
+pub use rbqa_chase as chase;
+pub use rbqa_common as common;
+pub use rbqa_containment as containment;
+pub use rbqa_core as core;
+pub use rbqa_engine as engine;
+pub use rbqa_logic as logic;
+pub use rbqa_workloads as workloads;

@@ -1,0 +1,108 @@
+//! Integration tests for plan synthesis + empirical validation: every plan
+//! synthesised for an answerable query must return the complete answer on
+//! generated instances under every access selection tried by the harness.
+
+use rbqa::core::{decide_monotone_answerability, Answerability, AnswerabilityOptions};
+use rbqa::engine::{movie_instance, university_instance, validate_plan};
+use rbqa::workloads::scenarios;
+
+#[test]
+fn synthesised_plans_for_university_queries_are_valid() {
+    let mut scenario = scenarios::university(None);
+    let options = AnswerabilityOptions {
+        synthesize_plan: true,
+        crawl_rounds: 2,
+        ..Default::default()
+    };
+    let instances: Vec<_> = (0..3)
+        .map(|i| university_instance(scenario.schema.signature(), &mut scenario.values, 10 + 5 * i, i as u64))
+        .collect();
+    for name in ["Q1_salary_names", "Q2_directory_nonempty"] {
+        let query = scenario.query(name).unwrap().clone();
+        let result =
+            decide_monotone_answerability(&scenario.schema, &query, &mut scenario.values, &options);
+        assert_eq!(result.answerability, Answerability::Answerable, "{name}");
+        let plan = result.plan.expect("plan synthesised");
+        let report = validate_plan(&scenario.schema, &plan, &query, &instances, 2);
+        assert!(
+            report.is_valid(),
+            "{name}: synthesised plan failed validation: {:?}",
+            report.discrepancy
+        );
+    }
+}
+
+#[test]
+fn synthesised_plan_for_existence_check_is_valid_under_result_bounds() {
+    // Q2 stays answerable with a result bound; the crawling plan only needs
+    // the Boolean information, so it validates even though the services
+    // truncate their output.
+    let mut scenario = scenarios::university(Some(3));
+    let options = AnswerabilityOptions {
+        synthesize_plan: true,
+        crawl_rounds: 1,
+        ..Default::default()
+    };
+    let query = scenario.query("Q2_directory_nonempty").unwrap().clone();
+    let result =
+        decide_monotone_answerability(&scenario.schema, &query, &mut scenario.values, &options);
+    assert_eq!(result.answerability, Answerability::Answerable);
+    let plan = result.plan.expect("plan synthesised");
+    let instances: Vec<_> = (0..2)
+        .map(|i| university_instance(scenario.schema.signature(), &mut scenario.values, 12, 77 + i))
+        .collect();
+    let report = validate_plan(&scenario.schema, &plan, &query, &instances, 3);
+    assert!(report.is_valid(), "{:?}", report.discrepancy);
+}
+
+#[test]
+fn crawling_plan_for_known_movie_cast_is_valid() {
+    let mut scenario = scenarios::movie_services(10_000);
+    let options = AnswerabilityOptions {
+        synthesize_plan: true,
+        crawl_rounds: 2,
+        ..Default::default()
+    };
+    let query = scenario.query("Q_cast_of_known_movie").unwrap().clone();
+    let result =
+        decide_monotone_answerability(&scenario.schema, &query, &mut scenario.values, &options);
+    assert_eq!(result.answerability, Answerability::Answerable);
+    let plan = result.plan.expect("plan synthesised");
+    let instances = vec![movie_instance(
+        scenario.schema.signature(),
+        &mut scenario.values,
+        30,
+        10,
+        4,
+    )];
+    let report = validate_plan(&scenario.schema, &plan, &query, &instances, 2);
+    assert!(report.is_valid(), "{:?}", report.discrepancy);
+}
+
+#[test]
+fn incomplete_plans_are_caught_by_the_harness() {
+    // Sanity check of the harness itself: the Example 1.2 plan is not valid
+    // when ud has a small result bound (Example 1.3), and the validator
+    // reports an incompleteness.
+    use rbqa::access::{Condition, PlanBuilder, RaExpr};
+    let mut scenario = scenarios::university(Some(2));
+    let query = scenario.query("Q1_salary_names").unwrap().clone();
+    let salary = scenario.values.constant("10000");
+    let plan = PlanBuilder::new()
+        .access("ids", "ud", RaExpr::unit(), vec![], vec![0])
+        .access("profs", "pr", RaExpr::table("ids"), vec![0], vec![0, 1, 2])
+        .middleware(
+            "matching",
+            RaExpr::select(RaExpr::table("profs"), Condition::eq_const(2, salary)),
+        )
+        .middleware("names", RaExpr::project(RaExpr::table("matching"), vec![1]))
+        .returns("names");
+    let instances = vec![university_instance(
+        scenario.schema.signature(),
+        &mut scenario.values,
+        16,
+        2,
+    )];
+    let report = validate_plan(&scenario.schema, &plan, &query, &instances, 2);
+    assert!(!report.is_valid());
+}
