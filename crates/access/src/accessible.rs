@@ -67,10 +67,7 @@ pub fn accessible_part(
 }
 
 /// All bindings of `positions` with values drawn from `values`.
-fn enumerate_bindings(
-    positions: &[usize],
-    values: &FxHashSet<Value>,
-) -> Vec<Vec<(usize, Value)>> {
+fn enumerate_bindings(positions: &[usize], values: &FxHashSet<Value>) -> Vec<Vec<(usize, Value)>> {
     let mut sorted_values: Vec<Value> = values.iter().copied().collect();
     sorted_values.sort();
     let mut out: Vec<Vec<(usize, Value)>> = vec![Vec::new()];

@@ -493,7 +493,9 @@ mod tests {
             .matches(&row));
         assert_eq!(Condition::True.max_column(), None);
         assert_eq!(
-            Condition::eq_columns(0, 2).and(Condition::eq_const(5, a)).max_column(),
+            Condition::eq_columns(0, 2)
+                .and(Condition::eq_const(5, a))
+                .max_column(),
             Some(5)
         );
     }

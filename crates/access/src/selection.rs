@@ -227,7 +227,9 @@ mod tests {
 
     fn tuples(n: usize) -> Vec<Vec<Value>> {
         let mut vf = ValueFactory::new();
-        (0..n).map(|i| vec![vf.constant(&format!("v{i}"))]).collect()
+        (0..n)
+            .map(|i| vec![vf.constant(&format!("v{i}"))])
+            .collect()
     }
 
     #[test]

@@ -39,25 +39,21 @@ fn bench_bound_sweep(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("Q2_answerable", bound),
-            &bound,
-            |b, _| {
-                b.iter(|| {
-                    let mut values = scenario.values.clone();
-                    run_decision(
-                        "bound_sweep",
-                        "Q2",
-                        &scenario.schema,
-                        &q2,
-                        &mut values,
-                        &bench_options(),
-                        Some(true),
-                    )
-                    .0
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("Q2_answerable", bound), &bound, |b, _| {
+            b.iter(|| {
+                let mut values = scenario.values.clone();
+                run_decision(
+                    "bound_sweep",
+                    "Q2",
+                    &scenario.schema,
+                    &q2,
+                    &mut values,
+                    &bench_options(),
+                    Some(true),
+                )
+                .0
+            })
+        });
     }
     group.finish();
 }

@@ -32,25 +32,21 @@ fn bench_query_size(c: &mut Criterion) {
             if atoms % 2 == 0 {
                 continue; // measure sizes 1, 3, 5 to keep the run short
             }
-            group.bench_with_input(
-                BenchmarkId::new(label, atoms),
-                &atoms,
-                |b, _| {
-                    b.iter(|| {
-                        let mut values = workload.values.clone();
-                        run_decision(
-                            "fig_scaling",
-                            &format!("chain_{atoms}"),
-                            &workload.schema,
-                            query,
-                            &mut values,
-                            &bench_options(),
-                            None,
-                        )
-                        .0
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, atoms), &atoms, |b, _| {
+                b.iter(|| {
+                    let mut values = workload.values.clone();
+                    run_decision(
+                        "fig_scaling",
+                        &format!("chain_{atoms}"),
+                        &workload.schema,
+                        query,
+                        &mut values,
+                        &bench_options(),
+                        None,
+                    )
+                    .0
+                })
+            });
         }
     }
     group.finish();

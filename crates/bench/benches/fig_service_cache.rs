@@ -1,0 +1,63 @@
+//! FIG-service-cache: cached vs. uncached `Decide` latency through the
+//! `rbqa-service` facade, swept over the Table-1 workload suites
+//! (DESIGN.md §4 / §6).
+//!
+//! For each suite the same request is submitted twice per measurement
+//! regime: `uncached` clears the decision cache before every submission
+//! (so every request pays classification + simplification + AMonDet +
+//! chase), `cached` submits against a warm cache (so every request is a
+//! fingerprint computation plus a sharded map lookup). The acceptance
+//! criterion for the service subsystem is a ≥ 10× advantage for `cached`
+//! on `T1-row-IDs`; observed ratios are recorded in CHANGES.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_service::{AnswerRequest, QueryService};
+use rbqa_workloads::experiment_suites;
+
+fn bench_service_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_service_cache");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for suite_id in ["T1-row-IDs", "T1-row-BWIDs", "T1-row-FDs", "T1-row-UIDFD"] {
+        let suites = experiment_suites();
+        let suite = suites
+            .iter()
+            .find(|s| s.id == suite_id)
+            .expect("suite exists");
+        // A mid-sized workload of the suite, with its middle chain query —
+        // the same shape the table1_* benches measure directly.
+        let config = suite.workloads[suite.workloads.len() / 2];
+        let workload = config.generate(42);
+        let query = workload.queries[workload.queries.len() / 2].clone();
+
+        let service = QueryService::new();
+        let catalog = service
+            .register_catalog(suite_id, workload.schema.clone(), workload.values.clone())
+            .unwrap();
+        let request = AnswerRequest::decide(catalog, query, workload.values.clone());
+
+        group.bench_with_input(
+            BenchmarkId::new("uncached", suite_id),
+            &request,
+            |b, request| {
+                b.iter(|| {
+                    service.clear_cache();
+                    service.submit(request).unwrap()
+                })
+            },
+        );
+        // Warm the cache once, then measure pure hit latency.
+        service.submit(&request).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("cached", suite_id),
+            &request,
+            |b, request| b.iter(|| service.submit(request).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_cache);
+criterion_main!(benches);

@@ -29,12 +29,8 @@ fn main() {
             crawl_rounds: 2,
             ..Default::default()
         };
-        let result = decide_monotone_answerability(
-            &scenario.schema,
-            &query,
-            &mut scenario.values,
-            &options,
-        );
+        let result =
+            decide_monotone_answerability(&scenario.schema, &query, &mut scenario.values, &options);
         let plan = match &result.plan {
             Some(p) => p.clone(),
             None => {
@@ -78,18 +74,13 @@ fn main() {
             crawl_rounds: 1,
             ..Default::default()
         };
-        let result = decide_monotone_answerability(
-            &scenario.schema,
-            &query,
-            &mut scenario.values,
-            &options,
-        );
+        let result =
+            decide_monotone_answerability(&scenario.schema, &query, &mut scenario.values, &options);
         let Some(plan) = result.plan.clone() else {
             println!("  bound {bound}: no plan synthesised");
             continue;
         };
-        let data =
-            university_instance(scenario.schema.signature(), &mut scenario.values, 100, 3);
+        let data = university_instance(scenario.schema.signature(), &mut scenario.values, 100, 3);
         let simulator = ServiceSimulator::new(scenario.schema.clone(), data.clone());
         let mut selection = TruncatingSelection::new();
         let (output, metrics) = simulator
@@ -102,7 +93,7 @@ fn main() {
             result.answerability,
             metrics.total_calls,
             metrics.tuples_fetched,
-            (!output.is_empty()) == (!expected.is_empty())
+            output.is_empty() == expected.is_empty()
         );
     }
 }

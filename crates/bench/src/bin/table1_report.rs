@@ -7,7 +7,9 @@
 //! for faster decisions). Pass `--json <path>` to also dump the records as
 //! JSON (consumed when updating EXPERIMENTS.md).
 
-use rbqa_bench::{bench_options, render_table, run_decision, run_workload, DecisionRecord};
+use rbqa_bench::{
+    bench_options, records_to_json_pretty, render_table, run_decision, run_workload, DecisionRecord,
+};
 use rbqa_core::ConstraintClass;
 use rbqa_workloads::random::{RandomClass, RandomSchemaConfig};
 use rbqa_workloads::scenarios;
@@ -37,7 +39,10 @@ fn random_records() -> Vec<DecisionRecord> {
     let mut records = Vec::new();
     let configs = [
         ("row IDs (width 2)", RandomClass::Ids { width: 2 }),
-        ("row bounded-width IDs (UIDs)", RandomClass::Ids { width: 1 }),
+        (
+            "row bounded-width IDs (UIDs)",
+            RandomClass::Ids { width: 1 },
+        ),
         ("row FDs", RandomClass::Fds),
         ("row UIDs+FDs", RandomClass::UidsAndFds),
     ];
@@ -102,7 +107,7 @@ fn main() {
     records.extend(random);
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&records).expect("records serialise");
+        let json = records_to_json_pretty(&records);
         std::fs::write(&path, json).expect("write JSON report");
         println!("JSON report written to {path}");
     }

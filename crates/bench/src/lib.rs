@@ -17,10 +17,9 @@ use rbqa_core::{
 };
 use rbqa_logic::ConjunctiveQuery;
 use rbqa_workloads::random::RandomWorkload;
-use serde::Serialize;
 
 /// A single decision record, serialisable for the experiment reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionRecord {
     /// Workload / scenario label.
     pub workload: String,
@@ -133,6 +132,64 @@ pub fn render_table(records: &[DecisionRecord]) -> String {
     out
 }
 
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl DecisionRecord {
+    /// Renders the record as a single JSON object (the environment has no
+    /// crates.io access, so serialisation is hand-rolled here rather than
+    /// derived via serde).
+    pub fn to_json(&self) -> String {
+        let expected = match self.expected_answerable {
+            Some(b) => b.to_string(),
+            None => "null".to_owned(),
+        };
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"query\":\"{}\",\"constraint_class\":\"{}\",",
+                "\"simplification\":\"{}\",\"strategy\":\"{}\",\"answerable\":\"{}\",",
+                "\"complete\":{},\"chase_rounds\":{},\"chased_facts\":{},\"micros\":{},",
+                "\"expected_answerable\":{}}}"
+            ),
+            json_escape(&self.workload),
+            json_escape(&self.query),
+            json_escape(&self.constraint_class),
+            json_escape(&self.simplification),
+            json_escape(&self.strategy),
+            json_escape(&self.answerable),
+            self.complete,
+            self.chase_rounds,
+            self.chased_facts,
+            self.micros,
+            expected,
+        )
+    }
+}
+
+/// Renders a slice of records as a pretty-printed JSON array (one record
+/// per line).
+pub fn records_to_json_pretty(records: &[DecisionRecord]) -> String {
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    format!("[\n{}\n]", body.join(",\n"))
+}
+
 fn truncate(s: &str, max: usize) -> String {
     if s.chars().count() <= max {
         s.to_owned()
@@ -216,8 +273,17 @@ mod tests {
             &bench_options(),
             Some(true),
         );
-        let json = serde_json::to_string(&record).unwrap();
+        let json = record.to_json();
         assert!(json.contains("\"answerable\""));
+        let pretty = records_to_json_pretty(&[record]);
+        assert!(pretty.starts_with("[\n"));
+        assert!(pretty.ends_with("\n]"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
     }
 
     #[test]

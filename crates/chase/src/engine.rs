@@ -279,11 +279,9 @@ fn apply_fds_to_fixpoint(
             }
             for (_, vals) in groups {
                 for pair in vals.windows(2) {
-                    if uf.find(pair[0]) != uf.find(pair[1]) {
-                        if uf.union(pair[0], pair[1])? {
-                            merged_any = true;
-                            stats.fd_unifications += 1;
-                        }
+                    if uf.find(pair[0]) != uf.find(pair[1]) && uf.union(pair[0], pair[1])? {
+                        merged_any = true;
+                        stats.fd_unifications += 1;
                     }
                 }
             }
@@ -391,7 +389,12 @@ mod tests {
         constraints.push_tgd(inclusion_dependency(&sig, s, &[1], r, &[0]));
 
         let budget = Budget::small().with_max_depth(6);
-        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::with_budget(budget));
+        let out = chase(
+            &inst,
+            &constraints,
+            &mut vf,
+            ChaseConfig::with_budget(budget),
+        );
         assert_eq!(out.completion, Completion::DepthCapped);
         assert!(out.stats.max_depth_reached <= 6);
         assert!(out.instance.len() > 2);

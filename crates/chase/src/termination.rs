@@ -16,11 +16,12 @@ use rustc_hash::{FxHashMap, FxHashSet};
 /// A node of the position dependency graph: a (relation, position) pair.
 type PosNode = (RelationId, usize);
 
+/// An edge list of the position dependency graph.
+type PosEdges = Vec<(PosNode, PosNode)>;
+
 /// Builds the position dependency graph of the TGDs of `constraints`.
 /// Returns `(regular_edges, special_edges)`.
-pub fn position_dependency_graph(
-    constraints: &ConstraintSet,
-) -> (Vec<(PosNode, PosNode)>, Vec<(PosNode, PosNode)>) {
+pub fn position_dependency_graph(constraints: &ConstraintSet) -> (PosEdges, PosEdges) {
     let mut regular = Vec::new();
     let mut special = Vec::new();
     for tgd in constraints.tgds() {
@@ -204,7 +205,7 @@ mod tests {
         cs.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
         let (regular, special) = position_dependency_graph(&cs);
         // Exported position (R,1) -> (S,0) regular, and (R,1) -> (S,1) special.
-        assert!(regular.contains(&(((r, 1)), ((s, 0)))));
-        assert!(special.contains(&(((r, 1)), ((s, 1)))));
+        assert!(regular.contains(&((r, 1), (s, 0))));
+        assert!(special.contains(&((r, 1), (s, 1))));
     }
 }

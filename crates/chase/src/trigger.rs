@@ -76,7 +76,10 @@ pub fn active_triggers(
 
 /// The instance facts matched by the body of `tgd` under `assignment`
 /// (used by the engine to compute derivation depths).
-pub fn matched_body_facts(tgd: &Tgd, assignment: &Homomorphism) -> Vec<(rbqa_common::RelationId, Vec<Value>)> {
+pub fn matched_body_facts(
+    tgd: &Tgd,
+    assignment: &Homomorphism,
+) -> Vec<(rbqa_common::RelationId, Vec<Value>)> {
     tgd.body()
         .iter()
         .map(|atom| {

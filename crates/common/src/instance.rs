@@ -98,7 +98,9 @@ pub struct Instance {
 impl Instance {
     /// Creates an empty instance over `signature`.
     pub fn new(signature: Signature) -> Self {
-        let relations = (0..signature.len()).map(|_| RelationData::default()).collect();
+        let relations = (0..signature.len())
+            .map(|_| RelationData::default())
+            .collect();
         Instance {
             signature,
             relations,

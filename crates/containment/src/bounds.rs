@@ -57,7 +57,11 @@ pub fn semi_width_depth_bound(
 /// query of `rhs_atoms` atoms: the semi-width bound for the smallest width at
 /// which the greedy semi-width decomposition succeeds (falling back to the
 /// maximal width of the set).
-pub fn completeness_depth_for(tgds: &[rbqa_logic::Tgd], rhs_atoms: usize, max_arity: usize) -> usize {
+pub fn completeness_depth_for(
+    tgds: &[rbqa_logic::Tgd],
+    rhs_atoms: usize,
+    max_arity: usize,
+) -> usize {
     let width_cap = max_width(tgds);
     let mut chosen: Option<(usize, usize, usize)> = None; // (w, |Σ1|, |Σ2|)
     for w in 0..=width_cap {
@@ -113,7 +117,10 @@ mod tests {
         assert_eq!(johnson_klug_depth_bound(2, 3, 2, 1), 2 * 3 * 4);
         assert_eq!(johnson_klug_depth_bound(1, 1, 3, 2), 27);
         // Saturating behaviour on absurd inputs.
-        assert_eq!(johnson_klug_depth_bound(usize::MAX, usize::MAX, 10, 30), usize::MAX);
+        assert_eq!(
+            johnson_klug_depth_bound(usize::MAX, usize::MAX, 10, 30),
+            usize::MAX
+        );
         assert_eq!(semi_width_depth_bound(1, 1, 2, 2, 1), 3 * 4 + 2);
     }
 
@@ -170,7 +177,12 @@ mod tests {
         let mut vf = ValueFactory::new();
         let lhs = parse_cq("Q() :- R(x, y)", &mut sig, &mut vf).unwrap();
         // A long chain requirement that needs several chase steps.
-        let rhs = parse_cq("Q() :- R(a, b), S(b, c), R(c, d), S(d, e)", &mut sig, &mut vf).unwrap();
+        let rhs = parse_cq(
+            "Q() :- R(a, b), S(b, c), R(c, d), S(d, e)",
+            &mut sig,
+            &mut vf,
+        )
+        .unwrap();
         let r = sig.require("R").unwrap();
         let s = sig.require("S").unwrap();
         let mut constraints = ConstraintSet::new();

@@ -36,9 +36,7 @@ pub fn decide_with_completeness(
     config: ChaseConfig,
     completeness_depth: Option<usize>,
 ) -> ContainmentOutcome {
-    let canon = problem
-        .lhs
-        .canonical_database(&problem.signature, values);
+    let canon = problem.lhs.canonical_database(&problem.signature, values);
     decide_from_instance(
         &canon.instance,
         &problem.rhs,
@@ -276,12 +274,8 @@ mod tests {
 
         // With an explicit completeness bound below the cap, the same run is
         // decisive.
-        let out = decide_with_completeness(
-            &problem,
-            &mut vf,
-            ChaseConfig::with_budget(budget),
-            Some(4),
-        );
+        let out =
+            decide_with_completeness(&problem, &mut vf, ChaseConfig::with_budget(budget), Some(4));
         assert_eq!(out.verdict, Verdict::DoesNotHold);
         assert!(out.complete);
     }

@@ -149,7 +149,10 @@ impl LinearizedSchema {
 
                 // (Result-bounded Fact Transfer): for each result-bounded
                 // method on R, R_P(x, y) → ∃z R'(x, z).
-                for m in methods.iter().filter(|m| m.relation == rid && m.result_bounded) {
+                for m in methods
+                    .iter()
+                    .filter(|m| m.relation == rid && m.result_bounded)
+                {
                     let mut b = rbqa_logic::constraints::TgdBuilder::new();
                     let body_vars: Vec<_> = (0..arity).map(|i| b.var(&format!("x{i}"))).collect();
                     let head_terms: Vec<Term> = (0..arity)
@@ -208,7 +211,11 @@ impl LinearizedSchema {
 
     /// The annotated relation `R_P`, if `R` belongs to the base signature
     /// and `|P| ≤ w`.
-    pub fn rp_relation(&self, relation: RelationId, positions: &BTreeSet<usize>) -> Option<RelationId> {
+    pub fn rp_relation(
+        &self,
+        relation: RelationId,
+        positions: &BTreeSet<usize>,
+    ) -> Option<RelationId> {
         let key: Vec<usize> = positions.iter().copied().collect();
         self.rp.get(&(relation, key)).copied()
     }
@@ -236,7 +243,11 @@ impl LinearizedSchema {
 
     /// Computes the accessible-value closure of `instance` under the derived
     /// truncated accessibility axioms, starting from `seed`.
-    pub fn accessible_closure(&self, instance: &Instance, seed: &FxHashSet<Value>) -> FxHashSet<Value> {
+    pub fn accessible_closure(
+        &self,
+        instance: &Instance,
+        seed: &FxHashSet<Value>,
+    ) -> FxHashSet<Value> {
         let mut accessible = seed.clone();
         loop {
             let mut changed = false;
@@ -275,9 +286,7 @@ impl LinearizedSchema {
                     .collect();
                 for subset in subsets_up_to(arity, self.width) {
                     if subset.is_subset(&acc_positions) {
-                        let rp_rel = self
-                            .rp_relation(rid, &subset)
-                            .expect("subset within width");
+                        let rp_rel = self.rp_relation(rid, &subset).expect("subset within width");
                         out.insert(rp_rel, tuple.to_vec()).expect("same arity");
                     }
                 }

@@ -78,7 +78,11 @@ impl TruncatedAxiom {
 pub fn subsets_up_to(positions: usize, k: usize) -> Vec<BTreeSet<usize>> {
     let mut out: Vec<BTreeSet<usize>> = vec![BTreeSet::new()];
     for size in 1..=k.min(positions) {
-        let prev: Vec<BTreeSet<usize>> = out.iter().filter(|s| s.len() == size - 1).cloned().collect();
+        let prev: Vec<BTreeSet<usize>> = out
+            .iter()
+            .filter(|s| s.len() == size - 1)
+            .cloned()
+            .collect();
         for s in prev {
             let start = s.iter().max().map_or(0, |m| m + 1);
             for p in start..positions {
@@ -115,8 +119,10 @@ pub fn saturate_truncated_axioms(
         }
     }
 
-    // Pre-compute the ID position maps once.
-    let id_maps: Vec<(RelationId, RelationId, Vec<(usize, usize)>)> = ids
+    // Pre-compute the ID position maps once: (body relation, head
+    // relation, exported (body position, head position) pairs).
+    type IdMap = (RelationId, RelationId, Vec<(usize, usize)>);
+    let id_maps: Vec<IdMap> = ids
         .iter()
         .filter_map(|tgd| {
             tgd.id_position_map()

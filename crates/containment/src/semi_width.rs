@@ -30,7 +30,8 @@ pub fn position_graph(tgds: &[Tgd]) -> Vec<(PosNode, PosNode)> {
                 for bpos in body_atom.positions_of(x) {
                     for head_atom in tgd.head() {
                         for hpos in head_atom.positions_of(x) {
-                            edges.push(((body_atom.relation(), bpos), (head_atom.relation(), hpos)));
+                            edges
+                                .push(((body_atom.relation(), bpos), (head_atom.relation(), hpos)));
                         }
                     }
                 }

@@ -25,8 +25,8 @@ use rbqa_chase::{Budget, ChaseConfig};
 use rbqa_common::{Instance, RelationId, Signature, ValueFactory};
 use rbqa_containment::generic::decide_from_instance_seeded;
 use rbqa_containment::ContainmentOutcome;
-use rbqa_logic::homomorphism::Homomorphism;
 use rbqa_logic::constraints::{ConstraintSet, TgdBuilder};
+use rbqa_logic::homomorphism::Homomorphism;
 use rbqa_logic::implication::det_by;
 use rbqa_logic::{Atom, ConjunctiveQuery, Fd, Term, Tgd};
 use rustc_hash::FxHashMap;
@@ -166,9 +166,7 @@ impl AmondetProblem {
                                 .result_bound()
                                 .map(|rb| rb.limit)
                                 .unwrap_or(1)
-                                .min(cap)
-                                .min(MAX_NAIVE_EXPANSION)
-                                .max(1);
+                                .clamp(1, cap.clamp(1, MAX_NAIVE_EXPANSION));
                             for j in 1..=bound {
                                 constraints.push_tgd(naive_cardinality_axiom(
                                     relation,
@@ -278,7 +276,12 @@ fn remap_tgd(tgd: &Tgd, map: &FxHashMap<RelationId, RelationId>) -> Tgd {
     let remap = |atoms: &[Atom]| -> Vec<Atom> {
         atoms
             .iter()
-            .map(|a| Atom::new(*map.get(&a.relation()).unwrap_or(&a.relation()), a.args().to_vec()))
+            .map(|a| {
+                Atom::new(
+                    *map.get(&a.relation()).unwrap_or(&a.relation()),
+                    a.args().to_vec(),
+                )
+            })
             .collect()
     };
     Tgd::new(tgd.vars().clone(), remap(tgd.body()), remap(tgd.head()))
@@ -412,8 +415,12 @@ mod tests {
         // Σ + Σ' (2 TGDs) + 2 method axioms + 2 accessed-propagation axioms.
         assert_eq!(problem.constraints.tgds().len(), 6);
         assert!(problem.constraints.fds().is_empty());
-        assert!(problem.accessed_relation(schema.signature().require("Prof").unwrap()).is_some());
-        assert!(problem.primed_relation(schema.signature().require("Udirectory").unwrap()).is_some());
+        assert!(problem
+            .accessed_relation(schema.signature().require("Prof").unwrap())
+            .is_some());
+        assert!(problem
+            .primed_relation(schema.signature().require("Udirectory").unwrap())
+            .is_some());
         // Start: one canonical fact, no accessible constants.
         assert_eq!(problem.start.len(), 1);
     }
@@ -511,8 +518,7 @@ mod tests {
         // The pure existence check on the same id (no address constant)
         // remains answerable even without the FD (Example 1.4's intuition).
         let q_exists = parse_cq("Q() :- Udirectory('12345', a, p)", &mut sig2, &mut vf).unwrap();
-        let problem =
-            AmondetProblem::build(&schema, &q_exists, &mut vf, AxiomStyle::Simplified);
+        let problem = AmondetProblem::build(&schema, &q_exists, &mut vf, AxiomStyle::Simplified);
         let out = problem.decide(&mut vf, Budget::generous());
         assert_eq!(out.verdict, Verdict::Holds);
     }

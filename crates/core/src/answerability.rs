@@ -109,6 +109,45 @@ impl AnswerabilityResult {
     pub fn is_answerable(&self) -> bool {
         self.answerability == Answerability::Answerable
     }
+
+    /// A cheap `Copy` snapshot of the decision, suitable for caching layers
+    /// and service responses that must hand results to many concurrent
+    /// readers without cloning the plan or the chase diagnostics
+    /// (`rbqa-service` stores the full result behind an `Arc` and copies
+    /// this summary into every response).
+    pub fn summary(&self) -> DecisionSummary {
+        DecisionSummary {
+            answerability: self.answerability,
+            constraint_class: self.constraint_class,
+            simplification: self.simplification,
+            strategy: self.strategy,
+            complete: self.containment.complete,
+            chase_rounds: self.containment.chase_stats.rounds,
+            chased_facts: self.containment.chased_facts,
+            has_plan: self.plan.is_some(),
+        }
+    }
+}
+
+/// A flat, `Copy` summary of an [`AnswerabilityResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionSummary {
+    /// The verdict.
+    pub answerability: Answerability,
+    /// The detected constraint class.
+    pub constraint_class: ConstraintClass,
+    /// The schema simplification that was applied.
+    pub simplification: SimplificationKind,
+    /// The back-end strategy used.
+    pub strategy: Strategy,
+    /// Whether the (negative) answer is certified complete.
+    pub complete: bool,
+    /// Chase rounds performed by the decision.
+    pub chase_rounds: usize,
+    /// Facts in the chased instance when the decision was made.
+    pub chased_facts: usize,
+    /// Whether a crawling plan was synthesised.
+    pub has_plan: bool,
 }
 
 fn verdict_to_answerability(verdict: Verdict) -> Answerability {
@@ -191,25 +230,16 @@ pub fn decide_monotone_answerability(
             // FD simplification (Theorem 4.5) removes every result bound;
             // the resulting chase terminates (Theorem 5.2).
             let simplified = fd_simplification(&schema_lb);
-            let problem =
-                AmondetProblem::build(&simplified, query, values, AxiomStyle::Simplified);
+            let problem = AmondetProblem::build(&simplified, query, values, AxiomStyle::Simplified);
             let out = problem.decide(values, options.budget);
-            (
-                SimplificationKind::Fd,
-                Strategy::FdSimplificationChase,
-                out,
-            )
+            (SimplificationKind::Fd, Strategy::FdSimplificationChase, out)
         }
         ConstraintClass::UidsAndFds => {
             // Choice simplification (Theorem 6.4) then the separability
             // rewriting of Theorem 7.2.
             let choice = schema_lb.choice_simplification();
-            let problem = AmondetProblem::build(
-                &choice,
-                query,
-                values,
-                AxiomStyle::SeparabilityRewriting,
-            );
+            let problem =
+                AmondetProblem::build(&choice, query, values, AxiomStyle::SeparabilityRewriting);
             let out = problem.decide(values, options.budget);
             (
                 SimplificationKind::Choice,
@@ -223,8 +253,7 @@ pub fn decide_monotone_answerability(
             // Choice simplification (Theorem 6.3); the generic chase is
             // budgeted and may report Unknown.
             let choice = schema_lb.choice_simplification();
-            let problem =
-                AmondetProblem::build(&choice, query, values, AxiomStyle::Simplified);
+            let problem = AmondetProblem::build(&choice, query, values, AxiomStyle::Simplified);
             let out = problem.decide(values, options.budget);
             (SimplificationKind::Choice, Strategy::ChoiceChase, out)
         }
@@ -297,12 +326,8 @@ mod tests {
         let mut vf = ValueFactory::new();
         let mut sig = schema.signature().clone();
         let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
-        let result = decide_monotone_answerability(
-            &schema,
-            &q1,
-            &mut vf,
-            &AnswerabilityOptions::default(),
-        );
+        let result =
+            decide_monotone_answerability(&schema, &q1, &mut vf, &AnswerabilityOptions::default());
         assert_eq!(result.answerability, Answerability::Answerable);
         assert_eq!(result.strategy, Strategy::IdLinearization);
         assert_eq!(result.simplification, SimplificationKind::ExistenceCheck);
@@ -318,12 +343,8 @@ mod tests {
         let mut vf = ValueFactory::new();
         let mut sig = schema.signature().clone();
         let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
-        let result = decide_monotone_answerability(
-            &schema,
-            &q1,
-            &mut vf,
-            &AnswerabilityOptions::default(),
-        );
+        let result =
+            decide_monotone_answerability(&schema, &q1, &mut vf, &AnswerabilityOptions::default());
         assert_eq!(result.answerability, Answerability::NotAnswerable);
         assert!(result.containment.complete);
     }
@@ -334,12 +355,8 @@ mod tests {
         let mut vf = ValueFactory::new();
         let mut sig = schema.signature().clone();
         let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
-        let result = decide_monotone_answerability(
-            &schema,
-            &q2,
-            &mut vf,
-            &AnswerabilityOptions::default(),
-        );
+        let result =
+            decide_monotone_answerability(&schema, &q2, &mut vf, &AnswerabilityOptions::default());
         assert_eq!(result.answerability, Answerability::Answerable);
     }
 
@@ -368,7 +385,11 @@ mod tests {
                 &mut vf,
                 &AnswerabilityOptions::default(),
             );
-            assert_eq!(r1.answerability, Answerability::NotAnswerable, "bound {bound}");
+            assert_eq!(
+                r1.answerability,
+                Answerability::NotAnswerable,
+                "bound {bound}"
+            );
         }
     }
 
@@ -392,12 +413,8 @@ mod tests {
             &mut vf,
         )
         .unwrap();
-        let result = decide_monotone_answerability(
-            &schema,
-            &q3,
-            &mut vf,
-            &AnswerabilityOptions::default(),
-        );
+        let result =
+            decide_monotone_answerability(&schema, &q3, &mut vf, &AnswerabilityOptions::default());
         assert_eq!(result.answerability, Answerability::Answerable);
         assert_eq!(result.strategy, Strategy::FdSimplificationChase);
         assert_eq!(result.simplification, SimplificationKind::Fd);
@@ -405,12 +422,7 @@ mod tests {
 
         // Asking for a specific phone number (not determined) is not
         // answerable.
-        let q_phone = parse_cq(
-            "Q() :- Udirectory('12345', a, '555')",
-            &mut sig2,
-            &mut vf,
-        )
-        .unwrap();
+        let q_phone = parse_cq("Q() :- Udirectory('12345', a, '555')", &mut sig2, &mut vf).unwrap();
         let result = decide_monotone_answerability(
             &schema,
             &q_phone,
@@ -431,11 +443,8 @@ mod tests {
         let mut vf = ValueFactory::new();
         let mut constraints = ConstraintSet::new();
         let mut sig_for_parse = sig.clone();
-        constraints.push_tgd(
-            parse_tgd("T(y), S(x) -> T(x)", &mut sig_for_parse, &mut vf).unwrap(),
-        );
-        constraints
-            .push_tgd(parse_tgd("T(y) -> S(x)", &mut sig_for_parse, &mut vf).unwrap());
+        constraints.push_tgd(parse_tgd("T(y), S(x) -> T(x)", &mut sig_for_parse, &mut vf).unwrap());
+        constraints.push_tgd(parse_tgd("T(y) -> S(x)", &mut sig_for_parse, &mut vf).unwrap());
         let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
         schema
             .add_method(AccessMethod::bounded("mtS", s, &[], 1))
@@ -445,12 +454,8 @@ mod tests {
             .unwrap();
 
         let q = parse_cq("Q() :- T(y)", &mut sig_for_parse, &mut vf).unwrap();
-        let result = decide_monotone_answerability(
-            &schema,
-            &q,
-            &mut vf,
-            &AnswerabilityOptions::default(),
-        );
+        let result =
+            decide_monotone_answerability(&schema, &q, &mut vf, &AnswerabilityOptions::default());
         assert_eq!(result.answerability, Answerability::Answerable);
         assert_eq!(result.simplification, SimplificationKind::Choice);
     }
@@ -513,12 +518,8 @@ mod tests {
         // Is ('k', 'v') in R? The FD makes the single returned tuple carry
         // the value determined by 'k', so this is answerable.
         let q = parse_cq("Q() :- R('k', 'v')", &mut sig2, &mut vf).unwrap();
-        let result = decide_monotone_answerability(
-            &schema,
-            &q,
-            &mut vf,
-            &AnswerabilityOptions::default(),
-        );
+        let result =
+            decide_monotone_answerability(&schema, &q, &mut vf, &AnswerabilityOptions::default());
         assert_eq!(result.constraint_class, ConstraintClass::UidsAndFds);
         assert_eq!(result.strategy, Strategy::ChoiceSeparabilityChase);
         assert_eq!(result.answerability, Answerability::Answerable);

@@ -159,7 +159,10 @@ mod tests {
         assert!(fg.is_frontier_guarded());
         let mut c = ConstraintSet::new();
         c.push_tgd(fg);
-        assert_eq!(classify_constraints(&c), ConstraintClass::FrontierGuardedTgds);
+        assert_eq!(
+            classify_constraints(&c),
+            ConstraintClass::FrontierGuardedTgds
+        );
 
         // Non-frontier-guarded: R(x, u), R(y, v) -> R(x, y).
         let mut b = TgdBuilder::new();

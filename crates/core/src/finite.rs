@@ -79,8 +79,7 @@ pub fn decide_finite_monotone_answerability(
                 .collect();
             let fds = schema.constraints().fds().to_vec();
             let before = uids.len() + fds.len();
-            let (closed_uids, closed_fds) =
-                finite_closure(schema.signature(), &uids, &fds);
+            let (closed_uids, closed_fds) = finite_closure(schema.signature(), &uids, &fds);
             let after = closed_uids.len() + closed_fds.len();
 
             let mut closed_constraints = ConstraintSet::new();

@@ -34,7 +34,7 @@ pub mod simplification;
 pub use amondet::{AmondetProblem, AxiomStyle};
 pub use answerability::{
     decide_monotone_answerability, Answerability, AnswerabilityOptions, AnswerabilityResult,
-    Strategy,
+    DecisionSummary, Strategy,
 };
 pub use classify::{classify_constraints, ConstraintClass};
 pub use finite::{

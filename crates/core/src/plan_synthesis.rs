@@ -109,7 +109,10 @@ pub fn synthesize_crawling_plan(
                 .expect("all relations initialised")
                 .push(RaExpr::table(&access_table));
             for position in 0..arity {
-                new_known_exprs.push(RaExpr::project(RaExpr::table(&access_table), vec![position]));
+                new_known_exprs.push(RaExpr::project(
+                    RaExpr::table(&access_table),
+                    vec![position],
+                ));
             }
         }
 
@@ -139,7 +142,10 @@ fn fold_union(mut exprs: Vec<RaExpr>) -> RaExpr {
 /// relation tables `rel_<relation>_<round>`. Returns the expression and the
 /// mapping from query variables to output columns before the final
 /// projection.
-fn query_to_ra(query: &ConjunctiveQuery, round: usize) -> (RaExpr, FxHashMap<rbqa_logic::VarId, usize>) {
+fn query_to_ra(
+    query: &ConjunctiveQuery,
+    round: usize,
+) -> (RaExpr, FxHashMap<rbqa_logic::VarId, usize>) {
     let mut combined: Option<RaExpr> = None;
     let mut var_columns: FxHashMap<rbqa_logic::VarId, usize> = FxHashMap::default();
     let mut width = 0usize;
@@ -249,10 +255,8 @@ mod tests {
         let run = rbqa_access::plan::execute(&plan, &schema, &inst, &mut sel).unwrap();
         // Professors 0 and 2 earn 10000.
         assert_eq!(run.output.len(), 2);
-        let expected: Vec<Vec<rbqa_common::Value>> = vec![
-            vec![vf.constant("name0")],
-            vec![vf.constant("name2")],
-        ];
+        let expected: Vec<Vec<rbqa_common::Value>> =
+            vec![vec![vf.constant("name0")], vec![vf.constant("name2")]];
         let mut expected = expected;
         expected.sort();
         assert_eq!(run.output, expected);

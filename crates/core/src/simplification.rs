@@ -66,9 +66,7 @@ impl SimplificationKind {
 /// a Boolean (all-input) method on `R_mt` without a result bound. Methods
 /// without result bounds are kept unchanged.
 pub fn existence_check_simplification(schema: &Schema) -> Schema {
-    view_based_simplification(schema, |_schema, method| {
-        method.input_positions_vec()
-    })
+    view_based_simplification(schema, |_schema, method| method.input_positions_vec())
 }
 
 /// The FD simplification of `schema` (Section 4).
@@ -198,10 +196,7 @@ mod tests {
         // Udirectory_ud2 of arity 1 with a Boolean method and two IDs.
         let schema = example_schema();
         let simplified = existence_check_simplification(&schema);
-        let view = simplified
-            .signature()
-            .require("Udirectory__ud2")
-            .unwrap();
+        let view = simplified.signature().require("Udirectory__ud2").unwrap();
         assert_eq!(simplified.signature().arity(view), 1);
         assert!(!simplified.has_result_bounds());
         // pr kept, ud2 replaced by ud2__check.
@@ -223,10 +218,7 @@ mod tests {
         // so the view has arity 2 and the new method keeps id as its input.
         let schema = example_schema();
         let simplified = fd_simplification(&schema);
-        let view = simplified
-            .signature()
-            .require("Udirectory__ud2")
-            .unwrap();
+        let view = simplified.signature().require("Udirectory__ud2").unwrap();
         assert_eq!(simplified.signature().arity(view), 2);
         let m = simplified.method("ud2__check").unwrap();
         assert_eq!(m.input_positions_vec(), vec![0]);

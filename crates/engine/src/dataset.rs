@@ -78,7 +78,9 @@ pub fn movie_instance(
         let id = values.constant(&format!("movie{i}"));
         let title = values.constant(&format!("title{i}"));
         let year = values.constant(&format!("{}", 1980 + (i % 45)));
-        instance.insert(movie, vec![id, title, year]).expect("arity 3");
+        instance
+            .insert(movie, vec![id, title, year])
+            .expect("arity 3");
         let cast_size = 1 + rng.gen_range(0..4usize.min(actors.max(1)));
         for _ in 0..cast_size {
             let a = actor_ids[rng.gen_range(0..actor_ids.len())];

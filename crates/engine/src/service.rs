@@ -1,6 +1,6 @@
 //! A simulated web-service stack with call accounting and rate limits.
 
-use rbqa_access::{AccessSelection, Plan, Schema};
+use rbqa_access::{AccessSelection, Plan, Schema, TruncatingSelection};
 use rbqa_common::{Instance, Value};
 use rustc_hash::FxHashMap;
 
@@ -25,7 +25,11 @@ pub struct PlanMetrics {
 /// (Section 1). Plans are the only way to look at the data; the simulator
 /// tracks how many calls each method receives and how many tuples travel
 /// over the (simulated) wire, and can flag rate-limit violations.
-#[derive(Debug)]
+///
+/// The simulator is `Clone` so higher layers (the `rbqa-service` catalog)
+/// can share it across worker threads; cloning copies the schema and the
+/// hidden instance.
+#[derive(Debug, Clone)]
 pub struct ServiceSimulator {
     schema: Schema,
     data: Instance,
@@ -99,6 +103,19 @@ impl ServiceSimulator {
             within_rate_limit: self.rate_limit.is_none_or(|limit| total_calls <= limit),
         };
         Ok((run.output, metrics))
+    }
+
+    /// Executes a plan under the deterministic [`TruncatingSelection`].
+    ///
+    /// This is the execution path used by `rbqa-service` for `Execute`
+    /// requests: deterministic (repeatable responses for identical
+    /// requests) and valid for any result bound.
+    pub fn run_plan_deterministic(
+        &self,
+        plan: &Plan,
+    ) -> Result<(Vec<Vec<Value>>, PlanMetrics), rbqa_access::plan::PlanError> {
+        let mut selection = TruncatingSelection::new();
+        self.run_plan(plan, &mut selection)
     }
 }
 

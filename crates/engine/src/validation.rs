@@ -83,8 +83,14 @@ pub fn validate_plan(
     for (idx, instance) in instances.iter().enumerate() {
         let expected = evaluate(query, instance);
         let mut selections: Vec<(String, Box<dyn AccessSelection>)> = vec![
-            ("truncating".to_owned(), Box::new(TruncatingSelection::new())),
-            ("adversarial".to_owned(), Box::new(AdversarialSelection::new())),
+            (
+                "truncating".to_owned(),
+                Box::new(TruncatingSelection::new()),
+            ),
+            (
+                "adversarial".to_owned(),
+                Box::new(AdversarialSelection::new()),
+            ),
             ("greedy".to_owned(), Box::new(GreedySelection::new())),
         ];
         for seed in 0..random_trials {
@@ -95,8 +101,7 @@ pub fn validate_plan(
         }
         for (name, mut selection) in selections {
             trials += 1;
-            let run = match rbqa_access::plan::execute(plan, schema, instance, selection.as_mut())
-            {
+            let run = match rbqa_access::plan::execute(plan, schema, instance, selection.as_mut()) {
                 Ok(run) => run,
                 Err(e) => {
                     return ValidationReport {
@@ -198,8 +203,7 @@ mod tests {
     fn example_1_3_plan_is_incomplete_with_bound() {
         let schema = university_schema(Some(2));
         let mut vf = ValueFactory::new();
-        let instances =
-            vec![university_instance(schema.signature(), &mut vf, 12, 5)];
+        let instances = vec![university_instance(schema.signature(), &mut vf, 12, 5)];
         let mut sig = schema.signature().clone();
         let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
         let plan = salary_plan(&mut vf);

@@ -1,0 +1,369 @@
+//! Canonical codes for conjunctive queries and constraint atom lists.
+//!
+//! A *canonical code* is a textual encoding of a set of atoms that is
+//! invariant under **variable renaming** and **atom reordering** — two
+//! α-equivalent queries produce byte-identical codes. The service layer
+//! (`rbqa-service`, DESIGN.md §6) keys its decision/plan cache on a hash of
+//! this code so that repeated and α-equivalent requests share one cache
+//! entry.
+//!
+//! The encoding deliberately resolves relations to their **names** and
+//! constants to their **interned strings** (via a caller-supplied resolver),
+//! so codes are stable across [`rbqa_common::Signature`] and
+//! [`rbqa_common::ValueFactory`] instances — two clients that built the
+//! same query independently still collide on the same cache entry.
+//!
+//! # Algorithm
+//!
+//! Canonicalization is an ordered DFS over atom orderings (a miniature
+//! graph-canonization "canonical code" search):
+//!
+//! 1. Given the atoms already ordered and the variables already numbered,
+//!    every remaining atom has a *local signature*: its tag, relation name
+//!    and argument pattern, where arguments are `Const(s)`, `Free(i)` (the
+//!    i-th answer variable), `Bound(k)` (already-numbered variable `k`) or
+//!    `New(j)` (j-th first occurrence within this atom).
+//! 2. Only atoms with the **minimal** local signature are candidates for
+//!    the next position; each choice numbers its new variables and recurses.
+//! 3. The lexicographically smallest complete encoding over all explored
+//!    branches is the canonical code, with prefix pruning against the best
+//!    code found so far.
+//!
+//! In the exact regime invariance holds because every step depends only on
+//! the structure of the atom set, never on input order or variable
+//! identity. The search is worst-case exponential for highly symmetric
+//! queries, so beyond [`MAX_EXACT_ATOMS`] atoms it degenerates to the
+//! greedy first minimal candidate. The greedy regime is still
+//! deterministic and invariant under variable renaming, but when two
+//! atoms *tie* on their local signature the winner is the one listed
+//! first — so atom-reordering invariance can be lost for such large,
+//! symmetric queries. The failure mode is benign for callers keying
+//! caches on the code: two equivalent queries may get *distinct* codes
+//! (a spurious cache miss), never the same code for inequivalent
+//! queries. Real workloads sit far below the threshold.
+
+use rbqa_common::{Signature, Value};
+use rustc_hash::FxHashMap;
+
+use crate::atom::Atom;
+use crate::cq::ConjunctiveQuery;
+use crate::term::{Term, VarId};
+
+/// Above this many atoms the tie search becomes greedy: codes remain
+/// deterministic and renaming-invariant, but atom-reordering invariance is
+/// only guaranteed up to local-signature ties (see module docs).
+pub const MAX_EXACT_ATOMS: usize = 12;
+
+/// An atom paired with a small integer tag. Tags separate structurally
+/// different roles (e.g. TGD body vs. head atoms) without flattening them
+/// into one undifferentiated soup.
+pub type TaggedAtom<'a> = (u32, &'a Atom);
+
+/// One argument of an atom, rewritten into renaming-invariant form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum CanonArg {
+    /// A constant, resolved to its string form.
+    Const(String),
+    /// The i-th free (answer) variable.
+    Free(usize),
+    /// A bound variable already numbered by the ordering prefix.
+    Bound(usize),
+    /// A variable first seen in this atom (j-th new one within the atom).
+    New(usize),
+}
+
+/// The renaming-invariant signature of one atom under a partial numbering.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct LocalSig {
+    tag: u32,
+    relation: String,
+    args: Vec<CanonArg>,
+}
+
+impl LocalSig {
+    fn render(&self) -> String {
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|a| match a {
+                CanonArg::Const(s) => format!("'{s}'"),
+                CanonArg::Free(i) => format!("f{i}"),
+                CanonArg::Bound(k) => format!("b{k}"),
+                CanonArg::New(j) => format!("n{j}"),
+            })
+            .collect();
+        format!("#{}:{}({})", self.tag, self.relation, args.join(","))
+    }
+}
+
+struct Search<'a> {
+    atoms: Vec<TaggedAtom<'a>>,
+    sig: &'a Signature,
+    resolve: &'a dyn Fn(Value) -> String,
+    free_index: FxHashMap<VarId, usize>,
+    exact: bool,
+    best: Option<Vec<String>>,
+}
+
+impl Search<'_> {
+    fn local_sig(&self, atom: TaggedAtom<'_>, numbering: &FxHashMap<VarId, usize>) -> LocalSig {
+        let (tag, atom) = atom;
+        let mut new_in_atom: FxHashMap<VarId, usize> = FxHashMap::default();
+        let args = atom
+            .args()
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => CanonArg::Const((self.resolve)(*c)),
+                Term::Var(v) => {
+                    if let Some(&i) = self.free_index.get(v) {
+                        CanonArg::Free(i)
+                    } else if let Some(&k) = numbering.get(v) {
+                        CanonArg::Bound(k)
+                    } else {
+                        let next = new_in_atom.len();
+                        CanonArg::New(*new_in_atom.entry(*v).or_insert(next))
+                    }
+                }
+            })
+            .collect();
+        LocalSig {
+            tag,
+            relation: self.sig.name(atom.relation()).to_owned(),
+            args,
+        }
+    }
+
+    /// DFS over orderings; `prefix` is the rendered code so far.
+    fn dfs(
+        &mut self,
+        used: &mut Vec<bool>,
+        numbering: &mut FxHashMap<VarId, usize>,
+        prefix: &mut Vec<String>,
+    ) {
+        if prefix.len() == self.atoms.len() {
+            if self.best.as_ref().is_none_or(|b| &*prefix < b) {
+                self.best = Some(prefix.clone());
+            }
+            return;
+        }
+        // Prefix pruning: the best code is lexicographically minimal, so any
+        // prefix already greater than the best's prefix cannot win.
+        if let Some(best) = &self.best {
+            if prefix.as_slice() > &best[..prefix.len()] {
+                return;
+            }
+        }
+        // Find the minimal local signature among unused atoms.
+        let mut min_sig: Option<LocalSig> = None;
+        let mut candidates: Vec<usize> = Vec::new();
+        for (i, &atom) in self.atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let sig = self.local_sig(atom, numbering);
+            match &min_sig {
+                None => {
+                    min_sig = Some(sig);
+                    candidates = vec![i];
+                }
+                Some(m) => match sig.cmp(m) {
+                    std::cmp::Ordering::Less => {
+                        min_sig = Some(sig);
+                        candidates = vec![i];
+                    }
+                    std::cmp::Ordering::Equal => candidates.push(i),
+                    std::cmp::Ordering::Greater => {}
+                },
+            }
+        }
+        let min_sig = min_sig.expect("at least one unused atom");
+        if !self.exact {
+            candidates.truncate(1);
+        }
+        for i in candidates {
+            let (_, atom) = self.atoms[i];
+            used[i] = true;
+            prefix.push(min_sig.render());
+            // Number this atom's new variables in order of occurrence.
+            let mut added: Vec<VarId> = Vec::new();
+            for t in atom.args() {
+                if let Term::Var(v) = t {
+                    if !self.free_index.contains_key(v) && !numbering.contains_key(v) {
+                        numbering.insert(*v, numbering.len());
+                        added.push(*v);
+                    }
+                }
+            }
+            self.dfs(used, numbering, prefix);
+            for v in added {
+                numbering.remove(&v);
+            }
+            prefix.pop();
+            used[i] = false;
+        }
+    }
+}
+
+/// Canonical code of a tagged atom list: invariant under renaming of the
+/// non-free variables and under reordering of atoms (within and across
+/// tags). `free` fixes the identity of answer variables — `free[i]` is
+/// encoded as `f{i}` wherever it occurs, so answer position matters but the
+/// answer variable's *name* does not.
+pub fn canonical_atoms_code(
+    atoms: &[TaggedAtom<'_>],
+    free: &[VarId],
+    sig: &Signature,
+    resolve: &dyn Fn(Value) -> String,
+) -> String {
+    if atoms.is_empty() {
+        return format!("free:{}|", free.len());
+    }
+    let free_index: FxHashMap<VarId, usize> =
+        free.iter().enumerate().map(|(i, v)| (*v, i)).collect();
+    let mut search = Search {
+        atoms: atoms.to_vec(),
+        sig,
+        resolve,
+        free_index,
+        exact: atoms.len() <= MAX_EXACT_ATOMS,
+        best: None,
+    };
+    let mut used = vec![false; atoms.len()];
+    let mut numbering = FxHashMap::default();
+    let mut prefix = Vec::with_capacity(atoms.len());
+    search.dfs(&mut used, &mut numbering, &mut prefix);
+    let code = search.best.expect("search visits at least one ordering");
+    format!("free:{}|{}", free.len(), code.join(";"))
+}
+
+/// Canonical code of a conjunctive query (all atoms tagged 0, free
+/// variables in declaration order). Two α-equivalent queries — equal up to
+/// consistent variable renaming and atom permutation — produce identical
+/// codes; queries differing in constants, relations, join structure or
+/// answer-variable positions produce different codes.
+pub fn canonical_query_code(
+    query: &ConjunctiveQuery,
+    sig: &Signature,
+    resolve: &dyn Fn(Value) -> String,
+) -> String {
+    let atoms: Vec<TaggedAtom<'_>> = query.atoms().iter().map(|a| (0u32, a)).collect();
+    canonical_atoms_code(&atoms, query.free_vars(), sig, resolve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_cq;
+    use rbqa_common::ValueFactory;
+
+    fn code(q: &str, sig: &mut Signature, vf: &mut ValueFactory) -> String {
+        let query = parse_cq(q, sig, vf).unwrap();
+        let resolver = {
+            let vf = vf.clone();
+            move |v: Value| vf.display(v)
+        };
+        canonical_query_code(&query, sig, &resolver)
+    }
+
+    #[test]
+    fn renamed_variables_share_a_code() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let a = code("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf);
+        let b = code("Q(zz) :- Prof(qq, zz, '10000')", &mut sig, &mut vf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permuted_atoms_share_a_code() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let a = code("Q() :- E(x, y), F(y, z)", &mut sig, &mut vf);
+        let b = code("Q() :- F(b, c), E(a, b)", &mut sig, &mut vf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn renamed_and_permuted_share_a_code() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let a = code("Q(x) :- E(x, y), E(y, z), T(z)", &mut sig, &mut vf);
+        let b = code("Q(u) :- T(w), E(v, w), E(u, v)", &mut sig, &mut vf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_join_structure_differs() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        // A 2-path vs. two disconnected edges.
+        let a = code("Q() :- E(x, y), E(y, z)", &mut sig, &mut vf);
+        let b = code("Q() :- E(x, y), E(u, v)", &mut sig, &mut vf);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn answer_variable_position_matters() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let a = code("Q(x) :- E(x, y)", &mut sig, &mut vf);
+        let b = code("Q(y) :- E(x, y)", &mut sig, &mut vf);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constants_matter_and_resolve_by_name() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let a = code("Q() :- R(x, 'a')", &mut sig, &mut vf);
+        let b = code("Q() :- R(x, 'b')", &mut sig, &mut vf);
+        assert_ne!(a, b);
+        // The same query built through a fresh factory (different ConstIds)
+        // still collides.
+        let (mut sig2, mut vf2) = (Signature::new(), ValueFactory::new());
+        vf2.constant("pad0");
+        vf2.constant("pad1");
+        let mut sig_r = Signature::new();
+        sig_r.add_relation("R", 2).unwrap();
+        let a2 = code("Q() :- R(x, 'a')", &mut sig2, &mut vf2);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn symmetric_queries_are_canonical() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        // A triangle listed in three rotations.
+        let a = code("Q() :- E(x, y), E(y, z), E(z, x)", &mut sig, &mut vf);
+        let b = code("Q() :- E(z, x), E(x, y), E(y, z)", &mut sig, &mut vf);
+        let c = code("Q() :- E(b, c), E(a, b), E(c, a)", &mut sig, &mut vf);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn boolean_and_unary_queries_differ() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let a = code("Q() :- E(x, y)", &mut sig, &mut vf);
+        let b = code("Q(x) :- E(x, y)", &mut sig, &mut vf);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tags_separate_roles() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let q = parse_cq("Q() :- E(x, y), F(x, y)", &mut sig, &mut vf).unwrap();
+        let resolver = |v: Value| format!("{v}");
+        let atoms = q.atoms();
+        let same_tag: Vec<TaggedAtom<'_>> = atoms.iter().map(|a| (0u32, a)).collect();
+        let split_tag: Vec<TaggedAtom<'_>> = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a))
+            .collect();
+        assert_ne!(
+            canonical_atoms_code(&same_tag, &[], &sig, &resolver),
+            canonical_atoms_code(&split_tag, &[], &sig, &resolver),
+        );
+    }
+
+    #[test]
+    fn empty_atom_list_is_stable() {
+        let sig = Signature::new();
+        let resolver = |v: Value| format!("{v}");
+        assert_eq!(canonical_atoms_code(&[], &[], &sig, &resolver), "free:0|");
+    }
+}

@@ -65,7 +65,8 @@ impl Fd {
     /// Whether two tuples of the FD's relation violate it: they agree on all
     /// determining positions but disagree on the determined position.
     pub fn violated_by(&self, t1: &[Value], t2: &[Value]) -> bool {
-        self.determiners.iter().all(|&p| t1[p] == t2[p]) && t1[self.determined] != t2[self.determined]
+        self.determiners.iter().all(|&p| t1[p] == t2[p])
+            && t1[self.determined] != t2[self.determined]
     }
 
     /// Whether the FD holds on every pair of tuples of its relation in
@@ -84,7 +85,11 @@ impl Fd {
 
     /// Renders the FD using 1-based positions, as in the paper.
     pub fn display(&self, sig: &Signature) -> String {
-        let lhs: Vec<String> = self.determiners.iter().map(|p| (p + 1).to_string()).collect();
+        let lhs: Vec<String> = self
+            .determiners
+            .iter()
+            .map(|p| (p + 1).to_string())
+            .collect();
         format!(
             "FD {}: {} -> {}",
             sig.name(self.relation),

@@ -179,7 +179,10 @@ impl ConstraintSet {
 
     /// The FDs restricted to one relation.
     pub fn fds_of(&self, relation: RelationId) -> Vec<&Fd> {
-        self.fds.iter().filter(|f| f.relation() == relation).collect()
+        self.fds
+            .iter()
+            .filter(|f| f.relation() == relation)
+            .collect()
     }
 
     /// Merges another constraint set into this one.

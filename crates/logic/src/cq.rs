@@ -275,7 +275,10 @@ mod tests {
         let (_sig, prof, _) = example_signature();
         let mut b = CqBuilder::new();
         let i = b.var("i");
-        let q = b.free(i).atom(prof, vec![i.into(), i.into(), i.into()]).build();
+        let q = b
+            .free(i)
+            .atom(prof, vec![i.into(), i.into(), i.into()])
+            .build();
         let bq = q.boolean_closure();
         assert!(bq.is_boolean());
         assert_eq!(bq.size(), q.size());
@@ -331,7 +334,10 @@ mod tests {
         let mut b = CqBuilder::new();
         let i = b.var("i");
         let n = b.var("n");
-        let q = b.free(n).atom(prof, vec![i.into(), n.into(), n.into()]).build();
+        let q = b
+            .free(n)
+            .atom(prof, vec![i.into(), n.into(), n.into()])
+            .build();
         let s = q.display(&sig);
         assert!(s.contains("Q(n)"));
         assert!(s.contains("Prof(i, n, n)"));

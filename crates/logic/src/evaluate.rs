@@ -17,7 +17,11 @@ pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> Vec<Vec<Value>
     let homs = all_homomorphisms(query, instance, usize::MAX);
     let mut out: FxHashSet<Vec<Value>> = FxHashSet::default();
     for h in homs {
-        let tuple: Option<Vec<Value>> = query.free_vars().iter().map(|v| h.get(v).copied()).collect();
+        let tuple: Option<Vec<Value>> = query
+            .free_vars()
+            .iter()
+            .map(|v| h.get(v).copied())
+            .collect();
         match tuple {
             Some(t) => {
                 out.insert(t);
@@ -44,12 +48,7 @@ mod tests {
     use crate::cq::CqBuilder;
     use rbqa_common::{Instance, Signature, ValueFactory};
 
-    fn prof_setup() -> (
-        Signature,
-        rbqa_common::RelationId,
-        ValueFactory,
-        Vec<Value>,
-    ) {
+    fn prof_setup() -> (Signature, rbqa_common::RelationId, ValueFactory, Vec<Value>) {
         let mut sig = Signature::new();
         let prof = sig.add_relation("Prof", 3).unwrap();
         let mut vf = ValueFactory::new();
@@ -84,7 +83,10 @@ mod tests {
         let i = b.var("i");
         let n = b.var("n");
         let salary = b.constant("10000");
-        let q = b.free(n).atom(prof, vec![i.into(), n.into(), salary]).build();
+        let q = b
+            .free(n)
+            .atom(prof, vec![i.into(), n.into(), salary])
+            .build();
 
         let answers = evaluate(&q, &inst);
         assert_eq!(answers.len(), 1);

@@ -26,7 +26,14 @@ pub fn find_homomorphism(
     seed: &Homomorphism,
 ) -> Option<Homomorphism> {
     let mut collector = SingleCollector { found: None };
-    search(query.atoms(), instance, seed.clone(), &mut collector, &mut 0, usize::MAX);
+    search(
+        query.atoms(),
+        instance,
+        seed.clone(),
+        &mut collector,
+        &mut 0,
+        usize::MAX,
+    );
     collector.found
 }
 

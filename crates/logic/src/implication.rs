@@ -18,8 +18,8 @@ use rbqa_common::{RelationId, Signature};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeSet;
 
-use crate::constraints::{Fd, Tgd};
 use crate::constraints::tgd::inclusion_dependency;
+use crate::constraints::{Fd, Tgd};
 
 /// A unary inclusion dependency at the position level: the values at
 /// `from.1` in relation `from.0` all appear at position `to.1` of relation
@@ -156,11 +156,7 @@ pub fn implies_uid(uids: &[Uid], candidate: &Uid) -> bool {
 ///
 /// Iterating 1–3 to fixpoint yields the closure of Cosmadakis–Kanellakis–
 /// Vardi for unary inclusion dependencies and functional dependencies.
-pub fn finite_closure(
-    sig: &Signature,
-    uids: &[Uid],
-    fds: &[Fd],
-) -> (Vec<Uid>, Vec<Fd>) {
+pub fn finite_closure(sig: &Signature, uids: &[Uid], fds: &[Fd]) -> (Vec<Uid>, Vec<Fd>) {
     let mut cur_uids: FxHashSet<Uid> = uids.iter().copied().filter(|u| !u.is_trivial()).collect();
     let mut cur_fds: FxHashSet<Fd> = fds.iter().cloned().collect();
 
@@ -254,11 +250,8 @@ fn combined_sccs(
             nodes.push((rid, p));
         }
     }
-    let index_of: FxHashMap<(RelationId, usize), usize> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (*n, i))
-        .collect();
+    let index_of: FxHashMap<(RelationId, usize), usize> =
+        nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
     let n = nodes.len();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for uid in uids {

@@ -21,6 +21,7 @@
 //!   dependencies.
 
 pub mod atom;
+pub mod canonical;
 pub mod constraints;
 pub mod cq;
 pub mod evaluate;
@@ -32,6 +33,7 @@ pub mod term;
 pub mod ucq;
 
 pub use atom::Atom;
+pub use canonical::{canonical_atoms_code, canonical_query_code};
 pub use constraints::{Constraint, ConstraintSet, Fd, Tgd};
 pub use cq::{CanonicalDatabase, ConjunctiveQuery, CqBuilder};
 pub use evaluate::evaluate;

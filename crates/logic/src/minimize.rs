@@ -158,7 +158,8 @@ fn fd_only_chase(
     loop {
         let mut merge: Option<(Value, Value)> = None;
         'outer: for fd in constraints.fds() {
-            let tuples: Vec<Vec<Value>> = current.tuples(fd.relation()).map(|t| t.to_vec()).collect();
+            let tuples: Vec<Vec<Value>> =
+                current.tuples(fd.relation()).map(|t| t.to_vec()).collect();
             for (i, t1) in tuples.iter().enumerate() {
                 for t2 in &tuples[i + 1..] {
                     if fd.violated_by(t1, t2) {

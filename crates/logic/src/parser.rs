@@ -106,9 +106,7 @@ fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
                     tokens.push(Token::Arrow);
                     i += 2;
                 } else {
-                    return Err(ParseError::Syntax(format!(
-                        "unexpected '-' at offset {i}"
-                    )));
+                    return Err(ParseError::Syntax(format!("unexpected '-' at offset {i}")));
                 }
             }
             '\'' | '"' => {
@@ -167,11 +165,7 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn new(
-        input: &str,
-        sig: &'a mut Signature,
-        values: &'a mut ValueFactory,
-    ) -> ParseResult<Self> {
+    fn new(input: &str, sig: &'a mut Signature, values: &'a mut ValueFactory) -> ParseResult<Self> {
         Ok(Parser {
             tokens: tokenize(input)?,
             pos: 0,
@@ -362,11 +356,7 @@ pub fn parse_cq(
 }
 
 /// Parses a TGD such as `Udirectory(i, a, p) -> Prof(i, n, s)`.
-pub fn parse_tgd(
-    input: &str,
-    sig: &mut Signature,
-    values: &mut ValueFactory,
-) -> ParseResult<Tgd> {
+pub fn parse_tgd(input: &str, sig: &mut Signature, values: &mut ValueFactory) -> ParseResult<Tgd> {
     let mut p = Parser::new(input, sig, values)?;
     let mut vars = VarPool::new();
     let body = p.parse_atom_list(&mut vars, false)?;
@@ -503,12 +493,7 @@ mod tests {
     fn parse_tgd_and_classify() {
         let mut sig = Signature::new();
         let mut vf = ValueFactory::new();
-        let tgd = parse_tgd(
-            "Udirectory(i, a, p) -> Prof(i, n, s)",
-            &mut sig,
-            &mut vf,
-        )
-        .unwrap();
+        let tgd = parse_tgd("Udirectory(i, a, p) -> Prof(i, n, s)", &mut sig, &mut vf).unwrap();
         assert!(tgd.is_uid());
         assert_eq!(tgd.width(), 1);
     }

@@ -1,0 +1,282 @@
+//! A sharded, single-flight decision cache.
+//!
+//! The cache maps [`Fingerprint`]s to `Arc`-shared values. Two properties
+//! matter for the service (DESIGN.md §6):
+//!
+//! * **Sharding** — the key space is split across `N` independent locks so
+//!   concurrent requests for *different* fingerprints never contend on one
+//!   mutex. The shard index is taken from the fingerprint's high bits
+//!   (FNV output is well mixed).
+//! * **Single-flight** — when several threads miss on the *same*
+//!   fingerprint simultaneously, exactly one runs the (expensive, chase-
+//!   driving) compute closure; the rest block on the shard's condvar and
+//!   receive the same `Arc`. This is what makes "a concurrent batch of
+//!   identical requests performs exactly one chase" a guarantee rather
+//!   than a likelihood.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use rustc_hash::FxHashMap;
+
+use crate::fingerprint::Fingerprint;
+
+/// How a lookup was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The value was already cached.
+    Hit,
+    /// This caller computed the value.
+    Miss,
+    /// Another caller was computing the value; this caller waited for it.
+    Coalesced,
+}
+
+enum Entry<V> {
+    /// Some thread is computing the value.
+    InFlight,
+    /// The value is available.
+    Ready(Arc<V>),
+}
+
+struct Shard<V> {
+    map: Mutex<FxHashMap<u128, Entry<V>>>,
+    cond: Condvar,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: Mutex::new(FxHashMap::default()),
+            cond: Condvar::new(),
+        }
+    }
+}
+
+/// Removes the in-flight marker if the compute closure panics, so waiters
+/// retry instead of blocking forever.
+struct InFlightGuard<'a, V> {
+    shard: &'a Shard<V>,
+    key: u128,
+    done: bool,
+}
+
+impl<V> Drop for InFlightGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.done {
+            let mut map = self.shard.map.lock().expect("cache shard poisoned");
+            if matches!(map.get(&self.key), Some(Entry::InFlight)) {
+                map.remove(&self.key);
+            }
+            self.shard.cond.notify_all();
+        }
+    }
+}
+
+/// Sharded single-flight cache keyed by [`Fingerprint`].
+pub struct ShardedCache<V> {
+    shards: Vec<Shard<V>>,
+}
+
+impl<V> ShardedCache<V> {
+    /// A cache with `shards` independent lock domains (minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedCache {
+            shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// A cache with the default shard count (16).
+    pub fn new() -> Self {
+        Self::with_shards(16)
+    }
+
+    fn shard(&self, key: Fingerprint) -> &Shard<V> {
+        let index = (key.0 >> 64) as usize % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Number of cached (ready) entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|e| matches!(e, Entry::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Looks up `key` without computing.
+    pub fn get(&self, key: Fingerprint) -> Option<Arc<V>> {
+        let shard = self.shard(key);
+        let map = shard.map.lock().expect("cache shard poisoned");
+        match map.get(&key.0) {
+            Some(Entry::Ready(v)) => Some(Arc::clone(v)),
+            _ => None,
+        }
+    }
+
+    /// Returns the cached value for `key`, or computes it with `compute`.
+    ///
+    /// The closure runs **without** any shard lock held, so long decisions
+    /// never block unrelated lookups; the in-flight marker keeps duplicate
+    /// work out.
+    pub fn get_or_compute<F: FnOnce() -> V>(
+        &self,
+        key: Fingerprint,
+        compute: F,
+    ) -> (Arc<V>, CacheOutcome) {
+        let shard = self.shard(key);
+        {
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            loop {
+                match map.get(&key.0) {
+                    Some(Entry::Ready(v)) => return (Arc::clone(v), CacheOutcome::Hit),
+                    Some(Entry::InFlight) => {
+                        map = shard.cond.wait(map).expect("cache shard poisoned");
+                        // On wake the entry is Ready, or was removed by a
+                        // panicking computer — in the latter case fall
+                        // through and compute here.
+                        if let std::collections::hash_map::Entry::Vacant(e) = map.entry(key.0) {
+                            e.insert(Entry::InFlight);
+                            break;
+                        }
+                        match map.get(&key.0) {
+                            Some(Entry::Ready(v)) => {
+                                return (Arc::clone(v), CacheOutcome::Coalesced)
+                            }
+                            _ => continue,
+                        }
+                    }
+                    None => {
+                        map.insert(key.0, Entry::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+        // This thread owns the computation.
+        let mut guard = InFlightGuard {
+            shard,
+            key: key.0,
+            done: false,
+        };
+        let value = Arc::new(compute());
+        guard.done = true;
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        map.insert(key.0, Entry::Ready(Arc::clone(&value)));
+        shard.cond.notify_all();
+        drop(map);
+        (value, CacheOutcome::Miss)
+    }
+
+    /// Drops every cached entry (in-flight computations are unaffected:
+    /// their results are re-inserted when they finish).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard
+                .map
+                .lock()
+                .expect("cache shard poisoned")
+                .retain(|_, e| matches!(e, Entry::InFlight));
+        }
+    }
+}
+
+impl<V> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n << 64 | n)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache: ShardedCache<String> = ShardedCache::new();
+        let (v, outcome) = cache.get_or_compute(fp(1), || "x".to_owned());
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(*v, "x");
+        let (v2, outcome2) = cache.get_or_compute(fp(1), || unreachable!("must be cached"));
+        assert_eq!(outcome2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&v, &v2));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(fp(1)).is_some());
+        assert!(cache.get(fp(2)).is_none());
+    }
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new());
+        let computations = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let computations = Arc::clone(&computations);
+                std::thread::spawn(move || {
+                    let (v, _) = cache.get_or_compute(fp(7), || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        42
+                    });
+                    *v
+                })
+            })
+            .collect();
+        for t in threads {
+            assert_eq!(t.join().unwrap(), 42);
+        }
+        assert_eq!(computations.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_land_in_shards() {
+        let cache: ShardedCache<u128> = ShardedCache::with_shards(4);
+        for i in 0..64u128 {
+            cache.get_or_compute(Fingerprint(i << 64), || i);
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(cache.shard_count(), 4);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn panicking_compute_releases_waiters() {
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new());
+        let c1 = Arc::clone(&cache);
+        let panicker = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                c1.get_or_compute(fp(9), || panic!("boom"));
+            }));
+            assert!(result.is_err());
+        });
+        panicker.join().unwrap();
+        // The key is free again: a later caller computes normally.
+        let (v, outcome) = cache.get_or_compute(fp(9), || 5);
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(*v, 5);
+    }
+}

@@ -1,0 +1,49 @@
+//! # rbqa-service
+//!
+//! A thread-safe, in-process query-answering daemon over the `rbqa`
+//! stack (DESIGN.md §6). The library layers below decide monotone
+//! answerability one call at a time; this crate turns them into a
+//! *service* suitable for heavy traffic over many schemas:
+//!
+//! * [`catalog`] — a **catalog registry**: clients register named
+//!   (schema, constraints) bundles once and refer to them by
+//!   [`CatalogId`] afterwards; a catalog may carry a dataset behind a
+//!   [`rbqa_engine::ServiceSimulator`] for `Execute` requests;
+//! * [`fingerprint`] — **canonical fingerprints**: a 128-bit stable hash
+//!   of (schema, constraints, query, result bounds, options) that is
+//!   invariant under variable renaming and atom reordering (built on
+//!   [`rbqa_logic::canonical`]), so α-equivalent requests are one cache
+//!   key;
+//! * [`cache`] — a **sharded, single-flight decision cache**: repeated
+//!   requests skip the chase entirely, and concurrent identical misses
+//!   run the decision pipeline exactly once;
+//! * [`request`] / [`service`] — the **request API**:
+//!   [`AnswerRequest`] → [`AnswerResponse`] in `Decide`, `Synthesize`
+//!   and `Execute` modes, plus [`QueryService::submit_batch`] fanning a
+//!   batch across scoped worker threads with deterministic result
+//!   ordering;
+//! * [`metrics`] — **service metrics** (cache hits/misses, chase
+//!   invocations saved, per-mode latencies) complementing the
+//!   per-execution [`rbqa_engine::PlanMetrics`].
+//!
+//! The cacheability argument: an answerability verdict (and its
+//! synthesised plan) is a pure function of the schema, the constraints,
+//! the query and the decision options — the paper's decision procedures
+//! consult no instance data. Fingerprinting that tuple canonically
+//! therefore lets one chase serve arbitrarily many requests, in the
+//! spirit of the runtime/static split of Benedikt–Gottlob–Senellart's
+//! "Determining Relevance of Accesses at Runtime".
+
+pub mod cache;
+pub mod catalog;
+pub mod fingerprint;
+pub mod metrics;
+pub mod request;
+pub mod service;
+
+pub use cache::{CacheOutcome, ShardedCache};
+pub use catalog::{CatalogEntry, CatalogId, CatalogRegistry};
+pub use fingerprint::{request_fingerprint, schema_fingerprint, Fingerprint};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
+pub use service::{CachedDecision, QueryService, ServiceConfig};

@@ -1,0 +1,154 @@
+//! Service-level metrics.
+//!
+//! Complements the per-plan-run [`rbqa_engine::PlanMetrics`]: where plan
+//! metrics describe one execution (calls per method, tuples over the
+//! wire), `ServiceMetrics` aggregates across the whole service lifetime —
+//! cache effectiveness, chase work avoided, and per-mode latency.
+//!
+//! All counters are relaxed atomics: they are monotone event counts read
+//! only through [`ServiceMetrics::snapshot`], so no ordering is required.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::request::RequestMode;
+
+/// Aggregated counters for one [`crate::QueryService`].
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_coalesced: AtomicU64,
+    decisions_computed: AtomicU64,
+    chase_rounds_saved: AtomicU64,
+    executions: AtomicU64,
+    mode_counts: [AtomicU64; 3],
+    mode_micros: [AtomicU64; 3],
+}
+
+fn mode_index(mode: RequestMode) -> usize {
+    match mode {
+        RequestMode::Decide => 0,
+        RequestMode::Synthesize => 1,
+        RequestMode::Execute => 2,
+    }
+}
+
+impl ServiceMetrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_hit(&self, coalesced: bool, rounds_saved: usize) {
+        if coalesced {
+            self.cache_coalesced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        self.chase_rounds_saved
+            .fetch_add(rounds_saved as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.decisions_computed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_execution(&self) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, mode: RequestMode, micros: u128) {
+        let i = mode_index(mode);
+        self.mode_counts[i].fetch_add(1, Ordering::Relaxed);
+        self.mode_micros[i].fetch_add(micros as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            cache_coalesced: load(&self.cache_coalesced),
+            decisions_computed: load(&self.decisions_computed),
+            chase_rounds_saved: load(&self.chase_rounds_saved),
+            executions: load(&self.executions),
+            mode_counts: [
+                load(&self.mode_counts[0]),
+                load(&self.mode_counts[1]),
+                load(&self.mode_counts[2]),
+            ],
+            mode_micros: [
+                load(&self.mode_micros[0]),
+                load(&self.mode_micros[1]),
+                load(&self.mode_micros[2]),
+            ],
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServiceMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests served from a ready cache entry.
+    pub cache_hits: u64,
+    /// Requests that computed a fresh decision.
+    pub cache_misses: u64,
+    /// Requests that waited for another in-flight identical request.
+    pub cache_coalesced: u64,
+    /// Decision-procedure invocations actually run (== misses).
+    pub decisions_computed: u64,
+    /// Total chase rounds that cache hits avoided re-running.
+    pub chase_rounds_saved: u64,
+    /// `Execute`-mode plan runs performed.
+    pub executions: u64,
+    /// Request counts per mode (`Decide`, `Synthesize`, `Execute`).
+    pub mode_counts: [u64; 3],
+    /// Cumulative latency per mode, in microseconds.
+    pub mode_micros: [u64; 3],
+}
+
+impl MetricsSnapshot {
+    /// Requests that skipped the decision procedure entirely (hits plus
+    /// coalesced waiters): the "chase invocations saved" of DESIGN.md §6.
+    pub fn chase_invocations_saved(&self) -> u64 {
+        self.cache_hits + self.cache_coalesced
+    }
+
+    /// Mean latency of one mode in microseconds (0 when unused).
+    pub fn mean_micros(&self, mode: RequestMode) -> u64 {
+        let i = mode_index(mode);
+        self.mode_micros[i]
+            .checked_div(self.mode_counts[i])
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_miss();
+        m.record_hit(false, 7);
+        m.record_hit(true, 7);
+        m.record_execution();
+        m.record_latency(RequestMode::Decide, 100);
+        m.record_latency(RequestMode::Decide, 300);
+        m.record_latency(RequestMode::Execute, 50);
+        let s = m.snapshot();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_coalesced, 1);
+        assert_eq!(s.decisions_computed, 1);
+        assert_eq!(s.chase_rounds_saved, 14);
+        assert_eq!(s.chase_invocations_saved(), 2);
+        assert_eq!(s.executions, 1);
+        assert_eq!(s.mean_micros(RequestMode::Decide), 200);
+        assert_eq!(s.mean_micros(RequestMode::Execute), 50);
+        assert_eq!(s.mean_micros(RequestMode::Synthesize), 0);
+    }
+}

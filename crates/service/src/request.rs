@@ -1,0 +1,187 @@
+//! The request/response vocabulary of the service.
+
+use std::sync::Arc;
+
+use rbqa_access::Plan;
+use rbqa_common::{Value, ValueFactory};
+use rbqa_core::{AnswerabilityOptions, DecisionSummary};
+use rbqa_engine::PlanMetrics;
+use rbqa_logic::ConjunctiveQuery;
+
+use crate::catalog::CatalogId;
+use crate::fingerprint::Fingerprint;
+
+/// What the client wants done with the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestMode {
+    /// Decide monotone answerability only.
+    Decide,
+    /// Decide and synthesise a crawling plan when answerable.
+    Synthesize,
+    /// Decide, synthesise, and execute the plan against the catalog's
+    /// registered dataset through the simulated services.
+    Execute,
+}
+
+/// One query-answering request against a registered catalog.
+///
+/// Build queries with a [`ValueFactory`] derived from
+/// [`crate::QueryService::catalog_values`] so that constants shared with
+/// the catalog (instance data, constraint constants) keep their identity;
+/// the *fingerprint* is factory-independent either way (constants are
+/// resolved to strings), so α-equivalent requests from independent
+/// factories still share a cache entry.
+#[derive(Debug, Clone)]
+pub struct AnswerRequest {
+    /// The catalog to answer against.
+    pub catalog: CatalogId,
+    /// The conjunctive query.
+    pub query: ConjunctiveQuery,
+    /// The factory that interned the query's constants.
+    pub values: ValueFactory,
+    /// What to do.
+    pub mode: RequestMode,
+    /// Decision options (budget etc.). `synthesize_plan` is forced on for
+    /// [`RequestMode::Synthesize`] and [`RequestMode::Execute`].
+    pub options: AnswerabilityOptions,
+}
+
+impl AnswerRequest {
+    /// A `Decide` request with default options.
+    pub fn decide(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+        AnswerRequest {
+            catalog,
+            query,
+            values,
+            mode: RequestMode::Decide,
+            options: AnswerabilityOptions::default(),
+        }
+    }
+
+    /// A `Synthesize` request with default options.
+    pub fn synthesize(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+        AnswerRequest {
+            mode: RequestMode::Synthesize,
+            ..Self::decide(catalog, query, values)
+        }
+    }
+
+    /// An `Execute` request with default options.
+    pub fn execute(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+        AnswerRequest {
+            mode: RequestMode::Execute,
+            ..Self::decide(catalog, query, values)
+        }
+    }
+
+    /// The options the decision actually runs with: `Synthesize` and
+    /// `Execute` imply plan synthesis (this normalisation happens *before*
+    /// fingerprinting, so a `Synthesize` and an `Execute` request for the
+    /// same query share one cache entry).
+    pub fn effective_options(&self) -> AnswerabilityOptions {
+        let mut options = self.options;
+        if matches!(self.mode, RequestMode::Synthesize | RequestMode::Execute) {
+            options.synthesize_plan = true;
+        }
+        options
+    }
+}
+
+/// The service's answer to one [`AnswerRequest`].
+#[derive(Debug, Clone)]
+pub struct AnswerResponse {
+    /// The request fingerprint (cache key); equal fingerprints mean the
+    /// requests were semantically identical.
+    pub fingerprint: Fingerprint,
+    /// Whether the decision came from the cache (hit or coalesced wait)
+    /// rather than a fresh run of the decision procedure.
+    pub cache_hit: bool,
+    /// Flat summary of the decision.
+    pub summary: DecisionSummary,
+    /// The synthesised plan, when one was requested and exists. Shared,
+    /// not cloned: many responses point at one cached plan.
+    pub plan: Option<Arc<Plan>>,
+    /// `Execute` only: the plan's output rows (deterministic selection).
+    pub rows: Option<Vec<Vec<Value>>>,
+    /// `Execute` only: per-run plan metrics from the simulator.
+    pub plan_metrics: Option<PlanMetrics>,
+    /// Wall-clock time the service spent on this request, in microseconds.
+    pub micros: u128,
+}
+
+impl AnswerResponse {
+    /// Whether the verdict certified answerability.
+    pub fn is_answerable(&self) -> bool {
+        matches!(
+            self.summary.answerability,
+            rbqa_core::Answerability::Answerable
+        )
+    }
+}
+
+/// Errors surfaced by the service facade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request referenced an unregistered catalog.
+    UnknownCatalog(CatalogId),
+    /// A catalog with this name is already registered.
+    DuplicateCatalog(String),
+    /// `Execute` was requested but the catalog has no dataset attached.
+    NoDataset(String),
+    /// `Execute` was requested but no plan is available (query not
+    /// answerable, or synthesis found no crawling plan).
+    NoPlan,
+    /// Plan execution failed inside the simulator.
+    Execution(String),
+    /// Invalid registration input.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownCatalog(id) => write!(f, "unknown catalog id {}", id.index()),
+            ServiceError::DuplicateCatalog(name) => {
+                write!(f, "catalog `{name}` is already registered")
+            }
+            ServiceError::NoDataset(name) => {
+                write!(f, "catalog `{name}` has no dataset attached for Execute")
+            }
+            ServiceError::NoPlan => write!(f, "no plan available to execute"),
+            ServiceError::Execution(e) => write!(f, "plan execution failed: {e}"),
+            ServiceError::Invalid(e) => write!(f, "invalid request: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_logic::CqBuilder;
+
+    #[test]
+    fn modes_normalise_options() {
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let q = b
+            .atom(rbqa_common::RelationId::from_index(0), vec![x.into()])
+            .build();
+        let vf = ValueFactory::new();
+        let d = AnswerRequest::decide(CatalogId::from_index(0), q.clone(), vf.clone());
+        assert!(!d.effective_options().synthesize_plan);
+        let s = AnswerRequest::synthesize(CatalogId::from_index(0), q.clone(), vf.clone());
+        assert!(s.effective_options().synthesize_plan);
+        let e = AnswerRequest::execute(CatalogId::from_index(0), q, vf);
+        assert!(e.effective_options().synthesize_plan);
+        assert_eq!(e.mode, RequestMode::Execute);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = ServiceError::DuplicateCatalog("uni".into());
+        assert!(e.to_string().contains("uni"));
+        assert!(ServiceError::NoPlan.to_string().contains("plan"));
+    }
+}

@@ -1,0 +1,478 @@
+//! The query-answering service facade.
+//!
+//! [`QueryService`] ties the pieces together: catalogs register schemas
+//! once; requests are fingerprinted, looked up in the sharded decision
+//! cache, and only on a miss is the full Table-1 decision pipeline
+//! (classification → simplification → AMonDet containment → chase) run.
+//! `Execute` requests additionally run the cached crawling plan against
+//! the catalog's simulated services.
+//!
+//! Batches fan out over a scoped thread pool with work stealing; results
+//! come back **in submission order** regardless of which worker finished
+//! first, so batch responses are deterministic and positionally matched
+//! to their requests.
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use rbqa_common::{Instance, ValueFactory};
+use rbqa_core::{decide_monotone_answerability, AnswerabilityResult};
+use rbqa_logic::{Atom, ConjunctiveQuery, Term};
+
+use crate::cache::{CacheOutcome, ShardedCache};
+use crate::catalog::{CatalogEntry, CatalogId, CatalogRegistry};
+use crate::fingerprint::{request_fingerprint, Fingerprint};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
+
+/// Re-expresses a query's constants in another value space: every constant
+/// is resolved to its string form in `from` and re-interned in `to`.
+/// Variables are untouched. This is how the service keeps cached decisions
+/// valid for every requester whose fingerprint matches, no matter which
+/// factory built the request.
+fn rebase_constants(
+    query: &ConjunctiveQuery,
+    from: &ValueFactory,
+    to: &mut ValueFactory,
+) -> ConjunctiveQuery {
+    let atoms = query
+        .atoms()
+        .iter()
+        .map(|atom| {
+            let args = atom
+                .args()
+                .iter()
+                .map(|term| match term {
+                    Term::Const(v) => Term::Const(to.constant(&from.display(*v))),
+                    Term::Var(v) => Term::Var(*v),
+                })
+                .collect();
+            Atom::new(atom.relation(), args)
+        })
+        .collect();
+    ConjunctiveQuery::new(query.vars().clone(), query.free_vars().to_vec(), atoms)
+}
+
+/// A cached decision: the full result of one pipeline run, shared by every
+/// request whose fingerprint matches.
+#[derive(Debug)]
+pub struct CachedDecision {
+    /// The decision result (verdict, diagnostics, optional plan).
+    pub result: AnswerabilityResult,
+    /// The plan lifted out behind its own `Arc` so responses can share it
+    /// without touching the rest of the result.
+    pub plan: Option<Arc<rbqa_access::Plan>>,
+}
+
+/// Tuning knobs for [`QueryService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Number of cache shards (lock domains).
+    pub cache_shards: usize,
+    /// Maximum worker threads a batch may fan out over.
+    pub max_batch_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_shards: 16,
+            max_batch_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// The concurrent, caching query-answering service (DESIGN.md §6).
+pub struct QueryService {
+    catalogs: RwLock<CatalogRegistry>,
+    cache: ShardedCache<CachedDecision>,
+    metrics: ServiceMetrics,
+    config: ServiceConfig,
+}
+
+impl Default for QueryService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryService {
+    /// A service with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(ServiceConfig::default())
+    }
+
+    /// A service with explicit configuration.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        QueryService {
+            catalogs: RwLock::new(CatalogRegistry::new()),
+            cache: ShardedCache::with_shards(config.cache_shards),
+            metrics: ServiceMetrics::new(),
+            config,
+        }
+    }
+
+    /// Registers a schema (with its constraints and the factory that
+    /// interned its constants) under a unique name.
+    pub fn register_catalog(
+        &self,
+        name: &str,
+        schema: rbqa_access::Schema,
+        values: ValueFactory,
+    ) -> Result<CatalogId, ServiceError> {
+        let entry = CatalogEntry::new(name, schema, values);
+        self.catalogs
+            .write()
+            .expect("catalog registry poisoned")
+            .register(entry)
+            .map_err(ServiceError::DuplicateCatalog)
+    }
+
+    /// Attaches (or replaces) the dataset served by a catalog's simulated
+    /// services, enabling `Execute`-mode requests.
+    pub fn attach_dataset(&self, id: CatalogId, data: Instance) -> Result<(), ServiceError> {
+        let mut registry = self.catalogs.write().expect("catalog registry poisoned");
+        let entry = registry.get(id).ok_or(ServiceError::UnknownCatalog(id))?;
+        let replaced = registry.replace(id, entry.with_dataset(data));
+        debug_assert!(replaced);
+        Ok(())
+    }
+
+    /// Looks a catalog up by name.
+    pub fn catalog_by_name(&self, name: &str) -> Option<CatalogId> {
+        self.catalogs
+            .read()
+            .expect("catalog registry poisoned")
+            .by_name(name)
+            .map(|(id, _)| id)
+    }
+
+    /// A clone of the catalog's value factory. Build request queries on
+    /// top of this so constants shared with the catalog keep their ids.
+    pub fn catalog_values(&self, id: CatalogId) -> Result<ValueFactory, ServiceError> {
+        Ok(self.entry(id)?.values.clone())
+    }
+
+    /// A clone of the catalog's schema signature, for parsing queries.
+    pub fn catalog_signature(&self, id: CatalogId) -> Result<rbqa_common::Signature, ServiceError> {
+        Ok(self.entry(id)?.schema.signature().clone())
+    }
+
+    fn entry(&self, id: CatalogId) -> Result<Arc<CatalogEntry>, ServiceError> {
+        self.catalogs
+            .read()
+            .expect("catalog registry poisoned")
+            .get(id)
+            .ok_or(ServiceError::UnknownCatalog(id))
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of distinct cached decisions.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops all cached decisions (catalogs stay registered).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The cache key of a request against a resolved catalog entry: the
+    /// single place fingerprints are computed, shared by
+    /// [`QueryService::fingerprint_of`] and [`QueryService::submit`].
+    fn fingerprint_for(
+        entry: &CatalogEntry,
+        request: &AnswerRequest,
+        options: &rbqa_core::AnswerabilityOptions,
+    ) -> Fingerprint {
+        let resolve = {
+            let values = request.values.clone();
+            move |v| values.display(v)
+        };
+        request_fingerprint(
+            entry.fingerprint,
+            &request.query,
+            entry.schema.signature(),
+            &resolve,
+            options,
+        )
+    }
+
+    /// Computes the fingerprint a request would be cached under (exposed
+    /// for tests and observability; `submit` uses the same computation).
+    pub fn fingerprint_of(&self, request: &AnswerRequest) -> Result<Fingerprint, ServiceError> {
+        let entry = self.entry(request.catalog)?;
+        Ok(Self::fingerprint_for(
+            &entry,
+            request,
+            &request.effective_options(),
+        ))
+    }
+
+    /// Serves one request.
+    pub fn submit(&self, request: &AnswerRequest) -> Result<AnswerResponse, ServiceError> {
+        let start = Instant::now();
+        let entry = self.entry(request.catalog)?;
+        let options = request.effective_options();
+        let fingerprint = Self::fingerprint_for(&entry, request, &options);
+
+        let (decision, outcome) = self.cache.get_or_compute(fingerprint, || {
+            // Miss path: the only place the decision pipeline (and hence
+            // the chase) runs. Fingerprints are deliberately independent
+            // of the requester's ValueFactory (constants are resolved to
+            // strings), so the cached artifact must be too: rebase the
+            // query's constants onto the *catalog's* value space before
+            // deciding. Otherwise the first requester's interner ids
+            // would be baked into a result served to every α-equivalent
+            // requester — wrong whenever the factories disagree (e.g.
+            // Execute against catalog data, or constraints with
+            // constants).
+            let mut values = entry.values.clone();
+            let query = rebase_constants(&request.query, &request.values, &mut values);
+            let result =
+                decide_monotone_answerability(&entry.schema, &query, &mut values, &options);
+            let plan = result.plan.clone().map(Arc::new);
+            CachedDecision { result, plan }
+        });
+        match outcome {
+            CacheOutcome::Miss => self.metrics.record_miss(),
+            CacheOutcome::Hit => self
+                .metrics
+                .record_hit(false, decision.result.containment.chase_stats.rounds),
+            CacheOutcome::Coalesced => self
+                .metrics
+                .record_hit(true, decision.result.containment.chase_stats.rounds),
+        }
+
+        let summary = decision.result.summary();
+        let plan = match request.mode {
+            RequestMode::Decide => None,
+            RequestMode::Synthesize | RequestMode::Execute => decision.plan.clone(),
+        };
+
+        let (rows, plan_metrics) = if request.mode == RequestMode::Execute {
+            let plan = plan.as_ref().ok_or(ServiceError::NoPlan)?;
+            let simulator = entry
+                .simulator
+                .as_ref()
+                .ok_or_else(|| ServiceError::NoDataset(entry.name.clone()))?;
+            let (rows, metrics) = simulator
+                .run_plan_deterministic(plan)
+                .map_err(|e| ServiceError::Execution(e.to_string()))?;
+            self.metrics.record_execution();
+            (Some(rows), Some(metrics))
+        } else {
+            (None, None)
+        };
+
+        let micros = start.elapsed().as_micros();
+        self.metrics.record_latency(request.mode, micros);
+        Ok(AnswerResponse {
+            fingerprint,
+            cache_hit: outcome != CacheOutcome::Miss,
+            summary,
+            plan,
+            rows,
+            plan_metrics,
+            micros,
+        })
+    }
+
+    /// Serves a batch of requests concurrently.
+    ///
+    /// Requests fan out over `min(batch_len, max_batch_threads)` scoped
+    /// worker threads with atomic work stealing; the returned vector is
+    /// index-aligned with the input (`responses[i]` answers
+    /// `requests[i]`), so ordering is deterministic even though execution
+    /// order is not. Identical or α-equivalent requests inside one batch
+    /// are coalesced by the cache: the decision pipeline runs once.
+    pub fn submit_batch(
+        &self,
+        requests: &[AnswerRequest],
+    ) -> Vec<Result<AnswerResponse, ServiceError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.config.max_batch_threads.max(1).min(requests.len());
+        if workers == 1 {
+            return requests.iter().map(|r| self.submit(r)).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Result<AnswerResponse, ServiceError>>>> =
+            Mutex::new((0..requests.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // Each worker drains its answers into a local buffer
+                    // first, taking the shared results lock once.
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= requests.len() {
+                            break;
+                        }
+                        local.push((i, self.submit(&requests[i])));
+                    }
+                    let mut results = results.lock().expect("batch results poisoned");
+                    for (i, response) in local {
+                        results[i] = Some(response);
+                    }
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("batch results poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every request index was claimed by a worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_access::AccessMethod;
+    use rbqa_common::Signature;
+    use rbqa_logic::constraints::tgd::inclusion_dependency;
+    use rbqa_logic::constraints::ConstraintSet;
+    use rbqa_logic::parser::parse_cq;
+
+    fn university(bound: Option<usize>) -> (rbqa_access::Schema, ValueFactory) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+        let mut schema = rbqa_access::Schema::with_parts(sig, constraints, vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        let ud = match bound {
+            None => AccessMethod::unbounded("ud", udir, &[]),
+            Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+        };
+        schema.add_method(ud).unwrap();
+        (schema, ValueFactory::new())
+    }
+
+    #[test]
+    fn decide_and_cache_roundtrip() {
+        let service = QueryService::new();
+        let (schema, values) = university(Some(100));
+        let id = service.register_catalog("uni", schema, values).unwrap();
+
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let q = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let request = AnswerRequest::decide(id, q, vf);
+
+        let first = service.submit(&request).unwrap();
+        assert!(first.is_answerable());
+        assert!(!first.cache_hit);
+        let second = service.submit(&request).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(service.cache_len(), 1);
+        let m = service.metrics();
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.decisions_computed, 1);
+    }
+
+    #[test]
+    fn unknown_catalog_is_an_error() {
+        let service = QueryService::new();
+        let mut b = rbqa_logic::CqBuilder::new();
+        let x = b.var("x");
+        let q = b
+            .atom(rbqa_common::RelationId::from_index(0), vec![x.into()])
+            .build();
+        let request = AnswerRequest::decide(CatalogId::from_index(3), q, ValueFactory::new());
+        assert!(matches!(
+            service.submit(&request),
+            Err(ServiceError::UnknownCatalog(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_catalog_names_rejected() {
+        let service = QueryService::new();
+        let (schema, values) = university(None);
+        service
+            .register_catalog("uni", schema.clone(), values.clone())
+            .unwrap();
+        assert!(matches!(
+            service.register_catalog("uni", schema, values),
+            Err(ServiceError::DuplicateCatalog(_))
+        ));
+        assert!(service.catalog_by_name("uni").is_some());
+        assert!(service.catalog_by_name("other").is_none());
+    }
+
+    #[test]
+    fn execute_without_dataset_fails_cleanly() {
+        let service = QueryService::new();
+        let (schema, values) = university(None);
+        let id = service.register_catalog("uni", schema, values).unwrap();
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let q = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let request = AnswerRequest::execute(id, q, vf);
+        assert!(matches!(
+            service.submit(&request),
+            Err(ServiceError::NoDataset(_))
+        ));
+    }
+
+    #[test]
+    fn clear_cache_forces_recompute() {
+        let service = QueryService::new();
+        let (schema, values) = university(Some(100));
+        let id = service.register_catalog("uni", schema, values).unwrap();
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let q = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let request = AnswerRequest::decide(id, q, vf);
+        service.submit(&request).unwrap();
+        service.clear_cache();
+        assert_eq!(service.cache_len(), 0);
+        let again = service.submit(&request).unwrap();
+        assert!(!again.cache_hit);
+        assert_eq!(service.metrics().decisions_computed, 2);
+    }
+
+    #[test]
+    fn batch_preserves_order() {
+        let service = QueryService::new();
+        let (schema, values) = university(Some(100));
+        let id = service.register_catalog("uni", schema, values).unwrap();
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let answerable = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let not_answerable = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let mut requests = Vec::new();
+        for k in 0..12 {
+            let q = if k % 2 == 0 {
+                answerable.clone()
+            } else {
+                not_answerable.clone()
+            };
+            requests.push(AnswerRequest::decide(id, q, vf.clone()));
+        }
+        let responses = service.submit_batch(&requests);
+        assert_eq!(responses.len(), 12);
+        for (k, response) in responses.iter().enumerate() {
+            let response = response.as_ref().unwrap();
+            assert_eq!(response.is_answerable(), k % 2 == 0, "slot {k}");
+        }
+        // Two distinct decision shapes → exactly two pipeline runs.
+        assert_eq!(service.metrics().decisions_computed, 2);
+    }
+}

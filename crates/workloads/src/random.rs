@@ -115,10 +115,7 @@ impl RandomSchemaConfig {
                     // connected; the exported width is min(width, arities).
                     let from = rels[k % rels.len()];
                     let to = rels[(k + 1) % rels.len()];
-                    let w = width
-                        .min(sig.arity(from))
-                        .min(sig.arity(to))
-                        .max(1);
+                    let w = width.min(sig.arity(from)).min(sig.arity(to)).max(1);
                     let from_positions: Vec<usize> = (0..w).collect();
                     let to_positions: Vec<usize> = (0..w).collect();
                     constraints.push_tgd(inclusion_dependency(
@@ -149,7 +146,7 @@ impl RandomSchemaConfig {
         for (i, &rel) in rels.iter().enumerate() {
             let arity = sig.arity(rel);
             let inputs: Vec<usize> = (0..self.method_inputs.min(arity)).collect();
-            let bounded = rng.gen_range(0..100) < self.bounded_percent;
+            let bounded = rng.gen_range(0..100u32) < self.bounded_percent;
             let method = if bounded {
                 AccessMethod::bounded(&format!("m{i}"), rel, &inputs, self.result_bound)
             } else {

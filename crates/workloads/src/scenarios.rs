@@ -198,7 +198,12 @@ pub fn movie_services(search_bound: usize) -> Scenario {
     constraints.push_tgd(inclusion_dependency(&sig, cast, &[1], actor, &[0]));
     let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
     schema
-        .add_method(AccessMethod::bounded("movie_search", movie, &[], search_bound))
+        .add_method(AccessMethod::bounded(
+            "movie_search",
+            movie,
+            &[],
+            search_bound,
+        ))
         .unwrap();
     schema
         .add_method(AccessMethod::unbounded("movie_by_id", movie, &[0]))
@@ -226,7 +231,11 @@ pub fn movie_services(search_bound: usize) -> Scenario {
         queries: vec![
             ("Q_any_movie".to_owned(), q_exists, Some(true)),
             ("Q_all_titles".to_owned(), q_all_titles, Some(false)),
-            ("Q_cast_of_known_movie".to_owned(), q_cast_of_known, Some(true)),
+            (
+                "Q_cast_of_known_movie".to_owned(),
+                q_cast_of_known,
+                Some(true),
+            ),
         ],
         values,
     }
@@ -286,10 +295,18 @@ mod tests {
     #[test]
     fn expected_answerability_annotations() {
         let s = university(Some(100));
-        let q1 = s.queries.iter().find(|(n, _, _)| n == "Q1_salary_names").unwrap();
+        let q1 = s
+            .queries
+            .iter()
+            .find(|(n, _, _)| n == "Q1_salary_names")
+            .unwrap();
         assert_eq!(q1.2, Some(false));
         let s = university(None);
-        let q1 = s.queries.iter().find(|(n, _, _)| n == "Q1_salary_names").unwrap();
+        let q1 = s
+            .queries
+            .iter()
+            .find(|(n, _, _)| n == "Q1_salary_names")
+            .unwrap();
         assert_eq!(q1.2, Some(true));
     }
 

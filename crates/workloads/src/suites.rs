@@ -41,7 +41,8 @@ pub fn experiment_suites() -> Vec<ExperimentSuite> {
         },
         ExperimentSuite {
             id: "T1-row-BWIDs",
-            paper_reference: "Table 1, bounded-width IDs: existence-check simplifiable, NP-complete",
+            paper_reference:
+                "Table 1, bounded-width IDs: existence-check simplifiable, NP-complete",
             bench_target: "table1_bounded_width_ids",
             workloads: (2..=8)
                 .map(|relations| RandomSchemaConfig {
@@ -83,7 +84,8 @@ pub fn experiment_suites() -> Vec<ExperimentSuite> {
         },
         ExperimentSuite {
             id: "T1-row-FGTGD",
-            paper_reference: "Table 1, frontier-guarded TGDs: choice simplifiable, 2EXPTIME-complete",
+            paper_reference:
+                "Table 1, frontier-guarded TGDs: choice simplifiable, 2EXPTIME-complete",
             bench_target: "table1_fgtgds",
             workloads: Vec::new(), // scenario-driven (Example 6.1 family)
             result_bounds: vec![1, 5, 50],

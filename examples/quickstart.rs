@@ -46,8 +46,10 @@ fn main() {
     let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut parse_sig, &mut values).unwrap();
 
     let options = AnswerabilityOptions::default();
-    for (label, query) in [("Q1: names of professors earning 10000", &q1),
-                           ("Q2: is the directory non-empty?", &q2)] {
+    for (label, query) in [
+        ("Q1: names of professors earning 10000", &q1),
+        ("Q2: is the directory non-empty?", &q2),
+    ] {
         let result = decide_monotone_answerability(&schema, query, &mut values, &options);
         let verdict = match result.answerability {
             Answerability::Answerable => "answerable",

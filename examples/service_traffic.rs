@@ -1,0 +1,130 @@
+//! Service traffic demo: many clients, few chases.
+//!
+//! Registers the university catalog (Example 1.1) with the
+//! query-answering service, attaches a dataset, and then fires a mixed
+//! workload at it — repeated queries, α-renamed variants, batches of
+//! concurrent identical requests, and `Execute` calls that run the
+//! synthesised plan against the simulated services. The printed metrics
+//! show the point of the fingerprinted cache: traffic scales while chase
+//! invocations stay at the number of *distinct* decision problems.
+//!
+//! Run with: `cargo run --release --example service_traffic`
+
+use rbqa::access::{AccessMethod, Schema};
+use rbqa::common::{Signature, ValueFactory};
+use rbqa::engine::dataset::university_instance;
+use rbqa::logic::constraints::tgd::inclusion_dependency;
+use rbqa::logic::constraints::ConstraintSet;
+use rbqa::logic::parser::parse_cq;
+use rbqa::service::{AnswerRequest, QueryService, RequestMode};
+
+fn university(ud_bound: Option<usize>) -> (Schema, ValueFactory) {
+    let mut sig = Signature::new();
+    let prof = sig.add_relation("Prof", 3).unwrap();
+    let udir = sig.add_relation("Udirectory", 3).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+        .unwrap();
+    let ud = match ud_bound {
+        None => AccessMethod::unbounded("ud", udir, &[]),
+        Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+    };
+    schema.add_method(ud).unwrap();
+    (schema, ValueFactory::new())
+}
+
+fn main() {
+    let service = QueryService::new();
+
+    // Register two catalogs: the bounded directory (Examples 1.3/1.4) and
+    // the unbounded one (Example 1.2) with a dataset for execution.
+    let (bounded_schema, bounded_values) = university(Some(100));
+    let bounded = service
+        .register_catalog("university-bounded", bounded_schema, bounded_values)
+        .unwrap();
+    let (open_schema, mut open_values) = university(None);
+    let data = university_instance(open_schema.signature(), &mut open_values, 20, 7);
+    let open = service
+        .register_catalog("university-open", open_schema, open_values)
+        .unwrap();
+    service.attach_dataset(open, data).unwrap();
+
+    // 1. A burst of α-equivalent Decide traffic: every client names its
+    //    variables differently, but one chase serves them all.
+    println!("-- 60 Decide requests, 3 distinct queries, many spellings --");
+    let spellings = [
+        "Q(n) :- Prof(i, n, '10000')",
+        "Q(name) :- Prof(pid, name, '10000')",
+        "Q(x) :- Prof(y, x, '10000')",
+        "Q() :- Udirectory(i, a, p)",
+        "Q() :- Udirectory(row, addr, phone)",
+        "Q(i) :- Udirectory(i, a, p), Prof(i, n, s)",
+        "Q(id) :- Prof(id, nm, sa), Udirectory(id, ad, ph)",
+    ];
+    let mut requests = Vec::new();
+    for round in 0..60 {
+        let text = spellings[round % spellings.len()];
+        let mut vf = service.catalog_values(bounded).unwrap();
+        let mut sig = service.catalog_signature(bounded).unwrap();
+        let query = parse_cq(text, &mut sig, &mut vf).unwrap();
+        requests.push(AnswerRequest::decide(bounded, query, vf));
+    }
+    let responses = service.submit_batch(&requests);
+    let answerable = responses
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|r| r.is_answerable()))
+        .count();
+    println!("   answerable: {answerable}/60");
+
+    // 2. Execute traffic against the open catalog: plan synthesis happens
+    //    once, execution per request.
+    println!("-- 10 Execute requests for the salary query --");
+    for k in 0..10 {
+        let mut vf = service.catalog_values(open).unwrap();
+        let mut sig = service.catalog_signature(open).unwrap();
+        let query = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let response = service
+            .submit(&AnswerRequest::execute(open, query, vf))
+            .unwrap();
+        if k == 0 {
+            let rows = response.rows.as_ref().unwrap();
+            let pm = response.plan_metrics.as_ref().unwrap();
+            println!(
+                "   {} rows, {} service calls, cache_hit={}",
+                rows.len(),
+                pm.total_calls,
+                response.cache_hit
+            );
+        }
+    }
+
+    // 3. The metrics tell the story.
+    let m = service.metrics();
+    println!("-- service metrics --");
+    println!("   cache hits            : {}", m.cache_hits);
+    println!("   cache misses          : {}", m.cache_misses);
+    println!("   coalesced waits       : {}", m.cache_coalesced);
+    println!("   decisions computed    : {}", m.decisions_computed);
+    println!(
+        "   chase invocations saved: {}",
+        m.chase_invocations_saved()
+    );
+    println!("   chase rounds saved    : {}", m.chase_rounds_saved);
+    println!("   plan executions       : {}", m.executions);
+    println!(
+        "   mean latency (Decide / Synthesize / Execute): {} / {} / {} µs",
+        m.mean_micros(RequestMode::Decide),
+        m.mean_micros(RequestMode::Synthesize),
+        m.mean_micros(RequestMode::Execute),
+    );
+    println!("   distinct cached decisions: {}", service.cache_len());
+
+    assert_eq!(
+        m.decisions_computed + m.chase_invocations_saved(),
+        70,
+        "every request either computed once or rode the cache"
+    );
+}

@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --example simplification_zoo`
 
-use rbqa::core::{
-    choice_simplification, classify_constraints, existence_check_simplification,
-    fd_simplification, AmondetProblem, AxiomStyle, SimplificationKind,
-};
 use rbqa::common::ValueFactory;
+use rbqa::core::{
+    choice_simplification, classify_constraints, existence_check_simplification, fd_simplification,
+    AmondetProblem, AxiomStyle, SimplificationKind,
+};
 use rbqa::logic::parser::parse_cq;
 use rbqa::workloads::scenarios;
 
@@ -59,7 +59,10 @@ fn main() {
     describe_schema("original", &fd_scenario.schema);
     let fd_simplified = fd_simplification(&fd_scenario.schema);
     describe_schema("FD simplification", &fd_simplified);
-    let view = fd_simplified.signature().require("Udirectory__ud2").unwrap();
+    let view = fd_simplified
+        .signature()
+        .require("Udirectory__ud2")
+        .unwrap();
     println!(
         "    the view Udirectory__ud2 keeps DetBy(ud2) = {{id, address}} (arity {})\n",
         fd_simplified.signature().arity(view)

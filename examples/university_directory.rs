@@ -28,7 +28,9 @@ fn main() {
         "Q1 (names of professors earning 10000): {:?} via {:?}",
         result.answerability, result.strategy
     );
-    let plan = result.plan.expect("Q1 is answerable, so a plan is synthesised");
+    let plan = result
+        .plan
+        .expect("Q1 is answerable, so a plan is synthesised");
     println!(
         "Synthesised crawling plan: {} commands, {} access commands",
         plan.commands().len(),
@@ -52,7 +54,10 @@ fn main() {
 
     // The validation harness tries several access selections.
     let report = validate_plan(&scenario.schema, &plan, &q1, &[data], 3);
-    println!("Validation over multiple access selections: valid = {}\n", report.is_valid());
+    println!(
+        "Validation over multiple access selections: valid = {}\n",
+        report.is_valid()
+    );
 
     // --- Example 1.3 / 1.4: with a result bound of 100 on ud, Q1 stops being
     //     answerable but the existence check Q2 survives. --------------------

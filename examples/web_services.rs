@@ -60,8 +60,20 @@ fn main() {
     let movie0 = movies.values.constant("movie0");
     let plan = PlanBuilder::new()
         .middleware("seed", RaExpr::singleton(vec![movie0]))
-        .access("cast", "cast_by_movie", RaExpr::table("seed"), vec![0], vec![0, 1])
-        .access("actors", "actor_by_id", RaExpr::project(RaExpr::table("cast"), vec![1]), vec![0], vec![0, 1])
+        .access(
+            "cast",
+            "cast_by_movie",
+            RaExpr::table("seed"),
+            vec![0],
+            vec![0, 1],
+        )
+        .access(
+            "actors",
+            "actor_by_id",
+            RaExpr::project(RaExpr::table("cast"), vec![1]),
+            vec![0],
+            vec![0, 1],
+        )
         .middleware("names", RaExpr::project(RaExpr::table("actors"), vec![1]))
         .returns("names");
     let mut selection = TruncatingSelection::new();
@@ -71,7 +83,11 @@ fn main() {
          fetched",
         names.len(),
         metrics.total_calls,
-        if metrics.within_rate_limit { "stayed" } else { "NOT" },
+        if metrics.within_rate_limit {
+            "stayed"
+        } else {
+            "NOT"
+        },
         metrics.tuples_fetched
     );
 
@@ -81,10 +97,7 @@ fn main() {
         .access("m", "movie_search", RaExpr::unit(), vec![], vec![0, 1, 2])
         .middleware(
             "titles",
-            RaExpr::project(
-                RaExpr::select(RaExpr::table("m"), Condition::True),
-                vec![1],
-            ),
+            RaExpr::project(RaExpr::select(RaExpr::table("m"), Condition::True), vec![1]),
         )
         .returns("titles");
     // Rebuild the simulator with a small search bound to make the truncation

@@ -165,7 +165,7 @@ fn example_2_1_boolean_plan_for_q2_is_selection_independent() {
         .middleware("T0", RaExpr::project(RaExpr::table("T"), vec![]))
         .returns("T0");
     let data = university_instance(scenario.schema.signature(), &mut scenario.values, 15, 9);
-    let report = validate_plan(&scenario.schema, &plan, &q2, &[data.clone()], 3);
+    let report = validate_plan(&scenario.schema, &plan, &q2, std::slice::from_ref(&data), 3);
     assert!(report.is_valid(), "{:?}", report.discrepancy);
 
     let services = ServiceSimulator::new(scenario.schema.clone(), data);
@@ -180,12 +180,8 @@ fn example_2_1_boolean_plan_for_q2_is_selection_independent() {
 fn bio_and_movie_scenarios_follow_expectations() {
     let mut bio = scenarios::bio_services(5000);
     let q_point = bio.query("Q_compound_name_check").unwrap().clone();
-    let result = decide_monotone_answerability(
-        &bio.schema,
-        &q_point,
-        &mut bio.values,
-        &default_options(),
-    );
+    let result =
+        decide_monotone_answerability(&bio.schema, &q_point, &mut bio.values, &default_options());
     assert_eq!(result.answerability, Answerability::Answerable);
 
     let q_all = bio.query("Q_all_compound_names").unwrap().clone();

@@ -15,7 +15,14 @@ fn synthesised_plans_for_university_queries_are_valid() {
         ..Default::default()
     };
     let instances: Vec<_> = (0..3)
-        .map(|i| university_instance(scenario.schema.signature(), &mut scenario.values, 10 + 5 * i, i as u64))
+        .map(|i| {
+            university_instance(
+                scenario.schema.signature(),
+                &mut scenario.values,
+                10 + 5 * i,
+                i as u64,
+            )
+        })
         .collect();
     for name in ["Q1_salary_names", "Q2_directory_nonempty"] {
         let query = scenario.query(name).unwrap().clone();
@@ -49,7 +56,14 @@ fn synthesised_plan_for_existence_check_is_valid_under_result_bounds() {
     assert_eq!(result.answerability, Answerability::Answerable);
     let plan = result.plan.expect("plan synthesised");
     let instances: Vec<_> = (0..2)
-        .map(|i| university_instance(scenario.schema.signature(), &mut scenario.values, 12, 77 + i))
+        .map(|i| {
+            university_instance(
+                scenario.schema.signature(),
+                &mut scenario.values,
+                12,
+                77 + i,
+            )
+        })
         .collect();
     let report = validate_plan(&scenario.schema, &plan, &query, &instances, 3);
     assert!(report.is_valid(), "{:?}", report.discrepancy);

@@ -16,7 +16,12 @@ use rustc_hash::FxHashSet;
 use std::collections::BTreeSet;
 
 /// A small fixed signature: R/2, S/2, T/1.
-fn signature() -> (Signature, rbqa::common::RelationId, rbqa::common::RelationId, rbqa::common::RelationId) {
+fn signature() -> (
+    Signature,
+    rbqa::common::RelationId,
+    rbqa::common::RelationId,
+    rbqa::common::RelationId,
+) {
     let mut sig = Signature::new();
     let r = sig.add_relation("R", 2).unwrap();
     let s = sig.add_relation("S", 2).unwrap();

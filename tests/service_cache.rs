@@ -1,0 +1,268 @@
+//! Integration tests for the `rbqa-service` decision/plan cache:
+//!
+//! * α-equivalent queries (renamed variables, permuted atoms) land on the
+//!   same cache entry — the second request performs **zero** chase steps;
+//! * a concurrent batch of identical requests runs the decision pipeline
+//!   (and hence the chase) exactly once;
+//! * `Execute` responses agree with direct plan execution and with the
+//!   empirical `validate_plan` harness.
+
+use rbqa::access::{AccessMethod, Schema};
+use rbqa::common::{Signature, ValueFactory};
+use rbqa::engine::dataset::university_instance;
+use rbqa::engine::validate_plan;
+use rbqa::logic::constraints::tgd::inclusion_dependency;
+use rbqa::logic::constraints::ConstraintSet;
+use rbqa::logic::evaluate;
+use rbqa::logic::parser::parse_cq;
+use rbqa::service::{AnswerRequest, QueryService};
+
+/// Example 1.1 schema; `ud_bound` controls the directory result bound.
+fn university_schema(ud_bound: Option<usize>) -> (Schema, ValueFactory) {
+    let mut sig = Signature::new();
+    let prof = sig.add_relation("Prof", 3).unwrap();
+    let udir = sig.add_relation("Udirectory", 3).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+        .unwrap();
+    let ud = match ud_bound {
+        None => AccessMethod::unbounded("ud", udir, &[]),
+        Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+    };
+    schema.add_method(ud).unwrap();
+    (schema, ValueFactory::new())
+}
+
+#[test]
+fn alpha_equivalent_decide_requests_share_one_entry_and_skip_the_chase() {
+    let service = QueryService::new();
+    let (schema, values) = university_schema(Some(100));
+    let id = service.register_catalog("uni", schema, values).unwrap();
+
+    // Three spellings of the same query: original, renamed variables, and
+    // renamed + permuted atoms (joined through a second atom to make the
+    // permutation meaningful).
+    let spellings = [
+        "Q(n) :- Prof(i, n, '10000'), Udirectory(i, a, p)",
+        "Q(name) :- Prof(pid, name, '10000'), Udirectory(pid, addr, ph)",
+        "Q(y) :- Udirectory(u, v, w), Prof(u, y, '10000')",
+    ];
+    let mut fingerprints = Vec::new();
+    for (k, text) in spellings.iter().enumerate() {
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let query = parse_cq(text, &mut sig, &mut vf).unwrap();
+        let response = service
+            .submit(&AnswerRequest::decide(id, query, vf))
+            .unwrap();
+        // Only the very first spelling computes; the others must be pure
+        // cache hits.
+        assert_eq!(response.cache_hit, k > 0, "spelling {k}");
+        fingerprints.push(response.fingerprint);
+    }
+    assert_eq!(fingerprints[0], fingerprints[1]);
+    assert_eq!(fingerprints[0], fingerprints[2]);
+
+    // Zero chase steps on the α-equivalent re-requests: exactly one
+    // decision was ever computed, one entry exists, and the chase rounds
+    // of that single decision were re-served (saved) twice.
+    let metrics = service.metrics();
+    assert_eq!(metrics.decisions_computed, 1);
+    assert_eq!(metrics.cache_misses, 1);
+    assert_eq!(metrics.chase_invocations_saved(), 2);
+    assert_eq!(service.cache_len(), 1);
+}
+
+#[test]
+fn distinct_queries_do_not_collide() {
+    let service = QueryService::new();
+    let (schema, values) = university_schema(Some(100));
+    let id = service.register_catalog("uni", schema, values).unwrap();
+    let texts = [
+        "Q() :- Udirectory(i, a, p)",
+        "Q(i) :- Udirectory(i, a, p)",
+        "Q() :- Prof(i, n, s)",
+        "Q() :- Prof(i, n, '10000')",
+    ];
+    let mut fingerprints = Vec::new();
+    for text in texts {
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let query = parse_cq(text, &mut sig, &mut vf).unwrap();
+        let response = service
+            .submit(&AnswerRequest::decide(id, query, vf))
+            .unwrap();
+        fingerprints.push(response.fingerprint);
+    }
+    fingerprints.sort();
+    fingerprints.dedup();
+    assert_eq!(fingerprints.len(), texts.len(), "fingerprints must differ");
+    assert_eq!(service.metrics().decisions_computed, texts.len() as u64);
+}
+
+#[test]
+fn concurrent_identical_batch_performs_exactly_one_chase() {
+    let service = QueryService::new();
+    let (schema, values) = university_schema(Some(100));
+    let id = service.register_catalog("uni", schema, values).unwrap();
+
+    let mut vf = service.catalog_values(id).unwrap();
+    let mut sig = service.catalog_signature(id).unwrap();
+    let query = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+    let requests: Vec<AnswerRequest> = (0..32)
+        .map(|_| AnswerRequest::decide(id, query.clone(), vf.clone()))
+        .collect();
+
+    let responses = service.submit_batch(&requests);
+    assert_eq!(responses.len(), 32);
+    for response in &responses {
+        let response = response.as_ref().unwrap();
+        assert!(response.is_answerable());
+    }
+    let metrics = service.metrics();
+    // The single-flight cache guarantees one pipeline run, no matter how
+    // the 32 requests raced.
+    assert_eq!(metrics.decisions_computed, 1);
+    assert_eq!(metrics.cache_misses, 1);
+    assert_eq!(
+        metrics.chase_invocations_saved(),
+        31,
+        "31 requests must have been served without a chase"
+    );
+    assert_eq!(service.cache_len(), 1);
+}
+
+#[test]
+fn execute_matches_direct_evaluation_and_validate_plan() {
+    let service = QueryService::new();
+    let (schema, mut values) = university_schema(None);
+    let data = university_instance(schema.signature(), &mut values, 12, 3);
+    let id = service
+        .register_catalog("uni", schema.clone(), values)
+        .unwrap();
+    service.attach_dataset(id, data.clone()).unwrap();
+
+    let mut vf = service.catalog_values(id).unwrap();
+    let mut sig = service.catalog_signature(id).unwrap();
+    let query = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+    let response = service
+        .submit(&AnswerRequest::execute(id, query.clone(), vf))
+        .unwrap();
+    assert!(response.is_answerable());
+    assert!(response.summary.has_plan);
+
+    // The executed rows must be exactly the query's answer on the data.
+    let mut rows = response.rows.clone().expect("Execute returns rows");
+    let mut expected = evaluate(&query, &data);
+    rows.sort();
+    rows.dedup();
+    expected.sort();
+    expected.dedup();
+    assert_eq!(rows, expected);
+
+    // And the plan the service executed passes the empirical validation
+    // harness on the same instance (all selections, not just the
+    // deterministic one used by Execute).
+    let plan = response.plan.as_ref().expect("Execute exposes the plan");
+    let report = validate_plan(&schema, plan, &query, &[data], 2);
+    assert!(report.is_valid(), "{:?}", report.discrepancy);
+
+    // Execute responses also carry simulator metrics.
+    let pm = response.plan_metrics.expect("plan metrics for Execute");
+    assert!(pm.total_calls > 0);
+    assert_eq!(service.metrics().executions, 1);
+}
+
+#[test]
+fn independent_factory_requests_cannot_poison_the_shared_cache_entry() {
+    // Fingerprints are ValueFactory-independent (constants are resolved to
+    // strings), so a client that built its query on its *own* factory —
+    // whose ConstIds disagree with the catalog's — shares a cache entry
+    // with catalog-derived clients. The cached decision must therefore be
+    // computed in the catalog's value space: whoever populates the entry,
+    // every requester gets the same correct rows.
+    let service = QueryService::new();
+    let (schema, mut values) = university_schema(None);
+    let data = university_instance(schema.signature(), &mut values, 12, 3);
+    let expected_rows = {
+        let mut vf = values.clone();
+        let mut sig = schema.signature().clone();
+        let q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let mut rows = evaluate(&q, &data);
+        rows.sort();
+        rows
+    };
+    assert!(!expected_rows.is_empty(), "scenario must have answers");
+    let id = service.register_catalog("uni", schema, values).unwrap();
+    service.attach_dataset(id, data).unwrap();
+
+    // The independent client goes FIRST, so it populates the cache. Its
+    // factory's ConstId for '10000' differs from the catalog's (shifted
+    // by padding constants).
+    let mut foreign_vf = ValueFactory::new();
+    for k in 0..50 {
+        foreign_vf.constant(&format!("padding{k}"));
+    }
+    let mut sig = service.catalog_signature(id).unwrap();
+    let foreign_q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut foreign_vf).unwrap();
+    let foreign = service
+        .submit(&AnswerRequest::execute(id, foreign_q, foreign_vf))
+        .unwrap();
+    assert!(!foreign.cache_hit);
+
+    // The catalog-derived client rides the entry the foreign client
+    // populated…
+    let mut vf = service.catalog_values(id).unwrap();
+    let mut sig = service.catalog_signature(id).unwrap();
+    let local_q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+    let local = service
+        .submit(&AnswerRequest::execute(id, local_q, vf))
+        .unwrap();
+    assert!(
+        local.cache_hit,
+        "same fingerprint despite distinct factories"
+    );
+
+    // …and BOTH observe the correct answer.
+    let sorted = |rows: &Option<Vec<Vec<rbqa::common::Value>>>| {
+        let mut rows = rows.clone().unwrap();
+        rows.sort();
+        rows
+    };
+    assert_eq!(sorted(&foreign.rows), expected_rows);
+    assert_eq!(sorted(&local.rows), expected_rows);
+    assert_eq!(service.metrics().decisions_computed, 1);
+}
+
+#[test]
+fn execute_reuses_the_cached_plan_across_requests() {
+    let service = QueryService::new();
+    let (schema, mut values) = university_schema(None);
+    let data = university_instance(schema.signature(), &mut values, 8, 11);
+    let id = service.register_catalog("uni", schema, values).unwrap();
+    service.attach_dataset(id, data).unwrap();
+
+    let make_request = |text: &str| {
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let query = parse_cq(text, &mut sig, &mut vf).unwrap();
+        AnswerRequest::execute(id, query, vf)
+    };
+    let first = service
+        .submit(&make_request("Q(n) :- Prof(i, n, '10000')"))
+        .unwrap();
+    // α-variant: synthesis (and the chase behind it) must not run again,
+    // but execution still happens per request.
+    let second = service
+        .submit(&make_request("Q(nm) :- Prof(pid, nm, '10000')"))
+        .unwrap();
+    assert!(!first.cache_hit);
+    assert!(second.cache_hit);
+    assert_eq!(first.rows, second.rows);
+    let metrics = service.metrics();
+    assert_eq!(metrics.decisions_computed, 1);
+    assert_eq!(metrics.executions, 2);
+}

@@ -13,7 +13,11 @@ use rbqa::logic::parser::parse_cq;
 use rbqa::workloads::random::{RandomClass, RandomSchemaConfig};
 use rbqa::workloads::scenarios;
 
-fn decide(schema: &Schema, query: &rbqa::logic::ConjunctiveQuery, values: &mut ValueFactory) -> Answerability {
+fn decide(
+    schema: &Schema,
+    query: &rbqa::logic::ConjunctiveQuery,
+    values: &mut ValueFactory,
+) -> Answerability {
     decide_monotone_answerability(schema, query, values, &AnswerabilityOptions::default())
         .answerability
 }

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Implements the subset used by the workspace benches: `Criterion`,
+//! `benchmark_group`, `sample_size` / `warm_up_time` / `measurement_time`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a fixed warm-up
+//! followed by timed samples and prints mean / min per benchmark id:
+//!
+//! ```text
+//! table1_ids/4            time: [mean 412.3 µs, min 398.1 µs, 10 samples]
+//! ```
+//!
+//! Set `RBQA_BENCH_JSON=1` to additionally emit one machine-readable line
+//! per benchmark (used by the experiment scripts to record numbers).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export spot for the real crate's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id `function/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting only of the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean and minimum per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration, usize)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing mean / min per-iteration durations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measurement: `samples` timed runs, stopping early only if the
+        // measurement window is exhausted (but always at least 1 sample).
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        let meas_start = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+            if meas_start.elapsed() >= self.measurement && !times.is_empty() {
+                break;
+            }
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = *times.iter().min().expect("at least one sample");
+        self.last = Some((mean, min, times.len()));
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            last: None,
+        };
+        f(&mut bencher, input);
+        let full_id = format!("{}/{}", self.name, id.id);
+        match bencher.last {
+            Some((mean, min, n)) => {
+                println!(
+                    "{full_id:<48} time: [mean {}, min {}, {n} samples]",
+                    fmt_duration(mean),
+                    fmt_duration(min)
+                );
+                if std::env::var_os("RBQA_BENCH_JSON").is_some() {
+                    println!(
+                        "{{\"bench\":\"{full_id}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{n}}}",
+                        mean.as_nanos(),
+                        min.as_nanos()
+                    );
+                }
+            }
+            None => println!("{full_id:<48} (no iter() call)"),
+        }
+        self
+    }
+
+    /// Finishes the group (printing is done eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== group {name}");
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_secs(1),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; a filter arg may follow. The
+            // stand-in runs everything and ignores filters.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(10));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_records() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `rustc-hash` crate (see `vendor/README.md`).
+//!
+//! Provides `FxHashMap` / `FxHashSet` type aliases over a fast,
+//! non-cryptographic multiply-mix hasher with the same API surface as the
+//! real crate: `FxHasher`, `FxBuildHasher`, and `Default`-constructible
+//! maps/sets.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiply-mix hasher in the spirit of the rustc `FxHasher`.
+///
+/// Not cryptographic and not DoS-resistant — exactly like the original —
+/// but deterministic within a process, which is what the workspace relies
+/// on for reproducible iteration orders *never* being assumed (all code
+/// paths that need determinism sort explicitly).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        m.insert("a".to_owned(), 1);
+        m.insert("b".to_owned(), 2);
+        assert_eq!(m["a"], 1);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_within_a_process() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let h = |x: &str| bh.hash_one(x);
+        assert_eq!(h("hello"), h("hello"));
+        assert_ne!(h("hello"), h("world"));
+    }
+}
