@@ -1,0 +1,61 @@
+//! `rbqa-serve` — line-oriented request replay over the v1 wire protocol.
+//!
+//! Reads a protocol stream (see `rbqa_api::wire`) from the file given as
+//! the first argument, or from stdin when no argument is given, and prints
+//! one JSON response per request line to stdout. Directives (catalog
+//! definitions, options) produce no output unless they fail.
+//!
+//! ```sh
+//! cargo run --release -p rbqa-api --bin rbqa-serve -- fixtures/requests.rbqa
+//! ```
+//!
+//! Exits non-zero when any line produced an error response, so fixture
+//! replays double as protocol smoke tests.
+
+use std::io::Read;
+
+use rbqa_api::WireServer;
+
+fn main() {
+    let mut input = String::new();
+    match std::env::args().nth(1) {
+        Some(path) => {
+            input = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("rbqa-serve: cannot read `{path}`: {e}");
+                    std::process::exit(2);
+                }
+            };
+        }
+        None => {
+            if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+                eprintln!("rbqa-serve: cannot read stdin: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut server = WireServer::new();
+    let mut errors = 0usize;
+    let mut responses = 0usize;
+    for line in input.lines() {
+        if let Some(output) = server.handle_line(line) {
+            responses += 1;
+            if output.contains("\"status\":\"error\"") {
+                errors += 1;
+            }
+            println!("{output}");
+        }
+    }
+
+    let metrics = server.service().metrics();
+    eprintln!(
+        "rbqa-serve: {responses} responses ({errors} errors), {} decisions computed, {} served from cache",
+        metrics.decisions_computed,
+        metrics.chase_invocations_saved(),
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

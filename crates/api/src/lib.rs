@@ -1,0 +1,40 @@
+//! # rbqa-api
+//!
+//! The versioned, wire-ready public API of the `rbqa` workspace — the
+//! single sanctioned entry point for clients of the query-answering
+//! service:
+//!
+//! * [`builder`] — the fluent, validating [`RequestBuilder`]
+//!   (`service.request(catalog).query_text(..).synthesize().submit()`),
+//!   which checks catalog existence, relation identity and arity, answer
+//!   arity across UCQ disjuncts, and free-variable safety *before* a
+//!   request reaches the decision pipeline;
+//! * [`error`] — the structured [`ApiError`] taxonomy with stable
+//!   machine-readable [`ApiErrorCode`]s (the wire contract is the code,
+//!   not the message);
+//! * [`json`] — the workspace's hand-rolled JSON writer (promoted from
+//!   `rbqa-bench`; the environment has no serde);
+//! * [`wire`] — the v1 line protocol: DSL requests in, JSON responses
+//!   out, interpreted by [`WireServer`] and replayed end to end by the
+//!   `rbqa-serve` binary.
+//!
+//! Requests are **unions of conjunctive queries** throughout (the paper
+//! states its results for UCQs); a plain CQ is the one-disjunct case. The
+//! service layer fingerprints unions canonically — disjunct order,
+//! duplicate disjuncts, variable names and atom order never split the
+//! cache.
+
+pub mod builder;
+pub mod error;
+pub mod json;
+pub mod wire;
+
+pub use builder::{RequestBuilder, ServiceApi, DISJUNCT_SEPARATOR};
+pub use error::{ApiError, ApiErrorCode};
+pub use wire::{error_to_json, response_to_json, WireServer, PROTOCOL_VERSION, VERSION_HEADER};
+
+// One-stop re-exports of the request vocabulary the builder produces and
+// the service that serves it.
+pub use rbqa_service::{
+    AnswerRequest, AnswerResponse, CatalogId, QueryService, RequestMode, ServiceError,
+};

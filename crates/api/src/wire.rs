@@ -1,0 +1,644 @@
+//! The v1 wire protocol: line-oriented DSL requests in, JSON responses out.
+//!
+//! A wire stream is processed line by line ([`WireServer::handle_line`]).
+//! The first non-comment line must be the version header `rbqa/1`; after
+//! that, *directives* build catalogs and set options, and *request* lines
+//! submit queries:
+//!
+//! ```text
+//! rbqa/1
+//! # directives accumulate a catalog until the first request uses it
+//! catalog uni
+//! relation Prof/3
+//! relation Udirectory/3
+//! constraint Prof(i, n, s) -> Udirectory(i, a, p)
+//! method pr Prof in=1
+//! method ud Udirectory in= bound=100
+//! fact Prof('7', 'ada', '10000')
+//!
+//! # requests: VERB CATALOG QUERY [|| QUERY ...]
+//! decide uni Q() :- Udirectory(i, a, p)
+//! decide uni Q(n) :- Prof(i, n, '10000') || Q(a) :- Udirectory(i, a, p)
+//! execute uni Q(n) :- Prof(i, n, '10000')
+//! ```
+//!
+//! * `relation NAME/ARITY` declares a relation (declaration order is part
+//!   of the catalog's identity).
+//! * `constraint ...` parses a TGD (`body -> head`) or, when the line
+//!   starts with `FD`, a functional dependency (`FD Rel: 1 -> 2`).
+//! * `method NAME REL in=P1,P2 [bound=K]` declares an access method with
+//!   1-based input positions (empty `in=` means input-free) and an
+//!   optional result bound.
+//! * `fact Rel('a', 'b', ...)` adds a ground fact to the catalog's
+//!   dataset (enables `execute`).
+//! * `option budget generous|small|tiny` sets the chase budget for
+//!   subsequent requests.
+//!
+//! Every request line yields exactly one JSON object on its own line —
+//! `{"v":1,"status":"ok",...}` or `{"v":1,"status":"error","code":...}` —
+//! so a stream of N requests produces N lines of output, in order. The
+//! `rbqa-serve` binary replays a request file through this module.
+
+use rbqa_access::{AccessMethod, Schema};
+use rbqa_chase::Budget;
+use rbqa_common::{Instance, Signature, Value, ValueFactory};
+use rbqa_core::Answerability;
+use rbqa_logic::constraints::ConstraintSet;
+use rbqa_logic::parser::{parse_cq, parse_fd, parse_tgd};
+use rbqa_logic::Term;
+use rbqa_service::{AnswerResponse, QueryService, RequestMode};
+
+use crate::builder::ServiceApi;
+use crate::error::{ApiError, ApiErrorCode};
+use crate::json::{json_array, json_string, JsonObject};
+
+/// The protocol version this module speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The exact version header expected as the first non-comment line.
+pub const VERSION_HEADER: &str = "rbqa/1";
+
+/// Serialises a successful response as one JSON object. `values` is used
+/// to render `Execute` rows (pass the catalog's factory).
+pub fn response_to_json(
+    response: &AnswerResponse,
+    mode: RequestMode,
+    catalog: &str,
+    values: &ValueFactory,
+) -> String {
+    let answerable = match response.summary.answerability {
+        Answerability::Answerable => "yes",
+        Answerability::NotAnswerable => "no",
+        Answerability::Unknown => "unknown",
+    };
+    let mut obj = JsonObject::new()
+        .field_u128("v", PROTOCOL_VERSION as u128)
+        .field_str("status", "ok")
+        .field_str("mode", mode.as_str())
+        .field_str("catalog", catalog)
+        .field_str("fingerprint", &response.fingerprint.to_string())
+        .field_bool("cache_hit", response.cache_hit)
+        .field_str("answerable", answerable)
+        .field_bool("complete", response.summary.complete)
+        .field_str(
+            "constraint_class",
+            &format!("{:?}", response.summary.constraint_class),
+        )
+        .field_str(
+            "simplification",
+            &format!("{:?}", response.summary.simplification),
+        )
+        .field_str("strategy", &format!("{:?}", response.summary.strategy))
+        .field_u128("chase_rounds", response.summary.chase_rounds as u128)
+        .field_u128("plans", response.plans.len() as u128);
+    if let Some(rows) = &response.rows {
+        let rendered = rows.iter().map(|row| {
+            json_array(
+                row.iter()
+                    .map(|v: &Value| json_string(&values.display(*v)))
+                    .collect::<Vec<_>>(),
+            )
+        });
+        obj = obj.field_raw("rows", &json_array(rendered.collect::<Vec<_>>()));
+    }
+    if let Some(pm) = &response.plan_metrics {
+        obj = obj
+            .field_u128("total_calls", pm.total_calls as u128)
+            .field_u128("tuples_fetched", pm.tuples_fetched as u128);
+    }
+    obj.field_u128("micros", response.micros).finish()
+}
+
+/// Serialises an [`ApiError`] as one JSON object.
+pub fn error_to_json(error: &ApiError) -> String {
+    JsonObject::new()
+        .field_u128("v", PROTOCOL_VERSION as u128)
+        .field_str("status", "error")
+        .field_str("code", error.code.as_str())
+        .field_str("detail", &error.detail)
+        .finish()
+}
+
+/// A catalog under construction from `catalog`/`relation`/`constraint`/
+/// `method`/`fact` directives; registered lazily when first needed.
+struct PendingCatalog {
+    name: String,
+    sig: Signature,
+    values: ValueFactory,
+    constraints: ConstraintSet,
+    methods: Vec<AccessMethod>,
+    facts: Vec<(rbqa_common::RelationId, Vec<Value>)>,
+}
+
+impl PendingCatalog {
+    fn new(name: &str) -> Self {
+        PendingCatalog {
+            name: name.to_owned(),
+            sig: Signature::new(),
+            values: ValueFactory::new(),
+            constraints: ConstraintSet::new(),
+            methods: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+}
+
+/// A stateful v1 protocol interpreter over a [`QueryService`].
+///
+/// Feed it lines; directives mutate state and return `None` on success,
+/// request lines (and any failure) return `Some(json)`.
+pub struct WireServer {
+    service: QueryService,
+    pending: Option<PendingCatalog>,
+    version_seen: bool,
+    budget: Budget,
+}
+
+impl Default for WireServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WireServer {
+    /// A server over a fresh [`QueryService`].
+    pub fn new() -> Self {
+        Self::with_service(QueryService::new())
+    }
+
+    /// A server over an existing service (catalogs registered through code
+    /// remain addressable from the wire).
+    pub fn with_service(service: QueryService) -> Self {
+        WireServer {
+            service,
+            pending: None,
+            version_seen: false,
+            budget: Budget::generous(),
+        }
+    }
+
+    /// The underlying service (for inspecting metrics or cache state).
+    pub fn service(&self) -> &QueryService {
+        &self.service
+    }
+
+    /// Processes one line of the wire stream. Returns `None` for blank
+    /// lines, comments and successful directives; `Some(json)` for request
+    /// responses and for any error.
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        if !self.version_seen {
+            return if line == VERSION_HEADER {
+                self.version_seen = true;
+                None
+            } else {
+                Some(error_to_json(&ApiError::new(
+                    ApiErrorCode::UnsupportedVersion,
+                    format!("expected version header `{VERSION_HEADER}`, got `{line}`"),
+                )))
+            };
+        }
+        match self.dispatch(line) {
+            Ok(output) => output,
+            Err(e) => Some(error_to_json(&e)),
+        }
+    }
+
+    /// Processes every line of a stream and collects the outputs.
+    pub fn handle_stream(&mut self, input: &str) -> Vec<String> {
+        input
+            .lines()
+            .filter_map(|line| self.handle_line(line))
+            .collect()
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<Option<String>, ApiError> {
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "catalog" => {
+                self.flush_pending()?;
+                if rest.is_empty() || rest.contains(char::is_whitespace) {
+                    return Err(ApiError::new(
+                        ApiErrorCode::ProtocolError,
+                        "usage: catalog NAME",
+                    ));
+                }
+                self.pending = Some(PendingCatalog::new(rest));
+                Ok(None)
+            }
+            "relation" => {
+                let pending = self.pending_mut()?;
+                let (name, arity) = rest.split_once('/').ok_or_else(|| {
+                    ApiError::new(ApiErrorCode::ProtocolError, "usage: relation NAME/ARITY")
+                })?;
+                let arity: usize = arity.trim().parse().map_err(|_| {
+                    ApiError::new(
+                        ApiErrorCode::ProtocolError,
+                        format!("bad arity `{}`", arity.trim()),
+                    )
+                })?;
+                pending
+                    .sig
+                    .add_relation(name.trim(), arity)
+                    .map_err(|e| ApiError::new(ApiErrorCode::ArityMismatch, e.to_string()))?;
+                Ok(None)
+            }
+            "constraint" => {
+                let pending = self.pending_mut()?;
+                // Exact-token check: a TGD over a relation whose name merely
+                // starts with "FD" (e.g. `FDept(x) -> ...`) is not an FD.
+                if rest.split_whitespace().next() == Some("FD") {
+                    // parse_fd reports an undeclared relation as a generic
+                    // signature error; re-code it so FD lines agree with the
+                    // TGD and fact paths on UNKNOWN_RELATION.
+                    let fd = parse_fd(rest, &mut pending.sig).map_err(|e| {
+                        let api: ApiError = e.into();
+                        if api.detail.contains("unknown relation") {
+                            ApiError::new(ApiErrorCode::UnknownRelation, api.detail)
+                        } else {
+                            api
+                        }
+                    })?;
+                    pending.constraints.push_fd(fd);
+                } else {
+                    // Parse against a scratch signature so a typo'd relation
+                    // (which parse_tgd would silently auto-declare) is
+                    // rejected instead of becoming a phantom relation in the
+                    // catalog.
+                    let mut sig = pending.sig.clone();
+                    let declared = sig.len();
+                    let tgd = parse_tgd(rest, &mut sig, &mut pending.values)?;
+                    if sig.len() > declared {
+                        return Err(undeclared_relation_error(&sig, declared));
+                    }
+                    pending.constraints.push_tgd(tgd);
+                }
+                Ok(None)
+            }
+            "method" => {
+                let pending = self.pending_mut()?;
+                let method = parse_method(rest, &pending.sig)?;
+                pending.methods.push(method);
+                Ok(None)
+            }
+            "fact" => {
+                let pending = self.pending_mut()?;
+                // Reuse the CQ parser: a fact is a ground single-atom body.
+                // Like `constraint`, parse against a scratch signature so a
+                // typo'd relation name is an error, not a phantom relation
+                // holding invisible facts.
+                let mut sig = pending.sig.clone();
+                let declared = sig.len();
+                let q = parse_cq(&format!("Q() :- {rest}"), &mut sig, &mut pending.values)?;
+                if sig.len() > declared {
+                    return Err(undeclared_relation_error(&sig, declared));
+                }
+                let atom = match q.atoms() {
+                    [atom] => atom,
+                    _ => {
+                        return Err(ApiError::new(
+                            ApiErrorCode::ProtocolError,
+                            "usage: fact Rel('c1', 'c2', ...)",
+                        ))
+                    }
+                };
+                let tuple: Vec<Value> = atom
+                    .args()
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => Ok(*v),
+                        Term::Var(_) => Err(ApiError::new(
+                            ApiErrorCode::ProtocolError,
+                            "facts must be ground (no variables)",
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?;
+                pending.facts.push((atom.relation(), tuple));
+                Ok(None)
+            }
+            "option" => {
+                match rest.split_whitespace().collect::<Vec<_>>().as_slice() {
+                    ["budget", level] => {
+                        self.budget = match *level {
+                            "generous" => Budget::generous(),
+                            "small" => Budget::small(),
+                            // Deliberately starved: drives the chase into
+                            // budget exhaustion so `unknown` verdicts can be
+                            // exercised over the wire.
+                            "tiny" => Budget::small()
+                                .with_max_facts(8)
+                                .with_max_rounds(1)
+                                .with_max_depth(1)
+                                .with_max_nulls(4),
+                            other => {
+                                return Err(ApiError::new(
+                                    ApiErrorCode::ProtocolError,
+                                    format!("unknown budget level `{other}`"),
+                                ))
+                            }
+                        };
+                        Ok(None)
+                    }
+                    _ => Err(ApiError::new(
+                        ApiErrorCode::ProtocolError,
+                        "usage: option budget generous|small|tiny",
+                    )),
+                }
+            }
+            "decide" | "synthesize" | "execute" => {
+                // The verb IS the mode (RequestMode::as_str is the wire
+                // name); map it exactly once so the submitted mode and the
+                // reported mode can never drift apart.
+                let mode = match verb {
+                    "decide" => RequestMode::Decide,
+                    "synthesize" => RequestMode::Synthesize,
+                    _ => RequestMode::Execute,
+                };
+                self.flush_pending()?;
+                let (catalog, query_text) =
+                    rest.split_once(char::is_whitespace).ok_or_else(|| {
+                        ApiError::new(
+                            ApiErrorCode::ProtocolError,
+                            format!("usage: {verb} CATALOG QUERY [|| QUERY ...]"),
+                        )
+                    })?;
+                let builder = self
+                    .service
+                    .request_named(catalog)?
+                    .query_text(query_text.trim())
+                    .with_budget(self.budget);
+                let builder = match mode {
+                    RequestMode::Decide => builder.decide(),
+                    RequestMode::Synthesize => builder.synthesize(),
+                    RequestMode::Execute => builder.execute(),
+                };
+                let response = builder.submit()?;
+                let id = self.service.catalog_by_name(catalog).expect("just served");
+                let values = self.service.catalog_values(id)?;
+                Ok(Some(response_to_json(&response, mode, catalog, &values)))
+            }
+            other => Err(ApiError::new(
+                ApiErrorCode::ProtocolError,
+                format!("unknown directive `{other}`"),
+            )),
+        }
+    }
+
+    fn pending_mut(&mut self) -> Result<&mut PendingCatalog, ApiError> {
+        self.pending.as_mut().ok_or_else(|| {
+            ApiError::new(
+                ApiErrorCode::ProtocolError,
+                "this directive requires a preceding `catalog NAME` line",
+            )
+        })
+    }
+
+    /// Registers the catalog under construction, if any.
+    fn flush_pending(&mut self) -> Result<(), ApiError> {
+        let Some(pending) = self.pending.take() else {
+            return Ok(());
+        };
+        let mut schema = Schema::with_parts(pending.sig.clone(), pending.constraints, vec![])
+            .map_err(|e| ApiError::new(ApiErrorCode::InvalidRequest, e.to_string()))?;
+        for method in pending.methods {
+            schema
+                .add_method(method)
+                .map_err(|e| ApiError::new(ApiErrorCode::InvalidRequest, e.to_string()))?;
+        }
+        let id = self
+            .service
+            .register_catalog(&pending.name, schema, pending.values)?;
+        if !pending.facts.is_empty() {
+            let mut data = Instance::new(pending.sig);
+            for (rel, tuple) in pending.facts {
+                data.insert(rel, tuple)
+                    .map_err(|e| ApiError::new(ApiErrorCode::InvalidRequest, e.to_string()))?;
+            }
+            self.service.attach_dataset(id, data)?;
+        }
+        Ok(())
+    }
+}
+
+/// The error for a `constraint`/`fact` line that references a relation no
+/// `relation` directive declared (`sig` is the scratch signature the parse
+/// auto-declared into; `declared` is how many relations the catalog
+/// actually has).
+fn undeclared_relation_error(sig: &Signature, declared: usize) -> ApiError {
+    let name = sig
+        .iter()
+        .nth(declared)
+        .map(|(_, rel)| rel.name().to_owned())
+        .unwrap_or_default();
+    ApiError::new(
+        ApiErrorCode::UnknownRelation,
+        format!("relation `{name}` is not declared by the catalog (add a `relation` line)"),
+    )
+}
+
+/// Parses `NAME REL in=P1,P2 [bound=K]` into an [`AccessMethod`]
+/// (positions are 1-based on the wire, as in the paper's FD notation).
+fn parse_method(rest: &str, sig: &Signature) -> Result<AccessMethod, ApiError> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    let (name, rel_name, opts) = match parts.as_slice() {
+        [name, rel, opts @ ..] => (*name, *rel, opts),
+        _ => {
+            return Err(ApiError::new(
+                ApiErrorCode::ProtocolError,
+                "usage: method NAME REL in=POSITIONS [bound=K]",
+            ))
+        }
+    };
+    let relation = sig.relation_by_name(rel_name).ok_or_else(|| {
+        ApiError::new(
+            ApiErrorCode::UnknownRelation,
+            format!("method `{name}` references undeclared relation `{rel_name}`"),
+        )
+    })?;
+    let mut inputs: Vec<usize> = Vec::new();
+    let mut bound: Option<usize> = None;
+    for opt in opts {
+        if let Some(positions) = opt.strip_prefix("in=") {
+            for p in positions.split(',').filter(|p| !p.is_empty()) {
+                let p: usize = p.parse().map_err(|_| {
+                    ApiError::new(ApiErrorCode::ProtocolError, format!("bad position `{p}`"))
+                })?;
+                if p == 0 || p > sig.arity(relation) {
+                    return Err(ApiError::new(
+                        ApiErrorCode::ProtocolError,
+                        format!("position {p} out of range (1-based) for `{rel_name}`"),
+                    ));
+                }
+                inputs.push(p - 1);
+            }
+        } else if let Some(k) = opt.strip_prefix("bound=") {
+            bound = Some(k.parse().map_err(|_| {
+                ApiError::new(ApiErrorCode::ProtocolError, format!("bad bound `{k}`"))
+            })?);
+        } else {
+            return Err(ApiError::new(
+                ApiErrorCode::ProtocolError,
+                format!("unknown method option `{opt}`"),
+            ));
+        }
+    }
+    Ok(match bound {
+        None => AccessMethod::unbounded(name, relation, &inputs),
+        Some(k) => AccessMethod::bounded(name, relation, &inputs, k),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PREAMBLE: &str = "rbqa/1
+catalog uni
+relation Prof/3
+relation Udirectory/3
+constraint Prof(i, n, s) -> Udirectory(i, a, p)
+method pr Prof in=1
+method ud Udirectory in= bound=100
+";
+
+    #[test]
+    fn version_header_is_required() {
+        let mut server = WireServer::new();
+        let out = server.handle_line("decide uni Q() :- R(x)").unwrap();
+        assert!(out.contains("UNSUPPORTED_VERSION"), "{out}");
+        assert!(server.handle_line("rbqa/1").is_none());
+    }
+
+    #[test]
+    fn preamble_plus_request_round_trips() {
+        let mut server = WireServer::new();
+        let stream = format!("{PREAMBLE}\ndecide uni Q() :- Udirectory(i, a, p)\n");
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 1, "{outputs:?}");
+        assert!(outputs[0].contains("\"status\":\"ok\""), "{}", outputs[0]);
+        assert!(outputs[0].contains("\"answerable\":\"yes\""));
+        assert!(outputs[0].contains("\"cache_hit\":false"));
+    }
+
+    #[test]
+    fn alpha_variant_union_requests_hit_the_cache() {
+        let mut server = WireServer::new();
+        let stream = format!(
+            "{PREAMBLE}\n\
+             decide uni Q(n) :- Prof(i, n, '10000') || Q(a) :- Udirectory(i, a, p)\n\
+             decide uni Q(ad) :- Udirectory(row, ad, ph) || Q(nm) :- Prof(pid, nm, '10000')\n"
+        );
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 2);
+        assert!(outputs[0].contains("\"cache_hit\":false"));
+        assert!(outputs[1].contains("\"cache_hit\":true"), "{}", outputs[1]);
+        assert_eq!(server.service().metrics().decisions_computed, 1);
+    }
+
+    #[test]
+    fn execute_over_wire_facts_returns_rows() {
+        let mut server = WireServer::new();
+        let stream = "rbqa/1
+catalog uni
+relation Prof/3
+relation Udirectory/3
+constraint Prof(i, n, s) -> Udirectory(i, a, p)
+method pr Prof in=1
+method ud Udirectory in=
+fact Prof('7', 'ada', '10000')
+fact Udirectory('7', 'mainst', '555')
+execute uni Q(n) :- Prof(i, n, '10000')
+";
+        let outputs = server.handle_stream(stream);
+        assert_eq!(outputs.len(), 1);
+        assert!(
+            outputs[0].contains("\"rows\":[[\"ada\"]]"),
+            "{}",
+            outputs[0]
+        );
+        assert!(outputs[0].contains("\"total_calls\""));
+    }
+
+    #[test]
+    fn errors_are_structured() {
+        let mut server = WireServer::new();
+        server.handle_line("rbqa/1");
+        let out = server.handle_line("decide nowhere Q() :- R(x)").unwrap();
+        assert!(out.contains("\"code\":\"UNKNOWN_CATALOG\""), "{out}");
+        let out = server.handle_line("gibberish").unwrap();
+        assert!(out.contains("\"code\":\"PROTOCOL_ERROR\""));
+        let out = server.handle_line("relation X/2").unwrap();
+        assert!(out.contains("requires a preceding"), "{out}");
+    }
+
+    #[test]
+    fn typoed_relations_in_facts_and_constraints_are_rejected() {
+        let mut server = WireServer::new();
+        server.handle_line("rbqa/1");
+        server.handle_line("catalog uni");
+        server.handle_line("relation Prof/3");
+        let out = server
+            .handle_line("fact Porf('7', 'ada', '10000')")
+            .expect("typo'd fact relation is an error");
+        assert!(out.contains("\"code\":\"UNKNOWN_RELATION\""), "{out}");
+        assert!(out.contains("Porf"));
+        let out = server
+            .handle_line("constraint Prof(i, n, s) -> Udirectry(i, a, p)")
+            .expect("typo'd constraint relation is an error");
+        assert!(out.contains("\"code\":\"UNKNOWN_RELATION\""), "{out}");
+        assert!(out.contains("Udirectry"));
+        // FD constraints agree with TGDs and facts on the code.
+        let out = server
+            .handle_line("constraint FD Porf: 1 -> 2")
+            .expect("typo'd FD relation is an error");
+        assert!(out.contains("\"code\":\"UNKNOWN_RELATION\""), "{out}");
+        // The catalog itself is unpolluted: declaring the relation properly
+        // afterwards still works and the catalog registers cleanly.
+        assert!(server.handle_line("relation Udirectory/3").is_none());
+        assert!(server
+            .handle_line("constraint Prof(i, n, s) -> Udirectory(i, a, p)")
+            .is_none());
+        assert!(server.handle_line("method ud Udirectory in=").is_none());
+        let out = server
+            .handle_line("decide uni Q() :- Udirectory(i, a, p)")
+            .unwrap();
+        assert!(out.contains("\"status\":\"ok\""), "{out}");
+    }
+
+    #[test]
+    fn fd_token_does_not_swallow_fd_prefixed_relation_names() {
+        let mut server = WireServer::new();
+        let stream = "rbqa/1
+catalog deps
+relation FDept/1
+relation Grant/1
+constraint FDept(x) -> Grant(x)
+constraint FD Grant: 1 -> 1
+method mf FDept in=
+method mg Grant in=1
+decide deps Q() :- Grant(g)
+";
+        let outputs = server.handle_stream(stream);
+        assert_eq!(outputs.len(), 1, "{outputs:?}");
+        assert!(outputs[0].contains("\"status\":\"ok\""), "{}", outputs[0]);
+    }
+
+    #[test]
+    fn method_parsing_validates_positions() {
+        let mut sig = Signature::new();
+        sig.add_relation("R", 2).unwrap();
+        assert!(parse_method("m R in=1,2", &sig).is_ok());
+        assert!(parse_method("m R in=", &sig).is_ok());
+        assert!(parse_method("m R in=3", &sig).is_err());
+        assert!(parse_method("m R in=0", &sig).is_err());
+        assert!(parse_method("m Nope in=1", &sig).is_err());
+        let bounded = parse_method("m R in=1 bound=5", &sig).unwrap();
+        assert!(bounded.result_bound().is_some());
+    }
+}

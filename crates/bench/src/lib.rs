@@ -132,51 +132,28 @@ pub fn render_table(records: &[DecisionRecord]) -> String {
     out
 }
 
-/// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 impl DecisionRecord {
-    /// Renders the record as a single JSON object (the environment has no
-    /// crates.io access, so serialisation is hand-rolled here rather than
-    /// derived via serde).
+    /// Renders the record as a single JSON object, using the workspace's
+    /// shared hand-rolled writer ([`rbqa_api::json`] — the environment has
+    /// no crates.io access, so there is no serde).
     pub fn to_json(&self) -> String {
         let expected = match self.expected_answerable {
             Some(b) => b.to_string(),
             None => "null".to_owned(),
         };
-        format!(
-            concat!(
-                "{{\"workload\":\"{}\",\"query\":\"{}\",\"constraint_class\":\"{}\",",
-                "\"simplification\":\"{}\",\"strategy\":\"{}\",\"answerable\":\"{}\",",
-                "\"complete\":{},\"chase_rounds\":{},\"chased_facts\":{},\"micros\":{},",
-                "\"expected_answerable\":{}}}"
-            ),
-            json_escape(&self.workload),
-            json_escape(&self.query),
-            json_escape(&self.constraint_class),
-            json_escape(&self.simplification),
-            json_escape(&self.strategy),
-            json_escape(&self.answerable),
-            self.complete,
-            self.chase_rounds,
-            self.chased_facts,
-            self.micros,
-            expected,
-        )
+        rbqa_api::json::JsonObject::new()
+            .field_str("workload", &self.workload)
+            .field_str("query", &self.query)
+            .field_str("constraint_class", &self.constraint_class)
+            .field_str("simplification", &self.simplification)
+            .field_str("strategy", &self.strategy)
+            .field_str("answerable", &self.answerable)
+            .field_bool("complete", self.complete)
+            .field_u128("chase_rounds", self.chase_rounds as u128)
+            .field_u128("chased_facts", self.chased_facts as u128)
+            .field_u128("micros", self.micros)
+            .field_raw("expected_answerable", &expected)
+            .finish()
     }
 }
 
@@ -282,6 +259,8 @@ mod tests {
 
     #[test]
     fn json_escaping_handles_special_characters() {
+        // The writer is shared with the wire layer (promoted to rbqa-api).
+        use rbqa_api::json::json_escape;
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("plain"), "plain");
     }

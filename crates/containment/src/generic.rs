@@ -88,21 +88,53 @@ pub fn decide_from_instance_seeded(
     config: ChaseConfig,
     completeness_depth: Option<usize>,
 ) -> ContainmentOutcome {
+    decide_from_instance_any(
+        start,
+        &[(rhs, rhs_seed)],
+        constraints,
+        values,
+        config,
+        completeness_depth,
+    )
+    .0
+}
+
+/// Disjunctive form of [`decide_from_instance_seeded`]: the containment
+/// holds as soon as **any** of the `(rhs, seed)` targets matches the chased
+/// instance. This is the right-hand side of the AMonDet containment for a
+/// *union* of conjunctive queries — the chase of one disjunct's canonical
+/// database may be matched by any disjunct of the union.
+///
+/// Returns the outcome together with the index of the first target that
+/// matched (in slice order), when one did. The chase runs once regardless
+/// of the number of targets.
+pub fn decide_from_instance_any(
+    start: &Instance,
+    targets: &[(&ConjunctiveQuery, &Homomorphism)],
+    constraints: &ConstraintSet,
+    values: &mut ValueFactory,
+    config: ChaseConfig,
+    completeness_depth: Option<usize>,
+) -> (ContainmentOutcome, Option<usize>) {
     let outcome = chase(start, constraints, values, config);
 
     if outcome.is_fd_failure() {
         // Q ∧ Σ is unsatisfiable: containment holds vacuously.
-        return ContainmentOutcome {
-            verdict: Verdict::Holds,
-            chase_completion: outcome.completion,
-            chase_stats: outcome.stats,
-            chased_facts: outcome.instance.len(),
-            complete: true,
-        };
+        return (
+            ContainmentOutcome {
+                verdict: Verdict::Holds,
+                chase_completion: outcome.completion,
+                chase_stats: outcome.stats,
+                chased_facts: outcome.instance.len(),
+                complete: true,
+            },
+            None,
+        );
     }
 
-    let rhs_boolean = rhs.boolean_closure();
-    let matched = find_homomorphism(&rhs_boolean, &outcome.instance, rhs_seed).is_some();
+    let matched = targets.iter().position(|(rhs, seed)| {
+        find_homomorphism(&rhs.boolean_closure(), &outcome.instance, seed).is_some()
+    });
     let saturated = outcome.completion == Completion::Saturated;
     // A missing match is only certified when the chase explored everything
     // up to the depth cap (it was not stopped by another budget) *and* the
@@ -115,7 +147,7 @@ pub fn decide_from_instance_seeded(
     };
     let complete = saturated || depth_complete;
 
-    let verdict = if matched {
+    let verdict = if matched.is_some() {
         Verdict::Holds
     } else if complete {
         Verdict::DoesNotHold
@@ -123,13 +155,16 @@ pub fn decide_from_instance_seeded(
         Verdict::Unknown
     };
 
-    ContainmentOutcome {
-        verdict,
-        chase_completion: outcome.completion,
-        chase_stats: outcome.stats,
-        chased_facts: outcome.instance.len(),
-        complete,
-    }
+    (
+        ContainmentOutcome {
+            verdict,
+            chase_completion: outcome.completion,
+            chase_stats: outcome.stats,
+            chased_facts: outcome.instance.len(),
+            complete,
+        },
+        matched,
+    )
 }
 
 /// Decides the containment problem using only chase saturation as the
@@ -278,6 +313,49 @@ mod tests {
             decide_with_completeness(&problem, &mut vf, ChaseConfig::with_budget(budget), Some(4));
         assert_eq!(out.verdict, Verdict::DoesNotHold);
         assert!(out.complete);
+    }
+
+    #[test]
+    fn any_target_match_decides_the_disjunction() {
+        // Σ: R(x, y) -> S(x). CanonDB(∃ R) satisfies neither T nor U, but
+        // chasing derives S — so the disjunction (T ∨ S ∨ U) holds, matched
+        // at index 1, while (T ∨ U) definitively does not.
+        let mut sig = Signature::new();
+        let mut vf = ValueFactory::new();
+        let lhs = parse_cq("Q() :- R(x, y)", &mut sig, &mut vf).unwrap();
+        let t = parse_cq("Q() :- T(u)", &mut sig, &mut vf).unwrap();
+        let s = parse_cq("Q() :- S(u)", &mut sig, &mut vf).unwrap();
+        let u = parse_cq("Q() :- U(u)", &mut sig, &mut vf).unwrap();
+        let tgd = parse_tgd("R(x, y) -> S(x)", &mut sig, &mut vf).unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(tgd);
+        let canon = lhs.canonical_database(&sig, &mut vf);
+
+        let empty_seed = Homomorphism::default();
+        let targets: Vec<(&ConjunctiveQuery, &Homomorphism)> =
+            vec![(&t, &empty_seed), (&s, &empty_seed), (&u, &empty_seed)];
+        let (out, matched) = decide_from_instance_any(
+            &canon.instance,
+            &targets,
+            &constraints,
+            &mut vf,
+            config(),
+            None,
+        );
+        assert_eq!(out.verdict, Verdict::Holds);
+        assert_eq!(matched, Some(1));
+
+        let (out, matched) = decide_from_instance_any(
+            &canon.instance,
+            &targets[..1],
+            &constraints,
+            &mut vf,
+            config(),
+            None,
+        );
+        assert_eq!(out.verdict, Verdict::DoesNotHold);
+        assert!(out.complete);
+        assert_eq!(matched, None);
     }
 
     #[test]

@@ -77,6 +77,12 @@ pub struct AmondetProblem {
     pub rhs_seed: Homomorphism,
     /// The `accessible` predicate.
     pub accessible: RelationId,
+    /// The values frozen for the build query's free variables, in free-variable
+    /// order. Union targets ([`AmondetProblem::union_targets`]) seed their own
+    /// free variables positionally against these values: every disjunct of a
+    /// well-formed UCQ produces answers of the same arity, so recovering the
+    /// same tuple through *any* disjunct certifies answerability.
+    pub answer_values: Vec<rbqa_common::Value>,
     primed: FxHashMap<RelationId, RelationId>,
     accessed: FxHashMap<RelationId, RelationId>,
 }
@@ -233,6 +239,11 @@ impl AmondetProblem {
             .iter()
             .filter_map(|v| canon.assignment.get(v).map(|val| (*v, *val)))
             .collect();
+        let answer_values: Vec<rbqa_common::Value> = query
+            .free_vars()
+            .iter()
+            .filter_map(|v| canon.assignment.get(v).copied())
+            .collect();
 
         AmondetProblem {
             signature,
@@ -241,9 +252,91 @@ impl AmondetProblem {
             rhs,
             rhs_seed,
             accessible,
+            answer_values,
             primed,
             accessed,
         }
+    }
+
+    /// Marks extra constants as accessible in the start instance. The union
+    /// decision uses this to seed the constants of *every* disjunct, not just
+    /// the one whose canonical database is being chased: a plan answering the
+    /// union may call methods on any constant the union mentions.
+    pub fn seed_accessible(&mut self, constants: &[rbqa_common::Value]) {
+        for &c in constants {
+            self.start
+                .insert(self.accessible, vec![c])
+                .expect("accessible is unary");
+        }
+    }
+
+    /// Builds the disjunctive right-hand side for a union decision: the
+    /// primed copy of each disjunct, seeded so that its free variables must
+    /// recover (positionally) the values frozen for the build query's answer
+    /// variables. Each target carries its original disjunct index. Pass the
+    /// result to [`AmondetProblem::decide_union`].
+    ///
+    /// Disjuncts that cannot recover the answer tuple by construction are
+    /// **excluded** rather than under-constrained: a disjunct whose answer
+    /// arity disagrees with the build query's, or whose free-variable list
+    /// repeats a variable that would have to take two different frozen
+    /// values (only constructible by bypassing the parser/builder, which
+    /// deduplicate answer variables). Including them with a truncated or
+    /// last-write-wins seed would make the union check unsound.
+    pub fn union_targets(
+        &self,
+        disjuncts: &[ConjunctiveQuery],
+    ) -> Vec<(usize, ConjunctiveQuery, Homomorphism)> {
+        disjuncts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| {
+                if q.free_vars().len() != self.answer_values.len() {
+                    return None;
+                }
+                let mut seed = Homomorphism::default();
+                for (v, val) in q.free_vars().iter().zip(self.answer_values.iter()) {
+                    match seed.insert(*v, *val) {
+                        Some(prev) if prev != *val => return None,
+                        _ => {}
+                    }
+                }
+                let atoms: Vec<Atom> = q
+                    .atoms()
+                    .iter()
+                    .map(|a| {
+                        Atom::new(
+                            *self.primed.get(&a.relation()).unwrap_or(&a.relation()),
+                            a.args().to_vec(),
+                        )
+                    })
+                    .collect();
+                let primed = ConjunctiveQuery::new(q.vars().clone(), Vec::new(), atoms);
+                Some((i, primed, seed))
+            })
+            .collect()
+    }
+
+    /// Decides the union containment: chases the start instance once and
+    /// checks whether **any** target matches. Returns the outcome and the
+    /// original disjunct index of the matching target, if one matched.
+    pub fn decide_union(
+        &self,
+        targets: &[(usize, ConjunctiveQuery, Homomorphism)],
+        values: &mut ValueFactory,
+        budget: Budget,
+    ) -> (ContainmentOutcome, Option<usize>) {
+        let candidates: Vec<(&ConjunctiveQuery, &Homomorphism)> =
+            targets.iter().map(|(_, q, seed)| (q, seed)).collect();
+        let (outcome, matched) = rbqa_containment::generic::decide_from_instance_any(
+            &self.start,
+            &candidates,
+            &self.constraints,
+            values,
+            ChaseConfig::with_budget(budget),
+            None,
+        );
+        (outcome, matched.map(|k| targets[k].0))
     }
 
     /// The primed copy of a base relation.

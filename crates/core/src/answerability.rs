@@ -23,7 +23,7 @@ use rbqa_common::ValueFactory;
 use rbqa_containment::linearization::LinearizedSchema;
 use rbqa_containment::saturation::MethodSignature;
 use rbqa_containment::{ContainmentOutcome, Verdict};
-use rbqa_logic::ConjunctiveQuery;
+use rbqa_logic::{ConjunctiveQuery, UnionOfConjunctiveQueries};
 
 use crate::amondet::{AmondetProblem, AxiomStyle};
 use crate::classify::{classify_constraints, ConstraintClass};
@@ -271,6 +271,238 @@ pub fn decide_monotone_answerability(
     }
 }
 
+/// Diagnostics of one cross-disjunct rescue attempt during a union decision:
+/// disjunct `disjunct` was not answerable through its own Table-1 pipeline,
+/// so the union containment was chased — `matched` records which disjunct of
+/// the union (if any) recovered the answer.
+#[derive(Debug, Clone)]
+pub struct UnionRescue {
+    /// Index of the disjunct whose canonical database was chased.
+    pub disjunct: usize,
+    /// The union containment outcome for that disjunct.
+    pub outcome: ContainmentOutcome,
+    /// Index of the disjunct whose primed copy matched, when one did.
+    pub matched: Option<usize>,
+}
+
+/// The result of a monotone answerability decision for a **union** of
+/// conjunctive queries (the paper states its results for UCQs throughout).
+///
+/// A union is monotone answerable iff *every* disjunct's canonical database,
+/// chased under the AMonDet constraints, entails *some* disjunct of the
+/// (primed) union. The decision first runs the full per-CQ Table-1 pipeline
+/// on each disjunct — sound, and complete per class — and only for disjuncts
+/// that fail on their own does it chase the union containment
+/// ([`UnionRescue`]): a disjunct may be "rescued" by a cross-disjunct match.
+#[derive(Debug, Clone)]
+pub struct UnionAnswerabilityResult {
+    /// The verdict for the union.
+    pub answerability: Answerability,
+    /// Whether the verdict is certified (positive verdicts are always sound;
+    /// a negative or positive verdict is *complete* when every contributing
+    /// chase saturated or reached its completeness depth).
+    pub complete: bool,
+    /// The detected constraint class (a property of the schema).
+    pub constraint_class: ConstraintClass,
+    /// Per-disjunct results of the standalone Table-1 pipeline, index-aligned
+    /// with the union's disjuncts.
+    pub disjuncts: Vec<AnswerabilityResult>,
+    /// Cross-disjunct rescue attempts, for disjuncts not answerable alone.
+    pub rescues: Vec<UnionRescue>,
+}
+
+impl UnionAnswerabilityResult {
+    /// Whether the union was certified answerable.
+    pub fn is_answerable(&self) -> bool {
+        self.answerability == Answerability::Answerable
+    }
+
+    /// The synthesised plans of the disjuncts, in disjunct order, when every
+    /// disjunct carries one. Executing all plans and unioning their rows
+    /// computes the union query (each plan computes its disjunct exactly).
+    /// `None` when some disjunct has no plan — in particular when a disjunct
+    /// was only *rescued* (answerable as part of the union but not alone):
+    /// plan synthesis for that case is not implemented.
+    pub fn union_plans(&self) -> Option<Vec<&Plan>> {
+        self.disjuncts
+            .iter()
+            .map(|r| r.plan.as_ref())
+            .collect::<Option<Vec<_>>>()
+    }
+
+    /// Total chase rounds across all per-disjunct decisions and rescues.
+    pub fn total_chase_rounds(&self) -> usize {
+        self.disjuncts
+            .iter()
+            .map(|r| r.containment.chase_stats.rounds)
+            .sum::<usize>()
+            + self
+                .rescues
+                .iter()
+                .map(|r| r.outcome.chase_stats.rounds)
+                .sum::<usize>()
+    }
+
+    /// A flat, `Copy` summary of the union decision (the union analogue of
+    /// [`AnswerabilityResult::summary`]). Simplification and strategy are
+    /// taken from the first disjunct — the schema-determined parts of the
+    /// pipeline are identical across disjuncts.
+    pub fn summary(&self) -> DecisionSummary {
+        let (simplification, strategy) = self
+            .disjuncts
+            .first()
+            .map(|r| (r.simplification, r.strategy))
+            .unwrap_or((SimplificationKind::None, Strategy::ChoiceChase));
+        DecisionSummary {
+            answerability: self.answerability,
+            constraint_class: self.constraint_class,
+            simplification,
+            strategy,
+            complete: self.complete,
+            chase_rounds: self.total_chase_rounds(),
+            chased_facts: self
+                .disjuncts
+                .iter()
+                .map(|r| r.containment.chased_facts)
+                .sum::<usize>()
+                + self
+                    .rescues
+                    .iter()
+                    .map(|r| r.outcome.chased_facts)
+                    .sum::<usize>(),
+            has_plan: !self.disjuncts.is_empty() && self.union_plans().is_some(),
+        }
+    }
+}
+
+/// Decides whether the union query is monotone answerable over `schema`.
+///
+/// The empty union (constantly false) is trivially answerable by the empty
+/// plan. A single disjunct delegates to [`decide_monotone_answerability`]
+/// unchanged. For larger unions, each disjunct runs the full per-CQ
+/// pipeline; disjuncts that are not answerable alone get a *union rescue*
+/// chase — the AMonDet containment over the choice-simplified schema whose
+/// right-hand side is the whole primed union and whose accessible seed
+/// includes every constant of the union. The union is:
+///
+/// * `Answerable` when every disjunct is answerable alone or rescued;
+/// * `NotAnswerable` when some disjunct's union containment definitively
+///   fails (the rescue chase was complete and matched nothing);
+/// * `Unknown` otherwise (some disjunct unresolved within budget).
+pub fn decide_monotone_answerability_union(
+    schema: &Schema,
+    union: &UnionOfConjunctiveQueries,
+    values: &mut ValueFactory,
+    options: &AnswerabilityOptions,
+) -> UnionAnswerabilityResult {
+    let class = classify_constraints(schema.constraints());
+    if union.is_empty() {
+        return UnionAnswerabilityResult {
+            answerability: Answerability::Answerable,
+            complete: true,
+            constraint_class: class,
+            disjuncts: Vec::new(),
+            rescues: Vec::new(),
+        };
+    }
+    // Malformed unions cannot be decided soundly: disjuncts disagreeing on
+    // answer arity have no positional correspondence between answer tuples,
+    // and a free variable missing from its disjunct's body would be frozen
+    // into no canonical-database value (the rescue's positional seeds would
+    // silently under-constrain, risking a wrong certificate). The
+    // sanctioned construction paths (`rbqa-api` builder, `rbqa-service`
+    // shape validation, the parser) reject both before reaching this
+    // function; for direct callers the verdict is an uncertified `Unknown`
+    // rather than a wrong certificate.
+    let unsafe_free_vars = union.disjuncts().iter().any(|q| {
+        let body_vars = q.all_variables();
+        q.free_vars().iter().any(|v| !body_vars.contains(v))
+    });
+    if union.uniform_free_arity().is_none() || unsafe_free_vars {
+        return UnionAnswerabilityResult {
+            answerability: Answerability::Unknown,
+            complete: false,
+            constraint_class: class,
+            disjuncts: Vec::new(),
+            rescues: Vec::new(),
+        };
+    }
+
+    let disjuncts: Vec<AnswerabilityResult> = union
+        .disjuncts()
+        .iter()
+        .map(|q| decide_monotone_answerability(schema, q, values, options))
+        .collect();
+
+    let mut rescues = Vec::new();
+    let mut any_certified_fail = false;
+    let mut any_unresolved = false;
+
+    if union.len() > 1 {
+        // Cross-disjunct rescue for disjuncts that fail alone. ElimUB and the
+        // choice simplification are sound for every constraint class
+        // (Prop. 3.3, Thms 6.3/6.4), so the generic budgeted chase over the
+        // simplified schema is a sound union check; it is complete whenever
+        // that chase saturates. The axiomatisation style must match the
+        // class, exactly as in the per-CQ dispatch: for UIDs + FDs the
+        // plain simplified axioms under-derive (the separability rewriting
+        // of Thm 7.2 additionally exports FD-determined positions), so a
+        // saturated no-match under them would be a wrong negative
+        // certificate.
+        let rescue_style = match class {
+            ConstraintClass::UidsAndFds => AxiomStyle::SeparabilityRewriting,
+            _ => AxiomStyle::Simplified,
+        };
+        let schema_lb = schema.eliminate_upper_bounds();
+        let choice = schema_lb.choice_simplification();
+        for (i, own) in disjuncts.iter().enumerate() {
+            if own.answerability == Answerability::Answerable {
+                continue;
+            }
+            let mut problem =
+                AmondetProblem::build(&choice, &union.disjuncts()[i], values, rescue_style);
+            problem.seed_accessible(&union.constants());
+            let targets = problem.union_targets(union.disjuncts());
+            let (outcome, matched) = problem.decide_union(&targets, values, options.budget);
+            match outcome.verdict {
+                Verdict::Holds => {}
+                Verdict::DoesNotHold if outcome.complete => any_certified_fail = true,
+                _ => any_unresolved = true,
+            }
+            rescues.push(UnionRescue {
+                disjunct: i,
+                outcome,
+                matched,
+            });
+        }
+    } else if disjuncts[0].answerability != Answerability::Answerable {
+        // Single disjunct: the per-CQ pipeline *is* the union decision.
+        match disjuncts[0].answerability {
+            Answerability::NotAnswerable => any_certified_fail = true,
+            _ => any_unresolved = true,
+        }
+    }
+
+    let answerability = if any_certified_fail {
+        Answerability::NotAnswerable
+    } else if any_unresolved {
+        Answerability::Unknown
+    } else {
+        Answerability::Answerable
+    };
+
+    UnionAnswerabilityResult {
+        answerability,
+        // Positive verdicts are sound by construction (a match in any chase
+        // prefix is a proof); negatives are only produced from complete
+        // chases. Only `Unknown` is uncertified.
+        complete: answerability != Answerability::Unknown,
+        constraint_class: class,
+        disjuncts,
+        rescues,
+    }
+}
+
 fn maybe_plan(
     schema: &Schema,
     query: &ConjunctiveQuery,
@@ -493,6 +725,176 @@ mod tests {
         assert_eq!(result.answerability, Answerability::Answerable);
         assert_eq!(result.strategy, Strategy::ForcedAxiomStyle);
         assert_eq!(result.simplification, SimplificationKind::None);
+    }
+
+    #[test]
+    fn union_of_answerable_disjuncts_is_answerable_with_plans() {
+        let schema = university(None);
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let q2 = parse_cq("Q(a) :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let union = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        let options = AnswerabilityOptions {
+            synthesize_plan: true,
+            crawl_rounds: 2,
+            ..Default::default()
+        };
+        let result = decide_monotone_answerability_union(&schema, &union, &mut vf, &options);
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert!(result.complete);
+        assert!(result.rescues.is_empty());
+        let plans = result.union_plans().expect("both disjuncts carry plans");
+        assert_eq!(plans.len(), 2);
+        assert!(result.summary().has_plan);
+    }
+
+    #[test]
+    fn union_with_unanswerable_disjunct_is_not_answerable() {
+        // Salary names and directory addresses are both non-Boolean and
+        // neither is answerable over the bounded schema (the listing may
+        // drop rows); no cross-disjunct match can recover the frozen answer
+        // values, so the union is definitively NotAnswerable.
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let q2 = parse_cq("Q(a) :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let union = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        let result = decide_monotone_answerability_union(
+            &schema,
+            &union,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::NotAnswerable);
+        assert!(result.complete);
+        assert_eq!(result.rescues.len(), 2);
+        assert!(result.rescues.iter().all(|r| r.matched.is_none()));
+    }
+
+    #[test]
+    fn constraint_subsumed_boolean_disjunct_rides_the_union() {
+        // Q1 = ∃ Prof with salary 10000 is not answerable alone over the
+        // bounded schema, but under τ every Prof row yields a Udirectory
+        // row, so Q1 ⊨_Σ Q2 = ∃ Udirectory — the chase of CanonDB(Q1)
+        // satisfies Q2', and the union is answerable (it is equivalent to
+        // the answerable Q2 under the constraints).
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q() :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let union = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        let result = decide_monotone_answerability_union(
+            &schema,
+            &union,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert_eq!(result.rescues.len(), 1);
+        assert_eq!(result.rescues[0].matched, Some(1));
+    }
+
+    #[test]
+    fn cross_disjunct_match_rescues_a_disjunct() {
+        // Boolean disjuncts Q1 = ∃ Prof and Q2 = ∃ Udirectory over the
+        // bounded schema. Q1 alone is answerable? ∃ Prof requires knowing a
+        // professor id (pr needs an input), so Q1 alone is NOT answerable —
+        // but the referential constraint Prof ⊆ Udirectory means CanonDB(Q1)
+        // chases into a Udirectory fact, and the result-bounded ud method
+        // makes ∃ Udirectory accessible: Q2's primed copy matches, so the
+        // union IS answerable.
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q() :- Prof(i, n, s)", &mut sig, &mut vf).unwrap();
+        let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+
+        // Sanity: Q1 alone is not answerable.
+        let alone =
+            decide_monotone_answerability(&schema, &q1, &mut vf, &AnswerabilityOptions::default());
+        assert_eq!(alone.answerability, Answerability::NotAnswerable);
+
+        let union = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        let result = decide_monotone_answerability_union(
+            &schema,
+            &union,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert_eq!(result.rescues.len(), 1);
+        assert_eq!(result.rescues[0].matched, Some(1), "rescued by Q2'");
+        // A rescued disjunct has no standalone plan, so no union plan.
+        let options = AnswerabilityOptions {
+            synthesize_plan: true,
+            ..Default::default()
+        };
+        let with_plans = decide_monotone_answerability_union(&schema, &union, &mut vf, &options);
+        assert!(with_plans.is_answerable());
+        assert!(with_plans.union_plans().is_none());
+        assert!(!with_plans.summary().has_plan);
+    }
+
+    #[test]
+    fn arity_mismatched_union_is_uncertified_unknown() {
+        // The sanctioned entry points reject mixed-arity unions before they
+        // reach core; a direct caller gets an uncertified Unknown, never a
+        // wrong certificate (a truncated positional seed would otherwise
+        // let a Boolean disjunct "rescue" a non-Boolean one).
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        let union = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        let result = decide_monotone_answerability_union(
+            &schema,
+            &union,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Unknown);
+        assert!(!result.complete);
+        assert!(result.disjuncts.is_empty());
+    }
+
+    #[test]
+    fn empty_union_is_trivially_answerable() {
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let union = UnionOfConjunctiveQueries::new();
+        let result = decide_monotone_answerability_union(
+            &schema,
+            &union,
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(result.answerability, Answerability::Answerable);
+        assert!(result.complete);
+        assert!(!result.summary().has_plan);
+    }
+
+    #[test]
+    fn single_disjunct_union_matches_the_cq_decision() {
+        let schema = university(Some(100));
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let cq =
+            decide_monotone_answerability(&schema, &q, &mut vf, &AnswerabilityOptions::default());
+        let union = decide_monotone_answerability_union(
+            &schema,
+            &UnionOfConjunctiveQueries::single(q),
+            &mut vf,
+            &AnswerabilityOptions::default(),
+        );
+        assert_eq!(union.answerability, cq.answerability);
+        assert_eq!(union.disjuncts.len(), 1);
+        assert!(union.rescues.is_empty());
+        assert_eq!(union.summary().strategy, cq.strategy);
     }
 
     #[test]

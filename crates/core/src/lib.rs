@@ -33,8 +33,9 @@ pub mod simplification;
 
 pub use amondet::{AmondetProblem, AxiomStyle};
 pub use answerability::{
-    decide_monotone_answerability, Answerability, AnswerabilityOptions, AnswerabilityResult,
-    DecisionSummary, Strategy,
+    decide_monotone_answerability, decide_monotone_answerability_union, Answerability,
+    AnswerabilityOptions, AnswerabilityResult, DecisionSummary, Strategy, UnionAnswerabilityResult,
+    UnionRescue,
 };
 pub use classify::{classify_constraints, ConstraintClass};
 pub use finite::{

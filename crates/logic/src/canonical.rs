@@ -250,10 +250,41 @@ pub fn canonical_query_code(
     canonical_atoms_code(&atoms, query.free_vars(), sig, resolve)
 }
 
+/// Canonical code of a union of conjunctive queries: the canonical codes of
+/// the disjuncts, sorted and deduplicated, each **length-prefixed**
+/// (netstring-style, `LEN:CODE`) so that no constant occurring inside a
+/// disjunct code can imitate a code boundary — without the prefix, a
+/// crafted constant containing the joiner could collide two inequivalent
+/// unions onto one code (and hence one cache fingerprint). The code is
+/// invariant under disjunct reordering, duplicate disjuncts, α-renaming
+/// inside any disjunct, and atom permutation — so `Q1 ∨ Q2` and
+/// `Q2' ∨ Q1' ∨ Q2''` (primes denoting α-variants) share one code, and a
+/// single-disjunct union is distinguished from larger unions only by its
+/// content.
+pub fn canonical_ucq_code(
+    ucq: &crate::ucq::UnionOfConjunctiveQueries,
+    sig: &Signature,
+    resolve: &dyn Fn(Value) -> String,
+) -> String {
+    let mut codes: Vec<String> = ucq
+        .disjuncts()
+        .iter()
+        .map(|q| canonical_query_code(q, sig, resolve))
+        .collect();
+    codes.sort();
+    codes.dedup();
+    let mut out = format!("union:{}|", codes.len());
+    for code in codes {
+        out.push_str(&format!("{}:{}", code.len(), code));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::parse_cq;
+    use crate::ucq::UnionOfConjunctiveQueries;
     use rbqa_common::ValueFactory;
 
     fn code(q: &str, sig: &mut Signature, vf: &mut ValueFactory) -> String {
@@ -358,6 +389,64 @@ mod tests {
             canonical_atoms_code(&same_tag, &[], &sig, &resolver),
             canonical_atoms_code(&split_tag, &[], &sig, &resolver),
         );
+    }
+
+    #[test]
+    fn ucq_codes_are_disjunct_order_invariant_and_deduplicated() {
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let q2 = parse_cq("Q(n) :- Emeritus(n, y)", &mut sig, &mut vf).unwrap();
+        // α-variants of the same disjuncts, listed in the other order, with
+        // one duplicated.
+        let q1b = parse_cq("Q(nm) :- Prof(pid, nm, '10000')", &mut sig, &mut vf).unwrap();
+        let q2b = parse_cq("Q(x) :- Emeritus(x, yr)", &mut sig, &mut vf).unwrap();
+        let resolver = {
+            let vf = vf.clone();
+            move |v: Value| vf.display(v)
+        };
+        let a = canonical_ucq_code(
+            &UnionOfConjunctiveQueries::from_disjuncts(vec![q1.clone(), q2.clone()]),
+            &sig,
+            &resolver,
+        );
+        let b = canonical_ucq_code(
+            &UnionOfConjunctiveQueries::from_disjuncts(vec![q2b, q1b.clone(), q1b]),
+            &sig,
+            &resolver,
+        );
+        assert_eq!(a, b);
+        // A single disjunct is a different union.
+        let single = canonical_ucq_code(&UnionOfConjunctiveQueries::single(q1), &sig, &resolver);
+        assert_ne!(a, single);
+        assert!(single.starts_with("union:1|"));
+    }
+
+    #[test]
+    fn crafted_constants_cannot_forge_disjunct_boundaries() {
+        // Without length-prefixing, joining sorted disjunct codes with `||`
+        // would make these two 2-disjunct unions collide: the crafted
+        // constants embed `')||free:0|#0:R('` so that A = [R(𝑎…𝑏), R('c')]
+        // and B = [R('a'), R(𝑏…𝑐)] concatenate to the same byte string.
+        let (mut sig, mut vf) = (Signature::new(), ValueFactory::new());
+        let a1 = parse_cq(r#"Q() :- R("a')||free:0|#0:R('b")"#, &mut sig, &mut vf).unwrap();
+        let a2 = parse_cq("Q() :- R('c')", &mut sig, &mut vf).unwrap();
+        let b1 = parse_cq("Q() :- R('a')", &mut sig, &mut vf).unwrap();
+        let b2 = parse_cq(r#"Q() :- R("b')||free:0|#0:R('c")"#, &mut sig, &mut vf).unwrap();
+        let resolver = {
+            let vf = vf.clone();
+            move |v: Value| vf.display(v)
+        };
+        let a = canonical_ucq_code(
+            &UnionOfConjunctiveQueries::from_disjuncts(vec![a1, a2]),
+            &sig,
+            &resolver,
+        );
+        let b = canonical_ucq_code(
+            &UnionOfConjunctiveQueries::from_disjuncts(vec![b1, b2]),
+            &sig,
+            &resolver,
+        );
+        assert_ne!(a, b, "inequivalent unions must not share a code");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! * [`uid_closure`] closes a set of unary inclusion dependencies under
 //!   reflexivity and transitivity.
 //! * [`finite_closure`] computes the finite closure `Σ*` of a set of UIDs and
-//!   FDs in the style of Cosmadakis, Kanellakis and Vardi [24]: on top of
+//!   FDs in the style of Cosmadakis, Kanellakis and Vardi: on top of
 //!   the unrestricted closure it applies the *cycle rule* — every UID or
 //!   unary FD edge lying on a cycle of the combined (UID ∪ unary-FD) graph
 //!   gets its reverse added. This is the ingredient of Theorem 7.4 /

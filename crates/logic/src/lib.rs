@@ -33,7 +33,7 @@ pub mod term;
 pub mod ucq;
 
 pub use atom::Atom;
-pub use canonical::{canonical_atoms_code, canonical_query_code};
+pub use canonical::{canonical_atoms_code, canonical_query_code, canonical_ucq_code};
 pub use constraints::{Constraint, ConstraintSet, Fd, Tgd};
 pub use cq::{CanonicalDatabase, ConjunctiveQuery, CqBuilder};
 pub use evaluate::evaluate;

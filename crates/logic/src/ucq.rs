@@ -60,6 +60,46 @@ impl UnionOfConjunctiveQueries {
         self.disjuncts.iter().all(|q| q.is_boolean())
     }
 
+    /// The common number of free (answer) variables of the disjuncts, when
+    /// they agree: a UCQ is well-formed only if every disjunct produces
+    /// answers of the same arity. The empty union is vacuously uniform with
+    /// arity 0; `None` means the disjuncts disagree.
+    pub fn uniform_free_arity(&self) -> Option<usize> {
+        let mut arities = self.disjuncts.iter().map(|q| q.free_vars().len());
+        let first = match arities.next() {
+            None => return Some(0),
+            Some(a) => a,
+        };
+        if arities.all(|a| a == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// All distinct constants occurring in any disjunct.
+    pub fn constants(&self) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for q in &self.disjuncts {
+            for c in q.constants() {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Renders the union in the parser's concrete syntax, disjuncts joined
+    /// by `||` (the wire protocol's disjunct separator).
+    pub fn display(&self, sig: &rbqa_common::Signature) -> String {
+        self.disjuncts
+            .iter()
+            .map(|q| q.display(sig))
+            .collect::<Vec<_>>()
+            .join(" || ")
+    }
+
     /// Evaluates the UCQ over `instance`: the union of the answers of each
     /// disjunct, deduplicated and sorted.
     pub fn evaluate(&self, instance: &Instance) -> Vec<Vec<Value>> {
@@ -148,6 +188,43 @@ mod tests {
         let answers = ucq.evaluate(&inst);
         // {a} ∪ {a, b} = {a, b}
         assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn uniform_free_arity_detects_mismatch() {
+        let (_sig, p, u) = setup();
+        let mut b1 = CqBuilder::new();
+        let x1 = b1.var("x");
+        let q1 = b1.free(x1).atom(p, vec![x1.into()]).build();
+        let mut b2 = CqBuilder::new();
+        let x2 = b2.var("x");
+        let boolean = b2.atom(u, vec![x2.into()]).build();
+
+        assert_eq!(
+            UnionOfConjunctiveQueries::new().uniform_free_arity(),
+            Some(0)
+        );
+        let uniform = UnionOfConjunctiveQueries::from_disjuncts(vec![q1.clone(), q1.clone()]);
+        assert_eq!(uniform.uniform_free_arity(), Some(1));
+        let mixed = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, boolean]);
+        assert_eq!(mixed.uniform_free_arity(), None);
+    }
+
+    #[test]
+    fn constants_collects_across_disjuncts() {
+        let (_sig, p, u) = setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut b1 = CqBuilder::new();
+        let q1 = b1.atom(p, vec![crate::Term::Const(a)]).build();
+        let mut b2 = CqBuilder::new();
+        let q2 = b2
+            .atom(u, vec![crate::Term::Const(a)])
+            .atom(u, vec![crate::Term::Const(b)])
+            .build();
+        let ucq = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
+        assert_eq!(ucq.constants(), vec![a, b]);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 use rbqa_access::Schema;
 use rbqa_common::Value;
 use rbqa_core::{AnswerabilityOptions, AxiomStyle};
-use rbqa_logic::canonical::{canonical_atoms_code, canonical_query_code, TaggedAtom};
-use rbqa_logic::ConjunctiveQuery;
+use rbqa_logic::canonical::{canonical_atoms_code, canonical_ucq_code, TaggedAtom};
+use rbqa_logic::UnionOfConjunctiveQueries;
 
 /// A 128-bit content fingerprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -162,17 +162,21 @@ pub fn options_code(options: &AnswerabilityOptions) -> String {
 /// `schema_fingerprint` is computed once at catalog registration; only the
 /// query must be canonicalised per request (and the cache makes even that
 /// cost rare in steady state: the fingerprint is the key, so it is paid
-/// once per *distinct* request shape, not once per chase).
+/// once per *distinct* request shape, not once per chase). The query is a
+/// union of CQs; its canonical code is invariant under disjunct
+/// reordering, duplicate disjuncts, and α-renaming within any disjunct
+/// (see [`rbqa_logic::canonical::canonical_ucq_code`]), so α-equivalent
+/// unions share one cache entry.
 pub fn request_fingerprint(
     schema_fingerprint: Fingerprint,
-    query: &ConjunctiveQuery,
+    query: &UnionOfConjunctiveQueries,
     signature: &rbqa_common::Signature,
     resolve: &dyn Fn(Value) -> String,
     options: &AnswerabilityOptions,
 ) -> Fingerprint {
     let mut h = FingerprintHasher::new();
     h.field(&format!("{:032x}", schema_fingerprint.0));
-    h.field(&canonical_query_code(query, signature, resolve));
+    h.field(&canonical_ucq_code(query, signature, resolve));
     h.field(&options_code(options));
     h.finish()
 }
@@ -249,9 +253,63 @@ mod tests {
             move |v: Value| vf.display(v)
         };
 
-        let f1 = request_fingerprint(sfp, &q1, schema.signature(), &r1, &opts);
-        let f2 = request_fingerprint(sfp, &q2, schema.signature(), &r2, &opts);
+        let f1 = request_fingerprint(
+            sfp,
+            &UnionOfConjunctiveQueries::single(q1),
+            schema.signature(),
+            &r1,
+            &opts,
+        );
+        let f2 = request_fingerprint(
+            sfp,
+            &UnionOfConjunctiveQueries::single(q2),
+            schema.signature(),
+            &r2,
+            &opts,
+        );
         assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn union_fingerprints_are_disjunct_order_invariant() {
+        let schema = university(Some(100));
+        let sfp = schema_fingerprint(&schema, &|v| format!("{v}"));
+        let opts = AnswerabilityOptions::default();
+
+        let mut vf = ValueFactory::new();
+        let mut sig = schema.signature().clone();
+        let a = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let b = parse_cq("Q(a) :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+        // The same disjuncts, α-renamed and in the other order.
+        let a2 = parse_cq("Q(nm) :- Prof(pid, nm, '10000')", &mut sig, &mut vf).unwrap();
+        let b2 = parse_cq("Q(ad) :- Udirectory(row, ad, ph)", &mut sig, &mut vf).unwrap();
+        let resolve = {
+            let vf = vf.clone();
+            move |v: Value| vf.display(v)
+        };
+        let f1 = request_fingerprint(
+            sfp,
+            &UnionOfConjunctiveQueries::from_disjuncts(vec![a.clone(), b.clone()]),
+            schema.signature(),
+            &resolve,
+            &opts,
+        );
+        let f2 = request_fingerprint(
+            sfp,
+            &UnionOfConjunctiveQueries::from_disjuncts(vec![b2, a2]),
+            schema.signature(),
+            &resolve,
+            &opts,
+        );
+        assert_eq!(f1, f2, "α-renamed, permuted unions share a fingerprint");
+        let single = request_fingerprint(
+            sfp,
+            &UnionOfConjunctiveQueries::single(a),
+            schema.signature(),
+            &resolve,
+            &opts,
+        );
+        assert_ne!(f1, single);
     }
 
     #[test]
@@ -270,8 +328,9 @@ mod tests {
             synthesize_plan: true,
             ..Default::default()
         };
-        let f1 = request_fingerprint(sfp, &q, schema.signature(), &resolve, &plain);
-        let f2 = request_fingerprint(sfp, &q, schema.signature(), &resolve, &with_plan);
+        let union = UnionOfConjunctiveQueries::single(q);
+        let f1 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &plain);
+        let f2 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &with_plan);
         assert_ne!(f1, f2);
     }
 

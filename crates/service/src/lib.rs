@@ -46,4 +46,6 @@ pub use catalog::{CatalogEntry, CatalogId, CatalogRegistry};
 pub use fingerprint::{request_fingerprint, schema_fingerprint, Fingerprint};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
-pub use service::{CachedDecision, QueryService, ServiceConfig};
+pub use service::{
+    rebase_constants, rebase_cq_constants, CachedDecision, QueryService, ServiceConfig,
+};

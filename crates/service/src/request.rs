@@ -1,4 +1,11 @@
 //! The request/response vocabulary of the service.
+//!
+//! Requests carry a **union of conjunctive queries** (the paper states its
+//! results for UCQs throughout); a plain CQ is the one-disjunct special
+//! case and the [`AnswerRequest::decide`]/[`AnswerRequest::synthesize`]/
+//! [`AnswerRequest::execute`] constructors wrap it for you. Prefer building
+//! requests through `rbqa_api::RequestBuilder`, which validates the query
+//! against the catalog before a request ever reaches the service.
 
 use std::sync::Arc;
 
@@ -6,7 +13,7 @@ use rbqa_access::Plan;
 use rbqa_common::{Value, ValueFactory};
 use rbqa_core::{AnswerabilityOptions, DecisionSummary};
 use rbqa_engine::PlanMetrics;
-use rbqa_logic::ConjunctiveQuery;
+use rbqa_logic::{ConjunctiveQuery, UnionOfConjunctiveQueries};
 
 use crate::catalog::CatalogId;
 use crate::fingerprint::Fingerprint;
@@ -16,11 +23,23 @@ use crate::fingerprint::Fingerprint;
 pub enum RequestMode {
     /// Decide monotone answerability only.
     Decide,
-    /// Decide and synthesise a crawling plan when answerable.
+    /// Decide and synthesise crawling plans when answerable.
     Synthesize,
-    /// Decide, synthesise, and execute the plan against the catalog's
+    /// Decide, synthesise, and execute the plans against the catalog's
     /// registered dataset through the simulated services.
     Execute,
+}
+
+impl RequestMode {
+    /// The wire name of the mode (also the request verb of the v1
+    /// protocol).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestMode::Decide => "decide",
+            RequestMode::Synthesize => "synthesize",
+            RequestMode::Execute => "execute",
+        }
+    }
 }
 
 /// One query-answering request against a registered catalog.
@@ -35,8 +54,9 @@ pub enum RequestMode {
 pub struct AnswerRequest {
     /// The catalog to answer against.
     pub catalog: CatalogId,
-    /// The conjunctive query.
-    pub query: ConjunctiveQuery,
+    /// The query: a union of conjunctive queries (one disjunct for a plain
+    /// CQ). All disjuncts must have the same number of free variables.
+    pub query: UnionOfConjunctiveQueries,
     /// The factory that interned the query's constants.
     pub values: ValueFactory,
     /// What to do.
@@ -47,8 +67,27 @@ pub struct AnswerRequest {
 }
 
 impl AnswerRequest {
-    /// A `Decide` request with default options.
+    /// A `Decide` request for a single CQ with default options.
     pub fn decide(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+        Self::decide_union(catalog, UnionOfConjunctiveQueries::single(query), values)
+    }
+
+    /// A `Synthesize` request for a single CQ with default options.
+    pub fn synthesize(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+        Self::synthesize_union(catalog, UnionOfConjunctiveQueries::single(query), values)
+    }
+
+    /// An `Execute` request for a single CQ with default options.
+    pub fn execute(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+        Self::execute_union(catalog, UnionOfConjunctiveQueries::single(query), values)
+    }
+
+    /// A `Decide` request for a union with default options.
+    pub fn decide_union(
+        catalog: CatalogId,
+        query: UnionOfConjunctiveQueries,
+        values: ValueFactory,
+    ) -> Self {
         AnswerRequest {
             catalog,
             query,
@@ -58,19 +97,27 @@ impl AnswerRequest {
         }
     }
 
-    /// A `Synthesize` request with default options.
-    pub fn synthesize(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+    /// A `Synthesize` request for a union with default options.
+    pub fn synthesize_union(
+        catalog: CatalogId,
+        query: UnionOfConjunctiveQueries,
+        values: ValueFactory,
+    ) -> Self {
         AnswerRequest {
             mode: RequestMode::Synthesize,
-            ..Self::decide(catalog, query, values)
+            ..Self::decide_union(catalog, query, values)
         }
     }
 
-    /// An `Execute` request with default options.
-    pub fn execute(catalog: CatalogId, query: ConjunctiveQuery, values: ValueFactory) -> Self {
+    /// An `Execute` request for a union with default options.
+    pub fn execute_union(
+        catalog: CatalogId,
+        query: UnionOfConjunctiveQueries,
+        values: ValueFactory,
+    ) -> Self {
         AnswerRequest {
             mode: RequestMode::Execute,
-            ..Self::decide(catalog, query, values)
+            ..Self::decide_union(catalog, query, values)
         }
     }
 
@@ -85,6 +132,19 @@ impl AnswerRequest {
         }
         options
     }
+
+    /// Structural sanity of the request itself (before any catalog is
+    /// consulted): the union must be non-empty and its disjuncts must agree
+    /// on answer arity.
+    pub fn validate_shape(&self) -> Result<(), ServiceError> {
+        if self.query.is_empty() {
+            return Err(ServiceError::EmptyUnion);
+        }
+        if self.query.uniform_free_arity().is_none() {
+            return Err(ServiceError::UnionArityMismatch);
+        }
+        Ok(())
+    }
 }
 
 /// The service's answer to one [`AnswerRequest`].
@@ -98,12 +158,27 @@ pub struct AnswerResponse {
     pub cache_hit: bool,
     /// Flat summary of the decision.
     pub summary: DecisionSummary,
-    /// The synthesised plan, when one was requested and exists. Shared,
-    /// not cloned: many responses point at one cached plan.
-    pub plan: Option<Arc<Plan>>,
-    /// `Execute` only: the plan's output rows (deterministic selection).
+    /// The synthesised plans, one per disjunct, when plans were requested
+    /// and *every* disjunct has one (executing all of them and unioning
+    /// rows computes the union). Shared, not cloned: many responses point
+    /// at one cached plan set.
+    ///
+    /// Ordering caveat: plans follow the disjunct order of the request
+    /// that **populated the cache entry** — fingerprints are invariant
+    /// under disjunct reordering and duplication, so on a cache hit the
+    /// order (and, for duplicated disjuncts, the count) may differ from
+    /// this request's own disjunct list. Treat `plans` as an unordered
+    /// executable set for the union, not as positionally matched to your
+    /// disjuncts.
+    pub plans: Vec<Arc<Plan>>,
+    /// `Execute` only: the union of the plans' output rows, always sorted
+    /// and deduplicated (exactly
+    /// [`rbqa_logic::UnionOfConjunctiveQueries::evaluate`] semantics), so
+    /// α-equivalent requests observe identical rows no matter which
+    /// spelling populated the cache.
     pub rows: Option<Vec<Vec<Value>>>,
-    /// `Execute` only: per-run plan metrics from the simulator.
+    /// `Execute` only: aggregated plan metrics from the simulator (summed
+    /// across disjunct plans).
     pub plan_metrics: Option<PlanMetrics>,
     /// Wall-clock time the service spent on this request, in microseconds.
     pub micros: u128,
@@ -117,9 +192,30 @@ impl AnswerResponse {
             rbqa_core::Answerability::Answerable
         )
     }
+
+    /// Whether the verdict was `Unknown` (budget exhausted, or no complete
+    /// procedure for the class).
+    pub fn is_unknown(&self) -> bool {
+        matches!(
+            self.summary.answerability,
+            rbqa_core::Answerability::Unknown
+        )
+    }
+
+    /// The single plan of a one-disjunct request, when present.
+    pub fn plan(&self) -> Option<&Arc<Plan>> {
+        match self.plans.as_slice() {
+            [p] => Some(p),
+            _ => None,
+        }
+    }
 }
 
 /// Errors surfaced by the service facade.
+///
+/// Every variant has a stable machine-readable code ([`ServiceError::code`])
+/// that the wire layer (`rbqa-api`) ships in error responses; match on the
+/// code, not the `Display` text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServiceError {
     /// The request referenced an unregistered catalog.
@@ -128,13 +224,34 @@ pub enum ServiceError {
     DuplicateCatalog(String),
     /// `Execute` was requested but the catalog has no dataset attached.
     NoDataset(String),
-    /// `Execute` was requested but no plan is available (query not
-    /// answerable, or synthesis found no crawling plan).
+    /// `Execute` was requested but no executable plan set is available
+    /// (query not answerable, a disjunct only answerable via the union, or
+    /// synthesis found no crawling plan).
     NoPlan,
     /// Plan execution failed inside the simulator.
     Execution(String),
+    /// The request's union has no disjuncts.
+    EmptyUnion,
+    /// The request's disjuncts disagree on answer arity.
+    UnionArityMismatch,
     /// Invalid registration input.
     Invalid(String),
+}
+
+impl ServiceError {
+    /// The stable machine-readable code of this error.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownCatalog(_) => "UNKNOWN_CATALOG",
+            ServiceError::DuplicateCatalog(_) => "DUPLICATE_CATALOG",
+            ServiceError::NoDataset(_) => "NO_DATASET",
+            ServiceError::NoPlan => "NO_PLAN",
+            ServiceError::Execution(_) => "EXECUTION_FAILED",
+            ServiceError::EmptyUnion => "EMPTY_UNION",
+            ServiceError::UnionArityMismatch => "UNION_ARITY_MISMATCH",
+            ServiceError::Invalid(_) => "INVALID_REQUEST",
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
@@ -147,8 +264,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NoDataset(name) => {
                 write!(f, "catalog `{name}` has no dataset attached for Execute")
             }
-            ServiceError::NoPlan => write!(f, "no plan available to execute"),
+            ServiceError::NoPlan => write!(f, "no executable plan set available"),
             ServiceError::Execution(e) => write!(f, "plan execution failed: {e}"),
+            ServiceError::EmptyUnion => write!(f, "the request's union has no disjuncts"),
+            ServiceError::UnionArityMismatch => {
+                write!(f, "the request's disjuncts disagree on answer arity")
+            }
             ServiceError::Invalid(e) => write!(f, "invalid request: {e}"),
         }
     }
@@ -161,27 +282,67 @@ mod tests {
     use super::*;
     use rbqa_logic::CqBuilder;
 
-    #[test]
-    fn modes_normalise_options() {
+    fn unary_query(free: bool) -> ConjunctiveQuery {
         let mut b = CqBuilder::new();
         let x = b.var("x");
-        let q = b
-            .atom(rbqa_common::RelationId::from_index(0), vec![x.into()])
-            .build();
+        if free {
+            b.free(x);
+        }
+        b.atom(rbqa_common::RelationId::from_index(0), vec![x.into()])
+            .build()
+    }
+
+    #[test]
+    fn modes_normalise_options() {
+        let q = unary_query(false);
         let vf = ValueFactory::new();
         let d = AnswerRequest::decide(CatalogId::from_index(0), q.clone(), vf.clone());
         assert!(!d.effective_options().synthesize_plan);
+        assert_eq!(d.query.len(), 1);
         let s = AnswerRequest::synthesize(CatalogId::from_index(0), q.clone(), vf.clone());
         assert!(s.effective_options().synthesize_plan);
         let e = AnswerRequest::execute(CatalogId::from_index(0), q, vf);
         assert!(e.effective_options().synthesize_plan);
         assert_eq!(e.mode, RequestMode::Execute);
+        assert_eq!(e.mode.as_str(), "execute");
     }
 
     #[test]
-    fn errors_render() {
+    fn shape_validation_rejects_degenerate_unions() {
+        let vf = ValueFactory::new();
+        let empty = AnswerRequest::decide_union(
+            CatalogId::from_index(0),
+            UnionOfConjunctiveQueries::new(),
+            vf.clone(),
+        );
+        assert_eq!(
+            empty.validate_shape(),
+            Err(ServiceError::EmptyUnion),
+            "empty unions are rejected before fingerprinting"
+        );
+        let mixed = AnswerRequest::decide_union(
+            CatalogId::from_index(0),
+            UnionOfConjunctiveQueries::from_disjuncts(vec![unary_query(true), unary_query(false)]),
+            vf.clone(),
+        );
+        assert_eq!(
+            mixed.validate_shape(),
+            Err(ServiceError::UnionArityMismatch)
+        );
+        let ok = AnswerRequest::decide(CatalogId::from_index(0), unary_query(true), vf);
+        assert!(ok.validate_shape().is_ok());
+    }
+
+    #[test]
+    fn errors_render_with_stable_codes() {
         let e = ServiceError::DuplicateCatalog("uni".into());
         assert!(e.to_string().contains("uni"));
+        assert_eq!(e.code(), "DUPLICATE_CATALOG");
         assert!(ServiceError::NoPlan.to_string().contains("plan"));
+        assert_eq!(ServiceError::NoPlan.code(), "NO_PLAN");
+        assert_eq!(ServiceError::EmptyUnion.code(), "EMPTY_UNION");
+        // `ServiceError` is a real `std::error::Error`.
+        let boxed: Box<dyn std::error::Error> = Box::new(ServiceError::NoPlan);
+        assert!(boxed.source().is_none());
     }
 }

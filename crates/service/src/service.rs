@@ -16,8 +16,9 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use rbqa_common::{Instance, ValueFactory};
-use rbqa_core::{decide_monotone_answerability, AnswerabilityResult};
-use rbqa_logic::{Atom, ConjunctiveQuery, Term};
+use rbqa_core::{decide_monotone_answerability_union, UnionAnswerabilityResult};
+use rbqa_engine::PlanMetrics;
+use rbqa_logic::{Atom, ConjunctiveQuery, Term, UnionOfConjunctiveQueries};
 
 use crate::cache::{CacheOutcome, ShardedCache};
 use crate::catalog::{CatalogEntry, CatalogId, CatalogRegistry};
@@ -25,12 +26,13 @@ use crate::fingerprint::{request_fingerprint, Fingerprint};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
 
-/// Re-expresses a query's constants in another value space: every constant
-/// is resolved to its string form in `from` and re-interned in `to`.
+/// Re-expresses a CQ's constants in another value space: every constant is
+/// resolved to its string form in `from` and re-interned in `to`.
 /// Variables are untouched. This is how the service keeps cached decisions
 /// valid for every requester whose fingerprint matches, no matter which
-/// factory built the request.
-fn rebase_constants(
+/// factory built the request — and how any cross-factory component can
+/// establish constant identity before comparing or evaluating queries.
+pub fn rebase_cq_constants(
     query: &ConjunctiveQuery,
     from: &ValueFactory,
     to: &mut ValueFactory,
@@ -53,15 +55,79 @@ fn rebase_constants(
     ConjunctiveQuery::new(query.vars().clone(), query.free_vars().to_vec(), atoms)
 }
 
+/// [`rebase_cq_constants`] lifted to a union: every disjunct is rebased
+/// into the target value space, preserving disjunct order.
+pub fn rebase_constants(
+    union: &UnionOfConjunctiveQueries,
+    from: &ValueFactory,
+    to: &mut ValueFactory,
+) -> UnionOfConjunctiveQueries {
+    UnionOfConjunctiveQueries::from_disjuncts(
+        union
+            .disjuncts()
+            .iter()
+            .map(|q| rebase_cq_constants(q, from, to))
+            .collect(),
+    )
+}
+
+/// Drops α-equivalent duplicate disjuncts (keeping first occurrences), by
+/// the same canonical codes the fingerprint hashes. The fingerprint
+/// already identifies `Q ∨ Q'` with `Q` (for α-variants `Q'`), so the
+/// *decision* must be computed over the deduplicated union too — otherwise
+/// whichever spelling populates the shared cache entry dictates how many
+/// times the pipeline runs, how many plans the entry carries, and how much
+/// simulator work every later Execute performs.
+fn dedup_disjuncts(
+    union: UnionOfConjunctiveQueries,
+    signature: &rbqa_common::Signature,
+    values: &ValueFactory,
+) -> UnionOfConjunctiveQueries {
+    if union.len() <= 1 {
+        return union;
+    }
+    let resolve = {
+        let values = values.clone();
+        move |v| values.display(v)
+    };
+    let mut seen = std::collections::HashSet::new();
+    UnionOfConjunctiveQueries::from_disjuncts(
+        union
+            .disjuncts()
+            .iter()
+            .filter(|q| seen.insert(rbqa_logic::canonical_query_code(q, signature, &resolve)))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Sums two per-run plan metrics: union execution runs one plan per
+/// disjunct and the response reports the aggregate (calls and tuples are
+/// additive; the rate-limit flag is conjunctive).
+fn merge_plan_metrics(mut acc: PlanMetrics, other: PlanMetrics) -> PlanMetrics {
+    for (method, calls) in other.calls_per_method {
+        *acc.calls_per_method.entry(method).or_insert(0) += calls;
+    }
+    acc.total_calls += other.total_calls;
+    acc.tuples_fetched += other.tuples_fetched;
+    acc.output_size += other.output_size;
+    acc.within_rate_limit &= other.within_rate_limit;
+    acc
+}
+
 /// A cached decision: the full result of one pipeline run, shared by every
 /// request whose fingerprint matches.
 #[derive(Debug)]
 pub struct CachedDecision {
-    /// The decision result (verdict, diagnostics, optional plan).
-    pub result: AnswerabilityResult,
-    /// The plan lifted out behind its own `Arc` so responses can share it
-    /// without touching the rest of the result.
-    pub plan: Option<Arc<rbqa_access::Plan>>,
+    /// The union decision result (verdict, per-disjunct diagnostics,
+    /// rescues, optional plans).
+    pub result: UnionAnswerabilityResult,
+    /// The executable plan set — one plan per disjunct, in disjunct order —
+    /// lifted out behind `Arc`s so responses can share it without touching
+    /// the rest of the result. Empty when no complete plan set exists
+    /// (plans not requested, some disjunct unanswerable alone, or a
+    /// disjunct only rescued by the union).
+    pub plans: Vec<Arc<rbqa_access::Plan>>,
 }
 
 /// Tuning knobs for [`QueryService`].
@@ -218,6 +284,7 @@ impl QueryService {
     /// Serves one request.
     pub fn submit(&self, request: &AnswerRequest) -> Result<AnswerResponse, ServiceError> {
         let start = Instant::now();
+        request.validate_shape()?;
         let entry = self.entry(request.catalog)?;
         let options = request.effective_options();
         let fingerprint = Self::fingerprint_for(&entry, request, &options);
@@ -235,38 +302,64 @@ impl QueryService {
             // constants).
             let mut values = entry.values.clone();
             let query = rebase_constants(&request.query, &request.values, &mut values);
+            // Canonical-dedup before deciding, mirroring the fingerprint:
+            // the cached artifact for `Q ∨ Qα` must be the artifact for `Q`.
+            let query = dedup_disjuncts(query, entry.schema.signature(), &values);
             let result =
-                decide_monotone_answerability(&entry.schema, &query, &mut values, &options);
-            let plan = result.plan.clone().map(Arc::new);
-            CachedDecision { result, plan }
+                decide_monotone_answerability_union(&entry.schema, &query, &mut values, &options);
+            let plans = result
+                .union_plans()
+                .map(|plans| plans.into_iter().cloned().map(Arc::new).collect())
+                .unwrap_or_default();
+            CachedDecision { result, plans }
         });
         match outcome {
             CacheOutcome::Miss => self.metrics.record_miss(),
             CacheOutcome::Hit => self
                 .metrics
-                .record_hit(false, decision.result.containment.chase_stats.rounds),
+                .record_hit(false, decision.result.total_chase_rounds()),
             CacheOutcome::Coalesced => self
                 .metrics
-                .record_hit(true, decision.result.containment.chase_stats.rounds),
+                .record_hit(true, decision.result.total_chase_rounds()),
         }
 
         let summary = decision.result.summary();
-        let plan = match request.mode {
-            RequestMode::Decide => None,
-            RequestMode::Synthesize | RequestMode::Execute => decision.plan.clone(),
+        let plans = match request.mode {
+            RequestMode::Decide => Vec::new(),
+            RequestMode::Synthesize | RequestMode::Execute => decision.plans.clone(),
         };
 
         let (rows, plan_metrics) = if request.mode == RequestMode::Execute {
-            let plan = plan.as_ref().ok_or(ServiceError::NoPlan)?;
+            if plans.is_empty() {
+                return Err(ServiceError::NoPlan);
+            }
             let simulator = entry
                 .simulator
                 .as_ref()
                 .ok_or_else(|| ServiceError::NoDataset(entry.name.clone()))?;
-            let (rows, metrics) = simulator
-                .run_plan_deterministic(plan)
-                .map_err(|e| ServiceError::Execution(e.to_string()))?;
+            let mut rows: Vec<Vec<rbqa_common::Value>> = Vec::new();
+            let mut metrics: Option<PlanMetrics> = None;
+            for plan in &plans {
+                let (plan_rows, plan_metrics) = simulator
+                    .run_plan_deterministic(plan)
+                    .map_err(|e| ServiceError::Execution(e.to_string()))?;
+                rows.extend(plan_rows);
+                metrics = Some(match metrics {
+                    None => plan_metrics,
+                    Some(acc) => merge_plan_metrics(acc, plan_metrics),
+                });
+            }
+            // Union semantics: deduplicated, sorted answers (matching
+            // `UnionOfConjunctiveQueries::evaluate`). Applied even for a
+            // single plan so that the rows of a cached entry never depend
+            // on which α-equivalent spelling populated it (the cached plan
+            // set mirrors the *first* requester's disjunct list — e.g.
+            // `Q ∨ Q` and `Q` share one fingerprint but synthesise
+            // different plan counts).
+            rows.sort();
+            rows.dedup();
             self.metrics.record_execution();
-            (Some(rows), Some(metrics))
+            (Some(rows), metrics)
         } else {
             (None, None)
         };
@@ -277,7 +370,7 @@ impl QueryService {
             fingerprint,
             cache_hit: outcome != CacheOutcome::Miss,
             summary,
-            plan,
+            plans,
             rows,
             plan_metrics,
             micros,
@@ -360,6 +453,140 @@ mod tests {
         };
         schema.add_method(ud).unwrap();
         (schema, ValueFactory::new())
+    }
+
+    #[test]
+    fn rebase_constants_establishes_cross_factory_identity() {
+        // Two factories intern the same constant names at different ids;
+        // after rebasing, the query's constants are *identical* (same
+        // `Value`) to the target factory's, so instance evaluation and
+        // chase seeding work unchanged.
+        let mut sig = Signature::new();
+        let mut foreign = ValueFactory::new();
+        foreign.constant("padding0");
+        foreign.constant("padding1");
+        let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut foreign).unwrap();
+        let q2 = parse_cq(
+            "Q() :- Udirectory('10000', a, '555')",
+            &mut sig,
+            &mut foreign,
+        )
+        .unwrap();
+
+        let mut catalog = ValueFactory::new();
+        let ten_k = catalog.constant("10000");
+        let union = UnionOfConjunctiveQueries::from_disjuncts(vec![q1.clone(), q2.clone()]);
+        let rebased = rebase_constants(&union, &foreign, &mut catalog);
+
+        assert_eq!(rebased.len(), 2);
+        // Both disjuncts now reference the catalog's '10000'.
+        assert_eq!(rebased.disjuncts()[0].constants(), vec![ten_k]);
+        assert!(rebased.disjuncts()[1].constants().contains(&ten_k));
+        // The original ids disagreed (padding shifted them).
+        assert_ne!(q1.constants(), rebased.disjuncts()[0].constants());
+        // Structure (relations, variables, free vars) is untouched.
+        assert_eq!(
+            rebased.disjuncts()[0].free_vars(),
+            q1.free_vars(),
+            "only constants are rewritten"
+        );
+        // Every constant resolves to the same string in the new space.
+        assert_eq!(catalog.display(ten_k), "10000");
+    }
+
+    #[test]
+    fn union_requests_share_cache_entries_and_execute_unions() {
+        let service = QueryService::new();
+        let (schema, values) = university(None);
+        let id = service.register_catalog("uni", schema, values).unwrap();
+        let make_union = |texts: [&str; 2]| {
+            let mut vf = service.catalog_values(id).unwrap();
+            let mut sig = service.catalog_signature(id).unwrap();
+            let disjuncts = texts
+                .iter()
+                .map(|t| parse_cq(t, &mut sig, &mut vf).unwrap())
+                .collect();
+            (UnionOfConjunctiveQueries::from_disjuncts(disjuncts), vf)
+        };
+        let (u1, vf1) = make_union(["Q(n) :- Prof(i, n, '10000')", "Q(a) :- Udirectory(i, a, p)"]);
+        // α-renamed and disjunct-permuted.
+        let (u2, vf2) = make_union([
+            "Q(ad) :- Udirectory(row, ad, ph)",
+            "Q(nm) :- Prof(pid, nm, '10000')",
+        ]);
+        let first = service
+            .submit(&AnswerRequest::decide_union(id, u1, vf1))
+            .unwrap();
+        let second = service
+            .submit(&AnswerRequest::decide_union(id, u2, vf2))
+            .unwrap();
+        assert!(first.is_answerable());
+        assert!(!first.cache_hit);
+        assert!(second.cache_hit, "permuted α-variant union is a hit");
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(service.metrics().decisions_computed, 1);
+    }
+
+    #[test]
+    fn duplicate_disjuncts_decide_and_cache_as_the_single_query() {
+        // `Q ∨ Qα` fingerprints as `Q` — and must also *decide* as `Q`:
+        // one pipeline run, one plan, so a later plain-`Q` requester
+        // hitting the shared entry sees a single-disjunct artifact.
+        let service = QueryService::new();
+        let (schema, values) = university(None);
+        let id = service.register_catalog("uni", schema, values).unwrap();
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+        let q_alpha = parse_cq("Q(nm) :- Prof(pid, nm, '10000')", &mut sig, &mut vf).unwrap();
+
+        let doubled = service
+            .submit(&AnswerRequest::synthesize_union(
+                id,
+                UnionOfConjunctiveQueries::from_disjuncts(vec![q.clone(), q_alpha]),
+                vf.clone(),
+            ))
+            .unwrap();
+        assert!(doubled.is_answerable());
+        assert_eq!(
+            doubled.plans.len(),
+            1,
+            "duplicates collapse before synthesis"
+        );
+
+        let single = service
+            .submit(&AnswerRequest::synthesize(id, q, vf))
+            .unwrap();
+        assert!(single.cache_hit, "Q rides the Q ∨ Qα entry");
+        assert_eq!(single.fingerprint, doubled.fingerprint);
+        assert!(single.plan().is_some(), "single-plan accessor works");
+        assert_eq!(service.metrics().decisions_computed, 1);
+    }
+
+    #[test]
+    fn degenerate_unions_are_rejected() {
+        let service = QueryService::new();
+        let (schema, values) = university(None);
+        let id = service.register_catalog("uni", schema, values).unwrap();
+        let vf = service.catalog_values(id).unwrap();
+        let empty = AnswerRequest::decide_union(id, UnionOfConjunctiveQueries::new(), vf.clone());
+        assert!(matches!(
+            service.submit(&empty),
+            Err(ServiceError::EmptyUnion)
+        ));
+        let mut sig = service.catalog_signature(id).unwrap();
+        let mut vf2 = vf.clone();
+        let q1 = parse_cq("Q(n) :- Prof(i, n, s)", &mut sig, &mut vf2).unwrap();
+        let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf2).unwrap();
+        let mixed = AnswerRequest::decide_union(
+            id,
+            UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]),
+            vf2,
+        );
+        assert!(matches!(
+            service.submit(&mixed),
+            Err(ServiceError::UnionArityMismatch)
+        ));
     }
 
     #[test]

@@ -1,20 +1,17 @@
 //! Quickstart: decide whether a query can be answered through
 //! result-bounded web-service interfaces.
 //!
-//! This walks through the paper's running example (Examples 1.1–1.4):
-//! a university exposes `Prof(id, name, salary)` behind a lookup-by-id
-//! method and `Udirectory(id, address, phone)` behind an input-free listing
-//! method that returns **at most 100 rows** (a result bound). Can we still
+//! This walks through the paper's running example (Examples 1.1–1.4)
+//! using the sanctioned client API — register a catalog once, then ask
+//! questions through the validating request builder. A university exposes
+//! `Prof(id, name, salary)` behind a lookup-by-id method and
+//! `Udirectory(id, address, phone)` behind an input-free listing method
+//! that returns **at most 100 rows** (a result bound). Can we still
 //! answer our queries completely?
 //!
 //! Run with: `cargo run --example quickstart`
 
-use rbqa::access::{AccessMethod, Schema};
-use rbqa::common::{Signature, ValueFactory};
-use rbqa::core::{decide_monotone_answerability, Answerability, AnswerabilityOptions};
-use rbqa::logic::constraints::tgd::inclusion_dependency;
-use rbqa::logic::constraints::ConstraintSet;
-use rbqa::logic::parser::parse_cq;
+use rbqa::prelude::*;
 
 fn main() {
     // 1. Declare the relations.
@@ -25,8 +22,16 @@ fn main() {
     // 2. State what we know about the data: every professor id appears in
     //    the university directory (the referential constraint τ of
     //    Example 1.1).
-    let mut constraints = ConstraintSet::new();
-    constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+    let mut values = ValueFactory::new();
+    let mut parse_sig = sig.clone();
+    let tau = parse_tgd(
+        "Prof(i, n, s) -> Udirectory(i, a, p)",
+        &mut parse_sig,
+        &mut values,
+    )
+    .unwrap();
+    let mut constraints = rbqa::logic::ConstraintSet::new();
+    constraints.push_tgd(tau);
 
     // 3. Describe the web services: `pr` looks up a professor by id and
     //    returns everything; `ud` lists the directory but returns at most
@@ -39,33 +44,64 @@ fn main() {
         .add_method(AccessMethod::bounded("ud", udir, &[], 100))
         .unwrap();
 
-    // 4. Ask the questions.
-    let mut values = ValueFactory::new();
-    let mut parse_sig = schema.signature().clone();
-    let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut parse_sig, &mut values).unwrap();
-    let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut parse_sig, &mut values).unwrap();
+    // 4. Register the catalog once, then ask the questions through the
+    //    request builder — queries are plain DSL text, validated against
+    //    the catalog (unknown relations, wrong arities and unbound answer
+    //    variables come back as structured ApiErrors, not panics).
+    let service = QueryService::new();
+    let uni = service.register_catalog("uni", schema, values).unwrap();
 
-    let options = AnswerabilityOptions::default();
     for (label, query) in [
-        ("Q1: names of professors earning 10000", &q1),
-        ("Q2: is the directory non-empty?", &q2),
+        (
+            "Q1: names of professors earning 10000",
+            "Q(n) :- Prof(i, n, '10000')",
+        ),
+        (
+            "Q2: is the directory non-empty?",
+            "Q() :- Udirectory(i, a, p)",
+        ),
+        (
+            "Q1 ∨ Q2-addresses as a union (UCQ request)",
+            "Q(n) :- Prof(i, n, '10000') || Q(a) :- Udirectory(i, a, p)",
+        ),
     ] {
-        let result = decide_monotone_answerability(&schema, query, &mut values, &options);
-        let verdict = match result.answerability {
+        let response = service
+            .request(uni)
+            .query_text(query)
+            .decide()
+            .submit()
+            .expect("valid request");
+        let verdict = match response.summary.answerability {
             Answerability::Answerable => "answerable",
             Answerability::NotAnswerable => "NOT answerable",
             Answerability::Unknown => "unknown (budget exhausted)",
         };
         println!("{label}");
-        println!("  constraint class : {:?}", result.constraint_class);
-        println!("  simplification   : {:?}", result.simplification);
-        println!("  strategy         : {:?}", result.strategy);
+        println!(
+            "  constraint class : {:?}",
+            response.summary.constraint_class
+        );
+        println!("  simplification   : {:?}", response.summary.simplification);
+        println!("  strategy         : {:?}", response.summary.strategy);
+        println!("  fingerprint      : {}", response.fingerprint);
         println!("  verdict          : {verdict}\n");
     }
 
+    // Malformed requests fail with stable machine-readable codes.
+    let err = service
+        .request(uni)
+        .query_text("Q(x) :- Nonexistent(x)")
+        .submit()
+        .unwrap_err();
+    println!(
+        "malformed request  : {} ({})",
+        err.code.as_str(),
+        err.detail
+    );
+
     // Q1 is not answerable because `ud` may silently drop directory rows
     // (Example 1.3); Q2 is answerable because an existence check does not
-    // care which rows come back (Example 1.4). Re-run with the bound removed
-    // (`AccessMethod::unbounded("ud", ...)`) and Q1 becomes answerable via
-    // the plan of Example 1.2.
+    // care which rows come back (Example 1.4). Re-run with the bound
+    // removed (`AccessMethod::unbounded("ud", ...)`) and Q1 becomes
+    // answerable via the plan of Example 1.2.
 }

@@ -2,21 +2,19 @@
 //!
 //! Registers the university catalog (Example 1.1) with the
 //! query-answering service, attaches a dataset, and then fires a mixed
-//! workload at it — repeated queries, α-renamed variants, batches of
-//! concurrent identical requests, and `Execute` calls that run the
-//! synthesised plan against the simulated services. The printed metrics
-//! show the point of the fingerprinted cache: traffic scales while chase
-//! invocations stay at the number of *distinct* decision problems.
+//! workload at it through the public request builder — repeated queries,
+//! α-renamed variants, UCQ requests, batches of concurrent identical
+//! requests, and `Execute` calls that run the synthesised plans against
+//! the simulated services. The printed metrics show the point of the
+//! fingerprinted cache: traffic scales while chase invocations stay at
+//! the number of *distinct* decision problems.
 //!
 //! Run with: `cargo run --release --example service_traffic`
 
-use rbqa::access::{AccessMethod, Schema};
-use rbqa::common::{Signature, ValueFactory};
 use rbqa::engine::dataset::university_instance;
 use rbqa::logic::constraints::tgd::inclusion_dependency;
-use rbqa::logic::constraints::ConstraintSet;
-use rbqa::logic::parser::parse_cq;
-use rbqa::service::{AnswerRequest, QueryService, RequestMode};
+use rbqa::logic::ConstraintSet;
+use rbqa::prelude::*;
 
 fn university(ud_bound: Option<usize>) -> (Schema, ValueFactory) {
     let mut sig = Signature::new();
@@ -52,9 +50,12 @@ fn main() {
         .unwrap();
     service.attach_dataset(open, data).unwrap();
 
-    // 1. A burst of α-equivalent Decide traffic: every client names its
-    //    variables differently, but one chase serves them all.
-    println!("-- 60 Decide requests, 3 distinct queries, many spellings --");
+    // 1. A burst of α-equivalent Decide traffic, including UCQ requests:
+    //    every client names its variables differently (and orders union
+    //    disjuncts differently), but one chase per distinct problem serves
+    //    them all. Requests are built through the validating builder and
+    //    fanned out as a batch.
+    println!("-- 60 Decide requests, 4 distinct problems, many spellings --");
     let spellings = [
         "Q(n) :- Prof(i, n, '10000')",
         "Q(name) :- Prof(pid, name, '10000')",
@@ -63,15 +64,20 @@ fn main() {
         "Q() :- Udirectory(row, addr, phone)",
         "Q(i) :- Udirectory(i, a, p), Prof(i, n, s)",
         "Q(id) :- Prof(id, nm, sa), Udirectory(id, ad, ph)",
+        // The same UCQ, spelled in both disjunct orders.
+        "Q(n) :- Prof(i, n, '10000') || Q(a) :- Udirectory(i, a, p)",
+        "Q(ad) :- Udirectory(row, ad, ph) || Q(nm) :- Prof(pid, nm, '10000')",
     ];
-    let mut requests = Vec::new();
-    for round in 0..60 {
-        let text = spellings[round % spellings.len()];
-        let mut vf = service.catalog_values(bounded).unwrap();
-        let mut sig = service.catalog_signature(bounded).unwrap();
-        let query = parse_cq(text, &mut sig, &mut vf).unwrap();
-        requests.push(AnswerRequest::decide(bounded, query, vf));
-    }
+    let requests: Vec<AnswerRequest> = (0..60)
+        .map(|round| {
+            service
+                .request(bounded)
+                .query_text(spellings[round % spellings.len()])
+                .decide()
+                .build()
+                .expect("catalog-valid query text")
+        })
+        .collect();
     let responses = service.submit_batch(&requests);
     let answerable = responses
         .iter()
@@ -83,11 +89,11 @@ fn main() {
     //    once, execution per request.
     println!("-- 10 Execute requests for the salary query --");
     for k in 0..10 {
-        let mut vf = service.catalog_values(open).unwrap();
-        let mut sig = service.catalog_signature(open).unwrap();
-        let query = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
         let response = service
-            .submit(&AnswerRequest::execute(open, query, vf))
+            .request(open)
+            .query_text("Q(n) :- Prof(i, n, '10000')")
+            .execute()
+            .submit()
             .unwrap();
         if k == 0 {
             let rows = response.rows.as_ref().unwrap();

@@ -8,6 +8,7 @@
 //!   empirical `validate_plan` harness.
 
 use rbqa::access::{AccessMethod, Schema};
+use rbqa::api::{response_to_json, ServiceApi};
 use rbqa::common::{Signature, ValueFactory};
 use rbqa::engine::dataset::university_instance;
 use rbqa::engine::validate_plan;
@@ -15,7 +16,7 @@ use rbqa::logic::constraints::tgd::inclusion_dependency;
 use rbqa::logic::constraints::ConstraintSet;
 use rbqa::logic::evaluate;
 use rbqa::logic::parser::parse_cq;
-use rbqa::service::{AnswerRequest, QueryService};
+use rbqa::service::{AnswerRequest, QueryService, RequestMode};
 
 /// Example 1.1 schema; `ud_bound` controls the directory result bound.
 fn university_schema(ud_bound: Option<usize>) -> (Schema, ValueFactory) {
@@ -74,6 +75,80 @@ fn alpha_equivalent_decide_requests_share_one_entry_and_skip_the_chase() {
     assert_eq!(metrics.cache_misses, 1);
     assert_eq!(metrics.chase_invocations_saved(), 2);
     assert_eq!(service.cache_len(), 1);
+}
+
+#[test]
+fn ucq_request_round_trips_from_dsl_to_cached_decision_to_json() {
+    // The acceptance path of the v1 API: DSL text → validated request →
+    // decision → JSON response; the α-renamed, disjunct-permuted
+    // resubmission is a pure cache hit with zero extra chase invocations.
+    let service = QueryService::new();
+    let (schema, values) = university_schema(Some(100));
+    let id = service.register_catalog("uni", schema, values).unwrap();
+
+    let first = service
+        .request(id)
+        .query_text("Q(n) :- Prof(i, n, '10000') || Q(a) :- Udirectory(i, a, p)")
+        .decide()
+        .submit()
+        .unwrap();
+    assert!(!first.cache_hit);
+    assert!(!first.is_answerable());
+
+    // α-renamed variables AND swapped disjunct order.
+    let second = service
+        .request(id)
+        .query_text("Q(ad) :- Udirectory(row, ad, ph) || Q(nm) :- Prof(pid, nm, '10000')")
+        .decide()
+        .submit()
+        .unwrap();
+    assert!(second.cache_hit, "permuted α-variant union must hit");
+    assert_eq!(first.fingerprint, second.fingerprint);
+
+    // Zero extra chases: one decision ever computed, one cache entry.
+    let metrics = service.metrics();
+    assert_eq!(metrics.decisions_computed, 1);
+    assert_eq!(metrics.cache_misses, 1);
+    assert_eq!(metrics.chase_invocations_saved(), 1);
+    assert_eq!(service.cache_len(), 1);
+
+    // The wire layer serialises the response as one JSON object with the
+    // stable field vocabulary.
+    let values = service.catalog_values(id).unwrap();
+    let json = response_to_json(&second, RequestMode::Decide, "uni", &values);
+    assert!(json.contains("\"status\":\"ok\""), "{json}");
+    assert!(json.contains("\"answerable\":\"no\""));
+    assert!(json.contains("\"cache_hit\":true"));
+    assert!(json.contains(&format!("\"fingerprint\":\"{}\"", second.fingerprint)));
+}
+
+#[test]
+fn ucq_execute_unions_rows_across_disjunct_plans() {
+    let service = QueryService::new();
+    let (schema, mut values) = university_schema(None);
+    let data = university_instance(schema.signature(), &mut values, 12, 3);
+    let id = service.register_catalog("uni", schema, values).unwrap();
+    service.attach_dataset(id, data.clone()).unwrap();
+
+    let response = service
+        .request(id)
+        .query_text("Q(n) :- Prof(i, n, '10000') || Q(a) :- Udirectory(i, a, p)")
+        .execute()
+        .submit()
+        .unwrap();
+    assert!(response.is_answerable());
+    assert_eq!(response.plans.len(), 2, "one plan per disjunct");
+
+    // Rows are the union of the disjuncts' answers (sorted, deduplicated),
+    // i.e. exactly UnionOfConjunctiveQueries::evaluate on the data.
+    let mut vf = service.catalog_values(id).unwrap();
+    let mut sig = service.catalog_signature(id).unwrap();
+    let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+    let q2 = parse_cq("Q(a) :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
+    let expected =
+        rbqa::logic::UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]).evaluate(&data);
+    assert!(!expected.is_empty());
+    assert_eq!(response.rows.as_deref(), Some(expected.as_slice()));
 }
 
 #[test]
@@ -166,7 +241,7 @@ fn execute_matches_direct_evaluation_and_validate_plan() {
     // And the plan the service executed passes the empirical validation
     // harness on the same instance (all selections, not just the
     // deterministic one used by Execute).
-    let plan = response.plan.as_ref().expect("Execute exposes the plan");
+    let plan = response.plan().expect("Execute exposes the plan");
     let report = validate_plan(&schema, plan, &query, &[data], 2);
     assert!(report.is_valid(), "{:?}", report.discrepancy);
 

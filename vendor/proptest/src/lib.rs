@@ -50,7 +50,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and primitive implementations.
+/// The [`strategy::Strategy`] trait and primitive implementations.
 pub mod strategy {
     use crate::test_runner::TestRng;
 
@@ -167,7 +167,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Acceptable size arguments for [`vec`]: an exact `usize`, a `Range`
+    /// Acceptable size arguments for [`vec()`]: an exact `usize`, a `Range`
     /// or a `RangeInclusive`.
     pub trait IntoSizeRange {
         /// Picks a concrete length.
