@@ -1,0 +1,37 @@
+//! fig_chase_engine: naive vs semi-naive chase on the Table-1 suites.
+//!
+//! Measures the chase of the AMonDet problems that the Decide pipeline
+//! bottoms out in (the same cases as the `chase_report` binary, which
+//! writes the committed `BENCH_chase.json`). The benchmark id encodes
+//! `suite/size/engine`, so Criterion's output directly compares the two
+//! engines per case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_bench::chase_engine_cases;
+use rbqa_chase::{chase, ChaseConfig, ChaseEngine};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_chase_engine");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for case in chase_engine_cases(false) {
+        for engine in [ChaseEngine::Naive, ChaseEngine::SemiNaive] {
+            let config = ChaseConfig::with_budget(case.budget).with_engine(engine);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}/{}", case.label, engine.as_str())),
+                &case,
+                |b, case| {
+                    b.iter(|| {
+                        let mut vf = case.values.clone();
+                        chase(&case.start, &case.constraints, &mut vf, config)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -167,6 +167,154 @@ pub fn records_to_json_pretty(records: &[DecisionRecord]) -> String {
     format!("[\n{}\n]", body.join(",\n"))
 }
 
+// ---------------------------------------------------------------------------
+// Chase-engine comparison harness (fig_chase_engine, chase_report,
+// BENCH_chase.json)
+// ---------------------------------------------------------------------------
+
+use rbqa_chase::{chase, ChaseConfig, ChaseEngine, Completion};
+use rbqa_common::Instance;
+use rbqa_core::{fd_simplification, AmondetProblem, AxiomStyle};
+use rbqa_logic::constraints::ConstraintSet;
+use rbqa_workloads::random::{RandomClass, RandomSchemaConfig};
+
+/// One prepared chase problem of a Table-1 suite: the AMonDet start
+/// instance and constraint set that the decision pipeline would chase for
+/// a chain query over a generated schema of that suite's constraint class.
+#[derive(Debug, Clone)]
+pub struct ChaseCase {
+    /// Suite id, matching DESIGN.md §4 (e.g. `T1-row-IDs`).
+    pub suite: String,
+    /// Case label (schema size / query size).
+    pub label: String,
+    /// The instance the chase starts from.
+    pub start: Instance,
+    /// The constraint set chased over it.
+    pub constraints: ConstraintSet,
+    /// Factory supplying fresh nulls (cloned per run).
+    pub values: ValueFactory,
+    /// The chase budget (depth-capped so cyclic suites terminate).
+    pub budget: Budget,
+}
+
+/// Builds the chase cases compared by the engine benchmark: the AMonDet
+/// chase problems of the cyclic-ID, bounded-width-ID, FD and UID+FD
+/// Table-1 suites. `quick` shrinks the sweep for CI smoke runs.
+pub fn chase_engine_cases(quick: bool) -> Vec<ChaseCase> {
+    let mut cases = Vec::new();
+    let suites: &[(&str, RandomClass, AxiomStyle, usize, &[usize])] = &[
+        (
+            "T1-row-IDs",
+            RandomClass::Ids { width: 2 },
+            AxiomStyle::Simplified,
+            26,
+            &[8, 10, 12],
+        ),
+        (
+            "T1-row-BWIDs",
+            RandomClass::Ids { width: 1 },
+            AxiomStyle::Simplified,
+            44,
+            &[14, 18, 22],
+        ),
+        (
+            "T1-row-FDs",
+            RandomClass::Fds,
+            AxiomStyle::Simplified,
+            48,
+            &[10, 14, 18],
+        ),
+        (
+            "T1-row-UIDFD",
+            RandomClass::UidsAndFds,
+            AxiomStyle::SeparabilityRewriting,
+            30,
+            &[10, 12, 14],
+        ),
+    ];
+    for &(suite, class, style, max_depth, sizes) in suites {
+        let sizes: &[usize] = if quick { &sizes[..1] } else { sizes };
+        for &relations in sizes {
+            let config = RandomSchemaConfig {
+                relations,
+                dependencies: 2 * relations,
+                class,
+                result_bound: 100,
+                ..Default::default()
+            };
+            let mut workload = config.generate(relations as u64);
+            let query = workload
+                .queries
+                .last()
+                .expect("generator emits queries")
+                .clone();
+            // The same schema preparation the Table-1 decision pipeline
+            // applies before chasing (ElimUB plus the class
+            // simplification), so the measured chase is the decision's
+            // actual hot path.
+            let schema_lb = workload.schema.eliminate_upper_bounds();
+            let prepared = match class {
+                RandomClass::Fds => fd_simplification(&schema_lb),
+                _ => schema_lb.choice_simplification(),
+            };
+            let problem = AmondetProblem::build(&prepared, &query, &mut workload.values, style);
+            cases.push(ChaseCase {
+                suite: suite.to_owned(),
+                label: format!("{suite}/rel{relations}"),
+                start: problem.start,
+                constraints: problem.constraints,
+                values: workload.values.clone(),
+                budget: Budget::generous().with_max_depth(max_depth),
+            });
+        }
+    }
+    cases
+}
+
+/// Mean wall-clock time and chase statistics of one engine on one case.
+#[derive(Debug, Clone)]
+pub struct ChaseMeasurement {
+    /// The engine measured.
+    pub engine: ChaseEngine,
+    /// Mean duration over `iters` runs, in microseconds.
+    pub mean_micros: f64,
+    /// Number of timed runs.
+    pub iters: usize,
+    /// How the chase completed (identical across engines by construction).
+    pub completion: Completion,
+    /// Chase rounds of the last run.
+    pub rounds: usize,
+    /// TGD firings of the last run.
+    pub tgd_firings: usize,
+    /// Facts in the chased instance.
+    pub facts: usize,
+}
+
+/// Runs `case` with `engine` `iters` times (after one warm-up run) and
+/// reports the mean duration plus the saturation statistics.
+pub fn measure_chase_case(case: &ChaseCase, engine: ChaseEngine, iters: usize) -> ChaseMeasurement {
+    let config = ChaseConfig::with_budget(case.budget).with_engine(engine);
+    let run = || {
+        let mut vf = case.values.clone();
+        chase(&case.start, &case.constraints, &mut vf, config)
+    };
+    let mut outcome = run(); // warm-up, also the stats sample
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        outcome = run();
+    }
+    let mean_micros = start.elapsed().as_micros() as f64 / iters.max(1) as f64;
+    ChaseMeasurement {
+        engine,
+        mean_micros,
+        iters,
+        completion: outcome.completion,
+        rounds: outcome.stats.rounds,
+        tgd_firings: outcome.stats.tgd_firings,
+        facts: outcome.instance.len(),
+    }
+}
+
 fn truncate(s: &str, max: usize) -> String {
     if s.chars().count() <= max {
         s.to_owned()

@@ -63,6 +63,39 @@ impl Budget {
         self.max_nulls = nulls;
         self
     }
+
+    /// Per-rule, per-round cap on trigger enumeration, derived once from
+    /// the budget: `max_facts + 2` (saturating).
+    ///
+    /// ```
+    /// use rbqa_chase::Budget;
+    /// let budget = Budget::generous().with_max_facts(100);
+    /// assert_eq!(budget.trigger_limit(), 102);
+    /// assert_eq!(Budget::default().trigger_limit(), 100_002);
+    /// ```
+    ///
+    /// Rules with several body atoms can have exponentially many body
+    /// homomorphisms over a large instance; enumerating them all each round
+    /// would turn adversarial inputs (e.g. the naive cardinality
+    /// axiomatisation of the ablation benchmark) into a hang rather than an
+    /// explicit budget exhaustion. A round that finds `max_facts + 2`
+    /// candidate triggers for a *single* rule is already beyond anything the
+    /// fact budget could absorb, so both engines stop enumerating there and
+    /// report the run as [`crate::Completion::BudgetExhausted`]. The `+ 2`
+    /// keeps the cap non-zero (and the truncation flag meaningful) even for
+    /// degenerate `max_facts` values.
+    ///
+    /// The limit is intentionally *independent of the current instance
+    /// size*: it is a per-round work bound, not a remaining-capacity
+    /// estimate. It caps what each engine actually enumerates — all body
+    /// homomorphisms for the naive engine, only delta-restricted ones for
+    /// the semi-naive engine — so the semi-naive engine, which enumerates
+    /// strictly fewer, may saturate on inputs where the naive engine hits
+    /// the cap and reports `BudgetExhausted` (the sound direction; the
+    /// reverse cannot happen).
+    pub fn trigger_limit(&self) -> usize {
+        self.max_facts.saturating_add(2)
+    }
 }
 
 impl Default for Budget {

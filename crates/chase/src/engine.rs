@@ -1,14 +1,61 @@
 //! The restricted chase engine with FD (EGD) handling, depth tracking and
 //! budgets.
+//!
+//! Two interchangeable engines implement the same restricted-chase
+//! semantics (selected via [`ChaseConfig::engine`]):
+//!
+//! * [`ChaseEngine::Naive`] — the textbook engine: every round re-enumerates
+//!   all body homomorphisms of all TGDs against the full instance;
+//! * [`ChaseEngine::SemiNaive`] (the default) — the delta-driven engine of
+//!   [`crate::seminaive`]: a round only re-evaluates rules whose body
+//!   mentions a relation that gained facts, and homomorphism search is
+//!   seeded from the newly derived facts.
+//!
+//! Both engines produce the same [`Completion`] and homomorphically
+//! equivalent instances whenever the budget does not truncate enumeration
+//! (the differential property test in `tests/chase_differential.rs` checks
+//! this on random schemas and constraint sets). At the
+//! [`Budget::trigger_limit`] cap the engines can differ in the sound
+//! direction only: the semi-naive engine enumerates strictly fewer
+//! homomorphisms per round, so it may still saturate where the naive
+//! engine reports [`Completion::BudgetExhausted`] — never the reverse.
 
 use rbqa_common::{Fact, Instance, Value, ValueFactory};
 use rbqa_logic::constraints::ConstraintSet;
 use rbqa_logic::Fd;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::budget::Budget;
 use crate::result::{ChaseOutcome, ChaseStats, Completion};
 use crate::trigger::{active_triggers, head_satisfied, matched_body_facts};
+
+/// Which chase implementation to run. Both engines implement the restricted
+/// chase and agree on [`Completion`] away from the enumeration cap (see the
+/// module docs); they differ only in how triggers are found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseEngine {
+    /// Re-enumerate every body homomorphism of every TGD each round.
+    /// Quadratic in the number of rounds; kept as the differential-testing
+    /// baseline and for the benchmark ablation.
+    Naive,
+    /// Delta-driven (semi-naive) evaluation with indexed trigger matching:
+    /// each round only considers triggers with at least one body atom
+    /// matching a fact derived in the previous round. See
+    /// [`crate::seminaive`].
+    #[default]
+    SemiNaive,
+}
+
+impl ChaseEngine {
+    /// Stable lowercase name, used in benchmark reports and cache
+    /// fingerprints.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChaseEngine::Naive => "naive",
+            ChaseEngine::SemiNaive => "seminaive",
+        }
+    }
+}
 
 /// Configuration of a chase run.
 #[derive(Debug, Clone, Copy)]
@@ -18,6 +65,8 @@ pub struct ChaseConfig {
     /// Whether FDs are chased (value unification). When `false`, FDs in the
     /// constraint set are ignored.
     pub apply_fds: bool,
+    /// Which engine runs the TGD rounds.
+    pub engine: ChaseEngine,
 }
 
 impl Default for ChaseConfig {
@@ -25,17 +74,25 @@ impl Default for ChaseConfig {
         ChaseConfig {
             budget: Budget::default(),
             apply_fds: true,
+            engine: ChaseEngine::default(),
         }
     }
 }
 
 impl ChaseConfig {
-    /// Config with the given budget and FD chasing enabled.
+    /// Config with the given budget, FD chasing enabled and the default
+    /// (semi-naive) engine.
     pub fn with_budget(budget: Budget) -> Self {
         ChaseConfig {
             budget,
-            apply_fds: true,
+            ..ChaseConfig::default()
         }
+    }
+
+    /// Returns a copy using the given engine.
+    pub fn with_engine(mut self, engine: ChaseEngine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -51,9 +108,47 @@ impl ChaseConfig {
 ///   fired head fact has depth one more than the largest depth among the
 ///   facts matched by its trigger). Triggers whose result would exceed
 ///   `budget.max_depth` are not fired; if any such trigger is skipped the
-///   run ends as [`Completion::BudgetExhausted`] instead of
+///   run ends as [`Completion::DepthCapped`] instead of
 ///   [`Completion::Saturated`].
+///
+/// ```
+/// use rbqa_chase::{chase, ChaseConfig};
+/// use rbqa_common::{Instance, Signature, ValueFactory};
+/// use rbqa_logic::constraints::tgd::inclusion_dependency;
+/// use rbqa_logic::constraints::ConstraintSet;
+///
+/// let mut sig = Signature::new();
+/// let r = sig.add_relation("R", 2).unwrap();
+/// let s = sig.add_relation("S", 2).unwrap();
+/// let mut values = ValueFactory::new();
+/// let (a, b) = (values.constant("a"), values.constant("b"));
+/// let mut instance = Instance::new(sig.clone());
+/// instance.insert(r, vec![a, b]).unwrap();
+///
+/// // R(x, y) -> ∃z S(y, z): the chase adds one S-fact with a fresh null.
+/// let mut constraints = ConstraintSet::new();
+/// constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+/// let out = chase(&instance, &constraints, &mut values, ChaseConfig::default());
+/// assert!(out.is_saturated());
+/// assert_eq!(out.instance.relation_len(s), 1);
+/// ```
 pub fn chase(
+    instance: &Instance,
+    constraints: &ConstraintSet,
+    values: &mut ValueFactory,
+    config: ChaseConfig,
+) -> ChaseOutcome {
+    match config.engine {
+        ChaseEngine::Naive => chase_naive(instance, constraints, values, config),
+        ChaseEngine::SemiNaive => {
+            crate::seminaive::chase_seminaive(instance, constraints, values, config)
+        }
+    }
+}
+
+/// The naive engine: each round enumerates all body homomorphisms of all
+/// TGDs against the full current instance.
+fn chase_naive(
     instance: &Instance,
     constraints: &ConstraintSet,
     values: &mut ValueFactory,
@@ -66,18 +161,19 @@ pub fn chase(
 
     // Apply the FDs once before any TGD round so that the input instance is
     // already consistent.
-    if config.apply_fds {
-        match apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats) {
-            Ok(()) => {}
-            Err(()) => {
-                return ChaseOutcome {
-                    instance: current,
-                    completion: Completion::FdFailure,
-                    stats,
-                };
-            }
-        }
+    if config.apply_fds
+        && apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats).is_err()
+    {
+        return ChaseOutcome {
+            instance: current,
+            completion: Completion::FdFailure,
+            stats,
+        };
     }
+
+    // Per-rule, per-round cap on trigger enumeration, derived once from the
+    // budget (see `Budget::trigger_limit` for the formula and rationale).
+    let trigger_limit = budget.trigger_limit();
 
     loop {
         if stats.rounds >= budget.max_rounds {
@@ -90,17 +186,13 @@ pub fn chase(
         stats.rounds += 1;
 
         // Collect the active triggers against the instance at the start of
-        // the round. Trigger enumeration per rule is capped: rules with many
-        // body atoms can have exponentially many homomorphisms, and the cap
-        // turns that into an explicit budget exhaustion instead of a hang.
+        // the round. Rules with many body atoms can have exponentially many
+        // homomorphisms; reaching the enumeration cap turns that into an
+        // explicit budget exhaustion instead of a hang.
         let mut skipped_for_depth = false;
         let mut fired_any = false;
         let mut over_budget = false;
 
-        let trigger_limit = budget
-            .max_facts
-            .saturating_sub(current.len())
-            .saturating_add(2);
         let mut triggers = Vec::new();
         for (i, tgd) in constraints.tgds().iter().enumerate() {
             let (mut found, truncated) = active_triggers(tgd, i, &current, trigger_limit);
@@ -118,54 +210,23 @@ pub fn chase(
             if head_satisfied(tgd, &current, &trigger.assignment) {
                 continue;
             }
-            // Depth of the new facts.
-            let body_facts = matched_body_facts(tgd, &trigger.assignment);
-            let body_depth = body_facts
-                .iter()
-                .map(|(rel, tuple)| {
-                    depths
-                        .get(&Fact::new(*rel, tuple.clone()))
-                        .copied()
-                        .unwrap_or(0)
-                })
-                .max()
-                .unwrap_or(0);
-            let new_depth = body_depth + 1;
-            if new_depth > budget.max_depth {
-                skipped_for_depth = true;
-                continue;
-            }
-
-            // Extend the assignment with fresh nulls for the existential
-            // variables, then add every head atom.
-            let mut assignment = trigger.assignment.clone();
-            for v in tgd.existential_variables() {
-                if stats.nulls_created >= budget.max_nulls {
+            match fire_trigger(
+                tgd,
+                &trigger.assignment,
+                &mut current,
+                &mut depths,
+                &mut stats,
+                values,
+                budget,
+                None,
+            ) {
+                FireResult::Fired => fired_any = true,
+                FireResult::SkippedForDepth => skipped_for_depth = true,
+                FireResult::OverBudget => {
                     over_budget = true;
                     break;
                 }
-                assignment.insert(v, values.fresh_null());
-                stats.nulls_created += 1;
             }
-            if over_budget {
-                break;
-            }
-            for atom in tgd.head() {
-                let tuple: Vec<Value> = atom
-                    .instantiate(&assignment)
-                    .expect("all head variables are assigned");
-                let fact = Fact::new(atom.relation(), tuple.clone());
-                if current
-                    .insert(atom.relation(), tuple)
-                    .expect("head atoms respect the signature")
-                {
-                    depths.entry(fact).or_insert(new_depth);
-                    stats.max_depth_reached = stats.max_depth_reached.max(new_depth);
-                }
-            }
-            stats.tgd_firings += 1;
-            fired_any = true;
-
             if current.len() > budget.max_facts {
                 over_budget = true;
                 break;
@@ -173,17 +234,15 @@ pub fn chase(
         }
 
         // Re-establish the FDs after the round.
-        if config.apply_fds {
-            match apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats) {
-                Ok(()) => {}
-                Err(()) => {
-                    return ChaseOutcome {
-                        instance: current,
-                        completion: Completion::FdFailure,
-                        stats,
-                    };
-                }
-            }
+        if config.apply_fds
+            && apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats)
+                .is_err()
+        {
+            return ChaseOutcome {
+                instance: current,
+                completion: Completion::FdFailure,
+                stats,
+            };
         }
 
         if over_budget {
@@ -206,6 +265,80 @@ pub fn chase(
             };
         }
     }
+}
+
+/// Outcome of attempting to fire one trigger.
+pub(crate) enum FireResult {
+    /// Head facts were added (or re-confirmed present).
+    Fired,
+    /// The new facts would exceed `budget.max_depth`; nothing was added.
+    SkippedForDepth,
+    /// The null budget was exhausted mid-firing.
+    OverBudget,
+}
+
+/// Fires `tgd` on `assignment`: computes the derivation depth from the
+/// matched body facts, draws fresh nulls for the existential variables and
+/// inserts every head atom. Newly inserted facts are also recorded in
+/// `new_facts` when provided (the semi-naive engine's delta). Shared by
+/// both engines so that depth bookkeeping and budget checks cannot drift
+/// apart.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fire_trigger(
+    tgd: &rbqa_logic::Tgd,
+    assignment: &rbqa_logic::homomorphism::Homomorphism,
+    current: &mut Instance,
+    depths: &mut FxHashMap<Fact, usize>,
+    stats: &mut ChaseStats,
+    values: &mut ValueFactory,
+    budget: Budget,
+    mut new_facts: Option<&mut FxHashSet<Fact>>,
+) -> FireResult {
+    // Depth of the new facts.
+    let body_facts = matched_body_facts(tgd, assignment);
+    let body_depth = body_facts
+        .iter()
+        .map(|(rel, tuple)| {
+            depths
+                .get(&Fact::new(*rel, tuple.clone()))
+                .copied()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
+    let new_depth = body_depth + 1;
+    if new_depth > budget.max_depth {
+        return FireResult::SkippedForDepth;
+    }
+
+    // Extend the assignment with fresh nulls for the existential variables,
+    // then add every head atom.
+    let mut assignment = assignment.clone();
+    for v in tgd.existential_variables() {
+        if stats.nulls_created >= budget.max_nulls {
+            return FireResult::OverBudget;
+        }
+        assignment.insert(v, values.fresh_null());
+        stats.nulls_created += 1;
+    }
+    for atom in tgd.head() {
+        let tuple: Vec<Value> = atom
+            .instantiate(&assignment)
+            .expect("all head variables are assigned");
+        let fact = Fact::new(atom.relation(), tuple.clone());
+        if current
+            .insert(atom.relation(), tuple)
+            .expect("head atoms respect the signature")
+        {
+            depths.entry(fact.clone()).or_insert(new_depth);
+            stats.max_depth_reached = stats.max_depth_reached.max(new_depth);
+            if let Some(delta) = new_facts.as_deref_mut() {
+                delta.insert(fact);
+            }
+        }
+    }
+    stats.tgd_firings += 1;
+    FireResult::Fired
 }
 
 /// Union-find over values used by the FD chase.
@@ -256,16 +389,50 @@ impl UnionFind {
     }
 }
 
-/// Applies the FDs as EGDs until no violation remains. Returns `Err(())` on
-/// a hard failure (two distinct constants equated).
-fn apply_fds_to_fixpoint(
+/// The value substitution and changed-fact set produced by one run of the
+/// FD fixpoint. Consumed by the semi-naive engine, which must rewrite its
+/// delta and deferred triggers whenever values are merged.
+#[derive(Debug, Default)]
+pub(crate) struct FdRewrite {
+    /// The composed substitution over all fixpoint iterations (empty when
+    /// no values were merged).
+    pub subst: FxHashMap<Value, Value>,
+    /// Facts of the *final* instance that were rewritten, or into which two
+    /// pre-rewrite facts collapsed (their recorded depth may have
+    /// decreased). Every trigger knowledge derived from these facts is
+    /// stale and must be re-examined.
+    pub changed: FxHashSet<Fact>,
+}
+
+impl FdRewrite {
+    /// Whether any value was merged.
+    pub fn rewrote(&self) -> bool {
+        !self.subst.is_empty()
+    }
+
+    /// Applies the substitution to one fact.
+    pub fn map_fact(&self, fact: &Fact) -> Fact {
+        let args: Vec<Value> = fact
+            .args()
+            .iter()
+            .map(|v| *self.subst.get(v).unwrap_or(v))
+            .collect();
+        Fact::new(fact.relation(), args)
+    }
+}
+
+/// Applies the FDs as EGDs until no violation remains. Returns the
+/// substitution and changed-fact tracking on success and `Err(())` on a
+/// hard failure (two distinct constants equated).
+pub(crate) fn apply_fds_to_fixpoint(
     instance: &mut Instance,
     fds: &[Fd],
     depths: &mut FxHashMap<Fact, usize>,
     stats: &mut ChaseStats,
-) -> Result<(), ()> {
+) -> Result<FdRewrite, ()> {
+    let mut rewrite = FdRewrite::default();
     if fds.is_empty() {
-        return Ok(());
+        return Ok(rewrite);
     }
     loop {
         let mut uf = UnionFind::new();
@@ -287,7 +454,7 @@ fn apply_fds_to_fixpoint(
             }
         }
         if !merged_any {
-            return Ok(());
+            return Ok(rewrite);
         }
         // Build the substitution and rewrite the instance and depth map.
         let dom = instance.active_domain();
@@ -299,21 +466,58 @@ fn apply_fds_to_fixpoint(
             }
         }
         if subst.is_empty() {
-            return Ok(());
+            return Ok(rewrite);
         }
         *instance = instance.map_values(&subst);
         let mut new_depths: FxHashMap<Fact, usize> = FxHashMap::default();
+        let mut changed_now: FxHashSet<Fact> = FxHashSet::default();
         for (fact, depth) in depths.iter() {
             let args: Vec<Value> = fact
                 .args()
                 .iter()
                 .map(|v| *subst.get(v).unwrap_or(v))
                 .collect();
+            let fact_changed = args != fact.args();
             let new_fact = Fact::new(fact.relation(), args);
-            let entry = new_depths.entry(new_fact).or_insert(*depth);
-            *entry = (*entry).min(*depth);
+            match new_depths.entry(new_fact.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    // Two pre-rewrite facts collapsed: the surviving fact's
+                    // depth is the minimum, and triggers computed from
+                    // either original are stale.
+                    changed_now.insert(new_fact);
+                    if *e.get() > *depth {
+                        e.insert(*depth);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(*depth);
+                    if fact_changed {
+                        changed_now.insert(new_fact);
+                    }
+                }
+            }
         }
         *depths = new_depths;
+
+        // Fold this iteration's substitution into the composed rewrite.
+        for v in rewrite.subst.values_mut() {
+            if let Some(next) = subst.get(v) {
+                *v = *next;
+            }
+        }
+        for (k, v) in &subst {
+            rewrite.subst.entry(*k).or_insert(*v);
+        }
+        let prior: Vec<Fact> = rewrite.changed.drain().collect();
+        for fact in prior {
+            let args: Vec<Value> = fact
+                .args()
+                .iter()
+                .map(|v| *subst.get(v).unwrap_or(v))
+                .collect();
+            rewrite.changed.insert(Fact::new(fact.relation(), args));
+        }
+        rewrite.changed.extend(changed_now);
     }
 }
 
@@ -331,177 +535,358 @@ mod tests {
         (sig, r, s)
     }
 
+    /// Runs every engine-parametrised test under both engines.
+    fn both_engines(check: impl Fn(ChaseEngine)) {
+        check(ChaseEngine::Naive);
+        check(ChaseEngine::SemiNaive);
+    }
+
     #[test]
     fn chase_terminates_on_acyclic_ids() {
-        let (sig, r, s) = sig2();
-        let mut vf = ValueFactory::new();
-        let a = vf.constant("a");
-        let b = vf.constant("b");
-        let mut inst = Instance::new(sig.clone());
-        inst.insert(r, vec![a, b]).unwrap();
+        both_engines(|engine| {
+            let (sig, r, s) = sig2();
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let mut inst = Instance::new(sig.clone());
+            inst.insert(r, vec![a, b]).unwrap();
 
-        let mut constraints = ConstraintSet::new();
-        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+            let mut constraints = ConstraintSet::new();
+            constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
 
-        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
-        assert!(out.is_saturated());
-        assert_eq!(out.instance.relation_len(s), 1);
-        assert_eq!(out.stats.tgd_firings, 1);
-        assert_eq!(out.stats.nulls_created, 1);
-        // The new S-fact carries b forward and a fresh null.
-        let s_fact = out.instance.tuples(s).next().unwrap();
-        assert_eq!(s_fact[0], b);
-        assert!(s_fact[1].is_null());
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::default().with_engine(engine),
+            );
+            assert!(out.is_saturated());
+            assert_eq!(out.instance.relation_len(s), 1);
+            assert_eq!(out.stats.tgd_firings, 1);
+            assert_eq!(out.stats.nulls_created, 1);
+            // The new S-fact carries b forward and a fresh null.
+            let s_fact = out.instance.tuples(s).next().unwrap();
+            assert_eq!(s_fact[0], b);
+            assert!(s_fact[1].is_null());
+        });
     }
 
     #[test]
     fn chase_is_restricted_no_redundant_witnesses() {
-        let (sig, r, s) = sig2();
-        let mut vf = ValueFactory::new();
-        let a = vf.constant("a");
-        let b = vf.constant("b");
-        let c = vf.constant("c");
-        let mut inst = Instance::new(sig.clone());
-        inst.insert(r, vec![a, b]).unwrap();
-        inst.insert(s, vec![b, c]).unwrap(); // head already satisfied
+        both_engines(|engine| {
+            let (sig, r, s) = sig2();
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let c = vf.constant("c");
+            let mut inst = Instance::new(sig.clone());
+            inst.insert(r, vec![a, b]).unwrap();
+            inst.insert(s, vec![b, c]).unwrap(); // head already satisfied
 
-        let mut constraints = ConstraintSet::new();
-        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+            let mut constraints = ConstraintSet::new();
+            constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
 
-        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
-        assert!(out.is_saturated());
-        assert_eq!(out.stats.tgd_firings, 0);
-        assert_eq!(out.instance.len(), 2);
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::default().with_engine(engine),
+            );
+            assert!(out.is_saturated());
+            assert_eq!(out.stats.tgd_firings, 0);
+            assert_eq!(out.instance.len(), 2);
+        });
     }
 
     #[test]
     fn cyclic_ids_hit_budget() {
-        // R(x, y) -> ∃z S(y, z) and S(x, y) -> ∃z R(y, z): infinite chase.
-        let (sig, r, s) = sig2();
-        let mut vf = ValueFactory::new();
-        let a = vf.constant("a");
-        let b = vf.constant("b");
-        let mut inst = Instance::new(sig.clone());
-        inst.insert(r, vec![a, b]).unwrap();
+        both_engines(|engine| {
+            // R(x, y) -> ∃z S(y, z) and S(x, y) -> ∃z R(y, z): infinite chase.
+            let (sig, r, s) = sig2();
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let mut inst = Instance::new(sig.clone());
+            inst.insert(r, vec![a, b]).unwrap();
 
-        let mut constraints = ConstraintSet::new();
-        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
-        constraints.push_tgd(inclusion_dependency(&sig, s, &[1], r, &[0]));
+            let mut constraints = ConstraintSet::new();
+            constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+            constraints.push_tgd(inclusion_dependency(&sig, s, &[1], r, &[0]));
 
-        let budget = Budget::small().with_max_depth(6);
-        let out = chase(
-            &inst,
-            &constraints,
-            &mut vf,
-            ChaseConfig::with_budget(budget),
-        );
-        assert_eq!(out.completion, Completion::DepthCapped);
-        assert!(out.stats.max_depth_reached <= 6);
-        assert!(out.instance.len() > 2);
+            let budget = Budget::small().with_max_depth(6);
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::with_budget(budget).with_engine(engine),
+            );
+            assert_eq!(out.completion, Completion::DepthCapped);
+            assert!(out.stats.max_depth_reached <= 6);
+            assert!(out.instance.len() > 2);
+        });
     }
 
     #[test]
     fn fd_chase_unifies_nulls() {
-        // S(x, y) with FD 0 -> 1: two facts S(a, n) and S(a, b) must unify
-        // n with b.
-        let (sig, _r, s) = sig2();
-        let mut vf = ValueFactory::new();
-        let a = vf.constant("a");
-        let b = vf.constant("b");
-        let n = vf.fresh_null();
-        let mut inst = Instance::new(sig.clone());
-        inst.insert(s, vec![a, n]).unwrap();
-        inst.insert(s, vec![a, b]).unwrap();
+        both_engines(|engine| {
+            // S(x, y) with FD 0 -> 1: two facts S(a, n) and S(a, b) must
+            // unify n with b.
+            let (sig, _r, s) = sig2();
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let n = vf.fresh_null();
+            let mut inst = Instance::new(sig.clone());
+            inst.insert(s, vec![a, n]).unwrap();
+            inst.insert(s, vec![a, b]).unwrap();
 
-        let mut constraints = ConstraintSet::new();
-        constraints.push_fd(Fd::new(s, vec![0], 1));
+            let mut constraints = ConstraintSet::new();
+            constraints.push_fd(Fd::new(s, vec![0], 1));
 
-        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
-        assert!(out.is_saturated());
-        assert_eq!(out.instance.len(), 1);
-        assert!(out.instance.contains(s, &[a, b]));
-        assert!(out.stats.fd_unifications >= 1);
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::default().with_engine(engine),
+            );
+            assert!(out.is_saturated());
+            assert_eq!(out.instance.len(), 1);
+            assert!(out.instance.contains(s, &[a, b]));
+            assert!(out.stats.fd_unifications >= 1);
+        });
     }
 
     #[test]
     fn fd_chase_fails_on_distinct_constants() {
-        let (sig, _r, s) = sig2();
-        let mut vf = ValueFactory::new();
-        let a = vf.constant("a");
-        let b = vf.constant("b");
-        let c = vf.constant("c");
-        let mut inst = Instance::new(sig.clone());
-        inst.insert(s, vec![a, b]).unwrap();
-        inst.insert(s, vec![a, c]).unwrap();
+        both_engines(|engine| {
+            let (sig, _r, s) = sig2();
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let c = vf.constant("c");
+            let mut inst = Instance::new(sig.clone());
+            inst.insert(s, vec![a, b]).unwrap();
+            inst.insert(s, vec![a, c]).unwrap();
 
-        let mut constraints = ConstraintSet::new();
-        constraints.push_fd(Fd::new(s, vec![0], 1));
+            let mut constraints = ConstraintSet::new();
+            constraints.push_fd(Fd::new(s, vec![0], 1));
 
-        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
-        assert!(out.is_fd_failure());
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::default().with_engine(engine),
+            );
+            assert!(out.is_fd_failure());
+        });
     }
 
     #[test]
     fn fds_ignored_when_disabled() {
-        let (sig, _r, s) = sig2();
-        let mut vf = ValueFactory::new();
-        let a = vf.constant("a");
-        let b = vf.constant("b");
-        let c = vf.constant("c");
-        let mut inst = Instance::new(sig.clone());
-        inst.insert(s, vec![a, b]).unwrap();
-        inst.insert(s, vec![a, c]).unwrap();
+        both_engines(|engine| {
+            let (sig, _r, s) = sig2();
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let c = vf.constant("c");
+            let mut inst = Instance::new(sig.clone());
+            inst.insert(s, vec![a, b]).unwrap();
+            inst.insert(s, vec![a, c]).unwrap();
 
-        let mut constraints = ConstraintSet::new();
-        constraints.push_fd(Fd::new(s, vec![0], 1));
+            let mut constraints = ConstraintSet::new();
+            constraints.push_fd(Fd::new(s, vec![0], 1));
 
-        let config = ChaseConfig {
-            budget: Budget::default(),
-            apply_fds: false,
-        };
-        let out = chase(&inst, &constraints, &mut vf, config);
-        assert!(out.is_saturated());
-        assert_eq!(out.instance.len(), 2);
+            let config = ChaseConfig {
+                budget: Budget::default(),
+                apply_fds: false,
+                engine,
+            };
+            let out = chase(&inst, &constraints, &mut vf, config);
+            assert!(out.is_saturated());
+            assert_eq!(out.instance.len(), 2);
+        });
     }
 
     #[test]
     fn interaction_of_tgds_and_fds() {
-        // R(x, y) -> ∃z S(x, z); FD S: 0 -> 1. Chasing R(a, b) and S(a, c)
-        // does not fire the TGD (restricted chase); chasing R(a, b) alone
-        // creates S(a, n) which stays.
-        let (sig, r, s) = sig2();
-        let mut vf = ValueFactory::new();
-        let a = vf.constant("a");
-        let b = vf.constant("b");
-        let c = vf.constant("c");
+        both_engines(|engine| {
+            // R(x, y) -> ∃z S(x, z); FD S: 0 -> 1. Chasing R(a, b) and
+            // S(a, c) does not fire the TGD (restricted chase); chasing
+            // R(a, b) alone creates S(a, n) which stays.
+            let (sig, r, s) = sig2();
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let c = vf.constant("c");
 
-        let mut constraints = ConstraintSet::new();
-        constraints.push_tgd(inclusion_dependency(&sig, r, &[0], s, &[0]));
-        constraints.push_fd(Fd::new(s, vec![0], 1));
+            let mut constraints = ConstraintSet::new();
+            constraints.push_tgd(inclusion_dependency(&sig, r, &[0], s, &[0]));
+            constraints.push_fd(Fd::new(s, vec![0], 1));
 
-        let mut with_s = Instance::new(sig.clone());
-        with_s.insert(r, vec![a, b]).unwrap();
-        with_s.insert(s, vec![a, c]).unwrap();
-        let out = chase(&with_s, &constraints, &mut vf, ChaseConfig::default());
-        assert!(out.is_saturated());
-        assert_eq!(out.instance.len(), 2);
+            let mut with_s = Instance::new(sig.clone());
+            with_s.insert(r, vec![a, b]).unwrap();
+            with_s.insert(s, vec![a, c]).unwrap();
+            let out = chase(
+                &with_s,
+                &constraints,
+                &mut vf,
+                ChaseConfig::default().with_engine(engine),
+            );
+            assert!(out.is_saturated());
+            assert_eq!(out.instance.len(), 2);
 
-        let mut without_s = Instance::new(sig.clone());
-        without_s.insert(r, vec![a, b]).unwrap();
-        let out = chase(&without_s, &constraints, &mut vf, ChaseConfig::default());
-        assert!(out.is_saturated());
-        assert_eq!(out.instance.relation_len(s), 1);
+            let mut without_s = Instance::new(sig.clone());
+            without_s.insert(r, vec![a, b]).unwrap();
+            let out = chase(
+                &without_s,
+                &constraints,
+                &mut vf,
+                ChaseConfig::default().with_engine(engine),
+            );
+            assert!(out.is_saturated());
+            assert_eq!(out.instance.relation_len(s), 1);
+        });
     }
 
     #[test]
     fn full_tgd_closure() {
-        // Transitivity-like full TGD: R(x, y), R(y, z) -> R(x, z) over a
-        // chain of length 3 produces the full transitive closure.
+        both_engines(|engine| {
+            // Transitivity-like full TGD: R(x, y), R(y, z) -> R(x, z) over a
+            // chain of length 3 produces the full transitive closure.
+            let (sig, r, _s) = sig2();
+            let mut vf = ValueFactory::new();
+            let v: Vec<_> = (0..4).map(|i| vf.constant(&format!("v{i}"))).collect();
+            let mut inst = Instance::new(sig.clone());
+            for i in 0..3 {
+                inst.insert(r, vec![v[i], v[i + 1]]).unwrap();
+            }
+            let mut b = TgdBuilder::new();
+            let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+            b.body_atom(r, vec![Term::Var(x), Term::Var(y)]);
+            b.body_atom(r, vec![Term::Var(y), Term::Var(z)]);
+            b.head_atom(r, vec![Term::Var(x), Term::Var(z)]);
+            let mut constraints = ConstraintSet::new();
+            constraints.push_tgd(b.build());
+
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::default().with_engine(engine),
+            );
+            assert!(out.is_saturated());
+            // Closure of a 3-edge chain has 3 + 2 + 1 = 6 edges.
+            assert_eq!(out.instance.relation_len(r), 6);
+            assert_eq!(out.stats.nulls_created, 0);
+        });
+    }
+
+    #[test]
+    fn trigger_limit_truncation_is_budget_exhaustion() {
+        // Pin the truncation contract of `Budget::trigger_limit`: a rule
+        // whose per-round (delta-restricted, for the semi-naive engine)
+        // body-homomorphism count reaches `max_facts + 2` ends the run as
+        // `BudgetExhausted`, never as a silent hang or a fake saturation.
+        both_engines(|engine| {
+            let (sig, r, _s) = sig2();
+            let mut vf = ValueFactory::new();
+            let v: Vec<_> = (0..4).map(|i| vf.constant(&format!("v{i}"))).collect();
+            let mut inst = Instance::new(sig.clone());
+            for &x in &v {
+                for &y in &v {
+                    inst.insert(r, vec![x, y]).unwrap(); // complete digraph: 16 facts
+                }
+            }
+            // R(x, y), R(y, z) -> R(x, z): already closed (64 body homs, no
+            // new facts), so the only way the run can end is saturation —
+            // unless the enumeration cap truncates it.
+            let mut b = TgdBuilder::new();
+            let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+            b.body_atom(r, vec![Term::Var(x), Term::Var(y)]);
+            b.body_atom(r, vec![Term::Var(y), Term::Var(z)]);
+            b.head_atom(r, vec![Term::Var(x), Term::Var(z)]);
+            let mut constraints = ConstraintSet::new();
+            constraints.push_tgd(b.build());
+
+            // 64 homs < trigger_limit = 100 + 2: saturates.
+            let roomy = Budget::generous().with_max_facts(100);
+            assert_eq!(roomy.trigger_limit(), 102);
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::with_budget(roomy).with_engine(engine),
+            );
+            assert!(out.is_saturated());
+            assert_eq!(out.instance.len(), 16);
+
+            // 64 homs >= trigger_limit = 30 + 2: explicit exhaustion.
+            let tight = Budget::generous().with_max_facts(30);
+            assert_eq!(tight.trigger_limit(), 32);
+            let out = chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::with_budget(tight).with_engine(engine),
+            );
+            assert_eq!(out.completion, Completion::BudgetExhausted);
+        });
+    }
+
+    #[test]
+    fn engines_agree_at_the_rounds_budget_edge() {
+        // Regression: the semi-naive engine must not spend an extra round
+        // re-examining triggers it deferred in the same round, or a
+        // depth-capped run finishing exactly at `max_rounds` would come
+        // back BudgetExhausted from one engine and DepthCapped from the
+        // other. Cyclic IDs with depth cap 4 finish in exactly 5 rounds
+        // (4 firing rounds + 1 quiescent round) on both engines.
+        let (sig, r, s) = sig2();
+        let mut constraints = ConstraintSet::new();
+        constraints.push_tgd(inclusion_dependency(&sig, r, &[1], s, &[0]));
+        constraints.push_tgd(inclusion_dependency(&sig, s, &[1], r, &[0]));
+
+        let run = |engine: ChaseEngine, max_rounds: usize| {
+            let mut vf = ValueFactory::new();
+            let a = vf.constant("a");
+            let b = vf.constant("b");
+            let mut inst = Instance::new(sig.clone());
+            inst.insert(r, vec![a, b]).unwrap();
+            let budget = Budget::generous()
+                .with_max_depth(4)
+                .with_max_rounds(max_rounds);
+            chase(
+                &inst,
+                &constraints,
+                &mut vf,
+                ChaseConfig::with_budget(budget).with_engine(engine),
+            )
+        };
+        for max_rounds in [5, 6, 50] {
+            let naive = run(ChaseEngine::Naive, max_rounds);
+            let semi = run(ChaseEngine::SemiNaive, max_rounds);
+            assert_eq!(naive.completion, semi.completion, "max_rounds={max_rounds}");
+            assert_eq!(
+                naive.stats.rounds, semi.stats.rounds,
+                "max_rounds={max_rounds}"
+            );
+            assert_eq!(naive.completion, Completion::DepthCapped);
+        }
+    }
+
+    #[test]
+    fn seminaive_truncation_diverges_soundly_at_the_trigger_cap() {
+        // Documented, intended divergence (see `Budget::trigger_limit`):
+        // the cap applies to what each engine enumerates. Transitivity over
+        // a 20-edge chain closes at 210 facts, but late naive rounds
+        // re-enumerate > 1002 body homomorphisms and truncate, while the
+        // semi-naive engine's delta enumeration stays under the cap and
+        // saturates. The divergence is only ever in this direction.
         let (sig, r, _s) = sig2();
         let mut vf = ValueFactory::new();
-        let v: Vec<_> = (0..4).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let v: Vec<_> = (0..21).map(|i| vf.constant(&format!("v{i}"))).collect();
         let mut inst = Instance::new(sig.clone());
-        for i in 0..3 {
+        for i in 0..20 {
             inst.insert(r, vec![v[i], v[i + 1]]).unwrap();
         }
         let mut b = TgdBuilder::new();
@@ -512,10 +897,31 @@ mod tests {
         let mut constraints = ConstraintSet::new();
         constraints.push_tgd(b.build());
 
-        let out = chase(&inst, &constraints, &mut vf, ChaseConfig::default());
-        assert!(out.is_saturated());
-        // Closure of a 3-edge chain has 3 + 2 + 1 = 6 edges.
-        assert_eq!(out.instance.relation_len(r), 6);
-        assert_eq!(out.stats.nulls_created, 0);
+        let budget = Budget::generous().with_max_facts(1000);
+        let naive = chase(
+            &inst,
+            &constraints,
+            &mut vf.clone(),
+            ChaseConfig::with_budget(budget).with_engine(ChaseEngine::Naive),
+        );
+        let semi = chase(
+            &inst,
+            &constraints,
+            &mut vf.clone(),
+            ChaseConfig::with_budget(budget).with_engine(ChaseEngine::SemiNaive),
+        );
+        assert_eq!(naive.completion, Completion::BudgetExhausted);
+        assert_eq!(semi.completion, Completion::Saturated);
+        // 20 + 19 + ... + 1 = 210 facts either way: the naive run had in
+        // fact finished the closure before its enumeration cap tripped.
+        assert_eq!(semi.instance.relation_len(r), 210);
+        assert_eq!(naive.instance.relation_len(r), 210);
+    }
+
+    #[test]
+    fn engine_default_is_seminaive() {
+        assert_eq!(ChaseConfig::default().engine, ChaseEngine::SemiNaive);
+        assert_eq!(ChaseEngine::Naive.as_str(), "naive");
+        assert_eq!(ChaseEngine::SemiNaive.as_str(), "seminaive");
     }
 }

@@ -15,7 +15,9 @@
 //! bound (or the chase saturates earlier), and [`Verdict::Unknown`] is
 //! returned when the budget stops exploration before that.
 
-use rbqa_chase::{Budget, ChaseConfig};
+#[cfg(test)]
+use rbqa_chase::Budget;
+use rbqa_chase::ChaseConfig;
 use rbqa_common::ValueFactory;
 
 use crate::generic::decide_with_completeness;
@@ -77,23 +79,26 @@ pub fn completeness_depth_for(
 /// Decides `problem` (whose TGDs should be linear — IDs or linearized rules)
 /// with a depth-bounded chase.
 ///
-/// The depth used is `min(bound, budget.max_depth)` where `bound` is the
-/// semi-width depth bound computed from the constraint set (using the
+/// The depth used is `min(bound, config.budget.max_depth)` where `bound` is
+/// the semi-width depth bound computed from the constraint set (using the
 /// smallest `w` for which the greedy semi-width decomposition succeeds, and
 /// falling back to the maximal width otherwise). The outcome's `complete`
 /// flag records whether the explored depth reached the bound.
 pub fn decide_bounded_depth(
     problem: &ContainmentProblem,
     values: &mut ValueFactory,
-    budget: Budget,
+    config: ChaseConfig,
 ) -> ContainmentOutcome {
     let bound = completeness_depth_for(
         problem.constraints.tgds(),
         problem.rhs.size(),
         problem.signature.max_arity(),
     );
-    let depth = bound.min(budget.max_depth);
-    let config = ChaseConfig::with_budget(budget.with_max_depth(depth));
+    let depth = bound.min(config.budget.max_depth);
+    let config = ChaseConfig {
+        budget: config.budget.with_max_depth(depth),
+        ..config
+    };
     let mut outcome = decide_with_completeness(problem, values, config, Some(bound));
     // `decide_with_completeness` flags completeness when max_depth >= bound;
     // saturation also certifies it. Nothing further to adjust, but make the
@@ -144,7 +149,11 @@ mod tests {
             rhs,
             constraints,
         };
-        let out = decide_bounded_depth(&problem, &mut vf, Budget::generous());
+        let out = decide_bounded_depth(
+            &problem,
+            &mut vf,
+            ChaseConfig::with_budget(Budget::generous()),
+        );
         assert_eq!(out.verdict, Verdict::DoesNotHold);
         assert!(out.complete);
     }
@@ -167,7 +176,11 @@ mod tests {
             rhs,
             constraints,
         };
-        let out = decide_bounded_depth(&problem, &mut vf, Budget::generous());
+        let out = decide_bounded_depth(
+            &problem,
+            &mut vf,
+            ChaseConfig::with_budget(Budget::generous()),
+        );
         assert_eq!(out.verdict, Verdict::Holds);
     }
 
@@ -203,11 +216,15 @@ mod tests {
             max_depth: 1,
             max_nulls: 3,
         };
-        let out = decide_bounded_depth(&problem, &mut vf, budget);
+        let out = decide_bounded_depth(&problem, &mut vf, ChaseConfig::with_budget(budget));
         assert_eq!(out.verdict, Verdict::Unknown);
 
         // And with a real budget it is found to hold.
-        let out = decide_bounded_depth(&problem, &mut vf, Budget::generous());
+        let out = decide_bounded_depth(
+            &problem,
+            &mut vf,
+            ChaseConfig::with_budget(Budget::generous()),
+        );
         assert_eq!(out.verdict, Verdict::Holds);
     }
 }

@@ -23,6 +23,43 @@
 //!   Appendix E.3.5: simulating the chase of bounded-width IDs together with
 //!   accessibility axioms by linear dependencies of bounded semi-width over
 //!   an expanded signature.
+//!
+//! Every procedure takes a [`rbqa_chase::ChaseConfig`], so callers choose
+//! the budget **and the engine** (naive or the default delta-driven
+//! semi-naive one — see [`rbqa_chase::ChaseEngine`]). Both engines are
+//! sound; whenever both finish within budget they agree on the verdict.
+//! Near the budget edge they may differ in the sound direction only: the
+//! semi-naive engine enumerates strictly less per round, so it can return
+//! a definitive verdict where the naive engine exhausts its budget and
+//! reports [`Verdict::Unknown`] — which is also why the engine choice is
+//! part of the service-layer cache fingerprint.
+//!
+//! ```
+//! use rbqa_chase::{Budget, ChaseConfig};
+//! use rbqa_common::{Signature, ValueFactory};
+//! use rbqa_containment::{decide, ContainmentProblem, Verdict};
+//! use rbqa_logic::constraints::ConstraintSet;
+//! use rbqa_logic::parser::{parse_cq, parse_tgd};
+//!
+//! // Σ: Udirectory(i, a, p) -> Prof(i, n, s)  (Example 1.1's referential
+//! // constraint, reversed). Then ∃ Udirectory ⊆_Σ ∃ Prof.
+//! let mut sig = Signature::new();
+//! let mut values = ValueFactory::new();
+//! let lhs = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut values).unwrap();
+//! let rhs = parse_cq("Q() :- Prof(i2, n, s)", &mut sig, &mut values).unwrap();
+//! let tgd = parse_tgd("Udirectory(i, a, p) -> Prof(i, n, s)", &mut sig, &mut values).unwrap();
+//! let mut constraints = ConstraintSet::new();
+//! constraints.push_tgd(tgd);
+//!
+//! let problem = ContainmentProblem { signature: sig, lhs, rhs, constraints };
+//! let outcome = decide(
+//!     &problem,
+//!     &mut values,
+//!     ChaseConfig::with_budget(Budget::generous()),
+//! );
+//! assert_eq!(outcome.verdict, Verdict::Holds);
+//! assert!(outcome.complete);
+//! ```
 
 pub mod bounds;
 pub mod generic;

@@ -28,6 +28,7 @@
 //! axioms and annotating each fact with every accessible subset `P` of size
 //! at most `w`.
 
+#[cfg(test)]
 use rbqa_chase::Budget;
 use rbqa_common::{Instance, RelationId, Signature, Value, ValueFactory};
 use rbqa_logic::constraints::ConstraintSet;
@@ -315,7 +316,7 @@ impl LinearizedSchema {
         lhs: &ConjunctiveQuery,
         rhs: &ConjunctiveQuery,
         values: &mut ValueFactory,
-        budget: Budget,
+        config: rbqa_chase::ChaseConfig,
     ) -> ContainmentOutcome {
         let canon = lhs.canonical_database(&self.base_signature, values);
         let seed: FxHashSet<Value> = lhs.constants().into_iter().collect();
@@ -331,8 +332,11 @@ impl LinearizedSchema {
             rhs_primed.size(),
             self.lin_signature.max_arity(),
         );
-        let depth = bound.min(budget.max_depth);
-        let config = rbqa_chase::ChaseConfig::with_budget(budget.with_max_depth(depth));
+        let depth = bound.min(config.budget.max_depth);
+        let config = rbqa_chase::ChaseConfig {
+            budget: config.budget.with_max_depth(depth),
+            ..config
+        };
         crate::generic::decide_from_instance_seeded(
             &start,
             &rhs_primed,
@@ -398,7 +402,12 @@ mod tests {
             MethodSignature::new(udir, &[], true),
         ];
         let lin = LinearizedSchema::build(&sig, &[referential], &methods, 1);
-        let out = lin.decide(&q2, &q2, &mut vf, Budget::generous());
+        let out = lin.decide(
+            &q2,
+            &q2,
+            &mut vf,
+            rbqa_chase::ChaseConfig::with_budget(Budget::generous()),
+        );
         assert_eq!(out.verdict, Verdict::Holds);
     }
 
@@ -418,7 +427,12 @@ mod tests {
             MethodSignature::new(udir, &[], true),
         ];
         let lin = LinearizedSchema::build(&sig, &[referential], &methods, 1);
-        let out = lin.decide(&q1, &q1, &mut vf, Budget::generous());
+        let out = lin.decide(
+            &q1,
+            &q1,
+            &mut vf,
+            rbqa_chase::ChaseConfig::with_budget(Budget::generous()),
+        );
         assert_eq!(out.verdict, Verdict::DoesNotHold);
         assert!(out.complete);
     }
@@ -436,7 +450,12 @@ mod tests {
             MethodSignature::new(udir, &[], false),
         ];
         let lin = LinearizedSchema::build(&sig, &[referential], &methods, 1);
-        let out = lin.decide(&q1, &q1, &mut vf, Budget::generous());
+        let out = lin.decide(
+            &q1,
+            &q1,
+            &mut vf,
+            rbqa_chase::ChaseConfig::with_budget(Budget::generous()),
+        );
         assert_eq!(out.verdict, Verdict::Holds);
     }
 

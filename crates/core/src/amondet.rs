@@ -21,7 +21,9 @@
 //! the cost of *not* applying the paper's schema simplifications.
 
 use rbqa_access::Schema;
-use rbqa_chase::{Budget, ChaseConfig};
+#[cfg(test)]
+use rbqa_chase::Budget;
+use rbqa_chase::ChaseConfig;
 use rbqa_common::{Instance, RelationId, Signature, ValueFactory};
 use rbqa_containment::generic::decide_from_instance_seeded;
 use rbqa_containment::ContainmentOutcome;
@@ -324,7 +326,7 @@ impl AmondetProblem {
         &self,
         targets: &[(usize, ConjunctiveQuery, Homomorphism)],
         values: &mut ValueFactory,
-        budget: Budget,
+        config: ChaseConfig,
     ) -> (ContainmentOutcome, Option<usize>) {
         let candidates: Vec<(&ConjunctiveQuery, &Homomorphism)> =
             targets.iter().map(|(_, q, seed)| (q, seed)).collect();
@@ -333,7 +335,7 @@ impl AmondetProblem {
             &candidates,
             &self.constraints,
             values,
-            ChaseConfig::with_budget(budget),
+            config,
             None,
         );
         (outcome, matched.map(|k| targets[k].0))
@@ -350,14 +352,14 @@ impl AmondetProblem {
     }
 
     /// Decides the containment with the generic budgeted chase.
-    pub fn decide(&self, values: &mut ValueFactory, budget: Budget) -> ContainmentOutcome {
+    pub fn decide(&self, values: &mut ValueFactory, config: ChaseConfig) -> ContainmentOutcome {
         decide_from_instance_seeded(
             &self.start,
             &self.rhs,
             &self.rhs_seed,
             &self.constraints,
             values,
-            ChaseConfig::with_budget(budget),
+            config,
             None,
         )
     }
@@ -524,7 +526,7 @@ mod tests {
         let mut sig = schema.signature().clone();
         let q1 = parse_cq("Q() :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
         let problem = AmondetProblem::build(&schema, &q1, &mut vf, AxiomStyle::Simplified);
-        let out = problem.decide(&mut vf, Budget::generous());
+        let out = problem.decide(&mut vf, ChaseConfig::with_budget(Budget::generous()));
         assert_eq!(out.verdict, Verdict::Holds);
     }
 
@@ -538,7 +540,7 @@ mod tests {
         let mut sig = choice.signature().clone();
         let q1 = parse_cq("Q() :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
         let problem = AmondetProblem::build(&choice, &q1, &mut vf, AxiomStyle::Simplified);
-        let out = problem.decide(&mut vf, Budget::generous());
+        let out = problem.decide(&mut vf, ChaseConfig::with_budget(Budget::generous()));
         assert_eq!(out.verdict, Verdict::DoesNotHold);
         assert!(out.complete);
     }
@@ -549,7 +551,7 @@ mod tests {
         let mut sig = schema.signature().clone();
         let q2 = parse_cq("Q() :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
         let problem = AmondetProblem::build(&schema, &q2, &mut vf, AxiomStyle::Simplified);
-        let out = problem.decide(&mut vf, Budget::generous());
+        let out = problem.decide(&mut vf, ChaseConfig::with_budget(Budget::generous()));
         assert_eq!(out.verdict, Verdict::Holds);
     }
 
@@ -581,7 +583,7 @@ mod tests {
         // containment holds.
         let problem =
             AmondetProblem::build(&schema, &q3, &mut vf, AxiomStyle::SeparabilityRewriting);
-        let out = problem.decide(&mut vf, Budget::generous());
+        let out = problem.decide(&mut vf, ChaseConfig::with_budget(Budget::generous()));
         assert_eq!(out.verdict, Verdict::Holds);
     }
 
@@ -605,14 +607,14 @@ mod tests {
         .unwrap();
         let problem =
             AmondetProblem::build(&schema, &q3, &mut vf, AxiomStyle::SeparabilityRewriting);
-        let out = problem.decide(&mut vf, Budget::generous());
+        let out = problem.decide(&mut vf, ChaseConfig::with_budget(Budget::generous()));
         assert_eq!(out.verdict, Verdict::DoesNotHold);
 
         // The pure existence check on the same id (no address constant)
         // remains answerable even without the FD (Example 1.4's intuition).
         let q_exists = parse_cq("Q() :- Udirectory('12345', a, p)", &mut sig2, &mut vf).unwrap();
         let problem = AmondetProblem::build(&schema, &q_exists, &mut vf, AxiomStyle::Simplified);
-        let out = problem.decide(&mut vf, Budget::generous());
+        let out = problem.decide(&mut vf, ChaseConfig::with_budget(Budget::generous()));
         assert_eq!(out.verdict, Verdict::Holds);
     }
 
@@ -636,7 +638,7 @@ mod tests {
         // The naive axiomatisation still reaches the same (positive) verdict
         // (under a small budget: its chase is intentionally wasteful, which
         // is the very point of the ablation).
-        let out = naive.decide(&mut vf, Budget::small());
+        let out = naive.decide(&mut vf, ChaseConfig::with_budget(Budget::small()));
         assert_eq!(out.verdict, Verdict::Holds);
     }
 
@@ -648,7 +650,7 @@ mod tests {
         let problem = AmondetProblem::build(&schema, &q, &mut vf, AxiomStyle::Simplified);
         assert_eq!(problem.start.relation_len(problem.accessible), 1);
         // The constant id is accessible, so pr can be called on it: Q holds.
-        let out = problem.decide(&mut vf, Budget::generous());
+        let out = problem.decide(&mut vf, ChaseConfig::with_budget(Budget::generous()));
         assert_eq!(out.verdict, Verdict::Holds);
     }
 }

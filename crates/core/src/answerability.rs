@@ -18,7 +18,7 @@
 //! IDs); otherwise the result is [`Answerability::Unknown`].
 
 use rbqa_access::{Plan, Schema};
-use rbqa_chase::Budget;
+use rbqa_chase::{Budget, ChaseConfig, ChaseEngine};
 use rbqa_common::ValueFactory;
 use rbqa_containment::linearization::LinearizedSchema;
 use rbqa_containment::saturation::MethodSignature;
@@ -64,6 +64,10 @@ pub enum Strategy {
 pub struct AnswerabilityOptions {
     /// Budget for the underlying chase.
     pub budget: Budget,
+    /// Which chase engine runs the containment checks (default:
+    /// [`ChaseEngine::SemiNaive`]; the naive engine is kept for
+    /// differential testing and benchmark ablations).
+    pub chase_engine: ChaseEngine,
     /// When set, bypass the class dispatch and use the given AMonDet
     /// axiomatisation style directly with the generic chase (used by the
     /// simplification-ablation benchmark).
@@ -79,10 +83,18 @@ impl Default for AnswerabilityOptions {
     fn default() -> Self {
         AnswerabilityOptions {
             budget: Budget::generous(),
+            chase_engine: ChaseEngine::default(),
             axiom_style_override: None,
             synthesize_plan: false,
             crawl_rounds: 0,
         }
+    }
+}
+
+impl AnswerabilityOptions {
+    /// The chase configuration implied by these options (FD chasing on).
+    pub fn chase_config(&self) -> ChaseConfig {
+        ChaseConfig::with_budget(self.budget).with_engine(self.chase_engine)
     }
 }
 
@@ -192,7 +204,7 @@ pub fn decide_monotone_answerability(
     // Ablation mode: forced axiomatisation style, no simplification.
     if let Some(style) = options.axiom_style_override {
         let problem = AmondetProblem::build(&schema_lb, query, values, style);
-        let containment = problem.decide(values, options.budget);
+        let containment = problem.decide(values, options.chase_config());
         let answerability = verdict_to_answerability(containment.verdict);
         let plan = maybe_plan(schema, query, options, answerability, &containment);
         return AnswerabilityResult {
@@ -219,7 +231,7 @@ pub fn decide_monotone_answerability(
                 &method_signatures(&schema_lb),
                 width,
             );
-            let out = lin.decide(query, query, values, options.budget);
+            let out = lin.decide(query, query, values, options.chase_config());
             (
                 SimplificationKind::ExistenceCheck,
                 Strategy::IdLinearization,
@@ -231,7 +243,7 @@ pub fn decide_monotone_answerability(
             // the resulting chase terminates (Theorem 5.2).
             let simplified = fd_simplification(&schema_lb);
             let problem = AmondetProblem::build(&simplified, query, values, AxiomStyle::Simplified);
-            let out = problem.decide(values, options.budget);
+            let out = problem.decide(values, options.chase_config());
             (SimplificationKind::Fd, Strategy::FdSimplificationChase, out)
         }
         ConstraintClass::UidsAndFds => {
@@ -240,7 +252,7 @@ pub fn decide_monotone_answerability(
             let choice = schema_lb.choice_simplification();
             let problem =
                 AmondetProblem::build(&choice, query, values, AxiomStyle::SeparabilityRewriting);
-            let out = problem.decide(values, options.budget);
+            let out = problem.decide(values, options.chase_config());
             (
                 SimplificationKind::Choice,
                 Strategy::ChoiceSeparabilityChase,
@@ -254,7 +266,7 @@ pub fn decide_monotone_answerability(
             // budgeted and may report Unknown.
             let choice = schema_lb.choice_simplification();
             let problem = AmondetProblem::build(&choice, query, values, AxiomStyle::Simplified);
-            let out = problem.decide(values, options.budget);
+            let out = problem.decide(values, options.chase_config());
             (SimplificationKind::Choice, Strategy::ChoiceChase, out)
         }
     };
@@ -463,7 +475,7 @@ pub fn decide_monotone_answerability_union(
                 AmondetProblem::build(&choice, &union.disjuncts()[i], values, rescue_style);
             problem.seed_accessible(&union.constants());
             let targets = problem.union_targets(union.disjuncts());
-            let (outcome, matched) = problem.decide_union(&targets, values, options.budget);
+            let (outcome, matched) = problem.decide_union(&targets, values, options.chase_config());
             match outcome.verdict {
                 Verdict::Holds => {}
                 Verdict::DoesNotHold if outcome.complete => any_certified_fail = true,

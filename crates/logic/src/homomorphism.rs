@@ -49,11 +49,26 @@ pub fn all_homomorphisms(
     instance: &Instance,
     limit: usize,
 ) -> Vec<Homomorphism> {
+    all_homomorphisms_seeded(query, instance, &Homomorphism::default(), limit)
+}
+
+/// Enumerates homomorphisms from `query` into `instance` that extend the
+/// partial assignment `seed`, up to `limit` results. Every returned
+/// assignment contains the seed bindings. This is the entry point used by
+/// the semi-naive chase: a body atom is unified with a freshly derived fact
+/// and the remaining atoms are joined against the full instance, so only
+/// matches touching the delta are enumerated.
+pub fn all_homomorphisms_seeded(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+    seed: &Homomorphism,
+    limit: usize,
+) -> Vec<Homomorphism> {
     let mut collector = AllCollector { found: Vec::new() };
     search(
         query.atoms(),
         instance,
-        Homomorphism::default(),
+        seed.clone(),
         &mut collector,
         &mut 0,
         limit,

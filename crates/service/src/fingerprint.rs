@@ -136,8 +136,13 @@ pub fn schema_code(schema: &Schema, resolve: &dyn Fn(Value) -> String) -> String
 }
 
 /// Canonical code of the decision options (everything that can change the
-/// cached outcome: the budget, a forced axiom style, and plan synthesis
-/// parameters).
+/// cached outcome: the budget, the chase engine, a forced axiom style, and
+/// plan synthesis parameters).
+///
+/// The engine is part of the code even though both engines are
+/// semantically equivalent: budget-exhausted prefixes (and hence `Unknown`
+/// verdicts near the budget edge) can differ between engines, so cached
+/// entries must not be shared across them.
 pub fn options_code(options: &AnswerabilityOptions) -> String {
     let style = match options.axiom_style_override {
         None => "auto".to_owned(),
@@ -146,11 +151,12 @@ pub fn options_code(options: &AnswerabilityOptions) -> String {
         Some(AxiomStyle::NaiveCardinality { cap }) => format!("naive:{cap}"),
     };
     format!(
-        "budget:{}/{}/{}/{}|style:{}|plan:{}/{}",
+        "budget:{}/{}/{}/{}|engine:{}|style:{}|plan:{}/{}",
         options.budget.max_facts,
         options.budget.max_rounds,
         options.budget.max_depth,
         options.budget.max_nulls,
+        options.chase_engine.as_str(),
         style,
         options.synthesize_plan,
         options.crawl_rounds,
