@@ -28,6 +28,8 @@ pub fn accessible_part(
 ) -> Instance {
     let mut accessible: FxHashSet<Value> = seed.clone();
     let mut part = Instance::new(schema.signature().clone());
+    // Reused across accesses: row ids from the posting-list intersection.
+    let mut row_ids: Vec<u32> = Vec::new();
 
     loop {
         let mut changed = false;
@@ -39,10 +41,11 @@ pub fn accessible_part(
             // examples and the empirical validation harness.
             let bindings = enumerate_bindings(&inputs, &accessible);
             for binding in bindings {
-                let matching: Vec<Vec<Value>> = instance
-                    .matching_tuples(method.relation(), &binding)
-                    .into_iter()
-                    .map(|t| t.to_vec())
+                row_ids.clear();
+                instance.matching_rows_into(method.relation(), &binding, &mut row_ids);
+                let matching: Vec<Vec<Value>> = row_ids
+                    .iter()
+                    .map(|&id| instance.row(method.relation(), id).to_vec())
                     .collect();
                 let output = selection.select(method, &binding, &matching);
                 for tuple in output {

@@ -49,6 +49,8 @@ pub fn execute(
     let mut tables: FxHashMap<String, TempTable> = FxHashMap::default();
     let mut accesses_performed = 0usize;
     let mut tuples_fetched = 0usize;
+    // Reused across accesses: row ids from the posting-list intersection.
+    let mut row_ids: Vec<u32> = Vec::new();
 
     for command in plan.commands() {
         match command {
@@ -75,10 +77,11 @@ pub fn execute(
                         .zip(input_map.iter())
                         .map(|(&pos, &col)| (pos, binding_row[col]))
                         .collect();
-                    let matching: Vec<Vec<Value>> = instance
-                        .matching_tuples(m.relation(), &binding)
-                        .into_iter()
-                        .map(|t| t.to_vec())
+                    row_ids.clear();
+                    instance.matching_rows_into(m.relation(), &binding, &mut row_ids);
+                    let matching: Vec<Vec<Value>> = row_ids
+                        .iter()
+                        .map(|&id| instance.row(m.relation(), id).to_vec())
                         .collect();
                     let selected = selection.select(m, &binding, &matching);
                     accesses_performed += 1;

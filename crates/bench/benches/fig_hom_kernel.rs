@@ -1,0 +1,33 @@
+//! fig_hom_kernel: compiled match-program kernel vs the reference
+//! backtracking search on the matching microbenchmarks.
+//!
+//! Measures full homomorphism enumeration on the join shapes the decision
+//! pipeline actually runs (paths, triangles, stars, constant-filtered
+//! joins) over deterministic random instances — the same cases as the
+//! `hom_report` binary, which writes the committed `BENCH_hom.json`. The
+//! benchmark id encodes `shape/size/kernel`, so Criterion's output directly
+//! compares the two kernels per case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbqa_bench::{enumerate_hom_case, hom_kernel_cases};
+use rbqa_logic::KernelMode;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_hom_kernel");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for case in hom_kernel_cases(false) {
+        for mode in [KernelMode::Reference, KernelMode::Compiled] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{}/{}", case.label, mode.as_str())),
+                &case,
+                |b, case| b.iter(|| enumerate_hom_case(case, mode)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

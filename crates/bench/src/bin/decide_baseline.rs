@@ -1,0 +1,68 @@
+//! Measures uncached Decide on the Table-1 suites at *this checkout*,
+//! emitting one `label micros verdict` line per case.
+//!
+//! Deliberately self-contained (no `rbqa_bench` harness types), so the same
+//! file compiles against older checkouts: to record the PR 3 baseline that
+//! `hom_report --baseline` consumes, check out the PR 3 commit in a
+//! worktree, copy this file into `crates/bench/src/bin/`, and run it there
+//! — see EXPERIMENTS.md ("FIG-hom-kernel") for the exact commands. The
+//! suite/size/seed table must stay in lockstep with
+//! [`rbqa_bench::decide_cases`]; a unit test in `rbqa-bench` pins that.
+
+use rbqa_chase::Budget;
+use rbqa_core::{decide_monotone_answerability, AnswerabilityOptions};
+use rbqa_workloads::random::{RandomClass, RandomSchemaConfig};
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let suites: &[(&str, RandomClass, usize, &[usize])] = &[
+        (
+            "T1-row-IDs",
+            RandomClass::Ids { width: 2 },
+            26,
+            &[8, 10, 12],
+        ),
+        (
+            "T1-row-BWIDs",
+            RandomClass::Ids { width: 1 },
+            44,
+            &[14, 18, 22],
+        ),
+        ("T1-row-FDs", RandomClass::Fds, 48, &[10, 14, 18]),
+        ("T1-row-UIDFD", RandomClass::UidsAndFds, 30, &[10, 12, 14]),
+    ];
+    for &(suite, class, max_depth, sizes) in suites {
+        for &relations in sizes {
+            let config = RandomSchemaConfig {
+                relations,
+                dependencies: 2 * relations,
+                class,
+                result_bound: 100,
+                ..Default::default()
+            };
+            let workload = config.generate(relations as u64);
+            let query = workload.queries.last().expect("queries").clone();
+            let options = AnswerabilityOptions {
+                budget: Budget::generous().with_max_depth(max_depth),
+                ..Default::default()
+            };
+            let run = || {
+                let mut vf = workload.values.clone();
+                decide_monotone_answerability(&workload.schema, &query, &mut vf, &options)
+            };
+            let sample = run(); // warm-up
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(run());
+            }
+            let mean = start.elapsed().as_micros() as f64 / iters as f64;
+            println!(
+                "{suite}/rel{relations} {mean:.2} {:?}",
+                sample.answerability
+            );
+        }
+    }
+}

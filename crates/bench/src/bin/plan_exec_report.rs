@@ -39,7 +39,7 @@ fn main() {
             }
         };
         let data = university_instance(scenario.schema.signature(), &mut scenario.values, size, 7);
-        let expected = evaluate(&query, &data);
+        let expected = evaluate(&query, &data).expect("benchmark queries are safe");
         let simulator = ServiceSimulator::new(scenario.schema.clone(), data.clone());
         let mut selection = TruncatingSelection::new();
         let (output, metrics) = simulator
@@ -86,7 +86,7 @@ fn main() {
         let (output, metrics) = simulator
             .run_plan(&plan, &mut selection)
             .expect("plan executes");
-        let expected = evaluate(&query, &data);
+        let expected = evaluate(&query, &data).expect("benchmark queries are safe");
         println!(
             "  bound {:>4}: answerable={:?}, calls={}, tuples fetched={}, boolean output matches={}",
             bound,

@@ -315,6 +315,293 @@ pub fn measure_chase_case(case: &ChaseCase, engine: ChaseEngine, iters: usize) -
     }
 }
 
+// ---------------------------------------------------------------------------
+// Homomorphism-kernel comparison harness (fig_hom_kernel, hom_report,
+// BENCH_hom.json)
+// ---------------------------------------------------------------------------
+
+use rbqa_logic::homomorphism::{self, KernelMode};
+use rbqa_logic::{CqBuilder, Term};
+
+/// One prepared homomorphism-matching microbenchmark case: a query joined
+/// against a fixed instance, enumerated to exhaustion.
+#[derive(Debug, Clone)]
+pub struct HomCase {
+    /// Case label (`shape/size`).
+    pub label: String,
+    /// The instance matched against.
+    pub instance: rbqa_common::Instance,
+    /// The query whose homomorphisms are enumerated.
+    pub query: ConjunctiveQuery,
+}
+
+/// Deterministic xorshift generator for benchmark instances (no reliance on
+/// platform RNG — reports must be reproducible run to run).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> usize {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 as usize
+    }
+}
+
+/// Builds the kernel microbenchmark cases: path and triangle joins over
+/// sparse random digraphs, star joins around shared sources, and a
+/// constant-filtered scan — the atom shapes the chase, containment and
+/// evaluation paths actually run. `quick` shrinks the sweep for CI smoke
+/// runs.
+pub fn hom_kernel_cases(quick: bool) -> Vec<HomCase> {
+    use rbqa_common::{Instance, Signature};
+
+    let sizes: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
+    let mut cases = Vec::new();
+    for &n in sizes {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2).unwrap();
+        let p = sig.add_relation("P", 3).unwrap();
+        let mut vf = ValueFactory::new();
+        let nodes: Vec<_> = (0..n).map(|i| vf.constant(&format!("n{i}"))).collect();
+        let salary = vf.constant("10000");
+        let other = vf.constant("20000");
+        let mut inst = Instance::new(sig);
+        let mut rng = XorShift(0x5eed_0000 + n as u64);
+        // Sparse digraph: 4 out-edges per node on average.
+        for i in 0..n {
+            for _ in 0..4 {
+                let j = rng.next() % n;
+                inst.insert(e, vec![nodes[i], nodes[j]]).unwrap();
+            }
+        }
+        // A wide fact table with a selective constant column.
+        for i in 0..n {
+            let pay = if i % 8 == 0 { salary } else { other };
+            inst.insert(p, vec![nodes[i], nodes[rng.next() % n], pay])
+                .unwrap();
+        }
+
+        let path2 = {
+            let mut b = CqBuilder::new();
+            let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+            b.atom(e, vec![x.into(), y.into()])
+                .atom(e, vec![y.into(), z.into()])
+                .build()
+        };
+        let triangle = {
+            let mut b = CqBuilder::new();
+            let (x, y, z) = (b.var("x"), b.var("y"), b.var("z"));
+            b.atom(e, vec![x.into(), y.into()])
+                .atom(e, vec![y.into(), z.into()])
+                .atom(e, vec![z.into(), x.into()])
+                .build()
+        };
+        let star = {
+            let mut b = CqBuilder::new();
+            let (x, y, z, w) = (b.var("x"), b.var("y"), b.var("z"), b.var("w"));
+            b.atom(e, vec![x.into(), y.into()])
+                .atom(e, vec![x.into(), z.into()])
+                .atom(e, vec![x.into(), w.into()])
+                .build()
+        };
+        let const_join = {
+            let mut b = CqBuilder::new();
+            let (i, n_, x) = (b.var("i"), b.var("n"), b.var("x"));
+            b.atom(p, vec![i.into(), n_.into(), Term::Const(salary)])
+                .atom(e, vec![i.into(), x.into()])
+                .build()
+        };
+        for (shape, query) in [
+            ("path2", path2),
+            ("triangle", triangle),
+            ("star3", star),
+            ("const-join", const_join),
+        ] {
+            cases.push(HomCase {
+                label: format!("{shape}/n{n}"),
+                instance: inst.clone(),
+                query,
+            });
+        }
+    }
+    cases
+}
+
+/// Mean wall-clock time of full homomorphism enumeration on one case.
+#[derive(Debug, Clone)]
+pub struct HomMeasurement {
+    /// The kernel measured.
+    pub mode: KernelMode,
+    /// Mean duration over `iters` runs, in microseconds.
+    pub mean_micros: f64,
+    /// Homomorphisms found (identical across kernels by the differential
+    /// test; repeated here as a sanity check).
+    pub matches: usize,
+}
+
+/// Enumerates every homomorphism of `case` under `mode`, visiting each
+/// result in the kernel's native representation (dense binding vs hash-map
+/// assignment — neither side pays a boundary conversion), and returns the
+/// match count. This is the operation the benchmarks time; compilation is
+/// included on the compiled side. Both arms pin the kernel explicitly, so
+/// a stale process-wide [`KernelMode`] (e.g. left behind by an aborted
+/// decide measurement) cannot silently turn a "compiled" measurement into
+/// a reference run.
+pub fn enumerate_hom_case(case: &HomCase, mode: KernelMode) -> usize {
+    let mut count = 0usize;
+    match mode {
+        KernelMode::Compiled => {
+            // `MatchProgram::for_each` consults the process-wide mode;
+            // force the compiled kernel for this measurement.
+            homomorphism::set_kernel_mode(KernelMode::Compiled);
+            let program = homomorphism::MatchProgram::compile(&case.query, &[]);
+            program.for_each(&case.instance, &[], |_| {
+                count += 1;
+                true
+            });
+        }
+        KernelMode::Reference => {
+            homomorphism::reference::for_each_homomorphism(
+                &case.query,
+                &case.instance,
+                &homomorphism::Homomorphism::default(),
+                &mut |_| {
+                    count += 1;
+                    true
+                },
+            );
+        }
+    }
+    count
+}
+
+/// Runs `case` under `mode` `iters` times (after one warm-up run) and
+/// reports the mean duration.
+pub fn measure_hom_case(case: &HomCase, mode: KernelMode, iters: usize) -> HomMeasurement {
+    let matches = enumerate_hom_case(case, mode); // warm-up
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(enumerate_hom_case(case, mode));
+    }
+    let mean_micros = start.elapsed().as_micros() as f64 / iters.max(1) as f64;
+    HomMeasurement {
+        mode,
+        mean_micros,
+        matches,
+    }
+}
+
+/// One end-to-end uncached Decide case of a Table-1 suite: the full
+/// `decide_monotone_answerability` pipeline (classification, simplification,
+/// AMonDet axiomatisation, chase, containment) on a generated schema.
+#[derive(Debug, Clone)]
+pub struct DecideCase {
+    /// Suite id, matching DESIGN.md §4 (e.g. `T1-row-IDs`).
+    pub suite: String,
+    /// Case label (schema size).
+    pub label: String,
+    /// The access schema decided over.
+    pub schema: Schema,
+    /// The query decided.
+    pub query: ConjunctiveQuery,
+    /// Factory supplying fresh nulls (cloned per run).
+    pub values: ValueFactory,
+    /// Decision options (budget matches the suite's depth cap).
+    pub options: AnswerabilityOptions,
+}
+
+/// Builds the uncached-Decide cases for the kernel report: the same four
+/// Table-1 suites and schema sizes as [`chase_engine_cases`], but measuring
+/// the whole decision pipeline rather than the isolated chase.
+pub fn decide_cases(quick: bool) -> Vec<DecideCase> {
+    let suites: &[(&str, RandomClass, usize, &[usize])] = &[
+        (
+            "T1-row-IDs",
+            RandomClass::Ids { width: 2 },
+            26,
+            &[8, 10, 12],
+        ),
+        (
+            "T1-row-BWIDs",
+            RandomClass::Ids { width: 1 },
+            44,
+            &[14, 18, 22],
+        ),
+        ("T1-row-FDs", RandomClass::Fds, 48, &[10, 14, 18]),
+        ("T1-row-UIDFD", RandomClass::UidsAndFds, 30, &[10, 12, 14]),
+    ];
+    let mut cases = Vec::new();
+    for &(suite, class, max_depth, sizes) in suites {
+        let sizes: &[usize] = if quick { &sizes[..1] } else { sizes };
+        for &relations in sizes {
+            let config = RandomSchemaConfig {
+                relations,
+                dependencies: 2 * relations,
+                class,
+                result_bound: 100,
+                ..Default::default()
+            };
+            let workload = config.generate(relations as u64);
+            let query = workload
+                .queries
+                .last()
+                .expect("generator emits queries")
+                .clone();
+            cases.push(DecideCase {
+                suite: suite.to_owned(),
+                label: format!("{suite}/rel{relations}"),
+                schema: workload.schema,
+                query,
+                values: workload.values,
+                options: AnswerabilityOptions {
+                    budget: Budget::generous().with_max_depth(max_depth),
+                    ..Default::default()
+                },
+            });
+        }
+    }
+    cases
+}
+
+/// Mean wall-clock time of one uncached Decide under a kernel mode.
+#[derive(Debug, Clone)]
+pub struct DecideMeasurement {
+    /// The kernel measured.
+    pub mode: KernelMode,
+    /// Mean duration over `iters` runs, in microseconds.
+    pub mean_micros: f64,
+    /// The verdict (identical across kernels; sanity-checked by the
+    /// report).
+    pub answerable: String,
+}
+
+/// Runs the full decision of `case` under `mode` `iters` times (after one
+/// warm-up run). Restores the compiled kernel afterwards.
+pub fn measure_decide_case(case: &DecideCase, mode: KernelMode, iters: usize) -> DecideMeasurement {
+    homomorphism::set_kernel_mode(mode);
+    let run = || {
+        let mut vf = case.values.clone();
+        decide_monotone_answerability(&case.schema, &case.query, &mut vf, &case.options)
+    };
+    let result = run(); // warm-up, also the verdict sample
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(run());
+    }
+    let mean_micros = start.elapsed().as_micros() as f64 / iters.max(1) as f64;
+    homomorphism::set_kernel_mode(KernelMode::Compiled);
+    DecideMeasurement {
+        mode,
+        mean_micros,
+        answerable: match result.answerability {
+            Answerability::Answerable => "yes".to_owned(),
+            Answerability::NotAnswerable => "no".to_owned(),
+            Answerability::Unknown => "unknown".to_owned(),
+        },
+    }
+}
+
 fn truncate(s: &str, max: usize) -> String {
     if s.chars().count() <= max {
         s.to_owned()
@@ -411,6 +698,41 @@ mod tests {
         use rbqa_api::json::json_escape;
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn hom_kernel_cases_agree_across_kernels() {
+        for case in hom_kernel_cases(true) {
+            let compiled = enumerate_hom_case(&case, KernelMode::Compiled);
+            let reference = enumerate_hom_case(&case, KernelMode::Reference);
+            assert_eq!(compiled, reference, "kernels disagree on {}", case.label);
+        }
+    }
+
+    #[test]
+    fn decide_cases_labels_match_baseline_table() {
+        // The `decide_baseline` binary duplicates this suite table so that
+        // it compiles against older checkouts; this pins the case labels
+        // the two must agree on (same schemas, sizes and generator seeds).
+        let labels: Vec<String> = decide_cases(false)
+            .iter()
+            .map(|c| c.label.clone())
+            .collect();
+        let expected = [
+            "T1-row-IDs/rel8",
+            "T1-row-IDs/rel10",
+            "T1-row-IDs/rel12",
+            "T1-row-BWIDs/rel14",
+            "T1-row-BWIDs/rel18",
+            "T1-row-BWIDs/rel22",
+            "T1-row-FDs/rel10",
+            "T1-row-FDs/rel14",
+            "T1-row-FDs/rel18",
+            "T1-row-UIDFD/rel10",
+            "T1-row-UIDFD/rel12",
+            "T1-row-UIDFD/rel14",
+        ];
+        assert_eq!(labels, expected);
     }
 
     #[test]

@@ -20,14 +20,68 @@
 //! homomorphisms per round, so it may still saturate where the naive
 //! engine reports [`Completion::BudgetExhausted`] — never the reverse.
 
-use rbqa_common::{Fact, Instance, Value, ValueFactory};
+use rbqa_common::{Instance, RelationId, Value, ValueFactory};
 use rbqa_logic::constraints::ConstraintSet;
-use rbqa_logic::Fd;
+use rbqa_logic::{Fd, VarId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::budget::Budget;
 use crate::result::{ChaseOutcome, ChaseStats, Completion};
-use crate::trigger::{active_triggers, head_satisfied, matched_body_facts};
+use crate::trigger::{assignment_get, TgdKernel};
+
+/// Per-row derivation depths, aligned with the instance's stable row ids
+/// (`relation index → row id → depth`). Replaces the former `Fact`-keyed
+/// hash map: depth reads and writes are array indexing instead of hashing
+/// whole tuples, and no `Fact` is materialised on the firing path.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct DepthMap {
+    per_rel: Vec<Vec<u32>>,
+}
+
+impl DepthMap {
+    /// All-zero depths for every current row of `instance` (the input facts
+    /// of the chase).
+    pub(crate) fn zeros(instance: &Instance) -> Self {
+        let per_rel = (0..instance.signature().len())
+            .map(|i| vec![0u32; instance.relation_len(RelationId::from_index(i))])
+            .collect();
+        DepthMap { per_rel }
+    }
+
+    /// Sentinel-initialised map for an FD-rewritten instance, filled by
+    /// [`DepthMap::record_min`].
+    fn unset(instance: &Instance) -> Self {
+        let per_rel = (0..instance.signature().len())
+            .map(|i| vec![u32::MAX; instance.relation_len(RelationId::from_index(i))])
+            .collect();
+        DepthMap { per_rel }
+    }
+
+    #[inline]
+    fn get(&self, relation: RelationId, row: u32) -> usize {
+        self.per_rel[relation.index()][row as usize] as usize
+    }
+
+    /// Records the depth of a freshly inserted row (must be the relation's
+    /// newest row).
+    fn push(&mut self, relation: RelationId, row: u32, depth: usize) {
+        if relation.index() >= self.per_rel.len() {
+            self.per_rel.resize_with(relation.index() + 1, Vec::new);
+        }
+        let rows = &mut self.per_rel[relation.index()];
+        debug_assert_eq!(rows.len(), row as usize);
+        rows.push(u32::try_from(depth).expect("depth fits in u32"));
+    }
+
+    /// Lowers (or sets) the depth of `row`; returns `true` when the slot
+    /// was already set — i.e. two pre-rewrite facts collapsed into it.
+    fn record_min(&mut self, relation: RelationId, row: u32, depth: usize) -> bool {
+        let slot = &mut self.per_rel[relation.index()][row as usize];
+        let collided = *slot != u32::MAX;
+        *slot = (*slot).min(u32::try_from(depth).expect("depth fits in u32"));
+        collided
+    }
+}
 
 /// Which chase implementation to run. Both engines implement the restricted
 /// chase and agree on [`Completion`] away from the enumeration cap (see the
@@ -156,13 +210,21 @@ fn chase_naive(
 ) -> ChaseOutcome {
     let budget = config.budget;
     let mut current = instance.clone();
-    let mut depths: FxHashMap<Fact, usize> = current.iter_facts().map(|f| (f, 0)).collect();
+    let mut depths = DepthMap::zeros(&current);
     let mut stats = ChaseStats::default();
+    let mut scratch: Vec<Value> = Vec::new();
 
     // Apply the FDs once before any TGD round so that the input instance is
     // already consistent.
     if config.apply_fds
-        && apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats).is_err()
+        && apply_fds_to_fixpoint(
+            &mut current,
+            constraints.fds(),
+            &mut depths,
+            &mut stats,
+            None,
+        )
+        .is_err()
     {
         return ChaseOutcome {
             instance: current,
@@ -174,6 +236,9 @@ fn chase_naive(
     // Per-rule, per-round cap on trigger enumeration, derived once from the
     // budget (see `Budget::trigger_limit` for the formula and rationale).
     let trigger_limit = budget.trigger_limit();
+
+    // One compiled body/head match program per TGD, reused every round.
+    let kernels: Vec<TgdKernel> = constraints.tgds().iter().map(TgdKernel::new).collect();
 
     loop {
         if stats.rounds >= budget.max_rounds {
@@ -194,8 +259,8 @@ fn chase_naive(
         let mut over_budget = false;
 
         let mut triggers = Vec::new();
-        for (i, tgd) in constraints.tgds().iter().enumerate() {
-            let (mut found, truncated) = active_triggers(tgd, i, &current, trigger_limit);
+        for (i, kernel) in kernels.iter().enumerate() {
+            let (mut found, truncated) = kernel.active_triggers(i, &current, trigger_limit);
             if truncated {
                 over_budget = true;
             }
@@ -207,7 +272,7 @@ fn chase_naive(
             // Re-check activeness against the *current* instance: earlier
             // firings in this round may have satisfied the head already
             // (this is what makes the chase "restricted").
-            if head_satisfied(tgd, &current, &trigger.assignment) {
+            if kernels[trigger.tgd_index].head_satisfied(&current, &trigger.assignment) {
                 continue;
             }
             match fire_trigger(
@@ -219,6 +284,7 @@ fn chase_naive(
                 values,
                 budget,
                 None,
+                &mut scratch,
             ) {
                 FireResult::Fired => fired_any = true,
                 FireResult::SkippedForDepth => skipped_for_depth = true,
@@ -235,8 +301,14 @@ fn chase_naive(
 
         // Re-establish the FDs after the round.
         if config.apply_fds
-            && apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats)
-                .is_err()
+            && apply_fds_to_fixpoint(
+                &mut current,
+                constraints.fds(),
+                &mut depths,
+                &mut stats,
+                None,
+            )
+            .is_err()
         {
             return ChaseOutcome {
                 instance: current,
@@ -277,35 +349,36 @@ pub(crate) enum FireResult {
     OverBudget,
 }
 
-/// Fires `tgd` on `assignment`: computes the derivation depth from the
-/// matched body facts, draws fresh nulls for the existential variables and
-/// inserts every head atom. Newly inserted facts are also recorded in
-/// `new_facts` when provided (the semi-naive engine's delta). Shared by
-/// both engines so that depth bookkeeping and budget checks cannot drift
-/// apart.
+/// Fires `tgd` on `assignment` (sorted `(variable, value)` pairs): computes
+/// the derivation depth from the matched body facts, draws fresh nulls for
+/// the existential variables and inserts every head atom. Newly inserted
+/// rows are also recorded in `new_rows` when provided (the semi-naive
+/// engine's delta). `scratch` is a reusable tuple buffer — the firing path
+/// materialises no `Fact` at all. Shared by both engines so that depth
+/// bookkeeping and budget checks cannot drift apart.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn fire_trigger(
     tgd: &rbqa_logic::Tgd,
-    assignment: &rbqa_logic::homomorphism::Homomorphism,
+    assignment: &[(VarId, Value)],
     current: &mut Instance,
-    depths: &mut FxHashMap<Fact, usize>,
+    depths: &mut DepthMap,
     stats: &mut ChaseStats,
     values: &mut ValueFactory,
     budget: Budget,
-    mut new_facts: Option<&mut FxHashSet<Fact>>,
+    mut new_rows: Option<&mut RowSet>,
+    scratch: &mut Vec<Value>,
 ) -> FireResult {
-    // Depth of the new facts.
-    let body_facts = matched_body_facts(tgd, assignment);
-    let body_depth = body_facts
-        .iter()
-        .map(|(rel, tuple)| {
-            depths
-                .get(&Fact::new(*rel, tuple.clone()))
-                .copied()
-                .unwrap_or(0)
-        })
-        .max()
-        .unwrap_or(0);
+    // Depth of the new facts: the maximum depth among the matched body rows
+    // (depth 0 when a body fact is no longer resolvable — matching the
+    // previous engine's defensive `unwrap_or(0)` for FD-rewritten facts).
+    let mut body_depth = 0usize;
+    for atom in tgd.body() {
+        let ok = atom.instantiate_into(|v| assignment_get(assignment, v), scratch);
+        debug_assert!(ok, "trigger assigns every body variable");
+        if let Some(row) = current.row_id(atom.relation(), scratch) {
+            body_depth = body_depth.max(depths.get(atom.relation(), row));
+        }
+    }
     let new_depth = body_depth + 1;
     if new_depth > budget.max_depth {
         return FireResult::SkippedForDepth;
@@ -313,27 +386,27 @@ pub(crate) fn fire_trigger(
 
     // Extend the assignment with fresh nulls for the existential variables,
     // then add every head atom.
-    let mut assignment = assignment.clone();
+    let mut extended = assignment.to_vec();
     for v in tgd.existential_variables() {
         if stats.nulls_created >= budget.max_nulls {
             return FireResult::OverBudget;
         }
-        assignment.insert(v, values.fresh_null());
+        extended.push((v, values.fresh_null()));
         stats.nulls_created += 1;
     }
+    extended.sort_unstable_by_key(|&(v, _)| v);
     for atom in tgd.head() {
-        let tuple: Vec<Value> = atom
-            .instantiate(&assignment)
-            .expect("all head variables are assigned");
-        let fact = Fact::new(atom.relation(), tuple.clone());
+        let ok = atom.instantiate_into(|v| assignment_get(&extended, v), scratch);
+        debug_assert!(ok, "all head variables are assigned");
         if current
-            .insert(atom.relation(), tuple)
+            .insert_slice(atom.relation(), scratch)
             .expect("head atoms respect the signature")
         {
-            depths.entry(fact.clone()).or_insert(new_depth);
+            let row = (current.relation_len(atom.relation()) - 1) as u32;
+            depths.push(atom.relation(), row, new_depth);
             stats.max_depth_reached = stats.max_depth_reached.max(new_depth);
-            if let Some(delta) = new_facts.as_deref_mut() {
-                delta.insert(fact);
+            if let Some(delta) = new_rows.as_deref_mut() {
+                delta.insert((atom.relation(), row));
             }
         }
     }
@@ -389,19 +462,22 @@ impl UnionFind {
     }
 }
 
-/// The value substitution and changed-fact set produced by one run of the
-/// FD fixpoint. Consumed by the semi-naive engine, which must rewrite its
-/// delta and deferred triggers whenever values are merged.
+/// A set of instance rows — the chase's delta currency. Rows are stable
+/// between FD rewrites, so the delta carries `(relation, row id)` pairs
+/// instead of owned `Fact`s (no tuple clones or hashing on the firing
+/// path); [`apply_fds_to_fixpoint`] translates the set through instance
+/// rewrites.
+pub(crate) type RowSet = FxHashSet<(RelationId, u32)>;
+
+/// The value substitution produced by one run of the FD fixpoint. Consumed
+/// by the semi-naive engine, which must rewrite its deferred trigger
+/// assignments whenever values are merged (the delta itself is translated
+/// in place by [`apply_fds_to_fixpoint`]).
 #[derive(Debug, Default)]
 pub(crate) struct FdRewrite {
     /// The composed substitution over all fixpoint iterations (empty when
     /// no values were merged).
     pub subst: FxHashMap<Value, Value>,
-    /// Facts of the *final* instance that were rewritten, or into which two
-    /// pre-rewrite facts collapsed (their recorded depth may have
-    /// decreased). Every trigger knowledge derived from these facts is
-    /// stale and must be re-examined.
-    pub changed: FxHashSet<Fact>,
 }
 
 impl FdRewrite {
@@ -409,26 +485,23 @@ impl FdRewrite {
     pub fn rewrote(&self) -> bool {
         !self.subst.is_empty()
     }
-
-    /// Applies the substitution to one fact.
-    pub fn map_fact(&self, fact: &Fact) -> Fact {
-        let args: Vec<Value> = fact
-            .args()
-            .iter()
-            .map(|v| *self.subst.get(v).unwrap_or(v))
-            .collect();
-        Fact::new(fact.relation(), args)
-    }
 }
 
 /// Applies the FDs as EGDs until no violation remains. Returns the
-/// substitution and changed-fact tracking on success and `Err(())` on a
-/// hard failure (two distinct constants equated).
+/// substitution on success and `Err(())` on a hard failure (two distinct
+/// constants equated).
+///
+/// When `delta` is provided, its rows are translated through every rewrite,
+/// and rows of the final instance that were rewritten — or into which two
+/// pre-rewrite rows collapsed (their recorded depth may have decreased) —
+/// are added to it: every piece of trigger knowledge derived from those
+/// rows is stale and must be re-examined by the caller.
 pub(crate) fn apply_fds_to_fixpoint(
     instance: &mut Instance,
     fds: &[Fd],
-    depths: &mut FxHashMap<Fact, usize>,
+    depths: &mut DepthMap,
     stats: &mut ChaseStats,
+    mut delta: Option<&mut RowSet>,
 ) -> Result<FdRewrite, ()> {
     let mut rewrite = FdRewrite::default();
     if fds.is_empty() {
@@ -468,35 +541,32 @@ pub(crate) fn apply_fds_to_fixpoint(
         if subst.is_empty() {
             return Ok(rewrite);
         }
-        *instance = instance.map_values(&subst);
-        let mut new_depths: FxHashMap<Fact, usize> = FxHashMap::default();
-        let mut changed_now: FxHashSet<Fact> = FxHashSet::default();
-        for (fact, depth) in depths.iter() {
-            let args: Vec<Value> = fact
-                .args()
-                .iter()
-                .map(|v| *subst.get(v).unwrap_or(v))
-                .collect();
-            let fact_changed = args != fact.args();
-            let new_fact = Fact::new(fact.relation(), args);
-            match new_depths.entry(new_fact.clone()) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    // Two pre-rewrite facts collapsed: the surviving fact's
-                    // depth is the minimum, and triggers computed from
-                    // either original are stale.
-                    changed_now.insert(new_fact);
-                    if *e.get() > *depth {
-                        e.insert(*depth);
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(*depth);
-                    if fact_changed {
-                        changed_now.insert(new_fact);
-                    }
+        let new_instance = instance.map_values(&subst);
+        let mut new_depths = DepthMap::unset(&new_instance);
+        let mut changed_now: RowSet = RowSet::default();
+        // Old row -> new row, per relation (map_values preserves relations).
+        let mut row_map: Vec<Vec<u32>> = Vec::with_capacity(instance.signature().len());
+        let mut mapped: Vec<Value> = Vec::new();
+        for i in 0..instance.signature().len() {
+            let rel = RelationId::from_index(i);
+            let mut rel_rows: Vec<u32> = Vec::with_capacity(instance.relation_len(rel));
+            for (row, tuple) in instance.tuples(rel).enumerate() {
+                mapped.clear();
+                mapped.extend(tuple.iter().map(|v| *subst.get(v).unwrap_or(v)));
+                let fact_changed = mapped != tuple;
+                let depth = depths.get(rel, row as u32);
+                let new_row = new_instance
+                    .row_id(rel, &mapped)
+                    .expect("mapped fact present in rewritten instance");
+                rel_rows.push(new_row);
+                if new_depths.record_min(rel, new_row, depth) || fact_changed {
+                    // Rewritten, or two pre-rewrite facts collapsed.
+                    changed_now.insert((rel, new_row));
                 }
             }
+            row_map.push(rel_rows);
         }
+        *instance = new_instance;
         *depths = new_depths;
 
         // Fold this iteration's substitution into the composed rewrite.
@@ -508,16 +578,14 @@ pub(crate) fn apply_fds_to_fixpoint(
         for (k, v) in &subst {
             rewrite.subst.entry(*k).or_insert(*v);
         }
-        let prior: Vec<Fact> = rewrite.changed.drain().collect();
-        for fact in prior {
-            let args: Vec<Value> = fact
-                .args()
+        if let Some(delta) = delta.as_deref_mut() {
+            let translated: RowSet = delta
                 .iter()
-                .map(|v| *subst.get(v).unwrap_or(v))
+                .map(|&(rel, row)| (rel, row_map[rel.index()][row as usize]))
                 .collect();
-            rewrite.changed.insert(Fact::new(fact.relation(), args));
+            *delta = translated;
+            delta.extend(changed_now);
         }
-        rewrite.changed.extend(changed_now);
     }
 }
 

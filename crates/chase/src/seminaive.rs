@@ -10,11 +10,10 @@
 //!    least one fact derived in round `k − 1` (otherwise all its body facts
 //!    existed earlier and the trigger was already examined). Each round
 //!    therefore unifies every body atom with every *delta* fact of its
-//!    relation and completes the match against the full instance through
-//!    the seeded homomorphism search
-//!    ([`rbqa_logic::homomorphism::all_homomorphisms_seeded`]), which runs
-//!    on the per-relation, per-position hash indexes of
-//!    [`rbqa_common::Instance`].
+//!    relation and completes the match against the full instance through a
+//!    per-(TGD, atom) cached seeded match program
+//!    ([`rbqa_logic::homomorphism::MatchProgram`]), which runs on the
+//!    sorted per-position posting lists of [`rbqa_common::Instance`].
 //! 2. **Rule dependency map.** A TGD is only considered in a round when
 //!    some body relation gained facts ([`DependencyMap`]).
 //! 3. **Deferred triggers.** Restricted-chase bookkeeping that naive gets
@@ -44,15 +43,17 @@
 //! equivalence on random schemas and constraint sets (away from the
 //! enumeration cap).
 
-use rbqa_common::{Fact, Instance, RelationId, Value, ValueFactory};
+use rbqa_common::{Instance, RelationId, Value, ValueFactory};
 use rbqa_logic::constraints::ConstraintSet;
-use rbqa_logic::homomorphism::{all_homomorphisms_seeded, find_homomorphism, Homomorphism};
-use rbqa_logic::{Atom, ConjunctiveQuery, Term, Tgd, VarId};
+use rbqa_logic::homomorphism::MatchProgram;
+use rbqa_logic::{Atom, Term, Tgd, VarId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
-use crate::engine::{apply_fds_to_fixpoint, fire_trigger, ChaseConfig, FireResult};
+use crate::engine::{
+    apply_fds_to_fixpoint, fire_trigger, ChaseConfig, DepthMap, FireResult, RowSet,
+};
 use crate::result::{ChaseOutcome, ChaseStats, Completion};
-use crate::trigger::Trigger;
+use crate::trigger::{HeadCheck, Trigger, TriggerAssignment};
 
 /// Maps each relation to the (ascending, deduplicated) indices of the TGDs
 /// whose *body* mentions it: the rules that must be re-evaluated when the
@@ -98,11 +99,11 @@ impl DependencyMap {
 }
 
 /// Unifies `atom` with a ground `tuple`, producing the induced partial
-/// assignment, or `None` when a constant mismatches or a repeated variable
-/// would need two values.
-fn unify_atom(atom: &Atom, tuple: &[Value]) -> Option<Homomorphism> {
+/// assignment as sorted `(variable, value)` seed pairs, or `None` when a
+/// constant mismatches or a repeated variable would need two values.
+fn unify_atom(atom: &Atom, tuple: &[Value]) -> Option<Vec<(VarId, Value)>> {
     debug_assert_eq!(atom.args().len(), tuple.len());
-    let mut seed = Homomorphism::default();
+    let mut seed: Vec<(VarId, Value)> = Vec::with_capacity(atom.args().len());
     for (term, &val) in atom.args().iter().zip(tuple.iter()) {
         match term {
             Term::Const(c) => {
@@ -110,73 +111,58 @@ fn unify_atom(atom: &Atom, tuple: &[Value]) -> Option<Homomorphism> {
                     return None;
                 }
             }
-            Term::Var(v) => match seed.get(v) {
-                Some(&prev) if prev != val => return None,
-                _ => {
-                    seed.insert(*v, val);
-                }
+            Term::Var(v) => match seed.iter().find(|(sv, _)| sv == v) {
+                Some(&(_, prev)) if prev != val => return None,
+                Some(_) => {}
+                None => seed.push((*v, val)),
             },
         }
     }
+    seed.sort_unstable_by_key(|&(v, _)| v);
     Some(seed)
 }
 
-/// Canonical dedup key of an assignment.
-fn assignment_key(assignment: &Homomorphism) -> Vec<(VarId, Value)> {
-    let mut key: Vec<(VarId, Value)> = assignment.iter().map(|(v, val)| (*v, *val)).collect();
-    key.sort_unstable();
-    key
-}
-
-/// Per-TGD state precomputed once per chase run.
+/// Per-TGD state precompiled once per chase run: one [`MatchProgram`] per
+/// seeded body shape plus the shared activeness check.
 ///
-/// * `without_atom[i]` is the body query with atom `i` removed: seeding the
-///   search with a delta fact unified against atom `i` pins all of that
-///   atom's variables, so the removed atom needs no re-join — for linear
-///   TGDs (IDs, the dominant class) the remaining query is empty and delta
-///   matching is O(1) per delta fact.
-/// * `head` / `exported` cache the head query and the frontier variables so
-///   the restricted-chase activeness check does not rebuild them (variable
-///   pools own interned name tables; cloning one per check dominates the
-///   check itself on trigger-heavy rounds).
+/// * `without_atom[i]` is the compiled body with atom `i` removed, declared
+///   to be seeded with atom `i`'s variables: unifying a delta fact against
+///   atom `i` pins all of that atom's variables, so the removed atom needs
+///   no re-join — for linear TGDs (IDs, the dominant class) the remaining
+///   program is empty and delta matching is O(1) per delta fact.
+/// * `head` is the engine-shared [`HeadCheck`] (the compiled head program
+///   seeded with the frontier variables), so the restricted-chase
+///   activeness check neither rebuilds queries nor re-plans the atom order
+///   per check — and cannot drift from the naive engine's.
 struct TgdPlan {
-    without_atom: Vec<ConjunctiveQuery>,
-    head: ConjunctiveQuery,
-    exported: Vec<VarId>,
+    without_atom: Vec<MatchProgram>,
+    head: HeadCheck,
 }
 
 impl TgdPlan {
     fn new(tgd: &Tgd) -> Self {
         let without_atom = (0..tgd.body().len())
             .map(|skip| {
-                let atoms: Vec<_> = tgd
+                let atoms: Vec<Atom> = tgd
                     .body()
                     .iter()
                     .enumerate()
                     .filter(|(j, _)| *j != skip)
                     .map(|(_, a)| a.clone())
                     .collect();
-                ConjunctiveQuery::new(tgd.vars().clone(), Vec::new(), atoms)
+                MatchProgram::compile_atoms(&atoms, &tgd.body()[skip].variables())
             })
             .collect();
         TgdPlan {
             without_atom,
-            head: ConjunctiveQuery::new(tgd.vars().clone(), Vec::new(), tgd.head().to_vec()),
-            exported: tgd.exported_variables(),
+            head: HeadCheck::new(tgd),
         }
     }
 
-    /// [`crate::trigger::head_satisfied`] against the cached head query:
-    /// whether `assignment` extends to a head match in `instance` (the
-    /// trigger is then inactive).
-    fn head_satisfied(&self, instance: &Instance, assignment: &Homomorphism) -> bool {
-        let mut seed: Homomorphism = FxHashMap::default();
-        for v in &self.exported {
-            if let Some(val) = assignment.get(v) {
-                seed.insert(*v, *val);
-            }
-        }
-        find_homomorphism(&self.head, instance, &seed).is_some()
+    /// Whether `assignment` extends to a head match in `instance` (the
+    /// trigger is then inactive). See [`HeadCheck`].
+    fn head_satisfied(&self, instance: &Instance, assignment: &[(VarId, Value)]) -> bool {
+        self.head.satisfied(instance, assignment)
     }
 }
 
@@ -194,56 +180,64 @@ fn delta_triggers(
     tgd_index: usize,
     plan: &TgdPlan,
     instance: &Instance,
-    delta_by_rel: &FxHashMap<RelationId, Vec<Vec<Value>>>,
+    delta_by_rel: &FxHashMap<RelationId, Vec<u32>>,
     limit: usize,
 ) -> (Vec<Trigger>, bool) {
-    let mut seen: FxHashSet<Vec<(VarId, Value)>> = FxHashSet::default();
+    let mut seen: FxHashSet<TriggerAssignment> = FxHashSet::default();
     let mut triggers: Vec<Trigger> = Vec::new();
     let mut truncated = false;
 
     'atoms: for (atom_idx, atom) in tgd.body().iter().enumerate() {
-        let Some(new_tuples) = delta_by_rel.get(&atom.relation()) else {
+        let Some(new_rows) = delta_by_rel.get(&atom.relation()) else {
             continue;
         };
         let rest = &plan.without_atom[atom_idx];
-        for tuple in new_tuples {
+        for &row in new_rows {
+            let tuple = instance.row(atom.relation(), row);
             let Some(seed) = unify_atom(atom, tuple) else {
                 continue;
             };
             // The seed pins every variable of `atom` to the delta fact
             // (which is present by construction), so only the remaining
-            // atoms are joined against the full instance via its
-            // per-position indexes.
-            for assignment in all_homomorphisms_seeded(rest, instance, &seed, limit) {
-                if seen.insert(assignment_key(&assignment)) {
+            // atoms are joined against the full instance by the cached
+            // match program over the sorted posting lists.
+            let mut hit_limit = false;
+            rest.for_each(instance, &seed, |binding| {
+                // `iter_bound` yields in slot order, so the assignment is
+                // already sorted — it doubles as its own dedup key.
+                let assignment: TriggerAssignment = binding.iter_bound().collect();
+                if seen.insert(assignment.clone()) {
                     triggers.push(Trigger {
                         tgd_index,
                         assignment,
                     });
                     if triggers.len() >= limit {
-                        truncated = true;
-                        break 'atoms;
+                        hit_limit = true;
+                        return false;
                     }
                 }
+                true
+            });
+            if hit_limit {
+                truncated = true;
+                break 'atoms;
             }
         }
     }
     (triggers, truncated)
 }
 
-/// Sorted, per-relation view of a delta set. Tuples are sorted so that the
-/// enumeration order (and hence null naming) is deterministic regardless of
-/// hash-set iteration order.
-fn group_delta(delta: &FxHashSet<Fact>) -> FxHashMap<RelationId, Vec<Vec<Value>>> {
-    let mut by_rel: FxHashMap<RelationId, Vec<Vec<Value>>> = FxHashMap::default();
-    for fact in delta {
-        by_rel
-            .entry(fact.relation())
-            .or_default()
-            .push(fact.args().to_vec());
+/// Sorted, per-relation view of a delta row set. Row ids are sorted so that
+/// the enumeration order (and hence null naming) is deterministic
+/// regardless of hash-set iteration order — row ids reflect insertion
+/// order, which is itself deterministic.
+fn group_delta(delta: &RowSet) -> FxHashMap<RelationId, Vec<u32>> {
+    let mut by_rel: FxHashMap<RelationId, Vec<u32>> = FxHashMap::default();
+    for &(rel, row) in delta {
+        by_rel.entry(rel).or_default().push(row);
     }
-    for tuples in by_rel.values_mut() {
-        tuples.sort_unstable();
+    for rows in by_rel.values_mut() {
+        rows.sort_unstable();
     }
     by_rel
 }
@@ -259,13 +253,21 @@ pub(crate) fn chase_seminaive(
 ) -> ChaseOutcome {
     let budget = config.budget;
     let mut current = instance.clone();
-    let mut depths: FxHashMap<Fact, usize> = current.iter_facts().map(|f| (f, 0)).collect();
+    let mut depths = DepthMap::zeros(&current);
     let mut stats = ChaseStats::default();
+    let mut scratch: Vec<Value> = Vec::new();
 
     // Initial FD fixpoint, as in the naive engine. No delta bookkeeping is
     // needed yet: the first round treats every fact as new.
     if config.apply_fds
-        && apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats).is_err()
+        && apply_fds_to_fixpoint(
+            &mut current,
+            constraints.fds(),
+            &mut depths,
+            &mut stats,
+            None,
+        )
+        .is_err()
     {
         return ChaseOutcome {
             instance: current,
@@ -275,12 +277,21 @@ pub(crate) fn chase_seminaive(
     }
 
     let deps = DependencyMap::new(constraints.tgds());
-    let plans: Vec<TgdPlan> = constraints.tgds().iter().map(TgdPlan::new).collect();
+    // Per-TGD plans are compiled on first use: the delta restriction means
+    // rules whose body relations never gain facts are never examined at
+    // all, and constraint sets like the ID linearization carry hundreds of
+    // rules over annotated relations that stay empty on a given run.
+    let mut plans: Vec<Option<TgdPlan>> = constraints.tgds().iter().map(|_| None).collect();
     let trigger_limit = budget.trigger_limit();
 
     // Round 1 sees the whole (FD-repaired) instance as its delta, so its
     // trigger enumeration coincides with the naive engine's first round.
-    let mut delta: FxHashSet<Fact> = current.iter_facts().collect();
+    let mut delta: RowSet = (0..current.signature().len())
+        .flat_map(|i| {
+            let rel = RelationId::from_index(i);
+            (0..current.relation_len(rel) as u32).map(move |row| (rel, row))
+        })
+        .collect();
 
     // Depth-deferred triggers: active triggers whose firing would exceed
     // `max_depth`. Their status can only change when an FD merge lowers a
@@ -321,10 +332,11 @@ pub(crate) fn chase_seminaive(
         };
         recheck_pending = false;
         for i in deps.affected(delta_by_rel.keys()) {
+            let plan = plans[i].get_or_insert_with(|| TgdPlan::new(&constraints.tgds()[i]));
             let (mut found, truncated) = delta_triggers(
                 &constraints.tgds()[i],
                 i,
-                &plans[i],
+                plan,
                 &current,
                 &delta_by_rel,
                 trigger_limit,
@@ -335,15 +347,17 @@ pub(crate) fn chase_seminaive(
             candidates.append(&mut found);
         }
 
-        let mut new_delta: FxHashSet<Fact> = FxHashSet::default();
-        let mut pending_keys: FxHashSet<(usize, Vec<(VarId, Value)>)> = FxHashSet::default();
+        let mut new_delta: RowSet = RowSet::default();
+        let mut pending_keys: FxHashSet<(usize, TriggerAssignment)> = FxHashSet::default();
 
         for trigger in candidates {
             let tgd = &constraints.tgds()[trigger.tgd_index];
             // Restricted-chase activeness check against the evolving
             // instance: earlier firings in this round (or of past rounds,
             // for deferred triggers) may have satisfied the head already.
-            if plans[trigger.tgd_index].head_satisfied(&current, &trigger.assignment) {
+            let plan = plans[trigger.tgd_index]
+                .get_or_insert_with(|| TgdPlan::new(&constraints.tgds()[trigger.tgd_index]));
+            if plan.head_satisfied(&current, &trigger.assignment) {
                 continue;
             }
             match fire_trigger(
@@ -355,12 +369,12 @@ pub(crate) fn chase_seminaive(
                 values,
                 budget,
                 Some(&mut new_delta),
+                &mut scratch,
             ) {
                 FireResult::Fired => fired_any = true,
                 FireResult::SkippedForDepth => {
                     skipped_for_depth = true;
-                    if pending_keys.insert((trigger.tgd_index, assignment_key(&trigger.assignment)))
-                    {
+                    if pending_keys.insert((trigger.tgd_index, trigger.assignment.clone())) {
                         pending.push(trigger);
                     }
                 }
@@ -376,10 +390,16 @@ pub(crate) fn chase_seminaive(
         }
 
         // Re-establish the FDs; a value merge invalidates trigger
-        // knowledge, so rewritten facts re-enter the delta and deferred
-        // assignments are substituted.
+        // knowledge, so rewritten rows re-enter the delta (translated in
+        // place by the fixpoint) and deferred assignments are substituted.
         if config.apply_fds {
-            match apply_fds_to_fixpoint(&mut current, constraints.fds(), &mut depths, &mut stats) {
+            match apply_fds_to_fixpoint(
+                &mut current,
+                constraints.fds(),
+                &mut depths,
+                &mut stats,
+                Some(&mut new_delta),
+            ) {
                 Err(()) => {
                     return ChaseOutcome {
                         instance: current,
@@ -388,10 +408,8 @@ pub(crate) fn chase_seminaive(
                     };
                 }
                 Ok(rewrite) if rewrite.rewrote() => {
-                    new_delta = new_delta.iter().map(|f| rewrite.map_fact(f)).collect();
-                    new_delta.extend(rewrite.changed.iter().cloned());
                     for trigger in &mut pending {
-                        for val in trigger.assignment.values_mut() {
+                        for (_, val) in trigger.assignment.iter_mut() {
                             if let Some(mapped) = rewrite.subst.get(val) {
                                 *val = *mapped;
                             }
@@ -421,7 +439,7 @@ pub(crate) fn chase_seminaive(
                 // (Triggers deferred during this round need no extra look —
                 // the naive engine would classify them identically.)
                 recheck_pending = true;
-                delta = FxHashSet::default();
+                delta = RowSet::default();
                 continue;
             }
             let completion = if skipped_for_depth {
@@ -498,10 +516,11 @@ mod tests {
         }
         let tgd = inclusion_dependency(&sig, r, &[0], s, &[0]);
 
-        // Only v0's fact is "new": a single trigger is found even though
-        // four body homomorphisms exist in the full instance.
-        let mut delta = FxHashSet::default();
-        delta.insert(Fact::new(r, vec![vals[0], vals[0]]));
+        // Only v0's fact (row 0 of R) is "new": a single trigger is found
+        // even though four body homomorphisms exist in the full instance.
+        let mut delta = RowSet::default();
+        let row = inst.row_id(r, &[vals[0], vals[0]]).unwrap();
+        delta.insert((r, row));
         let plan = TgdPlan::new(&tgd);
         let by_rel = group_delta(&delta);
         let (triggers, truncated) = delta_triggers(&tgd, 0, &plan, &inst, &by_rel, usize::MAX);
@@ -509,7 +528,7 @@ mod tests {
         assert_eq!(triggers.len(), 1);
 
         // An empty delta yields no triggers at all.
-        let by_rel = group_delta(&FxHashSet::default());
+        let by_rel = group_delta(&RowSet::default());
         let (triggers, truncated) = delta_triggers(&tgd, 0, &plan, &inst, &by_rel, usize::MAX);
         assert!(!truncated);
         assert!(triggers.is_empty());
@@ -535,7 +554,9 @@ mod tests {
         builder.head_atom(s, vec![Term::Var(x)]);
         let tgd = builder.build();
 
-        let delta: FxHashSet<Fact> = inst.iter_facts().collect();
+        let delta: RowSet = (0..inst.relation_len(r) as u32)
+            .map(|row| (r, row))
+            .collect();
         let by_rel = group_delta(&delta);
         let (triggers, _) =
             delta_triggers(&tgd, 0, &TgdPlan::new(&tgd), &inst, &by_rel, usize::MAX);

@@ -5,86 +5,164 @@
 //! to a homomorphism from the head into `I` (paper, Section 2). Firing a
 //! dependency on an active trigger adds head facts with fresh nulls for the
 //! existentially quantified variables.
+//!
+//! Trigger assignments are stored as sorted `(variable, value)` pair lists
+//! ([`TriggerAssignment`]) rather than hash maps: trigger-heavy rounds
+//! create thousands of them, and a sorted `Vec` costs one allocation, reads
+//! with a branch-free binary search, and is produced directly from the
+//! kernel's dense [`rbqa_logic::homomorphism::Binding`].
 
 use rbqa_common::{Instance, Value};
-use rbqa_logic::homomorphism::{all_homomorphisms, find_homomorphism, Homomorphism};
-use rbqa_logic::{ConjunctiveQuery, Tgd};
-use rustc_hash::FxHashMap;
+use rbqa_logic::homomorphism::MatchProgram;
+use rbqa_logic::{Tgd, VarId};
+
+/// A body-variable assignment as `(variable, value)` pairs sorted by
+/// variable — the chase's flat trigger representation.
+pub type TriggerAssignment = Vec<(VarId, Value)>;
+
+/// The value assigned to `var` by a sorted assignment, if any.
+#[inline]
+pub fn assignment_get(assignment: &[(VarId, Value)], var: VarId) -> Option<Value> {
+    assignment
+        .binary_search_by_key(&var, |&(v, _)| v)
+        .ok()
+        .map(|i| assignment[i].1)
+}
 
 /// A trigger: the assignment of the TGD's body variables to instance values.
 #[derive(Debug, Clone)]
 pub struct Trigger {
     /// Index of the dependency in the caller's TGD list.
     pub tgd_index: usize,
-    /// The body homomorphism.
-    pub assignment: Homomorphism,
+    /// The body homomorphism, sorted by variable.
+    pub assignment: TriggerAssignment,
 }
 
-/// Builds a Boolean CQ whose atoms are the body of `tgd` (reusing the TGD's
-/// variable pool so that variable identities line up).
-pub fn body_query(tgd: &Tgd) -> ConjunctiveQuery {
-    ConjunctiveQuery::new(tgd.vars().clone(), Vec::new(), tgd.body().to_vec())
+/// The cached restricted-chase activeness check of one TGD: the compiled
+/// head program seeded with the exported (frontier) variables. Shared by
+/// both engines' per-TGD caches ([`TgdKernel`] for the naive engine, the
+/// semi-naive engine's plans) so the check cannot drift between them.
+#[derive(Debug)]
+pub struct HeadCheck {
+    head: MatchProgram,
+    exported: Vec<VarId>,
 }
 
-/// Builds a Boolean CQ whose atoms are the head of `tgd`.
-pub fn head_query(tgd: &Tgd) -> ConjunctiveQuery {
-    ConjunctiveQuery::new(tgd.vars().clone(), Vec::new(), tgd.head().to_vec())
+impl HeadCheck {
+    /// Compiles the head program of `tgd`, seeded with its exported
+    /// variables.
+    pub fn new(tgd: &Tgd) -> Self {
+        let exported = tgd.exported_variables();
+        HeadCheck {
+            head: MatchProgram::compile_atoms(tgd.head(), &exported),
+            exported,
+        }
+    }
+
+    /// Whether the full body `assignment` extends to a head match in
+    /// `instance` (the trigger is then inactive). The assignment must bind
+    /// every exported variable — which any body homomorphism does.
+    pub fn satisfied(&self, instance: &Instance, assignment: &[(VarId, Value)]) -> bool {
+        let seed: Vec<(VarId, Value)> = self
+            .exported
+            .iter()
+            .filter_map(|v| assignment_get(assignment, *v).map(|val| (*v, val)))
+            .collect();
+        self.head.exists(instance, &seed)
+    }
+}
+
+/// Per-TGD compiled match programs, built once per chase run and reused
+/// across rounds: the body program enumerates triggers, the [`HeadCheck`]
+/// answers the restricted-chase activeness check. Compiling once amortises
+/// the atom ordering and variable-pool handling that the one-shot entry
+/// points redo per call.
+#[derive(Debug)]
+pub struct TgdKernel {
+    body: MatchProgram,
+    head: HeadCheck,
+}
+
+impl TgdKernel {
+    /// Compiles the body and head programs of `tgd`.
+    pub fn new(tgd: &Tgd) -> Self {
+        TgdKernel {
+            body: MatchProgram::compile_atoms(tgd.body(), &[]),
+            head: HeadCheck::new(tgd),
+        }
+    }
+
+    /// Whether the full body `assignment` extends to a head match in
+    /// `instance` (the trigger is then inactive). See [`HeadCheck`].
+    pub fn head_satisfied(&self, instance: &Instance, assignment: &[(VarId, Value)]) -> bool {
+        self.head.satisfied(instance, assignment)
+    }
+
+    /// Enumerates the active triggers of this TGD (identified by
+    /// `tgd_index`) in `instance`. At most `limit` body homomorphisms are
+    /// enumerated; the second component reports truncation (the chase
+    /// engine then treats the run as budget-exhausted rather than
+    /// saturated). Rules with many body atoms over large instances can have
+    /// exponentially many triggers, so an explicit cap is required to keep
+    /// the engine responsive on adversarial inputs.
+    pub fn active_triggers(
+        &self,
+        tgd_index: usize,
+        instance: &Instance,
+        limit: usize,
+    ) -> (Vec<Trigger>, bool) {
+        let mut assignments: Vec<TriggerAssignment> = Vec::new();
+        if limit > 0 {
+            self.body.for_each(instance, &[], |binding| {
+                assignments.push(binding.iter_bound().collect());
+                assignments.len() < limit
+            });
+        }
+        let truncated = assignments.len() >= limit;
+        let triggers = assignments
+            .into_iter()
+            .filter(|assignment| !self.head_satisfied(instance, assignment))
+            .map(|assignment| Trigger {
+                tgd_index,
+                assignment,
+            })
+            .collect();
+        (triggers, truncated)
+    }
 }
 
 /// Whether a body assignment can be extended to the head of `tgd` inside
-/// `instance` (i.e. whether the trigger is *inactive*).
-pub fn head_satisfied(tgd: &Tgd, instance: &Instance, assignment: &Homomorphism) -> bool {
-    // Seed the head search with the exported variables only.
-    let mut seed: Homomorphism = FxHashMap::default();
-    for v in tgd.exported_variables() {
-        if let Some(val) = assignment.get(&v) {
-            seed.insert(v, *val);
-        }
-    }
-    find_homomorphism(&head_query(tgd), instance, &seed).is_some()
+/// `instance` (i.e. whether the trigger is *inactive*). One-shot
+/// compatibility wrapper over [`HeadCheck`] (only the head program is
+/// compiled); engines cache a [`TgdKernel`] per TGD instead.
+pub fn head_satisfied(tgd: &Tgd, instance: &Instance, assignment: &[(VarId, Value)]) -> bool {
+    HeadCheck::new(tgd).satisfied(instance, assignment)
 }
 
 /// Enumerates the *active* triggers of `tgd` (identified by `tgd_index`) in
-/// `instance`.
-///
-/// At most `limit` body homomorphisms are enumerated; the second component
-/// of the result reports whether the enumeration was truncated (the chase
-/// engine then treats the run as budget-exhausted rather than saturated).
-/// Rules with many body atoms over large instances can have exponentially
-/// many triggers, so an explicit cap is required to keep the engine
-/// responsive on adversarial inputs (e.g. the naive cardinality
-/// axiomatisation exercised by the ablation benchmark).
+/// `instance`. One-shot compatibility wrapper over
+/// [`TgdKernel::active_triggers`].
 pub fn active_triggers(
     tgd: &Tgd,
     tgd_index: usize,
     instance: &Instance,
     limit: usize,
 ) -> (Vec<Trigger>, bool) {
-    let body = body_query(tgd);
-    let homomorphisms = all_homomorphisms(&body, instance, limit);
-    let truncated = homomorphisms.len() >= limit;
-    let triggers = homomorphisms
-        .into_iter()
-        .filter(|assignment| !head_satisfied(tgd, instance, assignment))
-        .map(|assignment| Trigger {
-            tgd_index,
-            assignment,
-        })
-        .collect();
-    (triggers, truncated)
+    TgdKernel::new(tgd).active_triggers(tgd_index, instance, limit)
 }
 
 /// The instance facts matched by the body of `tgd` under `assignment`
-/// (used by the engine to compute derivation depths).
+/// (used by tests and diagnostics to inspect a trigger; the engine computes
+/// derivation depths without materialising facts).
 pub fn matched_body_facts(
     tgd: &Tgd,
-    assignment: &Homomorphism,
+    assignment: &[(VarId, Value)],
 ) -> Vec<(rbqa_common::RelationId, Vec<Value>)> {
     tgd.body()
         .iter()
         .map(|atom| {
             let tuple = atom
-                .instantiate(assignment)
+                .instantiate_with(|v| assignment_get(assignment, v))
                 .expect("trigger assigns every body variable");
             (atom.relation(), tuple)
         })
@@ -155,6 +233,32 @@ mod tests {
     }
 
     #[test]
+    fn tgd_kernel_agrees_with_one_shot_helpers() {
+        let (sig, r, s) = setup();
+        let mut vf = ValueFactory::new();
+        let vals: Vec<_> = (0..4).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let mut inst = Instance::new(sig.clone());
+        for &v in &vals {
+            inst.insert(r, vec![v, v]).unwrap();
+        }
+        inst.insert(s, vec![vals[0], vals[1]]).unwrap(); // witness for v0 only
+        let tgd = inclusion_dependency(&sig, r, &[0], s, &[0]);
+        let kernel = TgdKernel::new(&tgd);
+        let (fast, fast_trunc) = kernel.active_triggers(3, &inst, usize::MAX);
+        let (slow, slow_trunc) = active_triggers(&tgd, 3, &inst, usize::MAX);
+        assert_eq!(fast_trunc, slow_trunc);
+        assert_eq!(fast.len(), slow.len());
+        assert_eq!(fast.len(), 3); // v1..v3 are active; v0 is head-satisfied
+        for trigger in &fast {
+            assert_eq!(trigger.tgd_index, 3);
+            assert_eq!(
+                kernel.head_satisfied(&inst, &trigger.assignment),
+                head_satisfied(&tgd, &inst, &trigger.assignment)
+            );
+        }
+    }
+
+    #[test]
     fn head_satisfied_respects_exported_values() {
         let (sig, r, s) = setup();
         let mut vf = ValueFactory::new();
@@ -167,5 +271,21 @@ mod tests {
         // The only trigger maps the exported variable to b, and S has no
         // fact with b in position 0, so the trigger is active.
         assert_eq!(active_triggers(&tgd, 0, &inst, usize::MAX).0.len(), 1);
+    }
+
+    #[test]
+    fn assignment_lookup_by_binary_search() {
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let (x, y, z) = (
+            VarId::from_index(0),
+            VarId::from_index(4),
+            VarId::from_index(9),
+        );
+        let assignment: TriggerAssignment = vec![(x, a), (y, b)];
+        assert_eq!(assignment_get(&assignment, x), Some(a));
+        assert_eq!(assignment_get(&assignment, y), Some(b));
+        assert_eq!(assignment_get(&assignment, z), None);
     }
 }

@@ -1,72 +1,190 @@
-//! In-memory relational instances with per-position indexes.
+//! In-memory relational instances with flat columnar storage and
+//! per-position posting lists.
 //!
-//! An [`Instance`] stores, for each relation, a deduplicated list of tuples
-//! together with an inverted index from `(position, value)` to the tuples
-//! containing that value at that position. The index is what makes
-//! homomorphism search, trigger enumeration in the chase and access-method
-//! lookups (bindings on input positions) cheap.
+//! An [`Instance`] stores, for each relation, a single stride-`arity`
+//! value arena (`Vec<Value>`, one contiguous row per tuple), a tuple-hash
+//! table mapping each tuple's hash to the row ids carrying it (O(1)
+//! membership without re-hashing whole `Vec<Value>` keys), and one sorted
+//! posting list of row ids per `(position, value)` pair. Row ids are handed
+//! out in insertion order, so posting lists are ascending by construction
+//! and probe conjunctions are answered by allocation-free galloping
+//! intersection — including an early-exit "first match only" mode used by
+//! existence checks. This storage is the substrate of the homomorphism
+//! kernel (`rbqa-logic`'s match programs), trigger enumeration in the
+//! chase, and access-method lookups (bindings on input positions).
 
-use rustc_hash::{FxHashMap, FxHashSet};
+use std::hash::BuildHasher;
+
+use rustc_hash::{FxBuildHasher, FxHashMap, FxHashSet};
 
 use crate::error::{Error, Result};
 use crate::fact::Fact;
 use crate::signature::{RelationId, Signature};
 use crate::value::Value;
 
-/// Tuples of one relation plus the per-position inverted index.
-#[derive(Debug, Default, Clone)]
+/// Hash of a tuple slice, used as the membership key.
+fn tuple_hash(tuple: &[Value]) -> u64 {
+    FxBuildHasher::default().hash_one(tuple)
+}
+
+/// Smallest index `i >= start` with `list[i] >= target`, found by galloping
+/// (exponential probe, then binary search inside the last doubling window).
+/// Cursor-driven callers advance through ascending posting lists in
+/// amortised `O(log gap)` per step instead of `O(log n)`.
+fn gallop(list: &[u32], start: usize, target: u32) -> usize {
+    if start >= list.len() || list[start] >= target {
+        return start;
+    }
+    let mut step = 1;
+    let mut lo = start;
+    // Invariant: list[lo] < target.
+    while lo + step < list.len() && list[lo + step] < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(list.len());
+    lo + 1 + list[lo + 1..hi].partition_point(|&v| v < target)
+}
+
+/// Tuples of one relation: flat arena, tuple-hash membership and posting
+/// lists.
+#[derive(Debug, Clone)]
 struct RelationData {
-    /// Deduplicated tuples, in insertion order.
-    tuples: Vec<Vec<Value>>,
-    /// Set view of `tuples` for O(1) membership tests.
-    present: FxHashSet<Vec<Value>>,
-    /// `(position, value)` -> indices into `tuples`.
-    index: FxHashMap<(usize, Value), Vec<usize>>,
+    /// Declared arity (row stride in `columns`).
+    arity: usize,
+    /// Row-major tuple arena; row `r` occupies
+    /// `columns[r * arity .. (r + 1) * arity]`.
+    columns: Vec<Value>,
+    /// Number of (deduplicated) rows stored.
+    rows: usize,
+    /// Tuple hash -> row ids with that hash (collision bucket; membership
+    /// compares against the arena).
+    seen: FxHashMap<u64, Vec<u32>>,
+    /// `(position, value)` -> ascending row ids. Sorted by construction:
+    /// row ids only ever grow.
+    index: FxHashMap<(u32, Value), Vec<u32>>,
 }
 
 impl RelationData {
-    fn insert(&mut self, tuple: Vec<Value>) -> bool {
-        if self.present.contains(&tuple) {
+    fn new(arity: usize) -> Self {
+        RelationData {
+            arity,
+            columns: Vec::new(),
+            rows: 0,
+            seen: FxHashMap::default(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, id: u32) -> &[Value] {
+        let start = id as usize * self.arity;
+        &self.columns[start..start + self.arity]
+    }
+
+    fn row_id_of(&self, tuple: &[Value]) -> Option<u32> {
+        let bucket = self.seen.get(&tuple_hash(tuple))?;
+        bucket.iter().copied().find(|&id| self.row(id) == tuple)
+    }
+
+    fn insert(&mut self, tuple: &[Value]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let hash = tuple_hash(tuple);
+        let bucket = self.seen.entry(hash).or_default();
+        let columns = &self.columns;
+        let arity = self.arity;
+        if bucket
+            .iter()
+            .any(|&id| &columns[id as usize * arity..(id as usize + 1) * arity] == tuple)
+        {
             return false;
         }
-        let idx = self.tuples.len();
+        let id = u32::try_from(self.rows).expect("more than u32::MAX tuples in one relation");
+        bucket.push(id);
+        self.columns.extend_from_slice(tuple);
+        self.rows += 1;
         for (pos, &value) in tuple.iter().enumerate() {
-            self.index.entry((pos, value)).or_default().push(idx);
+            self.index.entry((pos as u32, value)).or_default().push(id);
         }
-        self.present.insert(tuple.clone());
-        self.tuples.push(tuple);
         true
     }
 
     fn contains(&self, tuple: &[Value]) -> bool {
-        self.present.contains(tuple)
+        tuple.len() == self.arity && self.row_id_of(tuple).is_some()
     }
 
-    /// Indices of tuples matching every `(position, value)` pair in `binding`.
-    fn matching_indices(&self, binding: &[(usize, Value)]) -> Vec<usize> {
-        if binding.is_empty() {
-            return (0..self.tuples.len()).collect();
-        }
-        // Start from the most selective posting list.
-        let mut lists: Vec<&Vec<usize>> = Vec::with_capacity(binding.len());
-        for key in binding {
-            match self.index.get(key) {
-                Some(list) => lists.push(list),
-                None => return Vec::new(),
+    fn posting(&self, pos: usize, value: Value) -> Option<&[u32]> {
+        self.index
+            .get(&(pos as u32, value))
+            .map(|list| list.as_slice())
+    }
+
+    /// Appends to `out` the ascending row ids matching every
+    /// `(position, value)` pair of `probe`. An empty probe matches all rows.
+    fn matching_into(&self, probe: &[(usize, Value)], out: &mut Vec<u32>) {
+        match probe {
+            [] => out.extend(0..self.rows as u32),
+            [(pos, value)] => {
+                if let Some(list) = self.posting(*pos, *value) {
+                    out.extend_from_slice(list);
+                }
+            }
+            _ => {
+                let Some(lists) = self.probe_lists(probe) else {
+                    return;
+                };
+                let (driver, rest) = lists.split_first().expect("probe is non-empty");
+                let mut cursors = vec![0usize; rest.len()];
+                'candidates: for &id in *driver {
+                    for (list, cursor) in rest.iter().zip(cursors.iter_mut()) {
+                        *cursor = gallop(list, *cursor, id);
+                        if list.get(*cursor) != Some(&id) {
+                            continue 'candidates;
+                        }
+                    }
+                    out.push(id);
+                }
             }
         }
-        lists.sort_by_key(|l| l.len());
-        let mut result: Vec<usize> = lists[0].clone();
-        for list in &lists[1..] {
-            let set: FxHashSet<usize> = list.iter().copied().collect();
-            result.retain(|i| set.contains(i));
-            if result.is_empty() {
-                return result;
+    }
+
+    /// First (smallest) row id matching `probe`, or `None`. The early-exit
+    /// twin of [`RelationData::matching_into`] for existence checks.
+    fn first_matching(&self, probe: &[(usize, Value)]) -> Option<u32> {
+        match probe {
+            [] => (self.rows > 0).then_some(0),
+            [(pos, value)] => self.posting(*pos, *value).and_then(|l| l.first().copied()),
+            _ => {
+                let lists = self.probe_lists(probe)?;
+                let (driver, rest) = lists.split_first().expect("probe is non-empty");
+                let mut cursors = vec![0usize; rest.len()];
+                'candidates: for &id in *driver {
+                    for (list, cursor) in rest.iter().zip(cursors.iter_mut()) {
+                        *cursor = gallop(list, *cursor, id);
+                        if list.get(*cursor) != Some(&id) {
+                            continue 'candidates;
+                        }
+                    }
+                    return Some(id);
+                }
+                None
             }
         }
-        result.sort_unstable();
-        result.dedup();
-        result
+    }
+
+    /// The posting lists of a multi-pair probe, shortest first (the driver),
+    /// or `None` when some pair has no postings at all.
+    fn probe_lists(&self, probe: &[(usize, Value)]) -> Option<Vec<&[u32]>> {
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(probe.len());
+        for &(pos, value) in probe {
+            lists.push(self.posting(pos, value)?);
+        }
+        lists.sort_unstable_by_key(|l| l.len());
+        Some(lists)
+    }
+
+    fn iter_rows(&self) -> impl Iterator<Item = &[Value]> {
+        (0..self.rows as u32).map(|id| self.row(id))
     }
 }
 
@@ -99,7 +217,7 @@ impl Instance {
     /// Creates an empty instance over `signature`.
     pub fn new(signature: Signature) -> Self {
         let relations = (0..signature.len())
-            .map(|_| RelationData::default())
+            .map(|i| RelationData::new(signature.arity(RelationId::from_index(i))))
             .collect();
         Instance {
             signature,
@@ -117,6 +235,15 @@ impl Instance {
         self.relations.get(relation.index())
     }
 
+    /// Grows `relations` to cover every relation of the current signature.
+    fn grow_storage(&mut self) {
+        for i in self.relations.len()..self.signature.len() {
+            self.relations.push(RelationData::new(
+                self.signature.arity(RelationId::from_index(i)),
+            ));
+        }
+    }
+
     fn data_mut(&mut self, relation: RelationId) -> Result<&mut RelationData> {
         // The signature may have grown after this instance was created (the
         // answerability pipeline extends signatures); grow storage lazily.
@@ -127,8 +254,7 @@ impl Instance {
                     relation.index()
                 )));
             }
-            self.relations
-                .resize_with(self.signature.len(), RelationData::default);
+            self.grow_storage();
         }
         Ok(&mut self.relations[relation.index()])
     }
@@ -142,14 +268,19 @@ impl Instance {
             ));
         }
         self.signature = signature;
-        self.relations
-            .resize_with(self.signature.len(), RelationData::default);
+        self.grow_storage();
         Ok(())
     }
 
     /// Inserts a tuple into `relation`. Returns `Ok(true)` if the fact was
     /// new, `Ok(false)` if it was already present.
     pub fn insert(&mut self, relation: RelationId, tuple: Vec<Value>) -> Result<bool> {
+        self.insert_slice(relation, &tuple)
+    }
+
+    /// Slice-borrowing variant of [`Instance::insert`]: the tuple is copied
+    /// into the relation's arena only when it is new.
+    pub fn insert_slice(&mut self, relation: RelationId, tuple: &[Value]) -> Result<bool> {
         let arity = self.signature.arity(relation);
         if tuple.len() != arity {
             return Err(Error::ArityMismatch {
@@ -174,9 +305,12 @@ impl Instance {
     /// Inserts every fact of `other` into `self`.
     pub fn absorb(&mut self, other: &Instance) -> Result<usize> {
         let mut added = 0;
-        for fact in other.iter_facts() {
-            if self.insert(fact.relation(), fact.args().to_vec())? {
-                added += 1;
+        for (ri, data) in other.relations.iter().enumerate() {
+            let rid = RelationId::from_index(ri);
+            for tuple in data.iter_rows() {
+                if self.insert_slice(rid, tuple)? {
+                    added += 1;
+                }
             }
         }
         Ok(added)
@@ -204,23 +338,68 @@ impl Instance {
 
     /// Number of tuples in `relation`.
     pub fn relation_len(&self, relation: RelationId) -> usize {
-        self.data(relation).map_or(0, |d| d.tuples.len())
+        self.data(relation).map_or(0, |d| d.rows)
+    }
+
+    /// The tuple stored at `row` of `relation` (row ids are dense and in
+    /// insertion order, `0..relation_len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, relation: RelationId, row: u32) -> &[Value] {
+        self.relations[relation.index()].row(row)
     }
 
     /// Iterates over the tuples of `relation` in insertion order.
     pub fn tuples(&self, relation: RelationId) -> impl Iterator<Item = &[Value]> {
-        self.data(relation)
-            .into_iter()
-            .flat_map(|d| d.tuples.iter().map(|t| t.as_slice()))
+        self.data(relation).into_iter().flat_map(|d| d.iter_rows())
     }
 
     /// Iterates over all facts of the instance.
     pub fn iter_facts(&self) -> impl Iterator<Item = Fact> + '_ {
         self.relations.iter().enumerate().flat_map(|(ri, data)| {
-            data.tuples
-                .iter()
-                .map(move |t| Fact::new(RelationId::from_index(ri), t.clone()))
+            data.iter_rows()
+                .map(move |t| Fact::new(RelationId::from_index(ri), t.to_vec()))
         })
+    }
+
+    /// Appends to `out` the (ascending) row ids of `relation` whose tuples
+    /// match every `(position, value)` pair of `probe`; an empty probe
+    /// matches all rows. Conjunctive probes are answered by galloping
+    /// intersection of the sorted posting lists — no per-call hash sets.
+    /// Callers reuse `out` across calls to stay allocation-free.
+    pub fn matching_rows_into(
+        &self,
+        relation: RelationId,
+        probe: &[(usize, Value)],
+        out: &mut Vec<u32>,
+    ) {
+        if let Some(data) = self.data(relation) {
+            data.matching_into(probe, out);
+        }
+    }
+
+    /// The row id of `tuple` in `relation`, if present. Row ids are stable
+    /// for the lifetime of the instance (insertion order, no removals), so
+    /// callers can maintain per-row side tables (e.g. the chase's
+    /// derivation depths) without hashing whole tuples again.
+    pub fn row_id(&self, relation: RelationId, tuple: &[Value]) -> Option<u32> {
+        let data = self.data(relation)?;
+        if tuple.len() != data.arity {
+            return None;
+        }
+        data.row_id_of(tuple)
+    }
+
+    /// The first (smallest) row id of `relation` matching `probe`, if any:
+    /// the early-exit "first match only" mode used by existence checks.
+    pub fn first_matching_row(
+        &self,
+        relation: RelationId,
+        probe: &[(usize, Value)],
+    ) -> Option<u32> {
+        self.data(relation).and_then(|d| d.first_matching(probe))
     }
 
     /// Tuples of `relation` matching every `(position, value)` pair of
@@ -232,11 +411,11 @@ impl Instance {
     ) -> Vec<&[Value]> {
         match self.data(relation) {
             None => Vec::new(),
-            Some(data) => data
-                .matching_indices(binding)
-                .into_iter()
-                .map(|i| data.tuples[i].as_slice())
-                .collect(),
+            Some(data) => {
+                let mut rows = Vec::new();
+                data.matching_into(binding, &mut rows);
+                rows.into_iter().map(|id| data.row(id)).collect()
+            }
         }
     }
 
@@ -245,7 +424,15 @@ impl Instance {
     pub fn count_matching(&self, relation: RelationId, binding: &[(usize, Value)]) -> usize {
         match self.data(relation) {
             None => 0,
-            Some(data) => data.matching_indices(binding).len(),
+            Some(data) => match binding {
+                [] => data.rows,
+                [(pos, value)] => data.posting(*pos, *value).map_or(0, |l| l.len()),
+                _ => {
+                    let mut rows = Vec::new();
+                    data.matching_into(binding, &mut rows);
+                    rows.len()
+                }
+            },
         }
     }
 
@@ -253,9 +440,7 @@ impl Instance {
     pub fn active_domain(&self) -> FxHashSet<Value> {
         let mut dom = FxHashSet::default();
         for data in &self.relations {
-            for tuple in &data.tuples {
-                dom.extend(tuple.iter().copied());
-            }
+            dom.extend(data.columns.iter().copied());
         }
         dom
     }
@@ -264,7 +449,7 @@ impl Instance {
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
         for (ri, data) in self.relations.iter().enumerate() {
             let rid = RelationId::from_index(ri);
-            for tuple in &data.tuples {
+            for tuple in data.iter_rows() {
                 if !other.contains(rid, tuple) {
                     return false;
                 }
@@ -278,9 +463,13 @@ impl Instance {
     /// original schema relations.
     pub fn restrict<F: Fn(RelationId) -> bool>(&self, keep: F) -> Instance {
         let mut out = Instance::new(self.signature.clone());
-        for fact in self.iter_facts() {
-            if keep(fact.relation()) {
-                out.insert_fact(fact).expect("same signature");
+        for (ri, data) in self.relations.iter().enumerate() {
+            let rid = RelationId::from_index(ri);
+            if !keep(rid) {
+                continue;
+            }
+            for tuple in data.iter_rows() {
+                out.insert_slice(rid, tuple).expect("same signature");
             }
         }
         out
@@ -290,13 +479,14 @@ impl Instance {
     /// Values not present in `map` are kept unchanged.
     pub fn map_values(&self, map: &FxHashMap<Value, Value>) -> Instance {
         let mut out = Instance::new(self.signature.clone());
-        for fact in self.iter_facts() {
-            let args = fact
-                .args()
-                .iter()
-                .map(|v| *map.get(v).unwrap_or(v))
-                .collect();
-            out.insert(fact.relation(), args).expect("same signature");
+        let mut scratch: Vec<Value> = Vec::new();
+        for (ri, data) in self.relations.iter().enumerate() {
+            let rid = RelationId::from_index(ri);
+            for tuple in data.iter_rows() {
+                scratch.clear();
+                scratch.extend(tuple.iter().map(|v| *map.get(v).unwrap_or(v)));
+                out.insert_slice(rid, &scratch).expect("same signature");
+            }
         }
         out
     }
@@ -337,6 +527,7 @@ mod tests {
         assert!(!inst.contains(r, &[b, a]));
         assert_eq!(inst.len(), 1);
         assert_eq!(inst.relation_len(r), 1);
+        assert_eq!(inst.row(r, 0), &[a, b]);
     }
 
     #[test]
@@ -345,6 +536,7 @@ mod tests {
         let mut inst = Instance::new(sig);
         let a = vf.constant("a");
         assert!(inst.insert(r, vec![a]).is_err());
+        assert!(!inst.contains(r, &[a]));
     }
 
     #[test]
@@ -362,6 +554,79 @@ mod tests {
         assert_eq!(inst.matching_tuples(r, &[(1, a)]).len(), 0);
         assert_eq!(inst.matching_tuples(r, &[]).len(), 3);
         assert_eq!(inst.count_matching(r, &[(0, a)]), 2);
+        assert_eq!(inst.count_matching(r, &[(0, a), (1, b)]), 1);
+    }
+
+    #[test]
+    fn matching_rows_and_first_match() {
+        let (sig, mut vf, r, _) = setup();
+        let mut inst = Instance::new(sig);
+        let vals: Vec<_> = (0..8).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let a = vals[0];
+        for &v in &vals {
+            inst.insert(r, vec![a, v]).unwrap();
+            inst.insert(r, vec![v, v]).unwrap();
+        }
+        let mut rows = Vec::new();
+        inst.matching_rows_into(r, &[(0, a)], &mut rows);
+        assert_eq!(rows.len(), 8); // (a, v) for all 8 values; (a, a) deduped
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        rows.clear();
+        inst.matching_rows_into(r, &[(0, a), (1, vals[3])], &mut rows);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(inst.row(r, rows[0]), &[a, vals[3]]);
+        assert_eq!(
+            inst.first_matching_row(r, &[(0, a), (1, vals[3])]),
+            Some(rows[0])
+        );
+        assert_eq!(inst.first_matching_row(r, &[(1, a), (0, vals[3])]), None);
+        assert_eq!(inst.first_matching_row(r, &[]), Some(0));
+    }
+
+    #[test]
+    fn galloping_intersection_matches_naive() {
+        // Three-pair probes on a relation crafted so posting lists have very
+        // different lengths (exercises driver choice and cursor galloping).
+        let mut sig = Signature::new();
+        let t = sig.add_relation("T", 3).unwrap();
+        let mut vf = ValueFactory::new();
+        let common = vf.constant("common");
+        let rare = vf.constant("rare");
+        let vals: Vec<_> = (0..40).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let mut inst = Instance::new(sig);
+        for (i, &v) in vals.iter().enumerate() {
+            let third = if i % 7 == 0 { rare } else { v };
+            inst.insert(t, vec![common, v, third]).unwrap();
+            inst.insert(t, vec![v, common, third]).unwrap();
+        }
+        let probe = [(0usize, common), (2usize, rare)];
+        let mut rows = Vec::new();
+        inst.matching_rows_into(t, &probe, &mut rows);
+        let naive: Vec<u32> = (0..inst.relation_len(t) as u32)
+            .filter(|&id| probe.iter().all(|&(p, v)| inst.row(t, id)[p] == v))
+            .collect();
+        assert_eq!(rows, naive);
+        assert_eq!(inst.first_matching_row(t, &probe), naive.first().copied());
+    }
+
+    #[test]
+    fn gallop_finds_lower_bound() {
+        let list: Vec<u32> = vec![1, 3, 5, 9, 12, 30, 31, 32, 100];
+        for start in 0..list.len() {
+            for target in 0..=101u32 {
+                let expect = list
+                    .iter()
+                    .enumerate()
+                    .skip(start)
+                    .find(|(_, &v)| v >= target)
+                    .map_or(list.len(), |(i, _)| i);
+                assert_eq!(
+                    gallop(&list, start, target),
+                    expect,
+                    "start={start} target={target}"
+                );
+            }
+        }
     }
 
     #[test]

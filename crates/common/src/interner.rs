@@ -5,11 +5,23 @@
 //! identifier so that equality checks, hashing and joins operate on machine
 //! words. The interner is append-only: identifiers are never invalidated.
 
-use rustc_hash::FxHashMap;
+use std::hash::BuildHasher;
+
+use rustc_hash::{FxBuildHasher, FxHashMap};
 
 use crate::value::ConstId;
 
+/// Hash of a name, used as the id-keyed lookup key.
+fn name_hash(name: &str) -> u64 {
+    FxBuildHasher::default().hash_one(name)
+}
+
 /// Append-only string interner producing [`ConstId`]s.
+///
+/// Each distinct string is stored exactly once, in `names`; the lookup maps
+/// the string's hash to the ids carrying it (a collision bucket compared
+/// against `names`), so interning a new string costs a single allocation
+/// instead of one for the storage and one for a string-keyed map.
 ///
 /// ```
 /// use rbqa_common::Interner;
@@ -23,7 +35,7 @@ use crate::value::ConstId;
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
     names: Vec<String>,
-    lookup: FxHashMap<String, ConstId>,
+    lookup: FxHashMap<u64, Vec<ConstId>>,
 }
 
 impl Interner {
@@ -35,18 +47,23 @@ impl Interner {
     /// Interns `name`, returning the existing id when the string was seen
     /// before and a fresh id otherwise.
     pub fn intern(&mut self, name: &str) -> ConstId {
-        if let Some(&id) = self.lookup.get(name) {
+        let bucket = self.lookup.entry(name_hash(name)).or_default();
+        if let Some(&id) = bucket.iter().find(|id| self.names[id.index()] == name) {
             return id;
         }
         let id = ConstId::from_index(self.names.len());
         self.names.push(name.to_owned());
-        self.lookup.insert(name.to_owned(), id);
+        bucket.push(id);
         id
     }
 
     /// Returns the id of `name` if it has already been interned.
     pub fn get(&self, name: &str) -> Option<ConstId> {
-        self.lookup.get(name).copied()
+        self.lookup
+            .get(&name_hash(name))?
+            .iter()
+            .copied()
+            .find(|id| self.names[id.index()] == name)
     }
 
     /// Resolves an id back to its string.

@@ -25,5 +25,5 @@ pub use error::{Error, Result};
 pub use fact::Fact;
 pub use instance::Instance;
 pub use interner::Interner;
-pub use signature::{Relation, RelationId, Signature};
+pub use signature::{Relation, RelationId, Signature, MAX_ARITY};
 pub use value::{ConstId, NullId, Value, ValueFactory};

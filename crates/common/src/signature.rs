@@ -70,6 +70,14 @@ pub struct Signature {
     by_name: FxHashMap<String, RelationId>,
 }
 
+/// Maximum supported relation arity.
+///
+/// Position sets are packed into `u32` bitmasks by the containment layer's
+/// truncated-axiom saturation; enforcing the bound here, at declaration
+/// time, turns an unsupported schema into a structured [`Error`] at the API
+/// boundary instead of a panic deep inside a Decide.
+pub const MAX_ARITY: usize = 32;
+
 impl Signature {
     /// Creates an empty signature.
     pub fn new() -> Self {
@@ -77,9 +85,14 @@ impl Signature {
     }
 
     /// Declares a relation. Re-declaring an existing relation with the same
-    /// arity returns the existing id; declaring it with a different arity is
-    /// an error.
+    /// arity returns the existing id; declaring it with a different arity —
+    /// or with an arity above [`MAX_ARITY`] — is an error.
     pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelationId> {
+        if arity > MAX_ARITY {
+            return Err(Error::Invalid(format!(
+                "relation `{name}` declares arity {arity}, above the supported maximum {MAX_ARITY}"
+            )));
+        }
         if let Some(&id) = self.by_name.get(name) {
             let existing = self.relations[id.index()].arity;
             if existing == arity {

@@ -39,8 +39,7 @@ use std::collections::BTreeSet;
 use crate::bounds::completeness_depth_for;
 use crate::problem::ContainmentOutcome;
 use crate::saturation::{
-    saturate_truncated_axioms, subsets_up_to, transferred_positions, MethodSignature,
-    TruncatedAxiom,
+    saturate_truncated_axioms, subsets_up_to, MethodSignature, TruncatedAxiom,
 };
 
 /// The linearized signature, rules and derived axioms for one schema.
@@ -98,6 +97,25 @@ impl LinearizedSchema {
         let width = width.max(id_width).max(1);
         let axioms = saturate_truncated_axioms(sig, ids, methods, width);
 
+        // One pass over the axioms instead of a rescan per (relation,
+        // subset) in the rule loops below.
+        let mut transferred_of: FxHashMap<(RelationId, Vec<usize>), BTreeSet<usize>> =
+            FxHashMap::default();
+        for ax in &axioms {
+            transferred_of
+                .entry((ax.relation, ax.premises.iter().copied().collect()))
+                .or_default()
+                .insert(ax.conclusion);
+        }
+        let transferred_of = |rid: RelationId, subset: &BTreeSet<usize>| -> BTreeSet<usize> {
+            let key: Vec<usize> = subset.iter().copied().collect();
+            let mut out = subset.clone();
+            if let Some(extra) = transferred_of.get(&(rid, key)) {
+                out.extend(extra.iter().copied());
+            }
+            out
+        };
+
         // Expanded signature.
         let mut lin_signature = sig.clone();
         let mut rp: FxHashMap<(RelationId, Vec<usize>), RelationId> = FxHashMap::default();
@@ -131,7 +149,7 @@ impl LinearizedSchema {
             for subset in subsets_up_to(arity, width) {
                 let key: Vec<usize> = subset.iter().copied().collect();
                 let rp_rel = rp[&(rid, key)];
-                let transferred = transferred_positions(&axioms, rid, &subset);
+                let transferred = transferred_of(rid, &subset);
 
                 // (Transfer): some non-result-bounded method's inputs are
                 // covered by the transferred positions.
@@ -183,7 +201,7 @@ impl LinearizedSchema {
             for subset in subsets_up_to(body_arity, width) {
                 let key: Vec<usize> = subset.iter().copied().collect();
                 let body_rp = rp[&(body_rel, key)];
-                let transferred = transferred_positions(&axioms, body_rel, &subset);
+                let transferred = transferred_of(body_rel, &subset);
                 // Exported body positions whose accessibility transfers.
                 let head_positions: BTreeSet<usize> = map
                     .iter()
@@ -250,11 +268,20 @@ impl LinearizedSchema {
         seed: &FxHashSet<Value>,
     ) -> FxHashSet<Value> {
         let mut accessible = seed.clone();
+        // Group the axioms per relation once; the fixpoint then scans each
+        // tuple against its own relation's axioms only.
+        let mut by_relation: FxHashMap<RelationId, Vec<&TruncatedAxiom>> = FxHashMap::default();
+        for ax in &self.axioms {
+            by_relation.entry(ax.relation).or_default().push(ax);
+        }
         loop {
             let mut changed = false;
             for (rid, _) in self.base_signature.iter() {
+                let Some(axioms) = by_relation.get(&rid) else {
+                    continue;
+                };
                 for tuple in instance.tuples(rid) {
-                    for ax in self.axioms.iter().filter(|a| a.relation == rid) {
+                    for ax in axioms {
                         if ax.premises.iter().all(|&p| accessible.contains(&tuple[p]))
                             && accessible.insert(tuple[ax.conclusion])
                         {
@@ -278,6 +305,8 @@ impl LinearizedSchema {
         let mut out = Instance::new(self.lin_signature.clone());
         for (rid, rel) in self.base_signature.iter() {
             let arity = rel.arity();
+            // One subset lattice per relation, not per tuple.
+            let subsets = subsets_up_to(arity, self.width);
             for tuple in base.tuples(rid) {
                 // Keep the original fact (harmless; the rules only read the
                 // annotated and primed relations).
@@ -285,9 +314,9 @@ impl LinearizedSchema {
                 let acc_positions: BTreeSet<usize> = (0..arity)
                     .filter(|&i| accessible.contains(&tuple[i]))
                     .collect();
-                for subset in subsets_up_to(arity, self.width) {
+                for subset in &subsets {
                     if subset.is_subset(&acc_positions) {
-                        let rp_rel = self.rp_relation(rid, &subset).expect("subset within width");
+                        let rp_rel = self.rp_relation(rid, subset).expect("subset within width");
                         out.insert(rp_rel, tuple.to_vec()).expect("same arity");
                     }
                 }

@@ -14,7 +14,7 @@
 
 use rbqa_common::{RelationId, Signature};
 use rbqa_logic::Tgd;
-use rustc_hash::FxHashSet;
+use rustc_hash::FxHashMap;
 use std::collections::BTreeSet;
 
 /// Abstract description of an access method, decoupled from the plan layer:
@@ -108,102 +108,167 @@ pub fn saturate_truncated_axioms(
     methods: &[MethodSignature],
     breadth: usize,
 ) -> Vec<TruncatedAxiom> {
-    let mut set: FxHashSet<TruncatedAxiom> = FxHashSet::default();
+    // The saturation state is a map from `(relation, premise set)` to the
+    // set of transferred positions. Premise and conclusion sets are packed
+    // into `u32` bitmasks (arities are tiny), so the fixpoint manipulates
+    // machine words instead of allocated `BTreeSet`s — the snapshot-free
+    // formulation below is what keeps `LinearizedSchema::build` off the
+    // Decide hot path.
+    let mask_of = |set: &BTreeSet<usize>| -> u32 { set.iter().fold(0u32, |m, &p| m | (1 << p)) };
 
-    // Initialisation: trivial axioms.
-    for (rid, rel) in sig.iter() {
-        for premises in subsets_up_to(rel.arity(), breadth) {
-            for &j in &premises {
-                set.insert(TruncatedAxiom::new(rid, premises.clone(), j));
-            }
-        }
+    // Dense premise-set table per relation: `premise_sets[rel]` lists every
+    // subset of the relation's positions of size at most `breadth` (as
+    // masks), and `reachable[rel][k]` is the transferred-position mask of
+    // `premise_sets[rel][k]`, initialised to the trivial axioms (P itself).
+    let relation_count = sig.len();
+    let mut premise_sets: Vec<Vec<u32>> = Vec::with_capacity(relation_count);
+    let mut reachable: Vec<Vec<u32>> = Vec::with_capacity(relation_count);
+    for (_, rel) in sig.iter() {
+        // `Signature::add_relation` caps arities at `MAX_ARITY` (= 32), so
+        // every position set fits a u32 mask; this guards the invariant.
+        debug_assert!(
+            rel.arity() <= rbqa_common::MAX_ARITY,
+            "saturation packs positions into u32"
+        );
+        let masks: Vec<u32> = subsets_up_to(rel.arity(), breadth)
+            .iter()
+            .map(&mask_of)
+            .collect();
+        reachable.push(masks.clone());
+        premise_sets.push(masks);
     }
+    // O(1) slot lookup for the (ID) rule, built once outside the fixpoint.
+    let slot_of: FxHashMap<(usize, u32), usize> = premise_sets
+        .iter()
+        .enumerate()
+        .flat_map(|(rel, masks)| masks.iter().enumerate().map(move |(k, &m)| ((rel, m), k)))
+        .collect();
+    let index_of = |rel: usize, mask: u32| -> usize { slot_of[&(rel, mask)] };
 
-    // Pre-compute the ID position maps once: (body relation, head
-    // relation, exported (body position, head position) pairs).
-    type IdMap = (RelationId, RelationId, Vec<(usize, usize)>);
+    // Pre-compute the ID position maps once: (body relation, head relation,
+    // exported (body position, head position) pairs) plus the head-image
+    // mask and the head->body translation table.
+    struct IdMap {
+        body_rel: usize,
+        head_rel: usize,
+        image: u32,
+        back: Vec<usize>, // indexed by head position (valid where `image` set)
+    }
     let id_maps: Vec<IdMap> = ids
         .iter()
         .filter_map(|tgd| {
-            tgd.id_position_map()
-                .map(|m| (tgd.body()[0].relation(), tgd.head()[0].relation(), m))
+            tgd.id_position_map().map(|m| {
+                let head_arity = sig.arity(tgd.head()[0].relation());
+                let mut image = 0u32;
+                let mut back = vec![usize::MAX; head_arity];
+                // Mirror the reference formulation: the first body position
+                // mapping to a head position wins.
+                for &(b, h) in &m {
+                    if back[h] == usize::MAX {
+                        back[h] = b;
+                        image |= 1 << h;
+                    }
+                }
+                IdMap {
+                    body_rel: tgd.body()[0].relation().index(),
+                    head_rel: tgd.head()[0].relation().index(),
+                    image,
+                    back,
+                }
+            })
         })
         .collect();
+    let back_mask = |id: &IdMap, mask: u32| -> u32 {
+        let mut out = 0u32;
+        for h in 0..id.back.len() {
+            if mask & (1 << h) != 0 {
+                out |= 1 << id.back[h];
+            }
+        }
+        out
+    };
 
-    loop {
-        let mut added: Vec<TruncatedAxiom> = Vec::new();
-        let snapshot: Vec<TruncatedAxiom> = set.iter().cloned().collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        // (Access): if all input positions of a (non-result-bounded) method
+        // on R are transferred by P, then every position of R is.
+        for m in methods.iter().filter(|m| !m.result_bounded) {
+            let rel = m.relation.index();
+            let arity = sig.arity(m.relation);
+            // All-positions mask; written shift-free so arity = 32 (the
+            // `MAX_ARITY` cap) does not overflow the u32 shift.
+            let full: u32 = if arity == 0 {
+                0
+            } else {
+                u32::MAX >> (32 - arity)
+            };
+            let inputs = m
+                .input_positions
+                .iter()
+                .fold(0u32, |acc, &i| acc | (1 << i));
+            for t in reachable[rel].iter_mut() {
+                if *t & inputs == inputs && *t != full {
+                    *t = full;
+                    changed = true;
+                }
+            }
+        }
 
         // (ID): an axiom on the head relation of an ID, whose positions are
         // all exported, pulls back to the body relation.
-        for (body_rel, head_rel, map) in &id_maps {
-            for ax in snapshot.iter().filter(|a| a.relation == *head_rel) {
-                let back = |h: usize| map.iter().find(|(_, hh)| *hh == h).map(|(b, _)| *b);
-                let premises_back: Option<BTreeSet<usize>> =
-                    ax.premises.iter().map(|&h| back(h)).collect();
-                let conclusion_back = back(ax.conclusion);
-                if let (Some(premises), Some(conclusion)) = (premises_back, conclusion_back) {
-                    let cand = TruncatedAxiom::new(*body_rel, premises, conclusion);
-                    if !set.contains(&cand) {
-                        added.push(cand);
-                    }
+        for id in &id_maps {
+            for k in 0..premise_sets[id.head_rel].len() {
+                let premises = premise_sets[id.head_rel][k];
+                if premises & !id.image != 0 {
+                    continue;
+                }
+                let conclusions = reachable[id.head_rel][k] & id.image;
+                let body_premises = back_mask(id, premises);
+                let body_conclusions = back_mask(id, conclusions);
+                let target = index_of(id.body_rel, body_premises);
+                let t = &mut reachable[id.body_rel][target];
+                if *t | body_conclusions != *t {
+                    *t |= body_conclusions;
+                    changed = true;
                 }
             }
         }
 
-        // (Access): if all input positions of a (non-result-bounded) method
-        // on R are derivable from P, then every position of R is.
-        for m in methods.iter().filter(|m| !m.result_bounded) {
-            let arity = sig.arity(m.relation);
-            for premises in subsets_up_to(arity, breadth) {
-                let inputs_covered = m
-                    .input_positions
-                    .iter()
-                    .all(|&i| set.contains(&TruncatedAxiom::new(m.relation, premises.clone(), i)));
-                if inputs_covered {
-                    for j in 0..arity {
-                        let cand = TruncatedAxiom::new(m.relation, premises.clone(), j);
-                        if !set.contains(&cand) {
-                            added.push(cand);
-                        }
+        // (Transitivity): positions transferred by P can serve as premises
+        // for further transfers from P: fold in the reachable set of every
+        // premise set covered by P's current closure.
+        for rel in 0..relation_count {
+            for k in 0..premise_sets[rel].len() {
+                let closure = premise_sets[rel][k] | reachable[rel][k];
+                let mut grown = reachable[rel][k];
+                for k2 in 0..premise_sets[rel].len() {
+                    if premise_sets[rel][k2] & !closure == 0 {
+                        grown |= reachable[rel][k2];
                     }
+                }
+                if grown != reachable[rel][k] {
+                    reachable[rel][k] = grown;
+                    changed = true;
                 }
             }
         }
-
-        // (Transitivity): positions derivable from P can serve as premises
-        // for further derivations from P.
-        {
-            use rustc_hash::FxHashMap;
-            let mut derivable: FxHashMap<(RelationId, BTreeSet<usize>), BTreeSet<usize>> =
-                FxHashMap::default();
-            for ax in &snapshot {
-                derivable
-                    .entry((ax.relation, ax.premises.clone()))
-                    .or_default()
-                    .insert(ax.conclusion);
-            }
-            for ((rel, premises), reachable) in &derivable {
-                let mut extended: BTreeSet<usize> = premises.clone();
-                extended.extend(reachable.iter().copied());
-                for ax in snapshot.iter().filter(|a| a.relation == *rel) {
-                    if ax.premises.is_subset(&extended) {
-                        let cand = TruncatedAxiom::new(*rel, premises.clone(), ax.conclusion);
-                        if !set.contains(&cand) {
-                            added.push(cand);
-                        }
-                    }
-                }
-            }
-        }
-
-        if added.is_empty() {
-            break;
-        }
-        set.extend(added);
     }
 
-    let mut out: Vec<TruncatedAxiom> = set.into_iter().collect();
+    // Unpack the masks into the public axiom representation.
+    let mut out: Vec<TruncatedAxiom> = Vec::new();
+    for (rid, rel) in sig.iter() {
+        let arity = rel.arity();
+        for (k, &premises) in premise_sets[rid.index()].iter().enumerate() {
+            let premise_set: BTreeSet<usize> =
+                (0..arity).filter(|&p| premises & (1 << p) != 0).collect();
+            let t = reachable[rid.index()][k];
+            for j in (0..arity).filter(|&j| t & (1 << j) != 0) {
+                out.push(TruncatedAxiom::new(rid, premise_set.clone(), j));
+            }
+        }
+    }
     out.sort();
     out
 }

@@ -81,7 +81,21 @@ pub fn validate_plan(
 ) -> ValidationReport {
     let mut trials = 0;
     for (idx, instance) in instances.iter().enumerate() {
-        let expected = evaluate(query, instance);
+        // An unsafe query (free variable absent from the body) has no
+        // defined answer to validate against; report it instead of
+        // silently comparing to an empty answer set.
+        let expected = match evaluate(query, instance) {
+            Ok(rows) => rows,
+            Err(e) => {
+                return ValidationReport {
+                    trials,
+                    discrepancy: Some(Discrepancy::ExecutionError {
+                        instance_index: idx,
+                        message: format!("query evaluation failed: {e}"),
+                    }),
+                }
+            }
+        };
         let mut selections: Vec<(String, Box<dyn AccessSelection>)> = vec![
             (
                 "truncating".to_owned(),

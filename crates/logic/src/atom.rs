@@ -95,13 +95,42 @@ impl Atom {
     /// producing the argument tuple. Returns `None` if some variable is
     /// unassigned.
     pub fn instantiate(&self, assignment: &FxHashMap<VarId, Value>) -> Option<Vec<Value>> {
+        self.instantiate_with(|v| assignment.get(&v).copied())
+    }
+
+    /// Instantiates the atom through an arbitrary variable lookup (e.g. a
+    /// sorted pair list or a dense binding), producing the argument tuple.
+    /// Returns `None` if the lookup misses some variable.
+    pub fn instantiate_with<F: Fn(VarId) -> Option<Value>>(&self, lookup: F) -> Option<Vec<Value>> {
         self.args
             .iter()
             .map(|t| match t {
-                Term::Var(v) => assignment.get(v).copied(),
+                Term::Var(v) => lookup(*v),
                 Term::Const(c) => Some(*c),
             })
             .collect()
+    }
+
+    /// Instantiates the atom into a caller-provided buffer (cleared first),
+    /// avoiding a fresh allocation per call on hot paths. Returns `false`
+    /// (leaving the buffer in an unspecified state) if the lookup misses
+    /// some variable.
+    pub fn instantiate_into<F: Fn(VarId) -> Option<Value>>(
+        &self,
+        lookup: F,
+        out: &mut Vec<Value>,
+    ) -> bool {
+        out.clear();
+        for t in &self.args {
+            match t {
+                Term::Var(v) => match lookup(*v) {
+                    Some(val) => out.push(val),
+                    None => return false,
+                },
+                Term::Const(c) => out.push(*c),
+            }
+        }
+        true
     }
 
     /// Renders the atom using relation names from `sig` and variable names

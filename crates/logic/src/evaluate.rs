@@ -1,10 +1,24 @@
 //! Evaluation of (possibly non-Boolean) conjunctive queries over instances.
 
-use rbqa_common::{Instance, Value};
+use rbqa_common::{Error, Instance, Result, Value};
 use rustc_hash::FxHashSet;
 
 use crate::cq::ConjunctiveQuery;
-use crate::homomorphism::all_homomorphisms;
+use crate::homomorphism::MatchProgram;
+use crate::term::VarId;
+
+/// The free variables of `query` that do not occur in its body, rendered by
+/// name. A non-empty result means the query is *unsafe*: those answer
+/// positions have no defined value.
+fn unsafe_free_vars(query: &ConjunctiveQuery) -> Vec<String> {
+    let body: Vec<VarId> = query.all_variables();
+    query
+        .free_vars()
+        .iter()
+        .filter(|v| !body.contains(v))
+        .map(|v| query.vars().name(*v).to_owned())
+        .collect()
+}
 
 /// Evaluates `query` over `instance`, returning the set of answer tuples
 /// (projections of homomorphisms onto the free variables, deduplicated,
@@ -13,28 +27,46 @@ use crate::homomorphism::all_homomorphisms;
 /// For a Boolean query the result is either `[[]]` (the query holds — one
 /// empty answer tuple) or `[]` (it does not), matching the usual convention
 /// that the output of a Boolean query is `true` or `false`.
-pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> Vec<Vec<Value>> {
-    let homs = all_homomorphisms(query, instance, usize::MAX);
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] when the query is *unsafe* — some free
+/// (answer) variable does not occur in the body, so its answer position has
+/// no defined value. The request layer (`rbqa-api`'s builder) rejects such
+/// queries up front; the core refuses to guess rather than silently
+/// dropping tuples.
+pub fn evaluate(query: &ConjunctiveQuery, instance: &Instance) -> Result<Vec<Vec<Value>>> {
+    let missing = unsafe_free_vars(query);
+    if !missing.is_empty() {
+        return Err(Error::Invalid(format!(
+            "unsafe query: free variable(s) {} do not occur in the body",
+            missing
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+    // Project each homomorphism onto the free variables straight from the
+    // kernel's dense binding — no intermediate hash-map materialisation.
+    let program = MatchProgram::compile(query, &[]);
     let mut out: FxHashSet<Vec<Value>> = FxHashSet::default();
-    for h in homs {
-        let tuple: Option<Vec<Value>> = query
+    program.for_each(instance, &[], |binding| {
+        let tuple: Vec<Value> = query
             .free_vars()
             .iter()
-            .map(|v| h.get(v).copied())
+            .map(|v| {
+                binding
+                    .get(*v)
+                    .expect("safe query: free vars occur in body")
+            })
             .collect();
-        match tuple {
-            Some(t) => {
-                out.insert(t);
-            }
-            None => {
-                // A free variable not occurring in the body: the query is
-                // unsafe; we treat the answer as undefined and skip it.
-            }
-        }
-    }
+        out.insert(tuple);
+        true
+    });
     let mut result: Vec<Vec<Value>> = out.into_iter().collect();
     result.sort();
-    result
+    Ok(result)
 }
 
 /// Evaluates the Boolean closure of `query` on `instance`.
@@ -88,7 +120,7 @@ mod tests {
             .atom(prof, vec![i.into(), n.into(), salary])
             .build();
 
-        let answers = evaluate(&q, &inst);
+        let answers = evaluate(&q, &inst).unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0], vec![v[1]]);
     }
@@ -101,10 +133,10 @@ mod tests {
         let x = b.var("x");
         let q = b.atom(prof, vec![x.into(), x.into(), x.into()]).build();
         assert!(!evaluate_boolean(&q, &inst));
-        assert_eq!(evaluate(&q, &inst), Vec::<Vec<Value>>::new());
+        assert_eq!(evaluate(&q, &inst).unwrap(), Vec::<Vec<Value>>::new());
         inst.insert(prof, vec![v[0], v[0], v[0]]).unwrap();
         assert!(evaluate_boolean(&q, &inst));
-        assert_eq!(evaluate(&q, &inst), vec![Vec::<Value>::new()]);
+        assert_eq!(evaluate(&q, &inst).unwrap(), vec![Vec::<Value>::new()]);
     }
 
     #[test]
@@ -122,7 +154,7 @@ mod tests {
             .free(n)
             .atom(prof, vec![i.into(), n.into(), s.into()])
             .build();
-        let answers = evaluate(&q, &inst);
+        let answers = evaluate(&q, &inst).unwrap();
         assert_eq!(answers.len(), 1);
     }
 
@@ -141,10 +173,29 @@ mod tests {
             .free(n)
             .atom(prof, vec![i.into(), n.into(), s.into()])
             .build();
-        let answers = evaluate(&q, &inst);
+        let answers = evaluate(&q, &inst).unwrap();
         assert_eq!(answers.len(), 2);
         let mut sorted = answers.clone();
         sorted.sort();
         assert_eq!(answers, sorted);
+    }
+
+    #[test]
+    fn unsafe_query_is_rejected() {
+        // Q(y) :- Prof(x, x, x): the free variable y has no defined value.
+        let (sig, prof, _vf, v) = prof_setup();
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(prof, vec![v[0], v[0], v[0]]).unwrap();
+        let mut b = CqBuilder::new();
+        let x = b.var("x");
+        let y = b.var("y");
+        let q = b
+            .free(y)
+            .atom(prof, vec![x.into(), x.into(), x.into()])
+            .build();
+        let err = evaluate(&q, &inst).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unsafe query"), "{msg}");
+        assert!(msg.contains("`y`"), "{msg}");
     }
 }

@@ -3,11 +3,39 @@
 //! A Boolean CQ `Q` holds in an instance `I` exactly when there is a
 //! homomorphism from `Q` to `I`: a mapping of the variables of `Q` to values
 //! of `I` (identity on constants) sending every atom of `Q` to a fact of `I`
-//! (paper, Section 2). The search below is a straightforward backtracking
-//! join that uses the per-position indexes of [`Instance`] and a
-//! most-constrained-atom-first ordering heuristic.
+//! (paper, Section 2). This module is the matching kernel every decision
+//! procedure of the workspace bottoms out in — chase trigger enumeration,
+//! AMonDet containment, query evaluation and plan validation.
+//!
+//! Two implementations share one semantics:
+//!
+//! * **The compiled kernel** (default). A CQ body is compiled once into a
+//!   [`MatchProgram`]: an atom order fixed up front (most-constrained-first
+//!   with bound-variable lookahead), with every position classified at
+//!   compile time as a constant probe, a bound-variable probe, a
+//!   first-occurrence bind or a repeated-variable check. Execution walks the
+//!   program with a dense [`Binding`] (a flat slot per variable, undo-stack
+//!   backtracking — no hash maps, no per-step clones), probing the flat
+//!   posting-list storage of [`Instance`] (`matching_rows_into`,
+//!   `first_matching_row`); fully-bound atoms degrade to a single O(1)
+//!   membership test. Programs are cached per TGD by the chase engines (see
+//!   `rbqa-chase`), and compiled on the fly by the one-shot entry points
+//!   below.
+//! * **The [`mod@reference`] kernel**. The original backtracking join, kept as
+//!   the executable specification: the differential property test in
+//!   `tests/hom_kernel_differential.rs` pins the compiled kernel against it
+//!   on random queries and instances, and the benchmark harness
+//!   (`fig_hom_kernel`, `hom_report`) uses it as the speedup baseline via
+//!   [`set_kernel_mode`].
+//!
+//! The free functions ([`find_homomorphism`], [`holds`],
+//! [`all_homomorphisms`], [`all_homomorphisms_seeded`]) are the stable
+//! compatibility surface: same signatures as before the kernel rewrite,
+//! dispatching on the process-wide [`KernelMode`].
 
-use rbqa_common::{Instance, Value};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use rbqa_common::{Instance, RelationId, Value};
 use rustc_hash::FxHashMap;
 
 use crate::atom::Atom;
@@ -17,6 +45,560 @@ use crate::term::{Term, VarId};
 /// A variable assignment witnessing a homomorphism.
 pub type Homomorphism = FxHashMap<VarId, Value>;
 
+// ---------------------------------------------------------------------------
+// Kernel selection
+// ---------------------------------------------------------------------------
+
+/// Which matching kernel the free functions and [`MatchProgram`] execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// The compiled match-program kernel over flat storage (default).
+    #[default]
+    Compiled,
+    /// The retained reference backtracking search — the baseline
+    /// implementation used by differential tests and benchmark baselines.
+    Reference,
+}
+
+impl KernelMode {
+    /// Stable lowercase name, used in benchmark reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelMode::Compiled => "compiled",
+            KernelMode::Reference => "reference",
+        }
+    }
+}
+
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-wide matching kernel. Intended for benchmark
+/// harnesses and differential tests that need the [`KernelMode::Reference`]
+/// baseline; production code leaves the default in place.
+pub fn set_kernel_mode(mode: KernelMode) {
+    KERNEL_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The currently selected matching kernel.
+pub fn kernel_mode() -> KernelMode {
+    match KERNEL_MODE.load(Ordering::Relaxed) {
+        0 => KernelMode::Compiled,
+        _ => KernelMode::Reference,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dense bindings
+// ---------------------------------------------------------------------------
+
+/// A dense variable assignment: one slot per [`VarId`], with an undo trail
+/// for backtracking. Replaces the hash-map `Homomorphism` inside the search
+/// (zero clones and zero hashing per search step); convert with
+/// [`Binding::to_homomorphism`] at the boundary.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    slots: Vec<Option<Value>>,
+    trail: Vec<VarId>,
+}
+
+impl Binding {
+    /// A binding with `slots` unbound variable slots.
+    pub fn new(slots: usize) -> Self {
+        Binding {
+            slots: vec![None; slots],
+            trail: Vec::new(),
+        }
+    }
+
+    /// The value bound to `var`, if any.
+    #[inline]
+    pub fn get(&self, var: VarId) -> Option<Value> {
+        self.slots.get(var.index()).copied().flatten()
+    }
+
+    /// Binds `var` to `value`, recording the assignment on the undo trail.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when `var` is already bound — rebinding
+    /// without undoing first would corrupt the trail.
+    #[inline]
+    pub fn bind(&mut self, var: VarId, value: Value) {
+        debug_assert!(self.slots[var.index()].is_none(), "rebinding {var:?}");
+        self.slots[var.index()] = Some(value);
+        self.trail.push(var);
+    }
+
+    /// A checkpoint of the current trail position.
+    #[inline]
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Unbinds every variable bound after `mark` (stack discipline).
+    #[inline]
+    pub fn undo_to(&mut self, mark: usize) {
+        for var in self.trail.drain(mark..) {
+            self.slots[var.index()] = None;
+        }
+    }
+
+    /// Number of currently bound variables.
+    pub fn bound_count(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Iterates over the bound `(variable, value)` pairs in slot order.
+    pub fn iter_bound(&self) -> impl Iterator<Item = (VarId, Value)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|val| (VarId::from_index(i), val)))
+    }
+
+    /// Converts to the hash-map representation used at API boundaries.
+    pub fn to_homomorphism(&self) -> Homomorphism {
+        self.iter_bound().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compiled match programs
+// ---------------------------------------------------------------------------
+
+/// One compiled body atom: positions classified against the variables known
+/// to be bound when the step runs.
+#[derive(Debug, Clone)]
+struct Step {
+    relation: RelationId,
+    /// `(position, constant)` pairs — resolved at compile time.
+    const_probe: Vec<(usize, Value)>,
+    /// `(position, variable)` pairs whose variable is bound before this
+    /// step; the probe value is read from the binding at run time.
+    var_probe: Vec<(usize, VarId)>,
+    /// First occurrences of unbound variables: bind from the matched row.
+    binds: Vec<(usize, VarId)>,
+    /// Repeated occurrences within this atom: check against the value just
+    /// bound by `binds`.
+    checks: Vec<(usize, VarId)>,
+}
+
+impl Step {
+    /// Whether the probe determines the whole tuple (no binds, no checks):
+    /// the step degrades to a single membership test.
+    fn is_full_probe(&self) -> bool {
+        self.binds.is_empty() && self.checks.is_empty()
+    }
+}
+
+/// A CQ body compiled for repeated matching against instances: atom order
+/// and per-position operations fixed at compile time, relative to a declared
+/// set of seed variables (the variables the caller binds before running).
+///
+/// Compile once, run many times — the chase engines cache one program per
+/// TGD body/head (see `rbqa-chase`); the free functions of this module
+/// compile throwaway programs for one-shot queries.
+///
+/// ```
+/// use rbqa_common::{Instance, Signature, ValueFactory};
+/// use rbqa_logic::homomorphism::MatchProgram;
+/// use rbqa_logic::CqBuilder;
+/// let mut sig = Signature::new();
+/// let e = sig.add_relation("E", 2).unwrap();
+/// let mut vf = ValueFactory::new();
+/// let (a, b) = (vf.constant("a"), vf.constant("b"));
+/// let mut inst = Instance::new(sig);
+/// inst.insert(e, vec![a, b]).unwrap();
+/// let mut builder = CqBuilder::new();
+/// let (x, y) = (builder.var("x"), builder.var("y"));
+/// let q = builder.atom(e, vec![x.into(), y.into()]).build();
+/// let program = MatchProgram::compile(&q, &[]);
+/// assert!(program.exists(&inst, &[]));
+/// // A program declares its seed variables at compile time.
+/// let seeded = MatchProgram::compile(&q, &[x]);
+/// assert_eq!(seeded.find(&inst, &[(x, b)]), None); // b has no outgoing edge
+/// assert!(seeded.find(&inst, &[(x, a)]).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatchProgram {
+    /// Source atoms in original order — the reference kernel's input.
+    atoms: Vec<Atom>,
+    /// Compiled steps in execution order.
+    steps: Vec<Step>,
+    /// Variables the caller must bind before running (sorted).
+    seed_vars: Vec<VarId>,
+    /// Dense slot count covering every variable of atoms and seed.
+    slots: usize,
+}
+
+impl MatchProgram {
+    /// Compiles the body of `query`, assuming the variables in `seed_vars`
+    /// are bound by the caller before execution.
+    pub fn compile(query: &ConjunctiveQuery, seed_vars: &[VarId]) -> MatchProgram {
+        Self::compile_atoms_with_slots(query.atoms(), seed_vars, query.vars().len())
+    }
+
+    /// Compiles a bare atom list (used by the chase, whose TGD bodies and
+    /// heads share one variable pool without being full queries).
+    pub fn compile_atoms(atoms: &[Atom], seed_vars: &[VarId]) -> MatchProgram {
+        Self::compile_atoms_with_slots(atoms, seed_vars, 0)
+    }
+
+    fn compile_atoms_with_slots(
+        atoms: &[Atom],
+        seed_vars: &[VarId],
+        min_slots: usize,
+    ) -> MatchProgram {
+        let mut slots = min_slots;
+        for atom in atoms {
+            for term in atom.args() {
+                if let Term::Var(v) = term {
+                    slots = slots.max(v.index() + 1);
+                }
+            }
+        }
+        for v in seed_vars {
+            slots = slots.max(v.index() + 1);
+        }
+
+        let mut bound = vec![false; slots];
+        for v in seed_vars {
+            bound[v.index()] = true;
+        }
+
+        // Most-constrained-first ordering with bound-variable lookahead:
+        // pick the atom with the most probe-able positions; break ties by
+        // how many positions of the *other* remaining atoms become bound
+        // once this atom's variables are, then by original index (for
+        // determinism).
+        let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+        let mut order: Vec<usize> = Vec::with_capacity(atoms.len());
+        while !remaining.is_empty() {
+            let bound_positions = |atom: &Atom, bound: &[bool]| {
+                atom.args()
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound[v.index()],
+                    })
+                    .count()
+            };
+            let mut best = (0usize, (0usize, 0usize));
+            for (slot, &ai) in remaining.iter().enumerate() {
+                let atom = &atoms[ai];
+                let score = bound_positions(atom, &bound);
+                let mut with_atom = bound.clone();
+                for v in atom.variables() {
+                    with_atom[v.index()] = true;
+                }
+                let lookahead: usize = remaining
+                    .iter()
+                    .filter(|&&other| other != ai)
+                    .map(|&other| bound_positions(&atoms[other], &with_atom))
+                    .sum();
+                if slot == 0 || (score, lookahead) > best.1 {
+                    best = (slot, (score, lookahead));
+                }
+            }
+            let ai = remaining.remove(best.0);
+            for v in atoms[ai].variables() {
+                bound[v.index()] = true;
+            }
+            order.push(ai);
+        }
+
+        // Classify every position of every atom, replaying boundness in
+        // execution order.
+        let mut bound = vec![false; slots];
+        for v in seed_vars {
+            bound[v.index()] = true;
+        }
+        let mut steps = Vec::with_capacity(order.len());
+        for &ai in &order {
+            let atom = &atoms[ai];
+            let mut step = Step {
+                relation: atom.relation(),
+                const_probe: Vec::new(),
+                var_probe: Vec::new(),
+                binds: Vec::new(),
+                checks: Vec::new(),
+            };
+            let mut local: Vec<VarId> = Vec::new();
+            for (pos, term) in atom.args().iter().enumerate() {
+                match term {
+                    Term::Const(c) => step.const_probe.push((pos, *c)),
+                    Term::Var(v) => {
+                        if bound[v.index()] {
+                            step.var_probe.push((pos, *v));
+                        } else if local.contains(v) {
+                            step.checks.push((pos, *v));
+                        } else {
+                            step.binds.push((pos, *v));
+                            local.push(*v);
+                        }
+                    }
+                }
+            }
+            for v in local {
+                bound[v.index()] = true;
+            }
+            steps.push(step);
+        }
+
+        let mut seed_vars = seed_vars.to_vec();
+        seed_vars.sort_unstable();
+        seed_vars.dedup();
+        MatchProgram {
+            atoms: atoms.to_vec(),
+            steps,
+            seed_vars,
+            slots,
+        }
+    }
+
+    /// The declared seed variables (sorted).
+    pub fn seed_vars(&self) -> &[VarId] {
+        &self.seed_vars
+    }
+
+    /// Number of dense variable slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Runs the program, calling `visit` for every homomorphism extending
+    /// `seed`; `visit` returns `false` to stop the enumeration. The seed
+    /// must bind exactly the variables declared at compile time.
+    pub fn for_each<F: FnMut(&Binding) -> bool>(
+        &self,
+        instance: &Instance,
+        seed: &[(VarId, Value)],
+        mut visit: F,
+    ) {
+        self.run(instance, seed, false, &mut visit);
+    }
+
+    fn run<F: FnMut(&Binding) -> bool>(
+        &self,
+        instance: &Instance,
+        seed: &[(VarId, Value)],
+        first_only: bool,
+        visit: &mut F,
+    ) {
+        if kernel_mode() == KernelMode::Reference {
+            self.for_each_reference(instance, seed, visit);
+            return;
+        }
+        debug_assert!(
+            {
+                let mut vars: Vec<VarId> = seed.iter().map(|(v, _)| *v).collect();
+                vars.sort_unstable();
+                vars.dedup();
+                vars == self.seed_vars
+            },
+            "seed variables differ from the compile-time declaration"
+        );
+        let mut binding = Binding::new(self.slots);
+        for &(var, value) in seed {
+            binding.bind(var, value);
+        }
+        let mut ctx = ExecContext {
+            instance,
+            probe: Vec::new(),
+            tuple: Vec::new(),
+            rows: vec![Vec::new(); self.steps.len()],
+            first_only,
+        };
+        self.exec(0, &mut binding, &mut ctx, visit);
+    }
+
+    /// The first homomorphism extending `seed`, if any, in hash-map form.
+    pub fn find(&self, instance: &Instance, seed: &[(VarId, Value)]) -> Option<Homomorphism> {
+        let mut found = None;
+        self.for_each(instance, seed, |binding| {
+            found = Some(binding.to_homomorphism());
+            false
+        });
+        found
+    }
+
+    /// Whether any homomorphism extends `seed` (early-exit existence mode:
+    /// a final check-free step resolves through
+    /// [`Instance::first_matching_row`] instead of materialising its
+    /// candidate rows, so the visited binding may leave that step's
+    /// variables unbound — irrelevant for existence).
+    pub fn exists(&self, instance: &Instance, seed: &[(VarId, Value)]) -> bool {
+        let mut found = false;
+        self.run(instance, seed, true, &mut |_| {
+            found = true;
+            false
+        });
+        found
+    }
+
+    /// Collects up to `limit` homomorphisms extending `seed`.
+    pub fn collect(
+        &self,
+        instance: &Instance,
+        seed: &[(VarId, Value)],
+        limit: usize,
+    ) -> Vec<Homomorphism> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        self.for_each(instance, seed, |binding| {
+            out.push(binding.to_homomorphism());
+            out.len() < limit
+        });
+        out
+    }
+
+    fn exec<F: FnMut(&Binding) -> bool>(
+        &self,
+        depth: usize,
+        binding: &mut Binding,
+        ctx: &mut ExecContext<'_>,
+        visit: &mut F,
+    ) -> bool {
+        let Some(step) = self.steps.get(depth) else {
+            return visit(binding);
+        };
+
+        // Assemble the probe: compile-time constants plus bound-variable
+        // values read from the binding.
+        ctx.probe.clear();
+        ctx.probe.extend_from_slice(&step.const_probe);
+        for &(pos, var) in &step.var_probe {
+            let value = binding.get(var).expect("probe variable is bound");
+            ctx.probe.push((pos, value));
+        }
+
+        if step.is_full_probe() {
+            // Every position determined: one O(1) membership test instead
+            // of a posting-list scan.
+            ctx.tuple.clear();
+            ctx.tuple.resize(
+                ctx.probe.len(),
+                Value::Null(rbqa_common::NullId::from_raw(0)),
+            );
+            for &(pos, value) in &ctx.probe {
+                ctx.tuple[pos] = value;
+            }
+            if ctx.instance.contains(step.relation, &ctx.tuple) {
+                return self.exec(depth + 1, binding, ctx, visit);
+            }
+            return true;
+        }
+
+        // Existence mode, final step, no equality checks pending: any row
+        // matching the probe completes a match, so the early-exit
+        // intersection suffices and no candidate rows are materialised
+        // (the step's bind variables are left unbound — the visitor only
+        // records that a match exists).
+        if ctx.first_only && depth + 1 == self.steps.len() && step.checks.is_empty() {
+            if ctx
+                .instance
+                .first_matching_row(step.relation, &ctx.probe)
+                .is_some()
+            {
+                return visit(binding);
+            }
+            return true;
+        }
+
+        // Enumerate candidate rows via sorted-posting-list intersection,
+        // then bind/check the undetermined positions per row.
+        let mut rows = std::mem::take(&mut ctx.rows[depth]);
+        rows.clear();
+        ctx.instance
+            .matching_rows_into(step.relation, &ctx.probe, &mut rows);
+        let mut keep_going = true;
+        for &row in &rows {
+            let tuple = ctx.instance.row(step.relation, row);
+            let mark = binding.mark();
+            let mut ok = true;
+            for &(pos, var) in &step.binds {
+                match binding.get(var) {
+                    None => binding.bind(var, tuple[pos]),
+                    // Defensive: tolerate a caller that over-seeds.
+                    Some(v) if v == tuple[pos] => {}
+                    Some(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                for &(pos, var) in &step.checks {
+                    if binding.get(var) != Some(tuple[pos]) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                keep_going = self.exec(depth + 1, binding, ctx, visit);
+            }
+            binding.undo_to(mark);
+            if !keep_going {
+                break;
+            }
+        }
+        ctx.rows[depth] = rows;
+        keep_going
+    }
+
+    /// Reference-mode execution: delegate to the retained baseline search
+    /// over the source atoms, then re-present each result as a [`Binding`].
+    fn for_each_reference<F: FnMut(&Binding) -> bool>(
+        &self,
+        instance: &Instance,
+        seed: &[(VarId, Value)],
+        visit: &mut F,
+    ) {
+        let seed_map: Homomorphism = seed.iter().copied().collect();
+        let mut slots = self.slots;
+        let mut keep_going = true;
+        reference::search_atoms(&self.atoms, instance, seed_map, &mut |assignment| {
+            for v in assignment.keys() {
+                slots = slots.max(v.index() + 1);
+            }
+            let mut binding = Binding::new(slots);
+            let mut pairs: Vec<(VarId, Value)> =
+                assignment.iter().map(|(v, val)| (*v, *val)).collect();
+            pairs.sort_unstable();
+            for (v, val) in pairs {
+                binding.bind(v, val);
+            }
+            keep_going = visit(&binding);
+            keep_going
+        });
+    }
+}
+
+/// Reusable per-execution scratch: probe pairs, a tuple buffer for
+/// membership tests and one row-id buffer per program depth.
+struct ExecContext<'a> {
+    instance: &'a Instance,
+    probe: Vec<(usize, Value)>,
+    tuple: Vec<Value>,
+    rows: Vec<Vec<u32>>,
+    /// Existence mode: the caller only needs to know whether a match
+    /// exists, enabling the final-step `first_matching_row` short-circuit.
+    first_only: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Compatibility entry points
+// ---------------------------------------------------------------------------
+
+fn seed_pairs(seed: &Homomorphism) -> Vec<(VarId, Value)> {
+    let mut pairs: Vec<(VarId, Value)> = seed.iter().map(|(v, val)| (*v, *val)).collect();
+    pairs.sort_unstable();
+    pairs
+}
+
 /// Searches for a single homomorphism from `query` into `instance`
 /// extending `seed` (which may pre-assign some variables, e.g. the free
 /// variables of a non-Boolean query).
@@ -25,21 +607,20 @@ pub fn find_homomorphism(
     instance: &Instance,
     seed: &Homomorphism,
 ) -> Option<Homomorphism> {
-    let mut collector = SingleCollector { found: None };
-    search(
-        query.atoms(),
-        instance,
-        seed.clone(),
-        &mut collector,
-        &mut 0,
-        usize::MAX,
-    );
-    collector.found
+    if kernel_mode() == KernelMode::Reference {
+        return reference::find_homomorphism(query, instance, seed);
+    }
+    let pairs = seed_pairs(seed);
+    let vars: Vec<VarId> = pairs.iter().map(|(v, _)| *v).collect();
+    MatchProgram::compile(query, &vars).find(instance, &pairs)
 }
 
 /// Whether the Boolean closure of `query` holds in `instance`.
 pub fn holds(query: &ConjunctiveQuery, instance: &Instance) -> bool {
-    find_homomorphism(query, instance, &Homomorphism::default()).is_some()
+    if kernel_mode() == KernelMode::Reference {
+        return reference::find_homomorphism(query, instance, &Homomorphism::default()).is_some();
+    }
+    MatchProgram::compile(query, &[]).exists(instance, &[])
 }
 
 /// Enumerates homomorphisms from `query` into `instance`, up to `limit`
@@ -64,159 +645,187 @@ pub fn all_homomorphisms_seeded(
     seed: &Homomorphism,
     limit: usize,
 ) -> Vec<Homomorphism> {
-    let mut collector = AllCollector { found: Vec::new() };
-    search(
-        query.atoms(),
-        instance,
-        seed.clone(),
-        &mut collector,
-        &mut 0,
-        limit,
-    );
-    collector.found
-}
-
-trait Collector {
-    /// Records a complete assignment; returns `true` to continue searching.
-    fn record(&mut self, assignment: &Homomorphism, limit: usize) -> bool;
-}
-
-struct SingleCollector {
-    found: Option<Homomorphism>,
-}
-
-impl Collector for SingleCollector {
-    fn record(&mut self, assignment: &Homomorphism, _limit: usize) -> bool {
-        self.found = Some(assignment.clone());
-        false
+    if kernel_mode() == KernelMode::Reference {
+        return reference::all_homomorphisms_seeded(query, instance, seed, limit);
     }
+    let pairs = seed_pairs(seed);
+    let vars: Vec<VarId> = pairs.iter().map(|(v, _)| *v).collect();
+    MatchProgram::compile(query, &vars).collect(instance, &pairs, limit)
 }
 
-struct AllCollector {
-    found: Vec<Homomorphism>,
-}
+// ---------------------------------------------------------------------------
+// Reference kernel
+// ---------------------------------------------------------------------------
 
-impl Collector for AllCollector {
-    fn record(&mut self, assignment: &Homomorphism, limit: usize) -> bool {
-        self.found.push(assignment.clone());
-        self.found.len() < limit
-    }
-}
+/// The original backtracking join, retained verbatim as the baseline
+/// implementation: a dynamically ordered (most-bound-atom-first) search over
+/// hash-map assignments and materialised candidate tuples. The compiled
+/// kernel is differentially tested against it, and the benchmark harness
+/// measures speedups relative to it.
+pub mod reference {
+    use super::*;
 
-/// Backtracking search. `atoms` is processed in a dynamically chosen order:
-/// at each step the atom with the most already-bound terms is expanded first
-/// (a cheap proxy for selectivity).
-fn search<C: Collector>(
-    atoms: &[Atom],
-    instance: &Instance,
-    assignment: Homomorphism,
-    collector: &mut C,
-    steps: &mut u64,
-    limit: usize,
-) -> bool {
-    fn bound_count(atom: &Atom, assignment: &Homomorphism) -> usize {
-        atom.args()
-            .iter()
-            .filter(|t| match t {
-                Term::Const(_) => true,
-                Term::Var(v) => assignment.contains_key(v),
-            })
-            .count()
-    }
-
-    fn recurse<C: Collector>(
-        remaining: &mut Vec<&Atom>,
+    /// Searches for a single homomorphism extending `seed` with the
+    /// reference kernel.
+    pub fn find_homomorphism(
+        query: &ConjunctiveQuery,
         instance: &Instance,
-        assignment: &mut Homomorphism,
-        collector: &mut C,
-        steps: &mut u64,
-        limit: usize,
-    ) -> bool {
-        *steps += 1;
-        if remaining.is_empty() {
-            return collector.record(assignment, limit);
-        }
-        // Pick the most-bound atom.
-        let (best_idx, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (i, bound_count(a, assignment)))
-            .max_by_key(|&(_, c)| c)
-            .expect("remaining is non-empty");
-        let atom = remaining.swap_remove(best_idx);
+        seed: &Homomorphism,
+    ) -> Option<Homomorphism> {
+        let mut found = None;
+        search_atoms(query.atoms(), instance, seed.clone(), &mut |assignment| {
+            found = Some(assignment.clone());
+            false
+        });
+        found
+    }
 
-        // Build the binding of already-determined positions.
-        let mut binding: Vec<(usize, Value)> = Vec::new();
-        for (pos, term) in atom.args().iter().enumerate() {
-            match term {
-                Term::Const(c) => binding.push((pos, *c)),
-                Term::Var(v) => {
-                    if let Some(val) = assignment.get(v) {
-                        binding.push((pos, *val));
+    /// Enumerates up to `limit` homomorphisms with the reference kernel.
+    pub fn all_homomorphisms(
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+        limit: usize,
+    ) -> Vec<Homomorphism> {
+        all_homomorphisms_seeded(query, instance, &Homomorphism::default(), limit)
+    }
+
+    /// Enumerates up to `limit` homomorphisms extending `seed` with the
+    /// reference kernel.
+    pub fn all_homomorphisms_seeded(
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+        seed: &Homomorphism,
+        limit: usize,
+    ) -> Vec<Homomorphism> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        search_atoms(query.atoms(), instance, seed.clone(), &mut |assignment| {
+            out.push(assignment.clone());
+            out.len() < limit
+        });
+        out
+    }
+
+    /// Visits every homomorphism extending `seed` in the reference kernel's
+    /// native representation (no per-result cloning); `visit` returns
+    /// `false` to stop. This is the baseline side of the kernel
+    /// microbenchmarks — the mirror of [`MatchProgram::for_each`].
+    pub fn for_each_homomorphism(
+        query: &ConjunctiveQuery,
+        instance: &Instance,
+        seed: &Homomorphism,
+        visit: &mut dyn FnMut(&Homomorphism) -> bool,
+    ) {
+        search_atoms(query.atoms(), instance, seed.clone(), visit);
+    }
+
+    /// Backtracking search over a bare atom list. `atoms` is processed in a
+    /// dynamically chosen order: at each step the atom with the most
+    /// already-bound terms is expanded first (a cheap proxy for
+    /// selectivity). `visit` is called on every complete assignment and
+    /// returns `true` to continue the enumeration.
+    pub(super) fn search_atoms(
+        atoms: &[Atom],
+        instance: &Instance,
+        assignment: Homomorphism,
+        visit: &mut dyn FnMut(&Homomorphism) -> bool,
+    ) -> bool {
+        fn bound_count(atom: &Atom, assignment: &Homomorphism) -> usize {
+            atom.args()
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => assignment.contains_key(v),
+                })
+                .count()
+        }
+
+        fn recurse(
+            remaining: &mut Vec<&Atom>,
+            instance: &Instance,
+            assignment: &mut Homomorphism,
+            visit: &mut dyn FnMut(&Homomorphism) -> bool,
+        ) -> bool {
+            if remaining.is_empty() {
+                return visit(assignment);
+            }
+            // Pick the most-bound atom.
+            let (best_idx, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (i, bound_count(a, assignment)))
+                .max_by_key(|&(_, c)| c)
+                .expect("remaining is non-empty");
+            let atom = remaining.swap_remove(best_idx);
+
+            // Build the binding of already-determined positions.
+            let mut binding: Vec<(usize, Value)> = Vec::new();
+            for (pos, term) in atom.args().iter().enumerate() {
+                match term {
+                    Term::Const(c) => binding.push((pos, *c)),
+                    Term::Var(v) => {
+                        if let Some(val) = assignment.get(v) {
+                            binding.push((pos, *val));
+                        }
                     }
                 }
             }
-        }
 
-        let candidates: Vec<Vec<Value>> = instance
-            .matching_tuples(atom.relation(), &binding)
-            .into_iter()
-            .map(|t| t.to_vec())
-            .collect();
+            let candidates: Vec<Vec<Value>> = instance
+                .matching_tuples(atom.relation(), &binding)
+                .into_iter()
+                .map(|t| t.to_vec())
+                .collect();
 
-        let mut keep_going = true;
-        'tuples: for tuple in candidates {
-            // Try to extend the assignment consistently with this tuple.
-            let mut newly_bound: Vec<VarId> = Vec::new();
-            for (pos, term) in atom.args().iter().enumerate() {
-                match term {
-                    Term::Const(c) => {
-                        if tuple[pos] != *c {
-                            for v in newly_bound.drain(..) {
-                                assignment.remove(&v);
-                            }
-                            continue 'tuples;
-                        }
-                    }
-                    Term::Var(v) => match assignment.get(v) {
-                        Some(val) => {
-                            if tuple[pos] != *val {
+            let mut keep_going = true;
+            'tuples: for tuple in candidates {
+                // Try to extend the assignment consistently with this tuple.
+                let mut newly_bound: Vec<VarId> = Vec::new();
+                for (pos, term) in atom.args().iter().enumerate() {
+                    match term {
+                        Term::Const(c) => {
+                            if tuple[pos] != *c {
                                 for v in newly_bound.drain(..) {
                                     assignment.remove(&v);
                                 }
                                 continue 'tuples;
                             }
                         }
-                        None => {
-                            assignment.insert(*v, tuple[pos]);
-                            newly_bound.push(*v);
-                        }
-                    },
+                        Term::Var(v) => match assignment.get(v) {
+                            Some(val) => {
+                                if tuple[pos] != *val {
+                                    for v in newly_bound.drain(..) {
+                                        assignment.remove(&v);
+                                    }
+                                    continue 'tuples;
+                                }
+                            }
+                            None => {
+                                assignment.insert(*v, tuple[pos]);
+                                newly_bound.push(*v);
+                            }
+                        },
+                    }
+                }
+                keep_going = recurse(remaining, instance, assignment, visit);
+                for v in newly_bound {
+                    assignment.remove(&v);
+                }
+                if !keep_going {
+                    break;
                 }
             }
-            keep_going = recurse(remaining, instance, assignment, collector, steps, limit);
-            for v in newly_bound {
-                assignment.remove(&v);
-            }
-            if !keep_going {
-                break;
-            }
+            remaining.push(atom);
+            // Restore position irrelevant: order is re-chosen dynamically.
+            keep_going
         }
-        remaining.push(atom);
-        // Restore position irrelevant: order is re-chosen dynamically.
-        keep_going
-    }
 
-    let mut remaining: Vec<&Atom> = atoms.iter().collect();
-    let mut assignment = assignment;
-    recurse(
-        &mut remaining,
-        instance,
-        &mut assignment,
-        collector,
-        steps,
-        limit,
-    )
+        let mut remaining: Vec<&Atom> = atoms.iter().collect();
+        let mut assignment = assignment;
+        recurse(&mut remaining, instance, &mut assignment, visit)
+    }
 }
 
 #[cfg(test)]
@@ -364,5 +973,83 @@ mod tests {
         let inst = Instance::new(sig);
         let q = CqBuilder::new().build();
         assert!(holds(&q, &inst));
+    }
+
+    #[test]
+    fn binding_trail_discipline() {
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let (x, y) = (VarId::from_index(0), VarId::from_index(1));
+        let mut binding = Binding::new(2);
+        assert_eq!(binding.get(x), None);
+        binding.bind(x, a);
+        let mark = binding.mark();
+        binding.bind(y, b);
+        assert_eq!(binding.get(y), Some(b));
+        assert_eq!(binding.bound_count(), 2);
+        binding.undo_to(mark);
+        assert_eq!(binding.get(y), None);
+        assert_eq!(binding.get(x), Some(a));
+        let h = binding.to_homomorphism();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[&x], a);
+    }
+
+    #[test]
+    fn compiled_program_reports_fully_bound_atoms() {
+        // With both variables seeded, the single atom degrades to a
+        // membership probe; the program still enumerates exactly one match.
+        let (sig, e) = graph_setup();
+        let mut vf = ValueFactory::new();
+        let a = vf.constant("a");
+        let b = vf.constant("b");
+        let mut inst = Instance::new(sig.clone());
+        inst.insert(e, vec![a, b]).unwrap();
+        let mut builder = CqBuilder::new();
+        let (x, y) = (builder.var("x"), builder.var("y"));
+        let q = builder.atom(e, vec![x.into(), y.into()]).build();
+        let program = MatchProgram::compile(&q, &[x, y]);
+        assert!(program.steps[0].is_full_probe());
+        assert!(program.exists(&inst, &[(x, a), (y, b)]));
+        assert!(!program.exists(&inst, &[(x, b), (y, a)]));
+        assert_eq!(
+            program.collect(&inst, &[(x, a), (y, b)], usize::MAX).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn kernel_modes_agree_on_a_join() {
+        let (sig, e) = graph_setup();
+        let mut vf = ValueFactory::new();
+        let vals: Vec<_> = (0..5).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let mut inst = Instance::new(sig.clone());
+        for w in vals.windows(2) {
+            inst.insert(e, vec![w[0], w[1]]).unwrap();
+        }
+        inst.insert(e, vec![vals[4], vals[0]]).unwrap();
+        let mut builder = CqBuilder::new();
+        let (x, y, z) = (builder.var("x"), builder.var("y"), builder.var("z"));
+        let q = builder
+            .atom(e, vec![x.into(), y.into()])
+            .atom(e, vec![y.into(), z.into()])
+            .build();
+        let canonical = |homs: Vec<Homomorphism>| {
+            let mut keys: Vec<Vec<(VarId, Value)>> = homs
+                .into_iter()
+                .map(|h| {
+                    let mut pairs: Vec<_> = h.into_iter().collect();
+                    pairs.sort_unstable();
+                    pairs
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        let compiled = canonical(all_homomorphisms(&q, &inst, usize::MAX));
+        let reference = canonical(reference::all_homomorphisms(&q, &inst, usize::MAX));
+        assert_eq!(compiled, reference);
+        assert_eq!(compiled.len(), 5);
     }
 }

@@ -13,8 +13,10 @@
 //!   their canonical databases;
 //! * [`constraints::Tgd`] / [`constraints::Fd`] — TGDs (`∀x φ(x) → ∃y ψ(x,y)`)
 //!   and FDs (`D → j` on a relation);
-//! * [`homomorphism`] — homomorphism search from a CQ into an instance, the
-//!   semantics of Boolean CQs;
+//! * [`homomorphism`] — the matching kernel: homomorphism search from a CQ
+//!   into an instance (the semantics of Boolean CQs), implemented as
+//!   compiled match programs over dense bindings with the original
+//!   backtracking search retained as the differential baseline;
 //! * [`implication`] — FD closure / `DetBy`, UID closure, and the finite
 //!   closure of UIDs + FDs used in Section 7;
 //! * [`parser`] — a compact concrete syntax for atoms, queries and
@@ -37,7 +39,7 @@ pub use canonical::{canonical_atoms_code, canonical_query_code, canonical_ucq_co
 pub use constraints::{Constraint, ConstraintSet, Fd, Tgd};
 pub use cq::{CanonicalDatabase, ConjunctiveQuery, CqBuilder};
 pub use evaluate::evaluate;
-pub use homomorphism::{find_homomorphism, holds, Homomorphism};
+pub use homomorphism::{find_homomorphism, holds, Binding, Homomorphism, KernelMode, MatchProgram};
 pub use minimize::{cq_contained_in, cq_equivalent, minimize, minimize_under_fds};
 pub use term::{Term, VarId, VarPool};
 pub use ucq::UnionOfConjunctiveQueries;

@@ -5,7 +5,7 @@
 //! convert monotone plans back into queries (Proposition 2.2); the plan
 //! layer of `rbqa-access` performs a similar conversion for validation.
 
-use rbqa_common::{Instance, Value};
+use rbqa_common::{Instance, Result, Value};
 use rustc_hash::FxHashSet;
 
 use crate::cq::ConjunctiveQuery;
@@ -102,14 +102,19 @@ impl UnionOfConjunctiveQueries {
 
     /// Evaluates the UCQ over `instance`: the union of the answers of each
     /// disjunct, deduplicated and sorted.
-    pub fn evaluate(&self, instance: &Instance) -> Vec<Vec<Value>> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::evaluate::evaluate`]'s unsafe-query error when
+    /// some disjunct has a free variable absent from its body.
+    pub fn evaluate(&self, instance: &Instance) -> Result<Vec<Vec<Value>>> {
         let mut out: FxHashSet<Vec<Value>> = FxHashSet::default();
         for q in &self.disjuncts {
-            out.extend(evaluate(q, instance));
+            out.extend(evaluate(q, instance)?);
         }
         let mut result: Vec<Vec<Value>> = out.into_iter().collect();
         result.sort();
-        result
+        Ok(result)
     }
 
     /// Whether the Boolean UCQ holds on `instance` (some disjunct holds).
@@ -140,7 +145,7 @@ mod tests {
         let ucq = UnionOfConjunctiveQueries::new();
         assert!(ucq.is_empty());
         assert!(!ucq.holds(&inst));
-        assert!(ucq.evaluate(&inst).is_empty());
+        assert!(ucq.evaluate(&inst).unwrap().is_empty());
     }
 
     #[test]
@@ -185,7 +190,7 @@ mod tests {
         let q2 = b2.free(x2).atom(u, vec![x2.into()]).build();
 
         let ucq = UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]);
-        let answers = ucq.evaluate(&inst);
+        let answers = ucq.evaluate(&inst).unwrap();
         // {a} ∪ {a, b} = {a, b}
         assert_eq!(answers.len(), 2);
     }

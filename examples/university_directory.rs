@@ -39,7 +39,7 @@ fn main() {
 
     // Generate data, expose it only through the services, run the plan.
     let data = university_instance(scenario.schema.signature(), &mut scenario.values, 30, 42);
-    let expected = evaluate(&q1, &data);
+    let expected = evaluate(&q1, &data).expect("example query is safe");
     let services = ServiceSimulator::new(scenario.schema.clone(), data.clone());
     let mut selection = TruncatingSelection::new();
     let (answers, metrics) = services.run_plan(&plan, &mut selection).unwrap();

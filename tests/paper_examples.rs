@@ -144,7 +144,7 @@ fn example_1_2_plan_executes_completely_on_simulated_services() {
     let plan = result.plan.expect("answerable query gets a plan");
 
     let data = university_instance(scenario.schema.signature(), &mut scenario.values, 25, 3);
-    let expected = evaluate(&q1, &data);
+    let expected = evaluate(&q1, &data).expect("example query is safe");
     let services = ServiceSimulator::new(scenario.schema.clone(), data.clone());
     let mut selection = TruncatingSelection::new();
     let (answers, metrics) = services.run_plan(&plan, &mut selection).unwrap();

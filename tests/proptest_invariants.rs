@@ -124,8 +124,8 @@ proptest! {
         let mut b = CqBuilder::new();
         let (x, y) = (b.var("x"), b.var("y"));
         let q = b.free(x).atom(r, vec![x.into(), y.into()]).atom(r, vec![y.into(), x.into()]).build();
-        let small = evaluate(&q, &sub);
-        let big = evaluate(&q, &full);
+        let small = evaluate(&q, &sub).unwrap();
+        let big = evaluate(&q, &full).unwrap();
         for answer in &small {
             prop_assert!(big.contains(answer));
         }

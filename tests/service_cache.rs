@@ -145,8 +145,9 @@ fn ucq_execute_unions_rows_across_disjunct_plans() {
     let mut sig = service.catalog_signature(id).unwrap();
     let q1 = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
     let q2 = parse_cq("Q(a) :- Udirectory(i, a, p)", &mut sig, &mut vf).unwrap();
-    let expected =
-        rbqa::logic::UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2]).evaluate(&data);
+    let expected = rbqa::logic::UnionOfConjunctiveQueries::from_disjuncts(vec![q1, q2])
+        .evaluate(&data)
+        .unwrap();
     assert!(!expected.is_empty());
     assert_eq!(response.rows.as_deref(), Some(expected.as_slice()));
 }
@@ -231,7 +232,7 @@ fn execute_matches_direct_evaluation_and_validate_plan() {
 
     // The executed rows must be exactly the query's answer on the data.
     let mut rows = response.rows.clone().expect("Execute returns rows");
-    let mut expected = evaluate(&query, &data);
+    let mut expected = evaluate(&query, &data).unwrap();
     rows.sort();
     rows.dedup();
     expected.sort();
@@ -266,7 +267,7 @@ fn independent_factory_requests_cannot_poison_the_shared_cache_entry() {
         let mut vf = values.clone();
         let mut sig = schema.signature().clone();
         let q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
-        let mut rows = evaluate(&q, &data);
+        let mut rows = evaluate(&q, &data).unwrap();
         rows.sort();
         rows
     };
