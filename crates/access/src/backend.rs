@@ -1,0 +1,1017 @@
+//! Pluggable data-source backends behind plan execution.
+//!
+//! The paper's premise is that plans are the **only** way to see the data:
+//! access methods are opaque interfaces with result bounds. [`AccessBackend`]
+//! makes that interface a first-class object — one `access` call per
+//! (method, binding) pair, returning the selected tuples plus per-call
+//! accounting — so the executor ([`crate::plan::exec::execute_with_backend`])
+//! no longer cares whether the tuples come from a local columnar
+//! [`Instance`], a simulated flaky remote service, or a sharded federation:
+//!
+//! * [`InstanceBackend`] — the in-memory store plus an
+//!   [`AccessSelection`]: exactly the pre-refactor execution semantics;
+//! * [`SimulatedRemoteBackend`] — wraps any backend with deterministic
+//!   seeded latency, fault injection with a configurable retry policy, and
+//!   a per-window call quota enforced as a hard
+//!   [`AccessError::BudgetExhausted`];
+//! * [`ShardedBackend`] — partitions each relation's rows across N child
+//!   backends, fans every access out, merges + dedups, and re-applies the
+//!   method's [`crate::ResultBound`] to the merged output;
+//! * [`RecordingBackend`] — wraps any backend and captures an
+//!   [`AccessTrace`] that can be replayed later ([`ReplayBackend`]) without
+//!   the original data source;
+//! * [`BudgetedBackend`] — a thin wrapper enforcing a total call quota on
+//!   any backend (the service's rate limits are built on it).
+//!
+//! A *window* (for quotas) is the lifetime of the backend value; the
+//! service constructs one backend per plan run, so quotas are per-run.
+
+use rbqa_common::{Instance, Value};
+use rustc_hash::FxHashMap;
+
+use crate::method::AccessMethod;
+use crate::selection::{AccessSelection, TruncatingSelection};
+
+/// The outcome of one access: the selected tuples plus per-call accounting.
+///
+/// Tuples are full rows of the accessed relation (the executor projects
+/// them through the access command's output map).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessResponse {
+    /// The tuples the service chose to return (a valid output for the
+    /// method's result bound).
+    pub tuples: Vec<Vec<Value>>,
+    /// How many tuples of the underlying data matched the binding.
+    pub tuples_matched: usize,
+    /// Whether the result bound dropped matching tuples
+    /// (`tuples.len() < tuples_matched`).
+    pub truncated: bool,
+    /// Simulated service latency attributed to this call, in microseconds
+    /// (0 for purely local backends).
+    pub latency_micros: u64,
+}
+
+impl AccessResponse {
+    /// Builds a response from the selected tuples and the matched count,
+    /// deriving the `truncated` flag.
+    pub fn new(tuples: Vec<Vec<Value>>, tuples_matched: usize) -> Self {
+        let truncated = tuples.len() < tuples_matched;
+        AccessResponse {
+            tuples,
+            tuples_matched,
+            truncated,
+            latency_micros: 0,
+        }
+    }
+
+    /// Number of tuples returned.
+    pub fn tuples_returned(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+/// Structured failure taxonomy of a backend access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The backend does not serve this access method.
+    UnknownMethod(String),
+    /// A call quota was exhausted: this access (call number `calls` in the
+    /// window) exceeded the budget of `budget` calls.
+    BudgetExhausted {
+        /// The quota in force.
+        budget: usize,
+        /// The 1-based number of the call that violated it.
+        calls: usize,
+    },
+    /// The backend (or the simulated service behind it) failed to answer.
+    Unavailable {
+        /// Whether retrying the same access may succeed.
+        retryable: bool,
+        /// Human-readable context (not part of the stable contract).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::UnknownMethod(name) => {
+                write!(f, "backend does not serve access method `{name}`")
+            }
+            AccessError::BudgetExhausted { budget, calls } => {
+                write!(
+                    f,
+                    "call budget exhausted: call {calls} exceeds budget {budget}"
+                )
+            }
+            AccessError::Unavailable { retryable, detail } => write!(
+                f,
+                "backend unavailable ({}): {detail}",
+                if *retryable { "retryable" } else { "permanent" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+impl AccessError {
+    /// Whether retrying the failed access may succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            AccessError::Unavailable {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
+/// A pluggable data source: performs one access per call.
+///
+/// `binding` pairs each input position of `method` (sorted ascending) with
+/// the value bound to it. Implementations must return a *valid* output for
+/// the method's result bound — a subset of the matching tuples whose size
+/// lies in [`crate::ResultBound::valid_output_sizes`] — and must be
+/// idempotent per (method, binding) within a window, matching the paper's
+/// access-selection semantics.
+pub trait AccessBackend {
+    /// Performs one access.
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError>;
+
+    /// A short human-readable label for reports and error messages.
+    fn label(&self) -> &str {
+        "backend"
+    }
+}
+
+impl<B: AccessBackend + ?Sized> AccessBackend for &mut B {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        (**self).access(method, binding)
+    }
+
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+}
+
+impl<B: AccessBackend + ?Sized> AccessBackend for Box<B> {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        (**self).access(method, binding)
+    }
+
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+}
+
+/// The data behind an [`InstanceBackend`]: borrowed (the pre-refactor
+/// `execute` path) or owned (shards, services built per run).
+#[derive(Debug)]
+enum InstanceRef<'a> {
+    Borrowed(&'a Instance),
+    Owned(Box<Instance>),
+}
+
+impl InstanceRef<'_> {
+    fn get(&self) -> &Instance {
+        match self {
+            InstanceRef::Borrowed(i) => i,
+            InstanceRef::Owned(i) => i,
+        }
+    }
+}
+
+/// The in-memory backend: an [`Instance`] plus an [`AccessSelection`]
+/// choosing which valid output each (result-bounded) access returns.
+///
+/// This is the `(&Instance, &mut dyn AccessSelection)` pair of the
+/// pre-refactor executor, packaged as a backend; the free function
+/// [`crate::plan::execute`] still takes that pair and wraps it here.
+pub struct InstanceBackend<'a> {
+    instance: InstanceRef<'a>,
+    selection: Box<dyn AccessSelection + 'a>,
+    row_ids: Vec<u32>,
+}
+
+impl<'a> InstanceBackend<'a> {
+    /// A backend over a borrowed instance and selection.
+    pub fn new(instance: &'a Instance, selection: &'a mut dyn AccessSelection) -> Self {
+        InstanceBackend {
+            instance: InstanceRef::Borrowed(instance),
+            selection: Box::new(selection),
+            row_ids: Vec::new(),
+        }
+    }
+
+    /// A backend over a borrowed instance with an owned (boxed) selection.
+    pub fn with_selection(
+        instance: &'a Instance,
+        selection: Box<dyn AccessSelection + 'a>,
+    ) -> Self {
+        InstanceBackend {
+            instance: InstanceRef::Borrowed(instance),
+            selection,
+            row_ids: Vec::new(),
+        }
+    }
+
+    /// A deterministic backend over a borrowed instance
+    /// ([`TruncatingSelection`]).
+    pub fn truncating(instance: &'a Instance) -> Self {
+        Self::with_selection(instance, Box::new(TruncatingSelection::new()))
+    }
+
+    /// A backend owning its instance (used for shard children).
+    pub fn owning(
+        instance: Instance,
+        selection: Box<dyn AccessSelection + 'static>,
+    ) -> InstanceBackend<'static> {
+        InstanceBackend {
+            instance: InstanceRef::Owned(Box::new(instance)),
+            selection,
+            row_ids: Vec::new(),
+        }
+    }
+
+    /// The instance served by this backend.
+    pub fn instance(&self) -> &Instance {
+        self.instance.get()
+    }
+}
+
+impl std::fmt::Debug for InstanceBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstanceBackend")
+            .field("facts", &self.instance.get().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AccessBackend for InstanceBackend<'_> {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        let instance = self.instance.get();
+        self.row_ids.clear();
+        instance.matching_rows_into(method.relation(), binding, &mut self.row_ids);
+        let matching: Vec<Vec<Value>> = self
+            .row_ids
+            .iter()
+            .map(|&id| instance.row(method.relation(), id).to_vec())
+            .collect();
+        let matched = matching.len();
+        let selected = self.selection.select(method, binding, &matching);
+        Ok(AccessResponse::new(selected, matched))
+    }
+
+    fn label(&self) -> &str {
+        "instance"
+    }
+}
+
+/// Configuration of a [`SimulatedRemoteBackend`]: deterministic seeded
+/// latency and faults, a per-window call quota, and the retry policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteProfile {
+    /// Seed of the deterministic latency/fault draws. Draws are keyed by
+    /// `(seed, method, binding, attempt)` — not by call order — so
+    /// repeating an access reproduces its outcome exactly (the
+    /// idempotence the [`AccessBackend`] contract requires), and two
+    /// backends built from the same profile behave identically.
+    pub seed: u64,
+    /// Fixed per-call latency, microseconds.
+    pub base_latency_micros: u64,
+    /// Uniform jitter added on top, `[0, jitter_micros)` microseconds.
+    pub jitter_micros: u64,
+    /// Additional latency per returned tuple, microseconds.
+    pub per_tuple_latency_micros: u64,
+    /// Percentage (0–100) of attempts that fault before the retry policy
+    /// applies. An access whose retries are all faulted surfaces a
+    /// **non-retryable** [`AccessError::Unavailable`]: the draws are
+    /// deterministic, so repeating the identical access (or request)
+    /// replays the identical faults.
+    pub fault_rate_pct: u8,
+    /// Hard per-window call quota (every attempt, including retries,
+    /// consumes one call); `None` disables the quota.
+    pub call_quota: Option<usize>,
+    /// How many times a faulted access is retried before the error is
+    /// surfaced.
+    pub max_retries: usize,
+}
+
+impl Default for RemoteProfile {
+    fn default() -> Self {
+        RemoteProfile {
+            seed: 0,
+            base_latency_micros: 150,
+            jitter_micros: 50,
+            per_tuple_latency_micros: 2,
+            fault_rate_pct: 0,
+            call_quota: None,
+            max_retries: 2,
+        }
+    }
+}
+
+/// One SplitMix64 scramble of a 64-bit state: the deterministic draw
+/// primitive behind latency jitter and fault injection (kept local so
+/// backend behaviour is reproducible bit-for-bit from the profile seed
+/// alone).
+fn splitmix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a method name and binding: the access key the remote
+/// backend's draws are derived from.
+fn access_key_hash(method: &str, binding: &[(usize, Value)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in method.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut feed = |b: u64| {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for (pos, value) in binding {
+        feed(*pos as u64);
+        match value {
+            Value::Const(c) => {
+                feed(0);
+                feed(c.index() as u64);
+            }
+            Value::Null(n) => {
+                feed(1);
+                feed(n.raw());
+            }
+        }
+    }
+    h
+}
+
+/// A simulated remote service: any inner backend wrapped with
+/// deterministic seeded latency, fault injection with retries, and a hard
+/// per-window call quota.
+///
+/// Latency is *accounted*, not slept: each successful access reports
+/// `base + jitter + per_tuple * returned` microseconds in its
+/// [`AccessResponse::latency_micros`], so tests and benches stay fast
+/// while the metrics look like a network was involved. All draws are
+/// keyed by `(seed, method, binding, attempt)` rather than by call
+/// order, so repeating an access — within a plan, across the disjunct
+/// plans of one union request, or across windows — reproduces its
+/// latency and fault outcome exactly.
+#[derive(Debug)]
+pub struct SimulatedRemoteBackend<B> {
+    inner: B,
+    profile: RemoteProfile,
+    calls: usize,
+    faults_injected: usize,
+}
+
+impl<B: AccessBackend> SimulatedRemoteBackend<B> {
+    /// Wraps `inner` with the given profile.
+    pub fn new(inner: B, profile: RemoteProfile) -> Self {
+        SimulatedRemoteBackend {
+            inner,
+            profile,
+            calls: 0,
+            faults_injected: 0,
+        }
+    }
+
+    /// Calls consumed in the current window (every attempt counts).
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Faults injected so far (including ones hidden by retries).
+    pub fn faults_injected(&self) -> usize {
+        self.faults_injected
+    }
+
+    /// Resets the call window (quota and counters only; draws are keyed
+    /// by access, so a fresh window replays identical outcomes for
+    /// identical accesses).
+    pub fn reset_window(&mut self) {
+        self.calls = 0;
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    fn consume_call(&mut self) -> Result<(), AccessError> {
+        self.calls += 1;
+        match self.profile.call_quota {
+            Some(quota) if self.calls > quota => Err(AccessError::BudgetExhausted {
+                budget: quota,
+                calls: self.calls,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// A deterministic draw in `[0, bound)` for the given access key,
+    /// attempt number and purpose salt.
+    fn draw(&self, key: u64, attempt: u64, salt: u64, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        splitmix(self.profile.seed ^ key.rotate_left(17) ^ splitmix(attempt ^ salt)) % bound
+    }
+}
+
+const SALT_FAULT: u64 = 0x5EED_CAFE_F00D_D00D;
+const SALT_JITTER: u64 = 0x1A7E_0C15_7EA5_ED00;
+
+impl<B: AccessBackend> AccessBackend for SimulatedRemoteBackend<B> {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        let key = access_key_hash(method.name(), binding);
+        let mut attempt: u64 = 0;
+        loop {
+            self.consume_call()?;
+            let faulted = self.profile.fault_rate_pct > 0
+                && self.draw(key, attempt, SALT_FAULT, 100) < self.profile.fault_rate_pct as u64;
+            if faulted {
+                self.faults_injected += 1;
+                if attempt < self.profile.max_retries as u64 {
+                    attempt += 1;
+                    continue;
+                }
+                // Not retryable: the draws are deterministic per (seed,
+                // access, attempt), so repeating the identical access can
+                // only replay the identical faults.
+                return Err(AccessError::Unavailable {
+                    retryable: false,
+                    detail: format!(
+                        "simulated fault on `{}` after {} attempt(s) (deterministic for this \
+                         seed/access)",
+                        method.name(),
+                        attempt + 1
+                    ),
+                });
+            }
+            let mut response = self.inner.access(method, binding)?;
+            response.latency_micros += self.profile.base_latency_micros
+                + self.draw(key, attempt, SALT_JITTER, self.profile.jitter_micros)
+                + self.profile.per_tuple_latency_micros * response.tuples.len() as u64;
+            return Ok(response);
+        }
+    }
+
+    fn label(&self) -> &str {
+        "simulated-remote"
+    }
+}
+
+/// A horizontally sharded backend: each relation's rows are partitioned
+/// across N children; every access fans out to all of them, the partial
+/// outputs are merged (sorted, deduplicated), and the method's result
+/// bound is re-applied to the merged output.
+///
+/// Each child applies the bound to *its* partition, so the merged set can
+/// hold up to `N·k` tuples for an exact bound of `k`; truncating the
+/// sorted merge back to `k` restores a valid output: if fewer than `k`
+/// tuples match globally every child returned all of its matches, and
+/// otherwise at least `k` survive the merge. Fan-out is required because
+/// partitioning is by tuple hash while routing would need the binding to
+/// determine the shard — methods on the same relation disagree on input
+/// positions, so no single partitioning key serves them all.
+///
+/// The merged `latency_micros` is the **maximum** over the children (the
+/// fan-out is conceptually parallel); `tuples_matched` is the sum (the
+/// partition is disjoint).
+#[derive(Debug)]
+pub struct ShardedBackend<B> {
+    children: Vec<B>,
+}
+
+impl<B: AccessBackend> ShardedBackend<B> {
+    /// Builds the backend from its children (one per shard).
+    pub fn new(children: Vec<B>) -> Self {
+        assert!(!children.is_empty(), "a sharded backend needs >= 1 child");
+        ShardedBackend { children }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The child backends.
+    pub fn children(&self) -> &[B] {
+        &self.children
+    }
+}
+
+impl ShardedBackend<InstanceBackend<'static>> {
+    /// Partitions `instance` into `shards` deterministic hash shards, each
+    /// served by an owned [`InstanceBackend`] with a fresh deterministic
+    /// [`TruncatingSelection`].
+    pub fn over_instance(instance: &Instance, shards: usize) -> Self {
+        let children = partition_instance(instance, shards)
+            .into_iter()
+            .map(|shard| InstanceBackend::owning(shard, Box::new(TruncatingSelection::new())))
+            .collect();
+        ShardedBackend::new(children)
+    }
+}
+
+impl<B: AccessBackend> AccessBackend for ShardedBackend<B> {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        let mut merged: Vec<Vec<Value>> = Vec::new();
+        let mut matched = 0;
+        let mut latency = 0;
+        for child in &mut self.children {
+            let part = child.access(method, binding)?;
+            matched += part.tuples_matched;
+            latency = latency.max(part.latency_micros);
+            merged.extend(part.tuples);
+        }
+        merged.sort();
+        merged.dedup();
+        if let Some(rb) = method.result_bound() {
+            if !rb.lower_only {
+                merged.truncate(rb.limit);
+            }
+        }
+        let mut response = AccessResponse::new(merged, matched);
+        response.latency_micros = latency;
+        Ok(response)
+    }
+
+    fn label(&self) -> &str {
+        "sharded"
+    }
+}
+
+/// Partitions the rows of `instance` into `shards` instances by a
+/// deterministic FNV hash of each tuple's values. The partition is
+/// disjoint and covers every row; `shards` must be at least 1.
+pub fn partition_instance(instance: &Instance, shards: usize) -> Vec<Instance> {
+    assert!(shards >= 1, "need at least one shard");
+    let sig = instance.signature().clone();
+    let mut parts: Vec<Instance> = (0..shards).map(|_| Instance::new(sig.clone())).collect();
+    for (relation, _) in sig.iter() {
+        for tuple in instance.tuples(relation) {
+            let shard = (tuple_hash(tuple) % shards as u64) as usize;
+            parts[shard]
+                .insert(relation, tuple.to_vec())
+                .expect("partitioned tuple has the relation's arity");
+        }
+    }
+    parts
+}
+
+/// FNV-1a over the value ids of a tuple — deterministic across runs for
+/// tuples built by the same [`rbqa_common::ValueFactory`].
+fn tuple_hash(tuple: &[Value]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut feed = |b: u64| {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for value in tuple {
+        match value {
+            Value::Const(c) => {
+                feed(0);
+                feed(c.index() as u64);
+            }
+            Value::Null(n) => {
+                feed(1);
+                feed(n.raw());
+            }
+        }
+    }
+    h
+}
+
+/// One recorded access: the request and the response the wrapped backend
+/// produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Name of the accessed method.
+    pub method: String,
+    /// The binding (input position, value) pairs, as passed in.
+    pub binding: Vec<(usize, Value)>,
+    /// The response that was returned.
+    pub response: AccessResponse,
+}
+
+/// An ordered trace of successful accesses, captured by
+/// [`RecordingBackend`] and replayable through [`ReplayBackend`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    /// The records, in call order.
+    pub records: Vec<AccessRecord>,
+}
+
+impl AccessTrace {
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total tuples returned across the trace.
+    pub fn tuples_returned(&self) -> usize {
+        self.records.iter().map(|r| r.response.tuples.len()).sum()
+    }
+
+    /// Builds a backend replaying this trace (first occurrence wins for
+    /// repeated (method, binding) pairs, matching idempotent selections).
+    pub fn replayer(&self) -> ReplayBackend {
+        let mut map = FxHashMap::default();
+        let mut methods = rustc_hash::FxHashSet::default();
+        for record in &self.records {
+            methods.insert(record.method.clone());
+            map.entry((record.method.clone(), record.binding.clone()))
+                .or_insert_with(|| record.response.clone());
+        }
+        ReplayBackend { map, methods }
+    }
+}
+
+/// A backend decorator that records every successful access into an
+/// [`AccessTrace`] (errors pass through unrecorded).
+#[derive(Debug)]
+pub struct RecordingBackend<B> {
+    inner: B,
+    trace: AccessTrace,
+}
+
+impl<B: AccessBackend> RecordingBackend<B> {
+    /// Wraps `inner`.
+    pub fn new(inner: B) -> Self {
+        RecordingBackend {
+            inner,
+            trace: AccessTrace::default(),
+        }
+    }
+
+    /// The trace captured so far.
+    pub fn trace(&self) -> &AccessTrace {
+        &self.trace
+    }
+
+    /// Consumes the decorator, returning the captured trace.
+    pub fn into_trace(self) -> AccessTrace {
+        self.trace
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: AccessBackend> AccessBackend for RecordingBackend<B> {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        let response = self.inner.access(method, binding)?;
+        self.trace.records.push(AccessRecord {
+            method: method.name().to_owned(),
+            binding: binding.to_vec(),
+            response: response.clone(),
+        });
+        Ok(response)
+    }
+
+    fn label(&self) -> &str {
+        "recording"
+    }
+}
+
+/// Replays an [`AccessTrace`]: every access is answered from the recorded
+/// responses, without touching the original data source. Accesses the
+/// trace never saw fail — [`AccessError::UnknownMethod`] when the method
+/// was never recorded, a non-retryable [`AccessError::Unavailable`] when
+/// the method is known but the binding is not.
+#[derive(Debug)]
+pub struct ReplayBackend {
+    map: FxHashMap<(String, Vec<(usize, Value)>), AccessResponse>,
+    methods: rustc_hash::FxHashSet<String>,
+}
+
+impl AccessBackend for ReplayBackend {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        if let Some(response) = self.map.get(&(method.name().to_owned(), binding.to_vec())) {
+            return Ok(response.clone());
+        }
+        if self.methods.contains(method.name()) {
+            Err(AccessError::Unavailable {
+                retryable: false,
+                detail: format!("binding not present in the trace for `{}`", method.name()),
+            })
+        } else {
+            Err(AccessError::UnknownMethod(method.name().to_owned()))
+        }
+    }
+
+    fn label(&self) -> &str {
+        "replay"
+    }
+}
+
+/// A decorator enforcing a hard total call quota on any backend: call
+/// `budget + 1` fails with [`AccessError::BudgetExhausted`]. The service's
+/// per-run rate limits and the API's `call_budget` option are built on it.
+#[derive(Debug)]
+pub struct BudgetedBackend<B> {
+    inner: B,
+    budget: usize,
+    calls: usize,
+}
+
+impl<B: AccessBackend> BudgetedBackend<B> {
+    /// Wraps `inner` with a quota of `budget` calls.
+    pub fn new(inner: B, budget: usize) -> Self {
+        BudgetedBackend {
+            inner,
+            budget,
+            calls: 0,
+        }
+    }
+
+    /// Calls performed so far.
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: AccessBackend> AccessBackend for BudgetedBackend<B> {
+    fn access(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+    ) -> Result<AccessResponse, AccessError> {
+        self.calls += 1;
+        if self.calls > self.budget {
+            return Err(AccessError::BudgetExhausted {
+                budget: self.budget,
+                calls: self.calls,
+            });
+        }
+        self.inner.access(method, binding)
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_common::{Signature, ValueFactory};
+
+    fn setup(bound: Option<usize>) -> (AccessMethod, Instance, ValueFactory) {
+        let mut sig = Signature::new();
+        let rel = sig.add_relation("R", 2).unwrap();
+        let method = match bound {
+            None => AccessMethod::unbounded("m", rel, &[0]),
+            Some(k) => AccessMethod::bounded("m", rel, &[0], k),
+        };
+        let mut vf = ValueFactory::new();
+        let mut inst = Instance::new(sig);
+        let a = vf.constant("a");
+        for i in 0..6 {
+            let v = vf.constant(&format!("v{i}"));
+            inst.insert(rel, vec![a, v]).unwrap();
+        }
+        (method, inst, vf)
+    }
+
+    #[test]
+    fn instance_backend_matches_selection_semantics() {
+        let (method, inst, mut vf) = setup(Some(3));
+        let a = vf.constant("a");
+        let mut backend = InstanceBackend::truncating(&inst);
+        let response = backend.access(&method, &[(0, a)]).unwrap();
+        assert_eq!(response.tuples.len(), 3);
+        assert_eq!(response.tuples_matched, 6);
+        assert!(response.truncated);
+        assert_eq!(response.latency_micros, 0);
+        // A binding with no matches.
+        let b = vf.constant("b");
+        let empty = backend.access(&method, &[(0, b)]).unwrap();
+        assert!(empty.tuples.is_empty());
+        assert!(!empty.truncated);
+    }
+
+    #[test]
+    fn remote_backend_accounts_latency_deterministically() {
+        let (method, inst, mut vf) = setup(None);
+        let a = vf.constant("a");
+        let profile = RemoteProfile {
+            seed: 7,
+            ..RemoteProfile::default()
+        };
+        let run = |inst: &Instance| {
+            let mut backend =
+                SimulatedRemoteBackend::new(InstanceBackend::truncating(inst), profile);
+            backend.access(&method, &[(0, a)]).unwrap().latency_micros
+        };
+        let l1 = run(&inst);
+        let l2 = run(&inst);
+        assert_eq!(l1, l2, "same seed, same latency stream");
+        assert!(l1 >= profile.base_latency_micros + 6 * profile.per_tuple_latency_micros);
+    }
+
+    #[test]
+    fn remote_backend_enforces_quota_and_retries() {
+        let (method, inst, mut vf) = setup(None);
+        let a = vf.constant("a");
+        let profile = RemoteProfile {
+            call_quota: Some(2),
+            ..RemoteProfile::default()
+        };
+        let mut backend = SimulatedRemoteBackend::new(InstanceBackend::truncating(&inst), profile);
+        backend.access(&method, &[(0, a)]).unwrap();
+        backend.access(&method, &[(0, a)]).unwrap();
+        let err = backend.access(&method, &[(0, a)]).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::BudgetExhausted {
+                budget: 2,
+                calls: 3
+            }
+        );
+        backend.reset_window();
+        assert!(backend.access(&method, &[(0, a)]).is_ok());
+
+        // 100% faults: retries are consumed, then the error surfaces as
+        // permanent (the draws are deterministic — retrying the identical
+        // access replays the identical faults).
+        let flaky = RemoteProfile {
+            fault_rate_pct: 100,
+            max_retries: 2,
+            ..RemoteProfile::default()
+        };
+        let mut backend = SimulatedRemoteBackend::new(InstanceBackend::truncating(&inst), flaky);
+        let err = backend.access(&method, &[(0, a)]).unwrap_err();
+        assert!(!err.is_retryable());
+        assert_eq!(backend.calls(), 3, "initial attempt + 2 retries");
+        assert_eq!(backend.faults_injected(), 3);
+    }
+
+    #[test]
+    fn remote_fault_outcomes_are_idempotent_per_access() {
+        // Faults are keyed by (seed, method, binding, attempt), not call
+        // order: repeating the same access — in any interleaving — always
+        // reproduces its outcome, and outcomes vary across bindings.
+        let (method, inst, mut vf) = setup(None);
+        let bindings: Vec<_> = (0..8).map(|i| vf.constant(&format!("v{i}"))).collect();
+        let profile = RemoteProfile {
+            seed: 3,
+            fault_rate_pct: 50,
+            max_retries: 0,
+            ..RemoteProfile::default()
+        };
+        let mut backend = SimulatedRemoteBackend::new(InstanceBackend::truncating(&inst), profile);
+        let first: Vec<bool> = bindings
+            .iter()
+            .map(|&b| backend.access(&method, &[(0, b)]).is_ok())
+            .collect();
+        // Replay in reverse order on the same backend: identical outcomes.
+        let mut replay: Vec<bool> = bindings
+            .iter()
+            .rev()
+            .map(|&b| backend.access(&method, &[(0, b)]).is_ok())
+            .collect();
+        replay.reverse();
+        assert_eq!(first, replay);
+        assert!(
+            first.iter().any(|&ok| ok) && first.iter().any(|&ok| !ok),
+            "a 50% rate over 8 bindings should mix outcomes: {first:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_backend_reapplies_the_bound_to_the_merge() {
+        let (method, inst, mut vf) = setup(Some(3));
+        let a = vf.constant("a");
+        for shards in 1..=4 {
+            let mut sharded = ShardedBackend::over_instance(&inst, shards);
+            let response = sharded.access(&method, &[(0, a)]).unwrap();
+            assert_eq!(response.tuples.len(), 3, "{shards} shards");
+            assert_eq!(response.tuples_matched, 6);
+            assert!(response.truncated);
+        }
+    }
+
+    #[test]
+    fn partitioning_is_disjoint_and_covering() {
+        let (method, inst, mut vf) = setup(None);
+        let parts = partition_instance(&inst, 3);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, inst.len());
+        // An unbounded merged access returns exactly the full match set.
+        let a = vf.constant("a");
+        let mut sharded = ShardedBackend::over_instance(&inst, 3);
+        let merged = sharded.access(&method, &[(0, a)]).unwrap();
+        let mut direct = InstanceBackend::truncating(&inst)
+            .access(&method, &[(0, a)])
+            .unwrap()
+            .tuples;
+        direct.sort();
+        assert_eq!(merged.tuples, direct);
+    }
+
+    #[test]
+    fn recording_and_replay_round_trip() {
+        let (method, inst, mut vf) = setup(Some(2));
+        let a = vf.constant("a");
+        let mut recording = RecordingBackend::new(InstanceBackend::truncating(&inst));
+        let live = recording.access(&method, &[(0, a)]).unwrap();
+        let trace = recording.into_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.tuples_returned(), 2);
+
+        let mut replay = trace.replayer();
+        assert_eq!(replay.access(&method, &[(0, a)]).unwrap(), live);
+        // Unseen binding on a known method: permanent unavailability.
+        let b = vf.constant("b");
+        let err = replay.access(&method, &[(0, b)]).unwrap_err();
+        assert!(matches!(
+            err,
+            AccessError::Unavailable {
+                retryable: false,
+                ..
+            }
+        ));
+        // Unknown method.
+        let other = AccessMethod::unbounded("other", method.relation(), &[]);
+        assert_eq!(
+            replay.access(&other, &[]).unwrap_err(),
+            AccessError::UnknownMethod("other".to_owned())
+        );
+    }
+
+    #[test]
+    fn budgeted_backend_fails_on_the_over_quota_call() {
+        let (method, inst, mut vf) = setup(None);
+        let a = vf.constant("a");
+        let mut backend = BudgetedBackend::new(InstanceBackend::truncating(&inst), 1);
+        assert!(backend.access(&method, &[(0, a)]).is_ok());
+        let err = backend.access(&method, &[(0, a)]).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::BudgetExhausted {
+                budget: 1,
+                calls: 2
+            }
+        );
+        assert_eq!(backend.calls(), 2);
+        assert!(err.to_string().contains("budget"));
+    }
+}

@@ -15,19 +15,29 @@
 //!   paper's semantics);
 //! * [`accessible`] — the accessible-part fixpoint `AccPart(σ, I)`
 //!   (Section 3);
+//! * [`backend`] — pluggable data-source backends ([`AccessBackend`]):
+//!   in-memory, simulated-remote (latency/faults/quotas), sharded, and
+//!   recording/replay, with per-call accounting and a structured
+//!   [`AccessError`] taxonomy;
 //! * [`plan`] — monotone plans: middleware commands over a monotone
 //!   relational algebra and access commands, with their execution semantics
-//!   relative to an access selection.
+//!   relative to an access backend (the in-memory backend reproduces the
+//!   paper's access-selection semantics exactly).
 
 pub mod accessible;
+pub mod backend;
 pub mod method;
 pub mod plan;
 pub mod schema;
 pub mod selection;
 
 pub use accessible::accessible_part;
+pub use backend::{
+    AccessBackend, AccessError, AccessResponse, AccessTrace, BudgetedBackend, InstanceBackend,
+    RecordingBackend, RemoteProfile, ReplayBackend, ShardedBackend, SimulatedRemoteBackend,
+};
 pub use method::{AccessMethod, ResultBound};
-pub use plan::{Command, Condition, Plan, PlanBuilder, RaExpr, TempTable};
+pub use plan::{execute_with_backend, Command, Condition, Plan, PlanBuilder, RaExpr, TempTable};
 pub use schema::Schema;
 pub use selection::{
     AccessSelection, AdversarialSelection, GreedySelection, RandomSelection, TruncatingSelection,

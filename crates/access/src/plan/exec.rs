@@ -1,9 +1,19 @@
-//! Execution of monotone plans over an instance, relative to an access
-//! selection.
+//! Execution of monotone plans against a pluggable
+//! [`AccessBackend`].
+//!
+//! The executor is backend-generic: it resolves each access command's
+//! method against the schema, evaluates the input expression, and performs
+//! one [`crate::backend::AccessBackend::access`] per binding tuple —
+//! whether the tuples come from a local instance, a simulated remote
+//! service, or a sharded federation is the backend's business. The
+//! historical entry point [`execute`] over `(&Instance, &mut dyn
+//! AccessSelection)` is preserved as a thin wrapper around the in-memory
+//! [`InstanceBackend`].
 
 use rbqa_common::{Instance, Value};
 use rustc_hash::FxHashMap;
 
+use crate::backend::{AccessBackend, InstanceBackend};
 use crate::plan::ra::{PlanError, TempTable};
 use crate::plan::{Command, Plan};
 use crate::schema::Schema;
@@ -19,6 +29,16 @@ pub struct PlanRun {
     pub accesses_performed: usize,
     /// Total number of tuples returned by the services across all accesses.
     pub tuples_fetched: usize,
+    /// Total number of tuples that *matched* the bindings at the source
+    /// (`>= tuples_fetched`; the difference is what result bounds dropped).
+    pub tuples_matched: usize,
+    /// Number of accesses whose output was truncated by a result bound.
+    pub truncated_accesses: usize,
+    /// Total simulated backend latency across all accesses, microseconds
+    /// (0 for purely local backends).
+    pub latency_micros: u64,
+    /// Accesses performed, per method name.
+    pub calls_per_method: FxHashMap<String, usize>,
     /// Final contents of every temporary table (for inspection/debugging).
     pub tables: FxHashMap<String, TempTable>,
 }
@@ -31,26 +51,28 @@ impl PlanRun {
     }
 }
 
-/// Executes `plan` on `instance` under `schema`, using `selection` to choose
-/// the output of each (result-bounded) access.
+/// Executes `plan` under `schema` against an arbitrary
+/// [`AccessBackend`].
 ///
 /// The semantics follows Section 2 of the paper: commands run in order;
 /// access commands evaluate their input expression, perform one access per
-/// binding tuple, take the union of the selected outputs, rename it through
-/// the output map and store it; middleware commands evaluate their monotone
-/// relational algebra expression over the temporary tables produced so far.
-pub fn execute(
+/// binding tuple, take the union of the returned outputs, rename it
+/// through the output map and store it; middleware commands evaluate their
+/// monotone relational algebra expression over the temporary tables
+/// produced so far. Backend failures surface as [`PlanError::Access`].
+pub fn execute_with_backend(
     plan: &Plan,
     schema: &Schema,
-    instance: &Instance,
-    selection: &mut dyn AccessSelection,
+    backend: &mut dyn AccessBackend,
 ) -> Result<PlanRun, PlanError> {
     plan.validate(schema)?;
     let mut tables: FxHashMap<String, TempTable> = FxHashMap::default();
     let mut accesses_performed = 0usize;
     let mut tuples_fetched = 0usize;
-    // Reused across accesses: row ids from the posting-list intersection.
-    let mut row_ids: Vec<u32> = Vec::new();
+    let mut tuples_matched = 0usize;
+    let mut truncated_accesses = 0usize;
+    let mut latency_micros = 0u64;
+    let mut calls_per_method: FxHashMap<String, usize> = FxHashMap::default();
 
     for command in plan.commands() {
         match command {
@@ -77,16 +99,14 @@ pub fn execute(
                         .zip(input_map.iter())
                         .map(|(&pos, &col)| (pos, binding_row[col]))
                         .collect();
-                    row_ids.clear();
-                    instance.matching_rows_into(m.relation(), &binding, &mut row_ids);
-                    let matching: Vec<Vec<Value>> = row_ids
-                        .iter()
-                        .map(|&id| instance.row(m.relation(), id).to_vec())
-                        .collect();
-                    let selected = selection.select(m, &binding, &matching);
+                    let response = backend.access(m, &binding)?;
                     accesses_performed += 1;
-                    tuples_fetched += selected.len();
-                    for tuple in selected {
+                    *calls_per_method.entry(method.clone()).or_insert(0) += 1;
+                    tuples_fetched += response.tuples.len();
+                    tuples_matched += response.tuples_matched;
+                    truncated_accesses += response.truncated as usize;
+                    latency_micros += response.latency_micros;
+                    for tuple in response.tuples {
                         let projected: Vec<Value> = output_map.iter().map(|&p| tuple[p]).collect();
                         out.insert(projected)?;
                     }
@@ -103,8 +123,26 @@ pub fn execute(
         output: output_table.sorted_rows(),
         accesses_performed,
         tuples_fetched,
+        tuples_matched,
+        truncated_accesses,
+        latency_micros,
+        calls_per_method,
         tables,
     })
+}
+
+/// Executes `plan` on `instance` under `schema`, using `selection` to choose
+/// the output of each (result-bounded) access — the in-memory special case
+/// of [`execute_with_backend`] over an
+/// [`InstanceBackend`].
+pub fn execute(
+    plan: &Plan,
+    schema: &Schema,
+    instance: &Instance,
+    selection: &mut dyn AccessSelection,
+) -> Result<PlanRun, PlanError> {
+    let mut backend = InstanceBackend::new(instance, selection);
+    execute_with_backend(plan, schema, &mut backend)
 }
 
 #[cfg(test)]
@@ -245,6 +283,50 @@ mod tests {
         assert_eq!(run.tables["ids"].arity(), 1);
         assert_eq!(run.tables["ids"].len(), 5);
         assert_eq!(run.tables["profs"].len(), 5);
+    }
+
+    #[test]
+    fn run_accounting_tracks_matches_and_truncation() {
+        let (schema, inst, mut vf) = setup(Some(2));
+        let plan = example_1_2_plan(&mut vf);
+        let mut sel = TruncatingSelection::new();
+        let run = execute(&plan, &schema, &inst, &mut sel).unwrap();
+        // ud matched 5 rows but returned 2 (bound), so exactly one access
+        // was truncated; the per-id pr accesses are unbounded.
+        assert_eq!(run.truncated_accesses, 1);
+        assert!(run.tuples_matched > run.tuples_fetched);
+        assert_eq!(run.calls_per_method["ud"], 1);
+        assert_eq!(run.calls_per_method["pr"], 2, "one pr call per fetched id");
+        assert_eq!(run.latency_micros, 0, "instance backend is local");
+    }
+
+    #[test]
+    fn backend_generic_execution_matches_the_selection_path() {
+        let (schema, inst, mut vf) = setup(Some(2));
+        let plan = example_1_2_plan(&mut vf);
+        let mut sel = TruncatingSelection::new();
+        let direct = execute(&plan, &schema, &inst, &mut sel).unwrap();
+        let mut backend = crate::backend::InstanceBackend::truncating(&inst);
+        let via_backend = execute_with_backend(&plan, &schema, &mut backend).unwrap();
+        assert_eq!(direct.output, via_backend.output);
+        assert_eq!(direct.accesses_performed, via_backend.accesses_performed);
+        assert_eq!(direct.tuples_fetched, via_backend.tuples_fetched);
+    }
+
+    #[test]
+    fn backend_errors_surface_as_plan_errors() {
+        use crate::backend::{AccessError, BudgetedBackend, InstanceBackend};
+        let (schema, inst, mut vf) = setup(None);
+        let plan = example_1_2_plan(&mut vf);
+        let mut backend = BudgetedBackend::new(InstanceBackend::truncating(&inst), 2);
+        let err = execute_with_backend(&plan, &schema, &mut backend).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Access(AccessError::BudgetExhausted {
+                budget: 2,
+                calls: 3
+            })
+        );
     }
 
     #[test]

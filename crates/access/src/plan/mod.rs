@@ -17,7 +17,7 @@
 pub mod exec;
 pub mod ra;
 
-pub use exec::{execute, PlanRun};
+pub use exec::{execute, execute_with_backend, PlanRun};
 pub use ra::{Condition, PlanError, RaExpr, TempTable};
 
 use rustc_hash::FxHashMap;
@@ -94,11 +94,17 @@ impl Plan {
     }
 
     /// Validates the plan against a schema: every table is defined before
-    /// use, arities are consistent, methods exist and their input/output
-    /// maps are well-formed.
+    /// use, no table is defined twice, arities are consistent, methods
+    /// exist and their input/output maps are well-formed.
     pub fn validate(&self, schema: &crate::Schema) -> Result<(), PlanError> {
         let mut arities: FxHashMap<String, usize> = FxHashMap::default();
         for command in &self.commands {
+            // A later command must not shadow an earlier temp table: the
+            // second definition would silently replace the first (possibly
+            // at a different arity), so duplicates are structural errors.
+            if arities.contains_key(command.output()) {
+                return Err(PlanError::DuplicateTable(command.output().to_owned()));
+            }
             match command {
                 Command::Middleware { output, expr } => {
                     let arity = expr.arity(&arities)?;
@@ -280,6 +286,30 @@ mod tests {
             .access("T", "pr", RaExpr::table("ids"), vec![5], vec![1])
             .returns("T");
         assert!(plan.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn duplicate_table_names_rejected() {
+        // A middleware command shadowing an earlier table of a *different*
+        // arity used to validate silently; now any duplicate output name
+        // is a structural error.
+        let plan = PlanBuilder::new()
+            .access("T", "ud", RaExpr::unit(), vec![], vec![0, 1, 2])
+            .middleware("T", RaExpr::project(RaExpr::table("T"), vec![]))
+            .returns("T");
+        assert_eq!(
+            plan.validate(&schema()),
+            Err(PlanError::DuplicateTable("T".to_owned()))
+        );
+        // Access commands are checked too.
+        let plan = PlanBuilder::new()
+            .middleware("T", RaExpr::unit())
+            .access("T", "ud", RaExpr::unit(), vec![], vec![0])
+            .returns("T");
+        assert!(matches!(
+            plan.validate(&schema()),
+            Err(PlanError::DuplicateTable(_))
+        ));
     }
 
     #[test]

@@ -14,20 +14,40 @@ use std::fmt;
 pub enum PlanError {
     /// A referenced temporary table has not been produced yet.
     UnknownTable(String),
+    /// A command re-defines a temporary table an earlier command already
+    /// produced (silent shadowing — possibly at a different arity — is
+    /// rejected outright).
+    DuplicateTable(String),
     /// A referenced access method does not exist in the schema.
     UnknownMethod(String),
     /// Column index out of range, arity mismatch, or similar structural
     /// problem.
     Malformed(String),
+    /// The data-source backend failed an access (quota exhausted, service
+    /// unavailable, method not served).
+    Access(crate::backend::AccessError),
 }
 
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::UnknownTable(t) => write!(f, "unknown temporary table `{t}`"),
+            PlanError::DuplicateTable(t) => {
+                write!(
+                    f,
+                    "duplicate temporary table `{t}`: a command already produced it"
+                )
+            }
             PlanError::UnknownMethod(m) => write!(f, "unknown access method `{m}`"),
             PlanError::Malformed(msg) => write!(f, "malformed plan: {msg}"),
+            PlanError::Access(e) => write!(f, "access failed: {e}"),
         }
+    }
+}
+
+impl From<crate::backend::AccessError> for PlanError {
+    fn from(e: crate::backend::AccessError) -> Self {
+        PlanError::Access(e)
     }
 }
 

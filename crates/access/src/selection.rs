@@ -35,6 +35,17 @@ pub trait AccessSelection {
     ) -> Vec<Vec<Value>>;
 }
 
+impl<S: AccessSelection + ?Sized> AccessSelection for &mut S {
+    fn select(
+        &mut self,
+        method: &AccessMethod,
+        binding: &[(usize, Value)],
+        matching: &[Vec<Value>],
+    ) -> Vec<Vec<Value>> {
+        (**self).select(method, binding, matching)
+    }
+}
+
 /// Cache key: method name plus the binding.
 type AccessKey = (String, Vec<(usize, Value)>);
 

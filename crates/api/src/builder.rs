@@ -33,7 +33,9 @@ use rbqa_common::ValueFactory;
 use rbqa_core::AnswerabilityOptions;
 use rbqa_logic::parser::parse_cq;
 use rbqa_logic::{ConjunctiveQuery, UnionOfConjunctiveQueries};
-use rbqa_service::{AnswerRequest, AnswerResponse, CatalogId, QueryService, RequestMode};
+use rbqa_service::{
+    AnswerRequest, AnswerResponse, BackendSpec, CatalogId, ExecOptions, QueryService, RequestMode,
+};
 
 use crate::error::{ApiError, ApiErrorCode};
 
@@ -108,6 +110,7 @@ pub struct RequestBuilder<'s> {
     catalog: CatalogId,
     mode: RequestMode,
     options: AnswerabilityOptions,
+    exec: ExecOptions,
     disjuncts: Vec<ConjunctiveQuery>,
     values: Option<ValueFactory>,
     parsed_text: bool,
@@ -121,6 +124,7 @@ impl<'s> RequestBuilder<'s> {
             catalog,
             mode: RequestMode::Decide,
             options: AnswerabilityOptions::default(),
+            exec: ExecOptions::default(),
             disjuncts: Vec::new(),
             values: None,
             parsed_text: false,
@@ -226,6 +230,44 @@ impl<'s> RequestBuilder<'s> {
     /// Sets the crawl-round count used by plan synthesis.
     pub fn crawl_rounds(mut self, rounds: usize) -> Self {
         self.options.crawl_rounds = rounds;
+        self
+    }
+
+    /// Selects the data-source backend `Execute` runs the plans against
+    /// (in-memory instance, simulated remote, sharded federation). The
+    /// choice is part of the fingerprint of `Execute` requests; other
+    /// modes ignore it. Shard counts outside `1..=MAX_SHARDS` are
+    /// rejected.
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        if let BackendSpec::Sharded { shards } = backend {
+            if self.deferred.is_none() && (shards == 0 || shards > rbqa_service::MAX_SHARDS) {
+                self.deferred = Some(ApiError::new(
+                    ApiErrorCode::InvalidRequest,
+                    format!(
+                        "shard count {shards} outside 1..={}",
+                        rbqa_service::MAX_SHARDS
+                    ),
+                ));
+                return self;
+            }
+        }
+        self.exec.backend = backend;
+        self
+    }
+
+    /// Caps the total number of accesses one `Execute` request may
+    /// perform **across all its disjunct plans**; the over-quota run
+    /// fails fast with `BUDGET_EXHAUSTED` instead of returning partial
+    /// rows. Part of the fingerprint of `Execute` requests; other modes
+    /// ignore it.
+    pub fn call_budget(mut self, budget: usize) -> Self {
+        self.exec.call_budget = Some(budget);
+        self
+    }
+
+    /// Overrides all execution options at once.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -343,6 +385,7 @@ impl<'s> RequestBuilder<'s> {
             values,
             mode: self.mode,
             options: self.options,
+            exec: self.exec,
         })
     }
 
@@ -575,5 +618,53 @@ mod tests {
         assert_eq!(request.mode, RequestMode::Synthesize);
         assert_eq!(request.options.crawl_rounds, 3);
         assert!(request.effective_options().synthesize_plan);
+    }
+
+    #[test]
+    fn backend_and_call_budget_flow_into_the_request_and_fingerprint() {
+        let (service, id) = service_with_catalog();
+        let build = |b: Option<BackendSpec>, budget: Option<usize>, exec_mode: bool| {
+            let mut builder = service.request(id).query_text("Q() :- Udirectory(i, a, p)");
+            if exec_mode {
+                builder = builder.execute();
+            }
+            if let Some(b) = b {
+                builder = builder.backend(b);
+            }
+            if let Some(k) = budget {
+                builder = builder.call_budget(k);
+            }
+            builder.build().unwrap()
+        };
+        let sharded = build(Some(BackendSpec::Sharded { shards: 3 }), Some(25), true);
+        assert_eq!(sharded.exec.backend, BackendSpec::Sharded { shards: 3 });
+        assert_eq!(sharded.exec.call_budget, Some(25));
+        // Different backend/budget choices are different Execute cache
+        // keys.
+        let default = build(None, None, true);
+        let budgeted = build(None, Some(25), true);
+        let f_default = service.fingerprint_of(&default).unwrap();
+        let f_budgeted = service.fingerprint_of(&budgeted).unwrap();
+        let f_sharded = service.fingerprint_of(&sharded).unwrap();
+        assert_ne!(f_default, f_budgeted);
+        assert_ne!(f_default, f_sharded);
+        assert_ne!(f_budgeted, f_sharded);
+        // Decide/Synthesize outcomes cannot depend on exec options, so
+        // their fingerprints normalise them away: a stream-scoped
+        // `option exec.*` must not fragment the decision cache.
+        let decide_plain = build(None, None, false);
+        let decide_sharded = build(Some(BackendSpec::Sharded { shards: 3 }), Some(25), false);
+        assert_eq!(
+            service.fingerprint_of(&decide_plain).unwrap(),
+            service.fingerprint_of(&decide_sharded).unwrap()
+        );
+        // A zero-shard federation is rejected outright.
+        let err = service
+            .request(id)
+            .query_text("Q() :- Udirectory(i, a, p)")
+            .backend(BackendSpec::Sharded { shards: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err.code, ApiErrorCode::InvalidRequest);
     }
 }

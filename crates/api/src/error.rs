@@ -30,6 +30,11 @@ pub enum ApiErrorCode {
     EmptyUnion,
     /// The request's disjuncts disagree on answer arity.
     UnionArityMismatch,
+    /// Plan execution exceeded its call budget (a rate limit or the
+    /// request's `call_budget` option) and failed fast.
+    BudgetExhausted,
+    /// The execution backend was unavailable.
+    BackendUnavailable,
     /// The query DSL (or a wire line) failed to parse.
     ParseError,
     /// A query atom references a relation the catalog does not declare.
@@ -59,6 +64,8 @@ impl ApiErrorCode {
             ApiErrorCode::ExecutionFailed => "EXECUTION_FAILED",
             ApiErrorCode::EmptyUnion => "EMPTY_UNION",
             ApiErrorCode::UnionArityMismatch => "UNION_ARITY_MISMATCH",
+            ApiErrorCode::BudgetExhausted => "BUDGET_EXHAUSTED",
+            ApiErrorCode::BackendUnavailable => "BACKEND_UNAVAILABLE",
             ApiErrorCode::ParseError => "PARSE_ERROR",
             ApiErrorCode::UnknownRelation => "UNKNOWN_RELATION",
             ApiErrorCode::ArityMismatch => "ARITY_MISMATCH",
@@ -114,6 +121,8 @@ impl From<ServiceError> for ApiError {
             ServiceError::Execution(_) => ApiErrorCode::ExecutionFailed,
             ServiceError::EmptyUnion => ApiErrorCode::EmptyUnion,
             ServiceError::UnionArityMismatch => ApiErrorCode::UnionArityMismatch,
+            ServiceError::BudgetExhausted { .. } => ApiErrorCode::BudgetExhausted,
+            ServiceError::Unavailable { .. } => ApiErrorCode::BackendUnavailable,
             ServiceError::Invalid(_) => ApiErrorCode::InvalidRequest,
         };
         ApiError::new(code, e.to_string())
@@ -148,6 +157,21 @@ mod tests {
         let e: ApiError = ServiceError::EmptyUnion.into();
         assert_eq!(e.code.as_str(), ServiceError::EmptyUnion.code());
         assert!(e.to_string().starts_with("EMPTY_UNION: "));
+        // Backend errors keep their structured codes through the mapping.
+        let budget = ServiceError::BudgetExhausted {
+            budget: 5,
+            calls: 6,
+        };
+        let e: ApiError = budget.clone().into();
+        assert_eq!(e.code, ApiErrorCode::BudgetExhausted);
+        assert_eq!(e.code.as_str(), budget.code());
+        let unavailable = ServiceError::Unavailable {
+            retryable: true,
+            detail: "flaky".into(),
+        };
+        let e: ApiError = unavailable.clone().into();
+        assert_eq!(e.code, ApiErrorCode::BackendUnavailable);
+        assert_eq!(e.code.as_str(), unavailable.code());
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //!   dataset (enables `execute`).
 //! * `option budget generous|small|tiny` sets the chase budget for
 //!   subsequent requests.
+//! * `option exec.backend instance|sharded:N|remote [seed=S] [latency=L]
+//!   [faults=P]` selects the data-source backend `execute` requests run
+//!   against, and `option exec.calls K|none` caps the number of accesses
+//!   one request may perform across all its disjunct plans (the
+//!   over-quota run fails with `BUDGET_EXHAUSTED`). Both are
+//!   stream-scoped and part of the fingerprint of `execute` requests
+//!   (other modes normalise them away).
 //!
 //! Every request line yields exactly one JSON object on its own line —
 //! `{"v":1,"status":"ok",...}` or `{"v":1,"status":"error","code":...}` —
@@ -46,7 +53,7 @@ use rbqa_core::Answerability;
 use rbqa_logic::constraints::ConstraintSet;
 use rbqa_logic::parser::{parse_cq, parse_fd, parse_tgd};
 use rbqa_logic::Term;
-use rbqa_service::{AnswerResponse, QueryService, RequestMode};
+use rbqa_service::{AnswerResponse, BackendSpec, ExecOptions, QueryService, RequestMode};
 
 use crate::builder::ServiceApi;
 use crate::error::{ApiError, ApiErrorCode};
@@ -102,9 +109,26 @@ pub fn response_to_json(
         obj = obj.field_raw("rows", &json_array(rendered.collect::<Vec<_>>()));
     }
     if let Some(pm) = &response.plan_metrics {
+        // The historical top-level fields stay for compatibility; the
+        // `metrics` block is the full access-accounting contract.
+        let mut per_method: Vec<(&String, &usize)> = pm.calls_per_method.iter().collect();
+        per_method.sort();
+        let mut calls = JsonObject::new();
+        for (method, count) in per_method {
+            calls = calls.field_u128(method, *count as u128);
+        }
+        let metrics = JsonObject::new()
+            .field_u128("total_calls", pm.total_calls as u128)
+            .field_u128("tuples_fetched", pm.tuples_fetched as u128)
+            .field_u128("tuples_matched", pm.tuples_matched as u128)
+            .field_u128("truncated_accesses", pm.truncated_accesses as u128)
+            .field_u128("latency_micros", pm.latency_micros as u128)
+            .field_raw("calls_per_method", &calls.finish())
+            .finish();
         obj = obj
             .field_u128("total_calls", pm.total_calls as u128)
-            .field_u128("tuples_fetched", pm.tuples_fetched as u128);
+            .field_u128("tuples_fetched", pm.tuples_fetched as u128)
+            .field_raw("metrics", &metrics);
     }
     obj.field_u128("micros", response.micros).finish()
 }
@@ -152,6 +176,7 @@ pub struct WireServer {
     pending: Option<PendingCatalog>,
     version_seen: bool,
     budget: Budget,
+    exec: ExecOptions,
 }
 
 impl Default for WireServer {
@@ -174,6 +199,7 @@ impl WireServer {
             pending: None,
             version_seen: false,
             budget: Budget::generous(),
+            exec: ExecOptions::default(),
         }
     }
 
@@ -345,9 +371,27 @@ impl WireServer {
                         };
                         Ok(None)
                     }
+                    ["exec.backend", spec @ ..] => {
+                        self.exec.backend = parse_backend_spec(spec)?;
+                        Ok(None)
+                    }
+                    ["exec.calls", "none"] => {
+                        self.exec.call_budget = None;
+                        Ok(None)
+                    }
+                    ["exec.calls", k] => {
+                        let k: usize = k.parse().map_err(|_| {
+                            ApiError::new(
+                                ApiErrorCode::ProtocolError,
+                                format!("bad call budget `{k}` (usage: option exec.calls K|none)"),
+                            )
+                        })?;
+                        self.exec.call_budget = Some(k);
+                        Ok(None)
+                    }
                     _ => Err(ApiError::new(
                         ApiErrorCode::ProtocolError,
-                        "usage: option budget generous|small|tiny",
+                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] | option exec.calls K|none",
                     )),
                 }
             }
@@ -372,7 +416,8 @@ impl WireServer {
                     .service
                     .request_named(catalog)?
                     .query_text(query_text.trim())
-                    .with_budget(self.budget);
+                    .with_budget(self.budget)
+                    .with_exec(self.exec);
                 let builder = match mode {
                     RequestMode::Decide => builder.decide(),
                     RequestMode::Synthesize => builder.synthesize(),
@@ -440,6 +485,64 @@ fn undeclared_relation_error(sig: &Signature, declared: usize) -> ApiError {
         ApiErrorCode::UnknownRelation,
         format!("relation `{name}` is not declared by the catalog (add a `relation` line)"),
     )
+}
+
+/// Parses the operand of `option exec.backend`:
+/// `instance` | `sharded:N` | `remote [seed=S] [latency=L] [faults=P]`.
+fn parse_backend_spec(tokens: &[&str]) -> Result<BackendSpec, ApiError> {
+    let usage = || {
+        ApiError::new(
+            ApiErrorCode::ProtocolError,
+            "usage: option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P]",
+        )
+    };
+    match tokens {
+        ["instance"] => Ok(BackendSpec::Instance),
+        [spec] if spec.starts_with("sharded:") => {
+            let shards: usize = spec["sharded:".len()..].parse().map_err(|_| usage())?;
+            // Bounded: each shard is a full copy slot of the catalog's
+            // dataset, so an unchecked wire-supplied count would be a
+            // one-line memory bomb.
+            if shards == 0 || shards > rbqa_service::MAX_SHARDS {
+                return Err(ApiError::new(
+                    ApiErrorCode::ProtocolError,
+                    format!(
+                        "shard count {shards} outside 1..={}",
+                        rbqa_service::MAX_SHARDS
+                    ),
+                ));
+            }
+            Ok(BackendSpec::Sharded { shards })
+        }
+        ["remote", opts @ ..] => {
+            let mut seed = 0u64;
+            let mut latency_micros = 150u64;
+            let mut fault_rate_pct = 0u8;
+            for opt in opts {
+                if let Some(v) = opt.strip_prefix("seed=") {
+                    seed = v.parse().map_err(|_| usage())?;
+                } else if let Some(v) = opt.strip_prefix("latency=") {
+                    latency_micros = v.parse().map_err(|_| usage())?;
+                } else if let Some(v) = opt.strip_prefix("faults=") {
+                    fault_rate_pct = v.parse().map_err(|_| usage())?;
+                    if fault_rate_pct > 100 {
+                        return Err(ApiError::new(
+                            ApiErrorCode::ProtocolError,
+                            "faults= is a percentage (0-100)",
+                        ));
+                    }
+                } else {
+                    return Err(usage());
+                }
+            }
+            Ok(BackendSpec::SimulatedRemote {
+                seed,
+                latency_micros,
+                fault_rate_pct,
+            })
+        }
+        _ => Err(usage()),
+    }
 }
 
 /// Parses `NAME REL in=P1,P2 [bound=K]` into an [`AccessMethod`]
@@ -627,6 +730,94 @@ decide deps Q() :- Grant(g)
         let outputs = server.handle_stream(stream);
         assert_eq!(outputs.len(), 1, "{outputs:?}");
         assert!(outputs[0].contains("\"status\":\"ok\""), "{}", outputs[0]);
+    }
+
+    const EXEC_PREAMBLE: &str = "rbqa/1
+catalog uni
+relation Prof/3
+relation Udirectory/3
+constraint Prof(i, n, s) -> Udirectory(i, a, p)
+method pr Prof in=1
+method ud Udirectory in=
+fact Prof('7', 'ada', '10000')
+fact Prof('8', 'alan', '10000')
+fact Udirectory('7', 'mainst', '555')
+fact Udirectory('8', 'sidest', '556')
+";
+
+    #[test]
+    fn exec_options_select_backends_and_report_metrics() {
+        let mut server = WireServer::new();
+        let stream = format!(
+            "{EXEC_PREAMBLE}\
+             execute uni Q(n) :- Prof(i, n, '10000')\n\
+             option exec.backend sharded:3\n\
+             execute uni Q(n) :- Prof(i, n, '10000')\n\
+             option exec.backend remote seed=7 latency=200 faults=0\n\
+             execute uni Q(n) :- Prof(i, n, '10000')\n"
+        );
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 3, "{outputs:?}");
+        for out in &outputs {
+            assert!(out.contains("\"rows\":[[\"ada\"],[\"alan\"]]"), "{out}");
+            assert!(out.contains("\"metrics\":{"), "{out}");
+            assert!(out.contains("\"tuples_matched\""), "{out}");
+            assert!(out.contains("\"calls_per_method\":{"), "{out}");
+        }
+        // The in-memory backend reports zero latency; the remote one does
+        // not.
+        assert!(
+            outputs[0].contains("\"latency_micros\":0"),
+            "{}",
+            outputs[0]
+        );
+        assert!(
+            !outputs[2].contains("\"latency_micros\":0"),
+            "{}",
+            outputs[2]
+        );
+        // Different backends are different fingerprints: none of the three
+        // rode another's cache entry.
+        assert_eq!(server.service().metrics().decisions_computed, 3);
+    }
+
+    #[test]
+    fn exec_call_budget_fails_fast_with_a_stable_code() {
+        let mut server = WireServer::new();
+        let stream = format!(
+            "{EXEC_PREAMBLE}\
+             option exec.calls 1\n\
+             execute uni Q(n) :- Prof(i, n, '10000')\n\
+             option exec.calls none\n\
+             execute uni Q(n) :- Prof(i, n, '10000')\n"
+        );
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 2, "{outputs:?}");
+        assert!(
+            outputs[0].contains("\"code\":\"BUDGET_EXHAUSTED\""),
+            "{}",
+            outputs[0]
+        );
+        assert!(!outputs[0].contains("\"rows\""), "no partial rows");
+        assert!(outputs[1].contains("\"status\":\"ok\""), "{}", outputs[1]);
+    }
+
+    #[test]
+    fn malformed_exec_options_are_protocol_errors() {
+        let mut server = WireServer::new();
+        server.handle_line("rbqa/1");
+        for bad in [
+            "option exec.backend warp-drive",
+            "option exec.backend sharded:0",
+            "option exec.backend sharded:x",
+            "option exec.backend sharded:4000000000",
+            "option exec.backend remote faults=200",
+            "option exec.backend remote bogus=1",
+            "option exec.calls many",
+        ] {
+            let out = server.handle_line(bad).expect("error output");
+            assert!(out.contains("\"code\":\"PROTOCOL_ERROR\""), "{bad}: {out}");
+        }
     }
 
     #[test]

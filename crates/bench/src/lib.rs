@@ -602,6 +602,45 @@ pub fn measure_decide_case(case: &DecideCase, mode: KernelMode, iters: usize) ->
     }
 }
 
+/// The Example 1.2 crawling plan over the university scenario: list the
+/// directory, look each professor up by id, filter on salary, return
+/// names. Shared by the `fig_backend` bench and the `backend_report`
+/// binary so both always measure the same workload.
+pub fn example_1_2_salary_plan(values: &mut ValueFactory) -> rbqa_access::Plan {
+    use rbqa_access::{Condition, PlanBuilder, RaExpr};
+    let salary = values.constant("10000");
+    PlanBuilder::new()
+        .access("ids", "ud", RaExpr::unit(), vec![], vec![0])
+        .access("profs", "pr", RaExpr::table("ids"), vec![0], vec![0, 1, 2])
+        .middleware(
+            "matching",
+            RaExpr::select(RaExpr::table("profs"), Condition::eq_const(2, salary)),
+        )
+        .middleware("names", RaExpr::project(RaExpr::table("matching"), vec![1]))
+        .returns("names")
+}
+
+/// The backend roster measured by FIG-backend (label, spec): the
+/// in-memory baseline, two shard counts, and the zero-fault simulated
+/// remote. One definition keeps the criterion bench and the CI-smoked
+/// report on the same configurations.
+pub fn fig_backend_roster() -> Vec<(&'static str, rbqa_engine::BackendSpec)> {
+    use rbqa_engine::BackendSpec;
+    vec![
+        ("instance", BackendSpec::Instance),
+        ("sharded2", BackendSpec::Sharded { shards: 2 }),
+        ("sharded4", BackendSpec::Sharded { shards: 4 }),
+        (
+            "remote",
+            BackendSpec::SimulatedRemote {
+                seed: 7,
+                latency_micros: 150,
+                fault_rate_pct: 0,
+            },
+        ),
+    ]
+}
+
 fn truncate(s: &str, max: usize) -> String {
     if s.chars().count() <= max {
         s.to_owned()

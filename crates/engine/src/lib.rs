@@ -12,16 +12,18 @@
 //!   of Example 1.1, a movie catalogue, random instances repaired to satisfy
 //!   a constraint set via the chase);
 //! * [`service`] — a web-service simulator wrapping an instance behind the
-//!   schema's access methods, with per-method call accounting and optional
-//!   rate limits;
+//!   schema's access methods through pluggable
+//!   [`rbqa_access::AccessBackend`]s (in-memory, simulated-remote,
+//!   sharded), with per-method call accounting and hard rate limits;
 //! * [`validation`] — the empirical plan validation harness: execute a plan
-//!   under many access selections over instances satisfying the constraints
-//!   and compare its output with the query's answer.
+//!   under many access selections **and backends** over instances
+//!   satisfying the constraints and compare its output with the query's
+//!   answer.
 
 pub mod dataset;
 pub mod service;
 pub mod validation;
 
 pub use dataset::{movie_instance, random_instance_satisfying, university_instance};
-pub use service::{PlanMetrics, ServiceSimulator};
+pub use service::{BackendSpec, ExecOptions, PlanMetrics, ServiceSimulator, MAX_SHARDS};
 pub use validation::{validate_plan, ValidationReport};

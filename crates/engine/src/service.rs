@@ -1,8 +1,106 @@
-//! A simulated web-service stack with call accounting and rate limits.
+//! A simulated web-service stack built on pluggable access backends.
+//!
+//! [`ServiceSimulator`] hides an [`Instance`] behind the access methods of
+//! a [`Schema`] and executes plans against it through any
+//! [`AccessBackend`]: the in-memory [`InstanceBackend`] (the paper's
+//! access-selection semantics), a [`SimulatedRemoteBackend`] with seeded
+//! latency and faults, or a [`ShardedBackend`] federation over hash
+//! partitions of the hidden data. [`ExecOptions`] names the backend and a
+//! per-run call budget so higher layers (`rbqa-service`, the wire
+//! protocol) can select them declaratively — and fingerprint the choice.
+//!
+//! Rate limits are **hard**: a run that exceeds the configured quota fails
+//! fast with [`rbqa_access::AccessError::BudgetExhausted`] (surfaced as
+//! `PlanError::Access`) instead of completing and setting a soft flag.
 
+use rbqa_access::backend::{
+    AccessBackend, BudgetedBackend, InstanceBackend, RemoteProfile, ShardedBackend,
+    SimulatedRemoteBackend,
+};
+use rbqa_access::plan::{execute_with_backend, PlanRun};
 use rbqa_access::{AccessSelection, Plan, Schema, TruncatingSelection};
 use rbqa_common::{Instance, Value};
 use rustc_hash::FxHashMap;
+
+/// Upper bound on the shard count a request may name. Building a sharded
+/// backend allocates one instance per shard before any access runs, so an
+/// unchecked wire-supplied count would be a one-line memory bomb; 64
+/// comfortably covers every realistic federation at simulator scale.
+pub const MAX_SHARDS: usize = 64;
+
+/// Which data-source backend executes a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendSpec {
+    /// The in-memory instance with the deterministic truncating selection.
+    #[default]
+    Instance,
+    /// A simulated remote service over the instance: deterministic seeded
+    /// latency accounting and fault injection (with retries).
+    SimulatedRemote {
+        /// Seed of the latency/fault stream.
+        seed: u64,
+        /// Base per-call latency, microseconds.
+        latency_micros: u64,
+        /// Percentage (0–100) of calls that fault before retries.
+        fault_rate_pct: u8,
+    },
+    /// A sharded federation: the instance hash-partitioned across N child
+    /// backends, every access fanned out and merged.
+    Sharded {
+        /// Number of shards (`1..=MAX_SHARDS`).
+        shards: usize,
+    },
+}
+
+impl BackendSpec {
+    /// A canonical, stable code for fingerprints and reports.
+    pub fn code(&self) -> String {
+        match self {
+            BackendSpec::Instance => "instance".to_owned(),
+            BackendSpec::SimulatedRemote {
+                seed,
+                latency_micros,
+                fault_rate_pct,
+            } => format!("remote:{seed}:{latency_micros}:{fault_rate_pct}"),
+            BackendSpec::Sharded { shards } => format!("sharded:{shards}"),
+        }
+    }
+}
+
+/// Declarative execution options for a plan run: the backend plus an
+/// optional per-run call budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// The backend to execute against.
+    pub backend: BackendSpec,
+    /// Hard cap on the total number of accesses one run may perform; the
+    /// over-quota call fails with `BudgetExhausted`. Combines with a
+    /// simulator-level rate limit by taking the minimum.
+    pub call_budget: Option<usize>,
+}
+
+impl ExecOptions {
+    /// Options selecting a backend with no extra call budget.
+    pub fn with_backend(backend: BackendSpec) -> Self {
+        ExecOptions {
+            backend,
+            call_budget: None,
+        }
+    }
+
+    /// A canonical, stable code for cache fingerprints: two requests with
+    /// different exec codes must not share a cached Execute artifact.
+    pub fn code(&self) -> String {
+        let budget = match self.call_budget {
+            None => "none".to_owned(),
+            Some(k) => k.to_string(),
+        };
+        format!("backend:{}|calls:{budget}", self.backend.code())
+    }
+}
+
+/// One plan run's result: the output rows plus the collected metrics.
+pub type PlanRunResult = (Vec<Vec<Value>>, PlanMetrics);
 
 /// Execution metrics for one plan run against the simulated services.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,18 +111,43 @@ pub struct PlanMetrics {
     pub total_calls: usize,
     /// Total number of tuples returned by the services.
     pub tuples_fetched: usize,
+    /// Total number of tuples that matched at the source (result bounds
+    /// dropped `tuples_matched - tuples_fetched` of them).
+    pub tuples_matched: usize,
+    /// Number of accesses truncated by a result bound.
+    pub truncated_accesses: usize,
+    /// Total simulated backend latency, microseconds (0 for the in-memory
+    /// backend).
+    pub latency_micros: u64,
     /// Number of rows in the plan's output.
     pub output_size: usize,
-    /// Whether the total number of calls stayed within the configured rate
-    /// limit (when one is set).
+    /// Whether the run stayed within the configured rate limit. Since
+    /// over-quota runs now fail fast with `BudgetExhausted`, this is
+    /// `true` for every completed run; the field is kept for wire
+    /// compatibility.
     pub within_rate_limit: bool,
+}
+
+impl PlanMetrics {
+    fn from_run(run: &PlanRun) -> Self {
+        PlanMetrics {
+            calls_per_method: run.calls_per_method.clone(),
+            total_calls: run.accesses_performed,
+            tuples_fetched: run.tuples_fetched,
+            tuples_matched: run.tuples_matched,
+            truncated_accesses: run.truncated_accesses,
+            latency_micros: run.latency_micros,
+            output_size: run.output.len(),
+            within_rate_limit: true,
+        }
+    }
 }
 
 /// A simulated collection of web services: an instance hidden behind the
 /// access methods of a schema, as in the paper's motivating examples
 /// (Section 1). Plans are the only way to look at the data; the simulator
-/// tracks how many calls each method receives and how many tuples travel
-/// over the (simulated) wire, and can flag rate-limit violations.
+/// tracks how many calls each method receives, how many tuples travel over
+/// the (simulated) wire, and enforces rate limits as hard errors.
 ///
 /// The simulator is `Clone` so higher layers (the `rbqa-service` catalog)
 /// can share it across worker threads; cloning copies the schema and the
@@ -34,24 +157,6 @@ pub struct ServiceSimulator {
     schema: Schema,
     data: Instance,
     rate_limit: Option<usize>,
-}
-
-/// Access-selection wrapper that counts calls per method.
-struct CountingSelection<'a> {
-    inner: &'a mut dyn AccessSelection,
-    calls: FxHashMap<String, usize>,
-}
-
-impl AccessSelection for CountingSelection<'_> {
-    fn select(
-        &mut self,
-        method: &rbqa_access::AccessMethod,
-        binding: &[(usize, Value)],
-        matching: &[Vec<Value>],
-    ) -> Vec<Vec<Value>> {
-        *self.calls.entry(method.name().to_owned()).or_insert(0) += 1;
-        self.inner.select(method, binding, matching)
-    }
 }
 
 impl ServiceSimulator {
@@ -64,9 +169,16 @@ impl ServiceSimulator {
         }
     }
 
-    /// Sets a rate limit: the maximum total number of accesses a plan run
-    /// may perform before [`PlanMetrics::within_rate_limit`] turns false.
-    /// This models the per-window call quotas of real services.
+    /// Sets a rate limit: the maximum total number of accesses one
+    /// *execution window* may perform before it fails with
+    /// [`rbqa_access::AccessError::BudgetExhausted`]. A window is one
+    /// [`ServiceSimulator::run_plan`]/
+    /// [`ServiceSimulator::run_plan_with_backend`] call, or one whole
+    /// [`ServiceSimulator::run_plans_exec`] request (all disjunct plans
+    /// of a union share the window, as they would share a real service's
+    /// quota). This models the per-window call quotas of real services —
+    /// and unlike the historical soft flag, an over-quota window returns
+    /// **no rows**.
     pub fn with_rate_limit(mut self, limit: usize) -> Self {
         self.rate_limit = Some(limit);
         self
@@ -82,40 +194,155 @@ impl ServiceSimulator {
         &self.data
     }
 
-    /// Executes a plan against the services under the given access
-    /// selection, returning the plan's output and the collected metrics.
+    /// The configured rate limit, if any.
+    pub fn rate_limit(&self) -> Option<usize> {
+        self.rate_limit
+    }
+
+    /// The effective per-run call budget: the minimum of the simulator's
+    /// rate limit and the request's own budget.
+    fn effective_budget(&self, exec_budget: Option<usize>) -> Option<usize> {
+        match (self.rate_limit, exec_budget) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+
+    fn finish(run: PlanRun) -> Result<PlanRunResult, rbqa_access::plan::PlanError> {
+        let metrics = PlanMetrics::from_run(&run);
+        Ok((run.output, metrics))
+    }
+
+    /// Executes a plan against an arbitrary backend, applying the
+    /// simulator's rate limit on top, and returns the plan's output plus
+    /// the collected metrics.
+    pub fn run_plan_with_backend(
+        &self,
+        plan: &Plan,
+        backend: &mut dyn AccessBackend,
+    ) -> Result<PlanRunResult, rbqa_access::plan::PlanError> {
+        let run = match self.rate_limit {
+            Some(limit) => {
+                let mut budgeted = BudgetedBackend::new(backend, limit);
+                execute_with_backend(plan, &self.schema, &mut budgeted)?
+            }
+            None => execute_with_backend(plan, &self.schema, backend)?,
+        };
+        Self::finish(run)
+    }
+
+    /// Executes a plan through the in-memory backend under the given access
+    /// selection.
     pub fn run_plan(
         &self,
         plan: &Plan,
         selection: &mut dyn AccessSelection,
-    ) -> Result<(Vec<Vec<Value>>, PlanMetrics), rbqa_access::plan::PlanError> {
-        let mut counting = CountingSelection {
-            inner: selection,
-            calls: FxHashMap::default(),
-        };
-        let run = rbqa_access::plan::execute(plan, &self.schema, &self.data, &mut counting)?;
-        let total_calls: usize = counting.calls.values().sum();
-        let metrics = PlanMetrics {
-            calls_per_method: counting.calls,
-            total_calls,
-            tuples_fetched: run.tuples_fetched,
-            output_size: run.output.len(),
-            within_rate_limit: self.rate_limit.is_none_or(|limit| total_calls <= limit),
-        };
-        Ok((run.output, metrics))
+    ) -> Result<PlanRunResult, rbqa_access::plan::PlanError> {
+        let mut backend = InstanceBackend::new(&self.data, selection);
+        self.run_plan_with_backend(plan, &mut backend)
     }
 
-    /// Executes a plan under the deterministic [`TruncatingSelection`].
+    /// Builds the backend named by `spec` over the hidden instance, with
+    /// deterministic truncating selections throughout.
+    ///
+    /// `Sharded` pays an O(|instance|) partition per call — one full
+    /// hash-partition copy of the hidden data per execution window.
+    /// Acceptable at simulator scale; caching the shard instances per
+    /// (dataset, shard count) is the obvious optimisation once datasets
+    /// grow.
+    fn build_backend(
+        &self,
+        spec: BackendSpec,
+    ) -> Result<Box<dyn AccessBackend + '_>, rbqa_access::plan::PlanError> {
+        Ok(match spec {
+            BackendSpec::Instance => Box::new(InstanceBackend::with_selection(
+                &self.data,
+                Box::new(TruncatingSelection::new()),
+            )),
+            BackendSpec::SimulatedRemote {
+                seed,
+                latency_micros,
+                fault_rate_pct,
+            } => Box::new(SimulatedRemoteBackend::new(
+                InstanceBackend::with_selection(&self.data, Box::new(TruncatingSelection::new())),
+                RemoteProfile {
+                    seed,
+                    base_latency_micros: latency_micros,
+                    fault_rate_pct,
+                    ..RemoteProfile::default()
+                },
+            )),
+            BackendSpec::Sharded { shards } if shards == 0 || shards > MAX_SHARDS => {
+                return Err(rbqa_access::plan::PlanError::Malformed(format!(
+                    "shard count {shards} outside 1..={MAX_SHARDS}"
+                )))
+            }
+            BackendSpec::Sharded { shards } => {
+                Box::new(ShardedBackend::over_instance(&self.data, shards))
+            }
+        })
+    }
+
+    /// Executes a set of plans deterministically under declarative
+    /// [`ExecOptions`], returning per-plan outputs and metrics.
+    ///
+    /// One backend (and one call-budget window) serves the **whole set**:
+    /// this is the `Execute` semantics of a union request, whose
+    /// `call_budget` caps the request's total accesses across all
+    /// disjunct plans — not each plan separately. The shared backend also
+    /// keeps accesses idempotent across plans (one selection cache, one
+    /// remote latency/fault stream).
+    pub fn run_plans_exec(
+        &self,
+        plans: &[&Plan],
+        exec: &ExecOptions,
+    ) -> Result<Vec<PlanRunResult>, rbqa_access::plan::PlanError> {
+        let mut backend = self.build_backend(exec.backend)?;
+        match self.effective_budget(exec.call_budget) {
+            Some(limit) => {
+                let mut budgeted = BudgetedBackend::new(backend.as_mut(), limit);
+                plans
+                    .iter()
+                    .map(|plan| {
+                        execute_with_backend(plan, &self.schema, &mut budgeted)
+                            .and_then(Self::finish)
+                    })
+                    .collect()
+            }
+            None => plans
+                .iter()
+                .map(|plan| {
+                    execute_with_backend(plan, &self.schema, backend.as_mut())
+                        .and_then(Self::finish)
+                })
+                .collect(),
+        }
+    }
+
+    /// Executes one plan deterministically under declarative
+    /// [`ExecOptions`] (the single-plan case of
+    /// [`ServiceSimulator::run_plans_exec`]).
+    pub fn run_plan_exec(
+        &self,
+        plan: &Plan,
+        exec: &ExecOptions,
+    ) -> Result<PlanRunResult, rbqa_access::plan::PlanError> {
+        let mut results = self.run_plans_exec(&[plan], exec)?;
+        Ok(results.remove(0))
+    }
+
+    /// Executes a plan under the deterministic default options (in-memory
+    /// backend, [`TruncatingSelection`]).
     ///
     /// This is the execution path used by `rbqa-service` for `Execute`
-    /// requests: deterministic (repeatable responses for identical
-    /// requests) and valid for any result bound.
+    /// requests without explicit exec options: deterministic (repeatable
+    /// responses for identical requests) and valid for any result bound.
     pub fn run_plan_deterministic(
         &self,
         plan: &Plan,
-    ) -> Result<(Vec<Vec<Value>>, PlanMetrics), rbqa_access::plan::PlanError> {
-        let mut selection = TruncatingSelection::new();
-        self.run_plan(plan, &mut selection)
+    ) -> Result<PlanRunResult, rbqa_access::plan::PlanError> {
+        self.run_plan_exec(plan, &ExecOptions::default())
     }
 }
 
@@ -123,7 +350,10 @@ impl ServiceSimulator {
 mod tests {
     use super::*;
     use crate::dataset::university_instance;
-    use rbqa_access::{AccessMethod, Condition, PlanBuilder, RaExpr, TruncatingSelection};
+    use rbqa_access::plan::PlanError;
+    use rbqa_access::{
+        AccessError, AccessMethod, Condition, PlanBuilder, RaExpr, TruncatingSelection,
+    };
     use rbqa_common::{Signature, ValueFactory};
 
     fn setup(ud_bound: Option<usize>, n: usize) -> (ServiceSimulator, ValueFactory) {
@@ -170,30 +400,62 @@ mod tests {
         assert_eq!(metrics.total_calls, 11);
         assert!(metrics.within_rate_limit);
         assert!(metrics.tuples_fetched >= metrics.output_size);
+        // Unbounded methods never truncate; local backend has no latency.
+        assert_eq!(metrics.truncated_accesses, 0);
+        assert_eq!(metrics.tuples_matched, metrics.tuples_fetched);
+        assert_eq!(metrics.latency_micros, 0);
     }
 
     #[test]
-    fn rate_limit_violations_are_flagged() {
+    fn rate_limit_violations_fail_fast() {
         let (sim, mut vf) = setup(None, 30);
-        let sim = ServiceSimulator {
-            rate_limit: Some(5),
-            ..sim
-        };
+        let sim = sim.with_rate_limit(5);
         let plan = salary_plan(&mut vf);
         let mut sel = TruncatingSelection::new();
-        let (_, metrics) = sim.run_plan(&plan, &mut sel).unwrap();
-        assert!(!metrics.within_rate_limit);
-        assert!(metrics.total_calls > 5);
+        let err = sim.run_plan(&plan, &mut sel).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Access(AccessError::BudgetExhausted {
+                budget: 5,
+                calls: 6
+            })
+        );
+        // The deterministic Execute path fails identically.
+        let err = sim.run_plan_deterministic(&plan).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Access(AccessError::BudgetExhausted { .. })
+        ));
     }
 
     #[test]
     fn with_rate_limit_builder() {
         let (sim, mut vf) = setup(None, 3);
         let sim = sim.with_rate_limit(100);
+        assert_eq!(sim.rate_limit(), Some(100));
         let plan = salary_plan(&mut vf);
         let mut sel = TruncatingSelection::new();
         let (_, metrics) = sim.run_plan(&plan, &mut sel).unwrap();
         assert!(metrics.within_rate_limit);
+    }
+
+    #[test]
+    fn exec_call_budget_combines_with_the_rate_limit() {
+        let (sim, mut vf) = setup(None, 10);
+        let sim = sim.with_rate_limit(100);
+        let plan = salary_plan(&mut vf);
+        let exec = ExecOptions {
+            backend: BackendSpec::Instance,
+            call_budget: Some(4),
+        };
+        let err = sim.run_plan_exec(&plan, &exec).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Access(AccessError::BudgetExhausted {
+                budget: 4,
+                calls: 5
+            })
+        );
     }
 
     #[test]
@@ -208,5 +470,80 @@ mod tests {
         let (out_bounded, m_bounded) = sim_bounded.run_plan(&plan2, &mut sel).unwrap();
         assert!(m_bounded.tuples_fetched < m_full.tuples_fetched);
         assert!(out_bounded.len() <= out_full.len());
+        assert_eq!(m_bounded.truncated_accesses, 1, "the bounded ud access");
+        assert!(m_bounded.tuples_matched > m_bounded.tuples_fetched);
+    }
+
+    #[test]
+    fn sharded_and_remote_backends_match_instance_rows() {
+        let (sim, mut vf) = setup(None, 16);
+        let plan = salary_plan(&mut vf);
+        let (instance_rows, _) = sim.run_plan_deterministic(&plan).unwrap();
+        for shards in 1..=4 {
+            let exec = ExecOptions::with_backend(BackendSpec::Sharded { shards });
+            let (rows, metrics) = sim.run_plan_exec(&plan, &exec).unwrap();
+            assert_eq!(rows, instance_rows, "{shards} shards");
+            assert_eq!(metrics.truncated_accesses, 0);
+        }
+        let exec = ExecOptions::with_backend(BackendSpec::SimulatedRemote {
+            seed: 3,
+            latency_micros: 100,
+            fault_rate_pct: 0,
+        });
+        let (rows, metrics) = sim.run_plan_exec(&plan, &exec).unwrap();
+        assert_eq!(rows, instance_rows);
+        assert!(
+            metrics.latency_micros >= 100 * metrics.total_calls as u64,
+            "remote latency is accounted per call"
+        );
+    }
+
+    #[test]
+    fn union_call_budget_spans_all_plans() {
+        // Two plans, ~11 calls each: a 15-call budget admits the first
+        // plan but must exhaust during the second — the budget is per
+        // request window, not per plan.
+        let (sim, mut vf) = setup(None, 10);
+        let plan = salary_plan(&mut vf);
+        let exec = ExecOptions {
+            backend: BackendSpec::Instance,
+            call_budget: Some(15),
+        };
+        assert!(sim.run_plans_exec(&[&plan], &exec).is_ok());
+        let err = sim.run_plans_exec(&[&plan, &plan], &exec).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Access(AccessError::BudgetExhausted {
+                budget: 15,
+                calls: 16
+            })
+        );
+    }
+
+    #[test]
+    fn zero_shard_backends_are_rejected() {
+        let (sim, mut vf) = setup(None, 4);
+        let plan = salary_plan(&mut vf);
+        let exec = ExecOptions::with_backend(BackendSpec::Sharded { shards: 0 });
+        assert!(matches!(
+            sim.run_plan_exec(&plan, &exec),
+            Err(PlanError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn exec_codes_are_stable() {
+        assert_eq!(ExecOptions::default().code(), "backend:instance|calls:none");
+        let exec = ExecOptions {
+            backend: BackendSpec::Sharded { shards: 3 },
+            call_budget: Some(10),
+        };
+        assert_eq!(exec.code(), "backend:sharded:3|calls:10");
+        let remote = BackendSpec::SimulatedRemote {
+            seed: 1,
+            latency_micros: 150,
+            fault_rate_pct: 5,
+        };
+        assert_eq!(remote.code(), "remote:1:150:5");
     }
 }

@@ -10,6 +10,8 @@
 //! `rbqa-core` are vetted (they are produced heuristically rather than
 //! extracted from proofs — see DESIGN.md).
 
+use rbqa_access::backend::{AccessBackend, InstanceBackend, RecordingBackend, ShardedBackend};
+use rbqa_access::plan::execute_with_backend;
 use rbqa_access::{
     AccessSelection, AdversarialSelection, GreedySelection, Plan, RandomSelection, Schema,
     TruncatingSelection,
@@ -47,6 +49,16 @@ pub enum Discrepancy {
         /// The error message.
         message: String,
     },
+    /// Two backends disagreed where they must not: a replayed access trace
+    /// produced different rows than the recorded live run.
+    BackendMismatch {
+        /// Index of the instance in the supplied list.
+        instance_index: usize,
+        /// Name of the offending backend.
+        backend: String,
+        /// What diverged.
+        detail: String,
+    },
 }
 
 /// The outcome of validating a plan.
@@ -65,13 +77,49 @@ impl ValidationReport {
     }
 }
 
+/// Compares one run's output against the expected query answer:
+/// soundness (every output tuple is an answer) then completeness (every
+/// answer is output).
+fn check_output(
+    expected: &[Vec<Value>],
+    output: &[Vec<Value>],
+    instance_index: usize,
+    selection: &str,
+) -> Option<Discrepancy> {
+    for tuple in output {
+        if !expected.contains(tuple) {
+            return Some(Discrepancy::Unsound {
+                instance_index,
+                selection: selection.to_owned(),
+                tuple: tuple.clone(),
+            });
+        }
+    }
+    for tuple in expected {
+        if !output.contains(tuple) {
+            return Some(Discrepancy::Incomplete {
+                instance_index,
+                selection: selection.to_owned(),
+                tuple: tuple.clone(),
+            });
+        }
+    }
+    None
+}
+
 /// Validates `plan` against `query` over the given instances.
 ///
 /// For each instance, the plan is executed under a deterministic, an
 /// adversarial, a greedy and `random_trials` seeded random access
 /// selections; each output is compared with `query` evaluated directly on
-/// the instance. Instances are assumed to satisfy the schema's constraints
-/// (use `rbqa-engine::dataset` generators).
+/// the instance. The runs are then repeated **across backends**: a sharded
+/// federation (2 and 3 hash shards of the instance) — whose merged,
+/// re-bounded accesses are themselves a valid access selection, so a valid
+/// plan must still answer the query — and a record/replay pair, whose
+/// replayed output must equal the recorded run exactly
+/// ([`Discrepancy::BackendMismatch`] otherwise). Instances are assumed to
+/// satisfy the schema's constraints (use `rbqa-engine::dataset`
+/// generators).
 pub fn validate_plan(
     schema: &Schema,
     plan: &Plan,
@@ -127,30 +175,81 @@ pub fn validate_plan(
                     }
                 }
             };
-            // Soundness: every output tuple is an answer.
-            for tuple in &run.output {
-                if !expected.contains(tuple) {
+            if let Some(discrepancy) = check_output(&expected, &run.output, idx, &name) {
+                return ValidationReport {
+                    trials,
+                    discrepancy: Some(discrepancy),
+                };
+            }
+        }
+
+        // Cross-backend trials: sharded federations (each a valid access
+        // selection in its own right) …
+        let mut backends: Vec<(String, Box<dyn AccessBackend>)> = Vec::new();
+        for shards in [2usize, 3] {
+            backends.push((
+                format!("sharded#{shards}"),
+                Box::new(ShardedBackend::over_instance(instance, shards)),
+            ));
+        }
+        for (name, mut backend) in backends {
+            trials += 1;
+            let run = match execute_with_backend(plan, schema, backend.as_mut()) {
+                Ok(run) => run,
+                Err(e) => {
                     return ValidationReport {
                         trials,
-                        discrepancy: Some(Discrepancy::Unsound {
+                        discrepancy: Some(Discrepancy::ExecutionError {
                             instance_index: idx,
-                            selection: name.clone(),
-                            tuple: tuple.clone(),
+                            message: e.to_string(),
+                        }),
+                    }
+                }
+            };
+            if let Some(discrepancy) = check_output(&expected, &run.output, idx, &name) {
+                return ValidationReport {
+                    trials,
+                    discrepancy: Some(discrepancy),
+                };
+            }
+        }
+
+        // … and a record/replay pair: replaying the captured trace without
+        // the data source must reproduce the recorded run bit for bit.
+        trials += 1;
+        let mut recording = RecordingBackend::new(InstanceBackend::truncating(instance));
+        let replayed = execute_with_backend(plan, schema, &mut recording)
+            .map(|recorded_run| (recorded_run, recording.into_trace()))
+            .and_then(|(recorded_run, trace)| {
+                let mut replay = trace.replayer();
+                execute_with_backend(plan, schema, &mut replay)
+                    .map(|replay_run| (recorded_run, replay_run))
+            });
+        match replayed {
+            Ok((recorded_run, replay_run)) => {
+                if recorded_run.output != replay_run.output {
+                    return ValidationReport {
+                        trials,
+                        discrepancy: Some(Discrepancy::BackendMismatch {
+                            instance_index: idx,
+                            backend: "replay".to_owned(),
+                            detail: format!(
+                                "replayed trace produced {} row(s), recorded run {}",
+                                replay_run.output.len(),
+                                recorded_run.output.len()
+                            ),
                         }),
                     };
                 }
             }
-            // Completeness: every answer is output.
-            for tuple in &expected {
-                if !run.output.contains(tuple) {
-                    return ValidationReport {
-                        trials,
-                        discrepancy: Some(Discrepancy::Incomplete {
-                            instance_index: idx,
-                            selection: name.clone(),
-                            tuple: tuple.clone(),
-                        }),
-                    };
+            Err(e) => {
+                return ValidationReport {
+                    trials,
+                    discrepancy: Some(Discrepancy::BackendMismatch {
+                        instance_index: idx,
+                        backend: "replay".to_owned(),
+                        detail: e.to_string(),
+                    }),
                 }
             }
         }

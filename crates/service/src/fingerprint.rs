@@ -16,6 +16,7 @@
 use rbqa_access::Schema;
 use rbqa_common::Value;
 use rbqa_core::{AnswerabilityOptions, AxiomStyle};
+use rbqa_engine::ExecOptions;
 use rbqa_logic::canonical::{canonical_atoms_code, canonical_ucq_code, TaggedAtom};
 use rbqa_logic::UnionOfConjunctiveQueries;
 
@@ -135,6 +136,21 @@ pub fn schema_code(schema: &Schema, resolve: &dyn Fn(Value) -> String) -> String
     out
 }
 
+/// Canonical code of the execution options: the backend and the
+/// per-request call budget. Part of the fingerprint of `Execute`
+/// requests (callers pass [`crate::AnswerRequest::effective_exec`],
+/// which normalises other modes to the default) because the fingerprint
+/// is the *identity* of a request over the wire: two executes naming
+/// different backends are different requests — on result-bounded methods
+/// different backends legitimately return different valid outputs, and
+/// their accounting (latency, quotas) always differs. The cost is that
+/// each backend/budget variant of one query runs the decision pipeline
+/// once; the decision itself is exec-independent, so a future
+/// optimisation could split the decision key from the request identity.
+pub fn exec_options_code(exec: &ExecOptions) -> String {
+    exec.code()
+}
+
 /// Canonical code of the decision options (everything that can change the
 /// cached outcome: the budget, the chase engine, a forced axiom style, and
 /// plan synthesis parameters).
@@ -179,11 +195,13 @@ pub fn request_fingerprint(
     signature: &rbqa_common::Signature,
     resolve: &dyn Fn(Value) -> String,
     options: &AnswerabilityOptions,
+    exec: &ExecOptions,
 ) -> Fingerprint {
     let mut h = FingerprintHasher::new();
     h.field(&format!("{:032x}", schema_fingerprint.0));
     h.field(&canonical_ucq_code(query, signature, resolve));
     h.field(&options_code(options));
+    h.field(&exec_options_code(exec));
     h.finish()
 }
 
@@ -265,6 +283,7 @@ mod tests {
             schema.signature(),
             &r1,
             &opts,
+            &ExecOptions::default(),
         );
         let f2 = request_fingerprint(
             sfp,
@@ -272,6 +291,7 @@ mod tests {
             schema.signature(),
             &r2,
             &opts,
+            &ExecOptions::default(),
         );
         assert_eq!(f1, f2);
     }
@@ -299,6 +319,7 @@ mod tests {
             schema.signature(),
             &resolve,
             &opts,
+            &ExecOptions::default(),
         );
         let f2 = request_fingerprint(
             sfp,
@@ -306,6 +327,7 @@ mod tests {
             schema.signature(),
             &resolve,
             &opts,
+            &ExecOptions::default(),
         );
         assert_eq!(f1, f2, "α-renamed, permuted unions share a fingerprint");
         let single = request_fingerprint(
@@ -314,6 +336,7 @@ mod tests {
             schema.signature(),
             &resolve,
             &opts,
+            &ExecOptions::default(),
         );
         assert_ne!(f1, single);
     }
@@ -335,9 +358,24 @@ mod tests {
             ..Default::default()
         };
         let union = UnionOfConjunctiveQueries::single(q);
-        let f1 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &plain);
-        let f2 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &with_plan);
+        let exec = ExecOptions::default();
+        let f1 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &plain, &exec);
+        let f2 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &with_plan, &exec);
         assert_ne!(f1, f2);
+        // Backend/budget choices separate cache entries too.
+        let sharded = ExecOptions {
+            backend: rbqa_engine::BackendSpec::Sharded { shards: 2 },
+            call_budget: None,
+        };
+        let budgeted = ExecOptions {
+            backend: rbqa_engine::BackendSpec::Instance,
+            call_budget: Some(50),
+        };
+        let f3 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &plain, &sharded);
+        let f4 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &plain, &budgeted);
+        assert_ne!(f1, f3);
+        assert_ne!(f1, f4);
+        assert_ne!(f3, f4);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use rbqa_access::Plan;
 use rbqa_common::{Value, ValueFactory};
 use rbqa_core::{AnswerabilityOptions, DecisionSummary};
-use rbqa_engine::PlanMetrics;
+use rbqa_engine::{ExecOptions, PlanMetrics};
 use rbqa_logic::{ConjunctiveQuery, UnionOfConjunctiveQueries};
 
 use crate::catalog::CatalogId;
@@ -64,6 +64,13 @@ pub struct AnswerRequest {
     /// Decision options (budget etc.). `synthesize_plan` is forced on for
     /// [`RequestMode::Synthesize`] and [`RequestMode::Execute`].
     pub options: AnswerabilityOptions,
+    /// Execution options for `Execute` requests: which
+    /// [`rbqa_engine::BackendSpec`] runs the plans and an optional
+    /// per-request call budget (spanning all disjunct plans). Part of the
+    /// fingerprint of `Execute` requests, so executes with different
+    /// backends/budgets never share a cache entry; `Decide`/`Synthesize`
+    /// ignore it (see [`AnswerRequest::effective_exec`]).
+    pub exec: ExecOptions,
 }
 
 impl AnswerRequest {
@@ -94,7 +101,14 @@ impl AnswerRequest {
             values,
             mode: RequestMode::Decide,
             options: AnswerabilityOptions::default(),
+            exec: ExecOptions::default(),
         }
+    }
+
+    /// Returns the request with its execution options replaced.
+    pub fn with_exec(mut self, exec: ExecOptions) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// A `Synthesize` request for a union with default options.
@@ -133,15 +147,37 @@ impl AnswerRequest {
         options
     }
 
+    /// The execution options that actually matter for this request: only
+    /// `Execute` runs plans, so for `Decide`/`Synthesize` the exec options
+    /// normalise to the default. Like [`AnswerRequest::effective_options`]
+    /// this happens *before* fingerprinting — a stream-scoped
+    /// `option exec.*` directive (or a builder `.backend(..)` left on a
+    /// non-Execute request) must not fragment the decision cache for
+    /// requests whose outcome cannot depend on it.
+    pub fn effective_exec(&self) -> ExecOptions {
+        match self.mode {
+            RequestMode::Execute => self.exec,
+            RequestMode::Decide | RequestMode::Synthesize => ExecOptions::default(),
+        }
+    }
+
     /// Structural sanity of the request itself (before any catalog is
-    /// consulted): the union must be non-empty and its disjuncts must agree
-    /// on answer arity.
+    /// consulted): the union must be non-empty, its disjuncts must agree
+    /// on answer arity, and the exec options must be well-formed.
     pub fn validate_shape(&self) -> Result<(), ServiceError> {
         if self.query.is_empty() {
             return Err(ServiceError::EmptyUnion);
         }
         if self.query.uniform_free_arity().is_none() {
             return Err(ServiceError::UnionArityMismatch);
+        }
+        if let rbqa_engine::BackendSpec::Sharded { shards } = self.exec.backend {
+            if shards == 0 || shards > rbqa_engine::MAX_SHARDS {
+                return Err(ServiceError::Invalid(format!(
+                    "shard count {shards} outside 1..={}",
+                    rbqa_engine::MAX_SHARDS
+                )));
+            }
         }
         Ok(())
     }
@@ -234,6 +270,23 @@ pub enum ServiceError {
     EmptyUnion,
     /// The request's disjuncts disagree on answer arity.
     UnionArityMismatch,
+    /// Plan execution exceeded its call budget (a simulator rate limit or
+    /// the request's own `call_budget`): the over-quota run fails fast
+    /// instead of returning (partial) rows.
+    BudgetExhausted {
+        /// The quota in force.
+        budget: usize,
+        /// The 1-based number of the call that violated it.
+        calls: usize,
+    },
+    /// The execution backend (or the simulated service behind it) was
+    /// unavailable.
+    Unavailable {
+        /// Whether retrying the request may succeed.
+        retryable: bool,
+        /// Human-readable context (not part of the stable contract).
+        detail: String,
+    },
     /// Invalid registration input.
     Invalid(String),
 }
@@ -249,6 +302,8 @@ impl ServiceError {
             ServiceError::Execution(_) => "EXECUTION_FAILED",
             ServiceError::EmptyUnion => "EMPTY_UNION",
             ServiceError::UnionArityMismatch => "UNION_ARITY_MISMATCH",
+            ServiceError::BudgetExhausted { .. } => "BUDGET_EXHAUSTED",
+            ServiceError::Unavailable { .. } => "BACKEND_UNAVAILABLE",
             ServiceError::Invalid(_) => "INVALID_REQUEST",
         }
     }
@@ -270,6 +325,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnionArityMismatch => {
                 write!(f, "the request's disjuncts disagree on answer arity")
             }
+            ServiceError::BudgetExhausted { budget, calls } => write!(
+                f,
+                "plan execution exhausted its call budget: call {calls} exceeds budget {budget}"
+            ),
+            ServiceError::Unavailable { retryable, detail } => write!(
+                f,
+                "execution backend unavailable ({}): {detail}",
+                if *retryable { "retryable" } else { "permanent" }
+            ),
             ServiceError::Invalid(e) => write!(f, "invalid request: {e}"),
         }
     }

@@ -110,9 +110,29 @@ fn merge_plan_metrics(mut acc: PlanMetrics, other: PlanMetrics) -> PlanMetrics {
     }
     acc.total_calls += other.total_calls;
     acc.tuples_fetched += other.tuples_fetched;
+    acc.tuples_matched += other.tuples_matched;
+    acc.truncated_accesses += other.truncated_accesses;
+    acc.latency_micros += other.latency_micros;
     acc.output_size += other.output_size;
     acc.within_rate_limit &= other.within_rate_limit;
     acc
+}
+
+/// Maps a plan-execution failure onto the service taxonomy: structured
+/// backend errors (quota exhaustion, unavailability) keep their own stable
+/// codes so clients can fail fast / retry appropriately; everything else
+/// is a generic execution failure.
+fn plan_error_to_service_error(e: rbqa_access::plan::PlanError) -> ServiceError {
+    use rbqa_access::AccessError;
+    match e {
+        rbqa_access::plan::PlanError::Access(AccessError::BudgetExhausted { budget, calls }) => {
+            ServiceError::BudgetExhausted { budget, calls }
+        }
+        rbqa_access::plan::PlanError::Access(AccessError::Unavailable { retryable, detail }) => {
+            ServiceError::Unavailable { retryable, detail }
+        }
+        other => ServiceError::Execution(other.to_string()),
+    }
 }
 
 /// A cached decision: the full result of one pipeline run, shared by every
@@ -267,6 +287,7 @@ impl QueryService {
             entry.schema.signature(),
             &resolve,
             options,
+            &request.effective_exec(),
         )
     }
 
@@ -339,10 +360,14 @@ impl QueryService {
                 .ok_or_else(|| ServiceError::NoDataset(entry.name.clone()))?;
             let mut rows: Vec<Vec<rbqa_common::Value>> = Vec::new();
             let mut metrics: Option<PlanMetrics> = None;
-            for plan in &plans {
-                let (plan_rows, plan_metrics) = simulator
-                    .run_plan_deterministic(plan)
-                    .map_err(|e| ServiceError::Execution(e.to_string()))?;
+            // One backend + one call-budget window serves every disjunct
+            // plan: `call_budget` caps the request's total accesses, not
+            // each plan's.
+            let plan_refs: Vec<&rbqa_access::Plan> = plans.iter().map(|p| p.as_ref()).collect();
+            let runs = simulator
+                .run_plans_exec(&plan_refs, &request.exec)
+                .map_err(plan_error_to_service_error)?;
+            for (plan_rows, plan_metrics) in runs {
                 rows.extend(plan_rows);
                 metrics = Some(match metrics {
                     None => plan_metrics,

@@ -5,13 +5,17 @@
 //!
 //! For each service we ask which queries can still be answered *completely*
 //! through the interfaces, and we execute a plan against the simulator to
-//! see the number of calls and transferred tuples.
+//! see the number of calls and transferred tuples — through the pluggable
+//! backend API: the same plan runs against the in-memory instance, a
+//! 3-shard federation, and a simulated remote service with seeded latency,
+//! and a hard call quota makes an over-budget crawl fail fast.
 //!
 //! Run with: `cargo run --example web_services`
 
-use rbqa::access::{Condition, PlanBuilder, RaExpr, TruncatingSelection};
+use rbqa::access::plan::PlanError;
+use rbqa::access::{AccessError, Condition, PlanBuilder, RaExpr, TruncatingSelection};
 use rbqa::core::{decide_monotone_answerability, AnswerabilityOptions};
-use rbqa::engine::{movie_instance, ServiceSimulator};
+use rbqa::engine::{movie_instance, BackendSpec, ExecOptions, ServiceSimulator};
 use rbqa::workloads::scenarios;
 
 fn main() {
@@ -54,7 +58,9 @@ fn main() {
     }
 
     // Execute a hand-written plan for "names of the cast of movie0" against
-    // the simulated services, with a rate limit of 50 calls per run.
+    // the simulated services, once per backend: the in-memory instance, a
+    // 3-shard hash federation, and a simulated remote with 150µs base
+    // latency per call. All three must return the same names.
     let data = movie_instance(movies.schema.signature(), &mut movies.values, 200, 40, 11);
     let services = ServiceSimulator::new(movies.schema.clone(), data).with_rate_limit(50);
     let movie0 = movies.values.constant("movie0");
@@ -76,20 +82,45 @@ fn main() {
         )
         .middleware("names", RaExpr::project(RaExpr::table("actors"), vec![1]))
         .returns("names");
-    let mut selection = TruncatingSelection::new();
-    let (names, metrics) = services.run_plan(&plan, &mut selection).unwrap();
-    println!(
-        "\n  Cast of movie0: {} actors, {} service calls ({} within the rate limit), {} tuples \
-         fetched",
-        names.len(),
-        metrics.total_calls,
-        if metrics.within_rate_limit {
-            "stayed"
-        } else {
-            "NOT"
-        },
-        metrics.tuples_fetched
-    );
+    println!("\n  Cast of movie0 through each backend (rate limit 50 calls/run):");
+    for (label, backend) in [
+        ("instance", BackendSpec::Instance),
+        ("sharded:3", BackendSpec::Sharded { shards: 3 }),
+        (
+            "remote",
+            BackendSpec::SimulatedRemote {
+                seed: 42,
+                latency_micros: 150,
+                fault_rate_pct: 0,
+            },
+        ),
+    ] {
+        let exec = ExecOptions::with_backend(backend);
+        let (names, metrics) = services.run_plan_exec(&plan, &exec).unwrap();
+        println!(
+            "    {:<10} {} actors, {} calls, {} tuples fetched ({} matched), simulated latency {} µs",
+            label,
+            names.len(),
+            metrics.total_calls,
+            metrics.tuples_fetched,
+            metrics.tuples_matched,
+            metrics.latency_micros
+        );
+    }
+
+    // Quotas are hard errors now: a crawl that would exceed its call
+    // budget fails fast instead of returning partial rows.
+    let starved = ExecOptions {
+        backend: BackendSpec::Instance,
+        call_budget: Some(1),
+    };
+    match services.run_plan_exec(&plan, &starved) {
+        Err(PlanError::Access(AccessError::BudgetExhausted { budget, calls })) => println!(
+            "  With a budget of {budget} calls the crawl fails fast on call {calls} — no partial \
+             answers."
+        ),
+        other => println!("  unexpected outcome under a starved budget: {other:?}"),
+    }
 
     // A plan that tries to list every title through the bounded search is
     // incomplete: compare its output size with the hidden data.

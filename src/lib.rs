@@ -21,7 +21,7 @@ pub use rbqa_workloads as workloads;
 /// the query service, and the validating request builder with its
 /// structured errors.
 pub mod prelude {
-    pub use rbqa_access::{AccessMethod, Schema};
+    pub use rbqa_access::{AccessBackend, AccessError, AccessMethod, Schema};
     pub use rbqa_api::{
         ApiError, ApiErrorCode, RequestBuilder, ServiceApi, WireServer, DISJUNCT_SEPARATOR,
     };
@@ -31,6 +31,7 @@ pub mod prelude {
     pub use rbqa_logic::parser::{parse_cq, parse_fd, parse_tgd};
     pub use rbqa_logic::{ConjunctiveQuery, CqBuilder, UnionOfConjunctiveQueries};
     pub use rbqa_service::{
-        AnswerRequest, AnswerResponse, CatalogId, QueryService, RequestMode, ServiceError,
+        AnswerRequest, AnswerResponse, BackendSpec, CatalogId, ExecOptions, QueryService,
+        RequestMode, ServiceError,
     };
 }

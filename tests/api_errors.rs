@@ -181,6 +181,103 @@ fn budget_exhausted_unknown_surfaces_through_the_response() {
 }
 
 #[test]
+fn exec_backends_agree_and_budgets_fail_fast_through_the_api() {
+    let service = QueryService::new();
+    let (schema, mut values) = university(None);
+    let sig = schema.signature().clone();
+    let prof = sig.require("Prof").unwrap();
+    let udir = sig.require("Udirectory").unwrap();
+    let mut data = rbqa::common::Instance::new(sig);
+    for i in 0..6 {
+        let id = values.constant(&format!("id{i}"));
+        let name = values.constant(&format!("name{i}"));
+        let salary = values.constant("10000");
+        let addr = values.constant(&format!("addr{i}"));
+        let phone = values.constant(&format!("phone{i}"));
+        data.insert(prof, vec![id, name, salary]).unwrap();
+        data.insert(udir, vec![id, addr, phone]).unwrap();
+    }
+    let id = service.register_catalog("uni", schema, values).unwrap();
+    service.attach_dataset(id, data).unwrap();
+
+    let run = |backend: Option<BackendSpec>| {
+        let mut builder = service
+            .request(id)
+            .query_text("Q(n) :- Prof(i, n, '10000')")
+            .execute();
+        if let Some(b) = backend {
+            builder = builder.backend(b);
+        }
+        builder.submit().unwrap()
+    };
+    let default = run(None);
+    let sharded = run(Some(BackendSpec::Sharded { shards: 3 }));
+    let remote = run(Some(BackendSpec::SimulatedRemote {
+        seed: 5,
+        latency_micros: 120,
+        fault_rate_pct: 0,
+    }));
+    assert_eq!(default.rows, sharded.rows, "sharded rows match in-memory");
+    assert_eq!(default.rows, remote.rows, "remote rows match in-memory");
+    assert_ne!(
+        default.fingerprint, sharded.fingerprint,
+        "backend choice separates cache entries"
+    );
+    let metrics = remote.plan_metrics.as_ref().unwrap();
+    assert!(metrics.latency_micros > 0, "remote latency is accounted");
+    assert_eq!(default.plan_metrics.as_ref().unwrap().latency_micros, 0);
+
+    // An over-quota Execute fails fast with the stable code instead of
+    // returning partial rows.
+    let err = service
+        .request(id)
+        .query_text("Q(n) :- Prof(i, n, '10000')")
+        .execute()
+        .call_budget(2)
+        .submit()
+        .unwrap_err();
+    assert_eq!(err.code, ApiErrorCode::BudgetExhausted);
+    assert_eq!(err.code.as_str(), "BUDGET_EXHAUSTED");
+
+    // The budget caps the whole request: a union whose first disjunct
+    // alone would fit must still exhaust once the second disjunct's plan
+    // pushes the request past the cap.
+    let single_calls = service
+        .request(id)
+        .query_text("Q(n) :- Prof(i, n, '10000')")
+        .execute()
+        .submit()
+        .unwrap()
+        .plan_metrics
+        .unwrap()
+        .total_calls;
+    let err = service
+        .request(id)
+        .query_text("Q(n) :- Prof(i, n, '10000') || Q(a) :- Udirectory(i, a, p)")
+        .execute()
+        .call_budget(single_calls + 1)
+        .submit()
+        .unwrap_err();
+    assert_eq!(err.code, ApiErrorCode::BudgetExhausted);
+
+    // Exec options leave Decide fingerprints alone: the same decide
+    // request with and without a backend override is one cache entry.
+    let plain = service
+        .request(id)
+        .query_text("Q(n) :- Prof(i, n, '10000')")
+        .submit()
+        .unwrap();
+    let with_backend = service
+        .request(id)
+        .query_text("Q(n) :- Prof(i, n, '10000')")
+        .backend(BackendSpec::Sharded { shards: 2 })
+        .submit()
+        .unwrap();
+    assert_eq!(plain.fingerprint, with_backend.fingerprint);
+    assert!(with_backend.cache_hit);
+}
+
+#[test]
 fn duplicate_catalog_registration_is_reported() {
     let (service, _) = service_with_catalog();
     let (schema, values) = university(Some(100));
