@@ -37,6 +37,10 @@ pub struct PlanRun {
     /// Total simulated backend latency across all accesses, microseconds
     /// (0 for purely local backends).
     pub latency_micros: u64,
+    /// Wall-clock time of the whole plan run, microseconds. Unlike
+    /// `latency_micros` (the backend's *simulated* cost model) this is
+    /// real elapsed time on the executing thread.
+    pub wall_micros: u64,
     /// Accesses performed, per method name.
     pub calls_per_method: FxHashMap<String, usize>,
     /// Final contents of every temporary table (for inspection/debugging).
@@ -66,6 +70,7 @@ pub fn execute_with_backend(
     backend: &mut dyn AccessBackend,
 ) -> Result<PlanRun, PlanError> {
     plan.validate(schema)?;
+    let wall_start = std::time::Instant::now();
     let mut tables: FxHashMap<String, TempTable> = FxHashMap::default();
     let mut accesses_performed = 0usize;
     let mut tuples_fetched = 0usize;
@@ -87,10 +92,15 @@ pub fn execute_with_backend(
                 input_map,
                 output_map,
             } => {
+                let mut access_span = rbqa_obs::span("access");
+                access_span.str("method", method);
+                let (fetched0, matched0, truncated0) =
+                    (tuples_fetched, tuples_matched, truncated_accesses);
                 let m = schema
                     .method(method)
                     .ok_or_else(|| PlanError::UnknownMethod(method.clone()))?;
                 let bindings_table = input.evaluate(&tables)?;
+                access_span.num("bindings", bindings_table.len() as u64);
                 let input_positions = m.input_positions_vec();
                 let mut out = TempTable::new(output_map.len());
                 for binding_row in bindings_table.rows() {
@@ -111,6 +121,9 @@ pub fn execute_with_backend(
                         out.insert(projected)?;
                     }
                 }
+                access_span.num("fetched", (tuples_fetched - fetched0) as u64);
+                access_span.num("matched", (tuples_matched - matched0) as u64);
+                access_span.num("truncated", (truncated_accesses - truncated0) as u64);
                 tables.insert(output.clone(), out);
             }
         }
@@ -126,6 +139,7 @@ pub fn execute_with_backend(
         tuples_matched,
         truncated_accesses,
         latency_micros,
+        wall_micros: wall_start.elapsed().as_micros() as u64,
         calls_per_method,
         tables,
     })

@@ -111,6 +111,7 @@ pub struct RequestBuilder<'s> {
     mode: RequestMode,
     options: AnswerabilityOptions,
     exec: ExecOptions,
+    trace: bool,
     disjuncts: Vec<ConjunctiveQuery>,
     values: Option<ValueFactory>,
     parsed_text: bool,
@@ -125,6 +126,7 @@ impl<'s> RequestBuilder<'s> {
             mode: RequestMode::Decide,
             options: AnswerabilityOptions::default(),
             exec: ExecOptions::default(),
+            trace: false,
             disjuncts: Vec::new(),
             values: None,
             parsed_text: false,
@@ -271,6 +273,15 @@ impl<'s> RequestBuilder<'s> {
         self
     }
 
+    /// Requests a per-request [`rbqa_obs::Trace`] on the response (spans,
+    /// kernel counters, exclusive per-phase timings). Tracing never
+    /// affects the answer or the cache key; a traced cache hit traces
+    /// only the lookup.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Declares the value factory that interned the constants of queries
     /// added via [`RequestBuilder::query`]. Defaults to a catalog-derived
     /// factory (which is also what [`RequestBuilder::query_text`] uses).
@@ -386,6 +397,7 @@ impl<'s> RequestBuilder<'s> {
             mode: self.mode,
             options: self.options,
             exec: self.exec,
+            trace: self.trace,
         })
     }
 

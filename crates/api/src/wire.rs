@@ -40,6 +40,11 @@
 //!   over-quota run fails with `BUDGET_EXHAUSTED`). Both are
 //!   stream-scoped and part of the fingerprint of `execute` requests
 //!   (other modes normalise them away).
+//! * `option obs.trace on|off` attaches a per-request `trace` block
+//!   (spans, kernel counters, exclusive per-phase timings) to every
+//!   subsequent response. Stream-scoped and **never** part of the
+//!   fingerprint: tracing observes a request without changing its
+//!   answer, so traced and untraced requests share cache entries.
 //!
 //! Every request line yields exactly one JSON object on its own line —
 //! `{"v":1,"status":"ok",...}` or `{"v":1,"status":"error","code":...}` —
@@ -122,13 +127,29 @@ pub fn response_to_json(
             .field_u128("tuples_fetched", pm.tuples_fetched as u128)
             .field_u128("tuples_matched", pm.tuples_matched as u128)
             .field_u128("truncated_accesses", pm.truncated_accesses as u128)
+            // The cost-model/wall-clock split: `simulated_latency_micros`
+            // is the backend cost model's charge for the accesses,
+            // `wall_micros` is real elapsed time in the executor.
+            // `latency_micros` remains as an alias of the simulated
+            // figure for pre-split rbqa/1 consumers.
+            .field_u128("simulated_latency_micros", pm.latency_micros as u128)
+            .field_u128("wall_micros", pm.wall_micros as u128)
             .field_u128("latency_micros", pm.latency_micros as u128)
+            // Deprecated, emitted for rbqa/1 compatibility only: always
+            // `true` since quota violations became the structured
+            // `BUDGET_EXHAUSTED` / `BACKEND_UNAVAILABLE` error responses
+            // (an over-quota run fails fast instead of reporting a soft
+            // flag). Match on those error codes, not on this field.
+            .field_bool("within_rate_limit", pm.within_rate_limit)
             .field_raw("calls_per_method", &calls.finish())
             .finish();
         obj = obj
             .field_u128("total_calls", pm.total_calls as u128)
             .field_u128("tuples_fetched", pm.tuples_fetched as u128)
             .field_raw("metrics", &metrics);
+    }
+    if let Some(trace) = &response.trace {
+        obj = obj.field_raw("trace", &rbqa_obs::export::trace_to_json(trace));
     }
     obj.field_u128("micros", response.micros).finish()
 }
@@ -177,6 +198,7 @@ pub struct WireServer {
     version_seen: bool,
     budget: Budget,
     exec: ExecOptions,
+    trace: bool,
 }
 
 impl Default for WireServer {
@@ -200,6 +222,7 @@ impl WireServer {
             version_seen: false,
             budget: Budget::generous(),
             exec: ExecOptions::default(),
+            trace: false,
         }
     }
 
@@ -389,9 +412,22 @@ impl WireServer {
                         self.exec.call_budget = Some(k);
                         Ok(None)
                     }
+                    ["obs.trace", switch] => {
+                        self.trace = match *switch {
+                            "on" => true,
+                            "off" => false,
+                            other => {
+                                return Err(ApiError::new(
+                                    ApiErrorCode::ProtocolError,
+                                    format!("bad trace switch `{other}` (usage: option obs.trace on|off)"),
+                                ))
+                            }
+                        };
+                        Ok(None)
+                    }
                     _ => Err(ApiError::new(
                         ApiErrorCode::ProtocolError,
-                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] | option exec.calls K|none",
+                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] | option exec.calls K|none | option obs.trace on|off",
                     )),
                 }
             }
@@ -417,7 +453,8 @@ impl WireServer {
                     .request_named(catalog)?
                     .query_text(query_text.trim())
                     .with_budget(self.budget)
-                    .with_exec(self.exec);
+                    .with_exec(self.exec)
+                    .with_trace(self.trace);
                 let builder = match mode {
                     RequestMode::Decide => builder.decide(),
                     RequestMode::Synthesize => builder.synthesize(),
@@ -782,6 +819,66 @@ fact Udirectory('8', 'sidest', '556')
     }
 
     #[test]
+    fn metrics_block_splits_simulated_and_wall_time() {
+        let mut server = WireServer::new();
+        let stream = format!("{EXEC_PREAMBLE}execute uni Q(n) :- Prof(i, n, '10000')\n");
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 1, "{outputs:?}");
+        let out = &outputs[0];
+        assert!(out.contains("\"simulated_latency_micros\""), "{out}");
+        assert!(out.contains("\"wall_micros\""), "{out}");
+        // The pre-split alias survives for rbqa/1 consumers, as does the
+        // deprecated rate-limit flag (always true; quota violations are
+        // BUDGET_EXHAUSTED error responses now).
+        assert!(out.contains("\"latency_micros\""), "{out}");
+        assert!(out.contains("\"within_rate_limit\":true"), "{out}");
+    }
+
+    #[test]
+    fn obs_trace_option_attaches_a_trace_block() {
+        let mut server = WireServer::new();
+        let stream = format!(
+            "{EXEC_PREAMBLE}\
+             option obs.trace on\n\
+             decide uni Q(n) :- Prof(i, n, '10000')\n\
+             execute uni Q(n) :- Prof(i, n, '10000')\n\
+             option obs.trace off\n\
+             decide uni Q(a) :- Udirectory(i, a, p)\n"
+        );
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 3, "{outputs:?}");
+        // Traced decide: the spec'd trace block with spans, counters and
+        // exclusive phase timings (docs/wire-protocol.md §5.3).
+        let traced = &outputs[0];
+        for key in [
+            "\"trace\":{",
+            "\"total_micros\"",
+            "\"balanced\":true",
+            "\"phases_micros\"",
+            "\"chase\"",
+            "\"counters\"",
+            "\"chase_rounds\"",
+            "\"spans\":[",
+            "\"name\":\"decide\"",
+        ] {
+            assert!(traced.contains(key), "missing {key} in {traced}");
+        }
+        // Traced execute additionally records per-access spans.
+        assert!(outputs[1].contains("\"name\":\"access\""), "{}", outputs[1]);
+        assert!(outputs[1].contains("\"method\":"), "{}", outputs[1]);
+        // After `off`, responses carry no trace block.
+        assert!(!outputs[2].contains("\"trace\":{"), "{}", outputs[2]);
+        // Tracing is not part of the fingerprint: the traced and untraced
+        // decide of the same query share one cache entry... (first decide
+        // computed, execute re-used it, third decide is a new query).
+        let out = server
+            .handle_line("decide uni Q(n) :- Prof(i, n, '10000')")
+            .unwrap();
+        assert!(out.contains("\"cache_hit\":true"), "{out}");
+        assert!(!out.contains("\"trace\":{"), "{out}");
+    }
+
+    #[test]
     fn exec_call_budget_fails_fast_with_a_stable_code() {
         let mut server = WireServer::new();
         let stream = format!(
@@ -814,6 +911,7 @@ fact Udirectory('8', 'sidest', '556')
             "option exec.backend remote faults=200",
             "option exec.backend remote bogus=1",
             "option exec.calls many",
+            "option obs.trace maybe",
         ] {
             let out = server.handle_line(bad).expect("error output");
             assert!(out.contains("\"code\":\"PROTOCOL_ERROR\""), "{bad}: {out}");

@@ -1,0 +1,260 @@
+//! Profiles the four Table-1 decide suites under the `rbqa-obs` tracer
+//! and writes the machine-readable phase report `BENCH_profile.json`
+//! plus a Chrome-`trace_event` document loadable in `about:tracing` /
+//! <https://ui.perfetto.dev>.
+//!
+//! Three sections:
+//!
+//! * **suites** — per-suite exclusive phase breakdown (chase vs FD
+//!   fixpoint vs saturation vs containment matching vs other) of the
+//!   uncached Decide pipeline on [`rbqa_bench::decide_cases`], with the
+//!   dominant pipeline phase named per case and per suite. This is the
+//!   measurement behind EXPERIMENTS.md "FIG-profile" and the answer to
+//!   ROADMAP open item 3 (where the FD suites actually spend their
+//!   time).
+//! * **overhead** — the tracing-off guard: the disabled-hook cost (one
+//!   thread-local load + branch) is measured in isolation, multiplied by
+//!   the hook crossings the traced run counted, and the projection is
+//!   asserted `< 2%` of the untraced Decide time for every case. The
+//!   binary exits nonzero on violation, so CI running it *is* the guard.
+//! * the Chrome trace — one synthetic thread per case, written next to
+//!   the JSON report (structure-checked by `rbqa-bench`'s tests).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rbqa-bench --bin trace_report \
+//!     [-- --quick] [--iters N] [--out PATH] [--chrome PATH]
+//! ```
+//!
+//! `--quick` shrinks the sweep to one size per suite and few iterations —
+//! the CI smoke mode. The committed `BENCH_profile.json` is produced by
+//! the full (non-quick) run; see EXPERIMENTS.md ("FIG-profile") before
+//! regenerating it.
+
+use std::collections::BTreeMap;
+
+use rbqa_bench::{
+    decide_cases, disabled_hook_cost_ns, hook_crossings, measure_decide_untraced, trace_decide_case,
+};
+use rbqa_obs::{export, Phase, Trace};
+
+/// The projected tracing-off overhead bound, in percent of untraced
+/// Decide time (the CI guard's contract; see ARCHITECTURE.md
+/// "Observability").
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
+fn phases_obj(phase_micros: &BTreeMap<&'static str, u64>) -> String {
+    let mut obj = rbqa_api::json::JsonObject::new();
+    for phase in Phase::ALL {
+        obj = obj.field_u128(
+            phase.name(),
+            *phase_micros.get(phase.name()).unwrap_or(&0) as u128,
+        );
+    }
+    obj.finish()
+}
+
+fn counters_obj(trace: &Trace) -> String {
+    let c = &trace.counters;
+    rbqa_api::json::JsonObject::new()
+        .field_u128("trigger_firings", c.trigger_firings as u128)
+        .field_u128("chase_rounds", c.chase_rounds as u128)
+        .field_u128("fd_passes", c.fd_passes as u128)
+        .field_u128("fd_unifications", c.fd_unifications as u128)
+        .field_u128("saturation_iters", c.saturation_iters as u128)
+        .field_u128("posting_probes", c.posting_probes as u128)
+        .field_u128("backtracks", c.backtracks as u128)
+        .finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let iters: usize = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 3 } else { 20 });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_profile.json".to_owned());
+    let chrome_path = args
+        .iter()
+        .position(|a| a == "--chrome")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_profile.trace.json".to_owned());
+
+    let cases = decide_cases(quick);
+    println!(
+        "phase profile — traced uncached Decide ({} cases, {} untraced iters each)\n",
+        cases.len(),
+        iters
+    );
+    println!(
+        "{:<22} {:>12} {:>9} {:>11} {:>11} {:>12} {:>9} {:>14}",
+        "case",
+        "untraced(us)",
+        "chase(us)",
+        "fd_fix(us)",
+        "satur(us)",
+        "contain(us)",
+        "other(us)",
+        "dominant"
+    );
+    println!("{}", "-".repeat(108));
+
+    struct CaseRow {
+        suite: String,
+        label: String,
+        untraced_micros: f64,
+        trace: Trace,
+        projected_pct: f64,
+    }
+
+    let hook_ns = disabled_hook_cost_ns();
+    let mut rows: Vec<CaseRow> = Vec::new();
+    let mut violations = 0usize;
+    for case in &cases {
+        let untraced_micros = measure_decide_untraced(case, iters);
+        let trace = trace_decide_case(case);
+        // The overhead guard: crossings × per-crossing disabled cost,
+        // projected against the untraced time. A direct traced/untraced
+        // wall-clock diff would drown in scheduler noise at these run
+        // lengths; the projection is deterministic and conservative
+        // (crossings are over-counted).
+        let projected_ns = hook_crossings(&trace) as f64 * hook_ns;
+        let projected_pct = projected_ns / (untraced_micros * 1_000.0) * 100.0;
+        if projected_pct >= MAX_OVERHEAD_PCT {
+            eprintln!(
+                "OVERHEAD GUARD VIOLATION: {} projects {:.3}% (>= {MAX_OVERHEAD_PCT}%) tracing-off overhead",
+                case.label, projected_pct
+            );
+            violations += 1;
+        }
+        println!(
+            "{:<22} {:>12.1} {:>9} {:>11} {:>11} {:>12} {:>9} {:>14}",
+            case.label,
+            untraced_micros,
+            trace.phase_micros(Phase::Chase),
+            trace.phase_micros(Phase::FdFixpoint),
+            trace.phase_micros(Phase::Saturation),
+            trace.phase_micros(Phase::Containment),
+            trace.phase_micros(Phase::Other),
+            trace.dominant_phase().name(),
+        );
+        rows.push(CaseRow {
+            suite: case.suite.clone(),
+            label: case.label.clone(),
+            untraced_micros,
+            trace,
+            projected_pct,
+        });
+    }
+
+    // --- Per-suite aggregation ------------------------------------------
+    let mut by_suite: BTreeMap<String, Vec<&CaseRow>> = BTreeMap::new();
+    for row in &rows {
+        by_suite.entry(row.suite.clone()).or_default().push(row);
+    }
+    println!("\nper-suite exclusive phase totals (dominant pipeline phase named):");
+    let mut suite_objs: Vec<String> = Vec::new();
+    for (suite, suite_rows) in &by_suite {
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for row in suite_rows {
+            for phase in Phase::ALL {
+                *totals.entry(phase.name()).or_insert(0) += row.trace.phase_micros(phase);
+            }
+        }
+        // Dominant pipeline phase of the suite: largest exclusive total
+        // among the pipeline phases, mirroring `Trace::dominant_phase`
+        // (`other` is residue, not a stage).
+        let dominant = [
+            Phase::Chase,
+            Phase::FdFixpoint,
+            Phase::Saturation,
+            Phase::Containment,
+        ]
+        .into_iter()
+        .max_by_key(|p| totals[p.name()])
+        .expect("non-empty phase list")
+        .name();
+        println!(
+            "  {suite:<16} dominant={dominant:<12} chase={} fd_fixpoint={} saturation={} containment={} other={} (us)",
+            totals["chase"],
+            totals["fd_fixpoint"],
+            totals["saturation"],
+            totals["containment"],
+            totals["other"],
+        );
+        let case_objs: Vec<String> = suite_rows
+            .iter()
+            .map(|row| {
+                let mut phases: BTreeMap<&'static str, u64> = BTreeMap::new();
+                for phase in Phase::ALL {
+                    phases.insert(phase.name(), row.trace.phase_micros(phase));
+                }
+                rbqa_api::json::JsonObject::new()
+                    .field_str("case", &row.label)
+                    .field_raw("untraced_micros", &format!("{:.2}", row.untraced_micros))
+                    .field_u128(
+                        "traced_total_micros",
+                        (row.trace.total_nanos / 1_000) as u128,
+                    )
+                    .field_str("dominant_phase", row.trace.dominant_phase().name())
+                    .field_raw("phases_micros", &phases_obj(&phases))
+                    .field_raw("counters", &counters_obj(&row.trace))
+                    .field_raw(
+                        "projected_overhead_pct",
+                        &format!("{:.4}", row.projected_pct),
+                    )
+                    .finish()
+            })
+            .collect();
+        suite_objs.push(
+            rbqa_api::json::JsonObject::new()
+                .field_str("suite", suite)
+                .field_str("dominant_phase", dominant)
+                .field_raw("phases_micros", &phases_obj(&totals))
+                .field_raw("cases", &rbqa_api::json::json_array(case_objs))
+                .finish(),
+        );
+    }
+
+    let max_projected_pct = rows.iter().map(|r| r.projected_pct).fold(0.0f64, f64::max);
+    println!(
+        "\noverhead guard: disabled hook ≈ {hook_ns:.2} ns, worst projected tracing-off overhead {max_projected_pct:.4}% (bound {MAX_OVERHEAD_PCT}%)"
+    );
+
+    let overhead_obj = rbqa_api::json::JsonObject::new()
+        .field_raw("disabled_hook_ns", &format!("{hook_ns:.3}"))
+        .field_raw("max_projected_pct", &format!("{max_projected_pct:.4}"))
+        .field_raw("bound_pct", &format!("{MAX_OVERHEAD_PCT:.1}"))
+        .finish();
+
+    let report = rbqa_api::json::JsonObject::new()
+        .field_str(
+            "generated_by",
+            "cargo run --release -p rbqa-bench --bin trace_report",
+        )
+        .field_bool("quick", quick)
+        .field_u128("iters", iters as u128)
+        .field_raw("overhead", &overhead_obj)
+        .field_raw("suites", &rbqa_api::json::json_array(suite_objs))
+        .finish();
+    std::fs::write(&out_path, format!("{report}\n")).expect("write report");
+    println!("wrote {out_path}");
+
+    let labelled: Vec<(String, &Trace)> =
+        rows.iter().map(|r| (r.label.clone(), &r.trace)).collect();
+    std::fs::write(&chrome_path, export::chrome_trace(&labelled)).expect("write chrome trace");
+    println!("wrote {chrome_path} (load in about:tracing or ui.perfetto.dev)");
+
+    if violations > 0 {
+        eprintln!("{violations} overhead guard violation(s)");
+        std::process::exit(1);
+    }
+}

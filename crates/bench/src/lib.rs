@@ -602,6 +602,79 @@ pub fn measure_decide_case(case: &DecideCase, mode: KernelMode, iters: usize) ->
     }
 }
 
+// ---------------------------------------------------------------------------
+// Phase-profile harness (trace_report, BENCH_profile.json, FIG-profile)
+// ---------------------------------------------------------------------------
+
+use rbqa_obs::{Trace, Tracer};
+
+/// Runs the full decision of `case` once under an armed per-thread tracer
+/// and returns the harvested trace: spans, kernel counters, and exclusive
+/// per-phase timings. The tracer is uninstalled before returning, so
+/// subsequent untraced measurements on the same thread pay only the
+/// disabled one-branch hooks.
+pub fn trace_decide_case(case: &DecideCase) -> Trace {
+    rbqa_obs::install(Tracer::new());
+    let mut vf = case.values.clone();
+    std::hint::black_box(decide_monotone_answerability(
+        &case.schema,
+        &case.query,
+        &mut vf,
+        &case.options,
+    ));
+    rbqa_obs::uninstall().expect("tracer was installed")
+}
+
+/// Mean wall-clock time of one uncached, *untraced* Decide in
+/// microseconds (`iters` timed runs after one warm-up).
+pub fn measure_decide_untraced(case: &DecideCase, iters: usize) -> f64 {
+    let run = || {
+        let mut vf = case.values.clone();
+        decide_monotone_answerability(&case.schema, &case.query, &mut vf, &case.options)
+    };
+    std::hint::black_box(run()); // warm-up
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(run());
+    }
+    start.elapsed().as_micros() as f64 / iters.max(1) as f64
+}
+
+/// Measures the disabled-hook cost: mean nanoseconds of one inert span
+/// crossing (the thread-local load plus branch every hook performs when
+/// no tracer is installed). Used by the overhead guard to *project* the
+/// tracing-off tax instead of trying to measure a sub-noise-floor
+/// wall-clock delta directly.
+pub fn disabled_hook_cost_ns() -> f64 {
+    assert!(
+        !rbqa_obs::enabled(),
+        "hook-cost probe must run with tracing off"
+    );
+    const ITERS: u64 = 1_000_000;
+    let start = std::time::Instant::now();
+    for _ in 0..ITERS {
+        let _ = std::hint::black_box(rbqa_obs::span("overhead_probe"));
+    }
+    start.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// Upper-bound estimate of the hook crossings one traced run performed:
+/// every recorded (or evicted) span is one hook, plus the per-event
+/// counter hooks (trigger firings) and the per-round/pass/iteration
+/// flush sites. This is the number of one-branch checks the same run
+/// pays when tracing is *off*.
+pub fn hook_crossings(trace: &Trace) -> u64 {
+    let c = &trace.counters;
+    (trace.spans.len() as u64 + trace.dropped_spans)
+        + c.trigger_firings
+        + c.chase_rounds
+        + c.fd_passes
+        + c.saturation_iters
+        // Flush hooks (kernel, firings, chase totals) fire a handful of
+        // times per run; over-count generously.
+        + 16
+}
+
 /// The Example 1.2 crawling plan over the university scenario: list the
 /// directory, look each professor up by id, filter on salary, return
 /// names. Shared by the `fig_backend` bench and the `backend_report`
@@ -772,6 +845,83 @@ mod tests {
             "T1-row-UIDFD/rel14",
         ];
         assert_eq!(labels, expected);
+    }
+
+    /// Structural JSON balance check: every `{`/`[` outside string
+    /// literals closes in order (the same check the CI smoke applies to
+    /// the emitted report files).
+    fn json_balanced(doc: &str) -> bool {
+        let mut stack = Vec::new();
+        let (mut in_str, mut escaped) = (false, false);
+        for c in doc.chars() {
+            if in_str {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => in_str = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => stack.push('}'),
+                '[' => stack.push(']'),
+                '}' | ']' => match stack.pop() {
+                    Some(open) if open == c => {}
+                    _ => return false,
+                },
+                _ => {}
+            }
+        }
+        stack.is_empty() && !in_str
+    }
+
+    #[test]
+    fn traced_decide_yields_balanced_phase_attributed_traces() {
+        let case = &decide_cases(true)[0];
+        let trace = trace_decide_case(case);
+        assert!(trace.balanced, "decide closed every span");
+        assert!(
+            trace.spans.iter().any(|s| s.name == "decide"),
+            "top-level decide span recorded"
+        );
+        assert!(
+            trace.phase_micros(rbqa_obs::Phase::Chase) > 0,
+            "the ID suite spends measurable time chasing"
+        );
+        assert!(
+            trace.counters.chase_rounds > 0,
+            "chase-round counter flushed"
+        );
+        assert!(
+            !rbqa_obs::enabled(),
+            "trace_decide_case uninstalls its tracer"
+        );
+        // The overhead projection inputs are sane.
+        assert!(hook_crossings(&trace) > 0);
+        assert!(
+            disabled_hook_cost_ns() < 1_000.0,
+            "inert hook is nanoseconds"
+        );
+    }
+
+    #[test]
+    fn trace_report_chrome_trace_is_perfetto_loadable() {
+        // The structural contract of the Chrome trace_event format: an
+        // object with a traceEvents array of M (metadata) and X
+        // (complete) events carrying ts/dur/pid/tid — what about:tracing
+        // and Perfetto require to render the document at all.
+        let case = &decide_cases(true)[0];
+        let trace = trace_decide_case(case);
+        let doc = rbqa_obs::export::chrome_trace(&[(case.label.clone(), &trace)]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(doc.contains("\"ph\":\"M\""), "thread_name metadata event");
+        assert!(doc.contains("\"ph\":\"X\""), "complete events");
+        assert!(doc.contains("\"name\":\"decide\""));
+        assert!(doc.contains("\"pid\":1"));
+        assert!(json_balanced(&doc), "unbalanced chrome trace");
     }
 
     #[test]

@@ -192,12 +192,19 @@ pub fn chase(
     values: &mut ValueFactory,
     config: ChaseConfig,
 ) -> ChaseOutcome {
-    match config.engine {
+    let mut obs = rbqa_obs::phase_span("chase", rbqa_obs::Phase::Chase);
+    obs.str("engine", config.engine.as_str());
+    let outcome = match config.engine {
         ChaseEngine::Naive => chase_naive(instance, constraints, values, config),
         ChaseEngine::SemiNaive => {
             crate::seminaive::chase_seminaive(instance, constraints, values, config)
         }
-    }
+    };
+    rbqa_obs::counters::add_chase_rounds(outcome.stats.rounds as u64);
+    obs.num("rounds", outcome.stats.rounds as u64);
+    obs.num("firings", outcome.stats.tgd_firings as u64);
+    obs.num("facts", outcome.instance.len() as u64);
+    outcome
 }
 
 /// The naive engine: each round enumerates all body homomorphisms of all
@@ -249,6 +256,8 @@ fn chase_naive(
             };
         }
         stats.rounds += 1;
+        let mut round_span = rbqa_obs::span("chase_round");
+        round_span.num("round", stats.rounds as u64);
 
         // Collect the active triggers against the instance at the start of
         // the round. Rules with many body atoms can have exponentially many
@@ -259,12 +268,16 @@ fn chase_naive(
         let mut over_budget = false;
 
         let mut triggers = Vec::new();
-        for (i, kernel) in kernels.iter().enumerate() {
-            let (mut found, truncated) = kernel.active_triggers(i, &current, trigger_limit);
-            if truncated {
-                over_budget = true;
+        {
+            let mut search_span = rbqa_obs::span("trigger_search");
+            for (i, kernel) in kernels.iter().enumerate() {
+                let (mut found, truncated) = kernel.active_triggers(i, &current, trigger_limit);
+                if truncated {
+                    over_budget = true;
+                }
+                triggers.append(&mut found);
             }
-            triggers.append(&mut found);
+            search_span.num("triggers", triggers.len() as u64);
         }
 
         for trigger in triggers {
@@ -286,7 +299,10 @@ fn chase_naive(
                 None,
                 &mut scratch,
             ) {
-                FireResult::Fired => fired_any = true,
+                FireResult::Fired => {
+                    fired_any = true;
+                    rbqa_obs::counters::add_firing(trigger.tgd_index);
+                }
                 FireResult::SkippedForDepth => skipped_for_depth = true,
                 FireResult::OverBudget => {
                     over_budget = true;
@@ -501,13 +517,39 @@ pub(crate) fn apply_fds_to_fixpoint(
     fds: &[Fd],
     depths: &mut DepthMap,
     stats: &mut ChaseStats,
+    delta: Option<&mut RowSet>,
+) -> Result<FdRewrite, ()> {
+    if fds.is_empty() {
+        return Ok(FdRewrite::default());
+    }
+    // Observability wrapper: the pass/unification counts are flushed even
+    // when the fixpoint aborts on an FD failure, so a traced request that
+    // errors still reports how much EGD work preceded the failure.
+    let mut obs = rbqa_obs::phase_span("fd_fixpoint", rbqa_obs::Phase::FdFixpoint);
+    let unifications_before = stats.fd_unifications;
+    let mut passes = 0u64;
+    let result = fd_fixpoint_loop(instance, fds, depths, stats, delta, &mut passes);
+    rbqa_obs::counters::add_fd_fixpoint(
+        passes,
+        (stats.fd_unifications - unifications_before) as u64,
+    );
+    obs.num("passes", passes);
+    result
+}
+
+/// The fixpoint loop of [`apply_fds_to_fixpoint`]; `passes` counts loop
+/// iterations (including the final quiescent one).
+fn fd_fixpoint_loop(
+    instance: &mut Instance,
+    fds: &[Fd],
+    depths: &mut DepthMap,
+    stats: &mut ChaseStats,
     mut delta: Option<&mut RowSet>,
+    passes: &mut u64,
 ) -> Result<FdRewrite, ()> {
     let mut rewrite = FdRewrite::default();
-    if fds.is_empty() {
-        return Ok(rewrite);
-    }
     loop {
+        *passes += 1;
         let mut uf = UnionFind::new();
         let mut merged_any = false;
         for fd in fds {

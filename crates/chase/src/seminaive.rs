@@ -310,6 +310,8 @@ pub(crate) fn chase_seminaive(
             };
         }
         stats.rounds += 1;
+        let mut round_span = rbqa_obs::span("chase_round");
+        round_span.num("round", stats.rounds as u64);
 
         let mut skipped_for_depth = false;
         let mut fired_any = false;
@@ -331,20 +333,24 @@ pub(crate) fn chase_seminaive(
             Vec::new()
         };
         recheck_pending = false;
-        for i in deps.affected(delta_by_rel.keys()) {
-            let plan = plans[i].get_or_insert_with(|| TgdPlan::new(&constraints.tgds()[i]));
-            let (mut found, truncated) = delta_triggers(
-                &constraints.tgds()[i],
-                i,
-                plan,
-                &current,
-                &delta_by_rel,
-                trigger_limit,
-            );
-            if truncated {
-                over_budget = true;
+        {
+            let mut search_span = rbqa_obs::span("trigger_search");
+            for i in deps.affected(delta_by_rel.keys()) {
+                let plan = plans[i].get_or_insert_with(|| TgdPlan::new(&constraints.tgds()[i]));
+                let (mut found, truncated) = delta_triggers(
+                    &constraints.tgds()[i],
+                    i,
+                    plan,
+                    &current,
+                    &delta_by_rel,
+                    trigger_limit,
+                );
+                if truncated {
+                    over_budget = true;
+                }
+                candidates.append(&mut found);
             }
-            candidates.append(&mut found);
+            search_span.num("triggers", candidates.len() as u64);
         }
 
         let mut new_delta: RowSet = RowSet::default();
@@ -371,7 +377,10 @@ pub(crate) fn chase_seminaive(
                 Some(&mut new_delta),
                 &mut scratch,
             ) {
-                FireResult::Fired => fired_any = true,
+                FireResult::Fired => {
+                    fired_any = true;
+                    rbqa_obs::counters::add_firing(trigger.tgd_index);
+                }
                 FireResult::SkippedForDepth => {
                     skipped_for_depth = true;
                     if pending_keys.insert((trigger.tgd_index, trigger.assignment.clone())) {

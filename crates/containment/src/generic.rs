@@ -132,9 +132,16 @@ pub fn decide_from_instance_any(
         );
     }
 
-    let matched = targets.iter().position(|(rhs, seed)| {
-        find_homomorphism(&rhs.boolean_closure(), &outcome.instance, seed).is_some()
-    });
+    let matched = {
+        // The chase above is attributed to `Phase::Chase` by the chase
+        // crate; only the target-match search is containment self-time.
+        let mut obs = rbqa_obs::phase_span("containment_match", rbqa_obs::Phase::Containment);
+        obs.num("targets", targets.len() as u64);
+        obs.num("facts", outcome.instance.len() as u64);
+        targets.iter().position(|(rhs, seed)| {
+            find_homomorphism(&rhs.boolean_closure(), &outcome.instance, seed).is_some()
+        })
+    };
     let saturated = outcome.completion == Completion::Saturated;
     // A missing match is only certified when the chase explored everything
     // up to the depth cap (it was not stopped by another budget) *and* the

@@ -108,6 +108,8 @@ pub fn saturate_truncated_axioms(
     methods: &[MethodSignature],
     breadth: usize,
 ) -> Vec<TruncatedAxiom> {
+    let mut obs = rbqa_obs::phase_span("saturation", rbqa_obs::Phase::Saturation);
+
     // The saturation state is a map from `(relation, premise set)` to the
     // set of transferred positions. Premise and conclusion sets are packed
     // into `u32` bitmasks (arities are tiny), so the fixpoint manipulates
@@ -189,8 +191,10 @@ pub fn saturate_truncated_axioms(
     };
 
     let mut changed = true;
+    let mut iters = 0u64;
     while changed {
         changed = false;
+        iters += 1;
 
         // (Access): if all input positions of a (non-result-bounded) method
         // on R are transferred by P, then every position of R is.
@@ -270,6 +274,9 @@ pub fn saturate_truncated_axioms(
         }
     }
     out.sort();
+    rbqa_obs::counters::add_saturation_iters(iters);
+    obs.num("iters", iters);
+    obs.num("axioms", out.len() as u64);
     out
 }
 

@@ -196,6 +196,11 @@ pub fn decide_monotone_answerability(
     values: &mut ValueFactory,
     options: &AnswerabilityOptions,
 ) -> AnswerabilityResult {
+    // Pipeline-level span: the chase / FD-fixpoint / saturation /
+    // containment work below attributes itself to its own phases, so this
+    // span's self-time is classification, simplification and axiom
+    // construction ("other" in the phase breakdown).
+    let mut obs = rbqa_obs::span("decide");
     let class = classify_constraints(schema.constraints());
 
     // Result upper bounds never matter (Proposition 3.3).
@@ -206,6 +211,7 @@ pub fn decide_monotone_answerability(
         let problem = AmondetProblem::build(&schema_lb, query, values, style);
         let containment = problem.decide(values, options.chase_config());
         let answerability = verdict_to_answerability(containment.verdict);
+        obs.str("strategy", "forced_axiom_style");
         let plan = maybe_plan(schema, query, options, answerability, &containment);
         return AnswerabilityResult {
             answerability,
@@ -272,6 +278,17 @@ pub fn decide_monotone_answerability(
     };
 
     let answerability = verdict_to_answerability(containment.verdict);
+    obs.str(
+        "strategy",
+        match strategy {
+            Strategy::IdLinearization => "id_linearization",
+            Strategy::FdSimplificationChase => "fd_simplification_chase",
+            Strategy::ChoiceSeparabilityChase => "choice_separability_chase",
+            Strategy::ChoiceChase => "choice_chase",
+            Strategy::ForcedAxiomStyle => "forced_axiom_style",
+        },
+    );
+    obs.num("chase_rounds", containment.chase_stats.rounds as u64);
     let plan = maybe_plan(schema, query, options, answerability, &containment);
     AnswerabilityResult {
         answerability,
@@ -407,6 +424,8 @@ pub fn decide_monotone_answerability_union(
     values: &mut ValueFactory,
     options: &AnswerabilityOptions,
 ) -> UnionAnswerabilityResult {
+    let mut obs = rbqa_obs::span("decide_union");
+    obs.num("disjuncts", union.len() as u64);
     let class = classify_constraints(schema.constraints());
     if union.is_empty() {
         return UnionAnswerabilityResult {

@@ -119,6 +119,9 @@ pub struct PlanMetrics {
     /// Total simulated backend latency, microseconds (0 for the in-memory
     /// backend).
     pub latency_micros: u64,
+    /// Wall-clock time of the plan run, microseconds (real elapsed time,
+    /// as opposed to the backend's simulated cost model).
+    pub wall_micros: u64,
     /// Number of rows in the plan's output.
     pub output_size: usize,
     /// Whether the run stayed within the configured rate limit. Since
@@ -137,6 +140,7 @@ impl PlanMetrics {
             tuples_matched: run.tuples_matched,
             truncated_accesses: run.truncated_accesses,
             latency_micros: run.latency_micros,
+            wall_micros: run.wall_micros,
             output_size: run.output.len(),
             within_rate_limit: true,
         }

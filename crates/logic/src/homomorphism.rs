@@ -408,8 +408,14 @@ impl MatchProgram {
             tuple: Vec::new(),
             rows: vec![Vec::new(); self.steps.len()],
             first_only,
+            probes: 0,
+            backtracks: 0,
         };
         self.exec(0, &mut binding, &mut ctx, visit);
+        // Profiling counts are batched in the scratch (register
+        // increments) and flushed once per run, so the kernel's hot loop
+        // never pays even the tracing-disabled branch.
+        rbqa_obs::counters::flush_kernel(ctx.probes, ctx.backtracks);
     }
 
     /// The first homomorphism extending `seed`, if any, in hash-map form.
@@ -485,6 +491,7 @@ impl MatchProgram {
             for &(pos, value) in &ctx.probe {
                 ctx.tuple[pos] = value;
             }
+            ctx.probes += 1;
             if ctx.instance.contains(step.relation, &ctx.tuple) {
                 return self.exec(depth + 1, binding, ctx, visit);
             }
@@ -497,6 +504,7 @@ impl MatchProgram {
         // (the step's bind variables are left unbound — the visitor only
         // records that a match exists).
         if ctx.first_only && depth + 1 == self.steps.len() && step.checks.is_empty() {
+            ctx.probes += 1;
             if ctx
                 .instance
                 .first_matching_row(step.relation, &ctx.probe)
@@ -511,6 +519,7 @@ impl MatchProgram {
         // then bind/check the undetermined positions per row.
         let mut rows = std::mem::take(&mut ctx.rows[depth]);
         rows.clear();
+        ctx.probes += 1;
         ctx.instance
             .matching_rows_into(step.relation, &ctx.probe, &mut rows);
         let mut keep_going = true;
@@ -541,6 +550,7 @@ impl MatchProgram {
                 keep_going = self.exec(depth + 1, binding, ctx, visit);
             }
             binding.undo_to(mark);
+            ctx.backtracks += 1;
             if !keep_going {
                 break;
             }
@@ -587,6 +597,11 @@ struct ExecContext<'a> {
     /// Existence mode: the caller only needs to know whether a match
     /// exists, enabling the final-step `first_matching_row` short-circuit.
     first_only: bool,
+    /// Posting-list probes this run (batched; flushed to `rbqa-obs` once
+    /// at the end of the run).
+    probes: u64,
+    /// Bindings undone after exploring a row (batched like `probes`).
+    backtracks: u64,
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,206 @@
+//! Kernel profiling counters: thread-local, reset on tracer install,
+//! harvested into the [`CounterSnapshot`] of the finished trace.
+//!
+//! The hooks here are *flush* points, not per-event calls: the
+//! instrumented kernels accumulate counts in stack locals (free — a
+//! register increment) and flush once per operation, so the disabled
+//! cost is the flush call's single [`crate::enabled`] branch.
+
+use std::cell::{Cell, RefCell};
+
+use crate::tracer::enabled;
+
+/// Point-in-time copy of the profiling counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// TGD trigger firings, total across all chases in the window.
+    pub trigger_firings: u64,
+    /// Trigger firings per TGD index (summed across chases; the vector
+    /// is as long as the largest TGD index that fired, plus one).
+    pub firings_per_tgd: Vec<u64>,
+    /// Chase rounds run.
+    pub chase_rounds: u64,
+    /// Passes of the FD/EGD fixpoint loop.
+    pub fd_passes: u64,
+    /// Null/constant unifications applied by FDs.
+    pub fd_unifications: u64,
+    /// Iterations of the truncated-axiom saturation worklist.
+    pub saturation_iters: u64,
+    /// Posting-list probes performed by the homomorphism kernel
+    /// (`matching_rows_into` / `first_matching_row` / `contains`).
+    pub posting_probes: u64,
+    /// Backtracks taken by the homomorphism kernel (bindings undone
+    /// after a failed extension).
+    pub backtracks: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    trigger_firings: Cell<u64>,
+    firings_per_tgd: RefCell<Vec<u64>>,
+    chase_rounds: Cell<u64>,
+    fd_passes: Cell<u64>,
+    fd_unifications: Cell<u64>,
+    saturation_iters: Cell<u64>,
+    posting_probes: Cell<u64>,
+    backtracks: Cell<u64>,
+}
+
+thread_local! {
+    static COUNTERS: Counters = const {
+        Counters {
+            trigger_firings: Cell::new(0),
+            firings_per_tgd: RefCell::new(Vec::new()),
+            chase_rounds: Cell::new(0),
+            fd_passes: Cell::new(0),
+            fd_unifications: Cell::new(0),
+            saturation_iters: Cell::new(0),
+            posting_probes: Cell::new(0),
+            backtracks: Cell::new(0),
+        }
+    };
+}
+
+/// Zeroes this thread's counters (called by [`crate::install`]).
+pub(crate) fn reset() {
+    COUNTERS.with(|c| {
+        c.trigger_firings.set(0);
+        c.firings_per_tgd.borrow_mut().clear();
+        c.chase_rounds.set(0);
+        c.fd_passes.set(0);
+        c.fd_unifications.set(0);
+        c.saturation_iters.set(0);
+        c.posting_probes.set(0);
+        c.backtracks.set(0);
+    });
+}
+
+/// Copies this thread's counters (called by [`crate::uninstall`]).
+pub(crate) fn snapshot() -> CounterSnapshot {
+    COUNTERS.with(|c| CounterSnapshot {
+        trigger_firings: c.trigger_firings.get(),
+        firings_per_tgd: c.firings_per_tgd.borrow().clone(),
+        chase_rounds: c.chase_rounds.get(),
+        fd_passes: c.fd_passes.get(),
+        fd_unifications: c.fd_unifications.get(),
+        saturation_iters: c.saturation_iters.get(),
+        posting_probes: c.posting_probes.get(),
+        backtracks: c.backtracks.get(),
+    })
+}
+
+macro_rules! add {
+    ($field:ident, $n:expr) => {
+        COUNTERS.with(|c| c.$field.set(c.$field.get() + $n))
+    };
+}
+
+/// Flushes posting-list probe and backtrack counts batched by one
+/// homomorphism-kernel run.
+#[inline]
+pub fn flush_kernel(probes: u64, backtracks: u64) {
+    if !enabled() || (probes == 0 && backtracks == 0) {
+        return;
+    }
+    add!(posting_probes, probes);
+    add!(backtracks, backtracks);
+}
+
+/// Flushes per-TGD trigger-firing counts batched by one chase run
+/// (`per_tgd[i]` = firings of TGD `i`).
+#[inline]
+pub fn flush_firings(per_tgd: &[u64]) {
+    if !enabled() || per_tgd.is_empty() {
+        return;
+    }
+    let total: u64 = per_tgd.iter().sum();
+    add!(trigger_firings, total);
+    COUNTERS.with(|c| {
+        let mut v = c.firings_per_tgd.borrow_mut();
+        if v.len() < per_tgd.len() {
+            v.resize(per_tgd.len(), 0);
+        }
+        for (slot, n) in v.iter_mut().zip(per_tgd) {
+            *slot += n;
+        }
+    });
+}
+
+/// Records one trigger firing of TGD `index`. Firings are rare relative
+/// to kernel probes (each one inserts head facts), so a per-event hook —
+/// one branch when disabled — is cheap enough here.
+#[inline]
+pub fn add_firing(index: usize) {
+    if !enabled() {
+        return;
+    }
+    add!(trigger_firings, 1);
+    COUNTERS.with(|c| {
+        let mut v = c.firings_per_tgd.borrow_mut();
+        if v.len() <= index {
+            v.resize(index + 1, 0);
+        }
+        v[index] += 1;
+    });
+}
+
+/// Adds completed chase rounds.
+#[inline]
+pub fn add_chase_rounds(n: u64) {
+    if !enabled() {
+        return;
+    }
+    add!(chase_rounds, n);
+}
+
+/// Adds FD-fixpoint passes and the unifications they applied.
+#[inline]
+pub fn add_fd_fixpoint(passes: u64, unifications: u64) {
+    if !enabled() {
+        return;
+    }
+    add!(fd_passes, passes);
+    add!(fd_unifications, unifications);
+}
+
+/// Adds saturation worklist iterations.
+#[inline]
+pub fn add_saturation_iters(n: u64) {
+    if !enabled() {
+        return;
+    }
+    add!(saturation_iters, n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{install, uninstall, Tracer};
+
+    #[test]
+    fn counters_are_inert_when_disabled_and_reset_on_install() {
+        flush_kernel(100, 50); // disabled: ignored
+        install(Tracer::new());
+        flush_kernel(3, 1);
+        flush_kernel(2, 0);
+        flush_firings(&[1, 0, 4]);
+        flush_firings(&[0, 2]);
+        add_chase_rounds(2);
+        add_fd_fixpoint(3, 5);
+        add_saturation_iters(9);
+        let trace = uninstall().unwrap();
+        let c = &trace.counters;
+        assert_eq!(c.posting_probes, 5);
+        assert_eq!(c.backtracks, 1);
+        assert_eq!(c.trigger_firings, 7);
+        assert_eq!(c.firings_per_tgd, vec![1, 2, 4]);
+        assert_eq!(c.chase_rounds, 2);
+        assert_eq!(c.fd_passes, 3);
+        assert_eq!(c.fd_unifications, 5);
+        assert_eq!(c.saturation_iters, 9);
+        // A fresh install starts from zero.
+        install(Tracer::new());
+        let trace = uninstall().unwrap();
+        assert_eq!(trace.counters, CounterSnapshot::default());
+    }
+}

@@ -1,0 +1,248 @@
+//! Fixed-bucket log-scale latency histograms with quantile estimation.
+//!
+//! Buckets follow an HdrHistogram-style layout: 4 linear sub-buckets per
+//! power-of-two octave, giving ≤ 25% relative quantile error across the
+//! full `u64` range with a fixed 256-slot table — no allocation on the
+//! record path, and recording is two relaxed atomic adds plus a
+//! `fetch_min`/`fetch_max`. Values are unit-agnostic; the service
+//! records microseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: values `0..4` get exact buckets, then 4
+/// sub-buckets for each of the 62 remaining octaves of `u64`.
+pub const N_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// Index of the bucket holding `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros(); // floor(log2), >= SUB_BITS
+    let shift = exp - SUB_BITS;
+    let sub = (value >> shift) - SUB;
+    ((shift as u64 + 1) * SUB + sub) as usize
+}
+
+/// Inclusive value range `[lower, upper]` covered by bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < SUB {
+        return (index, index);
+    }
+    let shift = index / SUB - 1;
+    let sub = index % SUB;
+    let lower = (SUB + sub) << shift;
+    // Parenthesised so the top octave (`lower + 2^shift == 2^64`)
+    // cannot overflow before the subtraction.
+    let upper = lower + ((1u64 << shift) - 1);
+    (lower, upper)
+}
+
+/// A concurrent log-scale histogram. All operations are relaxed atomics:
+/// the histogram is a monotone accumulator read only through
+/// [`Histogram::snapshot`], so no ordering is required (the same
+/// contract as `ServiceMetrics`).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for quantile estimation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.each_ref().map(|b| b.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`N_BUCKETS`]).
+    pub buckets: [u64; N_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the target bucket, clamped to the recorded min/max.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lower, upper) = bucket_bounds(i);
+                let within = (rank - seen - 1) as f64 / n as f64;
+                let est = lower as f64 + within * (upper - lower) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
+    /// The p50 estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The p95 estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The p99 estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_total() {
+        let mut last = 0usize;
+        for exp in 0..64u32 {
+            for off in [0u64, 1, (1u64 << exp).saturating_sub(1)] {
+                let v = (1u64 << exp) + off.min((1u64 << exp) - 1);
+                let i = bucket_index(v);
+                assert!(i < N_BUCKETS, "v={v} i={i}");
+                assert!(i >= last || v < SUB, "monotone at v={v}");
+                last = last.max(i);
+                let (lo, hi) = bucket_bounds(i);
+                assert!(lo <= v && v <= hi, "v={v} not in [{lo},{hi}] (bucket {i})");
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let h = Histogram::new();
+        // 1..=1000 uniformly: p50 ≈ 500, p95 ≈ 950, p99 ≈ 990, with at
+        // most one octave-sub-bucket (25%) of relative error.
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.mean(), 500);
+        let within = |est: u64, actual: u64| {
+            let err = (est as f64 - actual as f64).abs() / actual as f64;
+            assert!(err <= 0.25, "estimate {est} too far from {actual}");
+        };
+        within(s.p50(), 500);
+        within(s.p95(), 950);
+        within(s.p99(), 990);
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_tear_free_in_totals() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(s.sum, (0..4000u64).sum::<u64>());
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3999);
+    }
+}

@@ -1,0 +1,72 @@
+//! Minimal internal JSON emission.
+//!
+//! `rbqa-obs` sits *below* `rbqa-api` in the dependency graph (the
+//! kernels it instruments are `rbqa-api`'s transitive dependencies), so
+//! it cannot reuse the workspace's shared writer in `rbqa_api::json` —
+//! this is the one place a second hand-rolled emitter is justified, and
+//! it stays private to the crate.
+
+/// Escapes a string for inclusion in a JSON document (no quotes added).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a quoted JSON string literal.
+pub(crate) fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Incremental writer for one JSON object; fields keep insertion order.
+#[derive(Debug, Default)]
+pub(crate) struct Obj {
+    fields: Vec<String>,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("{}:{}", string(key), string(value)));
+        self
+    }
+
+    pub(crate) fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push(format!("{}:{value}", string(key)));
+        self
+    }
+
+    pub(crate) fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push(format!("{}:{value}", string(key)));
+        self
+    }
+
+    pub(crate) fn raw(mut self, key: &str, raw: &str) -> Self {
+        self.fields.push(format!("{}:{raw}", string(key)));
+        self
+    }
+
+    pub(crate) fn finish(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Renders pre-serialised items as a JSON array.
+pub(crate) fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}

@@ -1,0 +1,468 @@
+//! The span tracer: thread-local, per-request, one branch when disabled.
+//!
+//! A [`Tracer`] is [`install`]ed on the thread that serves a request and
+//! [`uninstall`]ed when the request finishes (successfully or not — the
+//! service holds it behind an RAII session so error paths disarm too).
+//! While armed, [`span`]/[`phase_span`] return RAII [`SpanGuard`]s that
+//! record *completed* spans (start, duration, depth, small args) into a
+//! bounded ring buffer; when the buffer is full the oldest spans are
+//! overwritten and counted in [`Trace::dropped_spans`], so a pathological
+//! request can never make its own trace unbounded.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+use crate::counters;
+
+/// The exclusive time-attribution phases of the decision pipeline.
+///
+/// `Other` is the implicit residue: time inside the traced window but
+/// outside every phase-tagged span (classification, plan synthesis,
+/// fingerprinting, serialisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Chase rounds: trigger search plus trigger firing.
+    Chase = 0,
+    /// The FD/EGD fixpoint (`apply_fds_to_fixpoint`).
+    FdFixpoint = 1,
+    /// Truncated-axiom saturation (Prop E.1 worklist fixpoint).
+    Saturation = 2,
+    /// Containment checking outside the chase (target homomorphism
+    /// matching).
+    Containment = 3,
+    /// Everything else in the traced window.
+    Other = 4,
+}
+
+/// Number of phases (the length of [`Trace::phase_nanos`]).
+pub const N_PHASES: usize = 5;
+
+impl Phase {
+    /// All phases, in index order.
+    pub const ALL: [Phase; N_PHASES] = [
+        Phase::Chase,
+        Phase::FdFixpoint,
+        Phase::Saturation,
+        Phase::Containment,
+        Phase::Other,
+    ];
+
+    /// The stable report name of the phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Chase => "chase",
+            Phase::FdFixpoint => "fd_fixpoint",
+            Phase::Saturation => "saturation",
+            Phase::Containment => "containment",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Static span name (`decide`, `chase_round`, `access`, ...).
+    pub name: &'static str,
+    /// Start, nanoseconds since the tracer's epoch.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds.
+    pub dur_nanos: u64,
+    /// Nesting depth at which the span ran (0 = top level).
+    pub depth: u32,
+    /// Small numeric annotations (binding sizes, match counts, ...).
+    pub num_args: Vec<(&'static str, u64)>,
+    /// Small string annotations (method names, backend codes, ...).
+    pub str_args: Vec<(&'static str, String)>,
+}
+
+/// A per-request span tracer. Created by the layer that owns the request
+/// (the service, a report binary), armed with [`install`], harvested with
+/// [`uninstall`].
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    capacity: usize,
+    next_slot: usize,
+    dropped: u64,
+    depth: u32,
+    max_depth: u32,
+    phase_stack: Vec<Phase>,
+    phase_nanos: [u64; N_PHASES],
+    last_mark: Instant,
+}
+
+/// Default span-buffer capacity (per request).
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+impl Tracer {
+    /// A tracer with the default span capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A tracer whose ring buffer keeps at most `capacity` spans (the
+    /// most recent ones win; older spans are dropped and counted).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let now = Instant::now();
+        Tracer {
+            epoch: now,
+            spans: Vec::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            next_slot: 0,
+            dropped: 0,
+            depth: 0,
+            max_depth: 0,
+            phase_stack: Vec::new(),
+            phase_nanos: [0; N_PHASES],
+            last_mark: now,
+        }
+    }
+
+    fn push_span(&mut self, record: SpanRecord) {
+        if self.spans.len() < self.capacity {
+            self.spans.push(record);
+        } else {
+            // Ring: overwrite the oldest slot.
+            self.spans[self.next_slot] = record;
+            self.next_slot = (self.next_slot + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    fn enter_phase(&mut self, phase: Phase, now: Instant) {
+        let current = self.phase_stack.last().copied().unwrap_or(Phase::Other);
+        self.phase_nanos[current as usize] += now.duration_since(self.last_mark).as_nanos() as u64;
+        self.last_mark = now;
+        self.phase_stack.push(phase);
+    }
+
+    fn exit_phase(&mut self, now: Instant) {
+        if let Some(current) = self.phase_stack.pop() {
+            self.phase_nanos[current as usize] +=
+                now.duration_since(self.last_mark).as_nanos() as u64;
+            self.last_mark = now;
+        }
+    }
+
+    /// Finalises the tracer into a [`Trace`], attributing any residual
+    /// time to the phase still on top of the stack (`Other` when the
+    /// stack is empty, as it is for every balanced trace).
+    fn finish(mut self) -> Trace {
+        let now = Instant::now();
+        let current = self.phase_stack.last().copied().unwrap_or(Phase::Other);
+        self.phase_nanos[current as usize] += now.duration_since(self.last_mark).as_nanos() as u64;
+        // Rotate the ring so spans come out oldest-first.
+        let balanced = self.depth == 0 && self.phase_stack.is_empty();
+        if self.dropped > 0 {
+            self.spans.rotate_left(self.next_slot);
+        }
+        Trace {
+            spans: self.spans,
+            dropped_spans: self.dropped,
+            max_depth: self.max_depth,
+            balanced,
+            phase_nanos: self.phase_nanos,
+            counters: counters::snapshot(),
+            total_nanos: now.duration_since(self.epoch).as_nanos() as u64,
+        }
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A finished request trace: the harvested spans, counters, and
+/// per-phase exclusive time.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Completed spans, oldest first (the newest `capacity` of them).
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted from the ring buffer.
+    pub dropped_spans: u64,
+    /// Deepest nesting observed.
+    pub max_depth: u32,
+    /// Whether every opened span and phase was closed by the time the
+    /// tracer was uninstalled. Error paths unwind through RAII guards,
+    /// so this is `true` even for requests that failed mid-pipeline.
+    pub balanced: bool,
+    /// Exclusive wall time per [`Phase`], nanoseconds, indexed by
+    /// `Phase as usize`.
+    pub phase_nanos: [u64; N_PHASES],
+    /// Kernel profiling counters accumulated while the tracer was
+    /// installed.
+    pub counters: counters::CounterSnapshot,
+    /// Wall time from tracer creation to uninstall, nanoseconds.
+    pub total_nanos: u64,
+}
+
+impl Trace {
+    /// Exclusive time of one phase in microseconds.
+    pub fn phase_micros(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase as usize] / 1_000
+    }
+
+    /// The phase with the largest exclusive time among the pipeline
+    /// phases (`Other` is excluded: it is the residue, not a pipeline
+    /// stage).
+    pub fn dominant_phase(&self) -> Phase {
+        let mut best = Phase::Chase;
+        for phase in [Phase::FdFixpoint, Phase::Saturation, Phase::Containment] {
+            if self.phase_nanos[phase as usize] > self.phase_nanos[best as usize] {
+                best = phase;
+            }
+        }
+        best
+    }
+}
+
+thread_local! {
+    /// The one-branch gate: every hook loads this and returns when
+    /// false. Const-initialised so the check never takes the
+    /// lazy-initialisation slow path.
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
+}
+
+/// Whether a tracer is installed on this thread. This is the exact load
+/// every hook performs first; exposed so kernels can hoist the check out
+/// of hot loops.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Arms this thread with `tracer` (resetting the profiling counters).
+/// Returns the previously installed tracer's trace, if any, so nested
+/// installs cannot silently leak one.
+pub fn install(tracer: Tracer) -> Option<Trace> {
+    let previous = TRACER.with(|t| t.borrow_mut().replace(tracer));
+    counters::reset();
+    ENABLED.with(|e| e.set(true));
+    previous.map(Tracer::finish)
+}
+
+/// Disarms this thread and returns the finished trace (`None` when no
+/// tracer was installed).
+pub fn uninstall() -> Option<Trace> {
+    ENABLED.with(|e| e.set(false));
+    TRACER.with(|t| t.borrow_mut().take()).map(Tracer::finish)
+}
+
+/// RAII guard for one span. Created by [`span`]/[`phase_span`]; records
+/// the completed span on drop. Inert (a single branch, no clock read)
+/// when tracing is disabled.
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    name: &'static str,
+    phase: bool,
+    num_args: Vec<(&'static str, u64)>,
+    str_args: Vec<(&'static str, String)>,
+}
+
+impl SpanGuard {
+    const INERT: SpanGuard = SpanGuard {
+        start: None,
+        name: "",
+        phase: false,
+        num_args: Vec::new(),
+        str_args: Vec::new(),
+    };
+
+    /// Attaches a numeric annotation (no-op when inert).
+    pub fn num(&mut self, key: &'static str, value: u64) {
+        if self.start.is_some() {
+            self.num_args.push((key, value));
+        }
+    }
+
+    /// Attaches a string annotation (no-op when inert).
+    pub fn str(&mut self, key: &'static str, value: &str) {
+        if self.start.is_some() {
+            self.str_args.push((key, value.to_owned()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let now = Instant::now();
+        TRACER.with(|t| {
+            let mut slot = t.borrow_mut();
+            let Some(tracer) = slot.as_mut() else { return };
+            if self.phase {
+                tracer.exit_phase(now);
+            }
+            tracer.depth = tracer.depth.saturating_sub(1);
+            let record = SpanRecord {
+                name: self.name,
+                start_nanos: start.duration_since(tracer.epoch).as_nanos() as u64,
+                dur_nanos: now.duration_since(start).as_nanos() as u64,
+                depth: tracer.depth,
+                num_args: std::mem::take(&mut self.num_args),
+                str_args: std::mem::take(&mut self.str_args),
+            };
+            tracer.push_span(record);
+        });
+    }
+}
+
+fn begin(name: &'static str, phase: Option<Phase>) -> SpanGuard {
+    let now = Instant::now();
+    TRACER.with(|t| {
+        let mut slot = t.borrow_mut();
+        if let Some(tracer) = slot.as_mut() {
+            tracer.depth += 1;
+            tracer.max_depth = tracer.max_depth.max(tracer.depth);
+            if let Some(p) = phase {
+                tracer.enter_phase(p, now);
+            }
+        }
+    });
+    SpanGuard {
+        start: Some(now),
+        name,
+        phase: phase.is_some(),
+        num_args: Vec::new(),
+        str_args: Vec::new(),
+    }
+}
+
+/// Opens a span. One branch and an immediate return when tracing is
+/// disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::INERT;
+    }
+    begin(name, None)
+}
+
+/// Opens a span that also attributes its exclusive wall time to `phase`.
+#[inline]
+pub fn phase_span(name: &'static str, phase: Phase) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::INERT;
+    }
+    begin(name, Some(phase))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        assert!(!enabled());
+        {
+            let mut g = span("ghost");
+            g.num("n", 1);
+            g.str("s", "x");
+        }
+        // Installing afterwards sees an empty, balanced trace.
+        install(Tracer::new());
+        let trace = uninstall().unwrap();
+        assert!(trace.spans.is_empty());
+        assert!(trace.balanced);
+        assert_eq!(trace.dropped_spans, 0);
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        install(Tracer::new());
+        {
+            let _outer = span("outer");
+            {
+                let mut inner = span("inner");
+                inner.num("k", 7);
+            }
+        }
+        let trace = uninstall().unwrap();
+        assert!(trace.balanced);
+        assert_eq!(trace.max_depth, 2);
+        // Inner completes (and is recorded) first.
+        assert_eq!(trace.spans[0].name, "inner");
+        assert_eq!(trace.spans[0].depth, 1);
+        assert_eq!(trace.spans[0].num_args, vec![("k", 7)]);
+        assert_eq!(trace.spans[1].name, "outer");
+        assert_eq!(trace.spans[1].depth, 0);
+        assert!(trace.spans[1].dur_nanos >= trace.spans[0].dur_nanos);
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest_spans() {
+        install(Tracer::with_capacity(4));
+        for _ in 0..10 {
+            let _g = span("s");
+        }
+        let trace = uninstall().unwrap();
+        assert_eq!(trace.spans.len(), 4);
+        assert_eq!(trace.dropped_spans, 6);
+        // Oldest-first rotation: monotone start times.
+        for pair in trace.spans.windows(2) {
+            assert!(pair[0].start_nanos <= pair[1].start_nanos);
+        }
+    }
+
+    #[test]
+    fn phase_attribution_is_exclusive() {
+        install(Tracer::new());
+        {
+            let _chase = phase_span("chase", Phase::Chase);
+            std::thread::sleep(std::time::Duration::from_millis(8));
+            {
+                let _fd = phase_span("fd_fixpoint", Phase::FdFixpoint);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let trace = uninstall().unwrap();
+        assert!(trace.balanced);
+        let chase = trace.phase_nanos[Phase::Chase as usize];
+        let fd = trace.phase_nanos[Phase::FdFixpoint as usize];
+        assert!(chase >= 1_000_000, "chase self-time counted: {chase}");
+        assert!(fd >= 1_000_000, "fd self-time counted: {fd}");
+        // Exclusivity: phases cover disjoint wall time, so their sum is
+        // bounded by the total.
+        let sum: u64 = trace.phase_nanos.iter().sum();
+        assert!(
+            sum <= trace.total_nanos + 1_000_000,
+            "{sum} vs {}",
+            trace.total_nanos
+        );
+        assert_eq!(trace.dominant_phase(), Phase::Chase);
+    }
+
+    #[test]
+    fn early_returns_leave_a_balanced_trace() {
+        fn faux_pipeline(fail: bool) -> Result<(), ()> {
+            let _outer = span("request");
+            let _inner = phase_span("chase", Phase::Chase);
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        install(Tracer::new());
+        assert!(faux_pipeline(true).is_err());
+        let trace = uninstall().unwrap();
+        assert!(trace.balanced, "RAII guards close spans on error paths");
+        assert_eq!(trace.spans.len(), 2);
+    }
+
+    #[test]
+    fn install_returns_a_leaked_predecessor() {
+        assert!(install(Tracer::new()).is_none());
+        let leaked = install(Tracer::new());
+        assert!(leaked.is_some(), "nested install surfaces the old trace");
+        uninstall().unwrap();
+        assert!(uninstall().is_none());
+    }
+}

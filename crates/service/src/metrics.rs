@@ -10,6 +10,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use rbqa_obs::{Histogram, HistogramSnapshot};
+
 use crate::request::RequestMode;
 
 /// Aggregated counters for one [`crate::QueryService`].
@@ -23,6 +25,10 @@ pub struct ServiceMetrics {
     executions: AtomicU64,
     mode_counts: [AtomicU64; 3],
     mode_micros: [AtomicU64; 3],
+    /// Per-mode latency distributions (microseconds). The running
+    /// sums in `mode_micros` give means; the histograms add tail
+    /// quantiles (p50/p95/p99) at a fixed ≤ 25 % relative error.
+    mode_hist: [Histogram; 3],
 }
 
 fn mode_index(mode: RequestMode) -> usize {
@@ -62,6 +68,15 @@ impl ServiceMetrics {
         let i = mode_index(mode);
         self.mode_counts[i].fetch_add(1, Ordering::Relaxed);
         self.mode_micros[i].fetch_add(micros as u64, Ordering::Relaxed);
+        self.mode_hist[i].record(micros as u64);
+    }
+
+    /// The full latency distribution of one request mode, in
+    /// microseconds. Snapshots are internally consistent per bucket
+    /// (each bucket is one atomic) but, like [`ServiceMetrics::snapshot`],
+    /// only consistent-enough across buckets under concurrent writes.
+    pub fn latency_histogram(&self, mode: RequestMode) -> HistogramSnapshot {
+        self.mode_hist[mode_index(mode)].snapshot()
     }
 
     /// A consistent-enough copy of all counters.
@@ -84,7 +99,15 @@ impl ServiceMetrics {
                 load(&self.mode_micros[1]),
                 load(&self.mode_micros[2]),
             ],
+            mode_p50: self.quantiles(0.50),
+            mode_p95: self.quantiles(0.95),
+            mode_p99: self.quantiles(0.99),
         }
+    }
+
+    fn quantiles(&self, q: f64) -> [u64; 3] {
+        let at = |i: usize| self.mode_hist[i].snapshot().quantile(q);
+        [at(0), at(1), at(2)]
     }
 }
 
@@ -107,6 +130,13 @@ pub struct MetricsSnapshot {
     pub mode_counts: [u64; 3],
     /// Cumulative latency per mode, in microseconds.
     pub mode_micros: [u64; 3],
+    /// Median latency per mode in microseconds (log-bucket estimate,
+    /// ≤ 25 % relative error; 0 when the mode is unused).
+    pub mode_p50: [u64; 3],
+    /// 95th-percentile latency per mode in microseconds.
+    pub mode_p95: [u64; 3],
+    /// 99th-percentile latency per mode in microseconds.
+    pub mode_p99: [u64; 3],
 }
 
 impl MetricsSnapshot {
@@ -122,6 +152,21 @@ impl MetricsSnapshot {
         self.mode_micros[i]
             .checked_div(self.mode_counts[i])
             .unwrap_or(0)
+    }
+
+    /// Median latency of one mode in microseconds (0 when unused).
+    pub fn p50_micros(&self, mode: RequestMode) -> u64 {
+        self.mode_p50[mode_index(mode)]
+    }
+
+    /// 95th-percentile latency of one mode in microseconds.
+    pub fn p95_micros(&self, mode: RequestMode) -> u64 {
+        self.mode_p95[mode_index(mode)]
+    }
+
+    /// 99th-percentile latency of one mode in microseconds.
+    pub fn p99_micros(&self, mode: RequestMode) -> u64 {
+        self.mode_p99[mode_index(mode)]
     }
 }
 
@@ -150,5 +195,30 @@ mod tests {
         assert_eq!(s.mean_micros(RequestMode::Decide), 200);
         assert_eq!(s.mean_micros(RequestMode::Execute), 50);
         assert_eq!(s.mean_micros(RequestMode::Synthesize), 0);
+    }
+
+    #[test]
+    fn latency_histograms_track_quantiles() {
+        let m = ServiceMetrics::new();
+        // 95 fast decides and 5 slow outliers: the p99 must see the
+        // tail that the mean smears out.
+        for _ in 0..95 {
+            m.record_latency(RequestMode::Decide, 100);
+        }
+        for _ in 0..5 {
+            m.record_latency(RequestMode::Decide, 100_000);
+        }
+        let s = m.snapshot();
+        let p50 = s.p50_micros(RequestMode::Decide);
+        let p99 = s.p99_micros(RequestMode::Decide);
+        assert!((75..=125).contains(&p50), "p50 {p50} should be ~100");
+        assert!(p99 >= 75_000, "p99 {p99} should see the 100ms outlier");
+        assert!(s.p95_micros(RequestMode::Decide) <= p99);
+        // Unused modes report empty distributions.
+        assert_eq!(s.p99_micros(RequestMode::Synthesize), 0);
+        let h = m.latency_histogram(RequestMode::Decide);
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, 100);
+        assert!(h.max >= 75_000);
     }
 }

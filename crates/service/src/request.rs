@@ -71,6 +71,13 @@ pub struct AnswerRequest {
     /// backends/budgets never share a cache entry; `Decide`/`Synthesize`
     /// ignore it (see [`AnswerRequest::effective_exec`]).
     pub exec: ExecOptions,
+    /// Whether to record a per-request [`rbqa_obs::Trace`] and return it
+    /// in [`AnswerResponse::trace`]. Deliberately **not** part of the
+    /// fingerprint: tracing observes a request, it never changes its
+    /// answer, so a traced and an untraced spelling share a cache entry
+    /// (a traced cache *hit* therefore yields a short trace covering
+    /// only the lookup, not the original decision work).
+    pub trace: bool,
 }
 
 impl AnswerRequest {
@@ -102,12 +109,19 @@ impl AnswerRequest {
             mode: RequestMode::Decide,
             options: AnswerabilityOptions::default(),
             exec: ExecOptions::default(),
+            trace: false,
         }
     }
 
     /// Returns the request with its execution options replaced.
     pub fn with_exec(mut self, exec: ExecOptions) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Returns the request with per-request tracing switched on or off.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -218,6 +232,11 @@ pub struct AnswerResponse {
     pub plan_metrics: Option<PlanMetrics>,
     /// Wall-clock time the service spent on this request, in microseconds.
     pub micros: u128,
+    /// The request trace, when [`AnswerRequest::trace`] was set: spans,
+    /// kernel counters, and exclusive per-phase timings covering this
+    /// request's own work (cache hits trace only the lookup). `None`
+    /// when tracing was off.
+    pub trace: Option<rbqa_obs::Trace>,
 }
 
 impl AnswerResponse {

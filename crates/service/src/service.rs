@@ -113,6 +113,7 @@ fn merge_plan_metrics(mut acc: PlanMetrics, other: PlanMetrics) -> PlanMetrics {
     acc.tuples_matched += other.tuples_matched;
     acc.truncated_accesses += other.truncated_accesses;
     acc.latency_micros += other.latency_micros;
+    acc.wall_micros += other.wall_micros;
     acc.output_size += other.output_size;
     acc.within_rate_limit &= other.within_rate_limit;
     acc
@@ -259,6 +260,13 @@ impl QueryService {
         self.metrics.snapshot()
     }
 
+    /// The full latency distribution of one request mode (microseconds).
+    /// The Copy-friendly [`MetricsSnapshot`] carries only the p50/p95/p99
+    /// summaries; this exposes the whole histogram for reports.
+    pub fn latency_histogram(&self, mode: RequestMode) -> rbqa_obs::HistogramSnapshot {
+        self.metrics.latency_histogram(mode)
+    }
+
     /// Number of distinct cached decisions.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
@@ -303,7 +311,28 @@ impl QueryService {
     }
 
     /// Serves one request.
+    ///
+    /// When [`AnswerRequest::trace`] is set, the whole pipeline runs
+    /// under a per-thread [`rbqa_obs::Tracer`] and the harvested
+    /// [`rbqa_obs::Trace`] is attached to the response. The tracer is
+    /// uninstalled on *every* exit path (including mid-pipeline errors
+    /// such as `BudgetExhausted`), so a failing traced request never
+    /// leaks an armed tracer into the next request served by this
+    /// thread.
     pub fn submit(&self, request: &AnswerRequest) -> Result<AnswerResponse, ServiceError> {
+        if !request.trace {
+            return self.submit_inner(request);
+        }
+        rbqa_obs::install(rbqa_obs::Tracer::new());
+        let result = self.submit_inner(request);
+        let trace = rbqa_obs::uninstall();
+        result.map(|mut response| {
+            response.trace = trace;
+            response
+        })
+    }
+
+    fn submit_inner(&self, request: &AnswerRequest) -> Result<AnswerResponse, ServiceError> {
         let start = Instant::now();
         request.validate_shape()?;
         let entry = self.entry(request.catalog)?;
@@ -399,6 +428,7 @@ impl QueryService {
             rows,
             plan_metrics,
             micros,
+            trace: None,
         })
     }
 

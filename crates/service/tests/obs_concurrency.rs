@@ -1,0 +1,218 @@
+//! Observability under concurrency and failure: `ServiceMetrics` and the
+//! latency histograms must snapshot tear-free while scoped worker threads
+//! hammer the service, and traces must stay balanced (every span closed)
+//! when a request errors mid-pipeline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rbqa_access::AccessMethod;
+use rbqa_common::{Instance, Signature, Value, ValueFactory};
+use rbqa_logic::constraints::tgd::inclusion_dependency;
+use rbqa_logic::constraints::ConstraintSet;
+use rbqa_logic::parser::parse_cq;
+use rbqa_service::{
+    AnswerRequest, BackendSpec, ExecOptions, QueryService, RequestMode, ServiceError,
+};
+
+/// The university scenario with a small dataset attached, so `Execute`
+/// requests run real plans (and can fail in controlled ways).
+fn university_service() -> (QueryService, rbqa_service::CatalogId) {
+    let mut sig = Signature::new();
+    let prof = sig.add_relation("Prof", 3).unwrap();
+    let udir = sig.add_relation("Udirectory", 3).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+    let mut schema = rbqa_access::Schema::with_parts(sig.clone(), constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("ud", udir, &[]))
+        .unwrap();
+    let mut values = ValueFactory::new();
+    let mut data = Instance::new(sig);
+    for (i, name) in [("7", "ada"), ("8", "alan"), ("9", "grace")] {
+        let row: Vec<Value> = [i, name, "10000"]
+            .iter()
+            .map(|s| values.constant(s))
+            .collect();
+        data.insert(prof, row).unwrap();
+        let row: Vec<Value> = [i, "mainst", "555"]
+            .iter()
+            .map(|s| values.constant(s))
+            .collect();
+        data.insert(udir, row).unwrap();
+    }
+    let service = QueryService::new();
+    let id = service.register_catalog("uni", schema, values).unwrap();
+    service.attach_dataset(id, data).unwrap();
+    (service, id)
+}
+
+fn request(
+    service: &QueryService,
+    id: rbqa_service::CatalogId,
+    mode: RequestMode,
+) -> AnswerRequest {
+    let mut vf = service.catalog_values(id).unwrap();
+    let mut sig = service.catalog_signature(id).unwrap();
+    let q = parse_cq("Q(n) :- Prof(i, n, '10000')", &mut sig, &mut vf).unwrap();
+    let base = AnswerRequest::decide(id, q, vf);
+    match mode {
+        RequestMode::Decide => base,
+        RequestMode::Synthesize => AnswerRequest {
+            mode: RequestMode::Synthesize,
+            ..base
+        },
+        RequestMode::Execute => AnswerRequest {
+            mode: RequestMode::Execute,
+            ..base
+        },
+    }
+}
+
+#[test]
+fn metric_and_histogram_snapshots_are_tear_free_under_scoped_threads() {
+    let (service, id) = university_service();
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 50;
+    let failures = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let service = &service;
+            let failures = &failures;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let mode = match (t + i) % 3 {
+                        0 => RequestMode::Decide,
+                        1 => RequestMode::Synthesize,
+                        _ => RequestMode::Execute,
+                    };
+                    let mut req = request(service, id, mode);
+                    // Every fourth execute trips the call budget, so the
+                    // error path runs concurrently with the happy path.
+                    if mode == RequestMode::Execute && i % 4 == 0 {
+                        req = req.with_exec(ExecOptions {
+                            call_budget: Some(1),
+                            ..ExecOptions::default()
+                        });
+                        match service.submit(&req) {
+                            Err(ServiceError::BudgetExhausted { .. }) => {}
+                            other => panic!("expected BudgetExhausted, got {other:?}"),
+                        }
+                        failures.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        service.submit(&req).unwrap();
+                    }
+                }
+            });
+        }
+        // Reader thread: snapshots taken mid-flight must be internally
+        // coherent (no torn counter pairs, quantiles within recorded
+        // min/max).
+        let service = &service;
+        scope.spawn(move || {
+            for _ in 0..200 {
+                let s = service.metrics();
+                assert!(
+                    s.decisions_computed <= s.cache_misses,
+                    "decisions {} outran misses {}",
+                    s.decisions_computed,
+                    s.cache_misses
+                );
+                for mode in [
+                    RequestMode::Decide,
+                    RequestMode::Synthesize,
+                    RequestMode::Execute,
+                ] {
+                    let h = service.latency_histogram(mode);
+                    assert_eq!(
+                        h.buckets.iter().sum::<u64>(),
+                        h.count,
+                        "bucket total tore away from count"
+                    );
+                    if h.count > 0 {
+                        let p99 = h.p99();
+                        assert!(h.min <= p99 && p99 <= h.max, "quantile outside min/max");
+                    }
+                }
+                std::hint::spin_loop();
+            }
+        });
+    });
+
+    let total = THREADS * PER_THREAD;
+    let failed = failures.load(Ordering::Relaxed);
+    let s = service.metrics();
+    // Failed executes error out *after* the decision but before
+    // `record_latency`, so mode counts cover exactly the successes.
+    assert_eq!(
+        s.mode_counts.iter().sum::<u64>(),
+        (total - failed) as u64,
+        "every successful request recorded exactly one latency"
+    );
+    for mode in [
+        RequestMode::Decide,
+        RequestMode::Synthesize,
+        RequestMode::Execute,
+    ] {
+        let h = service.latency_histogram(mode);
+        assert!(h.count > 0, "{mode:?} histogram saw requests");
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        assert!(h.p50() <= h.p99());
+        assert!(s.p99_micros(mode) >= s.p50_micros(mode));
+    }
+    // One decision per distinct fingerprint (three modes, two exec
+    // option sets — but Decide/Synthesize share one and executes split
+    // on call budget): the cache coalesced everything else.
+    assert_eq!(s.cache_misses + s.chase_invocations_saved(), total as u64);
+}
+
+/// A trace armed around a request that fails mid-pipeline must come back
+/// balanced: the RAII span guards unwind with `?`, so no span or phase
+/// stays open. Exercises both structured failure codes.
+#[test]
+fn traces_stay_balanced_when_requests_error_mid_pipeline() {
+    let (service, id) = university_service();
+
+    // Budget exhaustion: the executor aborts partway through the plan.
+    let starved = request(&service, id, RequestMode::Execute).with_exec(ExecOptions {
+        call_budget: Some(1),
+        ..ExecOptions::default()
+    });
+    rbqa_obs::install(rbqa_obs::Tracer::new());
+    let err = service.submit(&starved).unwrap_err();
+    let trace = rbqa_obs::uninstall().expect("tracer still armed");
+    assert!(matches!(err, ServiceError::BudgetExhausted { .. }));
+    assert!(trace.balanced, "spans unbalanced after BudgetExhausted");
+    assert!(
+        trace.spans.iter().any(|s| s.name == "decide"),
+        "the decision ran before the execution failed"
+    );
+
+    // Backend unavailability: the access itself fails.
+    let flaky = request(&service, id, RequestMode::Execute).with_exec(ExecOptions {
+        backend: BackendSpec::SimulatedRemote {
+            seed: 7,
+            latency_micros: 0,
+            fault_rate_pct: 100,
+        },
+        ..ExecOptions::default()
+    });
+    rbqa_obs::install(rbqa_obs::Tracer::new());
+    let err = service.submit(&flaky).unwrap_err();
+    let trace = rbqa_obs::uninstall().expect("tracer still armed");
+    assert!(matches!(err, ServiceError::Unavailable { .. }), "{err:?}");
+    assert!(trace.balanced, "spans unbalanced after Unavailable");
+
+    // The built-in trace flag must not leak an armed tracer on error
+    // either: the next (untraced) request starts from a clean thread.
+    let traced = starved.with_trace(true);
+    assert!(service.submit(&traced).is_err());
+    assert!(!rbqa_obs::enabled(), "error path left a tracer armed");
+    let ok = request(&service, id, RequestMode::Execute).with_trace(true);
+    let response = service.submit(&ok).unwrap();
+    let trace = response.trace.expect("traced response carries a trace");
+    assert!(trace.balanced);
+    assert!(trace.spans.iter().any(|s| s.name == "access"));
+}

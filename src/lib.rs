@@ -14,6 +14,7 @@ pub use rbqa_containment as containment;
 pub use rbqa_core as core;
 pub use rbqa_engine as engine;
 pub use rbqa_logic as logic;
+pub use rbqa_obs as obs;
 pub use rbqa_service as service;
 pub use rbqa_workloads as workloads;
 
