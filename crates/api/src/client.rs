@@ -1,0 +1,129 @@
+//! A minimal TCP client for the `rbqa/1` wire protocol.
+//!
+//! The protocol is asymmetric: request verbs (`decide`/`synthesize`/
+//! `execute`/`poll`/`fetch`/`ping`) produce exactly one response line,
+//! but successful directives produce *nothing* — so a client cannot
+//! blindly read after every send. [`WireClient`] packages the two
+//! working patterns:
+//!
+//! * **replay** ([`WireClient::replay`]): write the whole document,
+//!   half-close the write side, read responses until EOF — exactly what
+//!   `rbqa-serve`'s offline mode does, so byte parity can be asserted;
+//! * **interactive**: [`WireClient::request`] for one-line verbs, and
+//!   [`WireClient::sync`] (a `ping` barrier) to flush any pending
+//!   directive *errors* after a block of directives.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking client over one wire-protocol connection.
+#[derive(Debug)]
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl WireClient {
+    /// Connects to a listening `rbqa-serve`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        Ok(WireClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one line (newline appended).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line; `None` on a clean EOF.
+    pub fn read_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Sends a request verb and reads its one response line.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.read_line()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// The `ping` barrier: directives answer nothing on success, so after
+    /// a block of them this flushes the stream and returns any pending
+    /// lines (directive errors) that arrived before the pong.
+    pub fn sync(&mut self) -> io::Result<Vec<String>> {
+        self.send_line("ping")?;
+        let mut pending = Vec::new();
+        loop {
+            let line = self.read_line()?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection before the pong",
+                )
+            })?;
+            if line.contains("\"pong\":true") {
+                return Ok(pending);
+            }
+            pending.push(line);
+        }
+    }
+
+    /// Polls a batch `query_id` until it leaves the pending states and
+    /// returns the final poll line (`done` or `error`).
+    pub fn poll_until_finished(&mut self, query_id: u64, max_wait: Duration) -> io::Result<String> {
+        let started = Instant::now();
+        loop {
+            let line = self.request(&format!("poll {query_id}"))?;
+            let pending =
+                line.contains("\"state\":\"queued\"") || line.contains("\"state\":\"running\"");
+            if !pending {
+                return Ok(line);
+            }
+            if started.elapsed() > max_wait {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("batch query {query_id} still pending after {max_wait:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Streams a whole request document, half-closes the write side, and
+    /// collects every response line until EOF — the replay pattern,
+    /// byte-comparable with offline `WireServer::handle_stream`.
+    ///
+    /// The document is written before any response is read, so this is
+    /// for request files whose total response volume fits the socket
+    /// buffers (fixtures, smokes); interleave [`WireClient::request`]
+    /// calls for anything bigger.
+    pub fn replay(mut self, input: &str) -> io::Result<Vec<String>> {
+        for line in input.lines() {
+            self.send_line(line)?;
+        }
+        self.writer.shutdown(Shutdown::Write)?;
+        let mut responses = Vec::new();
+        while let Some(line) = self.read_line()? {
+            responses.push(line);
+        }
+        Ok(responses)
+    }
+}

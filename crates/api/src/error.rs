@@ -49,6 +49,17 @@ pub enum ApiErrorCode {
     ProtocolError,
     /// The wire stream announced an unsupported protocol version (or none).
     UnsupportedVersion,
+    /// The request ran past the session's `net.timeout` deadline. The
+    /// timeout is cooperative: the work is not interrupted (its result,
+    /// if any, still lands in the decision cache) but the response is
+    /// replaced by this error.
+    RequestTimeout,
+    /// `poll`/`fetch` referenced a `query_id` no batch enqueue on this
+    /// server produced (or one whose result was already evicted).
+    UnknownQueryId,
+    /// The server refused the connection or request under admission
+    /// control (accept queue full).
+    ServerBusy,
     /// Any other invalid request input.
     InvalidRequest,
 }
@@ -73,6 +84,9 @@ impl ApiErrorCode {
             ApiErrorCode::UnknownConstant => "UNKNOWN_CONSTANT",
             ApiErrorCode::ProtocolError => "PROTOCOL_ERROR",
             ApiErrorCode::UnsupportedVersion => "UNSUPPORTED_VERSION",
+            ApiErrorCode::RequestTimeout => "REQUEST_TIMEOUT",
+            ApiErrorCode::UnknownQueryId => "UNKNOWN_QUERY_ID",
+            ApiErrorCode::ServerBusy => "SERVER_BUSY",
             ApiErrorCode::InvalidRequest => "INVALID_REQUEST",
         }
     }

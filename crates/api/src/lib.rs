@@ -15,8 +15,12 @@
 //! * [`json`] — the workspace's hand-rolled JSON writer (promoted from
 //!   `rbqa-bench`; the environment has no serde);
 //! * [`wire`] — the v1 line protocol: DSL requests in, JSON responses
-//!   out, interpreted by [`WireServer`] and replayed end to end by the
-//!   `rbqa-serve` binary.
+//!   out, interpreted by [`WireServer`] sessions (one per connection
+//!   when served over TCP by `rbqa-net`) and replayed end to end by the
+//!   `rbqa-serve` binary;
+//! * [`client`] — [`WireClient`], a minimal blocking TCP client speaking
+//!   the same protocol (replay, request/response, `ping` sync, batch
+//!   polling).
 //!
 //! Requests are **unions of conjunctive queries** throughout (the paper
 //! states its results for UCQs); a plain CQ is the one-disjunct case. The
@@ -25,13 +29,18 @@
 //! cache.
 
 pub mod builder;
+pub mod client;
 pub mod error;
 pub mod json;
 pub mod wire;
 
 pub use builder::{RequestBuilder, ServiceApi, DISJUNCT_SEPARATOR};
+pub use client::WireClient;
 pub use error::{ApiError, ApiErrorCode};
-pub use wire::{error_to_json, response_to_json, WireServer, PROTOCOL_VERSION, VERSION_HEADER};
+pub use wire::{
+    error_to_json, response_to_json, response_to_json_with, RenderOptions, WireServer,
+    PROTOCOL_VERSION, VERSION_HEADER,
+};
 
 // One-stop re-exports of the request vocabulary the builder produces and
 // the service that serves it.

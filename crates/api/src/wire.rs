@@ -45,11 +45,38 @@
 //!   subsequent response. Stream-scoped and **never** part of the
 //!   fingerprint: tracing observes a request without changing its
 //!   answer, so traced and untraced requests share cache entries.
+//! * `option mode interactive|batch` selects how subsequent requests are
+//!   served: `interactive` (the default) answers in-line; `batch`
+//!   enqueues on the server's background materializer and immediately
+//!   returns `{"query_id":N,"state":"queued"}`, to be tracked with the
+//!   `poll N` / `fetch N` verbs (states `queued|running|done|error`).
+//! * `option net.timeout SECS|none` arms a cooperative per-request
+//!   deadline: a request whose service time reaches the limit has its
+//!   response replaced by a `REQUEST_TIMEOUT` error (the work itself is
+//!   not interrupted — its result still populates the decision cache).
+//! * `ping` always answers `{"v":1,"status":"ok","pong":true}` — the
+//!   sync point interactive TCP clients use to flush directive errors,
+//!   since successful directives produce no output.
 //!
 //! Every request line yields exactly one JSON object on its own line —
 //! `{"v":1,"status":"ok",...}` or `{"v":1,"status":"error","code":...}` —
 //! so a stream of N requests produces N lines of output, in order. The
-//! `rbqa-serve` binary replays a request file through this module.
+//! `rbqa-serve` binary replays a request file through this module, and
+//! `rbqa-net` serves it per-connection over TCP (one `WireServer` session
+//! per connection, with a private catalog namespace so independent
+//! clients can replay identical streams against one shared service —
+//! fingerprints are content-based, so their cache entries still
+//! coalesce).
+//!
+//! Sessions configured with inline limits and an
+//! [`rbqa_service::ExportStore`] split large `execute` results out of
+//! band: when a row set exceeds `inline_row_limit`/`inline_byte_limit`
+//! the response carries `row_count`/`output_location`/`output_bytes`
+//! instead of `rows`, and the full row set is persisted at
+//! `output_location`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rbqa_access::{AccessMethod, Schema};
 use rbqa_chase::Budget;
@@ -58,7 +85,10 @@ use rbqa_core::Answerability;
 use rbqa_logic::constraints::ConstraintSet;
 use rbqa_logic::parser::{parse_cq, parse_fd, parse_tgd};
 use rbqa_logic::Term;
-use rbqa_service::{AnswerResponse, BackendSpec, ExecOptions, QueryService, RequestMode};
+use rbqa_service::{
+    AnswerResponse, BackendSpec, BatchRegistry, BatchState, ExecOptions, ExportStore, QueryService,
+    RequestMode,
+};
 
 use crate::builder::ServiceApi;
 use crate::error::{ApiError, ApiErrorCode};
@@ -70,14 +100,50 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// The exact version header expected as the first non-comment line.
 pub const VERSION_HEADER: &str = "rbqa/1";
 
+/// Rendering controls for [`response_to_json_with`]: the inline/export
+/// split plus optional batch identity fields.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RenderOptions<'a> {
+    /// Row sets larger than this are exported instead of inlined.
+    pub inline_row_limit: Option<usize>,
+    /// Rendered row arrays larger than this many bytes are exported.
+    pub inline_byte_limit: Option<usize>,
+    /// Where over-limit results go. With no store configured the limits
+    /// are ignored and everything inlines (replay compatibility).
+    pub exports: Option<&'a ExportStore>,
+    /// Filename tag for exports produced by this response (`res` for
+    /// interactive responses, `qN` for batch fetches).
+    pub export_tag: Option<&'a str>,
+    /// `fetch` responses carry the job's `query_id` and a
+    /// `"state":"done"` marker so clients can correlate them.
+    pub query_id: Option<u64>,
+}
+
 /// Serialises a successful response as one JSON object. `values` is used
-/// to render `Execute` rows (pass the catalog's factory).
+/// to render `Execute` rows (pass the catalog's factory). Inlines
+/// everything — the wire-compatible historical behaviour; see
+/// [`response_to_json_with`] for the inline/export split.
 pub fn response_to_json(
     response: &AnswerResponse,
     mode: RequestMode,
     catalog: &str,
     values: &ValueFactory,
 ) -> String {
+    response_to_json_with(response, mode, catalog, values, &RenderOptions::default())
+        .expect("inline rendering is infallible")
+}
+
+/// Serialises a successful response under [`RenderOptions`]: row sets
+/// over the inline limits are written to the export store and the
+/// response carries `row_count`/`output_location`/`output_bytes` instead
+/// of `rows`. Fails only when an export write fails.
+pub fn response_to_json_with(
+    response: &AnswerResponse,
+    mode: RequestMode,
+    catalog: &str,
+    values: &ValueFactory,
+    opts: &RenderOptions<'_>,
+) -> Result<String, ApiError> {
     let answerable = match response.summary.answerability {
         Answerability::Answerable => "yes",
         Answerability::NotAnswerable => "no",
@@ -87,7 +153,13 @@ pub fn response_to_json(
         .field_u128("v", PROTOCOL_VERSION as u128)
         .field_str("status", "ok")
         .field_str("mode", mode.as_str())
-        .field_str("catalog", catalog)
+        .field_str("catalog", catalog);
+    if let Some(id) = opts.query_id {
+        obj = obj
+            .field_u128("query_id", id as u128)
+            .field_str("state", "done");
+    }
+    let mut obj = obj
         .field_str("fingerprint", &response.fingerprint.to_string())
         .field_bool("cache_hit", response.cache_hit)
         .field_str("answerable", answerable)
@@ -111,7 +183,40 @@ pub fn response_to_json(
                     .collect::<Vec<_>>(),
             )
         });
-        obj = obj.field_raw("rows", &json_array(rendered.collect::<Vec<_>>()));
+        let rendered = json_array(rendered.collect::<Vec<_>>());
+        let over_rows = opts
+            .inline_row_limit
+            .is_some_and(|limit| rows.len() > limit);
+        let over_bytes = opts
+            .inline_byte_limit
+            .is_some_and(|limit| rendered.len() > limit);
+        match opts.exports {
+            Some(store) if over_rows || over_bytes => {
+                // The export document is self-describing: a reader needs
+                // no response context to interpret the file.
+                let doc = JsonObject::new()
+                    .field_u128("v", PROTOCOL_VERSION as u128)
+                    .field_str("kind", "export")
+                    .field_str("catalog", catalog)
+                    .field_str("fingerprint", &response.fingerprint.to_string())
+                    .field_u128("row_count", rows.len() as u128)
+                    .field_raw("rows", &rendered)
+                    .finish();
+                let handle = store
+                    .write_export(opts.export_tag.unwrap_or("res"), &doc, rows.len())
+                    .map_err(|e| {
+                        ApiError::new(
+                            ApiErrorCode::ExecutionFailed,
+                            format!("result export failed: {e}"),
+                        )
+                    })?;
+                obj = obj
+                    .field_u128("row_count", rows.len() as u128)
+                    .field_str("output_location", &handle.location)
+                    .field_u128("output_bytes", handle.bytes as u128);
+            }
+            _ => obj = obj.field_raw("rows", &rendered),
+        }
     }
     if let Some(pm) = &response.plan_metrics {
         // The historical top-level fields stay for compatibility; the
@@ -151,7 +256,7 @@ pub fn response_to_json(
     if let Some(trace) = &response.trace {
         obj = obj.field_raw("trace", &rbqa_obs::export::trace_to_json(trace));
     }
-    obj.field_u128("micros", response.micros).finish()
+    Ok(obj.field_u128("micros", response.micros).finish())
 }
 
 /// Serialises an [`ApiError`] as one JSON object.
@@ -188,17 +293,34 @@ impl PendingCatalog {
     }
 }
 
-/// A stateful v1 protocol interpreter over a [`QueryService`].
+/// A stateful v1 protocol interpreter — one *session* — over a shared
+/// [`QueryService`].
 ///
 /// Feed it lines; directives mutate state and return `None` on success,
 /// request lines (and any failure) return `Some(json)`.
+///
+/// Many sessions may share one service ([`WireServer::with_shared_service`]):
+/// the network server runs one session per connection. A session with a
+/// [namespace](WireServer::with_namespace) registers and resolves its
+/// catalogs under `{namespace}::{name}` internally while echoing the
+/// client's own names on the wire, so independent connections can replay
+/// identical streams without `DUPLICATE_CATALOG` collisions — and because
+/// request fingerprints hash catalog *content*, not names, their decision
+/// cache entries still coalesce.
 pub struct WireServer {
-    service: QueryService,
+    service: Arc<QueryService>,
     pending: Option<PendingCatalog>,
     version_seen: bool,
     budget: Budget,
     exec: ExecOptions,
     trace: bool,
+    namespace: Option<String>,
+    inline_row_limit: Option<usize>,
+    inline_byte_limit: Option<usize>,
+    exports: Option<Arc<ExportStore>>,
+    batch: Option<Arc<BatchRegistry>>,
+    batch_mode: bool,
+    net_timeout: Option<Duration>,
 }
 
 impl Default for WireServer {
@@ -216,6 +338,12 @@ impl WireServer {
     /// A server over an existing service (catalogs registered through code
     /// remain addressable from the wire).
     pub fn with_service(service: QueryService) -> Self {
+        Self::with_shared_service(Arc::new(service))
+    }
+
+    /// A session over a service shared with other sessions (the network
+    /// server's per-connection constructor).
+    pub fn with_shared_service(service: Arc<QueryService>) -> Self {
         WireServer {
             service,
             pending: None,
@@ -223,12 +351,82 @@ impl WireServer {
             budget: Budget::generous(),
             exec: ExecOptions::default(),
             trace: false,
+            namespace: None,
+            inline_row_limit: None,
+            inline_byte_limit: None,
+            exports: None,
+            batch: None,
+            batch_mode: false,
+            net_timeout: None,
         }
+    }
+
+    /// Namespaces this session's catalogs: registered and resolved as
+    /// `{namespace}::{name}` internally, echoed un-prefixed on the wire.
+    pub fn with_namespace(mut self, namespace: impl Into<String>) -> Self {
+        self.namespace = Some(namespace.into());
+        self
+    }
+
+    /// Sets the inline-result limits; results over either limit spill to
+    /// the export store (no-ops without one, see
+    /// [`WireServer::with_exports`]).
+    pub fn with_inline_limits(mut self, rows: Option<usize>, bytes: Option<usize>) -> Self {
+        self.inline_row_limit = rows;
+        self.inline_byte_limit = bytes;
+        self
+    }
+
+    /// Attaches the export store over-limit results are written to.
+    pub fn with_exports(mut self, exports: Arc<ExportStore>) -> Self {
+        self.exports = Some(exports);
+        self
+    }
+
+    /// Attaches a shared batch registry (the network server passes one
+    /// registry to every session so `query_id`s are server-global).
+    /// Sessions without one lazily spawn a private single-worker registry
+    /// on the first batch request, so `option mode batch` also works in
+    /// offline replay.
+    pub fn with_batch(mut self, batch: Arc<BatchRegistry>) -> Self {
+        self.batch = Some(batch);
+        self
     }
 
     /// The underlying service (for inspecting metrics or cache state).
     pub fn service(&self) -> &QueryService {
         &self.service
+    }
+
+    /// A shareable handle to the underlying service.
+    pub fn shared_service(&self) -> Arc<QueryService> {
+        Arc::clone(&self.service)
+    }
+
+    /// This session's internal name for a wire catalog name.
+    fn internal_name(&self, wire_name: &str) -> String {
+        match &self.namespace {
+            Some(ns) => format!("{ns}::{wire_name}"),
+            None => wire_name.to_owned(),
+        }
+    }
+
+    /// Strips this session's namespace prefix out of error details, so
+    /// internal names never leak onto the wire.
+    fn demangle(&self, mut error: ApiError) -> ApiError {
+        if let Some(ns) = &self.namespace {
+            error.detail = error.detail.replace(&format!("{ns}::"), "");
+        }
+        error
+    }
+
+    /// The batch registry, spawning the session-private fallback on first
+    /// use (see [`WireServer::with_batch`]).
+    fn batch_registry(&mut self) -> Arc<BatchRegistry> {
+        if self.batch.is_none() {
+            self.batch = Some(Arc::new(BatchRegistry::new(Arc::clone(&self.service), 1)));
+        }
+        Arc::clone(self.batch.as_ref().expect("just installed"))
     }
 
     /// Processes one line of the wire stream. Returns `None` for blank
@@ -252,7 +450,7 @@ impl WireServer {
         }
         match self.dispatch(line) {
             Ok(output) => output,
-            Err(e) => Some(error_to_json(&e)),
+            Err(e) => Some(error_to_json(&self.demangle(e))),
         }
     }
 
@@ -425,9 +623,36 @@ impl WireServer {
                         };
                         Ok(None)
                     }
+                    ["mode", submit_mode] => {
+                        self.batch_mode = match *submit_mode {
+                            "interactive" => false,
+                            "batch" => true,
+                            other => {
+                                return Err(ApiError::new(
+                                    ApiErrorCode::ProtocolError,
+                                    format!("bad mode `{other}` (usage: option mode interactive|batch)"),
+                                ))
+                            }
+                        };
+                        Ok(None)
+                    }
+                    ["net.timeout", "none"] => {
+                        self.net_timeout = None;
+                        Ok(None)
+                    }
+                    ["net.timeout", secs] => {
+                        let secs: u64 = secs.parse().map_err(|_| {
+                            ApiError::new(
+                                ApiErrorCode::ProtocolError,
+                                format!("bad timeout `{secs}` (usage: option net.timeout SECS|none)"),
+                            )
+                        })?;
+                        self.net_timeout = Some(Duration::from_secs(secs));
+                        Ok(None)
+                    }
                     _ => Err(ApiError::new(
                         ApiErrorCode::ProtocolError,
-                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] | option exec.calls K|none | option obs.trace on|off",
+                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] | option exec.calls K|none | option obs.trace on|off | option mode interactive|batch | option net.timeout SECS|none",
                     )),
                 }
             }
@@ -448,9 +673,10 @@ impl WireServer {
                             format!("usage: {verb} CATALOG QUERY [|| QUERY ...]"),
                         )
                     })?;
+                let internal = self.internal_name(catalog);
                 let builder = self
                     .service
-                    .request_named(catalog)?
+                    .request_named(&internal)?
                     .query_text(query_text.trim())
                     .with_budget(self.budget)
                     .with_exec(self.exec)
@@ -460,15 +686,162 @@ impl WireServer {
                     RequestMode::Synthesize => builder.synthesize(),
                     RequestMode::Execute => builder.execute(),
                 };
-                let response = builder.submit()?;
-                let id = self.service.catalog_by_name(catalog).expect("just served");
+                let request = builder.build()?;
+                if self.batch_mode {
+                    let id = self.batch_registry().enqueue(request, catalog);
+                    return Ok(Some(
+                        JsonObject::new()
+                            .field_u128("v", PROTOCOL_VERSION as u128)
+                            .field_str("status", "ok")
+                            .field_str("mode", mode.as_str())
+                            .field_str("catalog", catalog)
+                            .field_u128("query_id", id as u128)
+                            .field_str("state", "queued")
+                            .finish(),
+                    ));
+                }
+                let started = Instant::now();
+                let outcome = self.service.submit(&request);
+                if let Some(limit) = self.net_timeout {
+                    // Cooperative deadline: whatever the outcome, a
+                    // request that ran past the limit reports the breach.
+                    // The work was not interrupted — a successful result
+                    // has already populated the decision cache.
+                    let elapsed = started.elapsed();
+                    if elapsed >= limit {
+                        return Err(ApiError::new(
+                            ApiErrorCode::RequestTimeout,
+                            format!(
+                                "request exceeded net.timeout ({}s) after {}ms; \
+                                 completed work was cached",
+                                limit.as_secs(),
+                                elapsed.as_millis()
+                            ),
+                        ));
+                    }
+                }
+                let response = outcome.map_err(ApiError::from)?;
+                let id = self
+                    .service
+                    .catalog_by_name(&internal)
+                    .expect("just served");
                 let values = self.service.catalog_values(id)?;
-                Ok(Some(response_to_json(&response, mode, catalog, &values)))
+                let opts = RenderOptions {
+                    inline_row_limit: self.inline_row_limit,
+                    inline_byte_limit: self.inline_byte_limit,
+                    exports: self.exports.as_deref(),
+                    export_tag: None,
+                    query_id: None,
+                };
+                Ok(Some(response_to_json_with(
+                    &response, mode, catalog, &values, &opts,
+                )?))
             }
+            "ping" => Ok(Some(
+                JsonObject::new()
+                    .field_u128("v", PROTOCOL_VERSION as u128)
+                    .field_str("status", "ok")
+                    .field_bool("pong", true)
+                    .finish(),
+            )),
+            "poll" => self.poll_or_fetch(rest, false),
+            "fetch" => self.poll_or_fetch(rest, true),
             other => Err(ApiError::new(
                 ApiErrorCode::ProtocolError,
                 format!("unknown directive `{other}`"),
             )),
+        }
+    }
+
+    /// Serves the `poll`/`fetch` verbs. `poll` reports the job's current
+    /// state (`queued|running|done|error`, with the error code attached
+    /// on `error`); `fetch` additionally renders the full response — or
+    /// the full error object — for a finished job, and behaves exactly
+    /// like `poll` while the job is still pending.
+    fn poll_or_fetch(&mut self, rest: &str, fetch: bool) -> Result<Option<String>, ApiError> {
+        let verb = if fetch { "fetch" } else { "poll" };
+        let id: u64 = rest.trim().parse().map_err(|_| {
+            ApiError::new(
+                ApiErrorCode::ProtocolError,
+                format!("usage: {verb} QUERY_ID"),
+            )
+        })?;
+        let view = self
+            .batch
+            .as_ref()
+            .and_then(|registry| registry.view(id))
+            .ok_or_else(|| {
+                ApiError::new(
+                    ApiErrorCode::UnknownQueryId,
+                    format!("no batch query with id {id} (unknown, or its result was evicted)"),
+                )
+            })?;
+        let status_line = |state: &str| {
+            JsonObject::new()
+                .field_u128("v", PROTOCOL_VERSION as u128)
+                .field_str("status", "ok")
+                .field_u128("query_id", id as u128)
+                .field_str("state", state)
+        };
+        match view.state {
+            BatchState::Queued | BatchState::Running => {
+                Ok(Some(status_line(view.state.name()).finish()))
+            }
+            BatchState::Failed(e) => {
+                if fetch {
+                    let api: ApiError = self.demangle(e.into());
+                    Ok(Some(
+                        JsonObject::new()
+                            .field_u128("v", PROTOCOL_VERSION as u128)
+                            .field_str("status", "error")
+                            .field_str("code", api.code.as_str())
+                            .field_str("detail", &api.detail)
+                            .field_u128("query_id", id as u128)
+                            .field_str("state", "error")
+                            .finish(),
+                    ))
+                } else {
+                    Ok(Some(
+                        status_line("error").field_str("code", e.code()).finish(),
+                    ))
+                }
+            }
+            BatchState::Done(response) => {
+                if !fetch {
+                    return Ok(Some(status_line("done").finish()));
+                }
+                // Render with the display name captured at enqueue time;
+                // resolution happens in *this* session's namespace, so a
+                // fetch must come from the session that enqueued the job
+                // (or one sharing its namespace).
+                let internal = self.internal_name(&view.catalog);
+                let catalog_id = self.service.catalog_by_name(&internal).ok_or_else(|| {
+                    ApiError::new(
+                        ApiErrorCode::UnknownCatalog,
+                        format!(
+                            "batch query {id} was enqueued against catalog `{}` \
+                             from a different session namespace",
+                            view.catalog
+                        ),
+                    )
+                })?;
+                let values = self.service.catalog_values(catalog_id)?;
+                let tag = format!("q{id}");
+                let opts = RenderOptions {
+                    inline_row_limit: self.inline_row_limit,
+                    inline_byte_limit: self.inline_byte_limit,
+                    exports: self.exports.as_deref(),
+                    export_tag: Some(&tag),
+                    query_id: Some(id),
+                };
+                Ok(Some(response_to_json_with(
+                    &response,
+                    view.mode,
+                    &view.catalog,
+                    &values,
+                    &opts,
+                )?))
+            }
         }
     }
 
@@ -493,9 +866,11 @@ impl WireServer {
                 .add_method(method)
                 .map_err(|e| ApiError::new(ApiErrorCode::InvalidRequest, e.to_string()))?;
         }
-        let id = self
-            .service
-            .register_catalog(&pending.name, schema, pending.values)?;
+        let id = self.service.register_catalog(
+            &self.internal_name(&pending.name),
+            schema,
+            pending.values,
+        )?;
         if !pending.facts.is_empty() {
             let mut data = Instance::new(pending.sig);
             for (rel, tuple) in pending.facts {
@@ -929,5 +1304,186 @@ fact Udirectory('8', 'sidest', '556')
         assert!(parse_method("m Nope in=1", &sig).is_err());
         let bounded = parse_method("m R in=1 bound=5", &sig).unwrap();
         assert!(bounded.result_bound().is_some());
+    }
+
+    #[test]
+    fn ping_answers_even_before_any_catalog() {
+        let mut server = WireServer::new();
+        server.handle_line("rbqa/1");
+        let out = server.handle_line("ping").unwrap();
+        assert_eq!(out, "{\"v\":1,\"status\":\"ok\",\"pong\":true}");
+    }
+
+    #[test]
+    fn namespaced_sessions_isolate_names_but_share_the_cache() {
+        let service = std::sync::Arc::new(QueryService::new());
+        let replay = |ns: &str| {
+            let mut session =
+                WireServer::with_shared_service(std::sync::Arc::clone(&service)).with_namespace(ns);
+            let stream = format!("{PREAMBLE}\ndecide uni Q() :- Udirectory(i, a, p)\n");
+            session.handle_stream(&stream)
+        };
+        let first = replay("conn1");
+        let second = replay("conn2");
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 1);
+        // The wire echoes the client's own name, never the internal one.
+        assert!(first[0].contains("\"catalog\":\"uni\""), "{}", first[0]);
+        assert!(!first[0].contains("conn1"), "{}", first[0]);
+        // Same catalog *content* under different internal names: the
+        // second session's decision is a cache hit.
+        assert!(first[0].contains("\"cache_hit\":false"));
+        assert!(second[0].contains("\"cache_hit\":true"), "{}", second[0]);
+        assert_eq!(service.metrics().decisions_computed, 1);
+    }
+
+    #[test]
+    fn namespace_never_leaks_into_error_details() {
+        let service = std::sync::Arc::new(QueryService::new());
+        let mut session = WireServer::with_shared_service(service).with_namespace("conn9");
+        session.handle_line("rbqa/1");
+        let out = session.handle_line("decide uni Q() :- R(x)").unwrap();
+        assert!(out.contains("\"code\":\"UNKNOWN_CATALOG\""), "{out}");
+        assert!(out.contains("`uni`"), "{out}");
+        assert!(!out.contains("conn9"), "{out}");
+    }
+
+    #[test]
+    fn net_timeout_zero_replaces_responses_and_none_disarms() {
+        let mut server = WireServer::new();
+        let stream = format!(
+            "{PREAMBLE}\
+             option net.timeout 0\n\
+             decide uni Q() :- Udirectory(i, a, p)\n\
+             option net.timeout none\n\
+             decide uni Q() :- Udirectory(i, a, p)\n"
+        );
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 2, "{outputs:?}");
+        assert!(
+            outputs[0].contains("\"code\":\"REQUEST_TIMEOUT\""),
+            "{}",
+            outputs[0]
+        );
+        // Cooperative semantics: the timed-out work still populated the
+        // cache, so the re-ask after disarming is a hit.
+        assert!(outputs[1].contains("\"status\":\"ok\""), "{}", outputs[1]);
+        assert!(outputs[1].contains("\"cache_hit\":true"), "{}", outputs[1]);
+    }
+
+    #[test]
+    fn bad_mode_and_timeout_options_are_protocol_errors() {
+        let mut server = WireServer::new();
+        server.handle_line("rbqa/1");
+        for bad in [
+            "option mode turbo",
+            "option net.timeout fast",
+            "option net.timeout",
+        ] {
+            let out = server.handle_line(bad).expect("error output");
+            assert!(out.contains("\"code\":\"PROTOCOL_ERROR\""), "{bad}: {out}");
+        }
+    }
+
+    #[test]
+    fn batch_mode_round_trips_through_poll_and_fetch() {
+        let mut server = WireServer::new();
+        // Interactive reference first.
+        let stream = format!("{EXEC_PREAMBLE}execute uni Q(n) :- Prof(i, n, '10000')\n");
+        let reference = server.handle_stream(&stream).remove(0);
+        let inline_rows = "\"rows\":[[\"ada\"],[\"alan\"]]";
+        assert!(reference.contains(inline_rows), "{reference}");
+        // Same request through batch mode.
+        server.handle_line("option mode batch");
+        let ack = server
+            .handle_line("execute uni Q(n) :- Prof(i, n, '10000')")
+            .unwrap();
+        assert!(ack.contains("\"query_id\":1"), "{ack}");
+        assert!(ack.contains("\"state\":\"queued\""), "{ack}");
+        assert!(ack.contains("\"mode\":\"execute\""), "{ack}");
+        // Poll to completion (the job runs on a background worker).
+        let mut state = String::new();
+        for _ in 0..1000 {
+            state = server.handle_line("poll 1").unwrap();
+            if state.contains("\"state\":\"done\"") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(state.contains("\"state\":\"done\""), "{state}");
+        let fetched = server.handle_line("fetch 1").unwrap();
+        assert!(fetched.contains("\"query_id\":1"), "{fetched}");
+        assert!(fetched.contains("\"state\":\"done\""), "{fetched}");
+        assert!(fetched.contains(inline_rows), "{fetched}");
+        // Fetch is repeatable.
+        assert_eq!(server.handle_line("fetch 1").unwrap(), fetched);
+        // A failing request reaches the error state with its code.
+        server.handle_line("option exec.calls 1");
+        let ack = server
+            .handle_line("execute uni Q(n) :- Prof(i, n, '10000')")
+            .unwrap();
+        assert!(ack.contains("\"query_id\":2"), "{ack}");
+        let mut polled = String::new();
+        for _ in 0..1000 {
+            polled = server.handle_line("poll 2").unwrap();
+            if polled.contains("\"state\":\"error\"") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(polled.contains("\"code\":\"BUDGET_EXHAUSTED\""), "{polled}");
+        let fetched = server.handle_line("fetch 2").unwrap();
+        assert!(fetched.contains("\"status\":\"error\""), "{fetched}");
+        assert!(
+            fetched.contains("\"code\":\"BUDGET_EXHAUSTED\""),
+            "{fetched}"
+        );
+        assert!(fetched.contains("\"query_id\":2"), "{fetched}");
+        // Unknown ids are structured errors; non-numeric ids are protocol
+        // errors.
+        let out = server.handle_line("poll 99").unwrap();
+        assert!(out.contains("\"code\":\"UNKNOWN_QUERY_ID\""), "{out}");
+        let out = server.handle_line("fetch soon").unwrap();
+        assert!(out.contains("\"code\":\"PROTOCOL_ERROR\""), "{out}");
+    }
+
+    #[test]
+    fn over_limit_results_export_with_an_output_location() {
+        let dir =
+            std::env::temp_dir().join(format!("rbqa-wire-export-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exports = std::sync::Arc::new(ExportStore::create(&dir).unwrap());
+        let mut server = WireServer::new()
+            .with_exports(std::sync::Arc::clone(&exports))
+            .with_inline_limits(Some(1), None);
+        let stream = format!(
+            "{EXEC_PREAMBLE}\
+             execute uni Q(n) :- Prof(i, n, '10000')\n\
+             execute uni Q(s) :- Prof('7', n, s)\n"
+        );
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 2, "{outputs:?}");
+        // Two rows > limit 1: exported.
+        let exported = &outputs[0];
+        assert!(!exported.contains("\"rows\":["), "{exported}");
+        assert!(exported.contains("\"row_count\":2"), "{exported}");
+        assert!(exported.contains("\"output_location\":"), "{exported}");
+        // The export file holds the full row set, self-described.
+        let location = exported
+            .split("\"output_location\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap();
+        let body = ExportStore::read_location(location).unwrap();
+        assert!(body.contains("\"kind\":\"export\""), "{body}");
+        assert!(body.contains("\"rows\":[[\"ada\"],[\"alan\"]]"), "{body}");
+        // One row ≤ limit: inlined as always.
+        assert!(
+            outputs[1].contains("\"rows\":[[\"10000\"]]"),
+            "{}",
+            outputs[1]
+        );
+        assert_eq!(exports.exports_written(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

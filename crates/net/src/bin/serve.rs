@@ -1,0 +1,201 @@
+//! `rbqa-serve` — the rbqa/1 protocol server.
+//!
+//! Two modes:
+//!
+//! * **Replay** (default): stream a protocol file (argument) or stdin
+//!   line by line through one in-process [`WireServer`] session and
+//!   print one JSON response per request line. Streaming means a pipe
+//!   can feed requests indefinitely — responses appear as lines arrive,
+//!   nothing is buffered up front.
+//!
+//!   ```sh
+//!   cargo run --release -p rbqa-net --bin rbqa-serve -- fixtures/requests.rbqa
+//!   ```
+//!
+//! * **Listen** (`--listen ADDR`): serve the same protocol over TCP with
+//!   a worker pool; see `rbqa_net::NetServer`. The bound address is
+//!   announced on stderr (`rbqa-serve: listening on ...`) so scripts can
+//!   bind port 0 and discover the port.
+//!
+//!   ```sh
+//!   rbqa-serve --listen 127.0.0.1:0 --export-dir /tmp/rbqa-exports \
+//!              --allow-remote-shutdown
+//!   ```
+//!
+//! Replay exits 1 when any line produced an error response (fixture
+//! replays double as smoke tests) and 2 on I/O failure. Listen mode runs
+//! until a `shutdown` verb arrives (requires `--allow-remote-shutdown`)
+//! or the process is killed.
+
+use std::io::{BufRead, BufReader};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rbqa_api::WireServer;
+use rbqa_net::{NetServer, ServerConfig};
+use rbqa_service::QueryService;
+
+const USAGE: &str = "usage: rbqa-serve [FILE]
+       rbqa-serve --listen ADDR [--workers N] [--accept-queue N]
+                  [--max-line-bytes N] [--idle-timeout SECS]
+                  [--inline-rows N|none] [--inline-bytes N|none]
+                  [--export-dir DIR] [--batch-workers N]
+                  [--allow-remote-shutdown]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    if args.iter().any(|a| a == "--listen") {
+        listen(&args);
+    } else {
+        replay(&args);
+    }
+}
+
+/// Replay mode: one offline session, streaming stdin or a file.
+fn replay(args: &[String]) {
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--")) {
+        eprintln!("rbqa-serve: unknown replay flag `{flag}`\n{USAGE}");
+        std::process::exit(2);
+    }
+    let reader: Box<dyn BufRead> = match args.first() {
+        Some(path) => match std::fs::File::open(path) {
+            Ok(file) => Box::new(BufReader::new(file)),
+            Err(e) => {
+                eprintln!("rbqa-serve: cannot read `{path}`: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+
+    let mut server = WireServer::new();
+    let mut errors = 0usize;
+    let mut responses = 0usize;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("rbqa-serve: read failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        if let Some(output) = server.handle_line(&line) {
+            responses += 1;
+            if output.contains("\"status\":\"error\"") {
+                errors += 1;
+            }
+            println!("{output}");
+        }
+    }
+
+    let metrics = server.service().metrics();
+    eprintln!(
+        "rbqa-serve: {responses} responses ({errors} errors), {} decisions computed, {} served from cache",
+        metrics.decisions_computed,
+        metrics.chase_invocations_saved(),
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Listen mode: the real TCP server.
+fn listen(args: &[String]) {
+    let config = match parse_listen_config(args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("rbqa-serve: {msg}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let server = match NetServer::bind(config, Arc::new(QueryService::new())) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("rbqa-serve: bind failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("rbqa-serve: listening on {}", server.local_addr());
+
+    match server.run() {
+        Ok(stats) => {
+            eprintln!(
+                "rbqa-serve: served {} connections, {} requests ({} errors, {} timeouts), \
+                 p50/p95/p99 latency {}/{}/{} us",
+                stats.connections_total,
+                stats.requests_total,
+                stats.error_responses,
+                stats.request_timeouts,
+                stats.latency_p50_micros,
+                stats.latency_p95_micros,
+                stats.latency_p99_micros,
+            );
+        }
+        Err(e) => {
+            eprintln!("rbqa-serve: server failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_listen_config(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--listen" => config.addr = value("--listen")?,
+            "--workers" => config.workers = parse_count(&value("--workers")?, "--workers")?,
+            "--accept-queue" => {
+                config.accept_queue = parse_count(&value("--accept-queue")?, "--accept-queue")?
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes =
+                    parse_count(&value("--max-line-bytes")?, "--max-line-bytes")?
+            }
+            "--idle-timeout" => {
+                let secs = parse_count(&value("--idle-timeout")?, "--idle-timeout")?;
+                config.idle_timeout = Duration::from_secs(secs as u64);
+            }
+            "--inline-rows" => {
+                config.inline_row_limit = parse_limit(&value("--inline-rows")?, "--inline-rows")?
+            }
+            "--inline-bytes" => {
+                config.inline_byte_limit = parse_limit(&value("--inline-bytes")?, "--inline-bytes")?
+            }
+            "--export-dir" => config.export_dir = Some(value("--export-dir")?.into()),
+            "--batch-workers" => {
+                config.batch_workers = parse_count(&value("--batch-workers")?, "--batch-workers")?
+            }
+            "--allow-remote-shutdown" => config.allow_remote_shutdown = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_count(text: &str, flag: &str) -> Result<usize, String> {
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} expects a positive integer, got `{text}`")),
+    }
+}
+
+/// `none` disables a limit; a number sets it.
+fn parse_limit(text: &str, flag: &str) -> Result<Option<usize>, String> {
+    if text == "none" {
+        return Ok(None);
+    }
+    text.parse::<usize>()
+        .map(Some)
+        .map_err(|_| format!("{flag} expects an integer or `none`, got `{text}`"))
+}

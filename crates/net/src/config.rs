@@ -1,0 +1,68 @@
+//! Server configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Tunables for [`crate::NetServer`].
+///
+/// The defaults are chosen for local use and tests: bind an ephemeral
+/// loopback port, a small worker pool, generous-but-bounded frame and
+/// queue sizes, and no export directory (over-limit results then render
+/// inline, since there is nowhere to spill them).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7878`. Port `0` picks an
+    /// ephemeral port; read the bound address back from
+    /// [`crate::NetServer::local_addr`].
+    pub addr: String,
+    /// Number of worker threads serving connections. Each worker owns at
+    /// most one connection at a time, so this is also the concurrent
+    /// connection limit.
+    pub workers: usize,
+    /// Bound on the accepted-but-unclaimed connection queue. Connections
+    /// arriving beyond this receive a single `SERVER_BUSY` error line and
+    /// are closed (admission control).
+    pub accept_queue: usize,
+    /// Maximum bytes a single request line may occupy. A connection that
+    /// exceeds this mid-line receives a `PROTOCOL_ERROR` and is closed —
+    /// there is no way to resync inside an unbounded frame.
+    pub max_line_bytes: usize,
+    /// Connections with no traffic for this long are reaped.
+    pub idle_timeout: Duration,
+    /// Results with more rows than this are exported instead of inlined
+    /// (when an export store is configured). `None` disables the check.
+    pub inline_row_limit: Option<usize>,
+    /// Results whose rendered row array exceeds this many bytes are
+    /// exported instead of inlined. `None` disables the check.
+    pub inline_byte_limit: Option<usize>,
+    /// Directory for large-result export files. `None` disables exports:
+    /// every result renders inline regardless of the limits above.
+    pub export_dir: Option<PathBuf>,
+    /// Worker threads for the background batch materializer
+    /// (`option mode batch`).
+    pub batch_workers: usize,
+    /// Honor the `shutdown` wire verb. Off by default: a remote peer
+    /// should not be able to stop the server unless explicitly allowed
+    /// (`rbqa-serve --allow-remote-shutdown`).
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(4);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            accept_queue: 64,
+            max_line_bytes: 1 << 20,
+            idle_timeout: Duration::from_secs(300),
+            inline_row_limit: Some(1024),
+            inline_byte_limit: Some(256 * 1024),
+            export_dir: None,
+            batch_workers: 2,
+            allow_remote_shutdown: false,
+        }
+    }
+}

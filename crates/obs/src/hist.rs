@@ -3,7 +3,7 @@
 //! Buckets follow an HdrHistogram-style layout: 4 linear sub-buckets per
 //! power-of-two octave, giving ≤ 25% relative quantile error across the
 //! full `u64` range with a fixed 256-slot table — no allocation on the
-//! record path, and recording is two relaxed atomic adds plus a
+//! record path, and recording is two atomic adds plus a
 //! `fetch_min`/`fetch_max`. Values are unit-agnostic; the service
 //! records microseconds.
 
@@ -43,14 +43,21 @@ fn bucket_bounds(index: usize) -> (u64, u64) {
     (lower, upper)
 }
 
-/// A concurrent log-scale histogram. All operations are relaxed atomics:
-/// the histogram is a monotone accumulator read only through
-/// [`Histogram::snapshot`], so no ordering is required (the same
-/// contract as `ServiceMetrics`).
+/// A concurrent log-scale histogram, read only through
+/// [`Histogram::snapshot`].
+///
+/// Snapshots are **internally coherent** even while writers are mid
+/// `record`: the total count is *derived* from the bucket array (each
+/// observation lands in exactly one bucket, so the sum of a single pass
+/// over the buckets is an exact count of the observations it saw), and
+/// min/max are published before the bucket increment (release) and read
+/// after the bucket scan (acquire), so every observation visible in a
+/// bucket has its min/max visible too — the quantile clamp range is
+/// always valid. `sum` stays relaxed and may run a few observations
+/// ahead of the buckets; the mean is approximate under concurrency.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; N_BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
@@ -61,7 +68,6 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
@@ -70,18 +76,20 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+        // The bucket increment is the commit point: release so a reader
+        // that sees it also sees the min/max updates above.
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Release);
     }
 
     /// A point-in-time copy for quantile estimation.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self.buckets.each_ref().map(|b| b.load(Ordering::Acquire));
         HistogramSnapshot {
-            buckets: self.buckets.each_ref().map(|b| b.load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
+            buckets,
+            count: buckets.iter().sum(),
             sum: self.sum.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
@@ -100,9 +108,11 @@ impl Default for Histogram {
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts (see [`N_BUCKETS`]).
     pub buckets: [u64; N_BUCKETS],
-    /// Total observations.
+    /// Total observations — always exactly the sum of `buckets`.
     pub count: u64,
-    /// Sum of all observed values.
+    /// Sum of all observed values (may momentarily include observations
+    /// not yet visible in `buckets`; the mean is approximate under
+    /// concurrent recording).
     pub sum: u64,
     /// Smallest observed value (`u64::MAX` when empty).
     pub min: u64,

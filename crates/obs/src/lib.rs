@@ -3,8 +3,10 @@
 //! The observability layer of the workspace: per-request **tracing**
 //! (nestable spans over a monotonic clock), **profiling counters** for the
 //! chase and homomorphism kernels, log-scale latency **histograms** with
-//! quantile estimation, and **exporters** (a JSON trace dump and a
-//! Chrome-`trace_event` writer loadable in `about:tracing`/Perfetto).
+//! quantile estimation, **exporters** (a JSON trace dump and a
+//! Chrome-`trace_event` writer loadable in `about:tracing`/Perfetto),
+//! and **server counters** ([`ServerStats`]: connection/queue gauges and
+//! request-latency histograms for the network tier).
 //!
 //! ## The one-branch no-op guarantee
 //!
@@ -41,10 +43,12 @@ pub mod counters;
 pub mod export;
 pub mod hist;
 mod json;
+pub mod server;
 pub mod tracer;
 
 pub use counters::CounterSnapshot;
 pub use hist::{Histogram, HistogramSnapshot};
+pub use server::{Gauge, ServerStats, ServerStatsSnapshot};
 pub use tracer::{
     enabled, install, phase_span, span, uninstall, Phase, SpanGuard, SpanRecord, Trace, Tracer,
     N_PHASES,

@@ -1,0 +1,189 @@
+//! Server-tier counters: connection/queue gauges and request latency.
+//!
+//! `rbqa-obs` sits below every other crate, so the network server's
+//! observability vocabulary lives here: a [`Gauge`] (an up/down counter
+//! for things that are *currently* true — open connections, queued
+//! accepts) and [`ServerStats`], the counter block one listener owns for
+//! its whole lifetime. Everything here is relaxed atomics: monotone
+//! event counts and gauges read through snapshots, no ordering required
+//! ([`crate::Histogram`] handles its own coherence internally).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::Histogram;
+
+/// An up/down counter for instantaneous quantities (open connections,
+/// queue depth). Decrements saturate at zero rather than wrapping, so a
+/// double-decrement bug degrades into a visible stuck-low gauge instead
+/// of a 2^64 lie.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments and returns the new value.
+    pub fn inc(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Decrements (saturating at zero) and returns the new value.
+    pub fn dec(&self) -> u64 {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(1);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return next,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Lifetime counters of one network server (listener + worker pool).
+///
+/// The *request* here is one wire line that produced a response; latency
+/// is measured by the session loop around protocol dispatch, so it
+/// includes decision/execution work but not socket read time.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+    /// Connections currently open (sessions being served).
+    pub connections_open: Gauge,
+    /// Accepted connections currently waiting for a worker.
+    pub accept_queue_depth: Gauge,
+    /// Connections refused by admission control (accept queue full).
+    pub accepts_rejected: AtomicU64,
+    /// Wire lines that produced a response (success or error).
+    pub requests_total: AtomicU64,
+    /// Responses with `"status":"error"`.
+    pub error_responses: AtomicU64,
+    /// Responses replaced by a `REQUEST_TIMEOUT` (deadline breach).
+    pub request_timeouts: AtomicU64,
+    /// Connections closed by the idle reaper.
+    pub idle_reaped: AtomicU64,
+    /// Frames rejected before dispatch (invalid UTF-8, oversized line).
+    pub malformed_frames: AtomicU64,
+    /// Connections that ended mid-stream without a clean EOF (reset,
+    /// write failure, mid-request disconnect).
+    pub aborted_connections: AtomicU64,
+    /// Per-response latency distribution, microseconds.
+    pub request_latency: Histogram,
+}
+
+impl ServerStats {
+    /// A zeroed stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one response: latency plus the error/timeout outcome.
+    pub fn record_response(&self, micros: u64, error: bool, timeout: bool) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.error_responses.fetch_add(1, Ordering::Relaxed);
+        }
+        if timeout {
+            self.request_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.request_latency.record(micros);
+    }
+
+    /// A consistent-enough copy of all counters.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let hist = self.request_latency.snapshot();
+        ServerStatsSnapshot {
+            connections_total: load(&self.connections_total),
+            connections_open: self.connections_open.value(),
+            accept_queue_depth: self.accept_queue_depth.value(),
+            accepts_rejected: load(&self.accepts_rejected),
+            requests_total: load(&self.requests_total),
+            error_responses: load(&self.error_responses),
+            request_timeouts: load(&self.request_timeouts),
+            idle_reaped: load(&self.idle_reaped),
+            malformed_frames: load(&self.malformed_frames),
+            aborted_connections: load(&self.aborted_connections),
+            latency_p50_micros: hist.quantile(0.50),
+            latency_p95_micros: hist.quantile(0.95),
+            latency_p99_micros: hist.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: u64,
+    /// Connections open at snapshot time.
+    pub connections_open: u64,
+    /// Accepted connections waiting for a worker at snapshot time.
+    pub accept_queue_depth: u64,
+    /// Connections refused by admission control.
+    pub accepts_rejected: u64,
+    /// Wire lines that produced a response.
+    pub requests_total: u64,
+    /// Responses with `"status":"error"`.
+    pub error_responses: u64,
+    /// Responses replaced by a `REQUEST_TIMEOUT`.
+    pub request_timeouts: u64,
+    /// Connections closed by the idle reaper.
+    pub idle_reaped: u64,
+    /// Frames rejected before dispatch.
+    pub malformed_frames: u64,
+    /// Connections that ended without a clean EOF.
+    pub aborted_connections: u64,
+    /// Median response latency, microseconds (log-bucket estimate).
+    pub latency_p50_micros: u64,
+    /// 95th-percentile response latency, microseconds.
+    pub latency_p95_micros: u64,
+    /// 99th-percentile response latency, microseconds.
+    pub latency_p99_micros: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_saturate_at_zero() {
+        let g = Gauge::new();
+        assert_eq!(g.inc(), 1);
+        assert_eq!(g.inc(), 2);
+        assert_eq!(g.dec(), 1);
+        assert_eq!(g.dec(), 0);
+        assert_eq!(g.dec(), 0, "saturates instead of wrapping");
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn stats_accumulate_and_snapshot() {
+        let s = ServerStats::new();
+        s.connections_total.fetch_add(2, Ordering::Relaxed);
+        s.connections_open.inc();
+        s.record_response(100, false, false);
+        s.record_response(200, true, false);
+        s.record_response(50_000, true, true);
+        let snap = s.snapshot();
+        assert_eq!(snap.connections_total, 2);
+        assert_eq!(snap.connections_open, 1);
+        assert_eq!(snap.requests_total, 3);
+        assert_eq!(snap.error_responses, 2);
+        assert_eq!(snap.request_timeouts, 1);
+        assert!(snap.latency_p99_micros >= 37_500, "{snap:?}");
+        assert!(snap.latency_p50_micros <= snap.latency_p99_micros);
+    }
+}

@@ -1,0 +1,428 @@
+//! The background materializer behind `option mode batch`.
+//!
+//! A [`BatchRegistry`] owns a bounded team of worker threads over a
+//! shared [`QueryService`]: `enqueue` stamps a monotone `query_id`,
+//! parks the request on a queue, and returns immediately; workers drain
+//! the queue through [`QueryService::submit`] and park the outcome in a
+//! job table the wire layer serves via the `poll`/`fetch` verbs. A job
+//! is always in exactly one of four states — `queued`, `running`,
+//! `done`, `error` — and only moves forward.
+//!
+//! Completed jobs are retained (capped, oldest-finished evicted first)
+//! so a client may fetch a result more than once; results are stored as
+//! `Arc<AnswerResponse>` so repeated fetches share one materialisation.
+//! Shutdown is *draining*: workers finish every queued job before they
+//! exit, which is what lets the network server promise graceful
+//! shutdown without dropping accepted work.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
+use crate::service::QueryService;
+
+/// Completed (done/error) jobs retained for fetching; oldest evicted
+/// beyond this. Queued/running jobs are never evicted.
+const MAX_RETAINED: usize = 1024;
+
+/// Lifecycle state of one batch job.
+#[derive(Debug, Clone)]
+pub enum BatchState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is materialising it.
+    Running,
+    /// Materialised successfully; the response is shared.
+    Done(Arc<AnswerResponse>),
+    /// The service rejected it.
+    Failed(ServiceError),
+}
+
+impl BatchState {
+    /// The wire name of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchState::Queued => "queued",
+            BatchState::Running => "running",
+            BatchState::Done(_) => "done",
+            BatchState::Failed(_) => "error",
+        }
+    }
+
+    fn finished(&self) -> bool {
+        matches!(self, BatchState::Done(_) | BatchState::Failed(_))
+    }
+}
+
+/// What `poll`/`fetch` see about one job: the display catalog name and
+/// mode captured at enqueue time (the wire layer renders responses with
+/// them) plus the current state.
+#[derive(Debug, Clone)]
+pub struct BatchView {
+    /// Catalog name as the enqueuing session spelled it.
+    pub catalog: String,
+    /// The request's mode.
+    pub mode: RequestMode,
+    /// Current lifecycle state.
+    pub state: BatchState,
+}
+
+/// Counters for one registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Jobs accepted over the registry's lifetime.
+    pub enqueued: u64,
+    /// Jobs materialised successfully.
+    pub completed: u64,
+    /// Jobs that ended in a service error.
+    pub failed: u64,
+    /// Jobs currently waiting for a worker.
+    pub queue_depth: u64,
+    /// Jobs currently being materialised.
+    pub running: u64,
+}
+
+struct Job {
+    catalog: String,
+    mode: RequestMode,
+    state: BatchState,
+}
+
+struct Shared {
+    service: Arc<QueryService>,
+    queue: Mutex<VecDeque<(u64, AnswerRequest)>>,
+    ready: Condvar,
+    idle: Condvar,
+    jobs: Mutex<BTreeMap<u64, Job>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    running: AtomicU64,
+    enqueued: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl Shared {
+    fn set_state(&self, id: u64, state: BatchState) {
+        let mut jobs = self.jobs.lock().expect("jobs lock");
+        if let Some(job) = jobs.get_mut(&id) {
+            job.state = state;
+        }
+        // Retention: drop the oldest finished jobs beyond the cap.
+        if jobs.len() > MAX_RETAINED {
+            let victims: Vec<u64> = jobs
+                .iter()
+                .filter(|(_, j)| j.state.finished())
+                .map(|(&id, _)| id)
+                .take(jobs.len() - MAX_RETAINED)
+                .collect();
+            for id in victims {
+                jobs.remove(&id);
+            }
+        }
+    }
+
+    fn worker(&self) {
+        loop {
+            let next = {
+                let mut queue = self.queue.lock().expect("queue lock");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        // Claimed under the queue lock so `drain` never
+                        // observes "queue empty, nothing running" while a
+                        // job is in hand-off.
+                        self.running.fetch_add(1, Ordering::Relaxed);
+                        break Some(job);
+                    }
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        break None;
+                    }
+                    queue = self
+                        .ready
+                        .wait_timeout(queue, Duration::from_millis(100))
+                        .expect("queue lock")
+                        .0;
+                }
+            };
+            let Some((id, request)) = next else { return };
+            self.set_state(id, BatchState::Running);
+            match self.service.submit(&request) {
+                Ok(response) => {
+                    self.completed.fetch_add(1, Ordering::Relaxed);
+                    self.set_state(id, BatchState::Done(Arc::new(response)));
+                }
+                Err(e) => {
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    self.set_state(id, BatchState::Failed(e));
+                }
+            }
+            let _queue = self.queue.lock().expect("queue lock");
+            self.running.fetch_sub(1, Ordering::Relaxed);
+            self.idle.notify_all();
+        }
+    }
+}
+
+/// A queue + worker pool materialising batch requests against a shared
+/// [`QueryService`]. See the module docs for the lifecycle.
+pub struct BatchRegistry {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for BatchRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRegistry")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchRegistry {
+    /// Spawns a registry with `workers` materializer threads (at least
+    /// one) over `service`.
+    pub fn new(service: Arc<QueryService>, workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            service,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            idle: Condvar::new(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            running: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rbqa-batch-{i}"))
+                    .spawn(move || shared.worker())
+                    .expect("spawn batch worker")
+            })
+            .collect();
+        BatchRegistry {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Accepts a request for background materialisation and returns its
+    /// `query_id`. `catalog` is the display name echoed back by
+    /// `poll`/`fetch` (sessions namespace their internal catalog names,
+    /// so the request's own id is not presentable).
+    ///
+    /// After [`BatchRegistry::shutdown`] the job is refused: it is
+    /// recorded immediately in the `error` state so a poll explains what
+    /// happened instead of hanging at `queued` forever.
+    pub fn enqueue(&self, request: AnswerRequest, catalog: &str) -> u64 {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
+        let refused = self.shared.shutdown.load(Ordering::Relaxed);
+        let state = if refused {
+            self.shared.failed.fetch_add(1, Ordering::Relaxed);
+            BatchState::Failed(ServiceError::Unavailable {
+                retryable: false,
+                detail: "batch registry is shut down".into(),
+            })
+        } else {
+            BatchState::Queued
+        };
+        self.shared.jobs.lock().expect("jobs lock").insert(
+            id,
+            Job {
+                catalog: catalog.to_string(),
+                mode: request.mode,
+                state,
+            },
+        );
+        if !refused {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.push_back((id, request));
+            self.shared.ready.notify_one();
+        }
+        id
+    }
+
+    /// The current view of a job, or `None` for an unknown (or evicted)
+    /// `query_id`.
+    pub fn view(&self, id: u64) -> Option<BatchView> {
+        self.shared
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .get(&id)
+            .map(|job| BatchView {
+                catalog: job.catalog.clone(),
+                mode: job.mode,
+                state: job.state.clone(),
+            })
+    }
+
+    /// Jobs waiting for a worker right now.
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queue.lock().expect("queue lock").len() as u64
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            enqueued: self.shared.enqueued.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            running: self.shared.running.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until every accepted job has finished (queue empty and no
+    /// worker mid-job).
+    pub fn drain(&self) {
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        while !queue.is_empty() || self.shared.running.load(Ordering::Relaxed) > 0 {
+            queue = self
+                .shared
+                .idle
+                .wait_timeout(queue, Duration::from_millis(50))
+                .expect("queue lock")
+                .0;
+        }
+    }
+
+    /// Draining shutdown: workers finish every queued job, then exit and
+    /// are joined. Idempotent; jobs enqueued afterwards are refused (see
+    /// [`BatchRegistry::enqueue`]).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.ready.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BatchRegistry {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_access::AccessMethod;
+    use rbqa_common::{Instance, Signature, Value, ValueFactory};
+    use rbqa_logic::constraints::ConstraintSet;
+    use rbqa_logic::parser::parse_cq;
+
+    /// A service with one registered catalog (`Prof(id, name, dept)`,
+    /// unbounded full-scan access, three facts) and a matching execute
+    /// request.
+    fn service_and_request() -> (Arc<QueryService>, AnswerRequest) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let mut schema =
+            rbqa_access::Schema::with_parts(sig.clone(), ConstraintSet::new(), vec![]).unwrap();
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[]))
+            .unwrap();
+        let mut values = ValueFactory::new();
+        let mut data = Instance::new(sig);
+        for (i, name) in [("7", "ada"), ("8", "alan"), ("9", "grace")] {
+            let row: Vec<Value> = [i, name, "cs"].iter().map(|s| values.constant(s)).collect();
+            data.insert(prof, row).unwrap();
+        }
+        let service = Arc::new(QueryService::new());
+        let id = service
+            .register_catalog("cat", schema, values)
+            .expect("register");
+        service.attach_dataset(id, data).expect("dataset");
+        let mut vf = service.catalog_values(id).unwrap();
+        let mut sig = service.catalog_signature(id).unwrap();
+        let q = parse_cq("Q(n) :- Prof(i, n, 'cs')", &mut sig, &mut vf).unwrap();
+        let request = AnswerRequest::execute(id, q, vf);
+        (service, request)
+    }
+
+    fn wait_done(reg: &BatchRegistry, id: u64) -> BatchView {
+        for _ in 0..1000 {
+            let view = reg.view(id).expect("job known");
+            if view.state.finished() {
+                return view;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("job {id} never finished");
+    }
+
+    #[test]
+    fn jobs_materialise_in_the_background() {
+        let (service, request) = service_and_request();
+        let reg = BatchRegistry::new(Arc::clone(&service), 1);
+        let id = reg.enqueue(request.clone(), "cat");
+        assert_eq!(id, 1);
+        let view = wait_done(&reg, id);
+        assert_eq!(view.catalog, "cat");
+        assert_eq!(view.mode, RequestMode::Execute);
+        let BatchState::Done(response) = view.state else {
+            panic!("expected done, got {}", view.state.name());
+        };
+        assert_eq!(response.rows.as_ref().map(Vec::len), Some(3));
+        // Second enqueue of the same request hits the decision cache.
+        let id2 = reg.enqueue(request, "cat");
+        let view2 = wait_done(&reg, id2);
+        let BatchState::Done(r2) = view2.state else {
+            panic!("expected done");
+        };
+        assert!(r2.cache_hit);
+        let stats = reg.stats();
+        assert_eq!(stats.enqueued, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn unknown_ids_are_none_and_errors_are_recorded() {
+        let (service, mut request) = service_and_request();
+        let reg = BatchRegistry::new(service, 1);
+        assert!(reg.view(42).is_none());
+        // Break the request: point at an unregistered catalog id.
+        request.catalog = crate::catalog::CatalogId::from_index(99);
+        let id = reg.enqueue(request, "cat");
+        let view = wait_done(&reg, id);
+        let BatchState::Failed(e) = view.state else {
+            panic!("expected error state");
+        };
+        assert_eq!(e.code(), "UNKNOWN_CATALOG");
+        assert_eq!(reg.stats().failed, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_then_refuses() {
+        let (service, request) = service_and_request();
+        let reg = BatchRegistry::new(Arc::clone(&service), 2);
+        let ids: Vec<u64> = (0..8)
+            .map(|_| reg.enqueue(request.clone(), "cat"))
+            .collect();
+        reg.drain();
+        reg.shutdown();
+        for id in ids {
+            let view = reg.view(id).expect("retained");
+            assert!(
+                matches!(view.state, BatchState::Done(_)),
+                "job {id} not done after draining shutdown"
+            );
+        }
+        let refused = reg.enqueue(request, "cat");
+        let view = reg.view(refused).expect("refused job recorded");
+        assert!(matches!(view.state, BatchState::Failed(_)));
+        assert_eq!(view.state.name(), "error");
+    }
+}

@@ -1,0 +1,165 @@
+//! File-backed result exports (the "object store" of the Query Service
+//! contract).
+//!
+//! Interactive responses inline small row sets; anything over the
+//! session's `inline_row_limit`/`inline_byte_limit` is written to an
+//! [`ExportStore`] directory instead and the wire response carries an
+//! `output_location` handle. The store is deliberately dumb: a
+//! directory, a monotone sequence number, and atomic single-file writes
+//! (temp file + rename), so a reader never observes a half-written
+//! export. Garbage collection is the operator's business — exports are
+//! the *large* results, and when to delete them is a retention policy,
+//! not a protocol concern.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A directory of exported result files plus the counters the server
+/// reports about it.
+#[derive(Debug)]
+pub struct ExportStore {
+    dir: PathBuf,
+    seq: AtomicU64,
+    exports_written: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+/// Receipt for one export: where it went and how big it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportHandle {
+    /// Absolute path of the export file — the wire `output_location`.
+    pub location: String,
+    /// Number of result rows in the file.
+    pub rows: usize,
+    /// Size of the file in bytes.
+    pub bytes: usize,
+}
+
+impl ExportStore {
+    /// Opens (creating if needed) an export store rooted at `dir`.
+    pub fn create(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ExportStore {
+            dir,
+            seq: AtomicU64::new(0),
+            exports_written: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes one exported result document and returns its handle.
+    ///
+    /// `tag` distinguishes the producer (e.g. `res` for interactive
+    /// overflows, `q17` for batch query 17) and may only contain
+    /// `[A-Za-z0-9_-]`; `body` is the complete file content (the wire
+    /// layer renders the export document, the store only persists it).
+    /// The write is atomic: content goes to a `.tmp` sibling first and is
+    /// renamed into place.
+    pub fn write_export(&self, tag: &str, body: &str, rows: usize) -> io::Result<ExportHandle> {
+        if tag.is_empty()
+            || !tag
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid export tag `{tag}`"),
+            ));
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let name = format!("{tag}-{seq:06}.json");
+        let path = self.dir.join(&name);
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.exports_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
+        Ok(ExportHandle {
+            location: path.to_string_lossy().into_owned(),
+            rows,
+            bytes: body.len(),
+        })
+    }
+
+    /// Reads back the content of an export by its `output_location`.
+    /// A convenience for clients and tests; any file reader works — the
+    /// location is a plain path.
+    pub fn read_location(location: &str) -> io::Result<String> {
+        fs::read_to_string(location)
+    }
+
+    /// Exports written over the store's lifetime.
+    pub fn exports_written(&self) -> u64 {
+        self.exports_written.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written over the store's lifetime.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(label: &str) -> ExportStore {
+        let dir =
+            std::env::temp_dir().join(format!("rbqa-export-test-{}-{label}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ExportStore::create(&dir).expect("create store")
+    }
+
+    #[test]
+    fn exports_are_sequenced_and_readable() {
+        let store = temp_store("seq");
+        let a = store.write_export("res", "{\"rows\":[[1]]}", 1).unwrap();
+        let b = store.write_export("q7", "{\"rows\":[[2],[3]]}", 2).unwrap();
+        assert!(a.location.ends_with("res-000000.json"), "{}", a.location);
+        assert!(b.location.ends_with("q7-000001.json"), "{}", b.location);
+        assert_eq!(
+            ExportStore::read_location(&a.location).unwrap(),
+            "{\"rows\":[[1]]}"
+        );
+        assert_eq!(b.rows, 2);
+        assert_eq!(b.bytes, "{\"rows\":[[2],[3]]}".len());
+        assert_eq!(store.exports_written(), 2);
+        assert_eq!(store.bytes_written(), (a.bytes + b.bytes) as u64);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_write() {
+        let store = temp_store("tmp");
+        store.write_export("res", "{}", 0).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(store.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let store = temp_store("tag");
+        assert!(store.write_export("", "{}", 0).is_err());
+        assert!(store.write_export("../evil", "{}", 0).is_err());
+        assert!(store.write_export("a/b", "{}", 0).is_err());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -24,7 +24,12 @@
 //!   ordering;
 //! * [`metrics`] — **service metrics** (cache hits/misses, chase
 //!   invocations saved, per-mode latencies) complementing the
-//!   per-execution [`rbqa_engine::PlanMetrics`].
+//!   per-execution [`rbqa_engine::PlanMetrics`];
+//! * [`batch`] / [`export`] — the **deferred-result machinery** behind
+//!   the network tier: [`BatchRegistry`] materialises `mode batch`
+//!   requests on background workers behind poll-able query ids, and
+//!   [`ExportStore`] persists large result sets to a file-backed object
+//!   store referenced by `output_location` handles.
 //!
 //! The cacheability argument: an answerability verdict (and its
 //! synthesised plan) is a pure function of the schema, the constraints,
@@ -34,15 +39,19 @@
 //! spirit of the runtime/static split of Benedikt–Gottlob–Senellart's
 //! "Determining Relevance of Accesses at Runtime".
 
+pub mod batch;
 pub mod cache;
 pub mod catalog;
+pub mod export;
 pub mod fingerprint;
 pub mod metrics;
 pub mod request;
 pub mod service;
 
+pub use batch::{BatchRegistry, BatchState, BatchStats, BatchView};
 pub use cache::{CacheOutcome, ShardedCache};
 pub use catalog::{CatalogEntry, CatalogId, CatalogRegistry};
+pub use export::{ExportHandle, ExportStore};
 pub use fingerprint::{request_fingerprint, schema_fingerprint, Fingerprint};
 // Execution options are part of the request vocabulary; re-export them so
 // API layers need not depend on `rbqa-engine` directly.

@@ -14,6 +14,7 @@ pub use rbqa_containment as containment;
 pub use rbqa_core as core;
 pub use rbqa_engine as engine;
 pub use rbqa_logic as logic;
+pub use rbqa_net as net;
 pub use rbqa_obs as obs;
 pub use rbqa_service as service;
 pub use rbqa_workloads as workloads;
@@ -31,6 +32,7 @@ pub mod prelude {
     pub use rbqa_core::{Answerability, AnswerabilityOptions};
     pub use rbqa_logic::parser::{parse_cq, parse_fd, parse_tgd};
     pub use rbqa_logic::{ConjunctiveQuery, CqBuilder, UnionOfConjunctiveQueries};
+    pub use rbqa_net::{NetServer, ServerConfig, ServerHandle};
     pub use rbqa_service::{
         AnswerRequest, AnswerResponse, BackendSpec, CatalogId, ExecOptions, QueryService,
         RequestMode, ServiceError,
