@@ -54,9 +54,18 @@
 //!   deadline: a request whose service time reaches the limit has its
 //!   response replaced by a `REQUEST_TIMEOUT` error (the work itself is
 //!   not interrupted — its result still populates the decision cache).
+//! * `option cache.bytes BYTES|none` re-points the decision cache's byte
+//!   budget. **Service-global**, not per-session: every connection shares
+//!   the one cache, so the budget disciplines them all; shrinking evicts
+//!   LRU-first immediately.
 //! * `ping` always answers `{"v":1,"status":"ok","pong":true}` — the
 //!   sync point interactive TCP clients use to flush directive errors,
 //!   since successful directives produce no output.
+//! * `stats` answers the service-wide counters as one JSON object:
+//!   lookups/hits/misses/coalesced/warm_hits, the hit ratio, decisions
+//!   computed, chase rounds saved, executions, and a `cache` block
+//!   (budget, occupancy, entries, evictions, bytes evicted, uncacheable)
+//!   — the load harness's window into cache discipline.
 //!
 //! Every request line yields exactly one JSON object on its own line —
 //! `{"v":1,"status":"ok",...}` or `{"v":1,"status":"error","code":...}` —
@@ -636,6 +645,23 @@ impl WireServer {
                         };
                         Ok(None)
                     }
+                    ["cache.bytes", "none"] => {
+                        // Service-global, not per-session: the budget
+                        // disciplines the one decision cache every
+                        // connection shares.
+                        self.service.set_cache_budget(None);
+                        Ok(None)
+                    }
+                    ["cache.bytes", bytes] => {
+                        let bytes: u64 = bytes.parse().map_err(|_| {
+                            ApiError::new(
+                                ApiErrorCode::ProtocolError,
+                                format!("bad cache budget `{bytes}` (usage: option cache.bytes BYTES|none)"),
+                            )
+                        })?;
+                        self.service.set_cache_budget(Some(bytes));
+                        Ok(None)
+                    }
                     ["net.timeout", "none"] => {
                         self.net_timeout = None;
                         Ok(None)
@@ -652,7 +678,7 @@ impl WireServer {
                     }
                     _ => Err(ApiError::new(
                         ApiErrorCode::ProtocolError,
-                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] | option exec.calls K|none | option obs.trace on|off | option mode interactive|batch | option net.timeout SECS|none",
+                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] | option exec.calls K|none | option obs.trace on|off | option mode interactive|batch | option cache.bytes BYTES|none | option net.timeout SECS|none",
                     )),
                 }
             }
@@ -744,6 +770,46 @@ impl WireServer {
                     .field_bool("pong", true)
                     .finish(),
             )),
+            "stats" => {
+                if !rest.is_empty() {
+                    return Err(ApiError::new(ApiErrorCode::ProtocolError, "usage: stats"));
+                }
+                // Service-wide counters (shared across every session of
+                // this service), so a load harness can read cache
+                // effectiveness and budget discipline over the wire.
+                let m = self.service.metrics();
+                let cache = JsonObject::new()
+                    .field_raw(
+                        "budget_bytes",
+                        &m.cache_budget_bytes
+                            .map_or_else(|| "null".to_owned(), |b| b.to_string()),
+                    )
+                    .field_u128("occupancy_bytes", m.cache_occupancy_bytes as u128)
+                    .field_u128("entries", m.cache_entries as u128)
+                    .field_u128("evictions", m.cache_evictions as u128)
+                    .field_u128("bytes_evicted", m.cache_bytes_evicted as u128)
+                    .field_u128("uncacheable", m.cache_uncacheable as u128)
+                    .finish();
+                let stats = JsonObject::new()
+                    .field_u128("lookups", m.cache_lookups() as u128)
+                    .field_u128("hits", m.cache_hits as u128)
+                    .field_u128("misses", m.cache_misses as u128)
+                    .field_u128("coalesced", m.cache_coalesced as u128)
+                    .field_u128("warm_hits", m.cache_warm_hits as u128)
+                    .field_raw("hit_ratio", &format!("{:.4}", m.cache_hit_ratio()))
+                    .field_u128("decisions_computed", m.decisions_computed as u128)
+                    .field_u128("chase_rounds_saved", m.chase_rounds_saved as u128)
+                    .field_u128("executions", m.executions as u128)
+                    .field_raw("cache", &cache)
+                    .finish();
+                Ok(Some(
+                    JsonObject::new()
+                        .field_u128("v", PROTOCOL_VERSION as u128)
+                        .field_str("status", "ok")
+                        .field_raw("stats", &stats)
+                        .finish(),
+                ))
+            }
             "poll" => self.poll_or_fetch(rest, false),
             "fetch" => self.poll_or_fetch(rest, true),
             other => Err(ApiError::new(
@@ -1312,6 +1378,57 @@ fact Udirectory('8', 'sidest', '556')
         server.handle_line("rbqa/1");
         let out = server.handle_line("ping").unwrap();
         assert_eq!(out, "{\"v\":1,\"status\":\"ok\",\"pong\":true}");
+    }
+
+    #[test]
+    fn stats_verb_reports_cache_block() {
+        let mut server = WireServer::new();
+        let cold = server.handle_stream("rbqa/1\nstats\n").pop().unwrap();
+        assert!(cold.contains("\"lookups\":0"), "{cold}");
+        assert!(cold.contains("\"budget_bytes\":null"), "{cold}");
+        let stream = format!(
+            "{PREAMBLE}\ndecide uni Q() :- Udirectory(i, a, p)\n\
+             decide uni Q() :- Udirectory(i, a, p)\n"
+        );
+        let mut server = WireServer::new();
+        server.handle_stream(&stream);
+        let out = server.handle_line("stats").unwrap();
+        assert!(out.contains("\"status\":\"ok\""), "{out}");
+        assert!(out.contains("\"lookups\":2"), "{out}");
+        assert!(out.contains("\"hits\":1"), "{out}");
+        assert!(out.contains("\"misses\":1"), "{out}");
+        assert!(out.contains("\"warm_hits\":0"), "{out}");
+        assert!(out.contains("\"hit_ratio\":0.5000"), "{out}");
+        assert!(out.contains("\"decisions_computed\":1"), "{out}");
+        assert!(out.contains("\"cache\":{"), "{out}");
+        assert!(out.contains("\"entries\":1"), "{out}");
+        assert!(out.contains("\"evictions\":0"), "{out}");
+        let err = server.handle_line("stats now").unwrap();
+        assert!(err.contains("PROTOCOL_ERROR"), "{err}");
+    }
+
+    #[test]
+    fn cache_bytes_option_repoints_the_shared_budget() {
+        let mut server = WireServer::new();
+        server.handle_stream(PREAMBLE);
+        assert!(server.handle_line("option cache.bytes 4096").is_none());
+        assert_eq!(server.service().cache_budget(), Some(4096));
+        let out = server.handle_line("stats").unwrap();
+        assert!(out.contains("\"budget_bytes\":4096"), "{out}");
+        assert!(server.handle_line("option cache.bytes none").is_none());
+        assert_eq!(server.service().cache_budget(), None);
+        let err = server.handle_line("option cache.bytes lots").unwrap();
+        assert!(err.contains("PROTOCOL_ERROR"), "{err}");
+        // A budget of zero still serves requests (pass-through cache).
+        assert!(server.handle_line("option cache.bytes 0").is_none());
+        let out = server
+            .handle_line("decide uni Q() :- Udirectory(i, a, p)")
+            .unwrap();
+        assert!(out.contains("\"status\":\"ok\""), "{out}");
+        assert!(out.contains("\"cache_hit\":false"), "{out}");
+        let stats = server.handle_line("stats").unwrap();
+        assert!(stats.contains("\"occupancy_bytes\":0"), "{stats}");
+        assert!(stats.contains("\"uncacheable\":1"), "{stats}");
     }
 
     #[test]

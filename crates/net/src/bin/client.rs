@@ -115,7 +115,7 @@ fn shutdown(args: &[String]) -> Result<i32, String> {
 fn is_request_line(line: &str) -> bool {
     matches!(
         line.split_whitespace().next(),
-        Some("decide" | "synthesize" | "execute" | "poll" | "fetch" | "ping")
+        Some("decide" | "synthesize" | "execute" | "poll" | "fetch" | "ping" | "stats")
     )
 }
 

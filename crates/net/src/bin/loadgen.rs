@@ -1,0 +1,703 @@
+//! `rbqa-loadgen` — a self-contained load harness for cache discipline.
+//!
+//! Spawns in-process [`rbqa_net::NetServer`]s on ephemeral loopback
+//! ports and drives them with Zipf-skewed query popularity over many
+//! generated catalogs, mixing `decide`, `execute` and batch traffic
+//! across `--connections` parallel client connections. Four phases
+//! measure the cache-discipline story end to end:
+//!
+//! 1. **cold** — a fresh, unbounded cache with a snapshot path: every
+//!    popular key misses exactly once, then hits. The post-phase `stats`
+//!    snapshot is the *unbounded baseline* (hit ratio + occupancy).
+//! 2. **steady** — the same server, same traffic: everything is cached,
+//!    giving the steady-state `decide` latency distribution.
+//!    Shutting this server down writes the cache snapshot.
+//! 3. **warm** — a brand-new server restarted from the snapshot replays
+//!    identical traffic. `decisions_computed` must stay **zero** (every
+//!    decision decodes from the snapshot instead of re-chasing) and the
+//!    warm `decide` p50 must land within 2x of the steady-state p50.
+//! 4. **bounded** — a fresh cold server whose byte budget is a quarter
+//!    of the unbounded occupancy replays the cold traffic while a
+//!    monitor connection polls `stats`. Occupancy must never exceed the
+//!    budget, and the Zipf skew must keep the hit ratio at >= 80 % of
+//!    the unbounded baseline.
+//!
+//! The traffic generator is fully deterministic (`--seed`): the warm
+//! phase replays byte-identical request sequences, which is what makes
+//! the `decisions_computed == 0` assertion meaningful.
+//!
+//! ```sh
+//! cargo run --release -p rbqa-net --bin rbqa-loadgen -- --out BENCH_load.json
+//! rbqa-loadgen --quick --out /tmp/load.json   # CI smoke preset
+//! ```
+//!
+//! Exits 0 when every acceptance criterion holds, 1 otherwise, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rbqa_api::json::JsonObject;
+use rbqa_api::WireClient;
+use rbqa_net::{NetServer, ServerConfig};
+use rbqa_service::QueryService;
+
+const USAGE: &str = "usage: rbqa-loadgen [--quick] [--out PATH]
+                    [--connections K] [--requests N] [--catalogs C]
+                    [--queries Q] [--zipf S] [--seed N]
+                    [--open-rate R] [--snapshot PATH]";
+
+// --- deterministic RNG + Zipf sampler -----------------------------------
+
+/// xorshift64* — tiny, seedable, good enough for load skew.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point.
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15 | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(s) over `0..n`: key `i` has probability proportional to
+/// `1 / (i + 1)^s`. Sampled by inverse CDF over a precomputed table.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for p in cdf.iter_mut() {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+// --- workload generation -------------------------------------------------
+
+/// One cacheable unit of work: a query against a generated catalog, with
+/// a distinct fingerprint (the selecting constant differs per key).
+struct Key {
+    decide: String,
+    execute: String,
+}
+
+struct Workload {
+    /// Catalog/relation/method/fact directives, replayed per connection.
+    setup: Vec<String>,
+    keys: Vec<Key>,
+}
+
+/// `catalogs` catalogs in the shape of the paper's university example
+/// (an id-producing enumerator feeding an id-keyed lookup), each with
+/// `queries` distinct selecting constants => `catalogs * queries` keys.
+fn generate_workload(catalogs: usize, queries: usize) -> Workload {
+    let mut setup = Vec::new();
+    let mut keys = Vec::new();
+    for g in 0..catalogs {
+        setup.push(format!("catalog load{g}"));
+        setup.push(format!("relation R{g}/3"));
+        setup.push(format!("relation S{g}/3"));
+        setup.push(format!("constraint R{g}(i, n, s) -> S{g}(i, a, p)"));
+        setup.push(format!("method mr{g} R{g} in=1"));
+        setup.push(format!("method ms{g} S{g} in="));
+        // A little data so `execute` has rows to chase through.
+        for row in 0..3 {
+            setup.push(format!("fact R{g}('{row}', 'name{g}_{row}', 'c0')"));
+            setup.push(format!("fact S{g}('{row}', 'addr{g}_{row}', 'p{row}')"));
+        }
+        for j in 0..queries {
+            let body = format!("Q(n) :- R{g}(i, n, 'c{j}')");
+            keys.push(Key {
+                decide: format!("decide load{g} {body}"),
+                execute: format!("execute load{g} {body}"),
+            });
+        }
+    }
+    Workload { setup, keys }
+}
+
+// --- load phases ---------------------------------------------------------
+
+#[derive(Default)]
+struct PassResult {
+    /// Round-trip latencies of `decide` requests, microseconds.
+    decide_micros: Vec<u64>,
+    /// Round-trip latencies of every request, microseconds.
+    all_micros: Vec<u64>,
+    requests: usize,
+    errors: usize,
+    /// Wall time of the slowest connection, microseconds.
+    elapsed_micros: u64,
+}
+
+struct PassParams<'a> {
+    addr: String,
+    workload: &'a Workload,
+    connections: usize,
+    requests_per_conn: usize,
+    zipf_s: f64,
+    seed: u64,
+    /// Target per-connection request rate; `0.0` means closed loop.
+    open_rate: f64,
+}
+
+/// Runs one traffic pass: `connections` threads, each replaying the
+/// setup then issuing `requests_per_conn` Zipf-sampled requests. The
+/// verb mix is deterministic in the RNG: ~70 % decide, ~24 % execute,
+/// ~6 % batch decide (submit, flip back to interactive, poll to done).
+fn run_pass(params: &PassParams) -> Result<PassResult, String> {
+    let zipf = Arc::new(Zipf::new(params.workload.keys.len(), params.zipf_s));
+    let result = thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for conn_idx in 0..params.connections {
+            let zipf = Arc::clone(&zipf);
+            workers.push(scope.spawn(move || -> Result<PassResult, String> {
+                let mut client = WireClient::connect(params.addr.as_str())
+                    .map_err(|e| format!("cannot connect to {}: {e}", params.addr))?;
+                client
+                    .send_line("rbqa/1")
+                    .map_err(|e| format!("version header: {e}"))?;
+                for line in &params.workload.setup {
+                    client
+                        .send_line(line)
+                        .map_err(|e| format!("setup write failed: {e}"))?;
+                }
+                let pending = client.sync().map_err(|e| format!("setup sync: {e}"))?;
+                if let Some(err) = pending.iter().find(|l| l.contains("\"status\":\"error\"")) {
+                    return Err(format!("setup directive failed: {err}"));
+                }
+
+                // Distinct stream per connection, identical across passes
+                // with the same seed (what warm replay relies on).
+                let mut rng = Rng::new(params.seed.wrapping_add(conn_idx as u64 * 0x1000));
+                let mut out = PassResult::default();
+                let interval = if params.open_rate > 0.0 {
+                    Some(Duration::from_secs_f64(1.0 / params.open_rate))
+                } else {
+                    None
+                };
+                let started = Instant::now();
+                let mut next_at = started;
+                for _ in 0..params.requests_per_conn {
+                    if let Some(interval) = interval {
+                        // Open loop: dispatch on a fixed schedule so
+                        // latency includes queueing delay.
+                        let now = Instant::now();
+                        if next_at > now {
+                            thread::sleep(next_at - now);
+                        }
+                        next_at += interval;
+                    }
+                    let key = &params.workload.keys[zipf.sample(&mut rng)];
+                    let verb = rng.next_u64() % 100;
+                    let sent = Instant::now();
+                    let (response, is_decide) = if verb < 70 {
+                        (
+                            client
+                                .request(&key.decide)
+                                .map_err(|e| format!("decide failed: {e}"))?,
+                            true,
+                        )
+                    } else if verb < 94 {
+                        (
+                            client
+                                .request(&key.execute)
+                                .map_err(|e| format!("execute failed: {e}"))?,
+                            false,
+                        )
+                    } else {
+                        (
+                            run_batch_request(&mut client, &key.decide)
+                                .map_err(|e| format!("batch failed: {e}"))?,
+                            false,
+                        )
+                    };
+                    let micros = sent.elapsed().as_micros() as u64;
+                    out.requests += 1;
+                    out.all_micros.push(micros);
+                    if is_decide {
+                        out.decide_micros.push(micros);
+                    }
+                    if response.contains("\"status\":\"error\"") {
+                        out.errors += 1;
+                    }
+                }
+                out.elapsed_micros = started.elapsed().as_micros() as u64;
+                Ok(out)
+            }));
+        }
+        let mut merged = PassResult::default();
+        for worker in workers {
+            let part = worker
+                .join()
+                .map_err(|_| "load connection thread panicked".to_string())??;
+            merged.decide_micros.extend(part.decide_micros);
+            merged.all_micros.extend(part.all_micros);
+            merged.requests += part.requests;
+            merged.errors += part.errors;
+            merged.elapsed_micros = merged.elapsed_micros.max(part.elapsed_micros);
+        }
+        Ok::<PassResult, String>(merged)
+    })?;
+    Ok(result)
+}
+
+/// One batch round trip: submit in batch mode, restore interactive mode,
+/// poll the returned `query_id` to completion.
+fn run_batch_request(client: &mut WireClient, line: &str) -> std::io::Result<String> {
+    client.send_line("option mode batch")?;
+    let queued = client.request(line)?;
+    client.send_line("option mode interactive")?;
+    let Some(id) = json_u64(&queued, "query_id") else {
+        // Submission itself failed; surface that response.
+        return Ok(queued);
+    };
+    client.poll_until_finished(id, Duration::from_secs(10))
+}
+
+// --- stats-over-the-wire helpers -----------------------------------------
+
+/// Extracts `"key":<digits>` from a JSON response line. Good enough for
+/// the flat numeric fields the harness reads back.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    let number: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    number.parse().ok()
+}
+
+/// Service-wide counters read over the wire (`stats` verb).
+#[derive(Debug, Default, Clone, Copy)]
+struct WireStats {
+    lookups: u64,
+    hit_ratio: f64,
+    decisions_computed: u64,
+    warm_hits: u64,
+    occupancy_bytes: u64,
+    entries: u64,
+    evictions: u64,
+}
+
+fn fetch_stats(addr: &str) -> Result<WireStats, String> {
+    let mut client = WireClient::connect(addr).map_err(|e| format!("stats connect failed: {e}"))?;
+    client
+        .send_line("rbqa/1")
+        .map_err(|e| format!("stats header: {e}"))?;
+    let line = client
+        .request("stats")
+        .map_err(|e| format!("stats request failed: {e}"))?;
+    parse_stats(&line).ok_or_else(|| format!("malformed stats response: {line}"))
+}
+
+fn parse_stats(line: &str) -> Option<WireStats> {
+    Some(WireStats {
+        lookups: json_u64(line, "lookups")?,
+        hit_ratio: json_f64(line, "hit_ratio")?,
+        decisions_computed: json_u64(line, "decisions_computed")?,
+        warm_hits: json_u64(line, "warm_hits")?,
+        occupancy_bytes: json_u64(line, "occupancy_bytes")?,
+        entries: json_u64(line, "entries")?,
+        evictions: json_u64(line, "evictions")?,
+    })
+}
+
+/// Polls `stats` until `stop` flips, recording the highest occupancy the
+/// server ever reports — the over-the-wire check that the budget holds
+/// *during* the run, not just at the end.
+fn monitor_occupancy(addr: String, stop: Arc<AtomicBool>, peak: Arc<AtomicU64>) {
+    let Ok(mut client) = WireClient::connect(addr.as_str()) else {
+        return;
+    };
+    if client.send_line("rbqa/1").is_err() {
+        return;
+    }
+    while !stop.load(Ordering::Relaxed) {
+        let Ok(line) = client.request("stats") else {
+            return;
+        };
+        if let Some(occupancy) = json_u64(&line, "occupancy_bytes") {
+            peak.fetch_max(occupancy, Ordering::Relaxed);
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+// --- latency summaries ---------------------------------------------------
+
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_json(micros: &mut [u64]) -> String {
+    micros.sort_unstable();
+    let mean = if micros.is_empty() {
+        0
+    } else {
+        micros.iter().sum::<u64>() / micros.len() as u64
+    };
+    JsonObject::new()
+        .field_u128("p50", pct(micros, 0.50) as u128)
+        .field_u128("p95", pct(micros, 0.95) as u128)
+        .field_u128("p99", pct(micros, 0.99) as u128)
+        .field_u128("mean", mean as u128)
+        .field_u128("count", micros.len() as u128)
+        .finish()
+}
+
+fn phase_json(name: &str, result: &mut PassResult, stats: &WireStats) -> String {
+    let throughput = if result.elapsed_micros > 0 {
+        result.requests as f64 / (result.elapsed_micros as f64 / 1_000_000.0)
+    } else {
+        0.0
+    };
+    JsonObject::new()
+        .field_str("phase", name)
+        .field_u128("requests", result.requests as u128)
+        .field_u128("errors", result.errors as u128)
+        .field_raw("requests_per_sec", &format!("{throughput:.1}"))
+        .field_raw(
+            "decide_latency_micros",
+            &latency_json(&mut result.decide_micros),
+        )
+        .field_raw("all_latency_micros", &latency_json(&mut result.all_micros))
+        .field_u128("lookups", stats.lookups as u128)
+        .field_raw("hit_ratio", &format!("{:.4}", stats.hit_ratio))
+        .field_u128("decisions_computed", stats.decisions_computed as u128)
+        .field_u128("warm_hits", stats.warm_hits as u128)
+        .field_u128("occupancy_bytes", stats.occupancy_bytes as u128)
+        .field_u128("entries", stats.entries as u128)
+        .field_u128("evictions", stats.evictions as u128)
+        .finish()
+}
+
+// --- configuration -------------------------------------------------------
+
+struct LoadConfig {
+    out: Option<PathBuf>,
+    connections: usize,
+    requests_per_conn: usize,
+    catalogs: usize,
+    queries: usize,
+    zipf_s: f64,
+    seed: u64,
+    open_rate: f64,
+    snapshot: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut config = if quick {
+        // The keyspace must stay wide enough for LRU to matter: with too
+        // few keys the top-quarter Zipf mass is small and the bounded
+        // phase cannot reach 80 % of the unbounded hit ratio.
+        LoadConfig {
+            out: None,
+            connections: 2,
+            requests_per_conn: 150,
+            catalogs: 4,
+            queries: 15,
+            zipf_s: 1.5,
+            seed: 0xC0FFEE,
+            open_rate: 0.0,
+            snapshot: None,
+        }
+    } else {
+        LoadConfig {
+            out: None,
+            connections: 4,
+            requests_per_conn: 400,
+            catalogs: 8,
+            queries: 25,
+            zipf_s: 1.3,
+            seed: 0xC0FFEE,
+            open_rate: 0.0,
+            snapshot: None,
+        }
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => {}
+            "--out" => config.out = Some(value("--out")?.into()),
+            "--snapshot" => config.snapshot = Some(value("--snapshot")?.into()),
+            "--connections" => config.connections = parse_count(&value("--connections")?)?,
+            "--requests" => config.requests_per_conn = parse_count(&value("--requests")?)?,
+            "--catalogs" => config.catalogs = parse_count(&value("--catalogs")?)?,
+            "--queries" => config.queries = parse_count(&value("--queries")?)?,
+            "--zipf" => {
+                config.zipf_s = value("--zipf")?
+                    .parse()
+                    .map_err(|_| "--zipf expects a number".to_string())?
+            }
+            "--seed" => {
+                config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--open-rate" => {
+                config.open_rate = value("--open-rate")?
+                    .parse()
+                    .map_err(|_| "--open-rate expects a number".to_string())?
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_count(text: &str) -> Result<usize, String> {
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("expected a positive integer, got `{text}`")),
+    }
+}
+
+// --- main ----------------------------------------------------------------
+
+fn spawn_server(
+    cache_bytes: Option<u64>,
+    snapshot: Option<PathBuf>,
+    workers: usize,
+) -> Result<(rbqa_net::ServerHandle, String), String> {
+    let config = ServerConfig {
+        workers,
+        cache_bytes,
+        cache_snapshot: snapshot,
+        allow_remote_shutdown: false,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind(config, Arc::new(QueryService::new()))
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr().to_string();
+    Ok((server.spawn(), addr))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    match run(&args) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(msg) => {
+            eprintln!("rbqa-loadgen: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let config = parse_args(args)?;
+    let snapshot = config.snapshot.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("rbqa-loadgen-{}.snap", std::process::id()))
+    });
+    // A stale snapshot from a previous run would fake the warm phase.
+    let _ = std::fs::remove_file(&snapshot);
+
+    let workload = generate_workload(config.catalogs, config.queries);
+    let keys = workload.keys.len();
+    // +1 worker so the stats/monitor connection never queues behind load.
+    let workers = config.connections + 1;
+    let params = |addr: String| PassParams {
+        addr,
+        workload: &workload,
+        connections: config.connections,
+        requests_per_conn: config.requests_per_conn,
+        zipf_s: config.zipf_s,
+        seed: config.seed,
+        open_rate: config.open_rate,
+    };
+    eprintln!(
+        "rbqa-loadgen: {} connections x {} requests over {keys} keys \
+         ({} catalogs), zipf s={}, {} loop",
+        config.connections,
+        config.requests_per_conn,
+        config.catalogs,
+        config.zipf_s,
+        if config.open_rate > 0.0 {
+            "open"
+        } else {
+            "closed"
+        },
+    );
+
+    // Phase 1+2: cold then steady on one unbounded server with a
+    // snapshot path; shutdown writes the snapshot.
+    let (server, addr) = spawn_server(None, Some(snapshot.clone()), workers)?;
+    let mut cold = run_pass(&params(addr.clone()))?;
+    let cold_stats = fetch_stats(&addr)?;
+    let mut steady = run_pass(&params(addr.clone()))?;
+    let steady_stats = fetch_stats(&addr)?;
+    server
+        .shutdown_and_join()
+        .map_err(|e| format!("cold server shutdown failed: {e}"))?;
+
+    // Phase 3: warm restart from the snapshot, identical traffic.
+    let (server, addr) = spawn_server(None, Some(snapshot.clone()), workers)?;
+    let mut warm = run_pass(&params(addr.clone()))?;
+    let warm_stats = fetch_stats(&addr)?;
+    server
+        .shutdown_and_join()
+        .map_err(|e| format!("warm server shutdown failed: {e}"))?;
+
+    // Phase 4: a fresh cold server at a quarter of the unbounded
+    // occupancy, with a live occupancy monitor.
+    let budget = (cold_stats.occupancy_bytes / 4).max(1);
+    let (server, addr) = spawn_server(Some(budget), None, workers)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicU64::new(0));
+    let monitor = {
+        let (addr, stop, peak) = (addr.clone(), Arc::clone(&stop), Arc::clone(&peak));
+        thread::spawn(move || monitor_occupancy(addr, stop, peak))
+    };
+    let mut bounded = run_pass(&params(addr.clone()))?;
+    let bounded_stats = fetch_stats(&addr)?;
+    stop.store(true, Ordering::Relaxed);
+    monitor.join().map_err(|_| "monitor thread panicked")?;
+    server
+        .shutdown_and_join()
+        .map_err(|e| format!("bounded server shutdown failed: {e}"))?;
+    let peak_occupancy = peak
+        .load(Ordering::Relaxed)
+        .max(bounded_stats.occupancy_bytes);
+
+    if config.snapshot.is_none() {
+        let _ = std::fs::remove_file(&snapshot);
+    }
+
+    // Acceptance criteria.
+    steady.decide_micros.sort_unstable();
+    warm.decide_micros.sort_unstable();
+    let steady_p50 = pct(&steady.decide_micros, 0.50);
+    let warm_p50 = pct(&warm.decide_micros, 0.50);
+    let warm_within_2x = warm_p50 <= steady_p50.saturating_mul(2);
+    let warm_no_recompute = warm_stats.decisions_computed == 0;
+    let warm_beats_cold = warm_stats.hit_ratio > cold_stats.hit_ratio;
+    let bounded_ratio_ok = bounded_stats.hit_ratio >= 0.8 * cold_stats.hit_ratio;
+    let occupancy_bounded = peak_occupancy <= budget;
+    let no_errors = cold.errors + steady.errors + warm.errors + bounded.errors == 0;
+    let pass = warm_within_2x
+        && warm_no_recompute
+        && warm_beats_cold
+        && bounded_ratio_ok
+        && occupancy_bounded
+        && no_errors;
+
+    eprintln!(
+        "rbqa-loadgen: cold hit {:.3} | steady decide p50 {steady_p50} us | \
+         warm decide p50 {warm_p50} us ({} recomputed, {} warm hits) | \
+         bounded hit {:.3} @ budget {budget} B (peak {peak_occupancy} B, {} evictions)",
+        cold_stats.hit_ratio,
+        warm_stats.decisions_computed,
+        warm_stats.warm_hits,
+        bounded_stats.hit_ratio,
+        bounded_stats.evictions,
+    );
+    for (ok, what) in [
+        (warm_within_2x, "warm decide p50 within 2x of steady"),
+        (warm_no_recompute, "warm restart recomputed no decisions"),
+        (warm_beats_cold, "warm hit ratio above cold"),
+        (bounded_ratio_ok, "bounded hit ratio >= 80% of unbounded"),
+        (occupancy_bounded, "occupancy never exceeded the budget"),
+        (no_errors, "no error responses"),
+    ] {
+        eprintln!("rbqa-loadgen: [{}] {what}", if ok { "ok" } else { "FAIL" });
+    }
+
+    if let Some(path) = &config.out {
+        let acceptance = JsonObject::new()
+            .field_bool("warm_p50_within_2x_of_steady", warm_within_2x)
+            .field_bool("warm_no_recompute", warm_no_recompute)
+            .field_bool("warm_hit_ratio_above_cold", warm_beats_cold)
+            .field_bool("bounded_hit_ratio_at_least_80pct", bounded_ratio_ok)
+            .field_bool("occupancy_within_budget", occupancy_bounded)
+            .field_bool("no_errors", no_errors)
+            .field_bool("pass", pass)
+            .finish();
+        let phases = format!(
+            "[{},{},{},{}]",
+            phase_json("cold", &mut cold, &cold_stats),
+            phase_json("steady", &mut steady, &steady_stats),
+            phase_json("warm", &mut warm, &warm_stats),
+            phase_json("bounded", &mut bounded, &bounded_stats),
+        );
+        let report = JsonObject::new()
+            .field_u128("v", 1)
+            .field_str("kind", "bench")
+            .field_str("target", "load")
+            .field_u128("connections", config.connections as u128)
+            .field_u128("requests_per_connection", config.requests_per_conn as u128)
+            .field_u128("catalogs", config.catalogs as u128)
+            .field_u128("keys", keys as u128)
+            .field_raw("zipf_s", &format!("{}", config.zipf_s))
+            .field_u128("seed", config.seed as u128)
+            .field_str(
+                "loop",
+                if config.open_rate > 0.0 {
+                    "open"
+                } else {
+                    "closed"
+                },
+            )
+            .field_u128("cache_budget_bytes", budget as u128)
+            .field_u128("peak_occupancy_bytes", peak_occupancy as u128)
+            .field_raw("phases", &phases)
+            .field_raw("acceptance", &acceptance)
+            .finish();
+        std::fs::write(path, format!("{report}\n"))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        eprintln!("rbqa-loadgen: wrote {}", path.display());
+    }
+    Ok(pass)
+}

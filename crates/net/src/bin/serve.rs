@@ -40,6 +40,7 @@ const USAGE: &str = "usage: rbqa-serve [FILE]
                   [--max-line-bytes N] [--idle-timeout SECS]
                   [--inline-rows N|none] [--inline-bytes N|none]
                   [--export-dir DIR] [--batch-workers N]
+                  [--cache-bytes N|none] [--cache-snapshot PATH]
                   [--allow-remote-shutdown]";
 
 fn main() {
@@ -120,6 +121,12 @@ fn listen(args: &[String]) {
             std::process::exit(2);
         }
     };
+    if let Some(warm) = server.warm_start() {
+        eprintln!(
+            "rbqa-serve: warm start: {} snapshot records loaded ({} skipped)",
+            warm.records, warm.skipped
+        );
+    }
     eprintln!("rbqa-serve: listening on {}", server.local_addr());
 
     match server.run() {
@@ -173,6 +180,11 @@ fn parse_listen_config(args: &[String]) -> Result<ServerConfig, String> {
                 config.inline_byte_limit = parse_limit(&value("--inline-bytes")?, "--inline-bytes")?
             }
             "--export-dir" => config.export_dir = Some(value("--export-dir")?.into()),
+            "--cache-bytes" => {
+                config.cache_bytes = parse_limit(&value("--cache-bytes")?, "--cache-bytes")?
+                    .map(|bytes| bytes as u64)
+            }
+            "--cache-snapshot" => config.cache_snapshot = Some(value("--cache-snapshot")?.into()),
             "--batch-workers" => {
                 config.batch_workers = parse_count(&value("--batch-workers")?, "--batch-workers")?
             }

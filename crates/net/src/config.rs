@@ -45,6 +45,16 @@ pub struct ServerConfig {
     /// should not be able to stop the server unless explicitly allowed
     /// (`rbqa-serve --allow-remote-shutdown`).
     pub allow_remote_shutdown: bool,
+    /// Byte budget for the shared decision cache. `None` (the default)
+    /// leaves the cache unbounded; a budget turns on size-weighted LRU
+    /// eviction (`rbqa-serve --cache-bytes N`).
+    pub cache_bytes: Option<u64>,
+    /// Path of the cache snapshot log. When set, [`crate::NetServer::bind`]
+    /// warm-loads any existing snapshot (a missing or damaged file is a
+    /// cold start, never an error) and a graceful shutdown rewrites it
+    /// compacted, so the next process restarts warm
+    /// (`rbqa-serve --cache-snapshot PATH`).
+    pub cache_snapshot: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +73,8 @@ impl Default for ServerConfig {
             export_dir: None,
             batch_workers: 2,
             allow_remote_shutdown: false,
+            cache_bytes: None,
+            cache_snapshot: None,
         }
     }
 }

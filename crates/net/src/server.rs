@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 
 use rbqa_api::{error_to_json, ApiError, ApiErrorCode, WireServer};
 use rbqa_obs::{ServerStats, ServerStatsSnapshot};
-use rbqa_service::{BatchRegistry, ExportStore, QueryService};
+use rbqa_service::{BatchRegistry, ExportStore, QueryService, SnapshotStats};
 
 use crate::config::ServerConfig;
 
@@ -314,15 +314,28 @@ pub struct NetServer {
     listener: TcpListener,
     addr: SocketAddr,
     shared: Arc<Shared>,
+    warm_start: Option<SnapshotStats>,
 }
 
 impl NetServer {
     /// Binds the listener and wires up the shared state: the batch
-    /// materializer and, when configured, the export store.
+    /// materializer and, when configured, the export store, the cache
+    /// byte budget, and a warm-loaded cache snapshot. A missing or
+    /// damaged snapshot file is a cold start, never a bind failure.
     pub fn bind(config: ServerConfig, service: Arc<QueryService>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        if config.cache_bytes.is_some() {
+            service.set_cache_budget(config.cache_bytes);
+        }
+        let mut warm_start = None;
+        if let Some(path) = &config.cache_snapshot {
+            // Snapshots are an optimisation: any failure to read one
+            // (absent file, torn write, wrong version) degrades to a
+            // cold start instead of refusing to serve.
+            warm_start = service.load_snapshot(path).ok();
+        }
         let exports = match &config.export_dir {
             Some(dir) => Some(Arc::new(ExportStore::create(dir)?)),
             None => None,
@@ -346,12 +359,19 @@ impl NetServer {
             listener,
             addr,
             shared,
+            warm_start,
         })
     }
 
     /// The address actually bound (resolves port `0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Stats of the snapshot warm-loaded at bind time, when
+    /// [`ServerConfig::cache_snapshot`] pointed at a readable file.
+    pub fn warm_start(&self) -> Option<SnapshotStats> {
+        self.warm_start
     }
 
     /// The shared export store, when one is configured.
@@ -394,6 +414,12 @@ impl NetServer {
             shared.ready.notify_all();
         });
         shared.batch.shutdown();
+        // Persist the cache after the batch drain: materialised batch
+        // decisions are resident by now, so they restart warm too. A
+        // failed write only costs the next process its warm start.
+        if let Some(path) = &shared.config.cache_snapshot {
+            let _ = shared.service.save_snapshot(path);
+        }
         Ok(shared.stats.snapshot())
     }
 

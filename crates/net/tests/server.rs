@@ -538,3 +538,100 @@ fn frames_split_across_tcp_segments_reassemble() {
     drop(reader);
     server.shutdown_and_join().expect("clean stop");
 }
+
+// ---- cache discipline --------------------------------------------------
+
+#[test]
+fn warm_restart_from_snapshot_serves_identical_answers_without_recomputing() {
+    let snap =
+        std::env::temp_dir().join(format!("rbqa-net-warm-restart-{}.snap", std::process::id()));
+    let _ = std::fs::remove_file(&snap);
+    let queries = [
+        "decide uni-open Q(n) :- Prof(i, n, '10000')",
+        "decide uni-open Q() :- Udirectory(i, a, p)",
+        "execute uni-open Q(n) :- Prof(i, n, '20000')",
+    ];
+
+    // Cold process: compute everything, shut down gracefully.
+    let server = spawn_server(|c| c.cache_snapshot = Some(snap.clone()));
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    setup_session(&mut client);
+    let cold: Vec<String> = queries
+        .iter()
+        .map(|q| client.request(q).expect("cold request"))
+        .collect();
+    assert!(cold[0].contains("\"cache_hit\":false"), "{}", cold[0]);
+    drop(client);
+    server.shutdown_and_join().expect("cold shutdown");
+    assert!(snap.exists(), "graceful shutdown must write the snapshot");
+
+    // Warm process: a brand-new service restarted from the snapshot.
+    let server = spawn_server(|c| c.cache_snapshot = Some(snap.clone()));
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    setup_session(&mut client);
+    for (query, cold_line) in queries.iter().zip(&cold) {
+        let line = client.request(query).expect("warm request");
+        assert!(
+            line.contains("\"cache_hit\":true"),
+            "warm replay of `{query}` must hit: {line}"
+        );
+        // Identical decisions (and rows) to the cold run, modulo the
+        // cache_hit flag and wall-clock noise.
+        assert_eq!(scrub_cache(&line), scrub_cache(cold_line), "`{query}`");
+    }
+    let stats = client.request("stats").expect("stats");
+    assert_eq!(
+        u64_field(&stats, "decisions_computed"),
+        0,
+        "warm restart must not re-run the decision pipeline: {stats}"
+    );
+    assert_eq!(u64_field(&stats, "warm_hits") as usize, queries.len());
+    drop(client);
+    server.shutdown_and_join().expect("warm shutdown");
+
+    // A corrupted snapshot is a cold start, not a bind failure.
+    let mut bytes = std::fs::read(&snap).expect("read snapshot");
+    for b in bytes.iter_mut() {
+        *b ^= 0xA5;
+    }
+    std::fs::write(&snap, &bytes).expect("corrupt snapshot");
+    let server = spawn_server(|c| c.cache_snapshot = Some(snap.clone()));
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    setup_session(&mut client);
+    let line = client.request(queries[0]).expect("cold request");
+    assert!(line.contains("\"cache_hit\":false"), "{line}");
+    drop(client);
+    server.shutdown_and_join().expect("recovered shutdown");
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn cache_budget_over_tcp_bounds_occupancy_and_reports_evictions() {
+    let server = spawn_server(|c| c.cache_bytes = Some(1));
+    let mut client = WireClient::connect(server.addr()).expect("connect");
+    setup_session(&mut client);
+    // A 1-byte budget fits nothing: every decision is served but refused
+    // residency, and occupancy stays pinned at zero.
+    for _ in 0..2 {
+        let line = client
+            .request("decide uni-open Q(n) :- Prof(i, n, '10000')")
+            .expect("decide");
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+    }
+    let stats = client.request("stats").expect("stats");
+    assert_eq!(u64_field(&stats, "budget_bytes"), 1);
+    assert_eq!(u64_field(&stats, "occupancy_bytes"), 0);
+    assert!(u64_field(&stats, "uncacheable") >= 1, "{stats}");
+
+    // Re-pointing the budget over the wire takes effect service-wide.
+    assert!(client.send_line("option cache.bytes 1048576").is_ok());
+    let line = client
+        .request("decide uni-open Q(n) :- Prof(i, n, '10000')")
+        .expect("decide");
+    assert!(line.contains("\"status\":\"ok\""), "{line}");
+    let stats = client.request("stats").expect("stats");
+    assert_eq!(u64_field(&stats, "budget_bytes"), 1048576);
+    assert!(u64_field(&stats, "occupancy_bytes") > 0, "{stats}");
+    drop(client);
+    server.shutdown_and_join().expect("clean stop");
+}

@@ -45,6 +45,48 @@ impl Gauge {
         }
     }
 
+    /// Adds `n` and returns the new value.
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Subtracts `n` (saturating at zero) and returns the new value.
+    pub fn sub(&self, n: u64) -> u64 {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return next,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Reserves `n` units only if the result stays within `cap`: atomically
+    /// adds `n` when `value + n <= cap` and returns `true`, otherwise leaves
+    /// the gauge untouched and returns `false`. This is the primitive that
+    /// lets a byte-budgeted cache *prove* occupancy never exceeds its
+    /// budget: residency is claimed here before an entry is inserted.
+    pub fn try_add_within(&self, n: u64, cap: u64) -> bool {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = match current.checked_add(n) {
+                Some(next) if next <= cap => next,
+                _ => return false,
+            };
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// The current value.
     pub fn value(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -167,6 +209,32 @@ mod tests {
         assert_eq!(g.dec(), 0);
         assert_eq!(g.dec(), 0, "saturates instead of wrapping");
         assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn gauge_bulk_add_sub_saturate() {
+        let g = Gauge::new();
+        assert_eq!(g.add(10), 10);
+        assert_eq!(g.sub(3), 7);
+        assert_eq!(g.sub(100), 0, "bulk sub saturates at zero");
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn gauge_reservation_respects_cap() {
+        let g = Gauge::new();
+        assert!(g.try_add_within(60, 100));
+        assert!(!g.try_add_within(41, 100), "would exceed cap");
+        assert_eq!(g.value(), 60, "failed reservation leaves gauge untouched");
+        assert!(g.try_add_within(40, 100));
+        assert_eq!(g.value(), 100);
+        assert!(!g.try_add_within(1, 100));
+        assert!(
+            g.try_add_within(0, 100),
+            "zero-cost reservation at cap is fine"
+        );
+        assert!(g.try_add_within(u64::MAX - 100, u64::MAX));
+        assert!(!g.try_add_within(1, u64::MAX), "overflow-safe at u64::MAX");
     }
 
     #[test]

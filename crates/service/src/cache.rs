@@ -1,7 +1,8 @@
-//! A sharded, single-flight decision cache.
+//! A sharded, single-flight decision cache with a byte budget.
 //!
-//! The cache maps [`Fingerprint`]s to `Arc`-shared values. Two properties
-//! matter for the service (DESIGN.md §6):
+//! The cache maps [`Fingerprint`]s to `Arc`-shared values. Three properties
+//! matter for the service (DESIGN.md §6, ARCHITECTURE.md "Cache
+//! discipline"):
 //!
 //! * **Sharding** — the key space is split across `N` independent locks so
 //!   concurrent requests for *different* fingerprints never contend on one
@@ -13,9 +14,27 @@
 //!   receive the same `Arc`. This is what makes "a concurrent batch of
 //!   identical requests performs exactly one chase" a guarantee rather
 //!   than a likelihood.
+//! * **Bounded residency** — every resident entry carries an approximate
+//!   byte cost (from a pluggable cost function) and the sum is capped by a
+//!   runtime-adjustable budget. Residency is claimed through a
+//!   reservation ([`rbqa_obs::Gauge::try_add_within`]) *before* the entry
+//!   is inserted, so occupancy provably never exceeds the budget — there
+//!   is no window where the cache is over budget and "catching up".
+//!   Eviction is size-weighted LRU: the globally least-recently-touched
+//!   `Ready` entry goes first; `InFlight` markers are never evictable
+//!   (evicting one would strand its condvar waiters). A value that cannot
+//!   fit even after eviction is served to the caller but not kept
+//!   (counted as `uncacheable`), so a tiny budget degrades to a
+//!   pass-through cache instead of deadlocking or thrashing.
+//!
+//! Eviction takes one shard lock at a time (scan, then re-lock the
+//! victim's shard and re-check its stamp), so it can never deadlock with
+//! lookups or with itself.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use rbqa_obs::Gauge;
 use rustc_hash::FxHashMap;
 
 use crate::fingerprint::Fingerprint;
@@ -32,10 +51,14 @@ pub enum CacheOutcome {
 }
 
 enum Entry<V> {
-    /// Some thread is computing the value.
+    /// Some thread is computing the value. Never evicted.
     InFlight,
-    /// The value is available.
-    Ready(Arc<V>),
+    /// The value is resident: its reserved byte cost and last-touch stamp.
+    Ready {
+        value: Arc<V>,
+        cost: u64,
+        stamp: u64,
+    },
 }
 
 struct Shard<V> {
@@ -72,16 +95,68 @@ impl<V> Drop for InFlightGuard<'_, V> {
     }
 }
 
-/// Sharded single-flight cache keyed by [`Fingerprint`].
+/// Approximates the resident byte cost of a value.
+pub type CostFn<V> = Box<dyn Fn(&V) -> usize + Send + Sync>;
+
+/// Point-in-time view of the cache's budget discipline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Configured byte budget; `None` means unbounded.
+    pub budget_bytes: Option<u64>,
+    /// Bytes currently reserved by resident entries.
+    pub occupancy_bytes: u64,
+    /// Resident (`Ready`) entries.
+    pub entries: u64,
+    /// Entries evicted to make room since startup.
+    pub evictions: u64,
+    /// Bytes released by those evictions.
+    pub bytes_evicted: u64,
+    /// Computed values served but not kept (no room even after eviction).
+    pub uncacheable: u64,
+}
+
+/// Sharded single-flight cache keyed by [`Fingerprint`], with size-weighted
+/// LRU eviction against a runtime-adjustable byte budget.
 pub struct ShardedCache<V> {
     shards: Vec<Shard<V>>,
+    /// Byte budget; `u64::MAX` means unbounded.
+    budget: AtomicU64,
+    /// Bytes reserved by resident entries (the eviction invariant:
+    /// `occupancy <= budget`, enforced by reservation before insert).
+    occupancy: Gauge,
+    /// Resident entry count.
+    entries: Gauge,
+    /// Monotone LRU clock; every touch stamps the entry with a fresh tick.
+    tick: AtomicU64,
+    evictions: AtomicU64,
+    bytes_evicted: AtomicU64,
+    uncacheable: AtomicU64,
+    cost_fn: CostFn<V>,
+}
+
+impl<V> std::fmt::Debug for ShardedCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
 }
 
 impl<V> ShardedCache<V> {
-    /// A cache with `shards` independent lock domains (minimum 1).
+    /// A cache with `shards` independent lock domains (minimum 1),
+    /// unbounded, with the default (size-of) cost function.
     pub fn with_shards(shards: usize) -> Self {
         ShardedCache {
             shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+            budget: AtomicU64::new(u64::MAX),
+            occupancy: Gauge::new(),
+            entries: Gauge::new(),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes_evicted: AtomicU64::new(0),
+            uncacheable: AtomicU64::new(0),
+            cost_fn: Box::new(|_| std::mem::size_of::<V>().max(1)),
         }
     }
 
@@ -90,9 +165,26 @@ impl<V> ShardedCache<V> {
         Self::with_shards(16)
     }
 
+    /// Replaces the per-entry cost function. Builder-style: call before
+    /// the cache holds entries, or occupancy accounting goes stale.
+    pub fn with_cost_fn(mut self, cost_fn: CostFn<V>) -> Self {
+        self.cost_fn = cost_fn;
+        self
+    }
+
+    /// Sets the initial byte budget (`None` = unbounded). Builder-style.
+    pub fn with_budget(self, budget: Option<u64>) -> Self {
+        self.set_budget(budget);
+        self
+    }
+
     fn shard(&self, key: Fingerprint) -> &Shard<V> {
         let index = (key.0 >> 64) as usize % self.shards.len();
         &self.shards[index]
+    }
+
+    fn next_stamp(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Number of cached (ready) entries across all shards.
@@ -104,7 +196,7 @@ impl<V> ShardedCache<V> {
                     .lock()
                     .expect("cache shard poisoned")
                     .values()
-                    .filter(|e| matches!(e, Entry::Ready(_)))
+                    .filter(|e| matches!(e, Entry::Ready { .. }))
                     .count()
             })
             .sum()
@@ -120,21 +212,74 @@ impl<V> ShardedCache<V> {
         self.shards.len()
     }
 
-    /// Looks up `key` without computing.
+    /// The configured byte budget; `None` means unbounded.
+    pub fn budget(&self) -> Option<u64> {
+        match self.budget.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            bytes => Some(bytes),
+        }
+    }
+
+    /// Re-points the byte budget at runtime. Shrinking below current
+    /// occupancy evicts (LRU-first) until the cache fits again.
+    pub fn set_budget(&self, budget: Option<u64>) {
+        let cap = budget.unwrap_or(u64::MAX);
+        self.budget.store(cap, Ordering::Relaxed);
+        while self.occupancy.value() > cap {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    /// Budget-discipline counters at a point in time.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            budget_bytes: self.budget(),
+            occupancy_bytes: self.occupancy.value(),
+            entries: self.entries.value(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up `key` without computing. A hit refreshes the entry's LRU
+    /// stamp, same as [`Self::get_or_compute`].
     pub fn get(&self, key: Fingerprint) -> Option<Arc<V>> {
         let shard = self.shard(key);
-        let map = shard.map.lock().expect("cache shard poisoned");
-        match map.get(&key.0) {
-            Some(Entry::Ready(v)) => Some(Arc::clone(v)),
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        match map.get_mut(&key.0) {
+            Some(Entry::Ready { value, stamp, .. }) => {
+                *stamp = self.next_stamp();
+                Some(Arc::clone(value))
+            }
             _ => None,
         }
+    }
+
+    /// Copies out every resident entry — the persistence layer's view of
+    /// what is worth snapshotting. In-flight computations are skipped.
+    pub fn ready_entries(&self) -> Vec<(Fingerprint, Arc<V>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.lock().expect("cache shard poisoned");
+            for (&key, entry) in map.iter() {
+                if let Entry::Ready { value, .. } = entry {
+                    out.push((Fingerprint(key), Arc::clone(value)));
+                }
+            }
+        }
+        out
     }
 
     /// Returns the cached value for `key`, or computes it with `compute`.
     ///
     /// The closure runs **without** any shard lock held, so long decisions
     /// never block unrelated lookups; the in-flight marker keeps duplicate
-    /// work out.
+    /// work out. The computed value is returned to the caller even when
+    /// the budget has no room for it — residency is best-effort, the
+    /// answer is not.
     pub fn get_or_compute<F: FnOnce() -> V>(
         &self,
         key: Fingerprint,
@@ -144,20 +289,24 @@ impl<V> ShardedCache<V> {
         {
             let mut map = shard.map.lock().expect("cache shard poisoned");
             loop {
-                match map.get(&key.0) {
-                    Some(Entry::Ready(v)) => return (Arc::clone(v), CacheOutcome::Hit),
+                match map.get_mut(&key.0) {
+                    Some(Entry::Ready { value, stamp, .. }) => {
+                        *stamp = self.next_stamp();
+                        return (Arc::clone(value), CacheOutcome::Hit);
+                    }
                     Some(Entry::InFlight) => {
                         map = shard.cond.wait(map).expect("cache shard poisoned");
                         // On wake the entry is Ready, or was removed by a
-                        // panicking computer — in the latter case fall
-                        // through and compute here.
+                        // panicking (or budget-starved) computer — in the
+                        // latter case fall through and compute here.
                         if let std::collections::hash_map::Entry::Vacant(e) = map.entry(key.0) {
                             e.insert(Entry::InFlight);
                             break;
                         }
-                        match map.get(&key.0) {
-                            Some(Entry::Ready(v)) => {
-                                return (Arc::clone(v), CacheOutcome::Coalesced)
+                        match map.get_mut(&key.0) {
+                            Some(Entry::Ready { value, stamp, .. }) => {
+                                *stamp = self.next_stamp();
+                                return (Arc::clone(value), CacheOutcome::Coalesced);
                             }
                             _ => continue,
                         }
@@ -177,11 +326,107 @@ impl<V> ShardedCache<V> {
         };
         let value = Arc::new(compute());
         guard.done = true;
-        let mut map = shard.map.lock().expect("cache shard poisoned");
-        map.insert(key.0, Entry::Ready(Arc::clone(&value)));
-        shard.cond.notify_all();
-        drop(map);
+        self.finish(shard, key.0, &value);
         (value, CacheOutcome::Miss)
+    }
+
+    /// Installs a freshly computed value (or releases its in-flight marker
+    /// when the budget refuses it), waking all waiters either way.
+    fn finish(&self, shard: &Shard<V>, key: u128, value: &Arc<V>) {
+        let cost = (self.cost_fn)(value) as u64;
+        if self.reserve(cost) {
+            let stamp = self.next_stamp();
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            let old = map.insert(
+                key,
+                Entry::Ready {
+                    value: Arc::clone(value),
+                    cost,
+                    stamp,
+                },
+            );
+            self.entries.inc();
+            if let Some(Entry::Ready { cost: old_cost, .. }) = old {
+                // Defensive: an owner replacing a Ready entry cannot happen
+                // under the in-flight protocol, but keep accounting honest.
+                self.occupancy.sub(old_cost);
+                self.entries.dec();
+            }
+            shard.cond.notify_all();
+        } else {
+            // No room even after eviction (or the value alone exceeds the
+            // budget): serve it uncached. Waiters waking to a vacant slot
+            // take over the computation themselves, so this terminates
+            // even at budget zero.
+            self.uncacheable.fetch_add(1, Ordering::Relaxed);
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            if matches!(map.get(&key), Some(Entry::InFlight)) {
+                map.remove(&key);
+            }
+            shard.cond.notify_all();
+        }
+    }
+
+    /// Claims `cost` bytes of residency, evicting LRU entries until the
+    /// reservation fits. Returns `false` if it can never fit (the value is
+    /// larger than the whole budget, or eviction ran out of victims).
+    fn reserve(&self, cost: u64) -> bool {
+        loop {
+            let budget = self.budget.load(Ordering::Relaxed);
+            if cost > budget {
+                // Oversized for the whole budget: refuse before evicting
+                // everything else in a doomed attempt to make room.
+                return false;
+            }
+            if self.occupancy.try_add_within(cost, budget) {
+                return true;
+            }
+            if !self.evict_one() {
+                return false;
+            }
+        }
+    }
+
+    /// Evicts the least-recently-touched `Ready` entry across all shards.
+    /// Locks one shard at a time: scan for the global minimum stamp, then
+    /// re-lock the victim's shard and remove it only if its stamp is
+    /// unchanged (a concurrent touch revokes the candidacy). Returns
+    /// `false` only when no `Ready` entry exists anywhere.
+    fn evict_one(&self) -> bool {
+        let mut victim: Option<(usize, u128, u64)> = None;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let map = shard.map.lock().expect("cache shard poisoned");
+            for (&key, entry) in map.iter() {
+                if let Entry::Ready { stamp, .. } = entry {
+                    if victim.is_none_or(|(_, _, best)| *stamp < best) {
+                        victim = Some((index, key, *stamp));
+                    }
+                }
+            }
+        }
+        let Some((index, key, stamp)) = victim else {
+            return false;
+        };
+        let shard = &self.shards[index];
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        match map.get(&key) {
+            Some(Entry::Ready {
+                stamp: current,
+                cost,
+                ..
+            }) if *current == stamp => {
+                let cost = *cost;
+                map.remove(&key);
+                self.occupancy.sub(cost);
+                self.entries.dec();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.bytes_evicted.fetch_add(cost, Ordering::Relaxed);
+                true
+            }
+            // Touched or removed between scan and re-lock; report progress
+            // so the caller rescans with fresh stamps.
+            _ => true,
+        }
     }
 
     /// Drops every cached entry (in-flight computations are unaffected:
@@ -192,7 +437,14 @@ impl<V> ShardedCache<V> {
                 .map
                 .lock()
                 .expect("cache shard poisoned")
-                .retain(|_, e| matches!(e, Entry::InFlight));
+                .retain(|_, e| match e {
+                    Entry::InFlight => true,
+                    Entry::Ready { cost, .. } => {
+                        self.occupancy.sub(*cost);
+                        self.entries.dec();
+                        false
+                    }
+                });
         }
     }
 }
@@ -210,6 +462,13 @@ mod tests {
 
     fn fp(n: u128) -> Fingerprint {
         Fingerprint(n << 64 | n)
+    }
+
+    /// A cache where each `Vec<u8>` costs its length in bytes.
+    fn sized_cache(shards: usize, budget: u64) -> ShardedCache<Vec<u8>> {
+        ShardedCache::with_shards(shards)
+            .with_cost_fn(Box::new(|v: &Vec<u8>| v.len()))
+            .with_budget(Some(budget))
     }
 
     #[test]
@@ -261,6 +520,8 @@ mod tests {
         assert_eq!(cache.shard_count(), 4);
         cache.clear();
         assert!(cache.is_empty());
+        assert_eq!(cache.stats().occupancy_bytes, 0);
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]
@@ -278,5 +539,89 @@ mod tests {
         let (v, outcome) = cache.get_or_compute(fp(9), || 5);
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(*v, 5);
+    }
+
+    #[test]
+    fn unbounded_by_default() {
+        let cache: ShardedCache<Vec<u8>> = ShardedCache::new();
+        assert_eq!(cache.budget(), None);
+        assert_eq!(cache.stats().budget_bytes, None);
+    }
+
+    #[test]
+    fn eviction_holds_budget_and_prefers_lru() {
+        let cache = sized_cache(1, 100);
+        for i in 0..10u128 {
+            cache.get_or_compute(fp(i), || vec![0u8; 20]);
+        }
+        let stats = cache.stats();
+        assert!(stats.occupancy_bytes <= 100, "{stats:?}");
+        assert_eq!(stats.entries, 5);
+        assert_eq!(stats.evictions, 5);
+        assert_eq!(stats.bytes_evicted, 100);
+        // The five oldest (0..5) were evicted; 5..10 survive.
+        for i in 0..5u128 {
+            assert!(cache.get(fp(i)).is_none(), "key {i} should be evicted");
+        }
+        for i in 5..10u128 {
+            assert!(cache.get(fp(i)).is_some(), "key {i} should survive");
+        }
+        // Touch key 5 so key 6 becomes the LRU victim of the next insert.
+        assert!(cache.get(fp(5)).is_some());
+        cache.get_or_compute(fp(100), || vec![0u8; 20]);
+        assert!(cache.get(fp(5)).is_some(), "recently touched survives");
+        assert!(cache.get(fp(6)).is_none(), "true LRU entry evicted");
+    }
+
+    #[test]
+    fn oversized_value_served_but_not_resident() {
+        let cache = sized_cache(2, 16);
+        cache.get_or_compute(fp(1), || vec![0u8; 8]);
+        let (v, outcome) = cache.get_or_compute(fp(2), || vec![0u8; 64]);
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(v.len(), 64);
+        let stats = cache.stats();
+        assert_eq!(stats.uncacheable, 1);
+        assert_eq!(
+            stats.evictions, 0,
+            "an oversized value must not flush the cache"
+        );
+        assert!(cache.get(fp(1)).is_some(), "existing entry untouched");
+        assert!(cache.get(fp(2)).is_none());
+        // The key is free: a later caller computes again.
+        let (_, outcome) = cache.get_or_compute(fp(2), || vec![0u8; 64]);
+        assert_eq!(outcome, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn shrinking_budget_evicts_down() {
+        let cache = sized_cache(4, 1000);
+        for i in 0..10u128 {
+            cache.get_or_compute(fp(i), || vec![0u8; 50]);
+        }
+        assert_eq!(cache.stats().occupancy_bytes, 500);
+        cache.set_budget(Some(120));
+        let stats = cache.stats();
+        assert!(stats.occupancy_bytes <= 120, "{stats:?}");
+        assert_eq!(stats.entries, 2);
+        cache.set_budget(None);
+        assert_eq!(cache.budget(), None);
+        // Unbounded again: inserts stick without eviction.
+        let before = cache.stats().evictions;
+        cache.get_or_compute(fp(200), || vec![0u8; 5000]);
+        assert_eq!(cache.stats().evictions, before);
+    }
+
+    #[test]
+    fn ready_entries_reports_residents() {
+        let cache = sized_cache(4, 1000);
+        cache.get_or_compute(fp(1), || vec![1u8]);
+        cache.get_or_compute(fp(2), || vec![2u8, 2]);
+        let mut entries = cache.ready_entries();
+        entries.sort_by_key(|(k, _)| k.0);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, fp(1));
+        assert_eq!(*entries[0].1, vec![1u8]);
+        assert_eq!(*entries[1].1, vec![2u8, 2]);
     }
 }

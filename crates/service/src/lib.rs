@@ -14,9 +14,14 @@
 //!   invariant under variable renaming and atom reordering (built on
 //!   [`rbqa_logic::canonical`]), so α-equivalent requests are one cache
 //!   key;
-//! * [`cache`] — a **sharded, single-flight decision cache**: repeated
-//!   requests skip the chase entirely, and concurrent identical misses
-//!   run the decision pipeline exactly once;
+//! * [`cache`] — a **sharded, single-flight decision cache** with
+//!   size-weighted LRU eviction against a byte budget: repeated requests
+//!   skip the chase entirely, concurrent identical misses run the
+//!   decision pipeline exactly once, and occupancy provably never
+//!   exceeds the configured bytes;
+//! * [`snapshot`] — **cache persistence**: a CRC-framed, versioned,
+//!   corruption-tolerant snapshot log written on graceful shutdown and
+//!   compacted on load, so restarts start warm instead of re-chasing;
 //! * [`request`] / [`service`] — the **request API**:
 //!   [`AnswerRequest`] → [`AnswerResponse`] in `Decide`, `Synthesize`
 //!   and `Execute` modes, plus [`QueryService::submit_batch`] fanning a
@@ -47,9 +52,10 @@ pub mod fingerprint;
 pub mod metrics;
 pub mod request;
 pub mod service;
+pub mod snapshot;
 
 pub use batch::{BatchRegistry, BatchState, BatchStats, BatchView};
-pub use cache::{CacheOutcome, ShardedCache};
+pub use cache::{CacheOutcome, CacheStatsSnapshot, ShardedCache};
 pub use catalog::{CatalogEntry, CatalogId, CatalogRegistry};
 pub use export::{ExportHandle, ExportStore};
 pub use fingerprint::{request_fingerprint, schema_fingerprint, Fingerprint};
@@ -61,3 +67,4 @@ pub use request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
 pub use service::{
     rebase_constants, rebase_cq_constants, CachedDecision, QueryService, ServiceConfig,
 };
+pub use snapshot::{SnapshotStats, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};

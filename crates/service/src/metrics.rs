@@ -20,6 +20,7 @@ pub struct ServiceMetrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_coalesced: AtomicU64,
+    cache_warm_hits: AtomicU64,
     decisions_computed: AtomicU64,
     chase_rounds_saved: AtomicU64,
     executions: AtomicU64,
@@ -60,6 +61,15 @@ impl ServiceMetrics {
         self.decisions_computed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A miss served by decoding a persisted snapshot record instead of
+    /// running the pipeline: `decisions_computed` stays untouched — that
+    /// is the whole point of warm starts.
+    pub(crate) fn record_warm_hit(&self, rounds_saved: usize) {
+        self.cache_warm_hits.fetch_add(1, Ordering::Relaxed);
+        self.chase_rounds_saved
+            .fetch_add(rounds_saved as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_execution(&self) {
         self.executions.fetch_add(1, Ordering::Relaxed);
     }
@@ -86,6 +96,7 @@ impl ServiceMetrics {
             cache_hits: load(&self.cache_hits),
             cache_misses: load(&self.cache_misses),
             cache_coalesced: load(&self.cache_coalesced),
+            cache_warm_hits: load(&self.cache_warm_hits),
             decisions_computed: load(&self.decisions_computed),
             chase_rounds_saved: load(&self.chase_rounds_saved),
             executions: load(&self.executions),
@@ -102,6 +113,9 @@ impl ServiceMetrics {
             mode_p50: self.quantiles(0.50),
             mode_p95: self.quantiles(0.95),
             mode_p99: self.quantiles(0.99),
+            // The cache-discipline block lives on the cache itself;
+            // `QueryService::metrics` overlays it on this snapshot.
+            ..MetricsSnapshot::default()
         }
     }
 
@@ -120,7 +134,10 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Requests that waited for another in-flight identical request.
     pub cache_coalesced: u64,
-    /// Decision-procedure invocations actually run (== misses).
+    /// Misses served by decoding a persisted snapshot record (warm
+    /// starts) — the pipeline did not run.
+    pub cache_warm_hits: u64,
+    /// Decision-procedure invocations actually run (== cold misses).
     pub decisions_computed: u64,
     /// Total chase rounds that cache hits avoided re-running.
     pub chase_rounds_saved: u64,
@@ -137,13 +154,43 @@ pub struct MetricsSnapshot {
     pub mode_p95: [u64; 3],
     /// 99th-percentile latency per mode in microseconds.
     pub mode_p99: [u64; 3],
+    /// Decision-cache byte budget (`None` = unbounded).
+    pub cache_budget_bytes: Option<u64>,
+    /// Bytes currently reserved by resident cache entries (provably
+    /// `<= cache_budget_bytes` at every instant).
+    pub cache_occupancy_bytes: u64,
+    /// Resident cache entries.
+    pub cache_entries: u64,
+    /// Entries evicted to stay within budget.
+    pub cache_evictions: u64,
+    /// Bytes those evictions released.
+    pub cache_bytes_evicted: u64,
+    /// Computed values served but refused residency (no room even after
+    /// eviction).
+    pub cache_uncacheable: u64,
 }
 
 impl MetricsSnapshot {
-    /// Requests that skipped the decision procedure entirely (hits plus
-    /// coalesced waiters): the "chase invocations saved" of DESIGN.md §6.
+    /// Requests that skipped the decision procedure entirely (hits,
+    /// coalesced waiters, and warm-snapshot decodes): the "chase
+    /// invocations saved" of DESIGN.md §6.
     pub fn chase_invocations_saved(&self) -> u64 {
-        self.cache_hits + self.cache_coalesced
+        self.cache_hits + self.cache_coalesced + self.cache_warm_hits
+    }
+
+    /// Total cache lookups (every submit consults the cache exactly once).
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses + self.cache_coalesced + self.cache_warm_hits
+    }
+
+    /// Fraction of lookups that skipped the pipeline (0.0 when unused).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let lookups = self.cache_lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.chase_invocations_saved() as f64 / lookups as f64
+        }
     }
 
     /// Mean latency of one mode in microseconds (0 when unused).

@@ -12,19 +12,23 @@
 //! first, so batch responses are deterministic and positionally matched
 //! to their requests.
 
+use std::cell::Cell;
+use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use rbqa_common::{Instance, ValueFactory};
-use rbqa_core::{decide_monotone_answerability_union, UnionAnswerabilityResult};
+use rbqa_core::{decide_monotone_answerability_union, DecisionSummary};
 use rbqa_engine::PlanMetrics;
 use rbqa_logic::{Atom, ConjunctiveQuery, Term, UnionOfConjunctiveQueries};
+use rustc_hash::FxHashMap;
 
-use crate::cache::{CacheOutcome, ShardedCache};
+use crate::cache::{CacheOutcome, CacheStatsSnapshot, ShardedCache};
 use crate::catalog::{CatalogEntry, CatalogId, CatalogRegistry};
 use crate::fingerprint::{request_fingerprint, Fingerprint};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
+use crate::snapshot::{self, SnapshotStats};
 
 /// Re-expresses a CQ's constants in another value space: every constant is
 /// resolved to its string form in `from` and re-interned in `to`.
@@ -136,19 +140,33 @@ fn plan_error_to_service_error(e: rbqa_access::plan::PlanError) -> ServiceError 
     }
 }
 
-/// A cached decision: the full result of one pipeline run, shared by every
-/// request whose fingerprint matches.
+/// A cached decision: what one pipeline run leaves behind, shared by every
+/// request whose fingerprint matches. Deliberately flat — the summary
+/// carries everything the hit path serves (including the union's total
+/// chase rounds), and `encoded` is the decision's snapshot form, built at
+/// compute time while the constants' spellings are still at hand, so
+/// persistence never needs the pipeline's intermediate state.
 #[derive(Debug)]
 pub struct CachedDecision {
-    /// The union decision result (verdict, per-disjunct diagnostics,
-    /// rescues, optional plans).
-    pub result: UnionAnswerabilityResult,
+    /// The flat decision summary served on hits.
+    pub summary: DecisionSummary,
     /// The executable plan set — one plan per disjunct, in disjunct order —
     /// lifted out behind `Arc`s so responses can share it without touching
     /// the rest of the result. Empty when no complete plan set exists
     /// (plans not requested, some disjunct unanswerable alone, or a
     /// disjunct only rescued by the union).
     pub plans: Vec<Arc<rbqa_access::Plan>>,
+    /// The snapshot-record payload for this decision
+    /// ([`crate::snapshot::encode_decision`]).
+    pub encoded: Vec<u8>,
+}
+
+/// Approximate resident bytes of one cached decision, for the cache's
+/// byte budget. The encoded snapshot payload is an honest proxy for the
+/// heap data (the same strings and vectors dominate both forms); the
+/// multiplier covers the in-memory `Vec`/`Arc`/enum overhead.
+fn decision_cost(decision: &CachedDecision) -> usize {
+    std::mem::size_of::<CachedDecision>() + decision.encoded.len() * 4
 }
 
 /// Tuning knobs for [`QueryService`].
@@ -158,6 +176,9 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Maximum worker threads a batch may fan out over.
     pub max_batch_threads: usize,
+    /// Decision-cache byte budget (`None` = unbounded). Adjustable later
+    /// via [`QueryService::set_cache_budget`] / `option cache.bytes`.
+    pub cache_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -167,6 +188,7 @@ impl Default for ServiceConfig {
             max_batch_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            cache_bytes: None,
         }
     }
 }
@@ -175,6 +197,11 @@ impl Default for ServiceConfig {
 pub struct QueryService {
     catalogs: RwLock<CatalogRegistry>,
     cache: ShardedCache<CachedDecision>,
+    /// Snapshot records loaded at startup but not yet claimed by a
+    /// request. Records stay encoded (catalogs may not exist yet when the
+    /// snapshot loads); the first miss on a matching fingerprint decodes
+    /// its record instead of running the pipeline — a *warm hit*.
+    warm: Mutex<FxHashMap<u128, Vec<u8>>>,
     metrics: ServiceMetrics,
     config: ServiceConfig,
 }
@@ -195,7 +222,10 @@ impl QueryService {
     pub fn with_config(config: ServiceConfig) -> Self {
         QueryService {
             catalogs: RwLock::new(CatalogRegistry::new()),
-            cache: ShardedCache::with_shards(config.cache_shards),
+            cache: ShardedCache::with_shards(config.cache_shards)
+                .with_cost_fn(Box::new(decision_cost))
+                .with_budget(config.cache_bytes),
+            warm: Mutex::new(FxHashMap::default()),
             metrics: ServiceMetrics::new(),
             config,
         }
@@ -255,9 +285,18 @@ impl QueryService {
             .ok_or(ServiceError::UnknownCatalog(id))
     }
 
-    /// Current metrics.
+    /// Current metrics, with the cache's budget-discipline block filled
+    /// in from the live cache counters.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        let cache = self.cache.stats();
+        snap.cache_budget_bytes = cache.budget_bytes;
+        snap.cache_occupancy_bytes = cache.occupancy_bytes;
+        snap.cache_entries = cache.entries;
+        snap.cache_evictions = cache.evictions;
+        snap.cache_bytes_evicted = cache.bytes_evicted;
+        snap.cache_uncacheable = cache.uncacheable;
+        snap
     }
 
     /// The full latency distribution of one request mode (microseconds).
@@ -275,6 +314,57 @@ impl QueryService {
     /// Drops all cached decisions (catalogs stay registered).
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+
+    /// Re-points the decision cache's byte budget (`None` = unbounded).
+    /// Shrinking below current occupancy evicts LRU-first until it fits.
+    pub fn set_cache_budget(&self, bytes: Option<u64>) {
+        self.cache.set_budget(bytes);
+    }
+
+    /// The decision cache's configured byte budget.
+    pub fn cache_budget(&self) -> Option<u64> {
+        self.cache.budget()
+    }
+
+    /// The decision cache's budget-discipline counters.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        self.cache.stats()
+    }
+
+    /// Snapshot records loaded from disk but not yet claimed by a request.
+    pub fn warm_pending(&self) -> usize {
+        self.warm.lock().expect("warm store poisoned").len()
+    }
+
+    /// Loads a cache snapshot into the warm store. Records stay encoded
+    /// until a request with a matching fingerprint claims one (catalogs
+    /// need not be registered yet). Damaged records were already skipped
+    /// by the reader; an undecodable payload is quietly recomputed later.
+    /// The only `Err` is file-level I/O (missing file = cold start).
+    pub fn load_snapshot(&self, path: &Path) -> std::io::Result<SnapshotStats> {
+        let (records, stats) = snapshot::read_snapshot(path)?;
+        let mut warm = self.warm.lock().expect("warm store poisoned");
+        warm.extend(records);
+        Ok(stats)
+    }
+
+    /// Writes the cache to a snapshot file (atomic temp + rename): every
+    /// resident decision plus any still-unclaimed warm records, so a short
+    /// session never throws away warmth it didn't happen to touch.
+    pub fn save_snapshot(&self, path: &Path) -> std::io::Result<SnapshotStats> {
+        let resident = self.cache.ready_entries();
+        let warm = self.warm.lock().expect("warm store poisoned");
+        let mut records: Vec<(u128, &[u8])> = Vec::with_capacity(warm.len() + resident.len());
+        // Unclaimed warm records first, live entries after: on load,
+        // later records win compaction.
+        for (fingerprint, payload) in warm.iter() {
+            records.push((*fingerprint, payload.as_slice()));
+        }
+        for (fingerprint, decision) in &resident {
+            records.push((fingerprint.0, decision.encoded.as_slice()));
+        }
+        snapshot::write_snapshot(path, &records)
     }
 
     /// The cache key of a request against a resolved catalog entry: the
@@ -332,6 +422,15 @@ impl QueryService {
         })
     }
 
+    /// Claims (removes) the warm snapshot record for a fingerprint, if
+    /// one was loaded.
+    fn take_warm(&self, fingerprint: Fingerprint) -> Option<Vec<u8>> {
+        self.warm
+            .lock()
+            .expect("warm store poisoned")
+            .remove(&fingerprint.0)
+    }
+
     fn submit_inner(&self, request: &AnswerRequest) -> Result<AnswerResponse, ServiceError> {
         let start = Instant::now();
         request.validate_shape()?;
@@ -339,6 +438,7 @@ impl QueryService {
         let options = request.effective_options();
         let fingerprint = Self::fingerprint_for(&entry, request, &options);
 
+        let warm = Cell::new(false);
         let (decision, outcome) = self.cache.get_or_compute(fingerprint, || {
             // Miss path: the only place the decision pipeline (and hence
             // the chase) runs. Fingerprints are deliberately independent
@@ -351,29 +451,50 @@ impl QueryService {
             // Execute against catalog data, or constraints with
             // constants).
             let mut values = entry.values.clone();
+            // Warm path: a snapshot record with this fingerprint replaces
+            // the pipeline run entirely — decode (re-interning constants
+            // into the catalog's value space, exactly like the rebase
+            // below) and serve. An undecodable record falls through to a
+            // genuine compute.
+            if let Some(encoded) = self.take_warm(fingerprint) {
+                if let Some((summary, plans)) = snapshot::decode_decision(&encoded, &mut values) {
+                    warm.set(true);
+                    return CachedDecision {
+                        summary,
+                        plans,
+                        encoded,
+                    };
+                }
+            }
             let query = rebase_constants(&request.query, &request.values, &mut values);
             // Canonical-dedup before deciding, mirroring the fingerprint:
             // the cached artifact for `Q ∨ Qα` must be the artifact for `Q`.
             let query = dedup_disjuncts(query, entry.schema.signature(), &values);
             let result =
                 decide_monotone_answerability_union(&entry.schema, &query, &mut values, &options);
-            let plans = result
+            let plans: Vec<Arc<rbqa_access::Plan>> = result
                 .union_plans()
                 .map(|plans| plans.into_iter().cloned().map(Arc::new).collect())
                 .unwrap_or_default();
-            CachedDecision { result, plans }
+            // `summary()` folds the union's total chase rounds in, so the
+            // flat summary is all the hit path (and the snapshot) needs.
+            let summary = result.summary();
+            let encoded = snapshot::encode_decision(&summary, &plans, &|v| values.display(v));
+            CachedDecision {
+                summary,
+                plans,
+                encoded,
+            }
         });
+        let rounds_skipped = decision.summary.chase_rounds;
         match outcome {
+            CacheOutcome::Miss if warm.get() => self.metrics.record_warm_hit(rounds_skipped),
             CacheOutcome::Miss => self.metrics.record_miss(),
-            CacheOutcome::Hit => self
-                .metrics
-                .record_hit(false, decision.result.total_chase_rounds()),
-            CacheOutcome::Coalesced => self
-                .metrics
-                .record_hit(true, decision.result.total_chase_rounds()),
+            CacheOutcome::Hit => self.metrics.record_hit(false, rounds_skipped),
+            CacheOutcome::Coalesced => self.metrics.record_hit(true, rounds_skipped),
         }
 
-        let summary = decision.result.summary();
+        let summary = decision.summary;
         let plans = match request.mode {
             RequestMode::Decide => Vec::new(),
             RequestMode::Synthesize | RequestMode::Execute => decision.plans.clone(),
@@ -422,7 +543,10 @@ impl QueryService {
         self.metrics.record_latency(request.mode, micros);
         Ok(AnswerResponse {
             fingerprint,
-            cache_hit: outcome != CacheOutcome::Miss,
+            // A warm-store decode skipped the pipeline just like a
+            // resident hit did; clients (and the load harness) read
+            // `cache_hit` as "no chase ran for this request".
+            cache_hit: outcome != CacheOutcome::Miss || warm.get(),
             summary,
             plans,
             rows,

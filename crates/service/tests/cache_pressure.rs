@@ -1,0 +1,171 @@
+//! Eviction racing coalescing: scoped threads hammer one service with a
+//! Zipf-skewed 100-fingerprint keyset while the cache budget only holds
+//! about ten entries, so every popular entry is repeatedly evicted,
+//! recomputed, coalesced on, and evicted again.
+//!
+//! Must hold throughout: no deadlock (the test finishes), the occupancy
+//! gauge never exceeds the budget (asserted by a concurrent reader, not
+//! just at the end), the ledger balances — `hits + misses + coalesced +
+//! warm == lookups == submits` — and no outcome is torn: every response
+//! for a fingerprint carries the same decision summary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use rbqa_access::AccessMethod;
+use rbqa_common::{Signature, ValueFactory};
+use rbqa_logic::constraints::tgd::inclusion_dependency;
+use rbqa_logic::constraints::ConstraintSet;
+use rbqa_logic::parser::parse_cq;
+use rbqa_service::{AnswerRequest, QueryService};
+
+const KEYS: usize = 100;
+const THREADS: usize = 8;
+const PER_THREAD: usize = 150;
+
+fn university_service() -> (QueryService, rbqa_service::CatalogId) {
+    let mut sig = Signature::new();
+    let prof = sig.add_relation("Prof", 3).unwrap();
+    let udir = sig.add_relation("Udirectory", 3).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+    let mut schema = rbqa_access::Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::bounded("ud", udir, &[], 100))
+        .unwrap();
+    let service = QueryService::new();
+    let id = service
+        .register_catalog("uni", schema, ValueFactory::new())
+        .unwrap();
+    (service, id)
+}
+
+/// Key `k`'s query: a distinct selecting constant per key gives 100
+/// distinct fingerprints over one catalog.
+fn decide_key(service: &QueryService, id: rbqa_service::CatalogId, k: usize) -> AnswerRequest {
+    let mut vf = service.catalog_values(id).unwrap();
+    let mut sig = service.catalog_signature(id).unwrap();
+    let text = format!("Q(n) :- Prof(i, n, 'salary{k}'), Udirectory(i, a, p)");
+    let q = parse_cq(&text, &mut sig, &mut vf).unwrap();
+    AnswerRequest::decide(id, q, vf)
+}
+
+/// xorshift64* — deterministic per-thread request streams.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Zipf(1.2) over `0..KEYS` by inverse CDF.
+fn zipf_table() -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(KEYS);
+    let mut total = 0.0;
+    for i in 0..KEYS {
+        total += 1.0 / ((i + 1) as f64).powf(1.2);
+        cdf.push(total);
+    }
+    for p in cdf.iter_mut() {
+        *p /= total;
+    }
+    cdf
+}
+
+#[test]
+fn eviction_and_coalescing_keep_the_ledger_balanced_under_zipf_load() {
+    let (service, id) = university_service();
+
+    // Size the budget off a real entry: room for ~10 of the 100 keys.
+    let probe = service.submit(&decide_key(&service, id, 0)).unwrap();
+    let entry_cost = service.cache_stats().occupancy_bytes;
+    assert!(entry_cost > 0, "one resident entry must have a cost");
+    let budget = entry_cost * 10;
+    service.set_cache_budget(Some(budget));
+
+    let zipf = zipf_table();
+    let done = AtomicBool::new(false);
+    // First-seen decision summary per key: any later disagreement means a
+    // torn or cross-wired cache outcome.
+    let summaries: Vec<Mutex<Option<rbqa_core::DecisionSummary>>> =
+        (0..KEYS).map(|_| Mutex::new(None)).collect();
+    summaries[0].lock().unwrap().replace(probe.summary);
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..THREADS {
+            let (service, zipf, summaries) = (&service, &zipf, &summaries);
+            workers.push(scope.spawn(move || {
+                let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_add(t as u64);
+                for _ in 0..PER_THREAD {
+                    let u = (next_rand(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                    let k = zipf.partition_point(|&p| p < u).min(KEYS - 1);
+                    let response = service.submit(&decide_key(service, id, k)).unwrap();
+                    let mut seen = summaries[k].lock().unwrap();
+                    match &*seen {
+                        None => *seen = Some(response.summary),
+                        Some(summary) => assert_eq!(
+                            *summary, response.summary,
+                            "key {k} produced two different decisions"
+                        ),
+                    }
+                }
+            }));
+        }
+        // The budget must hold *during* the churn, not just afterwards.
+        let (service, done) = (&service, &done);
+        scope.spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                let stats = service.cache_stats();
+                assert!(
+                    stats.occupancy_bytes <= budget,
+                    "occupancy {} exceeded budget {budget} mid-run",
+                    stats.occupancy_bytes
+                );
+                assert_eq!(stats.budget_bytes, Some(budget));
+                std::hint::spin_loop();
+            }
+        });
+        // Keep the reader running for the whole churn: release it only
+        // after every worker has finished.
+        for worker in workers {
+            worker.join().expect("worker panicked");
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let metrics = service.metrics();
+    let submits = (THREADS * PER_THREAD + 1) as u64; // +1 for the probe
+    assert_eq!(
+        metrics.cache_hits
+            + metrics.cache_misses
+            + metrics.cache_coalesced
+            + metrics.cache_warm_hits,
+        submits,
+        "the hit/miss/coalesced/warm ledger must balance the submits"
+    );
+    assert_eq!(metrics.cache_lookups(), submits);
+    assert_eq!(metrics.decisions_computed, metrics.cache_misses);
+
+    let stats = service.cache_stats();
+    assert!(stats.occupancy_bytes <= budget);
+    assert!(
+        stats.evictions > 0,
+        "a 10-entry budget under 100 Zipf keys must evict"
+    );
+    assert!(
+        metrics.cache_hits + metrics.cache_coalesced > 0,
+        "popular keys must still hit despite the churn"
+    );
+    // Pressure implies recomputation: more decisions than distinct keys.
+    assert!(
+        metrics.decisions_computed > KEYS as u64 / 2,
+        "eviction pressure should force recomputation (got {})",
+        metrics.decisions_computed
+    );
+}

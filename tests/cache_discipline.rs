@@ -1,0 +1,383 @@
+//! Cache-discipline invariants: bounded eviction and warm-start
+//! persistence, exercised from outside the service crate.
+//!
+//! * Property tests drive a size-weighted [`ShardedCache`] through random
+//!   insert interleavings and random budgets: occupancy never exceeds the
+//!   budget, the occupancy gauge always equals the sum of resident entry
+//!   costs, and an evicted key recomputes exactly once on re-lookup.
+//! * Threaded tests pin down the single-flight/eviction interaction: an
+//!   in-flight computation survives arbitrary eviction pressure, and a
+//!   panicking compute under that same pressure can never wedge a waiter.
+//! * Service-level tests round-trip the decision cache through a snapshot
+//!   file — a warm restart re-serves every decision without recomputing —
+//!   and corrupt snapshots (truncated tail, flipped payload byte, bumped
+//!   version) degrade to partial or cold starts, never to errors.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rbqa::access::{AccessMethod, Schema};
+use rbqa::common::{Signature, ValueFactory};
+use rbqa::logic::constraints::tgd::inclusion_dependency;
+use rbqa::logic::constraints::ConstraintSet;
+use rbqa::logic::parser::parse_cq;
+use rbqa::service::{
+    AnswerRequest, CacheOutcome, Fingerprint, QueryService, ShardedCache, SNAPSHOT_VERSION,
+};
+
+fn fp(n: u128) -> Fingerprint {
+    // Spread the shard index (top 64 bits) as well as the key.
+    Fingerprint(n << 64 | n)
+}
+
+/// A cache of byte vectors where each entry costs its length.
+fn sized_cache(shards: usize, budget: u64) -> ShardedCache<Vec<u8>> {
+    ShardedCache::with_shards(shards)
+        .with_cost_fn(Box::new(|v: &Vec<u8>| v.len()))
+        .with_budget(Some(budget))
+}
+
+// --- eviction properties -------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random interleavings of differently-sized inserts against a random
+    /// budget: the byte budget holds at *every* step, and the occupancy
+    /// gauge stays consistent with the resident entries.
+    #[test]
+    fn occupancy_never_exceeds_budget(
+        budget in 0u64..1500,
+        ops in prop::collection::vec((0u8..40, 1usize..200), 1..60),
+        shards in 1usize..5,
+    ) {
+        let cache = sized_cache(shards, budget);
+        for &(key, cost) in &ops {
+            let (value, outcome) = cache.get_or_compute(fp(key as u128 + 1), || vec![key; cost]);
+            if outcome == CacheOutcome::Miss {
+                prop_assert_eq!(value.len(), cost);
+            }
+            let stats = cache.stats();
+            prop_assert!(
+                stats.occupancy_bytes <= budget,
+                "occupancy {} exceeds budget {budget}",
+                stats.occupancy_bytes
+            );
+        }
+        let resident: u64 = cache
+            .ready_entries()
+            .iter()
+            .map(|(_, v)| v.len() as u64)
+            .sum();
+        let stats = cache.stats();
+        prop_assert_eq!(stats.occupancy_bytes, resident);
+        prop_assert_eq!(stats.entries as usize, cache.ready_entries().len());
+        // Every byte ever evicted is accounted for.
+        prop_assert!(stats.evictions == 0 || stats.bytes_evicted > 0);
+    }
+
+    /// After eviction pressure, a key that is no longer resident
+    /// recomputes exactly once: the first re-lookup is a miss that runs
+    /// the closure, the second is a pure hit that does not.
+    #[test]
+    fn evicted_key_recomputes_exactly_once(
+        flood in prop::collection::vec(0u8..30, 10..50),
+        cost in 10usize..40,
+    ) {
+        // Budget fits a handful of `cost`-sized entries.
+        let cache = sized_cache(2, cost as u64 * 4);
+        let probe = fp(1000);
+        cache.get_or_compute(probe, || vec![0; cost]);
+        for &key in &flood {
+            cache.get_or_compute(fp(key as u128 + 1), || vec![key; cost]);
+        }
+        let computed = AtomicUsize::new(0);
+        let lookup = || {
+            cache
+                .get_or_compute(probe, || {
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    vec![0; cost]
+                })
+                .1
+        };
+        let first = lookup();
+        let second = lookup();
+        let expected = match first {
+            // Still resident: neither lookup computes.
+            CacheOutcome::Hit => 0,
+            // Evicted: the first lookup recomputes, the second hits.
+            CacheOutcome::Miss => 1,
+            CacheOutcome::Coalesced => unreachable!("single thread cannot coalesce"),
+        };
+        prop_assert_eq!(computed.load(Ordering::Relaxed), expected);
+        prop_assert_eq!(second, CacheOutcome::Hit);
+        prop_assert!(cache.stats().occupancy_bytes <= cost as u64 * 4);
+    }
+}
+
+// --- single-flight under eviction pressure -------------------------------
+
+/// An in-flight computation is never an eviction victim: while one thread
+/// sits inside the compute closure, other threads flood the cache far past
+/// its budget; the in-flight key's waiters must still coalesce onto the
+/// single computation.
+#[test]
+fn in_flight_entry_survives_eviction_pressure() {
+    let cache = Arc::new(sized_cache(2, 64));
+    let slow_key = fp(999);
+    let computed = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(std::sync::Barrier::new(2));
+
+    std::thread::scope(|scope| {
+        let computer = {
+            let (cache, computed, gate) = (cache.clone(), computed.clone(), gate.clone());
+            scope.spawn(move || {
+                cache.get_or_compute(slow_key, || {
+                    gate.wait(); // flooders start only once we are in flight
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    computed.fetch_add(1, Ordering::Relaxed);
+                    vec![7u8; 16]
+                })
+            })
+        };
+        gate.wait();
+        // Far more bytes than the budget: every insert evicts.
+        for i in 0..200u128 {
+            cache.get_or_compute(fp(i + 1), || vec![1u8; 32]);
+            assert!(cache.stats().occupancy_bytes <= 64);
+        }
+        // Late arrivals on the slow key must wait for the one computation,
+        // not start their own.
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let (cache, computed) = (cache.clone(), computed.clone());
+                scope.spawn(move || {
+                    cache.get_or_compute(slow_key, || {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        vec![7u8; 16]
+                    })
+                })
+            })
+            .collect();
+        let (value, outcome) = computer.join().unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(*value, vec![7u8; 16]);
+        for waiter in waiters {
+            let (value, _) = waiter.join().unwrap();
+            assert_eq!(*value, vec![7u8; 16]);
+        }
+    });
+    assert_eq!(
+        computed.load(Ordering::Relaxed),
+        1,
+        "the in-flight computation ran exactly once despite eviction churn"
+    );
+}
+
+/// Regression: a panicking compute under eviction pressure must not wedge
+/// waiters on the same key. The panicking thread's in-flight marker is
+/// removed, a waiter takes over the computation, and the cache keeps
+/// honouring its budget throughout.
+#[test]
+fn panicking_compute_under_pressure_cannot_wedge_waiters() {
+    let cache = Arc::new(sized_cache(2, 64));
+    let key = fp(4242);
+    let gate = Arc::new(std::sync::Barrier::new(3));
+
+    std::thread::scope(|scope| {
+        let panicker = {
+            let (cache, gate) = (cache.clone(), gate.clone());
+            scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    cache.get_or_compute(key, || {
+                        gate.wait();
+                        // Give waiters time to park on the in-flight entry.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        panic!("compute failed");
+                    })
+                }));
+                assert!(result.is_err());
+            })
+        };
+        let waiter = {
+            let (cache, gate) = (cache.clone(), gate.clone());
+            scope.spawn(move || {
+                gate.wait();
+                cache.get_or_compute(key, || vec![9u8; 16])
+            })
+        };
+        gate.wait();
+        // Eviction churn while the panic and takeover play out.
+        for i in 0..200u128 {
+            cache.get_or_compute(fp(i + 1), || vec![1u8; 32]);
+            assert!(cache.stats().occupancy_bytes <= 64);
+        }
+        panicker.join().unwrap();
+        let (value, _) = waiter.join().unwrap();
+        assert_eq!(*value, vec![9u8; 16], "waiter took over after the panic");
+    });
+    // The key is fully usable afterwards.
+    let (value, _) = cache.get_or_compute(key, || vec![9u8; 16]);
+    assert_eq!(*value, vec![9u8; 16]);
+}
+
+// --- snapshot persistence at the service level ---------------------------
+
+/// Example 1.1 schema (result-bounded directory).
+fn university_schema() -> (Schema, ValueFactory) {
+    let mut sig = Signature::new();
+    let prof = sig.add_relation("Prof", 3).unwrap();
+    let udir = sig.add_relation("Udirectory", 3).unwrap();
+    let mut constraints = ConstraintSet::new();
+    constraints.push_tgd(inclusion_dependency(&sig, prof, &[0], udir, &[0]));
+    let mut schema = Schema::with_parts(sig, constraints, vec![]).unwrap();
+    schema
+        .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+        .unwrap();
+    schema
+        .add_method(AccessMethod::bounded("ud", udir, &[], 100))
+        .unwrap();
+    (schema, ValueFactory::new())
+}
+
+const QUERIES: [&str; 3] = [
+    "Q() :- Udirectory(i, a, p)",
+    "Q(n) :- Prof(i, n, '10000')",
+    "Q(n) :- Prof(i, n, '20000'), Udirectory(i, a, p)",
+];
+
+fn fresh_university_service() -> (QueryService, rbqa::service::CatalogId) {
+    let service = QueryService::new();
+    let (schema, values) = university_schema();
+    let id = service.register_catalog("uni", schema, values).unwrap();
+    (service, id)
+}
+
+fn decide(
+    service: &QueryService,
+    id: rbqa::service::CatalogId,
+    text: &str,
+) -> rbqa::service::AnswerResponse {
+    let mut vf = service.catalog_values(id).unwrap();
+    let mut sig = service.catalog_signature(id).unwrap();
+    let query = parse_cq(text, &mut sig, &mut vf).unwrap();
+    service
+        .submit(&AnswerRequest::decide(id, query, vf))
+        .unwrap()
+}
+
+fn snapshot_path(label: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "rbqa-cache-discipline-{}-{label}.snap",
+        std::process::id()
+    ))
+}
+
+/// Save → reload → identical hit behaviour: the restarted service serves
+/// every decision from the snapshot with `decisions_computed` still zero,
+/// and the decisions themselves are identical to the cold ones.
+#[test]
+fn snapshot_roundtrip_restarts_warm_without_recomputing() {
+    let path = snapshot_path("roundtrip");
+    let (cold, cold_id) = fresh_university_service();
+    let cold_responses: Vec<_> = QUERIES.iter().map(|q| decide(&cold, cold_id, q)).collect();
+    let saved = cold.save_snapshot(&path).unwrap();
+    assert_eq!(saved.records, QUERIES.len());
+
+    let (warm, warm_id) = fresh_university_service();
+    let loaded = warm.load_snapshot(&path).unwrap();
+    assert_eq!(loaded.records, QUERIES.len());
+    assert_eq!(loaded.skipped, 0);
+    assert_eq!(warm.warm_pending(), QUERIES.len());
+
+    for (query, cold_response) in QUERIES.iter().zip(&cold_responses) {
+        let response = decide(&warm, warm_id, query);
+        assert!(response.cache_hit, "warm replay of `{query}` must hit");
+        assert_eq!(response.fingerprint, cold_response.fingerprint);
+        assert_eq!(response.summary, cold_response.summary);
+        assert_eq!(response.plans.len(), cold_response.plans.len());
+    }
+    let metrics = warm.metrics();
+    assert_eq!(
+        metrics.decisions_computed, 0,
+        "warm start must not re-chase"
+    );
+    assert_eq!(metrics.cache_warm_hits, QUERIES.len() as u64);
+    // A second round is now plain cache hits, not warm decodes.
+    decide(&warm, warm_id, QUERIES[0]);
+    assert_eq!(warm.metrics().cache_warm_hits, QUERIES.len() as u64);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Damaged snapshots load the surviving prefix record-by-record and are
+/// never fatal: a truncated tail, a flipped payload byte, and a bumped
+/// version header each still leave a service that answers correctly.
+#[test]
+fn corrupt_snapshots_degrade_to_partial_or_cold_starts() {
+    let path = snapshot_path("corrupt");
+    let (cold, cold_id) = fresh_university_service();
+    let cold_responses: Vec<_> = QUERIES.iter().map(|q| decide(&cold, cold_id, q)).collect();
+    cold.save_snapshot(&path).unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+
+    type Corruptor = Box<dyn Fn(&mut Vec<u8>)>;
+    let scenarios: [(&str, Corruptor); 3] = [
+        (
+            "truncated tail",
+            Box::new(|bytes: &mut Vec<u8>| {
+                let keep = bytes.len() - 5;
+                bytes.truncate(keep);
+            }),
+        ),
+        (
+            "flipped payload byte",
+            Box::new(|bytes: &mut Vec<u8>| {
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x40;
+            }),
+        ),
+        (
+            "bumped version header",
+            Box::new(|bytes: &mut Vec<u8>| {
+                bytes[8] = (SNAPSHOT_VERSION + 1) as u8;
+            }),
+        ),
+    ];
+
+    for (label, damage) in &scenarios {
+        let mut bytes = pristine.clone();
+        damage(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (warm, warm_id) = fresh_university_service();
+        let loaded = warm
+            .load_snapshot(&path)
+            .unwrap_or_else(|e| panic!("{label}: load must not fail: {e}"));
+        assert!(
+            loaded.records < QUERIES.len(),
+            "{label}: at least one record must be lost (kept {})",
+            loaded.records
+        );
+        // Whatever survived serves warm; whatever was lost recomputes —
+        // and both agree with the cold decisions.
+        for (query, cold_response) in QUERIES.iter().zip(&cold_responses) {
+            let response = decide(&warm, warm_id, query);
+            assert_eq!(
+                response.summary, cold_response.summary,
+                "{label}: `{query}`"
+            );
+        }
+        let metrics = warm.metrics();
+        assert_eq!(
+            metrics.cache_warm_hits as usize, loaded.records,
+            "{label}: every surviving record is a warm hit"
+        );
+        assert_eq!(
+            metrics.decisions_computed as usize,
+            QUERIES.len() - loaded.records,
+            "{label}: only the lost records recompute"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
