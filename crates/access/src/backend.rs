@@ -30,6 +30,7 @@ use rbqa_common::{Instance, Value};
 use rustc_hash::FxHashMap;
 
 use crate::method::AccessMethod;
+use crate::resilience::RetryPolicy;
 use crate::selection::{AccessSelection, TruncatingSelection};
 
 /// The outcome of one access: the selected tuples plus per-call accounting.
@@ -302,17 +303,30 @@ pub struct RemoteProfile {
     /// Additional latency per returned tuple, microseconds.
     pub per_tuple_latency_micros: u64,
     /// Percentage (0–100) of attempts that fault before the retry policy
-    /// applies. An access whose retries are all faulted surfaces a
-    /// **non-retryable** [`AccessError::Unavailable`]: the draws are
-    /// deterministic, so repeating the identical access (or request)
-    /// replays the identical faults.
+    /// applies. An access whose retries are all faulted surfaces an
+    /// [`AccessError::Unavailable`] whose `detail` names the attempts
+    /// made and the access's fault key. With `transient_faults` off the
+    /// error is **non-retryable**: the draws are deterministic, so
+    /// repeating the identical access (or request) replays the identical
+    /// faults.
     pub fault_rate_pct: u8,
     /// Hard per-window call quota (every attempt, including retries,
     /// consumes one call); `None` disables the quota.
     pub call_quota: Option<usize>,
-    /// How many times a faulted access is retried before the error is
-    /// surfaced.
-    pub max_retries: usize,
+    /// The internal retry policy: a faulted access is retried up to
+    /// [`RetryPolicy::retries`] times before the error surfaces, and the
+    /// policy's deterministic backoff is accounted into the latency of a
+    /// success that needed retries.
+    pub retry: RetryPolicy,
+    /// Make surfaced faults **transient**: the error is marked
+    /// `retryable: true` and the backend advances a per-access attempt
+    /// cursor, so a later identical access continues the deterministic
+    /// draw sequence instead of replaying the same fault forever. This
+    /// is what lets an outer [`crate::resilience::ResilientBackend`]
+    /// actually clear faults; it stays off by default because it
+    /// deliberately relaxes strict per-access idempotence (outcomes
+    /// still replay exactly for the same seed and call sequence).
+    pub transient_faults: bool,
 }
 
 impl Default for RemoteProfile {
@@ -324,16 +338,17 @@ impl Default for RemoteProfile {
             per_tuple_latency_micros: 2,
             fault_rate_pct: 0,
             call_quota: None,
-            max_retries: 2,
+            retry: RetryPolicy::with_retries(2),
+            transient_faults: false,
         }
     }
 }
 
 /// One SplitMix64 scramble of a 64-bit state: the deterministic draw
-/// primitive behind latency jitter and fault injection (kept local so
-/// backend behaviour is reproducible bit-for-bit from the profile seed
-/// alone).
-fn splitmix(state: u64) -> u64 {
+/// primitive behind latency jitter, fault injection and retry-backoff
+/// jitter (kept in-crate so backend behaviour is reproducible
+/// bit-for-bit from the profile seed alone).
+pub(crate) fn splitmix(state: u64) -> u64 {
     let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -341,8 +356,9 @@ fn splitmix(state: u64) -> u64 {
 }
 
 /// FNV-1a over a method name and binding: the access key the remote
-/// backend's draws are derived from.
-fn access_key_hash(method: &str, binding: &[(usize, Value)]) -> u64 {
+/// backend's draws (and the resilience layer's backoff jitter) are
+/// derived from.
+pub(crate) fn access_key_hash(method: &str, binding: &[(usize, Value)]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in method.bytes() {
         h ^= byte as u64;
@@ -388,6 +404,10 @@ pub struct SimulatedRemoteBackend<B> {
     profile: RemoteProfile,
     calls: usize,
     faults_injected: usize,
+    /// With `transient_faults`: per-access-key next attempt number, so a
+    /// repeated access continues the draw sequence rather than replaying
+    /// the surfaced fault.
+    fault_cursor: FxHashMap<u64, u64>,
 }
 
 impl<B: AccessBackend> SimulatedRemoteBackend<B> {
@@ -398,6 +418,7 @@ impl<B: AccessBackend> SimulatedRemoteBackend<B> {
             profile,
             calls: 0,
             faults_injected: 0,
+            fault_cursor: FxHashMap::default(),
         }
     }
 
@@ -454,16 +475,42 @@ impl<B: AccessBackend> AccessBackend for SimulatedRemoteBackend<B> {
         binding: &[(usize, Value)],
     ) -> Result<AccessResponse, AccessError> {
         let key = access_key_hash(method.name(), binding);
-        let mut attempt: u64 = 0;
+        // Transient mode resumes the draw sequence where the last
+        // surfaced fault on this access left off; otherwise attempts
+        // always start at 0 (strict idempotence).
+        let first_attempt: u64 = if self.profile.transient_faults {
+            self.fault_cursor.get(&key).copied().unwrap_or(0)
+        } else {
+            0
+        };
+        let mut attempt = first_attempt;
+        let mut backoff_micros: u64 = 0;
         loop {
             self.consume_call()?;
             let faulted = self.profile.fault_rate_pct > 0
                 && self.draw(key, attempt, SALT_FAULT, 100) < self.profile.fault_rate_pct as u64;
             if faulted {
                 self.faults_injected += 1;
-                if attempt < self.profile.max_retries as u64 {
+                let retries_so_far = (attempt - first_attempt) as u32;
+                if retries_so_far < self.profile.retry.retries() {
                     attempt += 1;
+                    backoff_micros += self.profile.retry.backoff_micros(key, retries_so_far + 1);
                     continue;
+                }
+                let attempts_made = attempt - first_attempt + 1;
+                if self.profile.transient_faults {
+                    // Advance the cursor so the next identical access
+                    // draws fresh outcomes — the fault is transient, an
+                    // outer retry may clear it.
+                    self.fault_cursor.insert(key, attempt + 1);
+                    return Err(AccessError::Unavailable {
+                        retryable: true,
+                        detail: format!(
+                            "simulated transient fault on `{}` after {attempts_made} attempt(s) \
+                             (fault key {key:#018x})",
+                            method.name(),
+                        ),
+                    });
                 }
                 // Not retryable: the draws are deterministic per (seed,
                 // access, attempt), so repeating the identical access can
@@ -471,17 +518,17 @@ impl<B: AccessBackend> AccessBackend for SimulatedRemoteBackend<B> {
                 return Err(AccessError::Unavailable {
                     retryable: false,
                     detail: format!(
-                        "simulated fault on `{}` after {} attempt(s) (deterministic for this \
-                         seed/access)",
+                        "simulated fault on `{}` after {attempts_made} attempt(s) \
+                         (fault key {key:#018x}, deterministic for this seed/access)",
                         method.name(),
-                        attempt + 1
                     ),
                 });
             }
             let mut response = self.inner.access(method, binding)?;
             response.latency_micros += self.profile.base_latency_micros
                 + self.draw(key, attempt, SALT_JITTER, self.profile.jitter_micros)
-                + self.profile.per_tuple_latency_micros * response.tuples.len() as u64;
+                + self.profile.per_tuple_latency_micros * response.tuples.len() as u64
+                + backoff_micros;
             return Ok(response);
         }
     }
@@ -894,14 +941,62 @@ mod tests {
         // access replays the identical faults).
         let flaky = RemoteProfile {
             fault_rate_pct: 100,
-            max_retries: 2,
+            retry: RetryPolicy::with_retries(2),
             ..RemoteProfile::default()
         };
         let mut backend = SimulatedRemoteBackend::new(InstanceBackend::truncating(&inst), flaky);
         let err = backend.access(&method, &[(0, a)]).unwrap_err();
         assert!(!err.is_retryable());
+        let AccessError::Unavailable { detail, .. } = &err else {
+            panic!("expected Unavailable, got {err:?}");
+        };
+        assert!(detail.contains("after 3 attempt(s)"), "detail: {detail}");
+        assert!(detail.contains("fault key 0x"), "detail: {detail}");
         assert_eq!(backend.calls(), 3, "initial attempt + 2 retries");
         assert_eq!(backend.faults_injected(), 3);
+    }
+
+    #[test]
+    fn transient_faults_are_retryable_and_advance_the_cursor() {
+        let (method, inst, mut vf) = setup(None);
+        let a = vf.constant("a");
+        let profile = RemoteProfile {
+            seed: 3,
+            fault_rate_pct: 50,
+            retry: RetryPolicy::none(),
+            transient_faults: true,
+            ..RemoteProfile::default()
+        };
+        let mut backend = SimulatedRemoteBackend::new(InstanceBackend::truncating(&inst), profile);
+        // Drive the same access repeatedly: every surfaced fault must be
+        // retryable, the attempt cursor must advance (a 50% rate cannot
+        // fault forever within 64 draws), and the whole sequence must
+        // replay identically on a fresh backend with the same profile.
+        let drive = |backend: &mut SimulatedRemoteBackend<InstanceBackend<'_>>| {
+            let mut outcomes = Vec::new();
+            for _ in 0..64 {
+                match backend.access(&method, &[(0, a)]) {
+                    Ok(_) => {
+                        outcomes.push(true);
+                        break;
+                    }
+                    Err(err) => {
+                        assert!(err.is_retryable(), "transient faults must be retryable");
+                        outcomes.push(false);
+                    }
+                }
+            }
+            outcomes
+        };
+        let first = drive(&mut backend);
+        assert_eq!(first.last(), Some(&true), "the fault must eventually clear");
+        assert!(first.len() > 1, "seed 3 faults on the first attempt");
+        let mut fresh = SimulatedRemoteBackend::new(InstanceBackend::truncating(&inst), profile);
+        assert_eq!(
+            drive(&mut fresh),
+            first,
+            "transient mode stays deterministic"
+        );
     }
 
     #[test]
@@ -914,7 +1009,7 @@ mod tests {
         let profile = RemoteProfile {
             seed: 3,
             fault_rate_pct: 50,
-            max_retries: 0,
+            retry: RetryPolicy::none(),
             ..RemoteProfile::default()
         };
         let mut backend = SimulatedRemoteBackend::new(InstanceBackend::truncating(&inst), profile);

@@ -19,6 +19,9 @@
 //!   in-memory, simulated-remote (latency/faults/quotas), sharded, and
 //!   recording/replay, with per-call accounting and a structured
 //!   [`AccessError`] taxonomy;
+//! * [`resilience`] — retry/backoff policies with deterministic seeded
+//!   jitter and per-method circuit breakers ([`ResilientBackend`]),
+//!   layered over any backend;
 //! * [`plan`] — monotone plans: middleware commands over a monotone
 //!   relational algebra and access commands, with their execution semantics
 //!   relative to an access backend (the in-memory backend reproduces the
@@ -28,6 +31,7 @@ pub mod accessible;
 pub mod backend;
 pub mod method;
 pub mod plan;
+pub mod resilience;
 pub mod schema;
 pub mod selection;
 
@@ -38,6 +42,9 @@ pub use backend::{
 };
 pub use method::{AccessMethod, ResultBound};
 pub use plan::{execute_with_backend, Command, Condition, Plan, PlanBuilder, RaExpr, TempTable};
+pub use resilience::{
+    BreakerPolicy, BreakerReport, ResilienceStats, ResilientBackend, RetryPolicy,
+};
 pub use schema::Schema;
 pub use selection::{
     AccessSelection, AdversarialSelection, GreedySelection, RandomSelection, TruncatingSelection,

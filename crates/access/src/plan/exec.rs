@@ -104,6 +104,13 @@ pub fn execute_with_backend(
                 let input_positions = m.input_positions_vec();
                 let mut out = TempTable::new(output_map.len());
                 for binding_row in bindings_table.rows() {
+                    // Cooperative deadline check, once per access: a timed
+                    // out request stops occupying the worker mid-plan
+                    // instead of running to completion.
+                    if rbqa_obs::deadline_expired() {
+                        rbqa_obs::counters::add_deadline_expiry();
+                        return Err(PlanError::DeadlineExceeded);
+                    }
                     let binding: Vec<(usize, Value)> = input_positions
                         .iter()
                         .zip(input_map.iter())

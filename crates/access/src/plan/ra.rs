@@ -26,6 +26,9 @@ pub enum PlanError {
     /// The data-source backend failed an access (quota exhausted, service
     /// unavailable, method not served).
     Access(crate::backend::AccessError),
+    /// The request's deadline expired mid-execution and the plan run was
+    /// aborted cooperatively (checked before every access).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for PlanError {
@@ -41,6 +44,9 @@ impl fmt::Display for PlanError {
             PlanError::UnknownMethod(m) => write!(f, "unknown access method `{m}`"),
             PlanError::Malformed(msg) => write!(f, "malformed plan: {msg}"),
             PlanError::Access(e) => write!(f, "access failed: {e}"),
+            PlanError::DeadlineExceeded => {
+                write!(f, "plan execution aborted: request deadline expired")
+            }
         }
     }
 }

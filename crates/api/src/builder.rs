@@ -398,6 +398,7 @@ impl<'s> RequestBuilder<'s> {
             options: self.options,
             exec: self.exec,
             trace: self.trace,
+            deadline: None,
         })
     }
 

@@ -49,10 +49,14 @@ pub enum ApiErrorCode {
     ProtocolError,
     /// The wire stream announced an unsupported protocol version (or none).
     UnsupportedVersion,
-    /// The request ran past the session's `net.timeout` deadline. The
-    /// timeout is cooperative: the work is not interrupted (its result,
-    /// if any, still lands in the decision cache) but the response is
-    /// replaced by this error.
+    /// The request ran past its deadline (`net.timeout` and/or
+    /// `exec.deadline`). The deadline is cooperative and propagated: the
+    /// chase aborts between rounds, plan execution between accesses, and
+    /// cache waiters give up — an aborted computation caches *nothing*
+    /// (the in-flight slot is vacated, never poisoned). A request that
+    /// finished its work but overran a `net.timeout` without an armed
+    /// in-flight deadline still lands its result in the cache and only
+    /// the response is replaced by this error.
     RequestTimeout,
     /// `poll`/`fetch` referenced a `query_id` no batch enqueue on this
     /// server produced (or one whose result was already evicted).
@@ -137,6 +141,7 @@ impl From<ServiceError> for ApiError {
             ServiceError::UnionArityMismatch => ApiErrorCode::UnionArityMismatch,
             ServiceError::BudgetExhausted { .. } => ApiErrorCode::BudgetExhausted,
             ServiceError::Unavailable { .. } => ApiErrorCode::BackendUnavailable,
+            ServiceError::DeadlineExceeded => ApiErrorCode::RequestTimeout,
             ServiceError::Invalid(_) => ApiErrorCode::InvalidRequest,
         };
         ApiError::new(code, e.to_string())
@@ -186,6 +191,11 @@ mod tests {
         let e: ApiError = unavailable.clone().into();
         assert_eq!(e.code, ApiErrorCode::BackendUnavailable);
         assert_eq!(e.code.as_str(), unavailable.code());
+        // A mid-flight deadline abort maps onto the same stable code the
+        // wire layer's post-hoc `net.timeout` check uses.
+        let e: ApiError = ServiceError::DeadlineExceeded.into();
+        assert_eq!(e.code, ApiErrorCode::RequestTimeout);
+        assert_eq!(e.code.as_str(), ServiceError::DeadlineExceeded.code());
     }
 
     #[test]

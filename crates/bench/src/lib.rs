@@ -709,6 +709,7 @@ pub fn fig_backend_roster() -> Vec<(&'static str, rbqa_engine::BackendSpec)> {
                 seed: 7,
                 latency_micros: 150,
                 fault_rate_pct: 0,
+                transient: false,
             },
         ),
     ]

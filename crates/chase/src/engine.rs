@@ -255,6 +255,18 @@ fn chase_naive(
                 stats,
             };
         }
+        // Cooperative deadline check, once per round: a timed-out request
+        // surrenders the worker here instead of chasing to completion.
+        // The caller distinguishes a real budget exhaustion from an
+        // expired deadline by re-checking the deadline itself.
+        if rbqa_obs::deadline_expired() {
+            rbqa_obs::counters::add_deadline_expiry();
+            return ChaseOutcome {
+                instance: current,
+                completion: Completion::BudgetExhausted,
+                stats,
+            };
+        }
         stats.rounds += 1;
         let mut round_span = rbqa_obs::span("chase_round");
         round_span.num("round", stats.rounds as u64);

@@ -309,6 +309,17 @@ pub(crate) fn chase_seminaive(
                 stats,
             };
         }
+        // Cooperative deadline check, once per round (see the naive
+        // engine): a timed-out request aborts here and the caller tells
+        // the two apart by re-checking the deadline.
+        if rbqa_obs::deadline_expired() {
+            rbqa_obs::counters::add_deadline_expiry();
+            return ChaseOutcome {
+                instance: current,
+                completion: Completion::BudgetExhausted,
+                stats,
+            };
+        }
         stats.rounds += 1;
         let mut round_span = rbqa_obs::span("chase_round");
         round_span.num("round", stats.rounds as u64);

@@ -18,7 +18,10 @@ use rbqa_access::backend::{
     SimulatedRemoteBackend,
 };
 use rbqa_access::plan::{execute_with_backend, PlanRun};
-use rbqa_access::{AccessSelection, Plan, Schema, TruncatingSelection};
+use rbqa_access::{
+    AccessSelection, BreakerPolicy, Plan, ResilienceStats, ResilientBackend, RetryPolicy, Schema,
+    TruncatingSelection,
+};
 use rbqa_common::{Instance, Value};
 use rustc_hash::FxHashMap;
 
@@ -43,6 +46,10 @@ pub enum BackendSpec {
         latency_micros: u64,
         /// Percentage (0–100) of calls that fault before retries.
         fault_rate_pct: u8,
+        /// Whether surfaced faults are *transient*: retryable, with a
+        /// per-access attempt cursor so a later retry of the same access
+        /// draws fresh fault coins instead of replaying the same one.
+        transient: bool,
     },
     /// A sharded federation: the instance hash-partitioned across N child
     /// backends, every access fanned out and merged.
@@ -61,14 +68,21 @@ impl BackendSpec {
                 seed,
                 latency_micros,
                 fault_rate_pct,
-            } => format!("remote:{seed}:{latency_micros}:{fault_rate_pct}"),
+                transient,
+            } => {
+                // The suffix appears only when set, keeping every
+                // pre-existing fingerprint byte-identical.
+                let t = if *transient { ":transient" } else { "" };
+                format!("remote:{seed}:{latency_micros}:{fault_rate_pct}{t}")
+            }
             BackendSpec::Sharded { shards } => format!("sharded:{shards}"),
         }
     }
 }
 
-/// Declarative execution options for a plan run: the backend plus an
-/// optional per-run call budget.
+/// Declarative execution options for a plan run: the backend, an optional
+/// per-run call budget, and the resilience envelope (retry policy,
+/// circuit breaker, degraded-union tolerance).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecOptions {
     /// The backend to execute against.
@@ -77,6 +91,22 @@ pub struct ExecOptions {
     /// over-quota call fails with `BudgetExhausted`. Combines with a
     /// simulator-level rate limit by taking the minimum.
     pub call_budget: Option<usize>,
+    /// Retry retryable access faults through a [`ResilientBackend`]
+    /// wrapping the whole execution window. `None` = no wrapper (every
+    /// fault surfaces on first occurrence, the historical behaviour).
+    /// Retried attempts spend call budget like first attempts: the
+    /// budget wraps *inside* the resilient decorator, as a real quota
+    /// would.
+    pub retry: Option<RetryPolicy>,
+    /// Per-method circuit breaker on the same window. Requires nothing
+    /// of `retry` (a breaker without retries still sheds load); `None` =
+    /// no breaker.
+    pub breaker: Option<BreakerPolicy>,
+    /// Union Execute only: tolerate per-disjunct failures, returning the
+    /// rows of the disjuncts that succeeded plus a `partial` report of
+    /// those that didn't. Off by default — then any disjunct failure
+    /// fails the whole request.
+    pub degraded: bool,
 }
 
 impl ExecOptions {
@@ -84,18 +114,30 @@ impl ExecOptions {
     pub fn with_backend(backend: BackendSpec) -> Self {
         ExecOptions {
             backend,
-            call_budget: None,
+            ..ExecOptions::default()
         }
     }
 
     /// A canonical, stable code for cache fingerprints: two requests with
     /// different exec codes must not share a cached Execute artifact.
+    /// Resilience segments append **only when non-default**, so every
+    /// fingerprint computed before they existed is unchanged.
     pub fn code(&self) -> String {
         let budget = match self.call_budget {
             None => "none".to_owned(),
             Some(k) => k.to_string(),
         };
-        format!("backend:{}|calls:{budget}", self.backend.code())
+        let mut code = format!("backend:{}|calls:{budget}", self.backend.code());
+        if let Some(retry) = &self.retry {
+            code.push_str(&format!("|retry:{}", retry.code()));
+        }
+        if let Some(breaker) = &self.breaker {
+            code.push_str(&format!("|breaker:{}", breaker.code()));
+        }
+        if self.degraded {
+            code.push_str("|degraded");
+        }
+        code
     }
 }
 
@@ -129,6 +171,12 @@ pub struct PlanMetrics {
     /// `true` for every completed run; the field is kept for wire
     /// compatibility.
     pub within_rate_limit: bool,
+    /// Retry attempts the resilience wrapper spent on this plan's
+    /// accesses (0 without [`ExecOptions::retry`]).
+    pub retries: u64,
+    /// Accesses rejected by an open circuit breaker during this plan
+    /// (0 without [`ExecOptions::breaker`]).
+    pub breaker_rejections: u64,
 }
 
 impl PlanMetrics {
@@ -143,6 +191,8 @@ impl PlanMetrics {
             wall_micros: run.wall_micros,
             output_size: run.output.len(),
             within_rate_limit: true,
+            retries: 0,
+            breaker_rejections: 0,
         }
     }
 }
@@ -268,12 +318,14 @@ impl ServiceSimulator {
                 seed,
                 latency_micros,
                 fault_rate_pct,
+                transient,
             } => Box::new(SimulatedRemoteBackend::new(
                 InstanceBackend::with_selection(&self.data, Box::new(TruncatingSelection::new())),
                 RemoteProfile {
                     seed,
                     base_latency_micros: latency_micros,
                     fault_rate_pct,
+                    transient_faults: transient,
                     ..RemoteProfile::default()
                 },
             )),
@@ -302,26 +354,74 @@ impl ServiceSimulator {
         plans: &[&Plan],
         exec: &ExecOptions,
     ) -> Result<Vec<PlanRunResult>, rbqa_access::plan::PlanError> {
+        self.run_plans_exec_results(plans, exec)?
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs every plan in the set against one shared backend window but
+    /// keeps the **per-plan** outcomes apart, so degraded union execution
+    /// can keep the rows of the disjuncts that succeeded.
+    ///
+    /// The outer `Err` is a setup failure (e.g. an invalid shard count)
+    /// before any plan ran. Inner results are in plan order; a failed
+    /// plan does not stop the ones after it (though a shared condition —
+    /// an exhausted budget, an expired deadline — naturally fails them
+    /// too, each with its own error).
+    ///
+    /// The decorator stack is `Resilient(Budgeted(base))`: retries and
+    /// breaker probes spend call budget exactly like first attempts, and
+    /// a `BudgetExhausted` bubbling up is non-retryable so the wrapper
+    /// never burns the remaining window on a lost cause.
+    pub fn run_plans_exec_results(
+        &self,
+        plans: &[&Plan],
+        exec: &ExecOptions,
+    ) -> Result<
+        Vec<Result<PlanRunResult, rbqa_access::plan::PlanError>>,
+        rbqa_access::plan::PlanError,
+    > {
         let mut backend = self.build_backend(exec.backend)?;
-        match self.effective_budget(exec.call_budget) {
+        let mut budgeted;
+        let inner: &mut dyn AccessBackend = match self.effective_budget(exec.call_budget) {
             Some(limit) => {
-                let mut budgeted = BudgetedBackend::new(backend.as_mut(), limit);
-                plans
-                    .iter()
-                    .map(|plan| {
-                        execute_with_backend(plan, &self.schema, &mut budgeted)
-                            .and_then(Self::finish)
-                    })
-                    .collect()
+                budgeted = BudgetedBackend::new(backend.as_mut(), limit);
+                &mut budgeted
             }
-            None => plans
+            None => backend.as_mut(),
+        };
+        if exec.retry.is_none() && exec.breaker.is_none() {
+            let mut inner = inner;
+            return Ok(plans
                 .iter()
                 .map(|plan| {
-                    execute_with_backend(plan, &self.schema, backend.as_mut())
-                        .and_then(Self::finish)
+                    execute_with_backend(plan, &self.schema, &mut inner).and_then(Self::finish)
                 })
-                .collect(),
+                .collect());
         }
+        let mut resilient =
+            ResilientBackend::new(inner, exec.retry.unwrap_or_else(RetryPolicy::none));
+        if let Some(policy) = exec.breaker {
+            resilient = resilient.with_breaker(policy);
+        }
+        let mut results = Vec::with_capacity(plans.len());
+        let mut prev = ResilienceStats::default();
+        for plan in plans {
+            let result = execute_with_backend(plan, &self.schema, &mut resilient)
+                .and_then(Self::finish)
+                .map(|(rows, mut metrics)| {
+                    // Attribute the window's resilience activity to the
+                    // plan that incurred it by diffing the cumulative
+                    // stats around each run.
+                    let now = resilient.stats();
+                    metrics.retries = now.retries - prev.retries;
+                    metrics.breaker_rejections = now.breaker_rejections - prev.breaker_rejections;
+                    (rows, metrics)
+                });
+            prev = resilient.stats();
+            results.push(result);
+        }
+        Ok(results)
     }
 
     /// Executes one plan deterministically under declarative
@@ -449,8 +549,8 @@ mod tests {
         let sim = sim.with_rate_limit(100);
         let plan = salary_plan(&mut vf);
         let exec = ExecOptions {
-            backend: BackendSpec::Instance,
             call_budget: Some(4),
+            ..ExecOptions::default()
         };
         let err = sim.run_plan_exec(&plan, &exec).unwrap_err();
         assert_eq!(
@@ -493,6 +593,7 @@ mod tests {
             seed: 3,
             latency_micros: 100,
             fault_rate_pct: 0,
+            transient: false,
         });
         let (rows, metrics) = sim.run_plan_exec(&plan, &exec).unwrap();
         assert_eq!(rows, instance_rows);
@@ -510,8 +611,8 @@ mod tests {
         let (sim, mut vf) = setup(None, 10);
         let plan = salary_plan(&mut vf);
         let exec = ExecOptions {
-            backend: BackendSpec::Instance,
             call_budget: Some(15),
+            ..ExecOptions::default()
         };
         assert!(sim.run_plans_exec(&[&plan], &exec).is_ok());
         let err = sim.run_plans_exec(&[&plan, &plan], &exec).unwrap_err();
@@ -541,13 +642,95 @@ mod tests {
         let exec = ExecOptions {
             backend: BackendSpec::Sharded { shards: 3 },
             call_budget: Some(10),
+            ..ExecOptions::default()
         };
         assert_eq!(exec.code(), "backend:sharded:3|calls:10");
         let remote = BackendSpec::SimulatedRemote {
             seed: 1,
             latency_micros: 150,
             fault_rate_pct: 5,
+            transient: false,
         };
         assert_eq!(remote.code(), "remote:1:150:5");
+        let transient = BackendSpec::SimulatedRemote {
+            seed: 1,
+            latency_micros: 150,
+            fault_rate_pct: 5,
+            transient: true,
+        };
+        assert_eq!(transient.code(), "remote:1:150:5:transient");
+    }
+
+    #[test]
+    fn resilience_segments_append_only_when_set() {
+        // The default code is pinned byte-for-byte: cached fingerprints
+        // from before the resilience options existed must not move.
+        assert_eq!(ExecOptions::default().code(), "backend:instance|calls:none");
+        let exec = ExecOptions {
+            retry: Some(RetryPolicy {
+                max_attempts: 4,
+                base_backoff_micros: 500,
+                max_backoff_micros: 8_000,
+                retry_budget: 12,
+                seed: 7,
+            }),
+            breaker: Some(BreakerPolicy {
+                failure_threshold: 3,
+                cooldown_calls: 6,
+            }),
+            degraded: true,
+            ..ExecOptions::default()
+        };
+        assert_eq!(
+            exec.code(),
+            "backend:instance|calls:none|retry:a4:b500:c8000:r12:s7|breaker:k3:c6|degraded"
+        );
+    }
+
+    #[test]
+    fn retried_execution_clears_transient_faults() {
+        // A transient-fault remote with external retries: the wrapper's
+        // retries advance the per-access attempt cursor, so the run
+        // converges on the same rows the in-memory backend produces.
+        let (sim, mut vf) = setup(None, 12);
+        let plan = salary_plan(&mut vf);
+        let (instance_rows, _) = sim.run_plan_deterministic(&plan).unwrap();
+        let exec = ExecOptions {
+            backend: BackendSpec::SimulatedRemote {
+                seed: 11,
+                latency_micros: 50,
+                fault_rate_pct: 40,
+                transient: true,
+            },
+            retry: Some(RetryPolicy {
+                max_attempts: 8,
+                retry_budget: 400,
+                ..RetryPolicy::default()
+            }),
+            ..ExecOptions::default()
+        };
+        let (rows, metrics) = sim.run_plan_exec(&plan, &exec).unwrap();
+        assert_eq!(rows, instance_rows);
+        assert!(metrics.retries > 0, "a 40% fault rate must retry");
+    }
+
+    #[test]
+    fn degraded_per_plan_results_survive_a_budget_wall() {
+        // Two plans sharing a 15-call window: plan 1 completes, plan 2
+        // hits the wall — per-plan results keep the first plan's rows
+        // while reporting the second's failure.
+        let (sim, mut vf) = setup(None, 10);
+        let plan = salary_plan(&mut vf);
+        let exec = ExecOptions {
+            call_budget: Some(15),
+            ..ExecOptions::default()
+        };
+        let results = sim.run_plans_exec_results(&[&plan, &plan], &exec).unwrap();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(PlanError::Access(AccessError::BudgetExhausted { .. }))
+        ));
     }
 }

@@ -20,38 +20,90 @@
 //! * **Shutdown** (`--shutdown`): send the `shutdown` verb (the server
 //!   must run with `--allow-remote-shutdown`).
 //!
+//! All modes accept `--connect-retries N`: a bounded connect retry with
+//! exponential backoff (50ms doubling, capped at 1s) for racing a server
+//! that is still binding its listener. Defaults to 3 in `--bench`
+//! (workers start concurrently with the server in CI) and 0 elsewhere.
+//!
 //! Exit codes: 0 clean, 1 when replay saw error responses, 2 on
 //! transport/usage failure.
 
 use std::io::Read;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rbqa_api::json::JsonObject;
 use rbqa_api::WireClient;
 
-const USAGE: &str = "usage: rbqa-client ADDR [FILE]
-       rbqa-client --bench ADDR FILE [--connections K] [--repeat N] [--out PATH]
-       rbqa-client --shutdown ADDR";
+const USAGE: &str = "usage: rbqa-client ADDR [FILE] [--connect-retries N]
+       rbqa-client --bench ADDR FILE [--connections K] [--repeat N] [--out PATH] [--connect-retries N]
+       rbqa-client --shutdown ADDR [--connect-retries N]";
+
+/// Default connect retries in `--bench` mode: bench workers routinely
+/// race a just-spawned server, so riding out a slow listener bind is the
+/// default there (and opt-in everywhere else).
+const BENCH_CONNECT_RETRIES: u32 = 3;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{USAGE}");
         return;
     }
-    let result = if args.first().is_some_and(|a| a == "--shutdown") {
-        shutdown(&args[1..])
-    } else if args.first().is_some_and(|a| a == "--bench") {
-        bench(&args[1..])
-    } else {
-        replay(&args)
-    };
+    let result = extract_connect_retries(&mut args).and_then(|retries| {
+        if args.first().is_some_and(|a| a == "--shutdown") {
+            shutdown(&args[1..], retries.unwrap_or(0))
+        } else if args.first().is_some_and(|a| a == "--bench") {
+            bench(&args[1..], retries.unwrap_or(BENCH_CONNECT_RETRIES))
+        } else {
+            replay(&args, retries.unwrap_or(0))
+        }
+    });
     match result {
         Ok(exit) => std::process::exit(exit),
         Err(e) => {
             eprintln!("rbqa-client: {e}");
             std::process::exit(2);
+        }
+    }
+}
+
+/// Pulls `--connect-retries N` out of the argument list (any position),
+/// leaving the remaining arguments for the mode parsers. `None` means
+/// the flag was absent and the mode's default applies.
+fn extract_connect_retries(args: &mut Vec<String>) -> Result<Option<u32>, String> {
+    let Some(at) = args.iter().position(|a| a == "--connect-retries") else {
+        return Ok(None);
+    };
+    if at + 1 >= args.len() {
+        return Err("--connect-retries expects a count".to_string());
+    }
+    let retries = args[at + 1]
+        .parse()
+        .map_err(|_| "--connect-retries expects a count".to_string())?;
+    args.drain(at..=at + 1);
+    Ok(Some(retries))
+}
+
+/// Bounded connect with exponential backoff: `retries` re-attempts after
+/// the first failure, sleeping 50ms, 100ms, 200ms, … capped at one
+/// second. Lets a client ride out a server that is still binding its
+/// listener without retrying forever against a dead address.
+fn connect_with_retry(addr: &str, retries: u32) -> Result<WireClient, String> {
+    let mut attempt = 0u32;
+    loop {
+        match WireClient::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(e) if attempt < retries => {
+                let backoff_ms = 50u64.saturating_mul(1 << attempt.min(4)).min(1_000);
+                attempt += 1;
+                eprintln!(
+                    "rbqa-client: connect to {addr} failed ({e}); \
+                     retry {attempt}/{retries} in {backoff_ms} ms"
+                );
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+            }
+            Err(e) => return Err(format!("cannot connect to {addr}: {e}")),
         }
     }
 }
@@ -71,13 +123,13 @@ fn read_input(path: Option<&String>) -> Result<String, String> {
     }
 }
 
-fn replay(args: &[String]) -> Result<i32, String> {
+fn replay(args: &[String], retries: u32) -> Result<i32, String> {
     let addr = args.first().ok_or(USAGE.to_string())?;
     if addr.starts_with("--") {
         return Err(format!("unknown flag `{addr}`\n{USAGE}"));
     }
     let input = read_input(args.get(1))?;
-    let client = WireClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let client = connect_with_retry(addr, retries)?;
     let responses = client
         .replay(&input)
         .map_err(|e| format!("replay against {addr} failed: {e}"))?;
@@ -95,10 +147,9 @@ fn replay(args: &[String]) -> Result<i32, String> {
     Ok(if errors > 0 { 1 } else { 0 })
 }
 
-fn shutdown(args: &[String]) -> Result<i32, String> {
+fn shutdown(args: &[String], retries: u32) -> Result<i32, String> {
     let addr = args.first().ok_or(USAGE.to_string())?;
-    let mut client =
-        WireClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut client = connect_with_retry(addr, retries)?;
     let response = client
         .request("shutdown")
         .map_err(|e| format!("shutdown request failed: {e}"))?;
@@ -119,7 +170,7 @@ fn is_request_line(line: &str) -> bool {
     )
 }
 
-fn bench(args: &[String]) -> Result<i32, String> {
+fn bench(args: &[String], retries: u32) -> Result<i32, String> {
     let mut addr: Option<&String> = None;
     let mut file: Option<&String> = None;
     let mut connections = 4usize;
@@ -188,8 +239,7 @@ fn bench(args: &[String]) -> Result<i32, String> {
             let setup = Arc::clone(&setup);
             let requests = Arc::clone(&requests);
             std::thread::spawn(move || -> Result<(Vec<u64>, usize, u64), String> {
-                let mut client = WireClient::connect(addr.as_str())
-                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let mut client = connect_with_retry(addr.as_str(), retries)?;
                 for line in setup.iter() {
                     client
                         .send_line(line)

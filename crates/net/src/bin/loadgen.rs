@@ -26,9 +26,36 @@
 //! phase replays byte-identical request sequences, which is what makes
 //! the `decisions_computed == 0` assertion meaningful.
 //!
+//! **Chaos mode** (`--chaos`) swaps the cache-discipline phases for a
+//! resilience storm against one server (the `BENCH_chaos.json` story):
+//!
+//! 1. **clean** — union `execute` traffic against fault-free simulated
+//!    remotes: the availability and latency baseline.
+//! 2. **all_or_nothing** — the identical request stream, but ~10 % of
+//!    requests ride a fault-injecting backend (`faults=40 transient`).
+//!    Degraded mode is off, so one faulting disjunct fails the whole
+//!    union — the availability foil.
+//! 3. **degraded** — same stream, `option exec.degraded on`: unions
+//!    answer from surviving disjuncts with a `partial` block. Built-in
+//!    acceptance demands availability >= 99 % here while the
+//!    all-or-nothing foil (same storm, same JSON) is strictly worse.
+//! 4. **timeout** — fresh heavy-chase decides under `option
+//!    exec.deadline`: every mid-flight abort must surface
+//!    `REQUEST_TIMEOUT` within 2x the configured deadline, and replaying
+//!    the same requests with the deadline off must succeed — aborted
+//!    computes vacated (never poisoned) their cache slots.
+//!
+//! Every fault coin is a hash of (seed, access, attempt), so the
+//! availability figures are bit-reproducible across machines; only the
+//! latency columns vary. The chaos run exits non-zero when any
+//! acceptance criterion fails (wedged worker, poisoned slot, code
+//! outside the configured policy, unbounded timeout, availability gap).
+//!
 //! ```sh
 //! cargo run --release -p rbqa-net --bin rbqa-loadgen -- --out BENCH_load.json
-//! rbqa-loadgen --quick --out /tmp/load.json   # CI smoke preset
+//! rbqa-loadgen --quick --out /tmp/load.json           # CI smoke preset
+//! rbqa-loadgen --chaos --out BENCH_chaos.json         # resilience storm
+//! rbqa-loadgen --chaos --quick --out /tmp/chaos.json  # CI chaos smoke
 //! ```
 //!
 //! Exits 0 when every acceptance criterion holds, 1 otherwise, 2 on
@@ -48,7 +75,9 @@ use rbqa_service::QueryService;
 const USAGE: &str = "usage: rbqa-loadgen [--quick] [--out PATH]
                     [--connections K] [--requests N] [--catalogs C]
                     [--queries Q] [--zipf S] [--seed N]
-                    [--open-rate R] [--snapshot PATH]";
+                    [--open-rate R] [--snapshot PATH]
+       rbqa-loadgen --chaos [--quick] [--out PATH]
+                    [--connections K] [--requests N] [--seed N]";
 
 // --- deterministic RNG + Zipf sampler -----------------------------------
 
@@ -418,6 +447,7 @@ fn phase_json(name: &str, result: &mut PassResult, stats: &WireStats) -> String 
 
 struct LoadConfig {
     out: Option<PathBuf>,
+    chaos: bool,
     connections: usize,
     requests_per_conn: usize,
     catalogs: usize,
@@ -430,12 +460,29 @@ struct LoadConfig {
 
 fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
     let quick = args.iter().any(|a| a == "--quick");
-    let mut config = if quick {
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let mut config = if chaos {
+        // Chaos sizes: enough requests that the ~10 % fault burst has a
+        // three-digit sample in the full run.
+        LoadConfig {
+            out: None,
+            chaos: true,
+            connections: if quick { 2 } else { 4 },
+            requests_per_conn: if quick { 120 } else { 300 },
+            catalogs: 3,
+            queries: 8,
+            zipf_s: 1.1,
+            seed: 0xC0FFEE,
+            open_rate: 0.0,
+            snapshot: None,
+        }
+    } else if quick {
         // The keyspace must stay wide enough for LRU to matter: with too
         // few keys the top-quarter Zipf mass is small and the bounded
         // phase cannot reach 80 % of the unbounded hit ratio.
         LoadConfig {
             out: None,
+            chaos: false,
             connections: 2,
             requests_per_conn: 150,
             catalogs: 4,
@@ -448,6 +495,7 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
     } else {
         LoadConfig {
             out: None,
+            chaos: false,
             connections: 4,
             requests_per_conn: 400,
             catalogs: 8,
@@ -466,7 +514,7 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--quick" => {}
+            "--quick" | "--chaos" => {}
             "--out" => config.out = Some(value("--out")?.into()),
             "--snapshot" => config.snapshot = Some(value("--snapshot")?.into()),
             "--connections" => config.connections = parse_count(&value("--connections")?)?,
@@ -499,6 +547,514 @@ fn parse_count(text: &str) -> Result<usize, String> {
         Ok(n) if n > 0 => Ok(n),
         _ => Err(format!("expected a positive integer, got `{text}`")),
     }
+}
+
+// --- chaos mode ----------------------------------------------------------
+
+/// Fault-burst probability of the chaos storm, percent of requests.
+const CHAOS_BURST_PCT: u64 = 10;
+/// Per-access fault rate inside a burst request. Transient faults at
+/// this rate survive the remote's internal retries often enough to fail
+/// whole unions in all-or-nothing mode, while a degraded union almost
+/// always keeps one disjunct alive (disjunct failures correlate through
+/// shared access keys, so the rate is tuned against the measured — and
+/// seed-deterministic — both-disjuncts-fail probability).
+const CHAOS_FAULT_PCT: u64 = 25;
+/// `option exec.deadline` of the timeout phase, microseconds. The heavy
+/// chain catalog's fresh decide takes well past this, so every request
+/// aborts mid-chase; the between-round check granularity is around a
+/// hundred microseconds, so the overshoot inside the 2x response-time
+/// bound is pure scheduler jitter — the deadline is sized to leave that
+/// bound a full deadline's worth of slack on a noisy CI box.
+const CHAOS_DEADLINE_MICROS: u64 = 10_000;
+/// Length of the heavy catalog's constraint chain (= chase rounds).
+/// Sized so an undisturbed fresh decide takes ~1.5x the deadline: long
+/// enough that all storm requests time out, short enough that the
+/// no-deadline replay stays cheap.
+const CHAOS_HEAVY_CHAIN: usize = 192;
+/// Requests in the timeout storm (and its no-deadline replay).
+const CHAOS_TIMEOUT_REQUESTS: usize = 12;
+
+/// The chaos traffic: union `execute` keys over the generated catalogs
+/// (two disjuncts per union — the degradable unit) plus a heavy
+/// chain-of-constraints catalog whose fresh decides run long enough to
+/// hit an armed deadline mid-chase.
+struct ChaosWorkload {
+    setup: Vec<String>,
+    unions: Vec<String>,
+}
+
+fn generate_chaos_workload(catalogs: usize, queries: usize) -> ChaosWorkload {
+    let base = generate_workload(catalogs, queries);
+    let mut setup = base.setup;
+    let mut unions = Vec::new();
+    for g in 0..catalogs {
+        for j in 0..queries {
+            unions.push(format!(
+                "execute load{g} Q(n) :- R{g}(i, n, 'c{j}') || Q(a) :- S{g}(i, a, p)"
+            ));
+        }
+    }
+    setup.push("catalog heavy".to_string());
+    for i in 0..CHAOS_HEAVY_CHAIN {
+        setup.push(format!("relation C{i}/3"));
+    }
+    for i in 0..CHAOS_HEAVY_CHAIN - 1 {
+        setup.push(format!("constraint C{i}(x, y, w) -> C{}(y, z, v)", i + 1));
+    }
+    setup.push("method hm0 C0 in=".to_string());
+    for i in 1..CHAOS_HEAVY_CHAIN {
+        setup.push(format!("method hm{i} C{i} in=1"));
+    }
+    for r in 0..8 {
+        setup.push(format!("fact C0('a{r}', 'b{r}', 'c{r}')"));
+    }
+    ChaosWorkload { setup, unions }
+}
+
+/// A decide against the heavy catalog with a fresh selecting constant:
+/// a guaranteed cache miss, so the full multi-millisecond chase runs.
+fn heavy_decide(tag: &str, idx: usize) -> String {
+    format!("decide heavy Q(y) :- C0(x, y, w), C1(y, z, v), C2(z, u, '{tag}{idx}')")
+}
+
+#[derive(Default)]
+struct ChaosPassResult {
+    requests: usize,
+    ok: usize,
+    partials: usize,
+    /// `"code" -> count` over error responses.
+    errors_by_code: std::collections::BTreeMap<String, usize>,
+    all_micros: Vec<u64>,
+}
+
+impl ChaosPassResult {
+    fn availability(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.requests as f64
+        }
+    }
+
+    fn merge(&mut self, other: ChaosPassResult) {
+        self.requests += other.requests;
+        self.ok += other.ok;
+        self.partials += other.partials;
+        for (code, n) in other.errors_by_code {
+            *self.errors_by_code.entry(code).or_default() += n;
+        }
+        self.all_micros.extend(other.all_micros);
+    }
+
+    fn record(&mut self, response: &str, micros: u64) {
+        self.requests += 1;
+        self.all_micros.push(micros);
+        if response.contains("\"status\":\"error\"") {
+            let code = json_str(response, "code").unwrap_or_else(|| "UNPARSEABLE".to_string());
+            *self.errors_by_code.entry(code).or_default() += 1;
+        } else {
+            self.ok += 1;
+            if response.contains("\"partial\":true") {
+                self.partials += 1;
+            }
+        }
+    }
+}
+
+/// Extracts `"key":"value"` from a JSON response line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let rest = &line[line.find(&marker)? + marker.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// One storm pass: every connection replays the setup, then issues
+/// `requests_per_conn` Zipf-sampled union executes. Each request first
+/// selects its backend over the wire: ~`CHAOS_BURST_PCT` % ride a
+/// fault-injecting remote, the rest a fault-free one. The RNG stream is
+/// a pure function of (seed, connection), so the all-or-nothing and
+/// degraded passes see byte-identical request/burst/seed sequences —
+/// the availability gap is attributable to `exec.degraded` alone.
+fn run_chaos_pass(
+    addr: &str,
+    workload: &ChaosWorkload,
+    config: &LoadConfig,
+    faults: bool,
+    degraded: bool,
+) -> Result<ChaosPassResult, String> {
+    let zipf = Arc::new(Zipf::new(workload.unions.len(), config.zipf_s));
+    thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for conn_idx in 0..config.connections {
+            let zipf = Arc::clone(&zipf);
+            workers.push(scope.spawn(move || -> Result<ChaosPassResult, String> {
+                let mut client = WireClient::connect(addr)
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                client
+                    .send_line("rbqa/1")
+                    .map_err(|e| format!("version header: {e}"))?;
+                for line in &workload.setup {
+                    client
+                        .send_line(line)
+                        .map_err(|e| format!("setup write failed: {e}"))?;
+                }
+                if degraded {
+                    client
+                        .send_line("option exec.degraded on")
+                        .map_err(|e| format!("degraded option: {e}"))?;
+                }
+                let pending = client.sync().map_err(|e| format!("setup sync: {e}"))?;
+                if let Some(err) = pending.iter().find(|l| l.contains("\"status\":\"error\"")) {
+                    return Err(format!("setup directive failed: {err}"));
+                }
+                let mut rng = Rng::new(config.seed.wrapping_add(conn_idx as u64 * 0x1000));
+                let mut out = ChaosPassResult::default();
+                for _ in 0..config.requests_per_conn {
+                    let key = &workload.unions[zipf.sample(&mut rng)];
+                    let burst = rng.next_u64() % 100 < CHAOS_BURST_PCT;
+                    let backend_seed = rng.next_u64() % 1_000;
+                    let spec = if faults && burst {
+                        format!(
+                            "option exec.backend remote seed={backend_seed} latency=0 \
+                             faults={CHAOS_FAULT_PCT} transient"
+                        )
+                    } else {
+                        format!("option exec.backend remote seed={backend_seed} latency=0 faults=0")
+                    };
+                    client
+                        .send_line(&spec)
+                        .map_err(|e| format!("backend option: {e}"))?;
+                    let sent = Instant::now();
+                    let response = client
+                        .request(key)
+                        .map_err(|e| format!("chaos request failed: {e}"))?;
+                    out.record(&response, sent.elapsed().as_micros() as u64);
+                }
+                Ok(out)
+            }));
+        }
+        let mut merged = ChaosPassResult::default();
+        for worker in workers {
+            // A worker that cannot report back is the wedged-worker
+            // signal the acceptance gate looks for.
+            merged.merge(
+                worker.join().map_err(|_| {
+                    "chaos connection thread panicked (wedged worker)".to_string()
+                })??,
+            );
+        }
+        Ok(merged)
+    })
+}
+
+struct TimeoutPassResult {
+    storm: ChaosPassResult,
+    /// Client-observed round-trip of every `REQUEST_TIMEOUT` response —
+    /// the bound the acceptance gate checks is what the *client* waits.
+    timeout_micros: Vec<u64>,
+    /// The no-deadline replay of the same requests (poisoning probe).
+    replay: ChaosPassResult,
+}
+
+/// The timeout storm: fresh heavy decides under an armed
+/// `exec.deadline`, then the same requests replayed with the deadline
+/// off. The replay proves the aborted computes left vacated — not
+/// poisoned — cache slots: every replayed request must now complete.
+fn run_timeout_pass(addr: &str, workload: &ChaosWorkload) -> Result<TimeoutPassResult, String> {
+    let mut client =
+        WireClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    client
+        .send_line("rbqa/1")
+        .map_err(|e| format!("version header: {e}"))?;
+    for line in &workload.setup {
+        client
+            .send_line(line)
+            .map_err(|e| format!("setup write failed: {e}"))?;
+    }
+    let pending = client.sync().map_err(|e| format!("setup sync: {e}"))?;
+    if let Some(err) = pending.iter().find(|l| l.contains("\"status\":\"error\"")) {
+        return Err(format!("setup directive failed: {err}"));
+    }
+
+    // Warm-up decide before arming the deadline: the first request on a
+    // fresh catalog pays its (unbounded, one-off) lazy registration,
+    // which is not part of the deadline-governed computation the 2x
+    // response bound is about.
+    let warmup = client
+        .request(&heavy_decide("warmup", 0))
+        .map_err(|e| format!("warmup request failed: {e}"))?;
+    if warmup.contains("\"status\":\"error\"") {
+        return Err(format!("heavy-catalog warmup failed: {warmup}"));
+    }
+
+    client
+        .send_line(&format!("option exec.deadline {CHAOS_DEADLINE_MICROS}"))
+        .map_err(|e| format!("deadline option: {e}"))?;
+    let mut storm = ChaosPassResult::default();
+    let mut timeout_micros = Vec::new();
+    for idx in 0..CHAOS_TIMEOUT_REQUESTS {
+        let sent = Instant::now();
+        let response = client
+            .request(&heavy_decide("t", idx))
+            .map_err(|e| format!("timeout request failed: {e}"))?;
+        let micros = sent.elapsed().as_micros() as u64;
+        storm.record(&response, micros);
+        if response.contains("\"code\":\"REQUEST_TIMEOUT\"") {
+            timeout_micros.push(micros);
+        }
+    }
+
+    client
+        .send_line("option exec.deadline off")
+        .map_err(|e| format!("deadline option: {e}"))?;
+    let mut replay = ChaosPassResult::default();
+    for idx in 0..CHAOS_TIMEOUT_REQUESTS {
+        let sent = Instant::now();
+        let response = client
+            .request(&heavy_decide("t", idx))
+            .map_err(|e| format!("timeout replay failed: {e}"))?;
+        replay.record(&response, sent.elapsed().as_micros() as u64);
+    }
+    Ok(TimeoutPassResult {
+        storm,
+        timeout_micros,
+        replay,
+    })
+}
+
+fn chaos_phase_json(name: &str, result: &mut ChaosPassResult) -> String {
+    let mut codes = JsonObject::new();
+    for (code, n) in &result.errors_by_code {
+        codes = codes.field_u128(code, *n as u128);
+    }
+    JsonObject::new()
+        .field_str("phase", name)
+        .field_u128("requests", result.requests as u128)
+        .field_u128("ok", result.ok as u128)
+        .field_u128("partials", result.partials as u128)
+        .field_raw("availability", &format!("{:.4}", result.availability()))
+        .field_raw("errors_by_code", &codes.finish())
+        .field_raw("latency_micros", &latency_json(&mut result.all_micros))
+        .finish()
+}
+
+fn run_chaos(config: &LoadConfig) -> Result<bool, String> {
+    let workload = generate_chaos_workload(config.catalogs, config.queries);
+    // +1 worker so the timeout/probe connection never queues behind load.
+    let (server, addr) = spawn_server(None, None, config.connections + 1)?;
+    eprintln!(
+        "rbqa-loadgen: chaos storm — {} connections x {} requests over {} union keys, \
+         {CHAOS_BURST_PCT}% burst @ faults={CHAOS_FAULT_PCT}, deadline {CHAOS_DEADLINE_MICROS} us",
+        config.connections,
+        config.requests_per_conn,
+        workload.unions.len(),
+    );
+
+    // Phase 1: fault-free baseline (availability + latency reference).
+    let mut clean = run_chaos_pass(&addr, &workload, config, false, false)?;
+    // Phase 2: the fault storm with all-or-nothing unions (the foil).
+    let mut strict = run_chaos_pass(&addr, &workload, config, true, false)?;
+    // Phase 3: the identical storm with degraded unions.
+    let mut degraded = run_chaos_pass(&addr, &workload, config, true, true)?;
+    // Phase 4: deadline storm + no-deadline replay on the heavy catalog.
+    let mut timeout = run_timeout_pass(&addr, &workload)?;
+
+    // Liveness probe: after the storms every pool worker must still
+    // serve a fresh connection (no wedged workers), and the service
+    // counters must be readable.
+    let mut probe_ok = true;
+    for _ in 0..config.connections + 1 {
+        let mut client =
+            WireClient::connect(addr.as_str()).map_err(|e| format!("probe connect: {e}"))?;
+        client
+            .send_line("rbqa/1")
+            .map_err(|e| format!("probe header: {e}"))?;
+        let pong = client
+            .request("ping")
+            .map_err(|e| format!("probe ping failed: {e}"))?;
+        probe_ok &= pong.contains("\"pong\":true");
+    }
+    let stats_line = {
+        let mut client =
+            WireClient::connect(addr.as_str()).map_err(|e| format!("stats connect: {e}"))?;
+        client
+            .send_line("rbqa/1")
+            .map_err(|e| format!("stats header: {e}"))?;
+        client
+            .request("stats")
+            .map_err(|e| format!("stats request failed: {e}"))?
+    };
+    let stat = |key: &str| json_u64(&stats_line, key).unwrap_or(0);
+    let (stats_degraded, stats_timeouts, stats_retries, stats_rejections) = (
+        stat("degraded_responses"),
+        stat("deadline_timeouts"),
+        stat("retries"),
+        stat("breaker_rejections"),
+    );
+    server
+        .shutdown_and_join()
+        .map_err(|e| format!("chaos server shutdown failed: {e}"))?;
+
+    // Acceptance criteria (ISSUE 9 tentpole d).
+    let clean_ok = clean.availability() == 1.0 && clean.partials == 0;
+    let degraded_available = degraded.availability() >= 0.99;
+    let degraded_beats_strict = degraded.availability() >= strict.availability();
+    let partials_served = degraded.partials > 0 && strict.partials == 0;
+    let policy_codes_only = clean.errors_by_code.is_empty()
+        && strict
+            .errors_by_code
+            .keys()
+            .all(|c| c == "BACKEND_UNAVAILABLE")
+        && degraded
+            .errors_by_code
+            .keys()
+            .all(|c| c == "BACKEND_UNAVAILABLE")
+        && timeout
+            .storm
+            .errors_by_code
+            .keys()
+            .all(|c| c == "REQUEST_TIMEOUT");
+    let timeouts_fired = !timeout.timeout_micros.is_empty();
+    let timeout_bound = 2 * CHAOS_DEADLINE_MICROS;
+    let timeouts_bounded = timeout.timeout_micros.iter().all(|&m| m <= timeout_bound);
+    let no_poisoned_slots = timeout.replay.availability() == 1.0;
+    let timeouts_counted = stats_timeouts >= timeout.timeout_micros.len() as u64
+        && stats_degraded >= degraded.partials as u64;
+    clean.all_micros.sort_unstable();
+    strict.all_micros.sort_unstable();
+    degraded.all_micros.sort_unstable();
+    let clean_p99 = pct(&clean.all_micros, 0.99);
+    let storm_p99 = pct(&strict.all_micros, 0.99).max(pct(&degraded.all_micros, 0.99));
+    // The storm may re-chase burst fingerprints, so the bound is a wide
+    // multiple of clean p99 with an absolute floor for fast machines.
+    let p99_cap = (20 * clean_p99).max(10_000);
+    let p99_bounded = storm_p99 <= p99_cap;
+    let no_wedged_workers = probe_ok;
+    let pass = clean_ok
+        && degraded_available
+        && degraded_beats_strict
+        && partials_served
+        && policy_codes_only
+        && timeouts_fired
+        && timeouts_bounded
+        && no_poisoned_slots
+        && timeouts_counted
+        && p99_bounded
+        && no_wedged_workers;
+
+    eprintln!(
+        "rbqa-loadgen: clean {:.4} | all-or-nothing {:.4} | degraded {:.4} \
+         ({} partials) | {} timeouts (max {} us, bound {timeout_bound} us) | \
+         storm p99 {storm_p99} us (cap {p99_cap} us)",
+        clean.availability(),
+        strict.availability(),
+        degraded.availability(),
+        degraded.partials,
+        timeout.timeout_micros.len(),
+        timeout.timeout_micros.iter().max().copied().unwrap_or(0),
+    );
+    for (ok, what) in [
+        (clean_ok, "fault-free pass fully available, no partials"),
+        (
+            degraded_available,
+            "degraded availability >= 99% under the burst",
+        ),
+        (
+            degraded_beats_strict,
+            "degraded availability >= all-or-nothing foil",
+        ),
+        (
+            partials_served,
+            "partials served only under exec.degraded on",
+        ),
+        (
+            policy_codes_only,
+            "error codes match policy (BACKEND_UNAVAILABLE / REQUEST_TIMEOUT)",
+        ),
+        (
+            timeouts_fired,
+            "deadline storm produced mid-flight timeouts",
+        ),
+        (
+            timeouts_bounded,
+            "every timeout answered within 2x the configured deadline",
+        ),
+        (
+            no_poisoned_slots,
+            "no-deadline replay fully available (no poisoned cache slots)",
+        ),
+        (
+            timeouts_counted,
+            "service counters account the timeouts and degraded responses",
+        ),
+        (p99_bounded, "storm p99 within the latency cap"),
+        (
+            no_wedged_workers,
+            "every pool worker answered the liveness probe",
+        ),
+    ] {
+        eprintln!("rbqa-loadgen: [{}] {what}", if ok { "ok" } else { "FAIL" });
+    }
+
+    if let Some(path) = &config.out {
+        let acceptance = JsonObject::new()
+            .field_bool("clean_fully_available", clean_ok)
+            .field_bool("degraded_availability_at_least_99pct", degraded_available)
+            .field_bool("degraded_beats_all_or_nothing", degraded_beats_strict)
+            .field_bool("partials_only_when_degraded", partials_served)
+            .field_bool("error_codes_match_policy", policy_codes_only)
+            .field_bool("timeouts_fired", timeouts_fired)
+            .field_bool("timeouts_within_2x_deadline", timeouts_bounded)
+            .field_bool("no_poisoned_cache_slots", no_poisoned_slots)
+            .field_bool("resilience_counters_consistent", timeouts_counted)
+            .field_bool("p99_bounded", p99_bounded)
+            .field_bool("no_wedged_workers", no_wedged_workers)
+            .field_bool("pass", pass)
+            .finish();
+        let timeout_detail = JsonObject::new()
+            .field_u128("deadline_micros", CHAOS_DEADLINE_MICROS as u128)
+            .field_u128("bound_micros", timeout_bound as u128)
+            .field_u128("timeouts", timeout.timeout_micros.len() as u128)
+            .field_u128(
+                "max_timeout_micros",
+                timeout.timeout_micros.iter().max().copied().unwrap_or(0) as u128,
+            )
+            .finish();
+        let resilience = JsonObject::new()
+            .field_u128("degraded_responses", stats_degraded as u128)
+            .field_u128("deadline_timeouts", stats_timeouts as u128)
+            .field_u128("retries", stats_retries as u128)
+            .field_u128("breaker_rejections", stats_rejections as u128)
+            .finish();
+        let phases = format!(
+            "[{},{},{},{},{}]",
+            chaos_phase_json("clean", &mut clean),
+            chaos_phase_json("all_or_nothing", &mut strict),
+            chaos_phase_json("degraded", &mut degraded),
+            chaos_phase_json("timeout_storm", &mut timeout.storm),
+            chaos_phase_json("timeout_replay", &mut timeout.replay),
+        );
+        let report = JsonObject::new()
+            .field_u128("v", 1)
+            .field_str("kind", "bench")
+            .field_str("target", "chaos")
+            .field_u128("connections", config.connections as u128)
+            .field_u128("requests_per_connection", config.requests_per_conn as u128)
+            .field_u128("union_keys", workload.unions.len() as u128)
+            .field_u128("burst_pct", CHAOS_BURST_PCT as u128)
+            .field_u128("fault_pct", CHAOS_FAULT_PCT as u128)
+            .field_u128("seed", config.seed as u128)
+            .field_raw("timeout", &timeout_detail)
+            .field_raw("resilience_counters", &resilience)
+            .field_raw("phases", &phases)
+            .field_raw("acceptance", &acceptance)
+            .finish();
+        std::fs::write(path, format!("{report}\n"))
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        eprintln!("rbqa-loadgen: wrote {}", path.display());
+    }
+    Ok(pass)
 }
 
 // --- main ----------------------------------------------------------------
@@ -539,6 +1095,9 @@ fn main() {
 
 fn run(args: &[String]) -> Result<bool, String> {
     let config = parse_args(args)?;
+    if config.chaos {
+        return run_chaos(&config);
+    }
     let snapshot = config.snapshot.clone().unwrap_or_else(|| {
         std::env::temp_dir().join(format!("rbqa-loadgen-{}.snap", std::process::id()))
     });

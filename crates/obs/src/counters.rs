@@ -32,6 +32,18 @@ pub struct CounterSnapshot {
     /// Backtracks taken by the homomorphism kernel (bindings undone
     /// after a failed extension).
     pub backtracks: u64,
+    /// Access retries performed by `ResilientBackend` (attempts beyond
+    /// the first, across all accesses in the window).
+    pub retry_attempts: u64,
+    /// Simulated backoff accounted by those retries, in microseconds.
+    pub retry_backoff_micros: u64,
+    /// Circuit-breaker transitions into `Open`.
+    pub breaker_opens: u64,
+    /// Accesses rejected while a breaker was open.
+    pub breaker_rejections: u64,
+    /// Cooperative aborts taken because the request deadline expired
+    /// (chase rounds, plan accesses, cache waits).
+    pub deadline_expiries: u64,
 }
 
 #[derive(Default)]
@@ -44,6 +56,11 @@ struct Counters {
     saturation_iters: Cell<u64>,
     posting_probes: Cell<u64>,
     backtracks: Cell<u64>,
+    retry_attempts: Cell<u64>,
+    retry_backoff_micros: Cell<u64>,
+    breaker_opens: Cell<u64>,
+    breaker_rejections: Cell<u64>,
+    deadline_expiries: Cell<u64>,
 }
 
 thread_local! {
@@ -57,6 +74,11 @@ thread_local! {
             saturation_iters: Cell::new(0),
             posting_probes: Cell::new(0),
             backtracks: Cell::new(0),
+            retry_attempts: Cell::new(0),
+            retry_backoff_micros: Cell::new(0),
+            breaker_opens: Cell::new(0),
+            breaker_rejections: Cell::new(0),
+            deadline_expiries: Cell::new(0),
         }
     };
 }
@@ -72,6 +94,11 @@ pub(crate) fn reset() {
         c.saturation_iters.set(0);
         c.posting_probes.set(0);
         c.backtracks.set(0);
+        c.retry_attempts.set(0);
+        c.retry_backoff_micros.set(0);
+        c.breaker_opens.set(0);
+        c.breaker_rejections.set(0);
+        c.deadline_expiries.set(0);
     });
 }
 
@@ -86,6 +113,11 @@ pub(crate) fn snapshot() -> CounterSnapshot {
         saturation_iters: c.saturation_iters.get(),
         posting_probes: c.posting_probes.get(),
         backtracks: c.backtracks.get(),
+        retry_attempts: c.retry_attempts.get(),
+        retry_backoff_micros: c.retry_backoff_micros.get(),
+        breaker_opens: c.breaker_opens.get(),
+        breaker_rejections: c.breaker_rejections.get(),
+        deadline_expiries: c.deadline_expiries.get(),
     })
 }
 
@@ -170,6 +202,37 @@ pub fn add_saturation_iters(n: u64) {
         return;
     }
     add!(saturation_iters, n);
+}
+
+/// Flushes retry attempts and the simulated backoff they accounted,
+/// batched by one `ResilientBackend` request window.
+#[inline]
+pub fn add_retries(attempts: u64, backoff_micros: u64) {
+    if !enabled() || attempts == 0 {
+        return;
+    }
+    add!(retry_attempts, attempts);
+    add!(retry_backoff_micros, backoff_micros);
+}
+
+/// Flushes circuit-breaker activity (transitions into `Open`, calls
+/// rejected while open) batched by one request window.
+#[inline]
+pub fn add_breaker(opens: u64, rejections: u64) {
+    if !enabled() || (opens == 0 && rejections == 0) {
+        return;
+    }
+    add!(breaker_opens, opens);
+    add!(breaker_rejections, rejections);
+}
+
+/// Records one cooperative deadline abort.
+#[inline]
+pub fn add_deadline_expiry() {
+    if !enabled() {
+        return;
+    }
+    add!(deadline_expiries, 1);
 }
 
 #[cfg(test)]

@@ -40,6 +40,11 @@ fn counters_json(trace: &Trace) -> String {
         .u64("saturation_iters", c.saturation_iters)
         .u64("posting_probes", c.posting_probes)
         .u64("backtracks", c.backtracks)
+        .u64("retry_attempts", c.retry_attempts)
+        .u64("retry_backoff_micros", c.retry_backoff_micros)
+        .u64("breaker_opens", c.breaker_opens)
+        .u64("breaker_rejections", c.breaker_rejections)
+        .u64("deadline_expiries", c.deadline_expiries)
         .finish()
 }
 

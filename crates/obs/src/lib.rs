@@ -40,6 +40,7 @@
 //! item 3's question directly — see `BENCH_profile.json`.
 
 pub mod counters;
+pub mod deadline;
 pub mod export;
 pub mod hist;
 mod json;
@@ -47,6 +48,9 @@ pub mod server;
 pub mod tracer;
 
 pub use counters::CounterSnapshot;
+pub use deadline::{
+    arm_deadline, deadline_armed, deadline_expired, deadline_remaining, DeadlineGuard,
+};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use server::{Gauge, ServerStats, ServerStatsSnapshot};
 pub use tracer::{

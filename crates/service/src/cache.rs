@@ -330,6 +330,102 @@ impl<V> ShardedCache<V> {
         (value, CacheOutcome::Miss)
     }
 
+    /// Fallible twin of [`Self::get_or_compute`]: the closure may fail,
+    /// and a failed computation **vacates** the in-flight slot instead of
+    /// caching anything — the error goes to this caller, waiters wake and
+    /// retry (or take over), and the next identical request starts fresh.
+    /// This is the cache-slot cancellation rule: a deadline-aborted or
+    /// otherwise failed compute behaves exactly like a panicking one
+    /// (whose slot the [`InFlightGuard`] already vacates), so errors can
+    /// never poison the slot or get cached as answers.
+    ///
+    /// Waiters additionally bound their condvar wait by the ambient
+    /// request deadline ([`rbqa_obs::deadline_remaining`]): a waiter
+    /// whose own deadline expires while another caller's computation is
+    /// still running gives up with `on_timeout()` instead of blocking to
+    /// completion — an un-deadlined computer cannot starve a deadlined
+    /// waiter.
+    pub fn get_or_try_compute<E>(
+        &self,
+        key: Fingerprint,
+        compute: impl FnOnce() -> Result<V, E>,
+        on_timeout: impl Fn() -> E,
+    ) -> Result<(Arc<V>, CacheOutcome), E> {
+        let shard = self.shard(key);
+        {
+            let mut map = shard.map.lock().expect("cache shard poisoned");
+            loop {
+                match map.get_mut(&key.0) {
+                    Some(Entry::Ready { value, stamp, .. }) => {
+                        *stamp = self.next_stamp();
+                        return Ok((Arc::clone(value), CacheOutcome::Hit));
+                    }
+                    Some(Entry::InFlight) => {
+                        match rbqa_obs::deadline_remaining() {
+                            None => {
+                                map = shard.cond.wait(map).expect("cache shard poisoned");
+                            }
+                            Some(remaining) if remaining.is_zero() => {
+                                rbqa_obs::counters::add_deadline_expiry();
+                                return Err(on_timeout());
+                            }
+                            Some(remaining) => {
+                                let (m, _timeout) = shard
+                                    .cond
+                                    .wait_timeout(map, remaining)
+                                    .expect("cache shard poisoned");
+                                map = m;
+                                // Expired while waiting and the slot is
+                                // still in flight: give up. (A Ready or
+                                // vacated slot is still taken below even
+                                // at the deadline — the value is free.)
+                                if rbqa_obs::deadline_expired()
+                                    && matches!(map.get(&key.0), Some(Entry::InFlight))
+                                {
+                                    rbqa_obs::counters::add_deadline_expiry();
+                                    return Err(on_timeout());
+                                }
+                            }
+                        }
+                        // On wake the entry is Ready, or was removed by a
+                        // failing/panicking computer — then take over.
+                        if let std::collections::hash_map::Entry::Vacant(e) = map.entry(key.0) {
+                            e.insert(Entry::InFlight);
+                            break;
+                        }
+                        match map.get_mut(&key.0) {
+                            Some(Entry::Ready { value, stamp, .. }) => {
+                                *stamp = self.next_stamp();
+                                return Ok((Arc::clone(value), CacheOutcome::Coalesced));
+                            }
+                            _ => continue,
+                        }
+                    }
+                    None => {
+                        map.insert(key.0, Entry::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+        // This thread owns the computation. On `Err` the guard's Drop
+        // removes the in-flight marker and wakes every waiter.
+        let mut guard = InFlightGuard {
+            shard,
+            key: key.0,
+            done: false,
+        };
+        match compute() {
+            Ok(value) => {
+                let value = Arc::new(value);
+                guard.done = true;
+                self.finish(shard, key.0, &value);
+                Ok((value, CacheOutcome::Miss))
+            }
+            Err(err) => Err(err),
+        }
+    }
+
     /// Installs a freshly computed value (or releases its in-flight marker
     /// when the budget refuses it), waking all waiters either way.
     fn finish(&self, shard: &Shard<V>, key: u128, value: &Arc<V>) {
@@ -539,6 +635,90 @@ mod tests {
         let (v, outcome) = cache.get_or_compute(fp(9), || 5);
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(*v, 5);
+    }
+
+    #[test]
+    fn failed_compute_vacates_the_slot() {
+        let cache: ShardedCache<u64> = ShardedCache::new();
+        let err = cache
+            .get_or_try_compute(fp(11), || Err::<u64, &str>("boom"), || "timeout")
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(cache.get(fp(11)).is_none(), "no poisoned slot");
+        // The key is free: a later caller computes and caches normally.
+        let (v, outcome) = cache
+            .get_or_try_compute(fp(11), || Ok::<u64, &str>(5), || "timeout")
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(*v, 5);
+        assert!(cache.get(fp(11)).is_some());
+    }
+
+    #[test]
+    fn failing_compute_releases_waiters_to_take_over() {
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new());
+        let c1 = Arc::clone(&cache);
+        let failer = std::thread::spawn(move || {
+            c1.get_or_try_compute(
+                fp(12),
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                    Err::<u64, &str>("flaky")
+                },
+                || "timeout",
+            )
+            .unwrap_err()
+        });
+        // Give the failer time to claim the slot, then pile on waiters.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let (v, _) = cache
+                        .get_or_try_compute(fp(12), || Ok::<u64, &str>(77), || "timeout")
+                        .unwrap();
+                    *v
+                })
+            })
+            .collect();
+        assert_eq!(failer.join().unwrap(), "flaky");
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), 77, "waiters recover after the failure");
+        }
+    }
+
+    #[test]
+    fn deadlined_waiter_gives_up_while_compute_runs() {
+        let cache: Arc<ShardedCache<u64>> = Arc::new(ShardedCache::new());
+        let c1 = Arc::clone(&cache);
+        let computer = std::thread::spawn(move || {
+            c1.get_or_try_compute(
+                fp(13),
+                || {
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                    Ok::<u64, &str>(1)
+                },
+                || "timeout",
+            )
+            .unwrap()
+            .1
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // A waiter with a 20ms deadline must not block the full 150ms.
+        let _guard = rbqa_obs::arm_deadline(std::time::Duration::from_millis(20));
+        let started = std::time::Instant::now();
+        let err = cache
+            .get_or_try_compute(fp(13), || Ok::<u64, &str>(2), || "timeout")
+            .unwrap_err();
+        assert_eq!(err, "timeout");
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(120),
+            "the waiter must give up at its deadline, not at compute completion"
+        );
+        assert_eq!(computer.join().unwrap(), CacheOutcome::Miss);
+        drop(_guard);
+        assert!(cache.get(fp(13)).is_some(), "the computer still caches");
     }
 
     #[test]

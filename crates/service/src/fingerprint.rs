@@ -365,11 +365,11 @@ mod tests {
         // Backend/budget choices separate cache entries too.
         let sharded = ExecOptions {
             backend: rbqa_engine::BackendSpec::Sharded { shards: 2 },
-            call_budget: None,
+            ..ExecOptions::default()
         };
         let budgeted = ExecOptions {
-            backend: rbqa_engine::BackendSpec::Instance,
             call_budget: Some(50),
+            ..ExecOptions::default()
         };
         let f3 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &plain, &sharded);
         let f4 = request_fingerprint(sfp, &union, schema.signature(), &resolve, &plain, &budgeted);

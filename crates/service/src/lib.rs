@@ -62,8 +62,9 @@ pub use fingerprint::{request_fingerprint, schema_fingerprint, Fingerprint};
 // Execution options are part of the request vocabulary; re-export them so
 // API layers need not depend on `rbqa-engine` directly.
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use rbqa_access::{BreakerPolicy, RetryPolicy};
 pub use rbqa_engine::{BackendSpec, ExecOptions, MAX_SHARDS};
-pub use request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
+pub use request::{AnswerRequest, AnswerResponse, DisjunctFailure, RequestMode, ServiceError};
 pub use service::{
     rebase_constants, rebase_cq_constants, CachedDecision, QueryService, ServiceConfig,
 };

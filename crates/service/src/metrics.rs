@@ -24,6 +24,10 @@ pub struct ServiceMetrics {
     decisions_computed: AtomicU64,
     chase_rounds_saved: AtomicU64,
     executions: AtomicU64,
+    degraded_responses: AtomicU64,
+    deadline_timeouts: AtomicU64,
+    retries: AtomicU64,
+    breaker_rejections: AtomicU64,
     mode_counts: [AtomicU64; 3],
     mode_micros: [AtomicU64; 3],
     /// Per-mode latency distributions (microseconds). The running
@@ -74,6 +78,29 @@ impl ServiceMetrics {
         self.executions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An `Execute` that returned partial rows under `exec.degraded`
+    /// (some disjuncts faulted, the rest were served).
+    pub(crate) fn record_degraded(&self) {
+        self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request abandoned because its cooperative deadline expired.
+    pub(crate) fn record_timeout(&self) {
+        self.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Resilience work one Execute window performed (no-op when zero, the
+    /// overwhelmingly common case).
+    pub(crate) fn record_resilience(&self, retries: u64, breaker_rejections: u64) {
+        if retries > 0 {
+            self.retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        if breaker_rejections > 0 {
+            self.breaker_rejections
+                .fetch_add(breaker_rejections, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn record_latency(&self, mode: RequestMode, micros: u128) {
         let i = mode_index(mode);
         self.mode_counts[i].fetch_add(1, Ordering::Relaxed);
@@ -100,6 +127,10 @@ impl ServiceMetrics {
             decisions_computed: load(&self.decisions_computed),
             chase_rounds_saved: load(&self.chase_rounds_saved),
             executions: load(&self.executions),
+            degraded_responses: load(&self.degraded_responses),
+            deadline_timeouts: load(&self.deadline_timeouts),
+            retries: load(&self.retries),
+            breaker_rejections: load(&self.breaker_rejections),
             mode_counts: [
                 load(&self.mode_counts[0]),
                 load(&self.mode_counts[1]),
@@ -143,6 +174,16 @@ pub struct MetricsSnapshot {
     pub chase_rounds_saved: u64,
     /// `Execute`-mode plan runs performed.
     pub executions: u64,
+    /// `Execute` responses served partial under `exec.degraded` (some
+    /// disjuncts faulted, the surviving rows were returned anyway).
+    pub degraded_responses: u64,
+    /// Requests abandoned because their cooperative deadline expired
+    /// (`REQUEST_TIMEOUT` responses).
+    pub deadline_timeouts: u64,
+    /// Retry attempts spent by `Execute` resilience wrappers.
+    pub retries: u64,
+    /// Accesses rejected by open circuit breakers.
+    pub breaker_rejections: u64,
     /// Request counts per mode (`Decide`, `Synthesize`, `Execute`).
     pub mode_counts: [u64; 3],
     /// Cumulative latency per mode, in microseconds.

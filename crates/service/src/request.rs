@@ -78,6 +78,15 @@ pub struct AnswerRequest {
     /// (a traced cache *hit* therefore yields a short trace covering
     /// only the lookup, not the original decision work).
     pub trace: bool,
+    /// Cooperative deadline for the whole request: when set, the chase
+    /// (per round), plan execution (per access) and cache waits abort
+    /// with [`ServiceError::DeadlineExceeded`] once this much time has
+    /// elapsed since `submit` began. Like `trace` it is deliberately
+    /// **not** part of the fingerprint — a deadline changes how long we
+    /// try, never what the answer is — so deadlined and undeadlined
+    /// spellings share a cache entry, and an aborted computation caches
+    /// nothing (the single-flight slot is vacated, not poisoned).
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl AnswerRequest {
@@ -110,6 +119,7 @@ impl AnswerRequest {
             options: AnswerabilityOptions::default(),
             exec: ExecOptions::default(),
             trace: false,
+            deadline: None,
         }
     }
 
@@ -122,6 +132,12 @@ impl AnswerRequest {
     /// Returns the request with per-request tracing switched on or off.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns the request with a cooperative deadline (`None` clears it).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -237,6 +253,26 @@ pub struct AnswerResponse {
     /// request's own work (cache hits trace only the lookup). `None`
     /// when tracing was off.
     pub trace: Option<rbqa_obs::Trace>,
+    /// `Execute` with `exec.degraded` only: when some union disjuncts
+    /// faulted but others succeeded, this lists the failed disjuncts and
+    /// [`AnswerResponse::rows`] holds the union of the *surviving*
+    /// disjuncts' rows. `None` means the response is complete (or
+    /// degraded mode was off — then any disjunct failure fails the whole
+    /// request). Partial rows are per-response only; nothing partial is
+    /// ever cached (the decision cache stores decisions and plans, and a
+    /// degraded run changes neither).
+    pub partial: Option<Vec<DisjunctFailure>>,
+}
+
+/// One failed disjunct of a degraded (partial) union Execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjunctFailure {
+    /// Index of the failed plan in [`AnswerResponse::plans`].
+    pub plan_index: usize,
+    /// The stable [`ServiceError::code`] of the failure.
+    pub code: &'static str,
+    /// Human-readable detail (not part of the stable contract).
+    pub detail: String,
 }
 
 impl AnswerResponse {
@@ -306,6 +342,10 @@ pub enum ServiceError {
         /// Human-readable context (not part of the stable contract).
         detail: String,
     },
+    /// The request's cooperative deadline expired mid-flight (chase
+    /// round, plan access, or cache wait); the work was abandoned and
+    /// nothing was cached.
+    DeadlineExceeded,
     /// Invalid registration input.
     Invalid(String),
 }
@@ -323,6 +363,7 @@ impl ServiceError {
             ServiceError::UnionArityMismatch => "UNION_ARITY_MISMATCH",
             ServiceError::BudgetExhausted { .. } => "BUDGET_EXHAUSTED",
             ServiceError::Unavailable { .. } => "BACKEND_UNAVAILABLE",
+            ServiceError::DeadlineExceeded => "REQUEST_TIMEOUT",
             ServiceError::Invalid(_) => "INVALID_REQUEST",
         }
     }
@@ -353,6 +394,9 @@ impl std::fmt::Display for ServiceError {
                 "execution backend unavailable ({}): {detail}",
                 if *retryable { "retryable" } else { "permanent" }
             ),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "request deadline expired before the work completed")
+            }
             ServiceError::Invalid(e) => write!(f, "invalid request: {e}"),
         }
     }

@@ -27,7 +27,7 @@ use crate::cache::{CacheOutcome, CacheStatsSnapshot, ShardedCache};
 use crate::catalog::{CatalogEntry, CatalogId, CatalogRegistry};
 use crate::fingerprint::{request_fingerprint, Fingerprint};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::request::{AnswerRequest, AnswerResponse, RequestMode, ServiceError};
+use crate::request::{AnswerRequest, AnswerResponse, DisjunctFailure, RequestMode, ServiceError};
 use crate::snapshot::{self, SnapshotStats};
 
 /// Re-expresses a CQ's constants in another value space: every constant is
@@ -136,6 +136,7 @@ fn plan_error_to_service_error(e: rbqa_access::plan::PlanError) -> ServiceError 
         rbqa_access::plan::PlanError::Access(AccessError::Unavailable { retryable, detail }) => {
             ServiceError::Unavailable { retryable, detail }
         }
+        rbqa_access::plan::PlanError::DeadlineExceeded => ServiceError::DeadlineExceeded,
         other => ServiceError::Execution(other.to_string()),
     }
 }
@@ -410,16 +411,26 @@ impl QueryService {
     /// leaks an armed tracer into the next request served by this
     /// thread.
     pub fn submit(&self, request: &AnswerRequest) -> Result<AnswerResponse, ServiceError> {
-        if !request.trace {
-            return self.submit_inner(request);
+        // Arm the cooperative deadline for the whole request, on *this*
+        // thread (batch workers each arm their own). The guard restores
+        // any enclosing deadline on every exit path; nested arms keep
+        // whichever deadline is tighter.
+        let _deadline = request.deadline.map(rbqa_obs::arm_deadline);
+        let result = if !request.trace {
+            self.submit_inner(request)
+        } else {
+            rbqa_obs::install(rbqa_obs::Tracer::new());
+            let result = self.submit_inner(request);
+            let trace = rbqa_obs::uninstall();
+            result.map(|mut response| {
+                response.trace = trace;
+                response
+            })
+        };
+        if matches!(result, Err(ServiceError::DeadlineExceeded)) {
+            self.metrics.record_timeout();
         }
-        rbqa_obs::install(rbqa_obs::Tracer::new());
-        let result = self.submit_inner(request);
-        let trace = rbqa_obs::uninstall();
-        result.map(|mut response| {
-            response.trace = trace;
-            response
-        })
+        result
     }
 
     /// Claims (removes) the warm snapshot record for a fingerprint, if
@@ -439,53 +450,73 @@ impl QueryService {
         let fingerprint = Self::fingerprint_for(&entry, request, &options);
 
         let warm = Cell::new(false);
-        let (decision, outcome) = self.cache.get_or_compute(fingerprint, || {
-            // Miss path: the only place the decision pipeline (and hence
-            // the chase) runs. Fingerprints are deliberately independent
-            // of the requester's ValueFactory (constants are resolved to
-            // strings), so the cached artifact must be too: rebase the
-            // query's constants onto the *catalog's* value space before
-            // deciding. Otherwise the first requester's interner ids
-            // would be baked into a result served to every α-equivalent
-            // requester — wrong whenever the factories disagree (e.g.
-            // Execute against catalog data, or constraints with
-            // constants).
-            let mut values = entry.values.clone();
-            // Warm path: a snapshot record with this fingerprint replaces
-            // the pipeline run entirely — decode (re-interning constants
-            // into the catalog's value space, exactly like the rebase
-            // below) and serve. An undecodable record falls through to a
-            // genuine compute.
-            if let Some(encoded) = self.take_warm(fingerprint) {
-                if let Some((summary, plans)) = snapshot::decode_decision(&encoded, &mut values) {
-                    warm.set(true);
-                    return CachedDecision {
-                        summary,
-                        plans,
-                        encoded,
-                    };
+        let (decision, outcome) = self.cache.get_or_try_compute(
+            fingerprint,
+            || {
+                // Miss path: the only place the decision pipeline (and hence
+                // the chase) runs. Fingerprints are deliberately independent
+                // of the requester's ValueFactory (constants are resolved to
+                // strings), so the cached artifact must be too: rebase the
+                // query's constants onto the *catalog's* value space before
+                // deciding. Otherwise the first requester's interner ids
+                // would be baked into a result served to every α-equivalent
+                // requester — wrong whenever the factories disagree (e.g.
+                // Execute against catalog data, or constraints with
+                // constants).
+                let mut values = entry.values.clone();
+                // Warm path: a snapshot record with this fingerprint replaces
+                // the pipeline run entirely — decode (re-interning constants
+                // into the catalog's value space, exactly like the rebase
+                // below) and serve. An undecodable record falls through to a
+                // genuine compute.
+                if let Some(encoded) = self.take_warm(fingerprint) {
+                    if let Some((summary, plans)) = snapshot::decode_decision(&encoded, &mut values)
+                    {
+                        warm.set(true);
+                        return Ok(CachedDecision {
+                            summary,
+                            plans,
+                            encoded,
+                        });
+                    }
                 }
-            }
-            let query = rebase_constants(&request.query, &request.values, &mut values);
-            // Canonical-dedup before deciding, mirroring the fingerprint:
-            // the cached artifact for `Q ∨ Qα` must be the artifact for `Q`.
-            let query = dedup_disjuncts(query, entry.schema.signature(), &values);
-            let result =
-                decide_monotone_answerability_union(&entry.schema, &query, &mut values, &options);
-            let plans: Vec<Arc<rbqa_access::Plan>> = result
-                .union_plans()
-                .map(|plans| plans.into_iter().cloned().map(Arc::new).collect())
-                .unwrap_or_default();
-            // `summary()` folds the union's total chase rounds in, so the
-            // flat summary is all the hit path (and the snapshot) needs.
-            let summary = result.summary();
-            let encoded = snapshot::encode_decision(&summary, &plans, &|v| values.display(v));
-            CachedDecision {
-                summary,
-                plans,
-                encoded,
-            }
-        });
+                let query = rebase_constants(&request.query, &request.values, &mut values);
+                // Canonical-dedup before deciding, mirroring the fingerprint:
+                // the cached artifact for `Q ∨ Qα` must be the artifact for `Q`.
+                let query = dedup_disjuncts(query, entry.schema.signature(), &values);
+                let result = decide_monotone_answerability_union(
+                    &entry.schema,
+                    &query,
+                    &mut values,
+                    &options,
+                );
+                // A deadline that expired mid-pipeline truncated the chase
+                // (the engines abort cooperatively between rounds), so the
+                // summary may claim exhaustion it never proved. Abandon it:
+                // the `Err` vacates the in-flight slot — nothing partial is
+                // ever cached — and a waiter or retry recomputes from
+                // scratch.
+                if rbqa_obs::deadline_expired() {
+                    return Err(ServiceError::DeadlineExceeded);
+                }
+                let plans: Vec<Arc<rbqa_access::Plan>> = result
+                    .union_plans()
+                    .map(|plans| plans.into_iter().cloned().map(Arc::new).collect())
+                    .unwrap_or_default();
+                // `summary()` folds the union's total chase rounds in, so the
+                // flat summary is all the hit path (and the snapshot) needs.
+                let summary = result.summary();
+                let encoded = snapshot::encode_decision(&summary, &plans, &|v| values.display(v));
+                Ok(CachedDecision {
+                    summary,
+                    plans,
+                    encoded,
+                })
+            },
+            // Waiters that run out of deadline while an unrelated thread
+            // computes give up with the same timeout error.
+            || ServiceError::DeadlineExceeded,
+        )?;
         let rounds_skipped = decision.summary.chase_rounds;
         match outcome {
             CacheOutcome::Miss if warm.get() => self.metrics.record_warm_hit(rounds_skipped),
@@ -500,7 +531,7 @@ impl QueryService {
             RequestMode::Synthesize | RequestMode::Execute => decision.plans.clone(),
         };
 
-        let (rows, plan_metrics) = if request.mode == RequestMode::Execute {
+        let (rows, plan_metrics, partial) = if request.mode == RequestMode::Execute {
             if plans.is_empty() {
                 return Err(ServiceError::NoPlan);
             }
@@ -510,20 +541,48 @@ impl QueryService {
                 .ok_or_else(|| ServiceError::NoDataset(entry.name.clone()))?;
             let mut rows: Vec<Vec<rbqa_common::Value>> = Vec::new();
             let mut metrics: Option<PlanMetrics> = None;
+            let mut failures: Vec<DisjunctFailure> = Vec::new();
+            let mut first_error: Option<ServiceError> = None;
             // One backend + one call-budget window serves every disjunct
             // plan: `call_budget` caps the request's total accesses, not
             // each plan's.
             let plan_refs: Vec<&rbqa_access::Plan> = plans.iter().map(|p| p.as_ref()).collect();
             let runs = simulator
-                .run_plans_exec(&plan_refs, &request.exec)
+                .run_plans_exec_results(&plan_refs, &request.exec)
                 .map_err(plan_error_to_service_error)?;
-            for (plan_rows, plan_metrics) in runs {
-                rows.extend(plan_rows);
-                metrics = Some(match metrics {
-                    None => plan_metrics,
-                    Some(acc) => merge_plan_metrics(acc, plan_metrics),
-                });
+            for (index, run) in runs.into_iter().enumerate() {
+                match run {
+                    Ok((plan_rows, plan_metrics)) => {
+                        rows.extend(plan_rows);
+                        metrics = Some(match metrics {
+                            None => plan_metrics,
+                            Some(acc) => merge_plan_metrics(acc, plan_metrics),
+                        });
+                    }
+                    Err(e) => {
+                        let error = plan_error_to_service_error(e);
+                        // A deadline abort is request-global, never a
+                        // per-disjunct degradation: partial rows from a
+                        // timed-out request would be indistinguishable
+                        // from a complete answer that happens to be small.
+                        if error == ServiceError::DeadlineExceeded || !request.exec.degraded {
+                            return Err(error);
+                        }
+                        failures.push(DisjunctFailure {
+                            plan_index: index,
+                            code: error.code(),
+                            detail: error.to_string(),
+                        });
+                        first_error.get_or_insert(error);
+                    }
+                }
             }
+            // Degraded mode rescues a union only when something survived:
+            // if every disjunct faulted there are no rows to serve and the
+            // first failure is the honest answer.
+            let Some(merged) = metrics else {
+                return Err(first_error.expect("a failed Execute run recorded its error"));
+            };
             // Union semantics: deduplicated, sorted answers (matching
             // `UnionOfConjunctiveQueries::evaluate`). Applied even for a
             // single plan so that the rows of a cached entry never depend
@@ -534,9 +593,17 @@ impl QueryService {
             rows.sort();
             rows.dedup();
             self.metrics.record_execution();
-            (Some(rows), metrics)
+            self.metrics
+                .record_resilience(merged.retries, merged.breaker_rejections);
+            let partial = if failures.is_empty() {
+                None
+            } else {
+                self.metrics.record_degraded();
+                Some(failures)
+            };
+            (Some(rows), Some(merged), partial)
         } else {
-            (None, None)
+            (None, None, None)
         };
 
         let micros = start.elapsed().as_micros();
@@ -553,6 +620,7 @@ impl QueryService {
             plan_metrics,
             micros,
             trace: None,
+            partial,
         })
     }
 

@@ -196,6 +196,7 @@ fn traces_stay_balanced_when_requests_error_mid_pipeline() {
             seed: 7,
             latency_micros: 0,
             fault_rate_pct: 100,
+            transient: false,
         },
         ..ExecOptions::default()
     });

@@ -92,6 +92,7 @@ fn main() {
                 seed: 42,
                 latency_micros: 150,
                 fault_rate_pct: 0,
+                transient: false,
             },
         ),
     ] {
@@ -113,6 +114,7 @@ fn main() {
     let starved = ExecOptions {
         backend: BackendSpec::Instance,
         call_budget: Some(1),
+        ..ExecOptions::default()
     };
     match services.run_plan_exec(&plan, &starved) {
         Err(PlanError::Access(AccessError::BudgetExhausted { budget, calls })) => println!(

@@ -216,6 +216,7 @@ fn exec_backends_agree_and_budgets_fail_fast_through_the_api() {
         seed: 5,
         latency_micros: 120,
         fault_rate_pct: 0,
+        transient: false,
     }));
     assert_eq!(default.rows, sharded.rows, "sharded rows match in-memory");
     assert_eq!(default.rows, remote.rows, "remote rows match in-memory");

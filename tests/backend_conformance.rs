@@ -131,7 +131,7 @@ fn remote_faults_survive_retries_or_surface() {
             RemoteProfile {
                 seed,
                 fault_rate_pct: 40,
-                max_retries: 3,
+                retry: rbqa::access::RetryPolicy::with_retries(3),
                 ..RemoteProfile::default()
             },
         );
