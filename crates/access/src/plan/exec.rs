@@ -43,6 +43,14 @@ pub struct PlanRun {
     pub wall_micros: u64,
     /// Accesses performed, per method name.
     pub calls_per_method: FxHashMap<String, usize>,
+    /// Binding-level accesses an adaptive executor answered without a
+    /// backend call (window-cache hits plus short-circuited disjuncts'
+    /// avoided accesses). Always 0 on the naive path.
+    pub accesses_skipped: usize,
+    /// Whether this plan run was short-circuited as a union disjunct whose
+    /// rows were provably subsumed by already-executed disjuncts (0 or 1
+    /// per run; union metrics sum it). Always 0 on the naive path.
+    pub disjuncts_short_circuited: usize,
     /// Final contents of every temporary table (for inspection/debugging).
     pub tables: FxHashMap<String, TempTable>,
 }
@@ -148,6 +156,8 @@ pub fn execute_with_backend(
         latency_micros,
         wall_micros: wall_start.elapsed().as_micros() as u64,
         calls_per_method,
+        accesses_skipped: 0,
+        disjuncts_short_circuited: 0,
         tables,
     })
 }

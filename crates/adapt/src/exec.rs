@@ -1,0 +1,469 @@
+//! The adaptive plan executor: a drop-in sibling of
+//! [`rbqa_access::plan::execute_with_backend`] that prunes, dedups, and
+//! reorders accesses using the state of an [`AdaptiveWindow`].
+//!
+//! Soundness argument, piece by piece:
+//!
+//! * **Scheduling** is a topological order of the plan's dependency graph
+//!   with pure middleware run as soon as it is ready and ready access
+//!   commands picked cheapest-first. Temporary tables are named and
+//!   written exactly once (`Plan::validate` rejects duplicates), so every
+//!   topological order computes the same tables.
+//! * **Cache hits** replay the exact response the backend returned earlier
+//!   in the window, and backends are idempotent within a window.
+//! * **Short-circuits** only skip a disjunct whose plan is structurally
+//!   identical to one this window already executed — same plan, same
+//!   window, same rows.
+//!
+//! The [`PlanRun`] it returns accounts *actual backend traffic*:
+//! `accesses_performed`, `tuples_fetched`, `latency_micros` etc. cover
+//! fresh backend calls only, while `accesses_skipped` counts the
+//! binding-level accesses answered without one. Output rows are always
+//! exactly the naive executor's (that is what `exec.adaptive validate`
+//! asserts request-by-request).
+
+use rbqa_access::backend::AccessBackend;
+use rbqa_access::plan::ra::TempTable;
+use rbqa_access::plan::{Command, Plan, PlanError, PlanRun};
+use rbqa_access::Schema;
+use rbqa_common::Value;
+use rustc_hash::FxHashMap;
+
+use crate::graph::DependencyGraph;
+use crate::window::AdaptiveWindow;
+
+/// Executes `plan` adaptively against `backend`, reading and feeding the
+/// execution-window state in `window`.
+///
+/// Call this once per disjunct with one shared `window` per request to get
+/// cross-disjunct dedup and short-circuiting; a fresh window degrades to
+/// within-plan dedup only.
+pub fn execute_plan_adaptive(
+    plan: &Plan,
+    schema: &Schema,
+    backend: &mut dyn AccessBackend,
+    window: &mut AdaptiveWindow,
+) -> Result<PlanRun, PlanError> {
+    plan.validate(schema)?;
+    let wall_start = std::time::Instant::now();
+
+    // Disjunct subsumption short-circuit: a structurally identical plan
+    // already ran in this window, so its rows are provably subsumed by
+    // rows already emitted — stop before performing any access.
+    let identity = format!("{plan:?}");
+    if let Some(prev) = window.executed(&identity) {
+        let skipped = prev.accesses_total;
+        let output = prev.output.clone();
+        let mut tables: FxHashMap<String, TempTable> = FxHashMap::default();
+        tables.insert(
+            plan.output_table().to_owned(),
+            TempTable::from_rows(prev.output_arity, output.clone())?,
+        );
+        rbqa_obs::counters::add_adaptive(skipped as u64, 0, 1);
+        return Ok(PlanRun {
+            output,
+            accesses_performed: 0,
+            tuples_fetched: 0,
+            tuples_matched: 0,
+            truncated_accesses: 0,
+            latency_micros: 0,
+            wall_micros: wall_start.elapsed().as_micros() as u64,
+            calls_per_method: FxHashMap::default(),
+            accesses_skipped: skipped,
+            disjuncts_short_circuited: 1,
+            tables,
+        });
+    }
+
+    let graph = DependencyGraph::new(plan);
+    let commands = plan.commands();
+    let mut done = vec![false; commands.len()];
+    let mut tables: FxHashMap<String, TempTable> = FxHashMap::default();
+    let mut accesses_performed = 0usize;
+    let mut accesses_skipped = 0usize;
+    let mut reorders = 0u64;
+    let mut tuples_fetched = 0usize;
+    let mut tuples_matched = 0usize;
+    let mut truncated_accesses = 0usize;
+    let mut latency_micros = 0u64;
+    let mut calls_per_method: FxHashMap<String, usize> = FxHashMap::default();
+
+    let mut completed = 0usize;
+    while completed < commands.len() {
+        // Pure middleware runs as soon as its inputs exist, in plan order.
+        let ready_middleware = (0..commands.len()).find(|&i| {
+            !done[i] && matches!(commands[i], Command::Middleware { .. }) && graph.ready(i, &done)
+        });
+        if let Some(i) = ready_middleware {
+            if let Command::Middleware { output, expr } = &commands[i] {
+                let table = expr.evaluate(&tables)?;
+                tables.insert(output.clone(), table);
+            }
+            done[i] = true;
+            completed += 1;
+            continue;
+        }
+
+        // Among the ready (hence commutable) access commands, run the one
+        // the cost model ranks cheapest-and-most-selective; ties and
+        // unobserved methods fall back to plan order.
+        let ready: Vec<usize> = (0..commands.len())
+            .filter(|&i| !done[i] && graph.ready(i, &done))
+            .collect();
+        let Some(&naive_next) = ready.first() else {
+            // Unreachable on validated plans: every table has exactly one
+            // producer and references only earlier commands.
+            return Err(PlanError::Malformed(
+                "adaptive scheduler found no ready command (dependency cycle)".to_owned(),
+            ));
+        };
+        let chosen = ready
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                let (sa, sb) = (
+                    score_of(&commands[a], window),
+                    score_of(&commands[b], window),
+                );
+                sa.total_cmp(&sb).then(a.cmp(&b))
+            })
+            .expect("ready set is non-empty");
+        if chosen != naive_next {
+            reorders += 1;
+        }
+
+        let Command::Access {
+            output,
+            method,
+            input,
+            input_map,
+            output_map,
+        } = &commands[chosen]
+        else {
+            unreachable!("ready middleware is drained before accesses are scheduled");
+        };
+
+        let mut access_span = rbqa_obs::span("access");
+        access_span.str("method", method);
+        let (fetched0, matched0, truncated0) = (tuples_fetched, tuples_matched, truncated_accesses);
+        let m = schema
+            .method(method)
+            .ok_or_else(|| PlanError::UnknownMethod(method.clone()))?;
+        let bindings_table = input.evaluate(&tables)?;
+        access_span.num("bindings", bindings_table.len() as u64);
+        let input_positions = m.input_positions_vec();
+        let mut out = TempTable::new(output_map.len());
+        let mut pruned = 0u64;
+        for binding_row in bindings_table.rows() {
+            // Same cooperative deadline discipline as the naive executor:
+            // checked once per binding-level access.
+            if rbqa_obs::deadline_expired() {
+                rbqa_obs::counters::add_deadline_expiry();
+                rbqa_obs::counters::add_adaptive(accesses_skipped as u64, reorders, 0);
+                return Err(PlanError::DeadlineExceeded);
+            }
+            let binding: Vec<(usize, Value)> = input_positions
+                .iter()
+                .zip(input_map.iter())
+                .map(|(&pos, &col)| (pos, binding_row[col]))
+                .collect();
+            if let Some(cached) = window.cached(method, &binding) {
+                // Relevance oracle hit: the window already fetched this
+                // (method, binding) — replay it, touching no counters that
+                // account backend traffic.
+                accesses_skipped += 1;
+                pruned += 1;
+                let tuples = cached.tuples.clone();
+                for tuple in tuples {
+                    let projected: Vec<Value> = output_map.iter().map(|&p| tuple[p]).collect();
+                    out.insert(projected)?;
+                }
+                continue;
+            }
+            let response = backend.access(m, &binding)?;
+            accesses_performed += 1;
+            *calls_per_method.entry(method.clone()).or_insert(0) += 1;
+            tuples_fetched += response.tuples.len();
+            tuples_matched += response.tuples_matched;
+            truncated_accesses += response.truncated as usize;
+            latency_micros += response.latency_micros;
+            window.record(method, &binding, &response);
+            for tuple in response.tuples {
+                let projected: Vec<Value> = output_map.iter().map(|&p| tuple[p]).collect();
+                out.insert(projected)?;
+            }
+        }
+        access_span.num("fetched", (tuples_fetched - fetched0) as u64);
+        access_span.num("matched", (tuples_matched - matched0) as u64);
+        access_span.num("truncated", (truncated_accesses - truncated0) as u64);
+        access_span.num("pruned", pruned);
+        tables.insert(output.clone(), out);
+        done[chosen] = true;
+        completed += 1;
+    }
+
+    let output_table = tables
+        .get(plan.output_table())
+        .ok_or_else(|| PlanError::UnknownTable(plan.output_table().to_owned()))?;
+    let output = output_table.sorted_rows();
+    window.note_executed(
+        identity,
+        output_table.arity(),
+        &output,
+        accesses_performed + accesses_skipped,
+    );
+    rbqa_obs::counters::add_adaptive(accesses_skipped as u64, reorders, 0);
+    Ok(PlanRun {
+        output,
+        accesses_performed,
+        tuples_fetched,
+        tuples_matched,
+        truncated_accesses,
+        latency_micros,
+        wall_micros: wall_start.elapsed().as_micros() as u64,
+        calls_per_method,
+        accesses_skipped,
+        disjuncts_short_circuited: 0,
+        tables,
+    })
+}
+
+/// Scheduling score of a command: accesses rank by their method's cost
+/// model; middleware is free (but never reaches the scorer — it is
+/// drained eagerly).
+fn score_of(command: &Command, window: &AdaptiveWindow) -> f64 {
+    match command {
+        Command::Middleware { .. } => f64::NEG_INFINITY,
+        Command::Access { method, .. } => window.score(method),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_access::backend::InstanceBackend;
+    use rbqa_access::plan::{execute_with_backend, PlanBuilder};
+    use rbqa_access::{AccessMethod, Condition, RaExpr};
+    use rbqa_common::{Instance, Signature, ValueFactory};
+
+    /// University schema/instance as in the executor's own tests: 5
+    /// employees, one earning 20000, the rest 10000.
+    fn setup(ud_bound: Option<usize>) -> (Schema, Instance, ValueFactory) {
+        let mut sig = Signature::new();
+        let prof = sig.add_relation("Prof", 3).unwrap();
+        let udir = sig.add_relation("Udirectory", 3).unwrap();
+        let mut schema = Schema::new(sig.clone());
+        schema
+            .add_method(AccessMethod::unbounded("pr", prof, &[0]))
+            .unwrap();
+        let ud = match ud_bound {
+            None => AccessMethod::unbounded("ud", udir, &[]),
+            Some(k) => AccessMethod::bounded("ud", udir, &[], k),
+        };
+        schema.add_method(ud).unwrap();
+        let mut vf = ValueFactory::new();
+        let mut inst = Instance::new(sig);
+        for i in 0..5 {
+            let id = vf.constant(&format!("id{i}"));
+            let name = vf.constant(&format!("name{i}"));
+            let salary = if i == 3 {
+                vf.constant("20000")
+            } else {
+                vf.constant("10000")
+            };
+            let addr = vf.constant(&format!("addr{i}"));
+            let phone = vf.constant(&format!("phone{i}"));
+            inst.insert(prof, vec![id, name, salary]).unwrap();
+            inst.insert(udir, vec![id, addr, phone]).unwrap();
+        }
+        (schema, inst, vf)
+    }
+
+    fn salary_plan(vf: &mut ValueFactory, salary: &str) -> Plan {
+        let salary = vf.constant(salary);
+        PlanBuilder::new()
+            .access("ids", "ud", RaExpr::unit(), vec![], vec![0])
+            .access("profs", "pr", RaExpr::table("ids"), vec![0], vec![0, 1, 2])
+            .middleware(
+                "matching",
+                RaExpr::select(RaExpr::table("profs"), Condition::eq_const(2, salary)),
+            )
+            .middleware("names", RaExpr::project(RaExpr::table("matching"), vec![1]))
+            .returns("names")
+    }
+
+    #[test]
+    fn adaptive_matches_naive_rows_with_no_prior_state() {
+        let (schema, inst, mut vf) = setup(None);
+        let plan = salary_plan(&mut vf, "10000");
+        let mut naive_backend = InstanceBackend::truncating(&inst);
+        let naive = execute_with_backend(&plan, &schema, &mut naive_backend).unwrap();
+        let mut backend = InstanceBackend::truncating(&inst);
+        let mut window = AdaptiveWindow::new();
+        let run = execute_plan_adaptive(&plan, &schema, &mut backend, &mut window).unwrap();
+        assert_eq!(run.output, naive.output);
+        assert_eq!(run.accesses_performed, naive.accesses_performed);
+        assert_eq!(run.accesses_skipped, 0, "cold window: nothing to skip");
+        assert_eq!(run.disjuncts_short_circuited, 0);
+        assert_eq!(run.calls_per_method, naive.calls_per_method);
+    }
+
+    #[test]
+    fn shared_window_dedups_union_disjunct_accesses() {
+        // The fixture union shape: Q(n) :- Prof(i, n, '10000') ∨ '20000'.
+        // Both disjuncts crawl the same ud + pr accesses; the second must
+        // answer every access from the window cache.
+        let (schema, inst, mut vf) = setup(None);
+        let p1 = salary_plan(&mut vf, "10000");
+        let p2 = salary_plan(&mut vf, "20000");
+        let mut backend = InstanceBackend::truncating(&inst);
+        let mut window = AdaptiveWindow::new();
+        let r1 = execute_plan_adaptive(&p1, &schema, &mut backend, &mut window).unwrap();
+        let r2 = execute_plan_adaptive(&p2, &schema, &mut backend, &mut window).unwrap();
+        assert_eq!(r1.accesses_performed, 6);
+        assert_eq!(r2.accesses_performed, 0, "all 6 accesses deduped");
+        assert_eq!(r2.accesses_skipped, 6);
+        assert_eq!(r1.output.len(), 4);
+        assert_eq!(r2.output.len(), 1);
+        // Naive parity for both disjuncts.
+        let mut nb = InstanceBackend::truncating(&inst);
+        assert_eq!(
+            execute_with_backend(&p1, &schema, &mut nb).unwrap().output,
+            r1.output
+        );
+        let mut nb = InstanceBackend::truncating(&inst);
+        assert_eq!(
+            execute_with_backend(&p2, &schema, &mut nb).unwrap().output,
+            r2.output
+        );
+    }
+
+    #[test]
+    fn identical_disjunct_short_circuits_entirely() {
+        let (schema, inst, mut vf) = setup(None);
+        let p1 = salary_plan(&mut vf, "10000");
+        let p2 = salary_plan(&mut vf, "10000");
+        let mut backend = InstanceBackend::truncating(&inst);
+        let mut window = AdaptiveWindow::new();
+        let r1 = execute_plan_adaptive(&p1, &schema, &mut backend, &mut window).unwrap();
+        let r2 = execute_plan_adaptive(&p2, &schema, &mut backend, &mut window).unwrap();
+        assert_eq!(r2.output, r1.output);
+        assert_eq!(r2.disjuncts_short_circuited, 1);
+        assert_eq!(r2.accesses_performed, 0);
+        assert_eq!(r2.accesses_skipped, 6);
+        assert!(window.subsumed(&r2.output));
+    }
+
+    #[test]
+    fn duplicate_bindings_within_one_access_are_deduped() {
+        // A seed table with one id listed twice through a union: naive
+        // performs two pr calls for it, adaptive performs one.
+        let (schema, inst, mut vf) = setup(None);
+        let id2 = vf.constant("id2");
+        let plan = PlanBuilder::new()
+            .middleware(
+                "seed",
+                RaExpr::union(
+                    RaExpr::singleton(vec![id2]),
+                    RaExpr::project(RaExpr::singleton(vec![id2, id2]), vec![1]),
+                ),
+            )
+            .access("prof", "pr", RaExpr::table("seed"), vec![0], vec![1, 2])
+            .returns("prof");
+        let mut backend = InstanceBackend::truncating(&inst);
+        let mut window = AdaptiveWindow::new();
+        let run = execute_plan_adaptive(&plan, &schema, &mut backend, &mut window).unwrap();
+        // The union dedups to one row, so this degenerates to a cold call —
+        // but a *repeat* of the plan in the same window is fully cached.
+        assert_eq!(run.accesses_performed, 1);
+        let p2 = PlanBuilder::new()
+            .middleware("seed2", RaExpr::singleton(vec![id2]))
+            .access("prof2", "pr", RaExpr::table("seed2"), vec![0], vec![1, 2])
+            .returns("prof2");
+        let r2 = execute_plan_adaptive(&p2, &schema, &mut backend, &mut window).unwrap();
+        assert_eq!(r2.accesses_performed, 0);
+        assert_eq!(r2.accesses_skipped, 1);
+        assert_eq!(r2.output, run.output);
+    }
+
+    #[test]
+    fn cost_model_reorders_commutable_accesses() {
+        // Two independent input-free accesses; after observing ud as
+        // expensive (fan-out 5) and pr as cheap, a second plan with the
+        // same two methods in the opposite order must be reordered.
+        let (schema, inst, mut vf) = setup(None);
+        let id0 = vf.constant("id0");
+        let plan1 = PlanBuilder::new()
+            .middleware("seed", RaExpr::singleton(vec![id0]))
+            .access("cheap", "pr", RaExpr::table("seed"), vec![0], vec![0])
+            .access("costly", "ud", RaExpr::unit(), vec![], vec![0])
+            .middleware(
+                "out",
+                RaExpr::union(RaExpr::table("cheap"), RaExpr::table("costly")),
+            )
+            .returns("out");
+        let mut backend = InstanceBackend::truncating(&inst);
+        let mut window = AdaptiveWindow::new();
+        execute_plan_adaptive(&plan1, &schema, &mut backend, &mut window).unwrap();
+        let ud_score = window.method_stats("ud").unwrap().cost_score();
+        let pr_score = window.method_stats("pr").unwrap().cost_score();
+        assert!(
+            pr_score < ud_score,
+            "pr (fan-out 1) must rank cheaper than ud (fan-out 5)"
+        );
+        // Second plan puts the costly access first in plan order; the
+        // scheduler must still run pr first (both are ready — commutable).
+        let id1 = vf.constant("id1");
+        let plan2 = PlanBuilder::new()
+            .middleware("seed2", RaExpr::singleton(vec![id1]))
+            .access("costly2", "ud", RaExpr::unit(), vec![], vec![0])
+            .access("cheap2", "pr", RaExpr::table("seed2"), vec![0], vec![0])
+            .middleware(
+                "out2",
+                RaExpr::union(RaExpr::table("costly2"), RaExpr::table("cheap2")),
+            )
+            .returns("out2");
+        let naive_rows = {
+            let mut nb = InstanceBackend::truncating(&inst);
+            execute_with_backend(&plan2, &schema, &mut nb)
+                .unwrap()
+                .output
+        };
+        let run = execute_plan_adaptive(&plan2, &schema, &mut backend, &mut window).unwrap();
+        assert_eq!(run.output, naive_rows, "reordering never changes rows");
+        // ud was cached from plan1 (same empty binding), pr was not (new id).
+        assert_eq!(run.accesses_skipped, 1);
+    }
+
+    #[test]
+    fn empty_binding_sets_skip_the_access() {
+        let (schema, inst, _vf) = setup(None);
+        let plan = PlanBuilder::new()
+            .middleware(
+                "seed",
+                RaExpr::Constant {
+                    arity: 1,
+                    rows: vec![],
+                },
+            )
+            .access("prof", "pr", RaExpr::table("seed"), vec![0], vec![1])
+            .returns("prof");
+        let mut backend = InstanceBackend::truncating(&inst);
+        let mut window = AdaptiveWindow::new();
+        let run = execute_plan_adaptive(&plan, &schema, &mut backend, &mut window).unwrap();
+        assert_eq!(run.accesses_performed, 0);
+        assert!(run.output.is_empty());
+    }
+
+    #[test]
+    fn deadline_aborts_adaptive_execution() {
+        let (schema, inst, mut vf) = setup(None);
+        let plan = salary_plan(&mut vf, "10000");
+        let _guard = rbqa_obs::arm_deadline(std::time::Duration::from_micros(0));
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let mut backend = InstanceBackend::truncating(&inst);
+        let mut window = AdaptiveWindow::new();
+        let err = execute_plan_adaptive(&plan, &schema, &mut backend, &mut window).unwrap_err();
+        assert_eq!(err, PlanError::DeadlineExceeded);
+    }
+}

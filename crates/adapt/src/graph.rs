@@ -1,0 +1,136 @@
+//! A small data-dependency graph over a [`Plan`]'s commands.
+//!
+//! Command `i` depends on command `j` when `j` produces a temporary table
+//! that `i`'s expression (the middleware expression, or the access
+//! command's binding input) scans. Two access commands with no path
+//! between them are *commutable*: executing them in either order yields
+//! the same temporary tables, because middleware is pure and accesses are
+//! idempotent within one execution window.
+
+use rbqa_access::plan::{Command, Plan, RaExpr};
+use rustc_hash::FxHashMap;
+
+/// Immutable dependency information for one plan.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    /// `deps[i]` = indices of the commands producing the tables command
+    /// `i` scans (deduplicated, ascending).
+    deps: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph for `plan`. Tables without a producer (a
+    /// structurally invalid plan) simply contribute no edge — the
+    /// executor's own validation rejects such plans before scheduling.
+    pub fn new(plan: &Plan) -> Self {
+        let producer: FxHashMap<&str, usize> = plan
+            .commands()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.output(), i))
+            .collect();
+        let deps = plan
+            .commands()
+            .iter()
+            .map(|command| {
+                let expr = match command {
+                    Command::Middleware { expr, .. } => expr,
+                    Command::Access { input, .. } => input,
+                };
+                let mut tables = Vec::new();
+                collect_tables(expr, &mut tables);
+                let mut d: Vec<usize> = tables
+                    .iter()
+                    .filter_map(|t| producer.get(t.as_str()).copied())
+                    .collect();
+                d.sort_unstable();
+                d.dedup();
+                d
+            })
+            .collect();
+        DependencyGraph { deps }
+    }
+
+    /// The producer commands `command` directly depends on.
+    pub fn deps(&self, command: usize) -> &[usize] {
+        &self.deps[command]
+    }
+
+    /// Number of commands in the underlying plan.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether the underlying plan has no commands.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Whether every dependency of `command` is marked done in `done`.
+    pub fn ready(&self, command: usize, done: &[bool]) -> bool {
+        self.deps[command].iter().all(|&d| done[d])
+    }
+}
+
+/// Collects the names of all temporary tables `expr` scans.
+fn collect_tables(expr: &RaExpr, out: &mut Vec<String>) {
+    match expr {
+        RaExpr::Table(name) => out.push(name.clone()),
+        RaExpr::Constant { .. } => {}
+        RaExpr::Select { input, .. } | RaExpr::Project { input, .. } => collect_tables(input, out),
+        RaExpr::Join { left, right, .. } | RaExpr::Union { left, right } => {
+            collect_tables(left, out);
+            collect_tables(right, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbqa_access::plan::PlanBuilder;
+    use rbqa_access::{Condition, RaExpr};
+    use rbqa_common::ValueFactory;
+
+    fn crawling_plan() -> Plan {
+        let mut vf = ValueFactory::new();
+        let salary = vf.constant("10000");
+        PlanBuilder::new()
+            .access("ids", "ud", RaExpr::unit(), vec![], vec![0])
+            .access("profs", "pr", RaExpr::table("ids"), vec![0], vec![0, 1, 2])
+            .middleware(
+                "matching",
+                RaExpr::select(RaExpr::table("profs"), Condition::eq_const(2, salary)),
+            )
+            .middleware("names", RaExpr::project(RaExpr::table("matching"), vec![1]))
+            .returns("names")
+    }
+
+    #[test]
+    fn dependencies_follow_table_references() {
+        let graph = DependencyGraph::new(&crawling_plan());
+        assert_eq!(graph.len(), 4);
+        assert_eq!(graph.deps(0), &[] as &[usize], "unit input: no deps");
+        assert_eq!(graph.deps(1), &[0], "pr scans ids");
+        assert_eq!(graph.deps(2), &[1], "select scans profs");
+        assert_eq!(graph.deps(3), &[2], "project scans matching");
+        assert!(graph.ready(0, &[false; 4]));
+        assert!(!graph.ready(1, &[false; 4]));
+        assert!(graph.ready(1, &[true, false, false, false]));
+    }
+
+    #[test]
+    fn independent_accesses_have_no_edges() {
+        let plan = PlanBuilder::new()
+            .access("a", "m1", RaExpr::unit(), vec![], vec![0])
+            .access("b", "m2", RaExpr::unit(), vec![], vec![0])
+            .middleware("out", RaExpr::union(RaExpr::table("a"), RaExpr::table("b")))
+            .returns("out");
+        let graph = DependencyGraph::new(&plan);
+        assert_eq!(graph.deps(0), &[] as &[usize]);
+        assert_eq!(graph.deps(1), &[] as &[usize]);
+        assert_eq!(graph.deps(2), &[0, 1]);
+        // The two accesses are commutable: both ready from the start.
+        assert!(graph.ready(0, &[false; 3]) && graph.ready(1, &[false; 3]));
+    }
+}

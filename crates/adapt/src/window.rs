@@ -1,0 +1,190 @@
+//! Per-request-window adaptive state: the access cache (relevance
+//! oracle), the per-method cost model, and the disjunct bookkeeping.
+//!
+//! One [`AdaptiveWindow`] lives exactly as long as one execution window —
+//! one `Execute` request, all disjunct plans included. That scope is what
+//! makes the cache sound: within a window the backend is idempotent (one
+//! selection cache, one seeded remote latency/fault stream), so a cached
+//! response *is* the response the backend would return.
+
+use rbqa_access::backend::AccessResponse;
+use rbqa_common::Value;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// EWMA smoothing factor: recent calls weigh ~30%, matching the short
+/// horizon of a request window (tens to hundreds of calls).
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Observed cost statistics for one access method within a window.
+#[derive(Debug, Clone, Default)]
+pub struct MethodStats {
+    latency_ewma: f64,
+    fanout_ewma: f64,
+    selectivity_ewma: f64,
+    samples: u64,
+}
+
+impl MethodStats {
+    fn observe(&mut self, fetched: usize, matched: usize, latency_micros: u64) {
+        let fanout = fetched as f64;
+        let selectivity = matched as f64 / (fetched.max(1)) as f64;
+        let latency = latency_micros as f64;
+        if self.samples == 0 {
+            self.latency_ewma = latency;
+            self.fanout_ewma = fanout;
+            self.selectivity_ewma = selectivity;
+        } else {
+            self.latency_ewma += EWMA_ALPHA * (latency - self.latency_ewma);
+            self.fanout_ewma += EWMA_ALPHA * (fanout - self.fanout_ewma);
+            self.selectivity_ewma += EWMA_ALPHA * (selectivity - self.selectivity_ewma);
+        }
+        self.samples += 1;
+    }
+
+    /// Smoothed per-call simulated latency, microseconds.
+    pub fn latency_ewma(&self) -> f64 {
+        self.latency_ewma
+    }
+
+    /// Smoothed tuples fetched per call (the method's fan-out; lower is
+    /// more selective).
+    pub fn fanout_ewma(&self) -> f64 {
+        self.fanout_ewma
+    }
+
+    /// Smoothed matched/fetched ratio per call (how much a result bound
+    /// truncates; 1.0 = nothing dropped).
+    pub fn selectivity_ewma(&self) -> f64 {
+        self.selectivity_ewma
+    }
+
+    /// Number of backend calls folded into the EWMAs. Exactly one sample
+    /// is taken per *logical* access: retries performed inside the
+    /// `Resilient` decorator happen within a single `access()` call and
+    /// are never double-counted here.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Scheduling score: cheapest-and-most-selective first (lower is
+    /// better). Combines the latency and fan-out EWMAs multiplicatively so
+    /// a method must be both cheap *and* selective to rank early.
+    pub fn cost_score(&self) -> f64 {
+        (1.0 + self.latency_ewma) * (1.0 + self.fanout_ewma)
+    }
+}
+
+/// The response data the window caches per `(method, binding)` key: the
+/// source-arity tuples, cached *before* output projection so different
+/// access commands sharing the binding can reuse them. Source-side
+/// accounting (matched counts, truncation, latency) is deliberately not
+/// replayed: a cache hit causes no backend traffic, so the run's metrics
+/// only charge fresh calls.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedAccess {
+    pub(crate) tuples: Vec<Vec<Value>>,
+}
+
+/// Summary of one executed disjunct, kept for the structural-identity
+/// short-circuit.
+#[derive(Debug, Clone)]
+pub(crate) struct ExecutedDisjunct {
+    pub(crate) output_arity: usize,
+    pub(crate) output: Vec<Vec<Value>>,
+    /// Binding-level accesses the run accounted for (performed + skipped):
+    /// what a later identical disjunct avoids entirely.
+    pub(crate) accesses_total: usize,
+}
+
+/// Mutable adaptive state shared by every plan of one execution window.
+#[derive(Debug, Default)]
+pub struct AdaptiveWindow {
+    cache: FxHashMap<(String, Vec<(usize, Value)>), CachedAccess>,
+    stats: FxHashMap<String, MethodStats>,
+    executed: FxHashMap<String, ExecutedDisjunct>,
+    emitted: FxHashSet<Vec<Value>>,
+}
+
+impl AdaptiveWindow {
+    /// A fresh window with no cached accesses and no cost observations.
+    pub fn new() -> Self {
+        AdaptiveWindow::default()
+    }
+
+    /// The cached response for `(method, binding)`, if this window already
+    /// performed that access.
+    pub(crate) fn cached(&self, method: &str, binding: &[(usize, Value)]) -> Option<&CachedAccess> {
+        // Borrowed lookup would need a (str, slice) key view; the clone-free
+        // variant is not worth a custom hash-map key here — bindings are a
+        // few machine words.
+        self.cache.get(&(method.to_owned(), binding.to_vec()))
+    }
+
+    /// Records a fresh backend response under `(method, binding)` and
+    /// feeds the method's cost EWMAs (exactly once per logical access).
+    pub(crate) fn record(
+        &mut self,
+        method: &str,
+        binding: &[(usize, Value)],
+        response: &AccessResponse,
+    ) {
+        self.stats.entry(method.to_owned()).or_default().observe(
+            response.tuples.len(),
+            response.tuples_matched,
+            response.latency_micros,
+        );
+        self.cache.insert(
+            (method.to_owned(), binding.to_vec()),
+            CachedAccess {
+                tuples: response.tuples.clone(),
+            },
+        );
+    }
+
+    /// The cost statistics observed for `method` so far, if any.
+    pub fn method_stats(&self, method: &str) -> Option<&MethodStats> {
+        self.stats.get(method)
+    }
+
+    /// Scheduling score for `method`: observed methods rank by
+    /// [`MethodStats::cost_score`]; unobserved methods rank last (and
+    /// fall back to plan order among themselves), so the first execution
+    /// of each method follows the synthesized order.
+    pub(crate) fn score(&self, method: &str) -> f64 {
+        self.stats
+            .get(method)
+            .map(|s| s.cost_score())
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// The identity-keyed record of a previously executed disjunct.
+    pub(crate) fn executed(&self, identity: &str) -> Option<&ExecutedDisjunct> {
+        self.executed.get(identity)
+    }
+
+    /// Records a completed disjunct: its output joins the emitted-row set
+    /// (the subsumption baseline) and its identity key allows later
+    /// structurally identical disjuncts to short-circuit.
+    pub(crate) fn note_executed(
+        &mut self,
+        identity: String,
+        output_arity: usize,
+        output: &[Vec<Value>],
+        accesses_total: usize,
+    ) {
+        for row in output {
+            self.emitted.insert(row.clone());
+        }
+        self.executed.entry(identity).or_insert(ExecutedDisjunct {
+            output_arity,
+            output: output.to_vec(),
+            accesses_total,
+        });
+    }
+
+    /// Whether every row of `rows` was already emitted by completed
+    /// disjuncts of this window.
+    pub fn subsumed(&self, rows: &[Vec<Value>]) -> bool {
+        rows.iter().all(|r| self.emitted.contains(r))
+    }
+}

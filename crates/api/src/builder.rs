@@ -273,6 +273,16 @@ impl<'s> RequestBuilder<'s> {
         self
     }
 
+    /// Selects the adaptive execution mode for `Execute` requests
+    /// (`rbqa-adapt`): `On` prunes, dedups, and reorders accesses at
+    /// runtime; `Validate` additionally runs the naive executor side by
+    /// side and fails with a structured discrepancy if rows differ. Part
+    /// of the fingerprint of `Execute` requests; other modes ignore it.
+    pub fn adaptive(mut self, mode: rbqa_service::AdaptiveMode) -> Self {
+        self.exec.adaptive = mode;
+        self
+    }
+
     /// Requests a per-request [`rbqa_obs::Trace`] on the response (spans,
     /// kernel counters, exclusive per-phase timings). Tracing never
     /// affects the answer or the cache key; a traced cache hit traces
@@ -631,6 +641,45 @@ mod tests {
         assert_eq!(request.mode, RequestMode::Synthesize);
         assert_eq!(request.options.crawl_rounds, 3);
         assert!(request.effective_options().synthesize_plan);
+    }
+
+    #[test]
+    fn adaptive_mode_flows_into_the_request_and_fingerprint() {
+        use rbqa_service::AdaptiveMode;
+        let (service, id) = service_with_catalog();
+        let build = |mode: AdaptiveMode, exec_mode: bool| {
+            let mut builder = service
+                .request(id)
+                .query_text("Q() :- Udirectory(i, a, p)")
+                .adaptive(mode);
+            if exec_mode {
+                builder = builder.execute();
+            }
+            builder.build().unwrap()
+        };
+        let on = build(AdaptiveMode::On, true);
+        assert_eq!(on.exec.adaptive, AdaptiveMode::On);
+        // Off, on, and validate are three distinct Execute cache keys.
+        let f_off = service
+            .fingerprint_of(&build(AdaptiveMode::Off, true))
+            .unwrap();
+        let f_on = service.fingerprint_of(&on).unwrap();
+        let f_validate = service
+            .fingerprint_of(&build(AdaptiveMode::Validate, true))
+            .unwrap();
+        assert_ne!(f_off, f_on);
+        assert_ne!(f_off, f_validate);
+        assert_ne!(f_on, f_validate);
+        // Decide normalises exec options away: the adaptive flag must not
+        // fragment the decision cache.
+        assert_eq!(
+            service
+                .fingerprint_of(&build(AdaptiveMode::Off, false))
+                .unwrap(),
+            service
+                .fingerprint_of(&build(AdaptiveMode::On, false))
+                .unwrap()
+        );
     }
 
     #[test]

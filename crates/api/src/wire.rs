@@ -274,6 +274,15 @@ pub fn response_to_json_with(
             .field_u128("latency_micros", pm.latency_micros as u128)
             .field_u128("retries", pm.retries as u128)
             .field_u128("breaker_rejections", pm.breaker_rejections as u128)
+            // Adaptive execution (`option exec.adaptive`): accesses the
+            // relevance oracle answered without a backend call, and union
+            // disjuncts short-circuited as subsumed. Both 0 on the naive
+            // path; fields are append-only per the §5.1 contract.
+            .field_u128("accesses_skipped", pm.accesses_skipped as u128)
+            .field_u128(
+                "disjuncts_short_circuited",
+                pm.disjuncts_short_circuited as u128,
+            )
             // Deprecated, emitted for rbqa/1 compatibility only: always
             // `true` since quota violations became the structured
             // `BUDGET_EXHAUSTED` / `BACKEND_UNAVAILABLE` error responses
@@ -732,6 +741,23 @@ impl WireServer {
                         };
                         Ok(None)
                     }
+                    ["exec.adaptive", switch] => {
+                        self.exec.adaptive = match *switch {
+                            "on" => rbqa_service::AdaptiveMode::On,
+                            "validate" => rbqa_service::AdaptiveMode::Validate,
+                            "off" => rbqa_service::AdaptiveMode::Off,
+                            other => {
+                                return Err(ApiError::new(
+                                    ApiErrorCode::ProtocolError,
+                                    format!(
+                                        "bad adaptive switch `{other}` \
+                                         (usage: option exec.adaptive on|validate|off)"
+                                    ),
+                                ))
+                            }
+                        };
+                        Ok(None)
+                    }
                     ["exec.deadline", "off"] => {
                         self.exec_deadline = None;
                         Ok(None)
@@ -808,7 +834,7 @@ impl WireServer {
                     }
                     _ => Err(ApiError::new(
                         ApiErrorCode::ProtocolError,
-                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] [transient] | option exec.calls K|none | option exec.retry RETRIES|off | option exec.breaker K:C|off | option exec.degraded on|off | option exec.deadline MICROS|off | option obs.trace on|off | option mode interactive|batch | option cache.bytes BYTES|none | option net.timeout SECS|none",
+                        "usage: option budget generous|small|tiny | option exec.backend instance|sharded:N|remote [seed=S] [latency=L] [faults=P] [transient] | option exec.calls K|none | option exec.retry RETRIES|off | option exec.breaker K:C|off | option exec.degraded on|off | option exec.adaptive on|validate|off | option exec.deadline MICROS|off | option obs.trace on|off | option mode interactive|batch | option cache.bytes BYTES|none | option net.timeout SECS|none",
                     )),
                 }
             }
@@ -1402,6 +1428,54 @@ fact Udirectory('8', 'sidest', '556')
     }
 
     #[test]
+    fn exec_adaptive_option_dedups_union_accesses_and_refingerprints() {
+        let mut server = WireServer::new();
+        let union = "execute uni Q(n) :- Prof(i, n, '10000') || Q(n) :- Prof(i, n, '20000')\n";
+        let stream = format!(
+            "{EXEC_PREAMBLE}\
+             {union}\
+             option exec.adaptive on\n\
+             {union}\
+             option exec.adaptive validate\n\
+             {union}\
+             option exec.adaptive off\n\
+             {union}"
+        );
+        let outputs = server.handle_stream(&stream);
+        assert_eq!(outputs.len(), 4, "{outputs:?}");
+        for out in &outputs {
+            assert!(out.contains("\"rows\":[[\"ada\"],[\"alan\"]]"), "{out}");
+            assert!(out.contains("\"accesses_skipped\""), "{out}");
+            assert!(out.contains("\"disjuncts_short_circuited\""), "{out}");
+        }
+        // The two disjuncts crawl the same Prof/Udirectory frontier;
+        // adaptive (and validate) serve the repeats from the window cache.
+        let field = |out: &str, key: &str| -> u64 {
+            let tail =
+                &out[out.find(key).unwrap_or_else(|| panic!("{key} in {out}")) + key.len()..];
+            tail[..tail.find(|c: char| !c.is_ascii_digit()).unwrap()]
+                .parse()
+                .unwrap()
+        };
+        let naive_calls = field(&outputs[0], "\"total_calls\":");
+        assert_eq!(field(&outputs[0], "\"accesses_skipped\":"), 0);
+        for adaptive in [&outputs[1], &outputs[2]] {
+            let calls = field(adaptive, "\"total_calls\":");
+            let skipped = field(adaptive, "\"accesses_skipped\":");
+            assert!(
+                calls * 2 <= naive_calls,
+                "adaptive made {calls} calls vs naive {naive_calls}"
+            );
+            assert_eq!(calls + skipped, naive_calls, "{adaptive}");
+        }
+        // The adaptive flag is part of the Execute fingerprint: on,
+        // validate, and off are three distinct cache entries (off rode
+        // the first request's entry).
+        assert_eq!(server.service().metrics().decisions_computed, 3);
+        assert!(outputs[3].contains("\"cache_hit\":true"), "{}", outputs[3]);
+    }
+
+    #[test]
     fn metrics_block_splits_simulated_and_wall_time() {
         let mut server = WireServer::new();
         let stream = format!("{EXEC_PREAMBLE}execute uni Q(n) :- Prof(i, n, '10000')\n");
@@ -1592,6 +1666,7 @@ fact Udirectory('8', 'sidest', '556')
             "option exec.breaker 0:5",
             "option exec.breaker k:c",
             "option exec.degraded maybe",
+            "option exec.adaptive maybe",
             "option exec.deadline soon",
             "option obs.trace maybe",
         ] {

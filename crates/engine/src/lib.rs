@@ -25,5 +25,6 @@ pub mod service;
 pub mod validation;
 
 pub use dataset::{movie_instance, random_instance_satisfying, university_instance};
+pub use rbqa_adapt::AdaptiveMode;
 pub use service::{BackendSpec, ExecOptions, PlanMetrics, ServiceSimulator, MAX_SHARDS};
 pub use validation::{validate_plan, ValidationReport};

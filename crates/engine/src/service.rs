@@ -17,11 +17,12 @@ use rbqa_access::backend::{
     AccessBackend, BudgetedBackend, InstanceBackend, RemoteProfile, ShardedBackend,
     SimulatedRemoteBackend,
 };
-use rbqa_access::plan::{execute_with_backend, PlanRun};
+use rbqa_access::plan::{execute_with_backend, PlanError, PlanRun};
 use rbqa_access::{
     AccessSelection, BreakerPolicy, Plan, ResilienceStats, ResilientBackend, RetryPolicy, Schema,
     TruncatingSelection,
 };
+use rbqa_adapt::{execute_plan_adaptive, AdaptiveMode, AdaptiveWindow};
 use rbqa_common::{Instance, Value};
 use rustc_hash::FxHashMap;
 
@@ -107,6 +108,13 @@ pub struct ExecOptions {
     /// those that didn't. Off by default — then any disjunct failure
     /// fails the whole request.
     pub degraded: bool,
+    /// Adaptive execution (`rbqa-adapt`): runtime relevance pruning,
+    /// cost-ordered accesses, and disjunct short-circuiting. `Validate`
+    /// runs adaptive and naive side by side on independent backend
+    /// windows and fails with a structured discrepancy if rows differ.
+    /// Off by default — then plans execute naively, byte-identical to
+    /// the historical behaviour.
+    pub adaptive: AdaptiveMode,
 }
 
 impl ExecOptions {
@@ -137,12 +145,26 @@ impl ExecOptions {
         if self.degraded {
             code.push_str("|degraded");
         }
+        if let Some(adaptive) = self.adaptive.code() {
+            code.push('|');
+            code.push_str(adaptive);
+        }
         code
     }
 }
 
 /// One plan run's result: the output rows plus the collected metrics.
 pub type PlanRunResult = (Vec<Vec<Value>>, PlanMetrics);
+
+/// Summarises how two sorted row sets diverge, for the
+/// [`PlanError::AdaptiveMismatch`] discrepancy report.
+fn describe_row_divergence(naive: &[Vec<Value>], adaptive: &[Vec<Value>]) -> String {
+    let naive_set: rustc_hash::FxHashSet<&Vec<Value>> = naive.iter().collect();
+    let adaptive_set: rustc_hash::FxHashSet<&Vec<Value>> = adaptive.iter().collect();
+    let naive_only = naive.iter().filter(|r| !adaptive_set.contains(r)).count();
+    let adaptive_only = adaptive.iter().filter(|r| !naive_set.contains(r)).count();
+    format!("{naive_only} rows only in naive output, {adaptive_only} rows only in adaptive output")
+}
 
 /// Execution metrics for one plan run against the simulated services.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +199,12 @@ pub struct PlanMetrics {
     /// Accesses rejected by an open circuit breaker during this plan
     /// (0 without [`ExecOptions::breaker`]).
     pub breaker_rejections: u64,
+    /// Binding-level accesses the adaptive executor answered from its
+    /// window cache instead of calling the backend (0 on the naive path).
+    pub accesses_skipped: usize,
+    /// Union disjuncts short-circuited because their rows were provably
+    /// subsumed by already-executed disjuncts (0 on the naive path).
+    pub disjuncts_short_circuited: usize,
 }
 
 impl PlanMetrics {
@@ -193,6 +221,8 @@ impl PlanMetrics {
             within_rate_limit: true,
             retries: 0,
             breaker_rejections: 0,
+            accesses_skipped: run.accesses_skipped,
+            disjuncts_short_circuited: run.disjuncts_short_circuited,
         }
     }
 }
@@ -381,6 +411,71 @@ impl ServiceSimulator {
         Vec<Result<PlanRunResult, rbqa_access::plan::PlanError>>,
         rbqa_access::plan::PlanError,
     > {
+        match exec.adaptive {
+            AdaptiveMode::Off => self.run_plans_window(plans, exec, false),
+            AdaptiveMode::On => self.run_plans_window(plans, exec, true),
+            AdaptiveMode::Validate => {
+                // Two independent windows (each with its own backend and
+                // call budget), naive first, then adaptive; per-plan
+                // outcomes are compared row-for-row.
+                let naive = self.run_plans_window(plans, exec, false)?;
+                let adaptive = self.run_plans_window(plans, exec, true)?;
+                Ok(naive
+                    .into_iter()
+                    .zip(adaptive)
+                    .enumerate()
+                    .map(|(plan_index, pair)| match pair {
+                        (Ok((n_rows, _)), Ok((a_rows, a_metrics))) => {
+                            if n_rows == a_rows {
+                                Ok((a_rows, a_metrics))
+                            } else {
+                                Err(PlanError::AdaptiveMismatch {
+                                    plan_index,
+                                    naive_rows: Some(n_rows.len()),
+                                    adaptive_rows: Some(a_rows.len()),
+                                    detail: describe_row_divergence(&n_rows, &a_rows),
+                                })
+                            }
+                        }
+                        (Ok((n_rows, _)), Err(e)) => Err(PlanError::AdaptiveMismatch {
+                            plan_index,
+                            naive_rows: Some(n_rows.len()),
+                            adaptive_rows: None,
+                            detail: format!("adaptive execution failed where naive succeeded: {e}"),
+                        }),
+                        // Adaptive skipping can keep a plan inside a call
+                        // budget or deadline the naive run blew through —
+                        // succeeding with fewer resources is the feature,
+                        // not a discrepancy.
+                        (Err(_), ok @ Ok(_)) => ok,
+                        (Err(_), Err(e)) => Err(e),
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Runs one execution window (one backend, one budget, one adaptive
+    /// state) over the plan set — the shared machinery behind every
+    /// [`AdaptiveMode`].
+    fn run_plans_window(
+        &self,
+        plans: &[&Plan],
+        exec: &ExecOptions,
+        adaptive: bool,
+    ) -> Result<
+        Vec<Result<PlanRunResult, rbqa_access::plan::PlanError>>,
+        rbqa_access::plan::PlanError,
+    > {
+        let mut window = adaptive.then(AdaptiveWindow::new);
+        let mut execute = |plan: &Plan,
+                           backend: &mut dyn AccessBackend|
+         -> Result<PlanRun, rbqa_access::plan::PlanError> {
+            match window.as_mut() {
+                Some(w) => execute_plan_adaptive(plan, &self.schema, backend, w),
+                None => execute_with_backend(plan, &self.schema, backend),
+            }
+        };
         let mut backend = self.build_backend(exec.backend)?;
         let mut budgeted;
         let inner: &mut dyn AccessBackend = match self.effective_budget(exec.call_budget) {
@@ -394,9 +489,7 @@ impl ServiceSimulator {
             let mut inner = inner;
             return Ok(plans
                 .iter()
-                .map(|plan| {
-                    execute_with_backend(plan, &self.schema, &mut inner).and_then(Self::finish)
-                })
+                .map(|plan| execute(plan, &mut inner).and_then(Self::finish))
                 .collect());
         }
         let mut resilient =
@@ -407,17 +500,19 @@ impl ServiceSimulator {
         let mut results = Vec::with_capacity(plans.len());
         let mut prev = ResilienceStats::default();
         for plan in plans {
-            let result = execute_with_backend(plan, &self.schema, &mut resilient)
-                .and_then(Self::finish)
-                .map(|(rows, mut metrics)| {
-                    // Attribute the window's resilience activity to the
-                    // plan that incurred it by diffing the cumulative
-                    // stats around each run.
-                    let now = resilient.stats();
-                    metrics.retries = now.retries - prev.retries;
-                    metrics.breaker_rejections = now.breaker_rejections - prev.breaker_rejections;
-                    (rows, metrics)
-                });
+            let result =
+                execute(plan, &mut resilient)
+                    .and_then(Self::finish)
+                    .map(|(rows, mut metrics)| {
+                        // Attribute the window's resilience activity to the
+                        // plan that incurred it by diffing the cumulative
+                        // stats around each run.
+                        let now = resilient.stats();
+                        metrics.retries = now.retries - prev.retries;
+                        metrics.breaker_rejections =
+                            now.breaker_rejections - prev.breaker_rejections;
+                        (rows, metrics)
+                    });
             prev = resilient.stats();
             results.push(result);
         }
@@ -712,6 +807,194 @@ mod tests {
         let (rows, metrics) = sim.run_plan_exec(&plan, &exec).unwrap();
         assert_eq!(rows, instance_rows);
         assert!(metrics.retries > 0, "a 40% fault rate must retry");
+    }
+
+    #[test]
+    fn adaptive_code_segments_append_only_when_set() {
+        // The default code stays pinned byte-for-byte.
+        assert_eq!(ExecOptions::default().code(), "backend:instance|calls:none");
+        let on = ExecOptions {
+            adaptive: AdaptiveMode::On,
+            ..ExecOptions::default()
+        };
+        assert_eq!(on.code(), "backend:instance|calls:none|adaptive");
+        let validate = ExecOptions {
+            adaptive: AdaptiveMode::Validate,
+            call_budget: Some(9),
+            ..ExecOptions::default()
+        };
+        assert_eq!(
+            validate.code(),
+            "backend:instance|calls:9|adaptive:validate"
+        );
+        let stacked = ExecOptions {
+            degraded: true,
+            adaptive: AdaptiveMode::On,
+            ..ExecOptions::default()
+        };
+        assert_eq!(
+            stacked.code(),
+            "backend:instance|calls:none|degraded|adaptive"
+        );
+    }
+
+    #[test]
+    fn adaptive_union_dedups_shared_accesses_with_identical_rows() {
+        // A union of two salary disjuncts shares the ud crawl and all pr
+        // lookups: adaptive execution must halve the backend calls while
+        // returning exactly the naive rows.
+        let (sim, mut vf) = setup(None, 10);
+        let p1 = salary_plan(&mut vf);
+        let salary2 = vf.constant("20000");
+        let p2 = PlanBuilder::new()
+            .access("ids2", "ud", RaExpr::unit(), vec![], vec![0])
+            .access(
+                "profs2",
+                "pr",
+                RaExpr::table("ids2"),
+                vec![0],
+                vec![0, 1, 2],
+            )
+            .middleware(
+                "matching2",
+                RaExpr::select(RaExpr::table("profs2"), Condition::eq_const(2, salary2)),
+            )
+            .middleware(
+                "names2",
+                RaExpr::project(RaExpr::table("matching2"), vec![1]),
+            )
+            .returns("names2");
+        let naive = sim
+            .run_plans_exec(&[&p1, &p2], &ExecOptions::default())
+            .unwrap();
+        let adaptive_exec = ExecOptions {
+            adaptive: AdaptiveMode::On,
+            ..ExecOptions::default()
+        };
+        let adaptive = sim.run_plans_exec(&[&p1, &p2], &adaptive_exec).unwrap();
+        assert_eq!(naive[0].0, adaptive[0].0);
+        assert_eq!(naive[1].0, adaptive[1].0);
+        let naive_calls: usize = naive.iter().map(|(_, m)| m.total_calls).sum();
+        let adaptive_calls: usize = adaptive.iter().map(|(_, m)| m.total_calls).sum();
+        assert_eq!(naive_calls, 22);
+        assert_eq!(adaptive_calls, 11, "the second disjunct is fully deduped");
+        assert_eq!(adaptive[1].1.accesses_skipped, 11);
+        assert_eq!(adaptive[0].1.accesses_skipped, 0);
+    }
+
+    #[test]
+    fn validate_mode_passes_and_returns_adaptive_metrics() {
+        let (sim, mut vf) = setup(None, 8);
+        let plan = salary_plan(&mut vf);
+        let exec = ExecOptions {
+            adaptive: AdaptiveMode::Validate,
+            ..ExecOptions::default()
+        };
+        let results = sim.run_plans_exec_results(&[&plan, &plan], &exec).unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        let (_, metrics) = results[1].as_ref().unwrap();
+        assert_eq!(
+            metrics.disjuncts_short_circuited, 1,
+            "the identical second disjunct short-circuits"
+        );
+        // Validate also passes across every backend spec.
+        for spec in [
+            BackendSpec::Sharded { shards: 3 },
+            BackendSpec::SimulatedRemote {
+                seed: 5,
+                latency_micros: 20,
+                fault_rate_pct: 0,
+                transient: false,
+            },
+        ] {
+            let exec = ExecOptions {
+                backend: spec,
+                adaptive: AdaptiveMode::Validate,
+                ..ExecOptions::default()
+            };
+            assert!(sim.run_plan_exec(&plan, &exec).is_ok(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_skipping_stays_inside_budgets_naive_exhausts() {
+        // Two identical disjuncts, ~11 calls each, under a 15-call window:
+        // naive exhausts on the second disjunct, adaptive short-circuits
+        // it and stays within budget — and validate accepts that as an
+        // improvement, not a discrepancy.
+        let (sim, mut vf) = setup(None, 10);
+        let plan = salary_plan(&mut vf);
+        let naive_exec = ExecOptions {
+            call_budget: Some(15),
+            ..ExecOptions::default()
+        };
+        assert!(sim.run_plans_exec(&[&plan, &plan], &naive_exec).is_err());
+        for adaptive in [AdaptiveMode::On, AdaptiveMode::Validate] {
+            let exec = ExecOptions {
+                call_budget: Some(15),
+                adaptive,
+                ..ExecOptions::default()
+            };
+            let results = sim.run_plans_exec_results(&[&plan, &plan], &exec).unwrap();
+            assert!(
+                results.iter().all(|r| r.is_ok()),
+                "{adaptive:?}: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn retries_are_not_double_counted_in_calls_or_cost_model() {
+        // Satellite check: `calls_per_method` counts *logical* accesses —
+        // retried attempts happen inside one `access()` call of the
+        // Resilient decorator and must inflate neither the per-method call
+        // counts nor the adaptive cost model's EWMA sample counts.
+        let (sim, mut vf) = setup(None, 12);
+        let plan = salary_plan(&mut vf);
+        let calm = ExecOptions {
+            adaptive: AdaptiveMode::On,
+            ..ExecOptions::default()
+        };
+        let (calm_rows, calm_metrics) = sim.run_plan_exec(&plan, &calm).unwrap();
+        let faulty = ExecOptions {
+            backend: BackendSpec::SimulatedRemote {
+                seed: 11,
+                latency_micros: 50,
+                fault_rate_pct: 40,
+                transient: true,
+            },
+            retry: Some(RetryPolicy {
+                max_attempts: 8,
+                retry_budget: 400,
+                ..RetryPolicy::default()
+            }),
+            adaptive: AdaptiveMode::On,
+            ..ExecOptions::default()
+        };
+        let (rows, metrics) = sim.run_plan_exec(&plan, &faulty).unwrap();
+        assert_eq!(rows, calm_rows);
+        assert!(metrics.retries > 0, "a 40% fault rate must retry");
+        assert_eq!(
+            metrics.calls_per_method, calm_metrics.calls_per_method,
+            "logical per-method call counts are retry-invariant"
+        );
+        assert_eq!(metrics.total_calls, calm_metrics.total_calls);
+        // The EWMA sample discipline is asserted directly at the window
+        // level: one sample per logical access.
+        let mut window = rbqa_adapt::AdaptiveWindow::new();
+        let mut backend = sim.build_backend(faulty.backend).unwrap();
+        let mut resilient = ResilientBackend::new(backend.as_mut(), faulty.retry.unwrap());
+        let run = execute_plan_adaptive(&plan, sim.schema(), &mut resilient, &mut window).unwrap();
+        let samples: u64 = ["ud", "pr"]
+            .iter()
+            .filter_map(|m| window.method_stats(m))
+            .map(|s| s.samples())
+            .sum();
+        assert_eq!(
+            samples, run.accesses_performed as u64,
+            "exactly one EWMA sample per logical access, retries excluded"
+        );
+        assert!(resilient.stats().retries > 0);
     }
 
     #[test]

@@ -76,6 +76,7 @@ const USAGE: &str = "usage: rbqa-loadgen [--quick] [--out PATH]
                     [--connections K] [--requests N] [--catalogs C]
                     [--queries Q] [--zipf S] [--seed N]
                     [--open-rate R] [--snapshot PATH]
+                    [--mix default|exec]
        rbqa-loadgen --chaos [--quick] [--out PATH]
                     [--connections K] [--requests N] [--seed N]";
 
@@ -198,12 +199,41 @@ struct PassParams<'a> {
     seed: u64,
     /// Target per-connection request rate; `0.0` means closed loop.
     open_rate: f64,
+    mix: VerbMix,
+}
+
+/// Verb mix preset: the percentage of the RNG stream routed to each
+/// request verb.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VerbMix {
+    /// Cache-friendly read traffic: ~70 % decide, ~24 % execute, ~6 % batch.
+    Default,
+    /// Execute-heavy traffic for the plan-execution path (adaptive
+    /// windows, backends, budgets): ~10 % decide, ~85 % execute, ~5 % batch.
+    Exec,
+}
+
+impl VerbMix {
+    /// `(decide_below, execute_below)` thresholds over a 0..100 roll.
+    fn thresholds(self) -> (u64, u64) {
+        match self {
+            VerbMix::Default => (70, 94),
+            VerbMix::Exec => (10, 95),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            VerbMix::Default => "default",
+            VerbMix::Exec => "exec",
+        }
+    }
 }
 
 /// Runs one traffic pass: `connections` threads, each replaying the
 /// setup then issuing `requests_per_conn` Zipf-sampled requests. The
-/// verb mix is deterministic in the RNG: ~70 % decide, ~24 % execute,
-/// ~6 % batch decide (submit, flip back to interactive, poll to done).
+/// verb mix is deterministic in the RNG and set by [`VerbMix`]; batch
+/// requests submit, flip back to interactive, and poll to done.
 fn run_pass(params: &PassParams) -> Result<PassResult, String> {
     let zipf = Arc::new(Zipf::new(params.workload.keys.len(), params.zipf_s));
     let result = thread::scope(|scope| {
@@ -249,15 +279,16 @@ fn run_pass(params: &PassParams) -> Result<PassResult, String> {
                     }
                     let key = &params.workload.keys[zipf.sample(&mut rng)];
                     let verb = rng.next_u64() % 100;
+                    let (decide_below, execute_below) = params.mix.thresholds();
                     let sent = Instant::now();
-                    let (response, is_decide) = if verb < 70 {
+                    let (response, is_decide) = if verb < decide_below {
                         (
                             client
                                 .request(&key.decide)
                                 .map_err(|e| format!("decide failed: {e}"))?,
                             true,
                         )
-                    } else if verb < 94 {
+                    } else if verb < execute_below {
                         (
                             client
                                 .request(&key.execute)
@@ -456,6 +487,7 @@ struct LoadConfig {
     seed: u64,
     open_rate: f64,
     snapshot: Option<PathBuf>,
+    mix: VerbMix,
 }
 
 fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
@@ -475,6 +507,7 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
             seed: 0xC0FFEE,
             open_rate: 0.0,
             snapshot: None,
+            mix: VerbMix::Default,
         }
     } else if quick {
         // The keyspace must stay wide enough for LRU to matter: with too
@@ -491,6 +524,7 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
             seed: 0xC0FFEE,
             open_rate: 0.0,
             snapshot: None,
+            mix: VerbMix::Default,
         }
     } else {
         LoadConfig {
@@ -504,6 +538,7 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
             seed: 0xC0FFEE,
             open_rate: 0.0,
             snapshot: None,
+            mix: VerbMix::Default,
         }
     };
     let mut iter = args.iter();
@@ -535,6 +570,13 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
                 config.open_rate = value("--open-rate")?
                     .parse()
                     .map_err(|_| "--open-rate expects a number".to_string())?
+            }
+            "--mix" => {
+                config.mix = match value("--mix")?.as_str() {
+                    "default" => VerbMix::Default,
+                    "exec" => VerbMix::Exec,
+                    other => return Err(format!("unknown mix `{other}` (default|exec)")),
+                }
             }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -1116,10 +1158,11 @@ fn run(args: &[String]) -> Result<bool, String> {
         zipf_s: config.zipf_s,
         seed: config.seed,
         open_rate: config.open_rate,
+        mix: config.mix,
     };
     eprintln!(
         "rbqa-loadgen: {} connections x {} requests over {keys} keys \
-         ({} catalogs), zipf s={}, {} loop",
+         ({} catalogs), zipf s={}, {} loop, {} mix",
         config.connections,
         config.requests_per_conn,
         config.catalogs,
@@ -1129,6 +1172,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         } else {
             "closed"
         },
+        config.mix.label(),
     );
 
     // Phase 1+2: cold then steady on one unbounded server with a
@@ -1241,6 +1285,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             .field_u128("keys", keys as u128)
             .field_raw("zipf_s", &format!("{}", config.zipf_s))
             .field_u128("seed", config.seed as u128)
+            .field_str("mix", config.mix.label())
             .field_str(
                 "loop",
                 if config.open_rate > 0.0 {

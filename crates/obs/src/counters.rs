@@ -44,6 +44,15 @@ pub struct CounterSnapshot {
     /// Cooperative aborts taken because the request deadline expired
     /// (chase rounds, plan accesses, cache waits).
     pub deadline_expiries: u64,
+    /// Binding-level accesses the adaptive executor answered from its
+    /// window cache instead of calling the backend (`rbqa-adapt`).
+    pub adaptive_skips: u64,
+    /// Times the adaptive executor ran a commutable access command ahead
+    /// of the plan's static order because the cost model preferred it.
+    pub adaptive_reorders: u64,
+    /// Union disjuncts short-circuited entirely because their rows were
+    /// provably subsumed by already-emitted disjuncts.
+    pub adaptive_short_circuits: u64,
 }
 
 #[derive(Default)]
@@ -61,6 +70,9 @@ struct Counters {
     breaker_opens: Cell<u64>,
     breaker_rejections: Cell<u64>,
     deadline_expiries: Cell<u64>,
+    adaptive_skips: Cell<u64>,
+    adaptive_reorders: Cell<u64>,
+    adaptive_short_circuits: Cell<u64>,
 }
 
 thread_local! {
@@ -79,6 +91,9 @@ thread_local! {
             breaker_opens: Cell::new(0),
             breaker_rejections: Cell::new(0),
             deadline_expiries: Cell::new(0),
+            adaptive_skips: Cell::new(0),
+            adaptive_reorders: Cell::new(0),
+            adaptive_short_circuits: Cell::new(0),
         }
     };
 }
@@ -99,6 +114,9 @@ pub(crate) fn reset() {
         c.breaker_opens.set(0);
         c.breaker_rejections.set(0);
         c.deadline_expiries.set(0);
+        c.adaptive_skips.set(0);
+        c.adaptive_reorders.set(0);
+        c.adaptive_short_circuits.set(0);
     });
 }
 
@@ -118,6 +136,9 @@ pub(crate) fn snapshot() -> CounterSnapshot {
         breaker_opens: c.breaker_opens.get(),
         breaker_rejections: c.breaker_rejections.get(),
         deadline_expiries: c.deadline_expiries.get(),
+        adaptive_skips: c.adaptive_skips.get(),
+        adaptive_reorders: c.adaptive_reorders.get(),
+        adaptive_short_circuits: c.adaptive_short_circuits.get(),
     })
 }
 
@@ -224,6 +245,18 @@ pub fn add_breaker(opens: u64, rejections: u64) {
     }
     add!(breaker_opens, opens);
     add!(breaker_rejections, rejections);
+}
+
+/// Flushes adaptive-execution activity (cache-served accesses, cost-model
+/// reorders, short-circuited union disjuncts) batched by one plan run.
+#[inline]
+pub fn add_adaptive(skips: u64, reorders: u64, short_circuits: u64) {
+    if !enabled() || (skips == 0 && reorders == 0 && short_circuits == 0) {
+        return;
+    }
+    add!(adaptive_skips, skips);
+    add!(adaptive_reorders, reorders);
+    add!(adaptive_short_circuits, short_circuits);
 }
 
 /// Records one cooperative deadline abort.

@@ -45,6 +45,9 @@ fn counters_json(trace: &Trace) -> String {
         .u64("breaker_opens", c.breaker_opens)
         .u64("breaker_rejections", c.breaker_rejections)
         .u64("deadline_expiries", c.deadline_expiries)
+        .u64("adaptive_skips", c.adaptive_skips)
+        .u64("adaptive_reorders", c.adaptive_reorders)
+        .u64("adaptive_short_circuits", c.adaptive_short_circuits)
         .finish()
 }
 

@@ -336,7 +336,8 @@ impl<V> ShardedCache<V> {
     /// retry (or take over), and the next identical request starts fresh.
     /// This is the cache-slot cancellation rule: a deadline-aborted or
     /// otherwise failed compute behaves exactly like a panicking one
-    /// (whose slot the [`InFlightGuard`] already vacates), so errors can
+    /// (whose slot the internal in-flight guard already vacates), so
+    /// errors can
     /// never poison the slot or get cached as answers.
     ///
     /// Waiters additionally bound their condvar wait by the ambient

@@ -120,6 +120,10 @@ fn merge_plan_metrics(mut acc: PlanMetrics, other: PlanMetrics) -> PlanMetrics {
     acc.wall_micros += other.wall_micros;
     acc.output_size += other.output_size;
     acc.within_rate_limit &= other.within_rate_limit;
+    acc.retries += other.retries;
+    acc.breaker_rejections += other.breaker_rejections;
+    acc.accesses_skipped += other.accesses_skipped;
+    acc.disjuncts_short_circuited += other.disjuncts_short_circuited;
     acc
 }
 
